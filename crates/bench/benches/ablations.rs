@@ -1,0 +1,51 @@
+//! Criterion ablation benchmarks: adaptive HC/LHC node representation
+//! vs. forced all-LHC / all-HC trees (the central design trade-off of
+//! paper Sect. 3.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phtree::{PhTreeF64, ReprMode};
+
+const N: usize = 50_000;
+
+fn bench_modes(c: &mut Criterion) {
+    for (ds, data) in [
+        ("cube3", datasets::cube::<3>(N, 42)),
+        ("cluster0.4_3", datasets::cluster::<3>(N, 0.4, 42)),
+    ] {
+        let queries = datasets::point_query_mix(&data, 10_000, &[0.0; 3], &[1.0; 3], 7);
+        for (mode_name, mode) in [
+            ("adaptive", ReprMode::Adaptive),
+            ("force_lhc", ReprMode::ForceLhc),
+            ("force_hc", ReprMode::ForceHc),
+        ] {
+            let mut g = c.benchmark_group(format!("repr/{ds}/{mode_name}"));
+            g.sample_size(10);
+            g.bench_function("load", |b| {
+                b.iter(|| {
+                    let mut t: PhTreeF64<(), 3> = PhTreeF64::with_mode(mode);
+                    for p in &data {
+                        t.insert(*p, ());
+                    }
+                    std::hint::black_box(t.len())
+                })
+            });
+            let mut t: PhTreeF64<(), 3> = PhTreeF64::with_mode(mode);
+            for p in &data {
+                t.insert(*p, ());
+            }
+            g.bench_function("point_query", |b| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for q in &queries {
+                        hits += t.get(q).is_some() as usize;
+                    }
+                    std::hint::black_box(hits)
+                })
+            });
+            g.finish();
+        }
+    }
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

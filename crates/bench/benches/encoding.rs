@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks for the IEEE-754 sortable-key conversion
+//! (paper Sect. 3.3) — the fixed per-operation cost every f64 access
+//! pays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phtree::key::{f64_to_key, key_to_f64, key_to_point, point_to_key};
+
+fn bench_encoding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encoding");
+    let vals: Vec<f64> = (0..1024).map(|i| (i as f64 - 512.0) * 0.7919).collect();
+    g.bench_function("f64_to_key_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &v in &vals {
+                acc ^= f64_to_key(v);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    let keys: Vec<u64> = vals.iter().map(|&v| f64_to_key(v)).collect();
+    g.bench_function("key_to_f64_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for &k in &keys {
+                acc += key_to_f64(k);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    let pts: Vec<[f64; 3]> = (0..256)
+        .map(|i| [i as f64, (i * 3) as f64 * 0.1, -(i as f64)])
+        .collect();
+    g.bench_function("point_roundtrip_3d_256", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for p in &pts {
+                let k = point_to_key(p);
+                acc += key_to_point(&k)[1];
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_encoding);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks: insert / point query / remove / window
+//! query for every structure on CUBE and CLUSTER data at fixed n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ph_bench::{Cb1, Cb2, Index, Kd1, Kd2, Ph};
+
+const N: usize = 100_000;
+const K: usize = 3;
+
+fn datasets_for_ops() -> Vec<(&'static str, Vec<[f64; K]>)> {
+    vec![
+        ("cube", datasets::cube::<K>(N, 42)),
+        ("cluster0.5", datasets::cluster::<K>(N, 0.5, 42)),
+    ]
+}
+
+fn bench_structure<I: Index<K>>(c: &mut Criterion) {
+    for (ds, data) in datasets_for_ops() {
+        let mut g = c.benchmark_group(format!("{}/{ds}", I::NAME));
+        g.sample_size(10);
+        g.bench_function(BenchmarkId::new("load", N), |b| {
+            b.iter(|| {
+                let mut idx = I::new();
+                for p in &data {
+                    idx.insert(p);
+                }
+                std::hint::black_box(idx.len())
+            })
+        });
+        let mut idx = I::new();
+        for p in &data {
+            idx.insert(p);
+        }
+        idx.finalize();
+        let queries = datasets::point_query_mix(&data, 10_000, &[0.0; K], &[1.0; K], 7);
+        g.bench_function(BenchmarkId::new("point_query", N), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for q in &queries {
+                    hits += idx.get(q) as usize;
+                }
+                std::hint::black_box(hits)
+            })
+        });
+        let windows = if ds == "cube" {
+            datasets::range_queries::<K>(20, &[0.0; K], &[1.0; K], 0.001, 7)
+        } else {
+            datasets::cluster_range_queries::<K>(20, 7)
+        };
+        g.bench_function(BenchmarkId::new("window", N), |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for (lo, hi) in &windows {
+                    total += idx.window_count(lo, hi);
+                }
+                std::hint::black_box(total)
+            })
+        });
+        g.bench_function(BenchmarkId::new("insert_remove_cycle", N), |b| {
+            // Steady-state single update: remove + reinsert one point.
+            let mut i = 0usize;
+            b.iter(|| {
+                let p = &data[i % data.len()];
+                i += 1;
+                idx.remove(p);
+                idx.insert(p);
+            })
+        });
+        g.finish();
+    }
+}
+
+fn all(c: &mut Criterion) {
+    bench_structure::<Ph<K>>(c);
+    bench_structure::<Kd1<K>>(c);
+    bench_structure::<Kd2<K>>(c);
+    bench_structure::<Cb1<K>>(c);
+    bench_structure::<Cb2<K>>(c);
+}
+
+criterion_group!(benches, all);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benchmarks for the paged persistence layer: snapshot save
+//! and load throughput (nodes/s, entries/s).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phtree::key::point_to_key;
+use phtree::PhTree;
+
+fn build(n: usize) -> PhTree<u32, 3> {
+    let data = datasets::cube::<3>(n, 42);
+    let mut t = PhTree::new();
+    for (i, p) in data.iter().enumerate() {
+        t.insert(point_to_key(p), i as u32);
+    }
+    t
+}
+
+fn bench_store(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join("phstore-bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bench.pht");
+    let tree = build(50_000);
+    let mut g = c.benchmark_group("phstore");
+    g.sample_size(10);
+    g.bench_function("save_50k", |b| {
+        b.iter(|| {
+            let stats = phstore::save(&tree, &path).unwrap();
+            std::hint::black_box(stats.pages)
+        })
+    });
+    phstore::save(&tree, &path).unwrap();
+    g.bench_function("load_50k", |b| {
+        b.iter(|| {
+            let t: PhTree<u32, 3> = phstore::load(&path).unwrap();
+            std::hint::black_box(t.len())
+        })
+    });
+    g.finish();
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Ablation: the adaptive HC/LHC node representation (Sect. 3.2)
+//! against trees forced to all-LHC or all-HC nodes.
+//!
+//! Reports bytes/entry, insert µs/entry and point-query µs for CUBE and
+//! CLUSTER0.4 at several k. Expected shape: ForceHc explodes in space
+//! as k grows (2^k slot arrays), ForceLhc loses query speed on dense
+//! low-k nodes, Adaptive tracks the better of the two.
+//!
+//! Usage: `cargo run --release -p ph-bench --bin ablation_hclhc --
+//!         [--scale 0.05] [--seed 42]`
+
+use measure::{Cli, Table};
+use ph_bench::{point_queries_timed, with_k, Index, Ph};
+use phtree::ReprMode;
+
+struct Cell {
+    bpe: f64,
+    ins: f64,
+    query: f64,
+}
+
+fn run_mode<const K: usize>(name: &str, mode: ReprMode, n: usize, n_q: usize, seed: u64) -> Cell {
+    let data = ph_bench::make_dataset::<K>(name, n, seed);
+    let mut idx = Ph::<K>::with_mode(mode);
+    let (_, ins) = measure::time_us_per(data.len(), || {
+        for p in &data {
+            idx.insert(p);
+        }
+    });
+    idx.finalize();
+    let bpe = idx.memory_bytes() as f64 / idx.len() as f64;
+    let queries = datasets::point_query_mix(&data, n_q, &[0.0; K], &[1.0; K], seed);
+    let query = point_queries_timed(&idx, &queries);
+    Cell { bpe, ins, query }
+}
+
+fn main() {
+    let cli = Cli::from_env();
+    let scale = cli.get_f64("scale", 0.05);
+    let seed = cli.get_u64("seed", 42);
+    let n = ((1_000_000_f64 * scale) as usize).max(10_000);
+    let n_q = cli.get_u64("queries", 50_000) as usize;
+    for dataset in ["cube", "cluster0.4"] {
+        let mut ts = Table::new(&format!("ablation HC/LHC space B/entry, {dataset}, n = {n}"), "k");
+        let mut ti = Table::new(&format!("ablation HC/LHC insert µs/entry, {dataset}, n = {n}"), "k");
+        let mut tq = Table::new(&format!("ablation HC/LHC point query µs, {dataset}, n = {n}"), "k");
+        for k in [2usize, 3, 5, 8, 12] {
+            let adaptive = with_k!(k, run_mode(dataset, ReprMode::Adaptive, n, n_q, seed));
+            let lhc = with_k!(k, run_mode(dataset, ReprMode::ForceLhc, n, n_q, seed));
+            // ForceHc materialises 2^k slots per node: only run for small k.
+            let hc = if k <= 8 {
+                Some(with_k!(k, run_mode(dataset, ReprMode::ForceHc, n, n_q, seed)))
+            } else {
+                None
+            };
+            ts.add_row(
+                k as f64,
+                &[
+                    ("Adaptive", Some(adaptive.bpe)),
+                    ("ForceLhc", Some(lhc.bpe)),
+                    ("ForceHc", hc.as_ref().map(|c| c.bpe)),
+                ],
+            );
+            ti.add_row(
+                k as f64,
+                &[
+                    ("Adaptive", Some(adaptive.ins)),
+                    ("ForceLhc", Some(lhc.ins)),
+                    ("ForceHc", hc.as_ref().map(|c| c.ins)),
+                ],
+            );
+            tq.add_row(
+                k as f64,
+                &[
+                    ("Adaptive", Some(adaptive.query)),
+                    ("ForceLhc", Some(lhc.query)),
+                    ("ForceHc", hc.as_ref().map(|c| c.query)),
+                ],
+            );
+        }
+        print!("{}", ts.render_text());
+        print!("{}", ti.render_text());
+        print!("{}", tq.render_text());
+        ph_bench::write_csv(&format!("ablation hclhc space {dataset}"), &ts);
+        ph_bench::write_csv(&format!("ablation hclhc insert {dataset}"), &ti);
+        ph_bench::write_csv(&format!("ablation hclhc query {dataset}"), &tq);
+    }
+}

@@ -1,0 +1,28 @@
+//! Diagnostic: PH point-query cost vs TIGER-like density (not a paper figure).
+use measure::Cli;
+use ph_bench::{load_timed, point_queries_timed, Index, Kd2, Ph};
+
+fn main() {
+    let cli = Cli::from_env();
+    let max_n = cli.get_u64("n", 8_000_000) as usize;
+    let data = datasets::dedup(datasets::tiger_like(max_n, 42));
+    let lo = [datasets::TIGER_X.0, datasets::TIGER_Y.0];
+    let hi = [datasets::TIGER_X.1, datasets::TIGER_Y.1];
+    for n in [max_n / 16, max_n / 4, max_n] {
+        let slice = &data[..n.min(data.len())];
+        let queries = datasets::point_query_mix(slice, 100_000, &lo, &hi, 7);
+        let (mut ph, _) = load_timed::<Ph<2>, 2>(slice);
+        ph.finalize();
+        let ph_q = point_queries_timed(&ph, &queries);
+        let s = ph.tree().stats();
+        let (mut kd, _) = load_timed::<Kd2<2>, 2>(slice);
+        kd.finalize();
+        let kd_q = point_queries_timed(&kd, &queries);
+        println!(
+            "n={n}: PH {ph_q:.2} µs (depth {}, e/n {:.2}, hc {:.1}%), KD2 {kd_q:.2} µs",
+            s.max_depth,
+            s.entries_per_node(),
+            100.0 * s.hc_nodes as f64 / s.nodes as f64
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Diagnostic: PH-tree space breakdown per dataset (not a paper figure).
+use measure::Cli;
+use ph_bench::{load_timed, Index, Ph};
+
+fn main() {
+    let cli = Cli::from_env();
+    let n = cli.get_u64("n", 1_000_000) as usize;
+    println!("size_of Node<(),2> = {}", std::mem::size_of::<phtree::PhTree<(), 2>>());
+    {
+        let (name, data) = ("tiger", datasets::dedup(datasets::tiger_like(n, 42)));
+        let (mut idx, _) = load_timed::<Ph<2>, 2>(&data);
+        idx.finalize();
+        let s = idx.tree().stats();
+        println!("{name}: n={} nodes={} e/n={:.2} hc={} lhc={} depth={} bytes/e={:.1} bit_bytes/e={:.1} allocs={}",
+            s.entries, s.nodes, s.entries_per_node(), s.hc_nodes, s.lhc_nodes, s.max_depth,
+            s.bytes_per_entry(), s.bit_bytes as f64 / s.entries as f64, s.allocations);
+    }
+    for (name, data) in [
+        ("cube3", datasets::cube::<3>(n, 42)),
+        ("cluster0.5_3", datasets::cluster::<3>(n, 0.5, 42)),
+    ] {
+        let (mut idx, _) = load_timed::<Ph<3>, 3>(&data);
+        idx.finalize();
+        let s = idx.tree().stats();
+        println!("{name}: n={} nodes={} e/n={:.2} hc={} lhc={} depth={} bytes/e={:.1} bit_bytes/e={:.1} allocs={}",
+            s.entries, s.nodes, s.entries_per_node(), s.hc_nodes, s.lhc_nodes, s.max_depth,
+            s.bytes_per_entry(), s.bit_bytes as f64 / s.entries as f64, s.allocations);
+    }
+}

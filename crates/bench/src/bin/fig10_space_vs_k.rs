@@ -1,0 +1,41 @@
+//! Figure 10: PH-tree bytes per entry for n = 10⁶ (scaled) entries as
+//! the dimensionality k grows, for CLUSTER0.4, CLUSTER0.5 and CUBE.
+//!
+//! Usage: `cargo run --release -p ph-bench --bin fig10_space_vs_k --
+//!         [--scale 0.1] [--seed 42]`
+
+use measure::{Cli, Table};
+use ph_bench::with_k;
+
+fn bytes_per_entry<const K: usize>(name: &str, n: usize, seed: u64) -> f64 {
+    let data = ph_bench::make_dataset::<K>(name, n, seed);
+    let mut tree: phtree::PhTreeF64<(), K> = phtree::PhTreeF64::new();
+    for p in &data {
+        tree.insert(*p, ());
+    }
+    tree.shrink_to_fit();
+    tree.stats().bytes_per_entry()
+}
+
+fn main() {
+    let cli = Cli::from_env();
+    let scale = cli.get_f64("scale", 0.1);
+    let seed = cli.get_u64("seed", 42);
+    let n = ((1_000_000_f64 * scale) as usize).max(10_000);
+    let mut t = Table::new(&format!("fig10 PH bytes per entry vs k, n = {n}"), "k");
+    for k in [2usize, 3, 4, 5, 6, 8, 10, 12, 15] {
+        let cl04 = with_k!(k, bytes_per_entry("cluster0.4", n, seed));
+        let cl05 = with_k!(k, bytes_per_entry("cluster0.5", n, seed));
+        let cu = with_k!(k, bytes_per_entry("cube", n, seed));
+        t.add_row(
+            k as f64,
+            &[
+                ("PH-CL0.4", Some(cl04)),
+                ("PH-CL0.5", Some(cl05)),
+                ("PH-CU", Some(cu)),
+            ],
+        );
+    }
+    print!("{}", t.render_text());
+    ph_bench::write_csv("fig10 space vs k", &t);
+}

@@ -1,0 +1,47 @@
+//! Figure 11: insertion time per entry for varying k at n = 10⁷
+//! (scaled) entries, CLUSTER datasets: PH-CL0.4, PH-CL0.5, KD2-CL0.5,
+//! CB1-CL0.5, CB1-CL0.4.
+//!
+//! Usage: `cargo run --release -p ph-bench --bin fig11_insert_vs_k --
+//!         [--scale 0.02] [--seed 42]`
+
+use measure::{Cli, Table};
+use ph_bench::{load_timed, with_k, Cb1, Index, Kd2, Ph};
+
+fn insert_us<I: Index<K>, const K: usize>(name: &str, n: usize, seed: u64) -> f64 {
+    let data = ph_bench::make_dataset::<K>(name, n, seed);
+    let (_idx, per) = load_timed::<I, K>(&data);
+    per
+}
+
+fn ph_us<const K: usize>(name: &str, n: usize, seed: u64) -> f64 {
+    insert_us::<Ph<K>, K>(name, n, seed)
+}
+fn kd2_us<const K: usize>(name: &str, n: usize, seed: u64) -> f64 {
+    insert_us::<Kd2<K>, K>(name, n, seed)
+}
+fn cb1_us<const K: usize>(name: &str, n: usize, seed: u64) -> f64 {
+    insert_us::<Cb1<K>, K>(name, n, seed)
+}
+
+fn main() {
+    let cli = Cli::from_env();
+    let scale = cli.get_f64("scale", 0.02);
+    let seed = cli.get_u64("seed", 42);
+    let n = ((10_000_000_f64 * scale) as usize).max(10_000);
+    let mut t = Table::new(&format!("fig11 insert µs/entry vs k, CLUSTER, n = {n}"), "k");
+    for k in [2usize, 3, 4, 5, 6, 8, 10] {
+        t.add_row(
+            k as f64,
+            &[
+                ("PH-CL0.4", Some(with_k!(k, ph_us("cluster0.4", n, seed)))),
+                ("PH-CL0.5", Some(with_k!(k, ph_us("cluster0.5", n, seed)))),
+                ("KD2-CL0.5", Some(with_k!(k, kd2_us("cluster0.5", n, seed)))),
+                ("CB1-CL0.5", Some(with_k!(k, cb1_us("cluster0.5", n, seed)))),
+                ("CB1-CL0.4", Some(with_k!(k, cb1_us("cluster0.4", n, seed)))),
+            ],
+        );
+    }
+    print!("{}", t.render_text());
+    ph_bench::write_csv("fig11 insert vs k cluster", &t);
+}

@@ -1,0 +1,44 @@
+//! Figure 12: insertion time per entry for varying k at n = 10⁷
+//! (scaled) entries, CUBE dataset: PH, KD2, CB1.
+//!
+//! Usage: `cargo run --release -p ph-bench --bin fig12_insert_vs_k_cube --
+//!         [--scale 0.02] [--seed 42]`
+
+use measure::{Cli, Table};
+use ph_bench::{load_timed, with_k, Cb1, Index, Kd2, Ph};
+
+fn insert_us<I: Index<K>, const K: usize>(n: usize, seed: u64) -> f64 {
+    let data = datasets::cube::<K>(n, seed);
+    let (_idx, per) = load_timed::<I, K>(&data);
+    per
+}
+
+fn ph_us<const K: usize>(n: usize, seed: u64) -> f64 {
+    insert_us::<Ph<K>, K>(n, seed)
+}
+fn kd2_us<const K: usize>(n: usize, seed: u64) -> f64 {
+    insert_us::<Kd2<K>, K>(n, seed)
+}
+fn cb1_us<const K: usize>(n: usize, seed: u64) -> f64 {
+    insert_us::<Cb1<K>, K>(n, seed)
+}
+
+fn main() {
+    let cli = Cli::from_env();
+    let scale = cli.get_f64("scale", 0.02);
+    let seed = cli.get_u64("seed", 42);
+    let n = ((10_000_000_f64 * scale) as usize).max(10_000);
+    let mut t = Table::new(&format!("fig12 insert µs/entry vs k, CUBE, n = {n}"), "k");
+    for k in [2usize, 3, 4, 5, 6, 8, 10] {
+        t.add_row(
+            k as f64,
+            &[
+                ("PH-CU", Some(with_k!(k, ph_us(n, seed)))),
+                ("KD2-CU", Some(with_k!(k, kd2_us(n, seed)))),
+                ("CB1-CU", Some(with_k!(k, cb1_us(n, seed)))),
+            ],
+        );
+    }
+    print!("{}", t.render_text());
+    ph_bench::write_csv("fig12 insert vs k cube", &t);
+}

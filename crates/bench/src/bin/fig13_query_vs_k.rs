@@ -1,0 +1,129 @@
+//! Figure 13: query times for varying k at n = 10⁷ (scaled) entries.
+//!
+//! * part a — CLUSTER point queries: PH-CL0.4, PH-CL0.5, KD2-CL0.5,
+//!   CB1-CL0.5.
+//! * part b — CUBE point queries: PH, KD2, CB1, CB2.
+//! * part c — range queries: PH-CL0.4, PH-CL0.5, PH-CU, KD2-CU (the
+//!   paper omits KD-CLUSTER times — 500–1000 µs/entry off the chart;
+//!   pass `--with-kd-cluster true` to print them anyway).
+//!
+//! Usage: `cargo run --release -p ph-bench --bin fig13_query_vs_k --
+//!         --part a|b|c [--scale 0.02] [--queries N]`
+
+use measure::{Cli, Table};
+use ph_bench::{load_timed, point_queries_timed, range_queries_timed, with_k, Cb1, Cb2, Index, Kd2, Ph};
+
+fn point_us<I: Index<K>, const K: usize>(name: &str, n: usize, n_q: usize, seed: u64) -> f64 {
+    let data = ph_bench::make_dataset::<K>(name, n, seed);
+    let (mut idx, _) = load_timed::<I, K>(&data);
+    idx.finalize();
+    let queries = datasets::point_query_mix(&data, n_q, &[0.0; K], &[1.0; K], seed);
+    point_queries_timed(&idx, &queries)
+}
+
+fn range_us<I: Index<K>, const K: usize>(name: &str, n: usize, n_q: usize, seed: u64) -> f64 {
+    let data = ph_bench::make_dataset::<K>(name, n, seed);
+    let (mut idx, _) = load_timed::<I, K>(&data);
+    idx.finalize();
+    let queries = if name.starts_with("cluster") {
+        datasets::cluster_range_queries::<K>(n_q, seed)
+    } else {
+        datasets::range_queries::<K>(n_q, &[0.0; K], &[1.0; K], 0.001, seed)
+    };
+    let (per, _) = range_queries_timed(&idx, &queries);
+    per
+}
+
+fn p_ph<const K: usize>(name: &str, n: usize, q: usize, s: u64) -> f64 {
+    point_us::<Ph<K>, K>(name, n, q, s)
+}
+fn p_kd2<const K: usize>(name: &str, n: usize, q: usize, s: u64) -> f64 {
+    point_us::<Kd2<K>, K>(name, n, q, s)
+}
+fn p_cb1<const K: usize>(name: &str, n: usize, q: usize, s: u64) -> f64 {
+    point_us::<Cb1<K>, K>(name, n, q, s)
+}
+fn p_cb2<const K: usize>(name: &str, n: usize, q: usize, s: u64) -> f64 {
+    point_us::<Cb2<K>, K>(name, n, q, s)
+}
+fn r_ph<const K: usize>(name: &str, n: usize, q: usize, s: u64) -> f64 {
+    range_us::<Ph<K>, K>(name, n, q, s)
+}
+fn r_kd2<const K: usize>(name: &str, n: usize, q: usize, s: u64) -> f64 {
+    range_us::<Kd2<K>, K>(name, n, q, s)
+}
+
+fn main() {
+    let cli = Cli::from_env();
+    let scale = cli.get_f64("scale", 0.02);
+    let seed = cli.get_u64("seed", 42);
+    let part = cli.get_str("part", "a");
+    let n = ((10_000_000_f64 * scale) as usize).max(10_000);
+    let n_q = cli.get_u64("queries", ((1_000_000_f64 * scale) as u64).max(20_000)) as usize;
+    let with_kd_cluster = cli.get_str("with-kd-cluster", "false") == "true";
+    match part.as_str() {
+        "a" => {
+            let mut t = Table::new(
+                &format!("fig13a CLUSTER point query µs vs k, n = {n}"),
+                "k",
+            );
+            for k in [2usize, 3, 5, 8, 10, 12, 15] {
+                t.add_row(
+                    k as f64,
+                    &[
+                        ("PH-CL0.4", Some(with_k!(k, p_ph("cluster0.4", n, n_q, seed)))),
+                        ("PH-CL0.5", Some(with_k!(k, p_ph("cluster0.5", n, n_q, seed)))),
+                        ("KD2-CL0.5", Some(with_k!(k, p_kd2("cluster0.5", n, n_q, seed)))),
+                        ("CB1-CL0.5", Some(with_k!(k, p_cb1("cluster0.5", n, n_q, seed)))),
+                    ],
+                );
+            }
+            print!("{}", t.render_text());
+            ph_bench::write_csv("fig13a cluster point query vs k", &t);
+        }
+        "b" => {
+            let mut t = Table::new(&format!("fig13b CUBE point query µs vs k, n = {n}"), "k");
+            for k in [2usize, 3, 5, 8, 10, 12, 15] {
+                t.add_row(
+                    k as f64,
+                    &[
+                        ("PH-CU", Some(with_k!(k, p_ph("cube", n, n_q, seed)))),
+                        ("KD2-CU", Some(with_k!(k, p_kd2("cube", n, n_q, seed)))),
+                        ("CB1-CU", Some(with_k!(k, p_cb1("cube", n, n_q, seed)))),
+                        ("CB2-CU", Some(with_k!(k, p_cb2("cube", n, n_q, seed)))),
+                    ],
+                );
+            }
+            print!("{}", t.render_text());
+            ph_bench::write_csv("fig13b cube point query vs k", &t);
+        }
+        "c" => {
+            let n_rq = cli.get_u64("queries", 100) as usize;
+            let mut t = Table::new(
+                &format!("fig13c range query µs/returned entry vs k, n = {n}"),
+                "k",
+            );
+            for k in [2usize, 3, 4, 5, 6, 8, 10] {
+                let mut cells = vec![
+                    ("PH-CL0.4", Some(with_k!(k, r_ph("cluster0.4", n, n_rq, seed)))),
+                    ("PH-CL0.5", Some(with_k!(k, r_ph("cluster0.5", n, n_rq, seed)))),
+                    ("PH-CU", Some(with_k!(k, r_ph("cube", n, n_rq, seed)))),
+                    ("KD2-CU", Some(with_k!(k, r_kd2("cube", n, n_rq, seed)))),
+                ];
+                if with_kd_cluster {
+                    cells.push((
+                        "KD2-CL0.5",
+                        Some(with_k!(k, r_kd2("cluster0.5", n, n_rq, seed))),
+                    ));
+                }
+                t.add_row(k as f64, &cells);
+            }
+            print!("{}", t.render_text());
+            ph_bench::write_csv("fig13c range query vs k", &t);
+        }
+        other => {
+            eprintln!("unknown --part {other}; use a|b|c");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Figure 14: bytes per entry vs. k at n = 10⁷ (scaled) entries for the
+//! CLUSTER datasets: PH-CL0.4, PH-CL0.5, KD1, CB1, CB2, double[],
+//! object[].
+//!
+//! Usage: `cargo run --release -p ph-bench --bin fig14_space_vs_k_cluster --
+//!         [--scale 0.02] [--seed 42]`
+
+use measure::{Cli, Table};
+use ph_bench::{load_timed, with_k, Cb1, Cb2, Index, Kd1, Ph};
+
+fn bpe<I: Index<K>, const K: usize>(name: &str, n: usize, seed: u64) -> f64 {
+    let data = ph_bench::make_dataset::<K>(name, n, seed);
+    let (mut idx, _) = load_timed::<I, K>(&data);
+    idx.finalize();
+    idx.memory_bytes() as f64 / idx.len() as f64
+}
+
+fn ph_bpe<const K: usize>(name: &str, n: usize, seed: u64) -> f64 {
+    bpe::<Ph<K>, K>(name, n, seed)
+}
+fn kd1_bpe<const K: usize>(name: &str, n: usize, seed: u64) -> f64 {
+    bpe::<Kd1<K>, K>(name, n, seed)
+}
+fn cb1_bpe<const K: usize>(name: &str, n: usize, seed: u64) -> f64 {
+    bpe::<Cb1<K>, K>(name, n, seed)
+}
+fn cb2_bpe<const K: usize>(name: &str, n: usize, seed: u64) -> f64 {
+    bpe::<Cb2<K>, K>(name, n, seed)
+}
+
+fn main() {
+    let cli = Cli::from_env();
+    let scale = cli.get_f64("scale", 0.02);
+    let seed = cli.get_u64("seed", 42);
+    let n = ((10_000_000_f64 * scale) as usize).max(10_000);
+    let mut t = Table::new(
+        &format!("fig14 bytes per entry vs k, CLUSTER, n = {n}"),
+        "k",
+    );
+    for k in [2usize, 3, 4, 5, 6, 8, 10, 12, 15] {
+        t.add_row(
+            k as f64,
+            &[
+                ("PH-CL0.4", Some(with_k!(k, ph_bpe("cluster0.4", n, seed)))),
+                ("PH-CL0.5", Some(with_k!(k, ph_bpe("cluster0.5", n, seed)))),
+                ("KD1-CL", Some(with_k!(k, kd1_bpe("cluster0.5", n, seed)))),
+                ("CB1", Some(with_k!(k, cb1_bpe("cluster0.5", n, seed)))),
+                ("CB2", Some(with_k!(k, cb2_bpe("cluster0.5", n, seed)))),
+                ("double[]", Some((k * 8) as f64)),
+                ("object[]", Some((k * 8 + 16 + 4) as f64)),
+            ],
+        );
+    }
+    print!("{}", t.render_text());
+    ph_bench::write_csv("fig14 space vs k cluster", &t);
+}

@@ -1,0 +1,51 @@
+//! Figure 15: bytes per entry vs. k at n = 10⁷ (scaled) entries for the
+//! CUBE dataset: PH, KD1, CB1, CB2, double[], object[].
+//!
+//! Usage: `cargo run --release -p ph-bench --bin fig15_space_vs_k_cube --
+//!         [--scale 0.02] [--seed 42]`
+
+use measure::{Cli, Table};
+use ph_bench::{load_timed, with_k, Cb1, Cb2, Index, Kd1, Ph};
+
+fn bpe<I: Index<K>, const K: usize>(n: usize, seed: u64) -> f64 {
+    let data = datasets::cube::<K>(n, seed);
+    let (mut idx, _) = load_timed::<I, K>(&data);
+    idx.finalize();
+    idx.memory_bytes() as f64 / idx.len() as f64
+}
+
+fn ph_bpe<const K: usize>(n: usize, seed: u64) -> f64 {
+    bpe::<Ph<K>, K>(n, seed)
+}
+fn kd1_bpe<const K: usize>(n: usize, seed: u64) -> f64 {
+    bpe::<Kd1<K>, K>(n, seed)
+}
+fn cb1_bpe<const K: usize>(n: usize, seed: u64) -> f64 {
+    bpe::<Cb1<K>, K>(n, seed)
+}
+fn cb2_bpe<const K: usize>(n: usize, seed: u64) -> f64 {
+    bpe::<Cb2<K>, K>(n, seed)
+}
+
+fn main() {
+    let cli = Cli::from_env();
+    let scale = cli.get_f64("scale", 0.02);
+    let seed = cli.get_u64("seed", 42);
+    let n = ((10_000_000_f64 * scale) as usize).max(10_000);
+    let mut t = Table::new(&format!("fig15 bytes per entry vs k, CUBE, n = {n}"), "k");
+    for k in [2usize, 3, 4, 5, 6, 8, 10, 12, 15] {
+        t.add_row(
+            k as f64,
+            &[
+                ("PH-CU", Some(with_k!(k, ph_bpe(n, seed)))),
+                ("KD1-CU", Some(with_k!(k, kd1_bpe(n, seed)))),
+                ("CB1", Some(with_k!(k, cb1_bpe(n, seed)))),
+                ("CB2", Some(with_k!(k, cb2_bpe(n, seed)))),
+                ("double[]", Some((k * 8) as f64)),
+                ("object[]", Some((k * 8 + 16 + 4) as f64)),
+            ],
+        );
+    }
+    print!("{}", t.render_text());
+    ph_bench::write_csv("fig15 space vs k cube", &t);
+}

@@ -1,0 +1,82 @@
+//! Figure 7: insertion time per entry vs. number of entries, for the
+//! TIGER/Line (a), CUBE (b) and CLUSTER (c) datasets.
+//!
+//! Usage: `cargo run --release -p ph-bench --bin fig7_insert --
+//!         --dataset tiger|cube|cluster [--scale 0.02] [--seed 42]`
+
+use measure::{Cli, Table};
+use ph_bench::{load_timed, scaled_checkpoints, Cb1, Cb2, Index, Kd1, Kd2, Ph};
+
+fn series<I: Index<K>, const K: usize>(data: &[[f64; K]], cps: &[usize]) -> Vec<Option<f64>> {
+    cps.iter()
+        .map(|&n| {
+            let (_idx, per) = load_timed::<I, K>(&data[..n.min(data.len())]);
+            Some(per)
+        })
+        .collect()
+}
+
+fn run<const K: usize>(title: &str, data: Vec<[f64; K]>, cps: Vec<usize>) {
+    let ph = series::<Ph<K>, K>(&data, &cps);
+    let kd1 = series::<Kd1<K>, K>(&data, &cps);
+    let kd2 = series::<Kd2<K>, K>(&data, &cps);
+    let cb1 = series::<Cb1<K>, K>(&data, &cps);
+    let cb2 = series::<Cb2<K>, K>(&data, &cps);
+    let mut t = Table::new(title, "10^6 entries");
+    for (i, &n) in cps.iter().enumerate() {
+        t.add_row(
+            n as f64 / 1e6,
+            &[
+                ("PH", ph[i]),
+                ("KD1", kd1[i]),
+                ("KD2", kd2[i]),
+                ("CB1", cb1[i]),
+                ("CB2", cb2[i]),
+            ],
+        );
+    }
+    print!("{}", t.render_text());
+    ph_bench::write_csv(title, &t);
+}
+
+fn main() {
+    let cli = Cli::from_env();
+    let scale = cli.get_f64("scale", 0.02);
+    let seed = cli.get_u64("seed", 42);
+    let dataset = cli.get_str("dataset", "cube");
+    match dataset.as_str() {
+        "tiger" => {
+            let cps = scaled_checkpoints(
+                &[
+                    1_000_000, 2_000_000, 5_000_000, 10_000_000, 15_000_000, 18_400_000,
+                ],
+                scale,
+            );
+            let data = datasets::dedup(datasets::tiger_like(*cps.last().unwrap(), seed));
+            run::<2>("fig7a insert µs/entry, 2D TIGER-like", data, cps);
+        }
+        "cube" => {
+            let cps = scaled_checkpoints(
+                &[
+                    1_000_000, 5_000_000, 10_000_000, 25_000_000, 50_000_000, 75_000_000,
+                    100_000_000,
+                ],
+                scale,
+            );
+            let data = datasets::cube::<3>(*cps.last().unwrap(), seed);
+            run::<3>("fig7b insert µs/entry, 3D CUBE", data, cps);
+        }
+        "cluster" => {
+            let cps = scaled_checkpoints(
+                &[1_000_000, 5_000_000, 10_000_000, 25_000_000, 50_000_000],
+                scale,
+            );
+            let data = datasets::cluster::<3>(*cps.last().unwrap(), 0.5, seed);
+            run::<3>("fig7c insert µs/entry, 3D CLUSTER", data, cps);
+        }
+        other => {
+            eprintln!("unknown --dataset {other}; use tiger|cube|cluster");
+            std::process::exit(2);
+        }
+    }
+}

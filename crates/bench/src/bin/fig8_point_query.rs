@@ -1,0 +1,123 @@
+//! Figure 8: point query time vs. number of entries, for the
+//! TIGER/Line (a), CUBE (b) and CLUSTER (c) datasets. Queries have a
+//! 50 % chance of hitting an existing point (Sect. 4.3.2).
+//!
+//! Usage: `cargo run --release -p ph-bench --bin fig8_point_query --
+//!         --dataset tiger|cube|cluster [--scale 0.02] [--queries N]`
+
+use measure::{Cli, Table};
+use ph_bench::{load_timed, point_queries_timed, scaled_checkpoints, Cb1, Cb2, Index, Kd1, Kd2, Ph};
+
+fn series<I: Index<K>, const K: usize>(
+    data: &[[f64; K]],
+    cps: &[usize],
+    n_queries: usize,
+    lo: &[f64; K],
+    hi: &[f64; K],
+    seed: u64,
+) -> Vec<Option<f64>> {
+    cps.iter()
+        .map(|&n| {
+            let slice = &data[..n.min(data.len())];
+            let (mut idx, _) = load_timed::<I, K>(slice);
+            idx.finalize();
+            let queries = datasets::point_query_mix(slice, n_queries, lo, hi, seed);
+            Some(point_queries_timed(&idx, &queries))
+        })
+        .collect()
+}
+
+fn run<const K: usize>(
+    title: &str,
+    data: Vec<[f64; K]>,
+    cps: Vec<usize>,
+    n_queries: usize,
+    lo: [f64; K],
+    hi: [f64; K],
+    seed: u64,
+) {
+    let ph = series::<Ph<K>, K>(&data, &cps, n_queries, &lo, &hi, seed);
+    let kd1 = series::<Kd1<K>, K>(&data, &cps, n_queries, &lo, &hi, seed);
+    let kd2 = series::<Kd2<K>, K>(&data, &cps, n_queries, &lo, &hi, seed);
+    let cb1 = series::<Cb1<K>, K>(&data, &cps, n_queries, &lo, &hi, seed);
+    let cb2 = series::<Cb2<K>, K>(&data, &cps, n_queries, &lo, &hi, seed);
+    let mut t = Table::new(title, "10^6 entries");
+    for (i, &n) in cps.iter().enumerate() {
+        t.add_row(
+            n as f64 / 1e6,
+            &[
+                ("PH", ph[i]),
+                ("KD1", kd1[i]),
+                ("KD2", kd2[i]),
+                ("CB1", cb1[i]),
+                ("CB2", cb2[i]),
+            ],
+        );
+    }
+    print!("{}", t.render_text());
+    ph_bench::write_csv(title, &t);
+}
+
+fn main() {
+    let cli = Cli::from_env();
+    let scale = cli.get_f64("scale", 0.02);
+    let seed = cli.get_u64("seed", 42);
+    let n_queries = cli.get_u64("queries", ((1_000_000_f64 * scale) as u64).max(20_000)) as usize;
+    let dataset = cli.get_str("dataset", "cube");
+    match dataset.as_str() {
+        "tiger" => {
+            let cps = scaled_checkpoints(
+                &[
+                    1_000_000, 2_000_000, 5_000_000, 10_000_000, 15_000_000, 18_400_000,
+                ],
+                scale,
+            );
+            let data = datasets::dedup(datasets::tiger_like(*cps.last().unwrap(), seed));
+            run::<2>(
+                "fig8a point query µs, 2D TIGER-like",
+                data,
+                cps,
+                n_queries,
+                [datasets::TIGER_X.0, datasets::TIGER_Y.0],
+                [datasets::TIGER_X.1, datasets::TIGER_Y.1],
+                seed,
+            );
+        }
+        "cube" => {
+            let cps = scaled_checkpoints(
+                &[1_000_000, 5_000_000, 10_000_000, 25_000_000, 50_000_000, 100_000_000],
+                scale,
+            );
+            let data = datasets::cube::<3>(*cps.last().unwrap(), seed);
+            run::<3>(
+                "fig8b point query µs, 3D CUBE",
+                data,
+                cps,
+                n_queries,
+                [0.0; 3],
+                [1.0; 3],
+                seed,
+            );
+        }
+        "cluster" => {
+            let cps = scaled_checkpoints(
+                &[1_000_000, 5_000_000, 10_000_000, 25_000_000, 50_000_000],
+                scale,
+            );
+            let data = datasets::cluster::<3>(*cps.last().unwrap(), 0.5, seed);
+            run::<3>(
+                "fig8c point query µs, 3D CLUSTER",
+                data,
+                cps,
+                n_queries,
+                [0.0; 3],
+                [1.0; 3],
+                seed,
+            );
+        }
+        other => {
+            eprintln!("unknown --dataset {other}; use tiger|cube|cluster");
+            std::process::exit(2);
+        }
+    }
+}

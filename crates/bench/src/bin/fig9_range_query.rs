@@ -1,0 +1,136 @@
+//! Figure 9: range query time per returned entry vs. number of entries
+//! (TIGER 1 % area, CUBE 0.1 % volume, CLUSTER thin x-slices). The
+//! paper plots PH/KD1/KD2 only — crit-bit range queries degenerate into
+//! scans; pass `--with-cb true` to measure CB1 anyway and see exactly
+//! that.
+//!
+//! Usage: `cargo run --release -p ph-bench --bin fig9_range_query --
+//!         --dataset tiger|cube|cluster [--scale 0.02] [--queries 200]`
+
+use measure::{Cli, Table};
+use ph_bench::{load_timed, range_queries_timed, scaled_checkpoints, Cb1, Index, Kd1, Kd2, Ph};
+
+fn series<I: Index<K>, const K: usize>(
+    data: &[[f64; K]],
+    cps: &[usize],
+    queries: &[([f64; K], [f64; K])],
+    max_n: Option<usize>,
+) -> Vec<Option<f64>> {
+    cps.iter()
+        .map(|&n| {
+            if max_n.is_some_and(|m| n > m) {
+                return None; // the paper stops kD-trees early on CLUSTER
+            }
+            let slice = &data[..n.min(data.len())];
+            let (mut idx, _) = load_timed::<I, K>(slice);
+            idx.finalize();
+            let (per, total) = range_queries_timed(&idx, queries);
+            std::hint::black_box(total);
+            if per.is_nan() {
+                None
+            } else {
+                Some(per)
+            }
+        })
+        .collect()
+}
+
+struct Cfg {
+    with_cb: bool,
+    kd_cap: Option<usize>,
+}
+
+fn run<const K: usize>(
+    title: &str,
+    data: Vec<[f64; K]>,
+    cps: Vec<usize>,
+    queries: Vec<([f64; K], [f64; K])>,
+    cfg: Cfg,
+) {
+    let ph = series::<Ph<K>, K>(&data, &cps, &queries, None);
+    let kd1 = series::<Kd1<K>, K>(&data, &cps, &queries, cfg.kd_cap);
+    let kd2 = series::<Kd2<K>, K>(&data, &cps, &queries, cfg.kd_cap);
+    let cb1 = if cfg.with_cb {
+        Some(series::<Cb1<K>, K>(&data, &cps, &queries, None))
+    } else {
+        None
+    };
+    let mut t = Table::new(title, "10^6 entries");
+    for (i, &n) in cps.iter().enumerate() {
+        let mut cells = vec![("PH", ph[i]), ("KD1", kd1[i]), ("KD2", kd2[i])];
+        if let Some(cb) = &cb1 {
+            cells.push(("CB1-scan", cb[i]));
+        }
+        t.add_row(n as f64 / 1e6, &cells);
+    }
+    print!("{}", t.render_text());
+    ph_bench::write_csv(title, &t);
+}
+
+fn main() {
+    let cli = Cli::from_env();
+    let scale = cli.get_f64("scale", 0.02);
+    let seed = cli.get_u64("seed", 42);
+    let n_queries = cli.get_u64("queries", 200) as usize;
+    let with_cb = cli.get_str("with-cb", "false") == "true";
+    let dataset = cli.get_str("dataset", "cube");
+    match dataset.as_str() {
+        "tiger" => {
+            let cps = scaled_checkpoints(
+                &[
+                    1_000_000, 2_000_000, 5_000_000, 10_000_000, 15_000_000, 18_400_000,
+                ],
+                scale,
+            );
+            let data = datasets::dedup(datasets::tiger_like(*cps.last().unwrap(), seed));
+            let lo = [datasets::TIGER_X.0, datasets::TIGER_Y.0];
+            let hi = [datasets::TIGER_X.1, datasets::TIGER_Y.1];
+            let queries = datasets::range_queries::<2>(n_queries, &lo, &hi, 0.01, seed);
+            run::<2>(
+                "fig9a range query µs/returned entry, 2D TIGER-like",
+                data,
+                cps,
+                queries,
+                Cfg { with_cb, kd_cap: None },
+            );
+        }
+        "cube" => {
+            let cps = scaled_checkpoints(
+                &[1_000_000, 5_000_000, 10_000_000, 25_000_000, 50_000_000, 100_000_000],
+                scale,
+            );
+            let data = datasets::cube::<3>(*cps.last().unwrap(), seed);
+            let queries =
+                datasets::range_queries::<3>(n_queries, &[0.0; 3], &[1.0; 3], 0.001, seed);
+            run::<3>(
+                "fig9b range query µs/returned entry, 3D CUBE",
+                data,
+                cps,
+                queries,
+                Cfg { with_cb, kd_cap: None },
+            );
+        }
+        "cluster" => {
+            let cps = scaled_checkpoints(
+                &[1_000_000, 5_000_000, 10_000_000, 25_000_000, 50_000_000],
+                scale,
+            );
+            // The paper measured kD-trees only up to 5·10⁶ here because
+            // of their query times; mirror that cap (scaled).
+            let kd_cap = Some(((5_000_000_f64 * scale) as usize).max(1000));
+            let data = datasets::cluster::<3>(*cps.last().unwrap(), 0.5, seed);
+            let queries = datasets::cluster_range_queries::<3>(n_queries, seed);
+            run::<3>(
+                "fig9c range query µs/returned entry, 3D CLUSTER",
+                data,
+                cps,
+                queries,
+                Cfg { with_cb, kd_cap },
+            );
+        }
+        other => {
+            eprintln!("unknown --dataset {other}; use tiger|cube|cluster");
+            std::process::exit(2);
+        }
+    }
+}

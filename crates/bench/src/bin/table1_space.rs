@@ -1,0 +1,56 @@
+//! Table 1: required bytes per entry for n ≥ 5 000 000 entries (scaled),
+//! across TIGER-like (2-D), CUBE (3-D) and CLUSTER (3-D), for all five
+//! index structures plus the naive `double[]` / `object[]` yardsticks.
+//!
+//! Usage: `cargo run --release -p ph-bench --bin table1_space --
+//!         [--scale 0.02] [--seed 42]`
+
+use measure::{Cli, Table};
+use ph_bench::{load_timed, Cb1, Cb2, Index, Kd1, Kd2, Ph};
+
+fn bytes_per_entry<I: Index<K>, const K: usize>(data: &[[f64; K]]) -> f64 {
+    let (mut idx, _) = load_timed::<I, K>(data);
+    idx.finalize();
+    idx.memory_bytes() as f64 / idx.len() as f64
+}
+
+fn row<const K: usize>(data: &[[f64; K]]) -> Vec<(&'static str, Option<f64>)> {
+    let n = data.len() as f64;
+    let mut d_arr = kdtree::naive::PlainArray::<K>::new();
+    let mut o_arr = kdtree::naive::ObjectArray::<K>::new();
+    for p in data {
+        d_arr.push(p);
+        o_arr.push(p);
+    }
+    vec![
+        ("PH", Some(bytes_per_entry::<Ph<K>, K>(data))),
+        ("KD1", Some(bytes_per_entry::<Kd1<K>, K>(data))),
+        ("KD2", Some(bytes_per_entry::<Kd2<K>, K>(data))),
+        ("CB1", Some(bytes_per_entry::<Cb1<K>, K>(data))),
+        ("CB2", Some(bytes_per_entry::<Cb2<K>, K>(data))),
+        ("double[]", Some(d_arr.memory_bytes() as f64 / n)),
+        ("object[]", Some(o_arr.memory_bytes() as f64 / n)),
+    ]
+}
+
+fn main() {
+    let cli = Cli::from_env();
+    let scale = cli.get_f64("scale", 0.02);
+    let seed = cli.get_u64("seed", 42);
+    let n = ((5_000_000_f64 * scale) as usize).max(10_000);
+    let mut t = Table::new(
+        &format!("table1 bytes per entry, n = {n}"),
+        "dataset#",
+    );
+    let tiger = datasets::dedup(datasets::tiger_like(n, seed));
+    t.add_row(1.0, &row::<2>(&tiger));
+    drop(tiger);
+    let cube = datasets::cube::<3>(n, seed);
+    t.add_row(2.0, &row::<3>(&cube));
+    drop(cube);
+    let cluster = datasets::cluster::<3>(n, 0.5, seed);
+    t.add_row(3.0, &row::<3>(&cluster));
+    println!("rows: 1 = TIGER-like (2D), 2 = CUBE (3D), 3 = CLUSTER0.5 (3D)");
+    print!("{}", t.render_text());
+    ph_bench::write_csv("table1 space", &t);
+}

@@ -1,0 +1,34 @@
+//! Table 2: PH-tree bytes per entry for the CLUSTER0.4 vs CLUSTER0.5
+//! datasets (k = 3) as n grows — the IEEE-exponent-boundary effect of
+//! Sect. 4.3.6.
+//!
+//! Usage: `cargo run --release -p ph-bench --bin table2_cluster_space --
+//!         [--scale 0.02] [--seed 42]`
+
+use measure::{Cli, Table};
+use ph_bench::{load_timed, Index, Ph};
+
+fn main() {
+    let cli = Cli::from_env();
+    let scale = cli.get_f64("scale", 0.02);
+    let seed = cli.get_u64("seed", 42);
+    let cps = ph_bench::scaled_checkpoints(
+        &[1_000_000, 5_000_000, 10_000_000, 15_000_000, 25_000_000, 50_000_000],
+        scale,
+    );
+    let max = *cps.last().unwrap();
+    let data04 = datasets::cluster::<3>(max, 0.4, seed);
+    let data05 = datasets::cluster::<3>(max, 0.5, seed);
+    let mut t = Table::new("table2 PH bytes per entry, CLUSTER0.4 vs CLUSTER0.5, k=3", "10^6 entries");
+    for &n in &cps {
+        let mut cells = Vec::new();
+        for (name, data) in [("CLUSTER0.4", &data04), ("CLUSTER0.5", &data05)] {
+            let (mut idx, _) = load_timed::<Ph<3>, 3>(&data[..n]);
+            idx.finalize();
+            cells.push((name, Some(idx.memory_bytes() as f64 / idx.len() as f64)));
+        }
+        t.add_row(n as f64 / 1e6, &cells);
+    }
+    print!("{}", t.render_text());
+    ph_bench::write_csv("table2 cluster space", &t);
+}

@@ -1,0 +1,46 @@
+//! Table 3: number of PH-tree nodes (in thousands) for 10⁶ (scaled)
+//! 64-bit entries at varying dimensionality, for the CUBE, CLUSTER0.4
+//! and CLUSTER0.5 datasets — the node-count explosion of CLUSTER0.5 at
+//! high k (Sect. 4.3.6).
+//!
+//! Usage: `cargo run --release -p ph-bench --bin table3_nodes --
+//!         [--scale 0.1] [--seed 42]`
+
+use measure::{Cli, Table};
+use ph_bench::with_k;
+
+fn nodes_thousands<const K: usize>(name: &str, n: usize, seed: u64) -> f64 {
+    let data = ph_bench::make_dataset::<K>(name, n, seed);
+    let mut tree: phtree::PhTreeF64<(), K> = phtree::PhTreeF64::new();
+    for p in &data {
+        tree.insert(*p, ());
+    }
+    tree.stats().nodes as f64 / 1000.0
+}
+
+fn main() {
+    let cli = Cli::from_env();
+    let scale = cli.get_f64("scale", 0.1);
+    let seed = cli.get_u64("seed", 42);
+    let n = ((1_000_000_f64 * scale) as usize).max(10_000);
+    let ks = [2usize, 3, 5, 10, 15];
+    let mut t = Table::new(
+        &format!("table3 PH node count (thousands), n = {n}"),
+        "k",
+    );
+    for &k in &ks {
+        let cube = with_k!(k, nodes_thousands("cube", n, seed));
+        let cl04 = with_k!(k, nodes_thousands("cluster0.4", n, seed));
+        let cl05 = with_k!(k, nodes_thousands("cluster0.5", n, seed));
+        t.add_row(
+            k as f64,
+            &[
+                ("CUBE", Some(cube)),
+                ("CLUSTER0.4", Some(cl04)),
+                ("CLUSTER0.5", Some(cl05)),
+            ],
+        );
+    }
+    print!("{}", t.render_text());
+    ph_bench::write_csv("table3 nodes", &t);
+}

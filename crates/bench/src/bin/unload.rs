@@ -1,0 +1,67 @@
+//! Section 4.3.4 (unloading): delete time per entry vs. insert time per
+//! entry for all structures. The paper reports unloading results "very
+//! similar to tree loading, but a bit faster", with the PH-tree
+//! consistently ~10 % faster on deletes than inserts.
+//!
+//! Usage: `cargo run --release -p ph-bench --bin unload --
+//!         --dataset tiger|cube|cluster [--scale 0.02] [--seed 42]`
+
+use measure::{Cli, Table};
+use ph_bench::{load_timed, unload_timed, Cb1, Cb2, Index, Kd1, Kd2, Ph};
+
+fn pair<I: Index<K>, const K: usize>(data: &[[f64; K]], order: &[usize]) -> (f64, f64) {
+    let (mut idx, ins) = load_timed::<I, K>(data);
+    let shuffled: Vec<[f64; K]> = order.iter().map(|&i| data[i]).collect();
+    let del = unload_timed(&mut idx, &shuffled);
+    assert!(idx.is_empty(), "{} left entries behind", I::NAME);
+    (ins, del)
+}
+
+fn run<const K: usize>(title: &str, data: Vec<[f64; K]>, seed: u64) {
+    // Random removal order, deterministic.
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    let mut x = seed | 1;
+    for i in (1..order.len()).rev() {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        order.swap(i, (x as usize) % (i + 1));
+    }
+    let mut t = Table::new(title, "row#");
+    let (ins, del) = pair::<Ph<K>, K>(&data, &order);
+    t.add_row(1.0, &[("insert µs", Some(ins)), ("delete µs", Some(del)), ("delete/insert", Some(del / ins))]);
+    let (ins, del) = pair::<Kd1<K>, K>(&data, &order);
+    t.add_row(2.0, &[("insert µs", Some(ins)), ("delete µs", Some(del)), ("delete/insert", Some(del / ins))]);
+    let (ins, del) = pair::<Kd2<K>, K>(&data, &order);
+    t.add_row(3.0, &[("insert µs", Some(ins)), ("delete µs", Some(del)), ("delete/insert", Some(del / ins))]);
+    let (ins, del) = pair::<Cb1<K>, K>(&data, &order);
+    t.add_row(4.0, &[("insert µs", Some(ins)), ("delete µs", Some(del)), ("delete/insert", Some(del / ins))]);
+    let (ins, del) = pair::<Cb2<K>, K>(&data, &order);
+    t.add_row(5.0, &[("insert µs", Some(ins)), ("delete µs", Some(del)), ("delete/insert", Some(del / ins))]);
+    println!("rows: 1 = PH, 2 = KD1, 3 = KD2, 4 = CB1, 5 = CB2");
+    print!("{}", t.render_text());
+    ph_bench::write_csv(title, &t);
+}
+
+fn main() {
+    let cli = Cli::from_env();
+    let scale = cli.get_f64("scale", 0.02);
+    let seed = cli.get_u64("seed", 42);
+    let dataset = cli.get_str("dataset", "cube");
+    let n = ((10_000_000_f64 * scale) as usize).max(10_000);
+    match dataset.as_str() {
+        "tiger" => run::<2>(
+            "unload 2D TIGER-like, µs/entry",
+            datasets::dedup(datasets::tiger_like(n, seed)),
+            seed,
+        ),
+        "cube" => run::<3>("unload 3D CUBE, µs/entry", datasets::cube::<3>(n, seed), seed),
+        "cluster" => run::<3>(
+            "unload 3D CLUSTER, µs/entry",
+            datasets::cluster::<3>(n, 0.5, seed),
+            seed,
+        ),
+        other => {
+            eprintln!("unknown --dataset {other}; use tiger|cube|cluster");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! Shared harness for the per-figure reproduction binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! PH-tree paper; this library supplies the common pieces: a uniform
+//! [`Index`] adapter over all five structures (PH, KD1, KD2, CB1, CB2),
+//! dataset construction by name, and the sweep runners that time
+//! loading, point queries, range queries and unloading the way the
+//! paper's figures report them.
+//!
+//! All binaries accept:
+//!
+//! * `--scale <f>` — multiplies every entry count (default 0.02; use
+//!   `--scale 1` for the paper's full sizes if you have the RAM/time).
+//! * `--seed <u64>` — RNG seed (default 42).
+//! * `--queries <n>` — query count override where applicable.
+
+#![warn(missing_docs)]
+
+use phtree::key::point_to_key;
+use phtree::{PhTreeF64, ReprMode};
+
+/// Uniform adapter over every benchmarked structure. Values are `()` —
+/// like the paper, the point itself is the data.
+pub trait Index<const K: usize> {
+    /// Display name used in tables ("PH", "KD1", …).
+    const NAME: &'static str;
+
+    /// Creates an empty index.
+    fn new() -> Self;
+    /// Inserts a point.
+    fn insert(&mut self, p: &[f64; K]);
+    /// Point query.
+    fn get(&self, p: &[f64; K]) -> bool;
+    /// Removes a point; true if it was present.
+    fn remove(&mut self, p: &[f64; K]) -> bool;
+    /// Counts entries in the window (forces full result enumeration).
+    fn window_count(&self, min: &[f64; K], max: &[f64; K]) -> usize;
+    /// Number of stored points.
+    fn len(&self) -> usize;
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Exact structural heap bytes.
+    fn memory_bytes(&self) -> usize;
+    /// Post-load compaction (the paper's `System.gc()` analogue).
+    fn finalize(&mut self) {}
+}
+
+/// The PH-tree under test.
+pub struct Ph<const K: usize> {
+    tree: PhTreeF64<(), K>,
+}
+
+impl<const K: usize> Ph<K> {
+    /// Access to the wrapped tree (node statistics etc.).
+    pub fn tree(&self) -> &PhTreeF64<(), K> {
+        &self.tree
+    }
+
+    /// Creates a PH index with an explicit representation mode (for the
+    /// HC/LHC ablation).
+    pub fn with_mode(mode: ReprMode) -> Self {
+        Ph {
+            tree: PhTreeF64::with_mode(mode),
+        }
+    }
+}
+
+impl<const K: usize> Index<K> for Ph<K> {
+    const NAME: &'static str = "PH";
+
+    fn new() -> Self {
+        Ph {
+            tree: PhTreeF64::new(),
+        }
+    }
+    fn insert(&mut self, p: &[f64; K]) {
+        self.tree.insert(*p, ());
+    }
+    fn get(&self, p: &[f64; K]) -> bool {
+        self.tree.get(p).is_some()
+    }
+    fn remove(&mut self, p: &[f64; K]) -> bool {
+        self.tree.remove(p).is_some()
+    }
+    fn window_count(&self, min: &[f64; K], max: &[f64; K]) -> usize {
+        self.tree.query(min, max).count()
+    }
+    fn len(&self) -> usize {
+        self.tree.len()
+    }
+    fn memory_bytes(&self) -> usize {
+        self.tree.stats().total_bytes
+    }
+    fn finalize(&mut self) {
+        self.tree.shrink_to_fit();
+    }
+}
+
+/// KD1 baseline adapter.
+pub struct Kd1<const K: usize>(kdtree::KdTree1<(), K>);
+
+impl<const K: usize> Index<K> for Kd1<K> {
+    const NAME: &'static str = "KD1";
+
+    fn new() -> Self {
+        Kd1(kdtree::KdTree1::new())
+    }
+    fn insert(&mut self, p: &[f64; K]) {
+        self.0.insert(*p, ());
+    }
+    fn get(&self, p: &[f64; K]) -> bool {
+        self.0.get(p).is_some()
+    }
+    fn remove(&mut self, p: &[f64; K]) -> bool {
+        self.0.remove(p).is_some()
+    }
+    fn window_count(&self, min: &[f64; K], max: &[f64; K]) -> usize {
+        let mut n = 0;
+        self.0.window(min, max, &mut |_, _| n += 1);
+        n
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn memory_bytes(&self) -> usize {
+        self.0.memory_bytes()
+    }
+}
+
+/// KD2 baseline adapter.
+pub struct Kd2<const K: usize>(kdtree::KdTree2<(), K>);
+
+impl<const K: usize> Index<K> for Kd2<K> {
+    const NAME: &'static str = "KD2";
+
+    fn new() -> Self {
+        Kd2(kdtree::KdTree2::new())
+    }
+    fn insert(&mut self, p: &[f64; K]) {
+        self.0.insert(*p, ());
+    }
+    fn get(&self, p: &[f64; K]) -> bool {
+        self.0.get(p).is_some()
+    }
+    fn remove(&mut self, p: &[f64; K]) -> bool {
+        self.0.remove(p).is_some()
+    }
+    fn window_count(&self, min: &[f64; K], max: &[f64; K]) -> usize {
+        let mut n = 0;
+        self.0.window(min, max, &mut |_, _| n += 1);
+        n
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn memory_bytes(&self) -> usize {
+        self.0.memory_bytes()
+    }
+}
+
+/// CB1 baseline adapter (keys go through the paper's IEEE conversion).
+pub struct Cb1<const K: usize>(critbit::CritBit1<(), K>);
+
+impl<const K: usize> Index<K> for Cb1<K> {
+    const NAME: &'static str = "CB1";
+
+    fn new() -> Self {
+        Cb1(critbit::CritBit1::new())
+    }
+    fn insert(&mut self, p: &[f64; K]) {
+        self.0.insert(point_to_key(p), ());
+    }
+    fn get(&self, p: &[f64; K]) -> bool {
+        self.0.get(&point_to_key(p)).is_some()
+    }
+    fn remove(&mut self, p: &[f64; K]) -> bool {
+        self.0.remove(&point_to_key(p)).is_some()
+    }
+    fn window_count(&self, min: &[f64; K], max: &[f64; K]) -> usize {
+        let mut n = 0;
+        self.0
+            .window_scan(&point_to_key(min), &point_to_key(max), &mut |_, _| n += 1);
+        n
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn memory_bytes(&self) -> usize {
+        self.0.memory_bytes()
+    }
+}
+
+/// CB2 baseline adapter.
+pub struct Cb2<const K: usize>(critbit::CritBit2<(), K>);
+
+impl<const K: usize> Index<K> for Cb2<K> {
+    const NAME: &'static str = "CB2";
+
+    fn new() -> Self {
+        Cb2(critbit::CritBit2::new())
+    }
+    fn insert(&mut self, p: &[f64; K]) {
+        self.0.insert(point_to_key(p), ());
+    }
+    fn get(&self, p: &[f64; K]) -> bool {
+        self.0.get(&point_to_key(p)).is_some()
+    }
+    fn remove(&mut self, p: &[f64; K]) -> bool {
+        self.0.remove(&point_to_key(p)).is_some()
+    }
+    fn window_count(&self, min: &[f64; K], max: &[f64; K]) -> usize {
+        let mut n = 0;
+        self.0
+            .window_scan(&point_to_key(min), &point_to_key(max), &mut |_, _| n += 1);
+        n
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn memory_bytes(&self) -> usize {
+        self.0.memory_bytes()
+    }
+}
+
+/// Named dataset constructors for `--dataset` flags (k = const generic).
+pub fn make_dataset<const K: usize>(name: &str, n: usize, seed: u64) -> Vec<[f64; K]> {
+    match name {
+        "cube" => datasets::cube::<K>(n, seed),
+        "cluster" | "cluster0.5" => datasets::cluster::<K>(n, 0.5, seed),
+        "cluster0.4" => datasets::cluster::<K>(n, 0.4, seed),
+        other => panic!("unknown dataset {other:?} (use cube|cluster0.4|cluster0.5)"),
+    }
+}
+
+/// Scales a list of paper checkpoint sizes by `scale`, dropping
+/// checkpoints that fall below 1000 entries and deduplicating.
+pub fn scaled_checkpoints(base: &[usize], scale: f64) -> Vec<usize> {
+    let mut v: Vec<usize> = base
+        .iter()
+        .map(|&n| ((n as f64 * scale) as usize).max(1000))
+        .collect();
+    v.dedup();
+    v
+}
+
+/// Loads `data[..n]` into a fresh index, returning it with the average
+/// insertion time in µs/entry (the paper's Fig. 7 metric).
+pub fn load_timed<I: Index<K>, const K: usize>(data: &[[f64; K]]) -> (I, f64) {
+    let mut idx = I::new();
+    let (_, per) = measure::time_us_per(data.len(), || {
+        for p in data {
+            idx.insert(p);
+        }
+    });
+    (idx, per)
+}
+
+/// Runs point queries, returning µs/query (Fig. 8 metric).
+pub fn point_queries_timed<I: Index<K>, const K: usize>(idx: &I, queries: &[[f64; K]]) -> f64 {
+    let (hits, per) = measure::time_us_per(queries.len(), || {
+        let mut hits = 0usize;
+        for q in queries {
+            hits += idx.get(q) as usize;
+        }
+        hits
+    });
+    std::hint::black_box(hits);
+    per
+}
+
+/// Runs window queries, returning µs per *returned entry* (Fig. 9
+/// metric) and the total number of returned entries.
+pub fn range_queries_timed<I: Index<K>, const K: usize>(
+    idx: &I,
+    queries: &[([f64; K], [f64; K])],
+) -> (f64, usize) {
+    let (total, us) = measure::time_us(|| {
+        let mut total = 0usize;
+        for (min, max) in queries {
+            total += idx.window_count(min, max);
+        }
+        total
+    });
+    let per = if total == 0 { f64::NAN } else { us / total as f64 };
+    (per, total)
+}
+
+/// Removes every point of `data` (in the given order), returning
+/// µs/entry (Sect. 4.3.4 unloading metric).
+pub fn unload_timed<I: Index<K>, const K: usize>(idx: &mut I, data: &[[f64; K]]) -> f64 {
+    let (removed, per) = measure::time_us_per(data.len(), || {
+        let mut removed = 0usize;
+        for p in data {
+            removed += idx.remove(p) as usize;
+        }
+        removed
+    });
+    std::hint::black_box(removed);
+    per
+}
+
+/// Writes a table's CSV next to the binary outputs (`results/<slug>.csv`,
+/// slug derived from the title). Failures are reported, not fatal.
+pub fn write_csv(title: &str, table: &measure::Table) {
+    let slug: String = title
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect::<String>()
+        .split('_')
+        .filter(|s| !s.is_empty())
+        .collect::<Vec<_>>()
+        .join("_");
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("note: cannot create {dir:?}: {e}");
+        return;
+    }
+    let path = dir.join(format!("{slug}.csv"));
+    if let Err(e) = std::fs::write(&path, table.render_csv()) {
+        eprintln!("note: cannot write {path:?}: {e}");
+    } else {
+        eprintln!("csv: {}", path.display());
+    }
+}
+
+/// Dispatches a generic function over the paper's `k` values.
+///
+/// `$f` must be callable as `f::<K>(args…)` for K in 2..=15.
+#[macro_export]
+macro_rules! with_k {
+    ($k:expr, $f:ident ( $($args:expr),* $(,)? )) => {
+        match $k {
+            2 => $f::<2>($($args),*),
+            3 => $f::<3>($($args),*),
+            4 => $f::<4>($($args),*),
+            5 => $f::<5>($($args),*),
+            6 => $f::<6>($($args),*),
+            8 => $f::<8>($($args),*),
+            10 => $f::<10>($($args),*),
+            12 => $f::<12>($($args),*),
+            15 => $f::<15>($($args),*),
+            other => panic!("unsupported k = {other} (supported: 2,3,4,5,6,8,10,12,15)"),
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adapters_agree_on_small_workload() {
+        let data = datasets::cube::<3>(2000, 99);
+        fn check<I: Index<3>>(data: &[[f64; 3]]) -> (usize, usize) {
+            let (mut idx, _) = load_timed::<I, 3>(data);
+            idx.finalize();
+            let mut hits = 0;
+            for p in data.iter().step_by(7) {
+                assert!(idx.get(p), "{} lost {p:?}", I::NAME);
+                hits += 1;
+            }
+            let w = idx.window_count(&[0.2; 3], &[0.7; 3]);
+            assert!(idx.memory_bytes() > 0);
+            (w, hits)
+        }
+        let ph = check::<Ph<3>>(&data);
+        let kd1 = check::<Kd1<3>>(&data);
+        let kd2 = check::<Kd2<3>>(&data);
+        let cb1 = check::<Cb1<3>>(&data);
+        let cb2 = check::<Cb2<3>>(&data);
+        assert_eq!(ph, kd1);
+        assert_eq!(ph, kd2);
+        assert_eq!(ph, cb1);
+        assert_eq!(ph, cb2);
+    }
+
+    #[test]
+    fn unload_removes_everything() {
+        let data = datasets::cluster::<2>(3000, 0.5, 1);
+        let (mut idx, _) = load_timed::<Ph<2>, 2>(&data);
+        let n = idx.len();
+        assert!(n > 0);
+        unload_timed(&mut idx, &data);
+        assert!(idx.is_empty());
+        std::hint::black_box(n);
+    }
+
+    #[test]
+    fn checkpoints_scale_and_dedup() {
+        let cps = scaled_checkpoints(&[1_000_000, 5_000_000, 10_000_000], 0.001);
+        assert_eq!(cps, vec![1000, 5000, 10000]);
+        let tiny = scaled_checkpoints(&[1_000_000, 2_000_000], 1e-9);
+        assert_eq!(tiny, vec![1000]);
+    }
+
+    #[test]
+    fn with_k_dispatch() {
+        fn probe<const K: usize>() -> usize {
+            K
+        }
+        assert_eq!(with_k!(2, probe()), 2);
+        assert_eq!(with_k!(15, probe()), 15);
+    }
+}

@@ -1,0 +1,6 @@
+//! Placeholder main; the real entry points are the per-figure binaries
+//! in `src/bin/`.
+
+fn main() {
+    eprintln!("Use the per-figure binaries, e.g. `cargo run --release -p ph-bench --bin fig7_insert`.");
+}

@@ -1,0 +1,358 @@
+//! CB1: classic pointer-linked crit-bit tree over interleaved keys.
+
+use crate::morton::{deinterleave, first_diff_m, interleave, mbit};
+use crate::ALLOC_OVERHEAD;
+
+type Link<V, const K: usize> = Option<Box<Node<V, K>>>;
+
+enum Node<V, const K: usize> {
+    Leaf {
+        /// The key in materialised Morton (interleaved) form — the
+        /// paper's CB baselines store the interleaved bit string and
+        /// pay the O(w·k) conversion on every operation.
+        mkey: [u64; K],
+        value: V,
+    },
+    Inner {
+        /// Interleaved index of the first bit at which the two subtrees
+        /// differ; all keys below agree on bits `0..crit`.
+        crit: u32,
+        /// `children[0]` holds keys with bit `crit` = 0. Always `Some`;
+        /// the `Option` exists only so nodes can be moved without
+        /// placeholder values.
+        children: [Link<V, K>; 2],
+    },
+}
+
+/// A binary PATRICIA trie over the interleaved bit-string of `[u64; K]`
+/// keys (the paper's "CB1").
+///
+/// ```
+/// use critbit::CritBit1;
+///
+/// let mut t: CritBit1<u32, 2> = CritBit1::new();
+/// t.insert([1, 2], 1);
+/// t.insert([1, 3], 2);
+/// assert_eq!(t.get(&[1, 3]), Some(&2));
+/// assert_eq!(t.remove(&[1, 2]), Some(1));
+/// assert_eq!(t.len(), 1);
+/// ```
+pub struct CritBit1<V, const K: usize> {
+    root: Link<V, K>,
+    len: usize,
+}
+
+impl<V, const K: usize> Default for CritBit1<V, K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V, const K: usize> CritBit1<V, K> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        assert!(K >= 1);
+        CritBit1 { root: None, len: 0 }
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Walks to the leaf the crit bits select for morton key `m`.
+    fn walk<'t>(&'t self, m: &[u64; K]) -> Option<(&'t [u64; K], &'t V)> {
+        let mut n = self.root.as_deref()?;
+        loop {
+            match n {
+                Node::Leaf { mkey, value } => return Some((mkey, value)),
+                Node::Inner { crit, children } => {
+                    n = children[mbit(m, *crit) as usize]
+                        .as_deref()
+                        .expect("inner children are always populated");
+                }
+            }
+        }
+    }
+
+    /// Point query (pays the O(w·k) interleaving, like the paper's
+    /// setup).
+    pub fn get(&self, key: &[u64; K]) -> Option<&V> {
+        let m = interleave(key);
+        match self.walk(&m)? {
+            (k, value) if *k == m => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Whether `key` is stored.
+    pub fn contains(&self, key: &[u64; K]) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts `key → value`, returning the previous value if present.
+    pub fn insert(&mut self, key: [u64; K], value: V) -> Option<V> {
+        let m = interleave(&key);
+        if self.root.is_none() {
+            self.root = Some(Box::new(Node::Leaf { mkey: m, value }));
+            self.len = 1;
+            return None;
+        }
+        // Pass 1: find the best-matching leaf and the diverging bit.
+        let (leaf_key, _) = self.walk(&m).expect("non-empty");
+        let crit = match first_diff_m(&m, leaf_key) {
+            None => {
+                // Exact match: replace the value in place.
+                let mut n = self.root.as_deref_mut().expect("non-empty");
+                loop {
+                    match n {
+                        Node::Leaf { value: v, .. } => {
+                            return Some(std::mem::replace(v, value));
+                        }
+                        Node::Inner { crit, children } => {
+                            n = children[mbit(&m, *crit) as usize]
+                                .as_deref_mut()
+                                .expect("inner children are always populated");
+                        }
+                    }
+                }
+            }
+            Some(c) => c,
+        };
+        // Pass 2: descend while inner crits come before ours, then
+        // splice a new inner node at that link.
+        let mut link: &mut Link<V, K> = &mut self.root;
+        loop {
+            let descend = matches!(link.as_deref(), Some(Node::Inner { crit: c, .. }) if *c < crit);
+            if !descend {
+                break;
+            }
+            let Some(Node::Inner { crit: c, children }) = link.as_deref_mut() else {
+                unreachable!()
+            };
+            let side = mbit(&m, *c) as usize;
+            link = &mut children[side];
+        }
+        let bit = mbit(&m, crit) as usize;
+        let old = link.take().expect("links on the search path are populated");
+        let new_leaf = Box::new(Node::Leaf { mkey: m, value });
+        let children = if bit == 1 {
+            [Some(old), Some(new_leaf)]
+        } else {
+            [Some(new_leaf), Some(old)]
+        };
+        *link = Some(Box::new(Node::Inner { crit, children }));
+        self.len += 1;
+        None
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&mut self, key: &[u64; K]) -> Option<V> {
+        let m = interleave(key);
+        match self.root.as_deref() {
+            None => return None,
+            Some(Node::Leaf { mkey, .. }) => {
+                if *mkey != m {
+                    return None;
+                }
+                let Some(boxed) = self.root.take() else {
+                    unreachable!()
+                };
+                let Node::Leaf { value, .. } = *boxed else {
+                    unreachable!()
+                };
+                self.len = 0;
+                return Some(value);
+            }
+            Some(Node::Inner { .. }) => {}
+        }
+        let v = Self::remove_rec(&mut self.root, &m)?;
+        self.len -= 1;
+        Some(v)
+    }
+
+    /// `link` must point at an inner node; removes the matching leaf
+    /// below it, collapsing its parent into the sibling.
+    fn remove_rec(link: &mut Link<V, K>, m: &[u64; K]) -> Option<V> {
+        enum Act {
+            Descend(usize),
+            TakeLeaf(usize),
+            NotFound,
+        }
+        let act = match link.as_deref() {
+            Some(Node::Inner { crit, children }) => {
+                let side = mbit(m, *crit) as usize;
+                match children[side].as_deref() {
+                    Some(Node::Leaf { mkey, .. }) => {
+                        if mkey[..] == m[..] {
+                            Act::TakeLeaf(side)
+                        } else {
+                            Act::NotFound
+                        }
+                    }
+                    Some(Node::Inner { .. }) => Act::Descend(side),
+                    None => unreachable!("inner children are always populated"),
+                }
+            }
+            _ => Act::NotFound,
+        };
+        match act {
+            Act::NotFound => None,
+            Act::Descend(side) => {
+                let Some(Node::Inner { children, .. }) = link.as_deref_mut() else {
+                    unreachable!()
+                };
+                Self::remove_rec(&mut children[side], m)
+            }
+            Act::TakeLeaf(side) => {
+                let old = link.take().expect("checked above");
+                let Node::Inner { mut children, .. } = *old else {
+                    unreachable!()
+                };
+                let leaf = children[side].take().expect("populated");
+                let sibling = children[1 - side].take().expect("populated");
+                *link = Some(sibling);
+                let Node::Leaf { value, .. } = *leaf else {
+                    unreachable!()
+                };
+                Some(value)
+            }
+        }
+    }
+
+    /// Visits every entry in interleaved-key order, de-interleaving
+    /// each key for the callback (used by the unloading benchmark and
+    /// the guarded range scan — the per-leaf O(w·k) conversion is part
+    /// of why range scans over interleaved tries are slow).
+    pub fn for_each(&self, visit: &mut dyn FnMut(&[u64; K], &V)) {
+        fn walk<V, const K: usize>(n: &Node<V, K>, visit: &mut dyn FnMut(&[u64; K], &V)) {
+            match n {
+                Node::Leaf { mkey, value } => visit(&deinterleave(mkey), value),
+                Node::Inner { children, .. } => {
+                    walk(children[0].as_deref().expect("populated"), visit);
+                    walk(children[1].as_deref().expect("populated"), visit);
+                }
+            }
+        }
+        if let Some(r) = self.root.as_deref() {
+            walk(r, visit);
+        }
+    }
+
+    /// Window "query": a scan over the trie. As the paper observes for
+    /// the available crit-bit implementations, range queries over
+    /// interleaved keys approach O(n) — this method exists to measure
+    /// exactly that.
+    pub fn window_scan(
+        &self,
+        min: &[u64; K],
+        max: &[u64; K],
+        visit: &mut dyn FnMut(&[u64; K], &V),
+    ) {
+        self.for_each(&mut |k, v| {
+            if (0..K).all(|d| min[d] <= k[d] && k[d] <= max[d]) {
+                visit(k, v);
+            }
+        });
+    }
+
+    /// Heap bytes: `len` leaves and `len − 1` inner nodes, each one
+    /// boxed allocation.
+    pub fn memory_bytes(&self) -> usize {
+        if self.len == 0 {
+            return 0;
+        }
+        let per_node = std::mem::size_of::<Node<V, K>>() + ALLOC_OVERHEAD;
+        (2 * self.len - 1) * per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: u64) -> Vec<[u64; 2]> {
+        let mut x = 31u64;
+        (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                [x % 4096, (x >> 30) % 4096]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn insert_get_replace_remove() {
+        let mut t: CritBit1<u32, 2> = CritBit1::new();
+        assert_eq!(t.insert([5, 6], 1), None);
+        assert_eq!(t.insert([5, 6], 2), Some(1));
+        assert_eq!(t.insert([5, 7], 3), None);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&[5, 6]), Some(&2));
+        assert_eq!(t.get(&[6, 5]), None);
+        assert_eq!(t.remove(&[5, 6]), Some(2));
+        assert_eq!(t.remove(&[5, 6]), None);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&[5, 7]), Some(&3));
+        assert_eq!(t.remove(&[5, 7]), Some(3));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn bulk_model_check() {
+        let mut t: CritBit1<usize, 2> = CritBit1::new();
+        let mut model = std::collections::BTreeMap::new();
+        let ks = keys(3000);
+        for (i, k) in ks.iter().enumerate() {
+            assert_eq!(t.insert(*k, i), model.insert(*k, i));
+        }
+        assert_eq!(t.len(), model.len());
+        for k in ks.iter().step_by(3) {
+            assert_eq!(t.remove(k), model.remove(k));
+        }
+        assert_eq!(t.len(), model.len());
+        for k in &ks {
+            assert_eq!(t.get(k), model.get(k));
+        }
+        let mut count = 0;
+        t.for_each(&mut |_, _| count += 1);
+        assert_eq!(count, model.len());
+    }
+
+    #[test]
+    fn window_scan_filters_correctly() {
+        let mut t: CritBit1<(), 2> = CritBit1::new();
+        let ks = keys(500);
+        for k in &ks {
+            t.insert(*k, ());
+        }
+        let (min, max) = ([100u64, 100], [2000u64, 3000]);
+        let mut got = Vec::new();
+        t.window_scan(&min, &max, &mut |k, _| got.push(*k));
+        got.sort();
+        let mut want: Vec<[u64; 2]> = ks
+            .iter()
+            .filter(|k| (0..2).all(|d| min[d] <= k[d] && k[d] <= max[d]))
+            .copied()
+            .collect();
+        want.sort();
+        want.dedup();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn extreme_keys() {
+        let mut t: CritBit1<u8, 1> = CritBit1::new();
+        for (i, k) in [0u64, u64::MAX, 1 << 63, (1 << 63) - 1].iter().enumerate() {
+            t.insert([*k], i as u8);
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.get(&[u64::MAX]), Some(&1));
+        assert_eq!(t.get(&[(1 << 63) - 1]), Some(&3));
+    }
+}

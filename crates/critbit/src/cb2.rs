@@ -1,0 +1,412 @@
+//! CB2: arena-based crit-bit tree with index links and free lists.
+//!
+//! Same algorithm as [`crate::CritBit1`], different engineering: all
+//! inner nodes live in one vector and all leaves in another, linked by
+//! 32-bit indices. Two large allocations instead of `2n − 1` boxes —
+//! lower bytes/entry and better locality, the same spread the paper
+//! reports between its CB1 and CB2 libraries.
+
+use crate::morton::{deinterleave, first_diff_m, interleave, mbit};
+use crate::ALLOC_OVERHEAD;
+
+/// Child reference: leaves are encoded as `!leaf_index`, inner nodes as
+/// the index itself. (`i32`-style encoding in a `u32`.)
+type Ref = u32;
+
+#[inline]
+fn is_leaf(r: Ref) -> bool {
+    r & (1 << 31) != 0
+}
+
+#[inline]
+fn leaf_ref(i: usize) -> Ref {
+    (i as u32) | (1 << 31)
+}
+
+#[inline]
+fn leaf_idx(r: Ref) -> usize {
+    (r & !(1 << 31)) as usize
+}
+
+const NONE: Ref = !(1 << 31); // inner sentinel never allocated
+
+struct Inner {
+    crit: u32,
+    children: [Ref; 2],
+}
+
+struct Leaf<V, const K: usize> {
+    /// The key in materialised Morton (interleaved) form.
+    mkey: [u64; K],
+    value: Option<V>, // None = free-list slot
+    next_free: u32,
+}
+
+/// An arena-allocated binary PATRICIA trie over interleaved `[u64; K]`
+/// keys (the paper's "CB2").
+///
+/// ```
+/// use critbit::CritBit2;
+///
+/// let mut t: CritBit2<u32, 3> = CritBit2::new();
+/// t.insert([1, 2, 3], 7);
+/// t.insert([1, 2, 4], 8);
+/// assert_eq!(t.get(&[1, 2, 4]), Some(&8));
+/// assert_eq!(t.remove(&[1, 2, 3]), Some(7));
+/// ```
+pub struct CritBit2<V, const K: usize> {
+    inners: Vec<Inner>,
+    leaves: Vec<Leaf<V, K>>,
+    root: Ref,
+    len: usize,
+    free_inner: u32,
+    free_leaf: u32,
+}
+
+const FREE_END: u32 = u32::MAX;
+
+impl<V, const K: usize> Default for CritBit2<V, K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V, const K: usize> CritBit2<V, K> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        assert!(K >= 1);
+        CritBit2 {
+            inners: Vec::new(),
+            leaves: Vec::new(),
+            root: NONE,
+            len: 0,
+            free_inner: FREE_END,
+            free_leaf: FREE_END,
+        }
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn alloc_leaf(&mut self, mkey: [u64; K], value: V) -> Ref {
+        if self.free_leaf != FREE_END {
+            let i = self.free_leaf as usize;
+            self.free_leaf = self.leaves[i].next_free;
+            self.leaves[i].mkey = mkey;
+            self.leaves[i].value = Some(value);
+            leaf_ref(i)
+        } else {
+            self.leaves.push(Leaf {
+                mkey,
+                value: Some(value),
+                next_free: FREE_END,
+            });
+            leaf_ref(self.leaves.len() - 1)
+        }
+    }
+
+    fn free_leaf_slot(&mut self, i: usize) -> V {
+        let v = self.leaves[i].value.take().expect("double free");
+        self.leaves[i].next_free = self.free_leaf;
+        self.free_leaf = i as u32;
+        v
+    }
+
+    fn alloc_inner(&mut self, crit: u32, children: [Ref; 2]) -> Ref {
+        if self.free_inner != FREE_END {
+            let i = self.free_inner as usize;
+            self.free_inner = self.inners[i].children[0];
+            self.inners[i] = Inner { crit, children };
+            i as Ref
+        } else {
+            self.inners.push(Inner { crit, children });
+            (self.inners.len() - 1) as Ref
+        }
+    }
+
+    fn free_inner_slot(&mut self, i: usize) {
+        self.inners[i].children = [self.free_inner, NONE];
+        self.inners[i].crit = u32::MAX;
+        self.free_inner = i as u32;
+    }
+
+    /// Walks to the leaf selected by the crit bits of morton key `m`.
+    fn walk_leaf(&self, m: &[u64; K]) -> Option<usize> {
+        if self.root == NONE {
+            return None;
+        }
+        let mut r = self.root;
+        while !is_leaf(r) {
+            let n = &self.inners[r as usize];
+            r = n.children[mbit(m, n.crit) as usize];
+        }
+        Some(leaf_idx(r))
+    }
+
+    /// Point query (pays the O(w·k) interleaving, like the paper's
+    /// setup).
+    pub fn get(&self, key: &[u64; K]) -> Option<&V> {
+        let m = interleave(key);
+        let i = self.walk_leaf(&m)?;
+        let l = &self.leaves[i];
+        if l.mkey == m {
+            l.value.as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// Whether `key` is stored.
+    pub fn contains(&self, key: &[u64; K]) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts `key → value`, returning the previous value if present.
+    pub fn insert(&mut self, key: [u64; K], value: V) -> Option<V> {
+        let m = interleave(&key);
+        let Some(nearest) = self.walk_leaf(&m) else {
+            self.root = self.alloc_leaf(m, value);
+            self.len = 1;
+            return None;
+        };
+        let crit = match first_diff_m(&m, &self.leaves[nearest].mkey) {
+            None => {
+                return self.leaves[nearest].value.replace(value);
+            }
+            Some(c) => c,
+        };
+        // Descend to the splice point: the first link whose target is a
+        // leaf or an inner with crit > ours.
+        let bit = mbit(&m, crit) as usize;
+        let new_leaf = self.alloc_leaf(m, value);
+        // Find the link to replace. Track (parent_inner, side); parent
+        // NONE means root.
+        let mut parent: Ref = NONE;
+        let mut side = 0usize;
+        let mut cur = self.root;
+        while !is_leaf(cur) && self.inners[cur as usize].crit < crit {
+            let n = &self.inners[cur as usize];
+            parent = cur;
+            side = mbit(&m, n.crit) as usize;
+            cur = n.children[side];
+        }
+        let children = if bit == 1 {
+            [cur, new_leaf]
+        } else {
+            [new_leaf, cur]
+        };
+        let inner = self.alloc_inner(crit, children);
+        if parent == NONE {
+            self.root = inner;
+        } else {
+            self.inners[parent as usize].children[side] = inner;
+        }
+        self.len += 1;
+        None
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&mut self, key: &[u64; K]) -> Option<V> {
+        let m = interleave(key);
+        if self.root == NONE {
+            return None;
+        }
+        if is_leaf(self.root) {
+            let i = leaf_idx(self.root);
+            if self.leaves[i].mkey != m {
+                return None;
+            }
+            let v = self.free_leaf_slot(i);
+            self.root = NONE;
+            self.len = 0;
+            return Some(v);
+        }
+        // Walk with grandparent tracking.
+        let mut grand: Ref = NONE;
+        let mut grand_side = 0usize;
+        let mut parent = self.root;
+        loop {
+            let n = &self.inners[parent as usize];
+            let side = mbit(&m, n.crit) as usize;
+            let child = n.children[side];
+            if is_leaf(child) {
+                let li = leaf_idx(child);
+                if self.leaves[li].mkey != m {
+                    return None;
+                }
+                let sibling = n.children[1 - side];
+                if grand == NONE {
+                    self.root = sibling;
+                } else {
+                    self.inners[grand as usize].children[grand_side] = sibling;
+                }
+                self.free_inner_slot(parent as usize);
+                let v = self.free_leaf_slot(li);
+                self.len -= 1;
+                return Some(v);
+            }
+            grand = parent;
+            grand_side = side;
+            parent = child;
+        }
+    }
+
+    /// Visits every entry in interleaved-key order.
+    pub fn for_each(&self, visit: &mut dyn FnMut(&[u64; K], &V)) {
+        if self.root == NONE {
+            return;
+        }
+        let mut stack = vec![self.root];
+        while let Some(r) = stack.pop() {
+            if is_leaf(r) {
+                let l = &self.leaves[leaf_idx(r)];
+                visit(&deinterleave(&l.mkey), l.value.as_ref().expect("live leaf"));
+            } else {
+                let n = &self.inners[r as usize];
+                stack.push(n.children[1]);
+                stack.push(n.children[0]);
+            }
+        }
+    }
+
+    /// Window "query" by guarded scan (see [`crate::CritBit1::window_scan`]).
+    pub fn window_scan(
+        &self,
+        min: &[u64; K],
+        max: &[u64; K],
+        visit: &mut dyn FnMut(&[u64; K], &V),
+    ) {
+        self.for_each(&mut |k, v| {
+            if (0..K).all(|d| min[d] <= k[d] && k[d] <= max[d]) {
+                visit(k, v);
+            }
+        });
+    }
+
+    /// Heap bytes: the two arena allocations (including free-list slack).
+    pub fn memory_bytes(&self) -> usize {
+        let mut b = 0;
+        if self.inners.capacity() > 0 {
+            b += self.inners.capacity() * std::mem::size_of::<Inner>() + ALLOC_OVERHEAD;
+        }
+        if self.leaves.capacity() > 0 {
+            b += self.leaves.capacity() * std::mem::size_of::<Leaf<V, K>>() + ALLOC_OVERHEAD;
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: u64) -> Vec<[u64; 3]> {
+        let mut x = 131u64;
+        (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                [x % 512, (x >> 20) % 512, (x >> 40) % 512]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn basic_ops() {
+        let mut t: CritBit2<u32, 3> = CritBit2::new();
+        assert_eq!(t.insert([0, 0, 0], 1), None);
+        assert_eq!(t.insert([0, 0, 0], 2), Some(1));
+        assert_eq!(t.insert([0, 0, 1], 3), None);
+        assert_eq!(t.get(&[0, 0, 0]), Some(&2));
+        assert_eq!(t.remove(&[0, 0, 0]), Some(2));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&[0, 0, 1]), Some(&3));
+    }
+
+    #[test]
+    fn model_check_with_freelist_reuse() {
+        let mut t: CritBit2<usize, 3> = CritBit2::new();
+        let mut model = std::collections::BTreeMap::new();
+        let ks = keys(2500);
+        for (i, k) in ks.iter().enumerate() {
+            assert_eq!(t.insert(*k, i), model.insert(*k, i));
+        }
+        // Remove and re-add interleaved to exercise the free lists.
+        for (round, k) in ks.iter().enumerate() {
+            if round % 2 == 0 {
+                assert_eq!(t.remove(k), model.remove(k));
+            } else {
+                let v = round * 10;
+                assert_eq!(t.insert(*k, v), model.insert(*k, v));
+            }
+        }
+        assert_eq!(t.len(), model.len());
+        for k in &ks {
+            assert_eq!(t.get(k), model.get(k));
+        }
+        let mut n = 0;
+        t.for_each(&mut |k, v| {
+            assert_eq!(model.get(k), Some(v));
+            n += 1;
+        });
+        assert_eq!(n, model.len());
+    }
+
+    #[test]
+    fn agrees_with_cb1() {
+        let ks = keys(1000);
+        let mut a: crate::CritBit1<usize, 3> = crate::CritBit1::new();
+        let mut b: CritBit2<usize, 3> = CritBit2::new();
+        for (i, k) in ks.iter().enumerate() {
+            assert_eq!(a.insert(*k, i), b.insert(*k, i));
+        }
+        for k in ks.iter().step_by(7) {
+            assert_eq!(a.remove(k), b.remove(k));
+        }
+        assert_eq!(a.len(), b.len());
+        for k in &ks {
+            assert_eq!(a.get(k), b.get(k));
+        }
+    }
+
+    #[test]
+    fn cb2_uses_less_memory_than_cb1() {
+        let ks = keys(2000);
+        let mut a: crate::CritBit1<u64, 3> = crate::CritBit1::new();
+        let mut b: CritBit2<u64, 3> = CritBit2::new();
+        for (i, k) in ks.iter().enumerate() {
+            a.insert(*k, i as u64);
+            b.insert(*k, i as u64);
+        }
+        assert!(
+            b.memory_bytes() < a.memory_bytes(),
+            "CB2 {} should be below CB1 {}",
+            b.memory_bytes(),
+            a.memory_bytes()
+        );
+    }
+
+    #[test]
+    fn remove_everything_then_reinsert() {
+        let mut t: CritBit2<(), 3> = CritBit2::new();
+        let ks = keys(300);
+        let uniq: std::collections::BTreeSet<_> = ks.iter().copied().collect();
+        for k in &ks {
+            t.insert(*k, ());
+        }
+        for k in &uniq {
+            assert_eq!(t.remove(k), Some(()));
+        }
+        assert!(t.is_empty());
+        for k in &ks {
+            t.insert(*k, ());
+        }
+        assert_eq!(t.len(), uniq.len());
+    }
+}

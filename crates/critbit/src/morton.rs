@@ -1,0 +1,112 @@
+//! Morton (z-order) interleaving of multi-dimensional keys.
+//!
+//! The paper's crit-bit baselines store each `k`-dimensional key as a
+//! single interleaved bit string ("we interleaved the k values of each
+//! entry into a single bit-stream", Sect. 4.1) using the naive O(w·k)
+//! per-bit algorithm. This module provides exactly that: every insert
+//! and every query pays the interleaving cost, which is the source of
+//! the linear-in-k scaling the paper reports for CB trees.
+
+/// Interleaves a `K`-dimensional key into `K` words of Morton order:
+/// interleaved bit `i` (0 = most significant, = bit 63 of dimension 0)
+/// is stored at `out[i / 64]`, bit position `63 - i % 64`.
+///
+/// Deliberately the naive per-bit O(w·k) algorithm the paper describes.
+///
+/// ```
+/// let m = critbit::morton::interleave(&[1u64 << 63, 0]);
+/// assert_eq!(m[0] >> 63, 1); // dim-0 MSB is interleaved bit 0
+/// let m = critbit::morton::interleave(&[0, 1u64 << 63]);
+/// assert_eq!((m[0] >> 62) & 1, 1); // dim-1 MSB is interleaved bit 1
+/// ```
+pub fn interleave<const K: usize>(key: &[u64; K]) -> [u64; K] {
+    let mut out = [0u64; K];
+    for bit in 0..64u32 {
+        for (d, &v) in key.iter().enumerate() {
+            let i = bit as usize * K + d;
+            let b = (v >> (63 - bit)) & 1;
+            out[i / 64] |= b << (63 - (i % 64) as u32);
+        }
+    }
+    out
+}
+
+/// Inverse of [`interleave`].
+pub fn deinterleave<const K: usize>(m: &[u64; K]) -> [u64; K] {
+    let mut out = [0u64; K];
+    for bit in 0..64u32 {
+        for (d, v) in out.iter_mut().enumerate() {
+            let i = bit as usize * K + d;
+            let b = (m[i / 64] >> (63 - (i % 64) as u32)) & 1;
+            *v |= b << (63 - bit);
+        }
+    }
+    out
+}
+
+/// Bit `i` of a materialised Morton string (0 = most significant).
+#[inline]
+pub fn mbit(m: &[u64], i: u32) -> u64 {
+    (m[(i / 64) as usize] >> (63 - i % 64)) & 1
+}
+
+/// Index of the first differing bit between two Morton strings, or
+/// `None` if equal. Word-wise lexicographic scan.
+#[inline]
+pub fn first_diff_m(a: &[u64], b: &[u64]) -> Option<u32> {
+    for (w, (&x, &y)) in a.iter().zip(b).enumerate() {
+        let d = x ^ y;
+        if d != 0 {
+            return Some(w as u32 * 64 + d.leading_zeros());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ibit;
+
+    #[test]
+    fn roundtrip() {
+        let keys: [[u64; 3]; 4] = [
+            [0, 0, 0],
+            [u64::MAX, 0, u64::MAX],
+            [0xDEAD_BEEF, 0x0123_4567_89AB_CDEF, 42],
+            [1 << 63, 1, 1 << 32],
+        ];
+        for k in &keys {
+            assert_eq!(deinterleave(&interleave(k)), *k);
+        }
+    }
+
+    #[test]
+    fn mbit_matches_lazy_ibit() {
+        let key = [0xAAAA_5555_0F0F_F0F0u64, 0x1234_5678_9ABC_DEF0];
+        let m = interleave(&key);
+        for i in 0..128 {
+            assert_eq!(mbit(&m, i), ibit(&key, i), "bit {i}");
+        }
+    }
+
+    #[test]
+    fn first_diff_consistent_with_lazy() {
+        let a = [5u64, 9, 1 << 40];
+        let b = [5u64, 9, (1 << 40) | (1 << 13)];
+        let (ma, mb) = (interleave(&a), interleave(&b));
+        assert_eq!(first_diff_m(&ma, &mb), crate::first_diff(&a, &b));
+        assert_eq!(first_diff_m(&ma, &ma), None);
+    }
+
+    #[test]
+    fn morton_order_is_z_order() {
+        // Interleaved comparison sorts by the Z-order curve.
+        let pts = [[0u64, 0], [0, 1], [1, 0], [1, 1], [0, 2], [2, 0], [3, 3]];
+        let mut by_morton: Vec<[u64; 2]> = pts.to_vec();
+        by_morton.sort_by_key(interleave);
+        let mut by_lazy: Vec<[u64; 2]> = pts.to_vec();
+        by_lazy.sort_by_key(|p| (0..128).map(|i| ibit(p, i)).collect::<Vec<_>>());
+        assert_eq!(by_morton, by_lazy);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests: both crit-bit variants against a BTreeMap model.
+
+use critbit::{CritBit1, CritBit2};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn key_strategy() -> impl Strategy<Value = [u64; 2]> {
+    prop_oneof![
+        [0u64..32, 0u64..32],
+        [any::<u64>(), any::<u64>()],
+        [0u32..64, 0u32..64].prop_map(|k| k.map(|b| 1u64 << b)),
+    ]
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert([u64; 2], u32),
+    Remove([u64; 2]),
+    Get([u64; 2]),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (key_strategy(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        2 => key_strategy().prop_map(Op::Remove),
+        1 => key_strategy().prop_map(Op::Get),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn cb1_and_cb2_match_model(ops in proptest::collection::vec(op_strategy(), 1..150)) {
+        let mut c1: CritBit1<u32, 2> = CritBit1::new();
+        let mut c2: CritBit2<u32, 2> = CritBit2::new();
+        let mut model: BTreeMap<[u64; 2], u32> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    let want = model.insert(k, v);
+                    prop_assert_eq!(c1.insert(k, v), want);
+                    prop_assert_eq!(c2.insert(k, v), want);
+                }
+                Op::Remove(k) => {
+                    let want = model.remove(&k);
+                    prop_assert_eq!(c1.remove(&k), want);
+                    prop_assert_eq!(c2.remove(&k), want);
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(c1.get(&k), model.get(&k));
+                    prop_assert_eq!(c2.get(&k), model.get(&k));
+                }
+            }
+            prop_assert_eq!(c1.len(), model.len());
+            prop_assert_eq!(c2.len(), model.len());
+        }
+        // Enumeration returns exactly the model's contents.
+        let mut got1 = Vec::new();
+        c1.for_each(&mut |k, v| got1.push((*k, *v)));
+        got1.sort();
+        let mut got2 = Vec::new();
+        c2.for_each(&mut |k, v| got2.push((*k, *v)));
+        got2.sort();
+        let want: Vec<([u64; 2], u32)> = model.into_iter().collect();
+        prop_assert_eq!(&got1, &want);
+        prop_assert_eq!(&got2, &want);
+    }
+
+    /// Crit-bit enumeration order equals interleaved (Morton) key order,
+    /// since the trie is a radix tree over the interleaved bit-string.
+    #[test]
+    fn cb1_enumeration_is_morton_ordered(keys in proptest::collection::btree_set(key_strategy(), 1..80)) {
+        let mut c1: CritBit1<(), 2> = CritBit1::new();
+        for k in &keys {
+            c1.insert(*k, ());
+        }
+        let mut got = Vec::new();
+        c1.for_each(&mut |k, _| got.push(*k));
+        fn morton(k: &[u64; 2]) -> Vec<u64> {
+            // Compare via interleaved bits, MSB first.
+            (0..128).map(|i| critbit::ibit(k, i)).collect()
+        }
+        let mut want: Vec<[u64; 2]> = keys.iter().copied().collect();
+        want.sort_by_key(morton);
+        prop_assert_eq!(got, want);
+    }
+}

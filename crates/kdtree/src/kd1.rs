@@ -1,0 +1,393 @@
+//! KD1: a classic pointer-linked kD-tree (Bentley 1975).
+//!
+//! Inner nodes carry points; the split axis cycles round-robin with the
+//! depth. The structure depends on insertion order and is not
+//! rebalanced; deletion uses the textbook minimum-extraction algorithm.
+
+use crate::ALLOC_OVERHEAD;
+
+struct Node<V, const K: usize> {
+    point: [f64; K],
+    value: V,
+    left: Option<Box<Node<V, K>>>,
+    right: Option<Box<Node<V, K>>>,
+}
+
+/// A classic kD-tree over `K`-dimensional `f64` points.
+///
+/// Duplicate points are not stored; inserting an existing point replaces
+/// its value (matching the PH-tree's map semantics so
+/// benchmark workloads are identical).
+///
+/// # Example
+///
+/// ```
+/// use kdtree::KdTree1;
+///
+/// let mut t: KdTree1<u32, 2> = KdTree1::new();
+/// t.insert([1.0, 2.0], 1);
+/// t.insert([3.0, 1.0], 2);
+/// assert_eq!(t.get(&[3.0, 1.0]), Some(&2));
+/// let mut hits = Vec::new();
+/// t.window(&[0.0, 0.0], &[2.0, 3.0], &mut |p, _| hits.push(p));
+/// assert_eq!(hits, vec![[1.0, 2.0]]);
+/// ```
+pub struct KdTree1<V, const K: usize> {
+    root: Option<Box<Node<V, K>>>,
+    len: usize,
+}
+
+impl<V, const K: usize> Default for KdTree1<V, K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V, const K: usize> KdTree1<V, K> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        assert!(K >= 1);
+        KdTree1 { root: None, len: 0 }
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `point → value`, returning the previous value if the
+    /// point was already present.
+    pub fn insert(&mut self, point: [f64; K], value: V) -> Option<V> {
+        let mut link = &mut self.root;
+        let mut depth = 0usize;
+        loop {
+            match link {
+                None => {
+                    *link = Some(Box::new(Node {
+                        point,
+                        value,
+                        left: None,
+                        right: None,
+                    }));
+                    self.len += 1;
+                    return None;
+                }
+                Some(n) => {
+                    if n.point == point {
+                        return Some(std::mem::replace(&mut n.value, value));
+                    }
+                    let axis = depth % K;
+                    link = if point[axis] < n.point[axis] {
+                        &mut n.left
+                    } else {
+                        &mut n.right
+                    };
+                    depth += 1;
+                }
+            }
+        }
+    }
+
+    /// Point query.
+    pub fn get(&self, point: &[f64; K]) -> Option<&V> {
+        let mut node = self.root.as_deref();
+        let mut depth = 0usize;
+        while let Some(n) = node {
+            if n.point == *point {
+                return Some(&n.value);
+            }
+            let axis = depth % K;
+            node = if point[axis] < n.point[axis] {
+                n.left.as_deref()
+            } else {
+                n.right.as_deref()
+            };
+            depth += 1;
+        }
+        None
+    }
+
+    /// Whether `point` is stored.
+    pub fn contains(&self, point: &[f64; K]) -> bool {
+        self.get(point).is_some()
+    }
+
+    /// Removes `point`, returning its value if present.
+    pub fn remove(&mut self, point: &[f64; K]) -> Option<V> {
+        let v = Self::remove_rec(&mut self.root, point, 0);
+        if v.is_some() {
+            self.len -= 1;
+        }
+        v
+    }
+
+    fn remove_rec(
+        link: &mut Option<Box<Node<V, K>>>,
+        point: &[f64; K],
+        depth: usize,
+    ) -> Option<V> {
+        let n = link.as_deref_mut()?;
+        let axis = depth % K;
+        if n.point != *point {
+            let child = if point[axis] < n.point[axis] {
+                &mut n.left
+            } else {
+                &mut n.right
+            };
+            return Self::remove_rec(child, point, depth + 1);
+        }
+        // Found. Replace with the axis-minimum of the right subtree; if
+        // there is no right subtree, move the left subtree to the right
+        // and do the same (the classic trick keeps the invariant
+        // "right >= split" intact because the extracted minimum becomes
+        // the new split value).
+        if n.right.is_none() {
+            n.right = n.left.take();
+        }
+        if n.right.is_some() {
+            let (min_pt, min_val) = {
+                let min_pt = Self::find_min(n.right.as_deref().unwrap(), axis, depth + 1);
+                let v = Self::remove_rec(&mut n.right, &min_pt, depth + 1)
+                    .expect("minimum must exist");
+                (min_pt, v)
+            };
+            let old_val = std::mem::replace(&mut n.value, min_val);
+            n.point = min_pt;
+            Some(old_val)
+        } else {
+            // Leaf.
+            let boxed = link.take().unwrap();
+            Some(boxed.value)
+        }
+    }
+
+    /// Smallest point along `axis` in the subtree.
+    fn find_min(n: &Node<V, K>, axis: usize, depth: usize) -> [f64; K] {
+        let cur_axis = depth % K;
+        let mut best = n.point;
+        if cur_axis == axis {
+            // Minimum can only be here or in the left subtree.
+            if let Some(l) = n.left.as_deref() {
+                let cand = Self::find_min(l, axis, depth + 1);
+                if cand[axis] < best[axis] {
+                    best = cand;
+                }
+            }
+        } else {
+            for child in [n.left.as_deref(), n.right.as_deref()].into_iter().flatten() {
+                let cand = Self::find_min(child, axis, depth + 1);
+                if cand[axis] < best[axis] {
+                    best = cand;
+                }
+            }
+        }
+        best
+    }
+
+    /// Window query: calls `visit(point, value)` for every stored point
+    /// with `min[d] <= p[d] <= max[d]` in all dimensions.
+    pub fn window(&self, min: &[f64; K], max: &[f64; K], visit: &mut dyn FnMut([f64; K], &V)) {
+        Self::window_rec(self.root.as_deref(), min, max, 0, visit);
+    }
+
+    fn window_rec(
+        node: Option<&Node<V, K>>,
+        min: &[f64; K],
+        max: &[f64; K],
+        depth: usize,
+        visit: &mut dyn FnMut([f64; K], &V),
+    ) {
+        let Some(n) = node else { return };
+        if (0..K).all(|d| min[d] <= n.point[d] && n.point[d] <= max[d]) {
+            visit(n.point, &n.value);
+        }
+        let axis = depth % K;
+        if min[axis] < n.point[axis] {
+            Self::window_rec(n.left.as_deref(), min, max, depth + 1, visit);
+        }
+        if max[axis] >= n.point[axis] {
+            Self::window_rec(n.right.as_deref(), min, max, depth + 1, visit);
+        }
+    }
+
+    /// Returns the `n` points nearest to `center` (Euclidean), nearest
+    /// first, as `(point, value, distance)`.
+    pub fn knn(&self, center: &[f64; K], n: usize) -> Vec<([f64; K], &V, f64)> {
+        // Max-heap of current best candidates by distance.
+        let mut best: Vec<([f64; K], &V, f64)> = Vec::with_capacity(n + 1);
+        if n > 0 {
+            Self::knn_rec(self.root.as_deref(), center, n, 0, &mut best);
+        }
+        best.sort_by(|a, b| a.2.total_cmp(&b.2));
+        best
+    }
+
+    fn knn_rec<'t>(
+        node: Option<&'t Node<V, K>>,
+        center: &[f64; K],
+        n: usize,
+        depth: usize,
+        best: &mut Vec<([f64; K], &'t V, f64)>,
+    ) {
+        let Some(nd) = node else { return };
+        let d2: f64 = (0..K).map(|d| (nd.point[d] - center[d]).powi(2)).sum();
+        let dist = d2.sqrt();
+        if best.len() < n {
+            best.push((nd.point, &nd.value, dist));
+            best.sort_by(|a, b| a.2.total_cmp(&b.2));
+        } else if dist < best[n - 1].2 {
+            best[n - 1] = (nd.point, &nd.value, dist);
+            best.sort_by(|a, b| a.2.total_cmp(&b.2));
+        }
+        let axis = depth % K;
+        let delta = center[axis] - nd.point[axis];
+        let (near, far) = if delta < 0.0 {
+            (nd.left.as_deref(), nd.right.as_deref())
+        } else {
+            (nd.right.as_deref(), nd.left.as_deref())
+        };
+        Self::knn_rec(near, center, n, depth + 1, best);
+        if best.len() < n || delta.abs() <= best[best.len() - 1].2 {
+            Self::knn_rec(far, center, n, depth + 1, best);
+        }
+    }
+
+    /// Total heap bytes owned by the tree: one boxed node per point plus
+    /// allocator overhead.
+    pub fn memory_bytes(&self) -> usize {
+        self.len * (std::mem::size_of::<Node<V, K>>() + ALLOC_OVERHEAD)
+    }
+
+    /// Maximum depth (root = 1); exposes degeneration.
+    pub fn max_depth(&self) -> usize {
+        fn walk<V, const K: usize>(n: Option<&Node<V, K>>) -> usize {
+            n.map_or(0, |n| {
+                1 + walk(n.left.as_deref()).max(walk(n.right.as_deref()))
+            })
+        }
+        walk(self.root.as_deref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(n: u64) -> Vec<[f64; 3]> {
+        let mut x = 11u64;
+        (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                [
+                    (x % 1000) as f64,
+                    ((x >> 20) % 1000) as f64,
+                    ((x >> 40) % 1000) as f64,
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn insert_get_replace() {
+        let mut t: KdTree1<u32, 2> = KdTree1::new();
+        assert_eq!(t.insert([1.0, 2.0], 1), None);
+        assert_eq!(t.insert([1.0, 2.0], 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&[1.0, 2.0]), Some(&2));
+        assert_eq!(t.get(&[2.0, 1.0]), None);
+    }
+
+    #[test]
+    fn bulk_insert_find_remove() {
+        let mut t: KdTree1<usize, 3> = KdTree1::new();
+        let points = pts(2000);
+        let mut uniq = std::collections::BTreeMap::new();
+        for (i, p) in points.iter().enumerate() {
+            t.insert(*p, i);
+            uniq.insert(p.map(|c| c.to_bits()), i);
+        }
+        assert_eq!(t.len(), uniq.len());
+        for p in &points {
+            assert!(t.contains(p));
+        }
+        // Remove half.
+        for p in points.iter().step_by(2) {
+            let k = p.map(|c| c.to_bits());
+            assert_eq!(t.remove(p).is_some(), uniq.remove(&k).is_some());
+        }
+        assert_eq!(t.len(), uniq.len());
+        for p in &points {
+            let k = p.map(|c| c.to_bits());
+            assert_eq!(t.contains(p), uniq.contains_key(&k), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn remove_root_repeatedly() {
+        let mut t: KdTree1<(), 1> = KdTree1::new();
+        for i in 0..50 {
+            t.insert([i as f64], ());
+        }
+        for i in 0..50 {
+            assert_eq!(t.remove(&[i as f64]), Some(()));
+        }
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn window_matches_filter() {
+        let mut t: KdTree1<usize, 3> = KdTree1::new();
+        let points = pts(800);
+        for (i, p) in points.iter().enumerate() {
+            t.insert(*p, i);
+        }
+        let (min, max) = ([100.0, 200.0, 0.0], [600.0, 800.0, 500.0]);
+        let mut got = Vec::new();
+        t.window(&min, &max, &mut |p, _| got.push(p.map(|c| c.to_bits())));
+        got.sort();
+        let mut want: Vec<_> = points
+            .iter()
+            .filter(|p| (0..3).all(|d| min[d] <= p[d] && p[d] <= max[d]))
+            .map(|p| p.map(|c| c.to_bits()))
+            .collect();
+        want.sort();
+        want.dedup();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let mut t: KdTree1<usize, 3> = KdTree1::new();
+        let points = pts(500);
+        let mut uniq: Vec<[f64; 3]> = Vec::new();
+        for (i, p) in points.iter().enumerate() {
+            if t.insert(*p, i).is_none() {
+                uniq.push(*p);
+            }
+        }
+        let center = [500.0, 500.0, 500.0];
+        let got = t.knn(&center, 7);
+        let mut want: Vec<f64> = uniq
+            .iter()
+            .map(|p| (0..3).map(|d| (p[d] - center[d]).powi(2)).sum::<f64>().sqrt())
+            .collect();
+        want.sort_by(f64::total_cmp);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.2 - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn memory_scales_with_len() {
+        let mut t: KdTree1<u64, 2> = KdTree1::new();
+        for i in 0..100 {
+            t.insert([i as f64, (i * 7) as f64], i);
+        }
+        assert_eq!(t.memory_bytes(), 100 * (std::mem::size_of::<Node<u64, 2>>() + 16));
+    }
+}

@@ -1,0 +1,420 @@
+//! KD2: an arena-allocated kD-tree with tombstone deletion and
+//! automatic median rebuild.
+//!
+//! Nodes live in one contiguous vector (good locality, one allocation).
+//! Deletion tombstones the node; when tombstones reach half the arena
+//! the tree is rebuilt into a perfectly median-balanced form. Compared
+//! to [`crate::KdTree1`], this trades rebuild spikes and tombstone
+//! memory for balance and cache friendliness — the "each has its own
+//! strengths" spread the paper observes between its two kD-trees.
+
+use crate::ALLOC_OVERHEAD;
+
+const NIL: u32 = u32::MAX;
+
+struct Node<V, const K: usize> {
+    point: [f64; K],
+    /// `None` marks a tombstone.
+    value: Option<V>,
+    left: u32,
+    right: u32,
+}
+
+/// An arena-based kD-tree with tombstone deletes and periodic rebuilds.
+///
+/// ```
+/// use kdtree::KdTree2;
+///
+/// let mut t: KdTree2<&str, 2> = KdTree2::new();
+/// t.insert([0.0, 0.0], "a");
+/// t.insert([5.0, 5.0], "b");
+/// assert_eq!(t.remove(&[0.0, 0.0]), Some("a"));
+/// assert_eq!(t.len(), 1);
+/// assert!(!t.contains(&[0.0, 0.0]));
+/// ```
+pub struct KdTree2<V, const K: usize> {
+    nodes: Vec<Node<V, K>>,
+    root: u32,
+    len: usize,
+    tombstones: usize,
+}
+
+impl<V, const K: usize> Default for KdTree2<V, K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V, const K: usize> KdTree2<V, K> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        assert!(K >= 1);
+        KdTree2 {
+            nodes: Vec::new(),
+            root: NIL,
+            len: 0,
+            tombstones: 0,
+        }
+    }
+
+    /// Number of live stored points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree holds no live points.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `point → value`, returning the previous value if the
+    /// point was already present (a tombstoned point is revived).
+    pub fn insert(&mut self, point: [f64; K], value: V) -> Option<V> {
+        if self.root == NIL {
+            self.root = self.alloc(point, value);
+            self.len = 1;
+            return None;
+        }
+        let mut i = self.root;
+        let mut depth = 0usize;
+        loop {
+            if self.nodes[i as usize].point == point {
+                let old = self.nodes[i as usize].value.replace(value);
+                if old.is_none() {
+                    // Revived a tombstone.
+                    self.tombstones -= 1;
+                    self.len += 1;
+                }
+                return old;
+            }
+            let axis = depth % K;
+            let go_left = point[axis] < self.nodes[i as usize].point[axis];
+            let next = if go_left {
+                self.nodes[i as usize].left
+            } else {
+                self.nodes[i as usize].right
+            };
+            if next == NIL {
+                let new = self.alloc(point, value);
+                let n = &mut self.nodes[i as usize];
+                if go_left {
+                    n.left = new;
+                } else {
+                    n.right = new;
+                }
+                self.len += 1;
+                return None;
+            }
+            i = next;
+            depth += 1;
+        }
+    }
+
+    fn alloc(&mut self, point: [f64; K], value: V) -> u32 {
+        self.nodes.push(Node {
+            point,
+            value: Some(value),
+            left: NIL,
+            right: NIL,
+        });
+        (self.nodes.len() - 1) as u32
+    }
+
+    fn find(&self, point: &[f64; K]) -> Option<u32> {
+        let mut i = self.root;
+        let mut depth = 0usize;
+        while i != NIL {
+            let n = &self.nodes[i as usize];
+            if n.point == *point {
+                return Some(i);
+            }
+            let axis = depth % K;
+            i = if point[axis] < n.point[axis] {
+                n.left
+            } else {
+                n.right
+            };
+            depth += 1;
+        }
+        None
+    }
+
+    /// Point query.
+    pub fn get(&self, point: &[f64; K]) -> Option<&V> {
+        self.find(point)
+            .and_then(|i| self.nodes[i as usize].value.as_ref())
+    }
+
+    /// Whether `point` is stored (and live).
+    pub fn contains(&self, point: &[f64; K]) -> bool {
+        self.get(point).is_some()
+    }
+
+    /// Removes `point`, returning its value if present. Tombstones the
+    /// node; rebuilds the arena once half of it is dead.
+    pub fn remove(&mut self, point: &[f64; K]) -> Option<V> {
+        let i = self.find(point)?;
+        let old = self.nodes[i as usize].value.take()?;
+        self.len -= 1;
+        self.tombstones += 1;
+        if self.tombstones * 2 >= self.nodes.len().max(8) {
+            self.rebuild();
+        }
+        Some(old)
+    }
+
+    /// Rebuilds the arena into a median-balanced tree of the live nodes.
+    fn rebuild(&mut self) {
+        let old = std::mem::take(&mut self.nodes);
+        let mut live: Vec<([f64; K], Option<V>)> = old
+            .into_iter()
+            .filter_map(|n| n.value.map(|v| (n.point, Some(v))))
+            .collect();
+        self.tombstones = 0;
+        self.len = live.len();
+        let mut nodes = Vec::with_capacity(live.len());
+        self.root = Self::build_balanced(&mut nodes, &mut live[..], 0);
+        self.nodes = nodes;
+    }
+
+    fn build_balanced(
+        nodes: &mut Vec<Node<V, K>>,
+        items: &mut [([f64; K], Option<V>)],
+        depth: usize,
+    ) -> u32 {
+        if items.is_empty() {
+            return NIL;
+        }
+        let axis = depth % K;
+        items.sort_unstable_by(|a, b| a.0[axis].total_cmp(&b.0[axis]));
+        // Pull the split back to the first element with the median's
+        // coordinate so that everything strictly left is `< split` —
+        // the invariant the point search relies on.
+        let mut mid = items.len() / 2;
+        while mid > 0 && items[mid - 1].0[axis] == items[mid].0[axis] {
+            mid -= 1;
+        }
+        let point = items[mid].0;
+        let value = items[mid].1.take();
+        let idx = nodes.len() as u32;
+        nodes.push(Node {
+            point,
+            value,
+            left: NIL,
+            right: NIL,
+        });
+        let (lo, rest) = items.split_at_mut(mid);
+        let (_, hi) = rest.split_at_mut(1);
+        let l = Self::build_balanced(nodes, lo, depth + 1);
+        let r = Self::build_balanced(nodes, hi, depth + 1);
+        nodes[idx as usize].left = l;
+        nodes[idx as usize].right = r;
+        idx
+    }
+
+    /// Window query: calls `visit(point, value)` for every live point in
+    /// the rectangle.
+    pub fn window(&self, min: &[f64; K], max: &[f64; K], visit: &mut dyn FnMut([f64; K], &V)) {
+        self.window_rec(self.root, min, max, 0, visit);
+    }
+
+    fn window_rec(
+        &self,
+        i: u32,
+        min: &[f64; K],
+        max: &[f64; K],
+        depth: usize,
+        visit: &mut dyn FnMut([f64; K], &V),
+    ) {
+        if i == NIL {
+            return;
+        }
+        let n = &self.nodes[i as usize];
+        if let Some(v) = &n.value {
+            if (0..K).all(|d| min[d] <= n.point[d] && n.point[d] <= max[d]) {
+                visit(n.point, v);
+            }
+        }
+        let axis = depth % K;
+        if min[axis] < n.point[axis] {
+            self.window_rec(n.left, min, max, depth + 1, visit);
+        }
+        if max[axis] >= n.point[axis] {
+            self.window_rec(n.right, min, max, depth + 1, visit);
+        }
+    }
+
+    /// Returns the `n` live points nearest to `center`, nearest first.
+    pub fn knn(&self, center: &[f64; K], n: usize) -> Vec<([f64; K], &V, f64)> {
+        let mut best: Vec<([f64; K], &V, f64)> = Vec::with_capacity(n + 1);
+        if n > 0 {
+            self.knn_rec(self.root, center, n, 0, &mut best);
+        }
+        best.sort_by(|a, b| a.2.total_cmp(&b.2));
+        best
+    }
+
+    fn knn_rec<'t>(
+        &'t self,
+        i: u32,
+        center: &[f64; K],
+        n: usize,
+        depth: usize,
+        best: &mut Vec<([f64; K], &'t V, f64)>,
+    ) {
+        if i == NIL {
+            return;
+        }
+        let nd = &self.nodes[i as usize];
+        if let Some(v) = &nd.value {
+            let dist = (0..K)
+                .map(|d| (nd.point[d] - center[d]).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            if best.len() < n {
+                best.push((nd.point, v, dist));
+                best.sort_by(|a, b| a.2.total_cmp(&b.2));
+            } else if dist < best[n - 1].2 {
+                best[n - 1] = (nd.point, v, dist);
+                best.sort_by(|a, b| a.2.total_cmp(&b.2));
+            }
+        }
+        let axis = depth % K;
+        let delta = center[axis] - nd.point[axis];
+        let (near, far) = if delta < 0.0 {
+            (nd.left, nd.right)
+        } else {
+            (nd.right, nd.left)
+        };
+        self.knn_rec(near, center, n, depth + 1, best);
+        if best.len() < n || delta.abs() <= best[best.len() - 1].2 {
+            self.knn_rec(far, center, n, depth + 1, best);
+        }
+    }
+
+    /// Heap bytes: the arena allocation (including tombstones — that is
+    /// this variant's space weakness) plus allocator overhead.
+    pub fn memory_bytes(&self) -> usize {
+        if self.nodes.capacity() == 0 {
+            0
+        } else {
+            self.nodes.capacity() * std::mem::size_of::<Node<V, K>>() + ALLOC_OVERHEAD
+        }
+    }
+
+    /// Maximum depth of live structure (root = 1).
+    pub fn max_depth(&self) -> usize {
+        fn walk<V, const K: usize>(t: &KdTree2<V, K>, i: u32) -> usize {
+            if i == NIL {
+                return 0;
+            }
+            let n = &t.nodes[i as usize];
+            1 + walk(t, n.left).max(walk(t, n.right))
+        }
+        walk(self, self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(n: u64) -> Vec<[f64; 2]> {
+        let mut x = 77u64;
+        (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                [(x % 500) as f64, ((x >> 24) % 500) as f64]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn insert_get_remove_with_rebuilds() {
+        let mut t: KdTree2<usize, 2> = KdTree2::new();
+        let points = pts(3000);
+        let mut model = std::collections::BTreeMap::new();
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(t.insert(*p, i), model.insert(p.map(f64::to_bits), i));
+        }
+        assert_eq!(t.len(), model.len());
+        // Delete two thirds — forces several rebuilds.
+        for p in points.iter().filter(|p| !(p[0] as u64).is_multiple_of(3)) {
+            assert_eq!(t.remove(p), model.remove(&p.map(f64::to_bits)));
+        }
+        assert_eq!(t.len(), model.len());
+        for p in &points {
+            assert_eq!(t.get(p).is_some(), model.contains_key(&p.map(f64::to_bits)));
+        }
+    }
+
+    #[test]
+    fn revive_tombstone() {
+        let mut t: KdTree2<u32, 2> = KdTree2::new();
+        t.insert([1.0, 1.0], 1);
+        t.insert([2.0, 2.0], 2);
+        assert_eq!(t.remove(&[1.0, 1.0]), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.insert([1.0, 1.0], 9), None);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&[1.0, 1.0]), Some(&9));
+    }
+
+    #[test]
+    fn window_skips_tombstones() {
+        let mut t: KdTree2<usize, 2> = KdTree2::new();
+        let points = pts(400);
+        for (i, p) in points.iter().enumerate() {
+            t.insert(*p, i);
+        }
+        let mut removed = std::collections::BTreeSet::new();
+        for p in points.iter().take(50) {
+            if t.remove(p).is_some() {
+                removed.insert(p.map(f64::to_bits));
+            }
+        }
+        let (min, max) = ([0.0, 0.0], [500.0, 500.0]);
+        let mut got = Vec::new();
+        t.window(&min, &max, &mut |p, _| got.push(p.map(f64::to_bits)));
+        got.sort();
+        got.dedup();
+        assert_eq!(got.len(), t.len());
+        for r in &removed {
+            assert!(!got.contains(r));
+        }
+    }
+
+    #[test]
+    fn rebuild_balances_depth() {
+        let mut t: KdTree2<(), 1> = KdTree2::new();
+        // Sorted insert: maximal degeneration.
+        for i in 0..1024 {
+            t.insert([i as f64], ());
+        }
+        assert!(t.max_depth() >= 1024);
+        // Deleting half triggers a rebuild into a balanced tree.
+        for i in 0..1024 {
+            if i % 2 == 0 {
+                t.remove(&[i as f64]);
+            }
+        }
+        assert!(t.max_depth() <= 12, "depth after rebuild: {}", t.max_depth());
+    }
+
+    #[test]
+    fn knn_agrees_with_kd1() {
+        let points = pts(300);
+        let mut t1: crate::KdTree1<usize, 2> = crate::KdTree1::new();
+        let mut t2: KdTree2<usize, 2> = KdTree2::new();
+        for (i, p) in points.iter().enumerate() {
+            t1.insert(*p, i);
+            t2.insert(*p, i);
+        }
+        let center = [250.0, 250.0];
+        let a = t1.knn(&center, 5);
+        let b = t2.knn(&center, 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x.2 - y.2).abs() < 1e-9);
+        }
+    }
+}

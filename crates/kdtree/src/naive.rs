@@ -1,0 +1,151 @@
+//! Naive non-index storage yardsticks (paper Sect. 4.3.5).
+//!
+//! The paper compares index memory against two plain storage layouts:
+//!
+//! * `double[]` — all coordinates in one flat array: `k·8·n` bytes.
+//! * `object[]` — one object per entry (k doubles + 16-byte object
+//!   header) plus an array of 4-byte references: `(k·8 + 16 + 4)·n`
+//!   bytes.
+//!
+//! These are real, populated Rust structures (so loading them can be
+//! timed) whose `memory_bytes` follow the paper's formulas exactly.
+
+/// Flat `double[]` storage: one `Vec<f64>` of length `k·n`.
+///
+/// ```
+/// let mut a = kdtree::naive::PlainArray::<3>::new();
+/// a.push(&[1.0, 2.0, 3.0]);
+/// assert_eq!(a.len(), 1);
+/// assert_eq!(a.get(0), [1.0, 2.0, 3.0]);
+/// assert_eq!(a.memory_bytes(), 3 * 8);
+/// ```
+#[derive(Default, Clone, Debug)]
+pub struct PlainArray<const K: usize> {
+    data: Vec<f64>,
+}
+
+impl<const K: usize> PlainArray<K> {
+    /// Creates empty storage.
+    pub fn new() -> Self {
+        PlainArray { data: Vec::new() }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, p: &[f64; K]) {
+        self.data.extend_from_slice(p);
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.data.len() / K
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns point `i`.
+    pub fn get(&self, i: usize) -> [f64; K] {
+        std::array::from_fn(|d| self.data[i * K + d])
+    }
+
+    /// Paper formula: `k · 8 · n` bytes.
+    pub fn memory_bytes(&self) -> usize {
+        K * 8 * self.len()
+    }
+
+    /// Linear scan point lookup (what "no index" costs).
+    pub fn contains(&self, p: &[f64; K]) -> bool {
+        (0..self.len()).any(|i| &self.get(i) == p)
+    }
+
+    /// Linear scan window query.
+    pub fn window(&self, min: &[f64; K], max: &[f64; K], visit: &mut dyn FnMut([f64; K])) {
+        for i in 0..self.len() {
+            let p = self.get(i);
+            if (0..K).all(|d| min[d] <= p[d] && p[d] <= max[d]) {
+                visit(p);
+            }
+        }
+    }
+}
+
+/// `object[]` storage: one boxed point object per entry plus a reference
+/// array.
+///
+/// ```
+/// let mut a = kdtree::naive::ObjectArray::<2>::new();
+/// a.push(&[4.0, 2.0]);
+/// // Paper formula: (k*8 + 16 + 4) per entry.
+/// assert_eq!(a.memory_bytes(), 2 * 8 + 16 + 4);
+/// ```
+#[derive(Default, Debug)]
+pub struct ObjectArray<const K: usize> {
+    data: Vec<Box<[f64; K]>>,
+}
+
+impl<const K: usize> ObjectArray<K> {
+    /// Creates empty storage.
+    pub fn new() -> Self {
+        ObjectArray { data: Vec::new() }
+    }
+
+    /// Appends a point (allocates one object).
+    pub fn push(&mut self, p: &[f64; K]) {
+        self.data.push(Box::new(*p));
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns point `i`.
+    pub fn get(&self, i: usize) -> [f64; K] {
+        *self.data[i]
+    }
+
+    /// Paper formula: `(k·8 + 16 + 4) · n` bytes — object payload plus
+    /// 16-byte header plus a 4-byte reference slot.
+    pub fn memory_bytes(&self) -> usize {
+        (K * 8 + 16 + 4) * self.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_array_roundtrip() {
+        let mut a = PlainArray::<2>::new();
+        for i in 0..10 {
+            a.push(&[i as f64, (i * 2) as f64]);
+        }
+        assert_eq!(a.len(), 10);
+        assert_eq!(a.get(4), [4.0, 8.0]);
+        assert!(a.contains(&[7.0, 14.0]));
+        assert!(!a.contains(&[7.0, 15.0]));
+        assert_eq!(a.memory_bytes(), 2 * 8 * 10);
+        let mut count = 0;
+        a.window(&[2.0, 0.0], &[5.0, 100.0], &mut |_| count += 1);
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn object_array_formula() {
+        let mut a = ObjectArray::<3>::new();
+        for i in 0..5 {
+            a.push(&[i as f64; 3]);
+        }
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.get(3), [3.0; 3]);
+        assert_eq!(a.memory_bytes(), (3 * 8 + 16 + 4) * 5);
+    }
+}

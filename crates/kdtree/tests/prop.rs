@@ -1,0 +1,105 @@
+//! Property tests: both kD-tree variants against a BTreeMap model.
+
+use kdtree::{KdTree1, KdTree2};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+type Key = [f64; 2];
+
+fn key_strategy() -> impl Strategy<Value = Key> {
+    // Small grid so collisions, duplicate axis coordinates and deletions
+    // of internal nodes all happen.
+    [0u32..12, 0u32..12].prop_map(|k| k.map(|v| v as f64 / 3.0))
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(Key, u32),
+    Remove(Key),
+    Window(Key, Key),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (key_strategy(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        2 => key_strategy().prop_map(Op::Remove),
+        1 => (key_strategy(), key_strategy()).prop_map(|(a, b)| Op::Window(a, b)),
+    ]
+}
+
+fn bits(k: &Key) -> [u64; 2] {
+    k.map(f64::to_bits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    #[test]
+    fn kd1_and_kd2_match_model(ops in proptest::collection::vec(op_strategy(), 1..150)) {
+        let mut t1: KdTree1<u32, 2> = KdTree1::new();
+        let mut t2: KdTree2<u32, 2> = KdTree2::new();
+        let mut model: BTreeMap<[u64; 2], u32> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    let want = model.insert(bits(&k), v);
+                    prop_assert_eq!(t1.insert(k, v), want);
+                    prop_assert_eq!(t2.insert(k, v), want);
+                }
+                Op::Remove(k) => {
+                    let want = model.remove(&bits(&k));
+                    prop_assert_eq!(t1.remove(&k), want);
+                    prop_assert_eq!(t2.remove(&k), want);
+                }
+                Op::Window(a, b) => {
+                    let min = [a[0].min(b[0]), a[1].min(b[1])];
+                    let max = [a[0].max(b[0]), a[1].max(b[1])];
+                    let mut got1 = Vec::new();
+                    t1.window(&min, &max, &mut |p, _| got1.push(bits(&p)));
+                    let mut got2 = Vec::new();
+                    t2.window(&min, &max, &mut |p, _| got2.push(bits(&p)));
+                    got1.sort();
+                    got2.sort();
+                    let want: Vec<[u64; 2]> = model
+                        .keys()
+                        .copied()
+                        .filter(|kb| {
+                            let p = kb.map(f64::from_bits);
+                            (0..2).all(|d| min[d] <= p[d] && p[d] <= max[d])
+                        })
+                        .collect();
+                    prop_assert_eq!(&got1, &want);
+                    prop_assert_eq!(&got2, &want);
+                }
+            }
+            prop_assert_eq!(t1.len(), model.len());
+            prop_assert_eq!(t2.len(), model.len());
+        }
+        // Final point-query sweep.
+        for kb in model.keys() {
+            let k = kb.map(f64::from_bits);
+            prop_assert_eq!(t1.get(&k), model.get(kb));
+            prop_assert_eq!(t2.get(&k), model.get(kb));
+        }
+    }
+
+    #[test]
+    fn knn_consistent_between_variants(
+        pts in proptest::collection::vec(key_strategy(), 1..60),
+        center in key_strategy(),
+        n in 1usize..8,
+    ) {
+        let mut t1: KdTree1<usize, 2> = KdTree1::new();
+        let mut t2: KdTree2<usize, 2> = KdTree2::new();
+        for (i, p) in pts.iter().enumerate() {
+            t1.insert(*p, i);
+            t2.insert(*p, i);
+        }
+        let a = t1.knn(&center, n);
+        let b = t2.knn(&center, n);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x.2 - y.2).abs() < 1e-9);
+        }
+    }
+}

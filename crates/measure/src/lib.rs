@@ -1,0 +1,233 @@
+//! Measurement harness: wall-clock timing helpers and paper-style table
+//! printing for the PH-tree evaluation.
+//!
+//! The space numbers come from each structure's own exact byte
+//! accounting (see the `memory_bytes`/`stats` methods of the index
+//! crates); this crate only supplies the glue: timers that report
+//! µs-per-operation the way the paper's figures do, and text/CSV table
+//! printers that emit one row per x-axis point.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Times `f` and returns (result, elapsed microseconds).
+pub fn time_us<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64() * 1e6)
+}
+
+/// Times `f` and returns microseconds per item for `n` items — the
+/// paper's "µs per entry" / "µs per query" metric.
+pub fn time_us_per<T>(n: usize, f: impl FnOnce() -> T) -> (T, f64) {
+    let (r, us) = time_us(f);
+    (r, if n == 0 { 0.0 } else { us / n as f64 })
+}
+
+/// A result table in the paper's style: a labelled x-axis and one named
+/// series per structure, printed as aligned text and as CSV.
+///
+/// ```
+/// let mut t = measure::Table::new("fig-7b insert", "10^6 entries");
+/// t.add_row(1.0, &[("PH", Some(0.8)), ("KD1", Some(0.9))]);
+/// t.add_row(10.0, &[("PH", Some(0.9)), ("KD1", Some(1.8))]);
+/// let text = t.render_text();
+/// assert!(text.contains("PH"));
+/// let csv = t.render_csv();
+/// assert!(csv.starts_with("x,PH,KD1"));
+/// ```
+pub struct Table {
+    title: String,
+    x_label: String,
+    columns: Vec<String>,
+    rows: Vec<(f64, Vec<Option<f64>>)>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, x_label: &str) -> Self {
+        Table {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            columns: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Columns are created on first use; series may be
+    /// missing in some rows (`None` renders as `-`), e.g. kD-trees that
+    /// were only measured up to a smaller `n` (paper Fig. 9c).
+    pub fn add_row(&mut self, x: f64, cells: &[(&str, Option<f64>)]) {
+        for (name, _) in cells {
+            if !self.columns.iter().any(|c| c == name) {
+                self.columns.push(name.to_string());
+            }
+        }
+        let mut row = vec![None; self.columns.len()];
+        for (name, v) in cells {
+            let i = self.columns.iter().position(|c| c == name).unwrap();
+            row[i] = *v;
+        }
+        self.rows.push((x, row));
+    }
+
+    /// Renders an aligned text table with the title.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let mut header = vec![self.x_label.clone()];
+        header.extend(self.columns.iter().cloned());
+        let mut cells: Vec<Vec<String>> = vec![header];
+        for (x, row) in &self.rows {
+            let mut r = vec![format_num(*x)];
+            for c in 0..self.columns.len() {
+                r.push(match row.get(c).copied().flatten() {
+                    Some(v) => format_num(v),
+                    None => "-".to_string(),
+                });
+            }
+            cells.push(r);
+        }
+        let ncols = cells.iter().map(|r| r.len()).max().unwrap_or(0);
+        let widths: Vec<usize> = (0..ncols)
+            .map(|c| cells.iter().filter_map(|r| r.get(c)).map(|s| s.len()).max().unwrap_or(0))
+            .collect();
+        for r in &cells {
+            for (c, s) in r.iter().enumerate() {
+                out.push_str(&format!("{:>w$}  ", s, w = widths[c]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders CSV (`x,<col>,<col>…`, one row per x).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::from("x");
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for (x, row) in &self.rows {
+            out.push_str(&format!("{x}"));
+            for c in 0..self.columns.len() {
+                out.push(',');
+                if let Some(v) = row.get(c).copied().flatten() {
+                    out.push_str(&format!("{v}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn format_num(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 0.01 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+/// Parses a simple `--flag value` style CLI for the repro binaries.
+///
+/// ```
+/// let args = vec!["--scale".to_string(), "0.1".to_string()];
+/// let cli = measure::Cli::parse(args.into_iter());
+/// assert_eq!(cli.get_f64("scale", 1.0), 0.1);
+/// assert_eq!(cli.get_u64("seed", 42), 42);
+/// ```
+#[derive(Debug, Default)]
+pub struct Cli {
+    pairs: Vec<(String, String)>,
+}
+
+impl Cli {
+    /// Parses `--key value` pairs from an argument iterator.
+    pub fn parse(mut args: impl Iterator<Item = String>) -> Self {
+        let mut pairs = Vec::new();
+        while let Some(a) = args.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                if let Some(v) = args.next() {
+                    pairs.push((key.to_string(), v));
+                }
+            }
+        }
+        Cli { pairs }
+    }
+
+    /// Parses the process arguments (skipping the binary name).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Float flag with default.
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// Integer flag with default.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// String flag with default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.get(key).unwrap_or(default).to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_reports_positive_time() {
+        let (x, us) = time_us(|| (0..10_000).sum::<u64>());
+        assert_eq!(x, 49995000);
+        assert!(us >= 0.0);
+        let (_, per) = time_us_per(100, || std::hint::black_box(7));
+        assert!(per >= 0.0);
+    }
+
+    #[test]
+    fn table_renders_missing_cells() {
+        let mut t = Table::new("t", "n");
+        t.add_row(1.0, &[("A", Some(1.0))]);
+        t.add_row(2.0, &[("A", Some(2.0)), ("B", Some(3.0))]);
+        let text = t.render_text();
+        assert!(text.contains('-'), "{text}");
+        let csv = t.render_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.lines().nth(1).unwrap().ends_with(','));
+    }
+
+    #[test]
+    fn cli_parsing_defaults_and_overrides() {
+        let cli = Cli::parse(
+            ["--scale", "2.5", "--dataset", "cube", "--scale", "3.0"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(cli.get_f64("scale", 1.0), 3.0); // last wins
+        assert_eq!(cli.get_str("dataset", "tiger"), "cube");
+        assert_eq!(cli.get_u64("missing", 9), 9);
+    }
+}

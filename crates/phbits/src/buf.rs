@@ -1,0 +1,672 @@
+//! A packed bit buffer with exact-size storage.
+//!
+//! Bits are stored in `u64` words. Bit index `i` lives in word `i / 64`
+//! at bit position `i % 64` counted from the least significant bit.
+//! Multi-bit values are stored little-endian within the buffer: the
+//! value's bit 0 is at the lowest buffer index. This keeps every
+//! read/write a one- or two-word operation.
+//!
+//! The backing store is an exact-size `Box<[u64]>`: a buffer of `n` bits
+//! owns exactly `ceil(n/64)` words of heap — the PH-tree's space
+//! accounting depends on nodes never carrying capacity slack. All
+//! structural edits (gap insertion, range removal) rebuild the word
+//! array in a single allocation + single copy pass, so a combined edit
+//! of several regions ([`BitBuf::insert_gaps`]) costs one pass, not one
+//! per region.
+
+/// A packed bit buffer with exact-size heap storage.
+///
+/// This is the per-node bit string of the PH-tree: it holds the node's
+/// infix, the packed child addresses/kinds and the postfixes of all
+/// locally stored entries. The structural operations —
+/// [`BitBuf::insert_gaps`] (shift-right, used on entry insertion) and
+/// [`BitBuf::remove_ranges`] (shift-left, used on deletion) — are
+/// exactly the operations whose costs the paper discusses in Sect. 3.6
+/// and 4.3.4.
+///
+/// # Example
+///
+/// ```
+/// use phbits::BitBuf;
+///
+/// let mut b = BitBuf::new();
+/// b.push_bits(0b1011, 4);
+/// b.push_bits(0xFF, 8);
+/// assert_eq!(b.len(), 12);
+/// assert_eq!(b.read_bits(0, 4), 0b1011);
+/// assert_eq!(b.read_bits(4, 8), 0xFF);
+///
+/// // Insert a 4-bit gap in the middle and fill it.
+/// b.insert_gap(4, 4);
+/// b.write_bits(4, 0b0110, 4);
+/// assert_eq!(b.read_bits(0, 4), 0b1011);
+/// assert_eq!(b.read_bits(4, 4), 0b0110);
+/// assert_eq!(b.read_bits(8, 8), 0xFF);
+///
+/// // And remove it again.
+/// b.remove_range(4, 4);
+/// assert_eq!(b.read_bits(4, 8), 0xFF);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BitBuf {
+    words: Box<[u64]>,
+    len: u32,
+}
+
+#[inline]
+fn mask(nbits: u32) -> u64 {
+    if nbits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << nbits) - 1
+    }
+}
+
+impl BitBuf {
+    /// Creates an empty buffer.
+    #[inline]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer. (`nbits` is advisory only; storage is
+    /// always exact-size, so this is equivalent to [`BitBuf::new`].)
+    pub fn with_capacity(_nbits: usize) -> Self {
+        Self::default()
+    }
+
+    /// Creates a zero-filled buffer of `nbits` bits.
+    pub fn zeroed(nbits: usize) -> Self {
+        BitBuf {
+            words: vec![0u64; nbits.div_ceil(64)].into_boxed_slice(),
+            len: nbits as u32,
+        }
+    }
+
+    /// Number of bits currently stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the buffer holds no bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes all bits (and the allocation).
+    pub fn clear(&mut self) {
+        self.words = Box::default();
+        self.len = 0;
+    }
+
+    /// Bytes of heap memory held by this buffer (always exact:
+    /// `ceil(len/64)` words).
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Same as [`BitBuf::heap_bytes`] (kept for API compatibility).
+    #[inline]
+    pub fn used_bytes(&self) -> usize {
+        self.len().div_ceil(64) * 8
+    }
+
+    /// No-op: storage is always exact-size.
+    pub fn shrink_to_fit(&mut self) {}
+
+    /// Reads `nbits` bits (0..=64) starting at bit offset `off`.
+    ///
+    /// The result's bit 0 is the bit at buffer index `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `off + nbits` exceeds [`BitBuf::len`] or `nbits > 64`.
+    #[inline]
+    pub fn read_bits(&self, off: usize, nbits: u32) -> u64 {
+        assert!(nbits <= 64, "read of more than 64 bits");
+        assert!(off + nbits as usize <= self.len(), "bit read out of bounds");
+        if nbits == 0 {
+            return 0;
+        }
+        let word = off / 64;
+        let shift = (off % 64) as u32;
+        let lo = self.words[word] >> shift;
+        let have = 64 - shift;
+        let v = if nbits <= have {
+            lo
+        } else {
+            lo | (self.words[word + 1] << have)
+        };
+        v & mask(nbits)
+    }
+
+    /// Writes the low `nbits` bits (0..=64) of `value` at bit offset `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `off + nbits` exceeds [`BitBuf::len`] or `nbits > 64`.
+    #[inline]
+    pub fn write_bits(&mut self, off: usize, value: u64, nbits: u32) {
+        assert!(nbits <= 64, "write of more than 64 bits");
+        assert!(off + nbits as usize <= self.len(), "bit write out of bounds");
+        if nbits == 0 {
+            return;
+        }
+        let value = value & mask(nbits);
+        let word = off / 64;
+        let shift = (off % 64) as u32;
+        let have = 64 - shift;
+        if nbits <= have {
+            let m = mask(nbits) << shift;
+            self.words[word] = (self.words[word] & !m) | (value << shift);
+        } else {
+            let m0 = mask(have) << shift;
+            self.words[word] = (self.words[word] & !m0) | (value << shift);
+            let rest = nbits - have;
+            let m1 = mask(rest);
+            self.words[word + 1] = (self.words[word + 1] & !m1) | ((value >> have) & m1);
+        }
+    }
+
+    /// Appends the low `nbits` bits of `value` at the end of the buffer.
+    #[inline]
+    pub fn push_bits(&mut self, value: u64, nbits: u32) {
+        let off = self.len();
+        self.grow(nbits as usize);
+        self.write_bits(off, value, nbits);
+    }
+
+    /// Extends the buffer by `nbits` zero bits (reallocates exactly).
+    pub fn grow(&mut self, nbits: usize) {
+        let old_len = self.len();
+        self.resize_words(old_len + nbits);
+    }
+
+    /// Truncates the buffer to `nbits` bits (reallocates exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nbits > len()`.
+    pub fn truncate(&mut self, nbits: usize) {
+        assert!(nbits <= self.len(), "truncate beyond length");
+        self.resize_words(nbits);
+    }
+
+    /// Reallocates to exactly `new_len` bits, preserving the common
+    /// prefix and zeroing everything beyond the old length.
+    fn resize_words(&mut self, new_len: usize) {
+        let need = new_len.div_ceil(64);
+        let keep_bits = self.len().min(new_len);
+        let mut out = vec![0u64; need].into_boxed_slice();
+        let full = keep_bits / 64;
+        out[..full].copy_from_slice(&self.words[..full]);
+        let rem = (keep_bits % 64) as u32;
+        if rem != 0 {
+            out[full] = self.words[full] & mask(rem);
+        }
+        self.words = out;
+        self.len = new_len as u32;
+    }
+
+    /// Opens one gap of `gap` zero bits at offset `off`, shifting all
+    /// bits at `off..len` right (towards higher indices) by `gap`.
+    ///
+    /// This is the "shift-right" used by PH-tree entry insertion.
+    pub fn insert_gap(&mut self, off: usize, gap: usize) {
+        self.insert_gaps(&[(off, gap)]);
+    }
+
+    /// Opens several zero gaps in one allocation + copy pass.
+    ///
+    /// `gaps` are `(offset, length)` pairs with offsets in *original*
+    /// buffer coordinates, sorted ascending; each gap is inserted before
+    /// the original bit at `offset` (an offset equal to `len` appends).
+    ///
+    /// ```
+    /// let mut b = phbits::BitBuf::new();
+    /// b.push_bits(0b1111, 4);
+    /// b.insert_gaps(&[(1, 2), (3, 1)]);
+    /// // 1 11 1 → 1 00 11 0 1 (LSB first)
+    /// assert_eq!(b.len(), 7);
+    /// assert_eq!(b.read_bits(0, 7), 0b1011001);
+    /// ```
+    pub fn insert_gaps(&mut self, gaps: &[(usize, usize)]) {
+        let old_len = self.len();
+        let total: usize = gaps.iter().map(|&(_, g)| g).sum();
+        debug_assert!(gaps.windows(2).all(|w| w[0].0 <= w[1].0), "gaps sorted");
+        assert!(
+            gaps.iter().all(|&(off, _)| off <= old_len),
+            "gap offset out of bounds"
+        );
+        if total == 0 {
+            return;
+        }
+        let mut out = BitBuf::zeroed(old_len + total);
+        let mut src = 0usize;
+        let mut dst = 0usize;
+        for &(off, gap) in gaps {
+            out.copy_bits_from(self, src, dst, off - src);
+            dst += off - src + gap;
+            src = off;
+        }
+        out.copy_bits_from(self, src, dst, old_len - src);
+        *self = out;
+    }
+
+    /// Removes the `n` bits at `off..off + n`, shifting all later bits
+    /// left (towards lower indices) by `n` and shortening the buffer.
+    ///
+    /// This is the "shift-left" used by PH-tree entry deletion.
+    pub fn remove_range(&mut self, off: usize, n: usize) {
+        self.remove_ranges(&[(off, n)]);
+    }
+
+    /// Removes several disjoint ranges in one allocation + copy pass.
+    ///
+    /// `ranges` are `(offset, length)` pairs in original coordinates,
+    /// sorted ascending and non-overlapping.
+    ///
+    /// ```
+    /// let mut b = phbits::BitBuf::new();
+    /// b.push_bits(0b1100101, 7);
+    /// b.remove_ranges(&[(1, 1), (4, 2)]);
+    /// // 1 0 1 0 0 1 1 → keep 1, 1 0, 1 (LSB first)
+    /// assert_eq!(b.len(), 4);
+    /// assert_eq!(b.read_bits(0, 4), 0b1011);
+    /// ```
+    pub fn remove_ranges(&mut self, ranges: &[(usize, usize)]) {
+        let old_len = self.len();
+        let total: usize = ranges.iter().map(|&(_, n)| n).sum();
+        debug_assert!(
+            ranges.windows(2).all(|w| w[0].0 + w[0].1 <= w[1].0),
+            "ranges sorted and disjoint"
+        );
+        assert!(
+            ranges.iter().all(|&(off, n)| off + n <= old_len),
+            "removal range out of bounds"
+        );
+        if total == 0 {
+            return;
+        }
+        let mut out = BitBuf::zeroed(old_len - total);
+        let mut src = 0usize;
+        let mut dst = 0usize;
+        for &(off, n) in ranges {
+            out.copy_bits_from(self, src, dst, off - src);
+            dst += off - src;
+            src = off + n;
+        }
+        out.copy_bits_from(self, src, dst, old_len - src);
+        *self = out;
+    }
+
+    /// Copies `n` bits from `src` (another buffer) at `src_off` into `self`
+    /// at `dst_off`. The destination range must already exist.
+    pub fn copy_bits_from(&mut self, src: &BitBuf, src_off: usize, dst_off: usize, n: usize) {
+        assert!(src_off + n <= src.len(), "source range out of bounds");
+        assert!(dst_off + n <= self.len(), "destination range out of bounds");
+        let mut done = 0;
+        while done < n {
+            let chunk = (n - done).min(64) as u32;
+            let v = src.read_bits(src_off + done, chunk);
+            self.write_bits(dst_off + done, v, chunk);
+            done += chunk as usize;
+        }
+    }
+
+    /// Appends `n` bits copied from `src` at `src_off`.
+    pub fn push_bits_from(&mut self, src: &BitBuf, src_off: usize, n: usize) {
+        let off = self.len();
+        self.grow(n);
+        self.copy_bits_from(src, src_off, off, n);
+    }
+
+    /// Counts the 1-bits in the range `off..off + n`.
+    ///
+    /// Word-chunked: O(n/64). Used for rank queries over packed
+    /// child-kind bits.
+    #[inline]
+    pub fn count_ones(&self, off: usize, n: usize) -> usize {
+        assert!(off + n <= self.len(), "count range out of bounds");
+        let mut total = 0usize;
+        let mut done = 0usize;
+        while done < n {
+            let chunk = (n - done).min(64) as u32;
+            total += self.read_bits(off + done, chunk).count_ones() as usize;
+            done += chunk as usize;
+        }
+        total
+    }
+
+    /// The backing words (exactly `ceil(len/64)`; bits beyond `len` in
+    /// the last word are zero). For serialisation.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Reconstructs a buffer from backing words and a bit length (the
+    /// inverse of [`BitBuf::words`] + [`BitBuf::len`]).
+    ///
+    /// Returns `None` if `len_bits` does not fit the word count or if
+    /// bits beyond `len_bits` are set (corrupt input).
+    pub fn from_words(words: Box<[u64]>, len_bits: usize) -> Option<Self> {
+        if words.len() != len_bits.div_ceil(64) || len_bits > u32::MAX as usize {
+            return None;
+        }
+        let rem = (len_bits % 64) as u32;
+        if rem != 0 && words[words.len() - 1] & !mask(rem) != 0 {
+            return None;
+        }
+        Some(BitBuf {
+            words,
+            len: len_bits as u32,
+        })
+    }
+
+    /// Returns the single bit at index `i` as a bool.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.read_bits(i, 1) != 0
+    }
+
+    /// Sets the single bit at index `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: bool) {
+        self.write_bits(i, v as u64, 1);
+    }
+}
+
+impl std::fmt::Debug for BitBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BitBuf[{};", self.len)?;
+        for i in 0..self.len().min(256) {
+            if i % 8 == 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}", self.get(i) as u8)?;
+        }
+        if self.len() > 256 {
+            write!(f, " …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        let b = BitBuf::new();
+        assert_eq!(b.len(), 0);
+        assert!(b.is_empty());
+        assert_eq!(b.used_bytes(), 0);
+        assert_eq!(b.heap_bytes(), 0);
+    }
+
+    #[test]
+    fn push_and_read_small() {
+        let mut b = BitBuf::new();
+        b.push_bits(0b101, 3);
+        b.push_bits(0b11, 2);
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.read_bits(0, 3), 0b101);
+        assert_eq!(b.read_bits(3, 2), 0b11);
+        assert_eq!(b.read_bits(0, 5), 0b11101);
+    }
+
+    #[test]
+    fn read_write_across_word_boundary() {
+        let mut b = BitBuf::new();
+        b.grow(128);
+        b.write_bits(60, 0xABCD, 16);
+        assert_eq!(b.read_bits(60, 16), 0xABCD);
+        assert_eq!(b.read_bits(60, 4), 0xD);
+        assert_eq!(b.read_bits(64, 12), 0xABC);
+        // Neighbouring bits untouched.
+        assert_eq!(b.read_bits(0, 60), 0);
+        assert_eq!(b.read_bits(76, 52), 0);
+    }
+
+    #[test]
+    fn write_full_64_at_boundary() {
+        let mut b = BitBuf::new();
+        b.grow(192);
+        b.write_bits(64, u64::MAX, 64);
+        assert_eq!(b.read_bits(64, 64), u64::MAX);
+        assert_eq!(b.read_bits(0, 64), 0);
+        assert_eq!(b.read_bits(128, 64), 0);
+        b.write_bits(32, 0, 64);
+        assert_eq!(b.read_bits(0, 32), 0);
+        assert_eq!(b.read_bits(32, 64), 0);
+        assert_eq!(b.read_bits(96, 32), u64::MAX >> 32);
+    }
+
+    #[test]
+    fn write_unaligned_64() {
+        let mut b = BitBuf::new();
+        b.grow(256);
+        let v = 0x0123_4567_89AB_CDEF;
+        b.write_bits(13, v, 64);
+        assert_eq!(b.read_bits(13, 64), v);
+    }
+
+    #[test]
+    fn zero_width_ops() {
+        let mut b = BitBuf::new();
+        b.push_bits(0b1, 1);
+        assert_eq!(b.read_bits(0, 0), 0);
+        assert_eq!(b.read_bits(1, 0), 0);
+        b.write_bits(1, 0xFF, 0); // no-op at end
+        b.insert_gap(1, 0);
+        b.remove_range(0, 0);
+        assert_eq!(b.len(), 1);
+        assert!(b.get(0));
+    }
+
+    #[test]
+    fn insert_gap_middle() {
+        let mut b = BitBuf::new();
+        b.push_bits(0b1111, 4);
+        b.insert_gap(2, 3);
+        assert_eq!(b.len(), 7);
+        assert_eq!(b.read_bits(0, 2), 0b11);
+        assert_eq!(b.read_bits(2, 3), 0); // gap is zeroed
+        assert_eq!(b.read_bits(5, 2), 0b11);
+    }
+
+    #[test]
+    fn insert_gap_at_start_and_end() {
+        let mut b = BitBuf::new();
+        b.push_bits(0b1011, 4);
+        b.insert_gap(0, 2);
+        assert_eq!(b.read_bits(0, 2), 0);
+        assert_eq!(b.read_bits(2, 4), 0b1011);
+        b.insert_gap(6, 5);
+        assert_eq!(b.len(), 11);
+        assert_eq!(b.read_bits(6, 5), 0);
+        assert_eq!(b.read_bits(2, 4), 0b1011);
+    }
+
+    #[test]
+    fn insert_large_gap_shifts_whole_words() {
+        let mut b = BitBuf::new();
+        for i in 0..200u64 {
+            b.push_bits(i & 1, 1);
+        }
+        let before: Vec<bool> = (0..200).map(|i| b.get(i)).collect();
+        b.insert_gap(67, 130);
+        assert_eq!(b.len(), 330);
+        for (i, &bit) in before.iter().enumerate().take(67) {
+            assert_eq!(b.get(i), bit, "prefix bit {i}");
+        }
+        for i in 67..197 {
+            assert!(!b.get(i), "gap bit {i} should be zero");
+        }
+        for (i, &bit) in before.iter().enumerate().skip(67) {
+            assert_eq!(b.get(i + 130), bit, "suffix bit {i}");
+        }
+    }
+
+    #[test]
+    fn multi_gap_insert_matches_sequential() {
+        let mut base = BitBuf::new();
+        for i in 0..100u64 {
+            base.push_bits((i * 7) & 1, 1);
+        }
+        let mut multi = base.clone();
+        multi.insert_gaps(&[(10, 3), (50, 7), (100, 2)]);
+        let mut seq = base.clone();
+        // Apply from the back so original offsets stay valid.
+        seq.insert_gap(100, 2);
+        seq.insert_gap(50, 7);
+        seq.insert_gap(10, 3);
+        assert_eq!(multi, seq);
+    }
+
+    #[test]
+    fn multi_gap_adjacent_offsets() {
+        let mut b = BitBuf::new();
+        b.push_bits(0b11, 2);
+        b.insert_gaps(&[(1, 1), (1, 1)]);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.read_bits(0, 4), 0b1001);
+    }
+
+    #[test]
+    fn remove_range_middle() {
+        let mut b = BitBuf::new();
+        b.push_bits(0b1100101, 7);
+        b.remove_range(2, 3);
+        assert_eq!(b.len(), 4);
+        // original bits (LSB first): 1,0,1,0,0,1,1 → remove idx 2..5 → 1,0,1,1
+        assert_eq!(b.read_bits(0, 4), 0b1101);
+    }
+
+    #[test]
+    fn remove_range_spanning_words() {
+        let mut b = BitBuf::new();
+        for i in 0..300u64 {
+            b.push_bits((i * 7) & 1, 1);
+        }
+        let before: Vec<bool> = (0..300).map(|i| b.get(i)).collect();
+        b.remove_range(50, 200);
+        assert_eq!(b.len(), 100);
+        for (i, &bit) in before.iter().enumerate().take(50) {
+            assert_eq!(b.get(i), bit);
+        }
+        for i in 50..100 {
+            assert_eq!(b.get(i), before[i + 200]);
+        }
+    }
+
+    #[test]
+    fn multi_range_remove_matches_sequential() {
+        let mut base = BitBuf::new();
+        for i in 0..120u64 {
+            base.push_bits((i * 11) & 1, 1);
+        }
+        let mut multi = base.clone();
+        multi.remove_ranges(&[(5, 4), (40, 10), (100, 20)]);
+        let mut seq = base.clone();
+        seq.remove_range(100, 20);
+        seq.remove_range(40, 10);
+        seq.remove_range(5, 4);
+        assert_eq!(multi, seq);
+    }
+
+    #[test]
+    fn grow_zeroes_reclaimed_space() {
+        let mut b = BitBuf::new();
+        b.push_bits(u64::MAX, 64);
+        b.push_bits(u64::MAX, 10);
+        b.truncate(3);
+        b.grow(80);
+        assert_eq!(b.read_bits(0, 3), 0b111);
+        for i in 3..83 {
+            assert!(!b.get(i), "bit {i} must be zero after grow");
+        }
+    }
+
+    #[test]
+    fn storage_is_exact() {
+        let mut b = BitBuf::new();
+        b.grow(65);
+        assert_eq!(b.heap_bytes(), 16);
+        b.truncate(64);
+        assert_eq!(b.heap_bytes(), 8);
+        b.truncate(0);
+        assert_eq!(b.heap_bytes(), 0);
+        b.grow(1);
+        assert_eq!(b.heap_bytes(), 8);
+    }
+
+    #[test]
+    fn copy_between_buffers() {
+        let mut a = BitBuf::new();
+        a.push_bits(0xDEAD_BEEF, 32);
+        let mut b = BitBuf::new();
+        b.grow(40);
+        b.copy_bits_from(&a, 4, 7, 24);
+        assert_eq!(b.read_bits(7, 24), (0xDEAD_BEEF >> 4) & 0xFF_FFFF);
+        let mut c = BitBuf::new();
+        c.push_bits_from(&a, 0, 32);
+        assert_eq!(c.read_bits(0, 32), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn read_out_of_bounds_panics() {
+        let b = BitBuf::new();
+        b.read_bits(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn write_out_of_bounds_panics() {
+        let mut b = BitBuf::new();
+        b.grow(8);
+        b.write_bits(5, 0, 4);
+    }
+
+    #[test]
+    fn truncate_then_reuse() {
+        let mut b = BitBuf::new();
+        b.push_bits(0xFF, 8);
+        b.truncate(0);
+        assert!(b.is_empty());
+        b.push_bits(0b01, 2);
+        assert_eq!(b.read_bits(0, 2), 0b01);
+    }
+
+    #[test]
+    fn count_ones_ranges() {
+        let mut b = BitBuf::new();
+        for i in 0..200u64 {
+            b.push_bits((i % 3 == 0) as u64, 1);
+        }
+        let expect = |off: usize, n: usize| (off..off + n).filter(|i| i % 3 == 0).count();
+        for (off, n) in [(0, 200), (0, 0), (5, 64), (63, 2), (1, 130), (199, 1)] {
+            assert_eq!(b.count_ones(off, n), expect(off, n), "off {off} n {n}");
+        }
+    }
+
+    #[test]
+    fn set_get_individual_bits() {
+        let mut b = BitBuf::new();
+        b.grow(130);
+        b.set(0, true);
+        b.set(63, true);
+        b.set(64, true);
+        b.set(129, true);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(129));
+        assert!(!b.get(1) && !b.get(62) && !b.get(65) && !b.get(128));
+        b.set(63, false);
+        assert!(!b.get(63));
+    }
+}

@@ -1,0 +1,256 @@
+//! Hypercube address manipulation.
+//!
+//! A PH-tree node that splits at bit depth `b` assigns each key a
+//! *hypercube address*: a `k`-bit number whose bit `k-1-d` is bit `b` of
+//! the key's dimension `d` (dimension 0 contributes the most significant
+//! address bit, matching Fig. 2 of the paper where the 2-D point
+//! `(0…, 1…)` gets address `01`).
+//!
+//! For range queries (Sect. 3.5) the node's intersection with the query
+//! hyper-rectangle is encoded in two masks `mL` and `mU`; an address `h`
+//! can possibly contain matching entries iff `(h | mL) == h && (h & mU) ==
+//! h`. [`next_addr`] enumerates exactly those addresses in increasing
+//! order with O(1) word operations per step.
+
+/// Extracts the hypercube address of `key` at bit position `bit`
+/// (0 = least significant bit, 63 = most significant).
+///
+/// Dimension 0 maps to the most significant address bit.
+///
+/// ```
+/// // 2-D key whose dim-0 MSB is 0 and dim-1 MSB is 1 → address 0b01.
+/// assert_eq!(phbits::hc::addr(&[0, 1 << 63], 63), 0b01);
+/// ```
+#[inline]
+pub fn addr(key: &[u64], bit: u32) -> u64 {
+    debug_assert!(key.len() <= 64);
+    let mut h = 0u64;
+    for &v in key {
+        h = (h << 1) | ((v >> bit) & 1);
+    }
+    h
+}
+
+/// Writes a hypercube address back into a key: sets bit `bit` of each
+/// dimension of `key` from the corresponding bit of `h`.
+#[inline]
+pub fn apply_addr(key: &mut [u64], h: u64, bit: u32) {
+    let k = key.len();
+    for (d, v) in key.iter_mut().enumerate() {
+        let b = (h >> (k - 1 - d)) & 1;
+        *v = (*v & !(1u64 << bit)) | (b << bit);
+    }
+}
+
+/// Computes the range-query masks `(mL, mU)` for a node.
+///
+/// `node_min[d]`/`node_max[d]` are the smallest and largest key values the
+/// node's region can contain in dimension `d` (its prefix with the lower
+/// bits all-0 resp. all-1, down to and including the node's split bit).
+/// `q_min`/`q_max` are the query rectangle corners.
+///
+/// Bit `k-1-d` of `mL` is 1 iff the query's lower bound forces the upper
+/// half of dimension `d` (the lower half cannot contain matches); bit
+/// `k-1-d` of `mU` is 0 iff the query's upper bound forbids the upper
+/// half. See Sect. 3.5.
+///
+/// `bit` is the node's split bit position; the half-point of dimension `d`
+/// is `node_min[d] | (1 << bit)`.
+#[inline]
+pub fn masks(node_min: &[u64], q_min: &[u64], q_max: &[u64], bit: u32) -> (u64, u64) {
+    let k = node_min.len();
+    let mut m_l = 0u64;
+    let mut m_u = 0u64;
+    let lower_span = if bit == 0 { 0 } else { (1u64 << bit) - 1 };
+    for d in 0..k {
+        let lo_min = node_min[d];
+        let lo_max = node_min[d] | lower_span; // top of the lower half
+        let hi_min = node_min[d] | (1u64 << bit);
+        m_l <<= 1;
+        m_u <<= 1;
+        // Lower half [lo_min, lo_max] disjoint from query → must go high.
+        if q_min[d] > lo_max {
+            m_l |= 1;
+        }
+        // Upper half starts above query max → must stay low.
+        if q_max[d] >= hi_min {
+            m_u |= 1;
+        }
+        let _ = lo_min;
+    }
+    (m_l, m_u)
+}
+
+/// Whether hypercube address `h` can contain query matches under masks
+/// `(m_l, m_u)`.
+#[inline]
+pub fn addr_valid(h: u64, m_l: u64, m_u: u64) -> bool {
+    (h | m_l) == h && (h & m_u) == h
+}
+
+/// Returns the smallest valid address under `(m_l, m_u)`, i.e. `mL`
+/// itself (always valid when `mL ⊆ mU`, which holds whenever the node
+/// intersects the query at all).
+#[inline]
+pub fn first_addr(m_l: u64, _m_u: u64) -> u64 {
+    m_l
+}
+
+/// Returns the successor of valid address `h` under masks `(m_l, m_u)`,
+/// or `None` when `h` is the largest valid address.
+///
+/// This is the constant-time increment of the PH-tree range iterator: set
+/// all non-selectable bits, add one (carry ripples through them), then
+/// restore the mask pattern.
+#[inline]
+pub fn next_addr(h: u64, m_l: u64, m_u: u64) -> Option<u64> {
+    let r = (h | !m_u).wrapping_add(1);
+    let next = (r & m_u) | m_l;
+    if next > h {
+        Some(next)
+    } else {
+        None
+    }
+}
+
+/// Iterator over all valid hypercube addresses between `mL` and `mU`.
+///
+/// ```
+/// // k = 3, dim 0 must be high (mL = 0b100), dim 2 must stay low
+/// // (mU = 0b110): valid addresses are 100 and 110.
+/// let v: Vec<u64> = phbits::hc::valid_addrs(0b100, 0b110).collect();
+/// assert_eq!(v, vec![0b100, 0b110]);
+/// ```
+pub fn valid_addrs(m_l: u64, m_u: u64) -> ValidAddrs {
+    ValidAddrs {
+        next: if m_l & !m_u == 0 { Some(m_l) } else { None },
+        m_l,
+        m_u,
+    }
+}
+
+/// See [`valid_addrs`].
+#[derive(Debug, Clone)]
+pub struct ValidAddrs {
+    next: Option<u64>,
+    m_l: u64,
+    m_u: u64,
+}
+
+impl Iterator for ValidAddrs {
+    type Item = u64;
+
+    #[inline]
+    fn next(&mut self) -> Option<u64> {
+        let cur = self.next?;
+        self.next = next_addr(cur, self.m_l, self.m_u);
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_extracts_msb_first() {
+        // Paper Fig. 2: entry (0001, 1000) at the root (bit 3 of 4-bit
+        // values → here bit 63 of 64-bit): dim0 starts 0, dim1 starts 1.
+        let key = [0x1u64 << 32, 0x8u64 << 60];
+        assert_eq!(addr(&key, 63), 0b01);
+        assert_eq!(addr(&[u64::MAX, 0, u64::MAX], 7), 0b101);
+    }
+
+    #[test]
+    fn addr_apply_roundtrip() {
+        let mut key = [0u64; 4];
+        apply_addr(&mut key, 0b1010, 17);
+        assert_eq!(addr(&key, 17), 0b1010);
+        assert_eq!(key[0], 1 << 17);
+        assert_eq!(key[1], 0);
+        apply_addr(&mut key, 0b0101, 17);
+        assert_eq!(addr(&key, 17), 0b0101);
+    }
+
+    #[test]
+    fn valid_addr_enumeration_full_range() {
+        // Unconstrained 3-bit cube: all 8 addresses.
+        let v: Vec<u64> = valid_addrs(0, 0b111).collect();
+        assert_eq!(v, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn valid_addr_enumeration_constrained() {
+        // mL=0b001 (last dim must be 1), mU=0b101 (middle dim must be 0).
+        let v: Vec<u64> = valid_addrs(0b001, 0b101).collect();
+        assert_eq!(v, vec![0b001, 0b101]);
+        for h in &v {
+            assert!(addr_valid(*h, 0b001, 0b101));
+        }
+    }
+
+    #[test]
+    fn valid_addrs_empty_when_contradictory() {
+        // mL requires a bit that mU forbids → no valid address.
+        let v: Vec<u64> = valid_addrs(0b010, 0b101).collect();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn successor_matches_filter_scan() {
+        for (m_l, m_u) in [(0u64, 0b1111u64), (0b0011, 0b1011), (0b1000, 0b1110)] {
+            let fast: Vec<u64> = valid_addrs(m_l, m_u).collect();
+            let slow: Vec<u64> = (0..16).filter(|&h| addr_valid(h, m_l, m_u)).collect();
+            assert_eq!(fast, slow, "mL={m_l:b} mU={m_u:b}");
+        }
+    }
+
+    #[test]
+    fn single_valid_address() {
+        let v: Vec<u64> = valid_addrs(0b101, 0b101).collect();
+        assert_eq!(v, vec![0b101]);
+    }
+
+    #[test]
+    fn masks_fully_inside_query() {
+        // Node region [4,7]² at split bit 1, query covers [0,10]².
+        let (m_l, m_u) = masks(&[4, 4], &[0, 0], &[10, 10], 1);
+        assert_eq!(m_l, 0b00);
+        assert_eq!(m_u, 0b11);
+    }
+
+    #[test]
+    fn masks_query_cuts_lower_half() {
+        // Node region [0,7] (1-D) split at bit 2: lower half [0,3],
+        // upper half [4,7]. Query [5,9] excludes the lower half.
+        let (m_l, m_u) = masks(&[0], &[5], &[9], 2);
+        assert_eq!(m_l, 0b1);
+        assert_eq!(m_u, 0b1);
+    }
+
+    #[test]
+    fn masks_query_cuts_upper_half() {
+        // Query [0,2] excludes the upper half [4,7].
+        let (m_l, m_u) = masks(&[0], &[0], &[2], 2);
+        assert_eq!(m_l, 0b0);
+        assert_eq!(m_u, 0b0);
+    }
+
+    #[test]
+    fn masks_split_bit_zero() {
+        // Split at bit 0: halves are single values {n, n+1}.
+        let (m_l, m_u) = masks(&[10], &[11], &[11], 0);
+        assert_eq!(m_l, 1);
+        assert_eq!(m_u, 1);
+        let (m_l, m_u) = masks(&[10], &[10], &[10], 0);
+        assert_eq!(m_l, 0);
+        assert_eq!(m_u, 0);
+    }
+
+    #[test]
+    fn masks_highest_bit() {
+        let (m_l, m_u) = masks(&[0], &[1 << 63], &[u64::MAX], 63);
+        assert_eq!(m_l, 1);
+        assert_eq!(m_u, 1);
+    }
+}

@@ -1,0 +1,81 @@
+//! Small numeric helpers shared by the PH-tree and the crit-bit baseline.
+
+/// Returns the highest bit position (0..=63) at which any dimension of
+/// `a` and `b` differ, or `None` if the keys are equal.
+///
+/// This is the bit depth at which a new sub-node must split when two keys
+/// collide in one hypercube slot.
+#[inline]
+pub fn max_diverging_bit(a: &[u64], b: &[u64]) -> Option<u32> {
+    let mut x = 0u64;
+    for (&va, &vb) in a.iter().zip(b) {
+        x |= va ^ vb;
+    }
+    if x == 0 {
+        None
+    } else {
+        Some(63 - x.leading_zeros())
+    }
+}
+
+/// Returns true if all dimensions of `a` and `b` agree on the bit range
+/// `lo..=hi` (inclusive, 0 = LSB).
+#[inline]
+pub fn bits_equal_in_range(a: &[u64], b: &[u64], lo: u32, hi: u32) -> bool {
+    debug_assert!(lo <= hi && hi < 64);
+    let width = hi - lo + 1;
+    let m = if width == 64 {
+        u64::MAX
+    } else {
+        ((1u64 << width) - 1) << lo
+    };
+    a.iter().zip(b).all(|(&va, &vb)| (va ^ vb) & m == 0)
+}
+
+/// Mask with bits `0..nbits` set.
+#[inline]
+pub fn low_mask(nbits: u32) -> u64 {
+    if nbits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << nbits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diverging_bit_basic() {
+        assert_eq!(max_diverging_bit(&[0b1000], &[0b1001]), Some(0));
+        assert_eq!(max_diverging_bit(&[0b1000], &[0b0000]), Some(3));
+        assert_eq!(max_diverging_bit(&[5, 5], &[5, 5]), None);
+        // Divergence across dimensions takes the max.
+        assert_eq!(max_diverging_bit(&[0b001, 0b100], &[0b000, 0b000]), Some(2));
+    }
+
+    #[test]
+    fn diverging_bit_msb() {
+        assert_eq!(max_diverging_bit(&[1 << 63], &[0]), Some(63));
+    }
+
+    #[test]
+    fn bits_equal_ranges() {
+        let a = [0b1010_1010u64];
+        let b = [0b1010_0110u64];
+        // Bits 4..=7 agree, bits 2..=3 differ.
+        assert!(bits_equal_in_range(&a, &b, 4, 7));
+        assert!(!bits_equal_in_range(&a, &b, 2, 3));
+        assert!(bits_equal_in_range(&a, &b, 0, 1));
+        assert!(bits_equal_in_range(&a, &a, 0, 63));
+    }
+
+    #[test]
+    fn low_mask_widths() {
+        assert_eq!(low_mask(0), 0);
+        assert_eq!(low_mask(1), 1);
+        assert_eq!(low_mask(63), u64::MAX >> 1);
+        assert_eq!(low_mask(64), u64::MAX);
+    }
+}

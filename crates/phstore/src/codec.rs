@@ -1,0 +1,129 @@
+//! Compact value (de)serialisation for stored trees.
+
+/// Encode/decode for values stored alongside keys.
+///
+/// Implementations must be self-delimiting: `decode` returns the value
+/// and the number of bytes consumed, or `None` on malformed input.
+pub trait ValueCodec: Sized {
+    /// Appends the encoded value to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes one value from the front of `buf`.
+    fn decode(buf: &[u8]) -> Option<(Self, usize)>;
+}
+
+impl ValueCodec for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+    fn decode(_buf: &[u8]) -> Option<((), usize)> {
+        Some(((), 0))
+    }
+}
+
+macro_rules! int_codec {
+    ($($t:ty),*) => {$(
+        impl ValueCodec for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(buf: &[u8]) -> Option<(Self, usize)> {
+                const N: usize = std::mem::size_of::<$t>();
+                if buf.len() < N {
+                    return None;
+                }
+                Some((<$t>::from_le_bytes(buf[..N].try_into().unwrap()), N))
+            }
+        }
+    )*};
+}
+
+int_codec!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl ValueCodec for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn decode(buf: &[u8]) -> Option<(Self, usize)> {
+        if buf.len() < 8 {
+            return None;
+        }
+        Some((f64::from_bits(u64::from_le_bytes(buf[..8].try_into().unwrap())), 8))
+    }
+}
+
+impl ValueCodec for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(buf: &[u8]) -> Option<(Self, usize)> {
+        if buf.len() < 4 {
+            return None;
+        }
+        let n = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+        if buf.len() < 4 + n {
+            return None;
+        }
+        let s = std::str::from_utf8(&buf[4..4 + n]).ok()?.to_string();
+        Some((s, 4 + n))
+    }
+}
+
+impl ValueCodec for Vec<u8> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        out.extend_from_slice(self);
+    }
+    fn decode(buf: &[u8]) -> Option<(Self, usize)> {
+        if buf.len() < 4 {
+            return None;
+        }
+        let n = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+        if buf.len() < 4 + n {
+            return None;
+        }
+        Some((buf[4..4 + n].to_vec(), 4 + n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: ValueCodec + PartialEq + std::fmt::Debug>(v: T) {
+        let mut buf = vec![0xEE]; // leading noise is not consumed
+        let start = buf.len();
+        v.encode(&mut buf);
+        let (back, used) = T::decode(&buf[start..]).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(used, buf.len() - start);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(());
+        roundtrip(0u8);
+        roundtrip(42u32);
+        roundtrip(u64::MAX);
+        roundtrip(-123456789i64);
+        roundtrip(3.14159f64);
+        roundtrip(-0.0f64);
+        roundtrip(String::from("héllo wörld"));
+        roundtrip(String::new());
+        roundtrip(vec![1u8, 2, 3]);
+        roundtrip(Vec::<u8>::new());
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        assert!(u64::decode(&[1, 2, 3]).is_none());
+        assert!(String::decode(&[5, 0, 0, 0, b'a']).is_none());
+        assert!(Vec::<u8>::decode(&[2, 0, 0, 0, 9]).is_none());
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(String::decode(&buf).is_none());
+    }
+}

@@ -1,0 +1,62 @@
+//! Paged persistent storage for the PH-tree.
+//!
+//! The paper argues (Sect. 1 and the outlook) that the PH-tree suits
+//! persistent storage: each node's data is one packed bit string that
+//! "can be split efficiently to fit into disk-pages", and every update
+//! touches at most two nodes — at most two page neighbourhoods. This
+//! crate implements that storage layer as a snapshot format:
+//!
+//! * [`pager`] — a fixed-size-page file substrate (4 KiB pages, a
+//!   checksummed header page, sequential allocation).
+//! * [`record`] — a slotted-page record heap on top of the pager: many
+//!   small node records share a page; records larger than a page spill
+//!   into chained overflow pages ("split to fit into disk-pages").
+//!   Every record carries an FNV-1a checksum, verified on read.
+//! * [`codec`] — compact value (de)serialisation for common types.
+//! * [`save`]/[`load`] — persist a [`phtree::PhTree`] node by node
+//!   (post-order, children before parents) and rebuild it with full
+//!   structural re-validation; corrupt files yield errors, never broken
+//!   trees.
+//!
+//! Because the PH-tree's structure is canonical, the snapshot is
+//! byte-for-byte deterministic for a given tree content.
+//!
+//! ```
+//! use phtree::PhTree;
+//!
+//! let dir = std::env::temp_dir().join("phstore-doc");
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join("doc.pht");
+//!
+//! let mut tree: PhTree<u32, 2> = PhTree::new();
+//! for i in 0..1000u64 {
+//!     tree.insert([i % 37, i / 37], i as u32);
+//! }
+//! let stats = phstore::save(&tree, &path).unwrap();
+//! assert!(stats.pages > 0);
+//!
+//! let loaded: PhTree<u32, 2> = phstore::load(&path).unwrap();
+//! assert_eq!(loaded.len(), tree.len());
+//! assert_eq!(loaded.get(&[5, 7]), tree.get(&[5, 7]));
+//! # std::fs::remove_file(&path).ok();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod pager;
+pub mod record;
+mod store;
+
+pub use codec::ValueCodec;
+pub use store::{load, save, SaveStats, StoreError};
+
+/// FNV-1a 64-bit checksum used for header and record integrity.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}

@@ -1,0 +1,214 @@
+//! Fixed-size-page file substrate.
+//!
+//! Page 0 is the header page (magic, format version, page count and a
+//! user metadata blob, all checksummed); data pages are allocated
+//! sequentially. The pager knows nothing about records — see
+//! [`crate::record`] for the slotted layout on top.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Page size in bytes. 4 KiB, the common disk/OS page granularity the
+/// paper's outlook refers to.
+pub const PAGE_SIZE: usize = 4096;
+
+const MAGIC: &[u8; 8] = b"PHSTORE1";
+/// Maximum user metadata bytes storable in the header page.
+pub const MAX_META: usize = PAGE_SIZE - 8 - 8 - 8 - 4;
+
+/// A page-granular file.
+pub struct Pager {
+    file: File,
+    n_pages: u64,
+}
+
+impl Pager {
+    /// Creates (truncating) a paged file with the given user metadata.
+    pub fn create(path: &Path, meta: &[u8]) -> io::Result<Pager> {
+        assert!(meta.len() <= MAX_META, "metadata too large");
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut p = Pager { file, n_pages: 1 };
+        p.write_header(meta)?;
+        Ok(p)
+    }
+
+    /// Opens an existing paged file, returning the pager and the user
+    /// metadata from the header page.
+    pub fn open(path: &Path) -> io::Result<(Pager, Vec<u8>)> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len < PAGE_SIZE as u64 || len % PAGE_SIZE as u64 != 0 {
+            return Err(corrupt("file size is not page-aligned"));
+        }
+        let mut p = Pager {
+            file,
+            n_pages: len / PAGE_SIZE as u64,
+        };
+        let header = p.read_page(0)?;
+        if &header[..8] != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let stored_pages = u64::from_le_bytes(header[8..16].try_into().unwrap());
+        if stored_pages != p.n_pages {
+            return Err(corrupt("page count mismatch"));
+        }
+        let meta_len = u32::from_le_bytes(header[16..20].try_into().unwrap()) as usize;
+        if meta_len > MAX_META {
+            return Err(corrupt("oversized metadata"));
+        }
+        let meta = header[20..20 + meta_len].to_vec();
+        let stored_sum = u64::from_le_bytes(header[PAGE_SIZE - 8..].try_into().unwrap());
+        if stored_sum != crate::fnv1a(&header[..PAGE_SIZE - 8]) {
+            return Err(corrupt("header checksum mismatch"));
+        }
+        Ok((p, meta))
+    }
+
+    /// Rewrites the header page (page count + metadata + checksum).
+    pub fn write_header(&mut self, meta: &[u8]) -> io::Result<()> {
+        assert!(meta.len() <= MAX_META, "metadata too large");
+        let mut page = vec![0u8; PAGE_SIZE];
+        page[..8].copy_from_slice(MAGIC);
+        page[8..16].copy_from_slice(&self.n_pages.to_le_bytes());
+        page[16..20].copy_from_slice(&(meta.len() as u32).to_le_bytes());
+        page[20..20 + meta.len()].copy_from_slice(meta);
+        let sum = crate::fnv1a(&page[..PAGE_SIZE - 8]);
+        page[PAGE_SIZE - 8..].copy_from_slice(&sum.to_le_bytes());
+        self.write_page(0, &page)
+    }
+
+    /// Number of pages in the file (including the header page).
+    pub fn n_pages(&self) -> u64 {
+        self.n_pages
+    }
+
+    /// Allocates a fresh (zeroed) page at the end of the file.
+    pub fn alloc_page(&mut self) -> io::Result<u64> {
+        let id = self.n_pages;
+        self.n_pages += 1;
+        self.write_page(id, &[0u8; PAGE_SIZE])?;
+        Ok(id)
+    }
+
+    /// Reads page `id` in full.
+    pub fn read_page(&mut self, id: u64) -> io::Result<Vec<u8>> {
+        if id >= self.n_pages {
+            return Err(corrupt("page id out of range"));
+        }
+        self.file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
+        let mut buf = vec![0u8; PAGE_SIZE];
+        self.file.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Writes page `id` in full.
+    pub fn write_page(&mut self, id: u64, data: &[u8]) -> io::Result<()> {
+        assert_eq!(data.len(), PAGE_SIZE);
+        assert!(id < self.n_pages, "write to unallocated page");
+        self.file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
+        self.file.write_all(data)
+    }
+
+    /// Flushes everything to stable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_all()
+    }
+}
+
+pub(crate) fn corrupt(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("phstore: {what}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("phstore-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn create_open_roundtrip_with_meta() {
+        let path = tmp("pager_meta.pht");
+        {
+            let mut p = Pager::create(&path, b"hello meta").unwrap();
+            p.sync().unwrap();
+        }
+        let (p, meta) = Pager::open(&path).unwrap();
+        assert_eq!(meta, b"hello meta");
+        assert_eq!(p.n_pages(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pages_store_and_return_data() {
+        let path = tmp("pager_data.pht");
+        let mut p = Pager::create(&path, b"").unwrap();
+        let a = p.alloc_page().unwrap();
+        let b = p.alloc_page().unwrap();
+        assert_ne!(a, b);
+        let mut pa = vec![0xAAu8; PAGE_SIZE];
+        pa[0] = 1;
+        let mut pb = vec![0x55u8; PAGE_SIZE];
+        pb[PAGE_SIZE - 1] = 2;
+        p.write_page(a, &pa).unwrap();
+        p.write_page(b, &pb).unwrap();
+        // Header must track the page count across reopen.
+        p.write_header(b"x").unwrap();
+        drop(p);
+        let (mut p, meta) = Pager::open(&path).unwrap();
+        assert_eq!(meta, b"x");
+        assert_eq!(p.read_page(a).unwrap(), pa);
+        assert_eq!(p.read_page(b).unwrap(), pb);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_header_is_rejected() {
+        let path = tmp("pager_corrupt.pht");
+        {
+            let mut p = Pager::create(&path, b"meta").unwrap();
+            p.alloc_page().unwrap();
+            p.write_header(b"meta").unwrap();
+        }
+        // Flip a metadata byte without fixing the checksum.
+        {
+            let mut f = OpenOptions::new().write(true).open(&path).unwrap();
+            f.seek(SeekFrom::Start(21)).unwrap();
+            f.write_all(&[0xFF]).unwrap();
+        }
+        assert!(Pager::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let path = tmp("pager_trunc.pht");
+        {
+            let mut p = Pager::create(&path, b"").unwrap();
+            p.alloc_page().unwrap();
+            p.write_header(b"").unwrap();
+        }
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(PAGE_SIZE as u64 + 100).unwrap();
+        drop(f);
+        assert!(Pager::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn out_of_range_page_read_fails() {
+        let path = tmp("pager_range.pht");
+        let mut p = Pager::create(&path, b"").unwrap();
+        assert!(p.read_page(5).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,340 @@
+//! Snapshot save/load of a [`PhTree`] as node records in paged storage.
+//!
+//! Nodes are written post-order (children first), each as one record:
+//!
+//! ```text
+//! [post_len u8][infix_len u8][flags u8: bit0 = HC][reserved u8]
+//! [n_subs u32][n_values u32][bits_len u32 (bits)]
+//! [bit-string words, LE u64 × ceil(bits_len/64)]
+//! [values, ValueCodec-encoded, address order]
+//! [child RecordIds, 10 bytes each, address order]
+//! ```
+//!
+//! The header page's metadata records the dimension count, the entry
+//! count and the root record id; loading re-validates every structural
+//! invariant (via `phtree::raw`), so corrupt or mismatched files yield
+//! [`StoreError`]s, never broken trees.
+
+use crate::codec::ValueCodec;
+use crate::pager::Pager;
+use crate::record::{read_record, RecordId, RecordWriter};
+use phtree::raw::{build_node, NodeRef, RawNode};
+use phtree::PhTree;
+use std::io;
+use std::path::Path;
+
+/// Error loading a stored tree.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O or page/record-level corruption.
+    Io(io::Error),
+    /// The file is structurally invalid for the requested tree type.
+    Corrupt(&'static str),
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "phstore: {e}"),
+            StoreError::Corrupt(w) => write!(f, "phstore: corrupt file: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Statistics returned by [`save`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaveStats {
+    /// Nodes written.
+    pub nodes: u64,
+    /// Total pages in the file (including the header page).
+    pub pages: u64,
+    /// Payload bytes across all node records.
+    pub payload_bytes: u64,
+}
+
+const META_VERSION: u8 = 1;
+
+fn encode_meta(k: usize, len: u64, root: Option<RecordId>) -> Vec<u8> {
+    let mut m = Vec::with_capacity(32);
+    m.push(META_VERSION);
+    m.push(k as u8);
+    m.extend_from_slice(&len.to_le_bytes());
+    match root {
+        None => m.push(0),
+        Some(id) => {
+            m.push(1);
+            id.encode(&mut m);
+        }
+    }
+    m
+}
+
+fn decode_meta(k: usize, meta: &[u8]) -> Result<(u64, Option<RecordId>), StoreError> {
+    if meta.len() < 11 || meta[0] != META_VERSION {
+        return Err(StoreError::Corrupt("bad metadata version"));
+    }
+    if meta[1] as usize != k {
+        return Err(StoreError::Corrupt("dimension count mismatch"));
+    }
+    let len = u64::from_le_bytes(meta[2..10].try_into().unwrap());
+    let root = match meta[10] {
+        0 => None,
+        1 => {
+            let (id, _) =
+                RecordId::decode(&meta[11..]).ok_or(StoreError::Corrupt("bad root id"))?;
+            Some(id)
+        }
+        _ => return Err(StoreError::Corrupt("bad root marker")),
+    };
+    Ok((len, root))
+}
+
+fn write_node<V: ValueCodec, const K: usize>(
+    w: &mut RecordWriter<'_>,
+    node: &NodeRef<'_, V, K>,
+) -> io::Result<RecordId> {
+    // Children first (post-order) so their ids are known.
+    let mut child_ids = Vec::with_capacity(node.subs().len());
+    for sub in node.subs() {
+        child_ids.push(write_node(w, &sub)?);
+    }
+    let mut payload = Vec::with_capacity(16 + node.bits_words().len() * 8 + child_ids.len() * 10);
+    payload.push(node.post_len());
+    payload.push(node.infix_len());
+    payload.push(node.is_hc() as u8);
+    payload.push(0);
+    payload.extend_from_slice(&(child_ids.len() as u32).to_le_bytes());
+    payload.extend_from_slice(&(node.values().len() as u32).to_le_bytes());
+    payload.extend_from_slice(&(node.bits_len() as u32).to_le_bytes());
+    for word in node.bits_words() {
+        payload.extend_from_slice(&word.to_le_bytes());
+    }
+    for v in node.values() {
+        v.encode(&mut payload);
+    }
+    for id in &child_ids {
+        id.encode(&mut payload);
+    }
+    w.append(&payload)
+}
+
+fn read_node<V: ValueCodec, const K: usize>(
+    pager: &mut Pager,
+    id: RecordId,
+    depth: usize,
+) -> Result<RawNode<V, K>, StoreError> {
+    if depth > 64 {
+        return Err(StoreError::Corrupt("node chain deeper than w"));
+    }
+    let buf = read_record(pager, id)?;
+    if buf.len() < 16 {
+        return Err(StoreError::Corrupt("node record too short"));
+    }
+    let (post_len, infix_len, is_hc) = (buf[0], buf[1], buf[2] != 0);
+    let n_subs = u32::from_le_bytes(buf[4..8].try_into().unwrap()) as usize;
+    let n_values = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
+    let bits_len = u32::from_le_bytes(buf[12..16].try_into().unwrap()) as usize;
+    let n_words = bits_len.div_ceil(64);
+    let mut pos = 16;
+    if buf.len() < pos + n_words * 8 {
+        return Err(StoreError::Corrupt("bit string truncated"));
+    }
+    let words: Box<[u64]> = (0..n_words)
+        .map(|i| u64::from_le_bytes(buf[pos + i * 8..pos + i * 8 + 8].try_into().unwrap()))
+        .collect();
+    pos += n_words * 8;
+    let mut values = Vec::with_capacity(n_values);
+    for _ in 0..n_values {
+        let (v, used) =
+            V::decode(&buf[pos..]).ok_or(StoreError::Corrupt("value decode failed"))?;
+        values.push(v);
+        pos += used;
+    }
+    let mut subs = Vec::with_capacity(n_subs);
+    for _ in 0..n_subs {
+        let (cid, used) =
+            RecordId::decode(&buf[pos..]).ok_or(StoreError::Corrupt("child id truncated"))?;
+        pos += used;
+        subs.push(read_node(pager, cid, depth + 1)?);
+    }
+    if pos != buf.len() {
+        return Err(StoreError::Corrupt("trailing bytes in node record"));
+    }
+    build_node(post_len, infix_len, is_hc, words, bits_len, subs, values)
+        .ok_or(StoreError::Corrupt("node invariants violated"))
+}
+
+/// Saves `tree` as a fresh snapshot at `path` (truncates any existing
+/// file).
+pub fn save<V: ValueCodec, const K: usize>(
+    tree: &PhTree<V, K>,
+    path: &Path,
+) -> io::Result<SaveStats> {
+    assert!(K <= 255, "dimension count must fit the header");
+    let mut pager = Pager::create(path, &encode_meta(K, tree.len() as u64, None))?;
+    let (root_id, nodes, payload_bytes) = match tree.root_raw() {
+        None => (None, 0, 0),
+        Some(root) => {
+            let mut w = RecordWriter::new(&mut pager)?;
+            let id = write_node(&mut w, &root)?;
+            let (records, bytes) = (w.records, w.bytes);
+            w.finish()?;
+            (Some(id), records, bytes)
+        }
+    };
+    pager.write_header(&encode_meta(K, tree.len() as u64, root_id))?;
+    pager.sync()?;
+    Ok(SaveStats {
+        nodes,
+        pages: pager.n_pages(),
+        payload_bytes,
+    })
+}
+
+/// Loads a tree previously written by [`save`]. The value type and
+/// dimension count must match; everything is re-validated.
+pub fn load<V: ValueCodec, const K: usize>(path: &Path) -> Result<PhTree<V, K>, StoreError> {
+    let (mut pager, meta) = Pager::open(path)?;
+    let (len, root_id) = decode_meta(K, &meta)?;
+    let root = match root_id {
+        None => None,
+        Some(id) => Some(read_node::<V, K>(&mut pager, id, 0)?),
+    };
+    PhTree::from_raw_parts(root, len as usize)
+        .ok_or(StoreError::Corrupt("tree reassembly failed"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("phstore-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample(n: u64) -> PhTree<u64, 3> {
+        let mut t = PhTree::new();
+        let mut x = 5u64;
+        for i in 0..n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            t.insert([x % 512, (x >> 20) % 512, (x >> 40) % 512], i);
+        }
+        t
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let path = tmp("store_roundtrip.pht");
+        let t = sample(5000);
+        let stats = save(&t, &path).unwrap();
+        assert_eq!(stats.nodes as usize, t.stats().nodes);
+        assert!(stats.pages > 1);
+        let u: PhTree<u64, 3> = load(&path).unwrap();
+        u.check_invariants();
+        assert_eq!(u.len(), t.len());
+        let a: Vec<_> = t.iter().collect::<Vec<_>>();
+        let b: Vec<_> = u.iter().collect::<Vec<_>>();
+        assert_eq!(a.len(), b.len());
+        for ((ka, va), (kb, vb)) in a.iter().zip(&b) {
+            assert_eq!(ka, kb);
+            assert_eq!(va, vb);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_tree_roundtrip() {
+        let path = tmp("store_empty.pht");
+        let t: PhTree<u64, 3> = PhTree::new();
+        save(&t, &path).unwrap();
+        let u: PhTree<u64, 3> = load(&path).unwrap();
+        assert!(u.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_is_deterministic() {
+        let p1 = tmp("store_det1.pht");
+        let p2 = tmp("store_det2.pht");
+        // Same content, different insertion order → identical snapshot.
+        let t1 = sample(2000);
+        let mut t2 = PhTree::new();
+        let mut entries: Vec<_> = t1.iter().map(|(k, &v)| (k, v)).collect();
+        entries.reverse();
+        for (k, v) in entries {
+            t2.insert(k, v);
+        }
+        save(&t1, &p1).unwrap();
+        save(&t2, &p2).unwrap();
+        assert_eq!(std::fs::read(&p1).unwrap(), std::fs::read(&p2).unwrap());
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+    }
+
+    #[test]
+    fn wrong_dimension_is_rejected() {
+        let path = tmp("store_wrongk.pht");
+        let t = sample(100);
+        save(&t, &path).unwrap();
+        let r: Result<PhTree<u64, 4>, _> = load(&path);
+        assert!(matches!(r, Err(StoreError::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flipped_data_byte_is_detected() {
+        use std::io::{Seek, SeekFrom, Write};
+        let path = tmp("store_flip.pht");
+        let t = sample(3000);
+        save(&t, &path).unwrap();
+        // Corrupt a stretch of the first data page — with thousands of
+        // nodes it is densely packed with record payloads.
+        {
+            use crate::pager::PAGE_SIZE;
+            let mut f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+            f.seek(SeekFrom::Start(PAGE_SIZE as u64 + 100)).unwrap();
+            f.write_all(&[0xA5; 64]).unwrap();
+        }
+        let r: Result<PhTree<u64, 3>, _> = load(&path);
+        assert!(r.is_err(), "corruption must be detected");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn string_values_roundtrip() {
+        let path = tmp("store_strings.pht");
+        let mut t: PhTree<String, 2> = PhTree::new();
+        for i in 0..500u64 {
+            t.insert([i % 29, i / 29], format!("value-{i}"));
+        }
+        save(&t, &path).unwrap();
+        let u: PhTree<String, 2> = load(&path).unwrap();
+        assert_eq!(u.get(&[7, 3]), t.get(&[7, 3]));
+        assert_eq!(u.len(), t.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unit_values_roundtrip() {
+        let path = tmp("store_unit.pht");
+        let mut t: PhTree<(), 2> = PhTree::new();
+        for i in 0..1000u64 {
+            t.insert([i * 31 % 1024, i * 17 % 1024], ());
+        }
+        save(&t, &path).unwrap();
+        let u: PhTree<(), 2> = load(&path).unwrap();
+        assert_eq!(u.len(), t.len());
+        assert!(u.contains(&[31, 17]));
+        std::fs::remove_file(&path).ok();
+    }
+}

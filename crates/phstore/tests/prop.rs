@@ -1,0 +1,105 @@
+//! Property tests: save/load roundtrips for arbitrary tree contents.
+
+use phtree::PhTree;
+use proptest::prelude::*;
+
+fn tmp(name: u64) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("phstore-prop");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("t{name}.pht"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn roundtrip_any_contents(
+        entries in proptest::collection::btree_map(
+            prop_oneof![
+                [0u64..16, 0u64..16, 0u64..16],
+                [any::<u64>(), any::<u64>(), any::<u64>()],
+            ],
+            any::<u64>(),
+            0..200,
+        ),
+        file_id in any::<u64>(),
+    ) {
+        let path = tmp(file_id);
+        let mut t: PhTree<u64, 3> = PhTree::new();
+        for (&k, &v) in &entries {
+            t.insert(k, v);
+        }
+        phstore::save(&t, &path).unwrap();
+        let u: PhTree<u64, 3> = phstore::load(&path).unwrap();
+        u.check_invariants();
+        prop_assert_eq!(u.len(), entries.len());
+        for (&k, &v) in &entries {
+            prop_assert_eq!(u.get(&k), Some(&v));
+        }
+        // Statistics (and therefore the in-memory layout) survive too.
+        prop_assert_eq!(t.stats(), u.stats());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn roundtrip_string_values(
+        entries in proptest::collection::btree_map(
+            [0u64..64, 0u64..64],
+            ".*",
+            0..60,
+        ),
+        file_id in any::<u64>(),
+    ) {
+        let path = tmp(file_id ^ 0x5151);
+        let mut t: PhTree<String, 2> = PhTree::new();
+        for (&k, v) in &entries {
+            t.insert(k, v.clone());
+        }
+        phstore::save(&t, &path).unwrap();
+        let u: PhTree<String, 2> = phstore::load(&path).unwrap();
+        for (&k, v) in &entries {
+            prop_assert_eq!(u.get(&k), Some(v));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random single-byte corruption anywhere in the file must never
+    /// yield a *wrong* tree: either loading errors out, or — when the
+    /// flip hits unused page slack — the loaded tree is exactly the
+    /// original.
+    #[test]
+    fn corruption_is_detected_or_harmless(
+        flip_pos in any::<u64>(),
+        flip_bit in 0u8..8,
+        file_id in any::<u64>(),
+    ) {
+        let path = tmp(file_id ^ 0xC0DE);
+        let mut t: PhTree<u64, 2> = PhTree::new();
+        for i in 0..400u64 {
+            t.insert([i % 37, i.wrapping_mul(0x9E37) % 251], i);
+        }
+        phstore::save(&t, &path).unwrap();
+        {
+            let mut bytes = std::fs::read(&path).unwrap();
+            let pos = (flip_pos as usize) % bytes.len();
+            bytes[pos] ^= 1 << flip_bit;
+            std::fs::write(&path, bytes).unwrap();
+        }
+        match phstore::load::<u64, 2>(&path) {
+            Err(_) => {} // detected — good
+            Ok(u) => {
+                // Flip landed in slack: contents must be untouched.
+                u.check_invariants();
+                prop_assert_eq!(u.len(), t.len());
+                for (k, v) in t.iter() {
+                    prop_assert_eq!(u.get(&k), Some(v));
+                }
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

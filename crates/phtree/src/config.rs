@@ -1,0 +1,19 @@
+//! Tree configuration.
+
+/// Node representation policy.
+///
+/// The paper's PH-tree switches each node between a full hypercube array
+/// ("HC", O(1) lookup, `O(2^k)` space) and a sorted linear table ("LHC",
+/// `O(log n)` lookup, `O(n·k)` space) by comparing the exact size of both
+/// (Sect. 3.2). The forced modes exist for the ablation benchmarks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReprMode {
+    /// Per-node size comparison; the paper's behaviour. Default.
+    #[default]
+    Adaptive,
+    /// Every node stays in linear (LHC) form.
+    ForceLhc,
+    /// Every node uses the full hypercube where `K` permits it
+    /// (`K ≤ 22`); larger `K` falls back to LHC.
+    ForceHc,
+}

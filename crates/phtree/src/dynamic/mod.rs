@@ -1,0 +1,15 @@
+//! Runtime-dimensionality PH-tree.
+//!
+//! [`PhTreeDyn`] mirrors [`crate::PhTree`] with the dimension count `k`
+//! chosen at construction instead of compile time — for workloads like
+//! the paper's relational-table outlook (Sect. 5), where the number of
+//! indexed columns is only known at runtime. It uses the identical node
+//! layout and algorithms; since the PH-tree's structure is canonical,
+//! both implementations build byte-identical trees for the same data
+//! (the integration tests assert exactly this).
+
+mod node;
+mod query;
+mod tree;
+
+pub use tree::PhTreeDyn;

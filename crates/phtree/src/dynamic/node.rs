@@ -1,0 +1,817 @@
+//! Nodes of the runtime-dimensionality PH-tree.
+//!
+//! Same storage layout as the const-generic [`crate::PhTree`] nodes
+//! (see `crate::node`): one packed bit string per node holding
+//! `[infix | addresses | kinds | postfixes]` (LHC) or `[infix | 2-bit
+//! kinds | fixed-stride postfixes]` (HC), plus exact-size slices of
+//! sub-nodes and values. The dimension count `k` is a runtime value
+//! threaded through every call instead of a const parameter, so the two
+//! implementations build *identical* trees for identical data — a
+//! property the test suite asserts.
+
+use crate::config::ReprMode;
+use phbits::{num, BitBuf};
+
+/// Bits per dimension (`w` in the paper).
+pub const W: u32 = 64;
+
+/// Largest `k` for which a node may materialise a full `2^k` hypercube
+/// kind table.
+const MAX_HC_K: usize = 22;
+
+const KIND_EMPTY: u64 = 0;
+const KIND_POST: u64 = 1;
+const KIND_SUB: u64 = 2;
+
+/// A child extracted from a node.
+pub(crate) enum DynChild<V> {
+    Post(V),
+    Sub(DynNode<V>),
+}
+
+/// Borrow-free slot probe result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Probe {
+    Empty,
+    Post { pf_off: usize },
+    Sub,
+}
+
+/// Read-only view of an occupied slot.
+pub(crate) enum SlotRef<'a, V> {
+    Post { pf_off: usize, value: &'a V },
+    Sub(&'a DynNode<V>),
+}
+
+/// A node of the dynamic PH-tree.
+pub(crate) struct DynNode<V> {
+    pub post_len: u8,
+    pub infix_len: u8,
+    hc: bool,
+    pub bits: BitBuf,
+    pub subs: Box<[DynNode<V>]>,
+    pub values: Box<[V]>,
+}
+
+fn slice_insert<T>(b: &mut Box<[T]>, i: usize, v: T) {
+    let mut vec = std::mem::take(b).into_vec();
+    vec.insert(i, v);
+    *b = vec.into_boxed_slice();
+}
+
+fn slice_remove<T>(b: &mut Box<[T]>, i: usize) -> T {
+    let mut vec = std::mem::take(b).into_vec();
+    let v = vec.remove(i);
+    *b = vec.into_boxed_slice();
+    v
+}
+
+impl<V> DynNode<V> {
+    pub fn new(k: usize, post_len: u8, infix_len: u8, key: &[u64]) -> Self {
+        debug_assert!((post_len as u32) < W);
+        debug_assert!(post_len as u32 + (infix_len as u32) < W);
+        let mut bits = BitBuf::new();
+        bits.grow(infix_len as usize * k);
+        let mut n = DynNode {
+            post_len,
+            infix_len,
+            hc: false,
+            bits,
+            subs: Box::default(),
+            values: Box::default(),
+        };
+        n.write_infix(k, key);
+        n
+    }
+
+    #[inline]
+    pub fn infix_bits(&self, k: usize) -> usize {
+        self.infix_len as usize * k
+    }
+
+    #[inline]
+    pub fn post_bits(&self, k: usize) -> usize {
+        self.post_len as usize * k
+    }
+
+    #[inline]
+    pub fn n_posts(&self) -> usize {
+        self.values.len()
+    }
+
+    #[inline]
+    pub fn n_subs(&self) -> usize {
+        self.subs.len()
+    }
+
+    #[inline]
+    pub fn n_children(&self) -> usize {
+        self.n_posts() + self.n_subs()
+    }
+
+    #[inline]
+    pub fn is_hc(&self) -> bool {
+        self.hc
+    }
+
+    // ---------------- infix ----------------
+
+    pub fn write_infix(&mut self, k: usize, key: &[u64]) {
+        let il = self.infix_len as u32;
+        if il == 0 {
+            return;
+        }
+        let lo = self.post_len as u32 + 1;
+        for (d, &v) in key.iter().enumerate().take(k) {
+            let frag = (v >> lo) & num::low_mask(il);
+            self.bits.write_bits(d * il as usize, frag, il);
+        }
+    }
+
+    pub fn read_infix_into(&self, k: usize, key: &mut [u64]) {
+        let il = self.infix_len as u32;
+        if il == 0 {
+            return;
+        }
+        let lo = self.post_len as u32 + 1;
+        let m = num::low_mask(il) << lo;
+        for (d, v) in key.iter_mut().enumerate().take(k) {
+            let frag = self.bits.read_bits(d * il as usize, il);
+            *v = (*v & !m) | (frag << lo);
+        }
+    }
+
+    pub fn infix_matches(&self, k: usize, key: &[u64]) -> bool {
+        let il = self.infix_len as u32;
+        if il == 0 {
+            return true;
+        }
+        let lo = self.post_len as u32 + 1;
+        for (d, &v) in key.iter().enumerate().take(k) {
+            let frag = (v >> lo) & num::low_mask(il);
+            if frag != self.bits.read_bits(d * il as usize, il) {
+                return false;
+            }
+        }
+        true
+    }
+
+    pub fn reset_infix(&mut self, k: usize, new_len: u8, key: &[u64], mode: ReprMode) {
+        let old = self.infix_bits(k);
+        self.infix_len = new_len;
+        let new = self.infix_bits(k);
+        if new < old {
+            self.bits.remove_range(new, old - new);
+        } else if new > old {
+            self.bits.insert_gap(old, new - old);
+        }
+        self.write_infix(k, key);
+        self.maybe_switch_repr(k, mode);
+    }
+
+    // ---------------- layout ----------------
+
+    #[inline]
+    fn lhc_addr_off(&self, k: usize, j: usize) -> usize {
+        self.infix_bits(k) + j * k
+    }
+
+    #[inline]
+    fn lhc_kind_off(&self, k: usize, n: usize, j: usize) -> usize {
+        self.infix_bits(k) + n * k + j
+    }
+
+    #[inline]
+    fn lhc_pf_base(&self, k: usize, n: usize) -> usize {
+        self.infix_bits(k) + n * (k + 1)
+    }
+
+    #[inline]
+    fn hc_kind_off(&self, k: usize, h: u64) -> usize {
+        self.infix_bits(k) + 2 * h as usize
+    }
+
+    #[inline]
+    fn hc_pf_base(&self, k: usize) -> usize {
+        self.infix_bits(k) + 2 * (1usize << k)
+    }
+
+    #[inline]
+    pub fn lhc_addr_at(&self, k: usize, j: usize) -> u64 {
+        self.bits.read_bits(self.lhc_addr_off(k, j), k as u32)
+    }
+
+    #[inline]
+    fn lhc_is_sub(&self, k: usize, j: usize) -> bool {
+        self.bits.get(self.lhc_kind_off(k, self.n_children(), j))
+    }
+
+    #[inline]
+    fn lhc_post_rank(&self, k: usize, j: usize) -> usize {
+        let n = self.n_children();
+        j - self.bits.count_ones(self.lhc_kind_off(k, n, 0), j)
+    }
+
+    #[inline]
+    fn hc_kind(&self, k: usize, h: u64) -> u64 {
+        self.bits.read_bits(self.hc_kind_off(k, h), 2)
+    }
+
+    fn hc_ranks(&self, k: usize, h: u64) -> (usize, usize) {
+        let base = self.infix_bits(k);
+        let nbits = 2 * h as usize;
+        let mut posts = 0usize;
+        let mut subs = 0usize;
+        let mut done = 0usize;
+        while done < nbits {
+            let chunk = (nbits - done).min(64) as u32;
+            let w = self.bits.read_bits(base + done, chunk);
+            posts += (w & 0x5555_5555_5555_5555).count_ones() as usize;
+            subs += (w & 0xAAAA_AAAA_AAAA_AAAA).count_ones() as usize;
+            done += chunk as usize;
+        }
+        (posts, subs)
+    }
+
+    fn lhc_search(&self, k: usize, h: u64) -> Result<usize, usize> {
+        let (mut lo, mut hi) = (0usize, self.n_children());
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.lhc_addr_at(k, mid) < h {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo < self.n_children() && self.lhc_addr_at(k, lo) == h {
+            Ok(lo)
+        } else {
+            Err(lo)
+        }
+    }
+
+    pub fn lhc_lower_bound(&self, k: usize, h: u64) -> usize {
+        debug_assert!(!self.hc);
+        match self.lhc_search(k, h) {
+            Ok(j) | Err(j) => j,
+        }
+    }
+
+    #[inline]
+    pub fn lhc_len(&self) -> usize {
+        debug_assert!(!self.hc);
+        self.n_children()
+    }
+
+    pub fn lhc_at(&self, k: usize, j: usize) -> (u64, SlotRef<'_, V>) {
+        debug_assert!(!self.hc);
+        let addr = self.lhc_addr_at(k, j);
+        let slot = if self.lhc_is_sub(k, j) {
+            let sr = j - self.lhc_post_rank(k, j);
+            SlotRef::Sub(&self.subs[sr])
+        } else {
+            let pr = self.lhc_post_rank(k, j);
+            SlotRef::Post {
+                pf_off: self.lhc_pf_base(k, self.n_children()) + pr * self.post_bits(k),
+                value: &self.values[pr],
+            }
+        };
+        (addr, slot)
+    }
+
+    // ---------------- postfixes ----------------
+
+    fn write_postfix_at(&mut self, k: usize, off: usize, key: &[u64]) {
+        let pl = self.post_len as u32;
+        if pl == 0 {
+            return;
+        }
+        for (d, &v) in key.iter().enumerate().take(k) {
+            self.bits
+                .write_bits(off + d * pl as usize, v & num::low_mask(pl), pl);
+        }
+    }
+
+    pub fn read_postfix_into(&self, k: usize, off: usize, key: &mut [u64]) {
+        let pl = self.post_len as u32;
+        if pl == 0 {
+            return;
+        }
+        let m = num::low_mask(pl);
+        for (d, v) in key.iter_mut().enumerate().take(k) {
+            let frag = self.bits.read_bits(off + d * pl as usize, pl);
+            *v = (*v & !m) | frag;
+        }
+    }
+
+    pub fn postfix_matches(&self, k: usize, off: usize, key: &[u64]) -> bool {
+        let pl = self.post_len as u32;
+        if pl == 0 {
+            return true;
+        }
+        for (d, &v) in key.iter().enumerate().take(k) {
+            if self.bits.read_bits(off + d * pl as usize, pl) != v & num::low_mask(pl) {
+                return false;
+            }
+        }
+        true
+    }
+
+    // ---------------- lookup ----------------
+
+    pub fn get_slot(&self, k: usize, h: u64) -> Option<SlotRef<'_, V>> {
+        if self.hc {
+            match self.hc_kind(k, h) {
+                KIND_EMPTY => None,
+                KIND_POST => {
+                    let (pr, _) = self.hc_ranks(k, h);
+                    Some(SlotRef::Post {
+                        pf_off: self.hc_pf_base(k) + h as usize * self.post_bits(k),
+                        value: &self.values[pr],
+                    })
+                }
+                _ => {
+                    let (_, sr) = self.hc_ranks(k, h);
+                    Some(SlotRef::Sub(&self.subs[sr]))
+                }
+            }
+        } else {
+            match self.lhc_search(k, h) {
+                Ok(j) => Some(self.lhc_at(k, j).1),
+                Err(_) => None,
+            }
+        }
+    }
+
+    pub fn probe(&self, k: usize, h: u64) -> Probe {
+        if self.hc {
+            match self.hc_kind(k, h) {
+                KIND_EMPTY => Probe::Empty,
+                KIND_POST => Probe::Post {
+                    pf_off: self.hc_pf_base(k) + h as usize * self.post_bits(k),
+                },
+                _ => Probe::Sub,
+            }
+        } else {
+            match self.lhc_search(k, h) {
+                Ok(j) => {
+                    if self.lhc_is_sub(k, j) {
+                        Probe::Sub
+                    } else {
+                        let pr = self.lhc_post_rank(k, j);
+                        Probe::Post {
+                            pf_off: self.lhc_pf_base(k, self.n_children())
+                                + pr * self.post_bits(k),
+                        }
+                    }
+                }
+                Err(_) => Probe::Empty,
+            }
+        }
+    }
+
+    fn post_rank_of(&self, k: usize, h: u64) -> Option<usize> {
+        if self.hc {
+            if self.hc_kind(k, h) == KIND_POST {
+                Some(self.hc_ranks(k, h).0)
+            } else {
+                None
+            }
+        } else {
+            match self.lhc_search(k, h) {
+                Ok(j) if !self.lhc_is_sub(k, j) => Some(self.lhc_post_rank(k, j)),
+                _ => None,
+            }
+        }
+    }
+
+    fn sub_rank_of(&self, k: usize, h: u64) -> Option<usize> {
+        if self.hc {
+            if self.hc_kind(k, h) == KIND_SUB {
+                Some(self.hc_ranks(k, h).1)
+            } else {
+                None
+            }
+        } else {
+            match self.lhc_search(k, h) {
+                Ok(j) if self.lhc_is_sub(k, j) => Some(j - self.lhc_post_rank(k, j)),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn post_value_mut(&mut self, k: usize, h: u64) -> Option<&mut V> {
+        let pr = self.post_rank_of(k, h)?;
+        Some(&mut self.values[pr])
+    }
+
+    pub fn sub_mut(&mut self, k: usize, h: u64) -> Option<&mut DynNode<V>> {
+        let sr = self.sub_rank_of(k, h)?;
+        Some(&mut self.subs[sr])
+    }
+
+    // ---------------- updates ----------------
+
+    pub fn insert_post(&mut self, k: usize, h: u64, key: &[u64], value: V, mode: ReprMode) {
+        let pb = self.post_bits(k);
+        if self.hc {
+            debug_assert_eq!(self.hc_kind(k, h), KIND_EMPTY);
+            let (pr, _) = self.hc_ranks(k, h);
+            let off = self.hc_kind_off(k, h);
+            self.bits.write_bits(off, KIND_POST, 2);
+            let pf = self.hc_pf_base(k) + h as usize * pb;
+            self.write_postfix_at(k, pf, key);
+            slice_insert(&mut self.values, pr, value);
+        } else {
+            let j = match self.lhc_search(k, h) {
+                Err(j) => j,
+                Ok(_) => panic!("insert_post into occupied slot"),
+            };
+            let n = self.n_children();
+            let pr = self.lhc_post_rank(k, j);
+            self.bits.insert_gaps(&[
+                (self.lhc_addr_off(k, j), k),
+                (self.lhc_kind_off(k, n, j), 1),
+                (self.lhc_pf_base(k, n) + pr * pb, pb),
+            ]);
+            let n = n + 1;
+            self.bits.write_bits(self.lhc_addr_off(k, j), h, k as u32);
+            let pf = self.lhc_pf_base(k, n) + pr * pb;
+            self.write_postfix_at(k, pf, key);
+            slice_insert(&mut self.values, pr, value);
+        }
+        self.maybe_switch_repr(k, mode);
+    }
+
+    pub fn insert_sub(&mut self, k: usize, h: u64, sub: DynNode<V>, mode: ReprMode) {
+        if self.hc {
+            debug_assert_eq!(self.hc_kind(k, h), KIND_EMPTY);
+            let (_, sr) = self.hc_ranks(k, h);
+            let off = self.hc_kind_off(k, h);
+            self.bits.write_bits(off, KIND_SUB, 2);
+            slice_insert(&mut self.subs, sr, sub);
+        } else {
+            let j = match self.lhc_search(k, h) {
+                Err(j) => j,
+                Ok(_) => panic!("insert_sub into occupied slot"),
+            };
+            let n = self.n_children();
+            let sr = j - self.lhc_post_rank(k, j);
+            self.bits.insert_gaps(&[
+                (self.lhc_addr_off(k, j), k),
+                (self.lhc_kind_off(k, n, j), 1),
+            ]);
+            let n = n + 1;
+            self.bits.write_bits(self.lhc_addr_off(k, j), h, k as u32);
+            self.bits.set(self.lhc_kind_off(k, n, j), true);
+            slice_insert(&mut self.subs, sr, sub);
+        }
+        self.maybe_switch_repr(k, mode);
+    }
+
+    pub fn remove_post(&mut self, k: usize, h: u64, mode: ReprMode) -> V {
+        let pb = self.post_bits(k);
+        let v = if self.hc {
+            assert_eq!(self.hc_kind(k, h), KIND_POST);
+            let (pr, _) = self.hc_ranks(k, h);
+            let off = self.hc_kind_off(k, h);
+            self.bits.write_bits(off, KIND_EMPTY, 2);
+            let pf = self.hc_pf_base(k) + h as usize * pb;
+            self.zero_postfix(k, pf);
+            slice_remove(&mut self.values, pr)
+        } else {
+            let j = self.lhc_search(k, h).expect("remove_post: empty slot");
+            assert!(!self.lhc_is_sub(k, j));
+            let n = self.n_children();
+            let pr = self.lhc_post_rank(k, j);
+            self.bits.remove_ranges(&[
+                (self.lhc_addr_off(k, j), k),
+                (self.lhc_kind_off(k, n, j), 1),
+                (self.lhc_pf_base(k, n) + pr * pb, pb),
+            ]);
+            slice_remove(&mut self.values, pr)
+        };
+        self.maybe_switch_repr(k, mode);
+        v
+    }
+
+    fn zero_postfix(&mut self, k: usize, off: usize) {
+        let pb = self.post_bits(k);
+        let mut done = 0;
+        while done < pb {
+            let chunk = (pb - done).min(64) as u32;
+            self.bits.write_bits(off + done, 0, chunk);
+            done += chunk as usize;
+        }
+    }
+
+    pub fn replace_post_value(&mut self, k: usize, h: u64, value: V) -> V {
+        std::mem::replace(
+            self.post_value_mut(k, h).expect("replace_post_value: not a post"),
+            value,
+        )
+    }
+
+    pub fn swap_post_for_sub(&mut self, k: usize, h: u64, sub: DynNode<V>, mode: ReprMode) -> V {
+        let pb = self.post_bits(k);
+        let v = if self.hc {
+            assert_eq!(self.hc_kind(k, h), KIND_POST);
+            let (pr, sr) = self.hc_ranks(k, h);
+            let off = self.hc_kind_off(k, h);
+            self.bits.write_bits(off, KIND_SUB, 2);
+            let pf = self.hc_pf_base(k) + h as usize * pb;
+            self.zero_postfix(k, pf);
+            slice_insert(&mut self.subs, sr, sub);
+            slice_remove(&mut self.values, pr)
+        } else {
+            let j = self.lhc_search(k, h).expect("swap_post_for_sub: empty slot");
+            assert!(!self.lhc_is_sub(k, j));
+            let n = self.n_children();
+            let pr = self.lhc_post_rank(k, j);
+            let sr = j - pr;
+            let pf = self.lhc_pf_base(k, n) + pr * pb;
+            self.bits.remove_range(pf, pb);
+            self.bits.set(self.lhc_kind_off(k, n, j), true);
+            slice_insert(&mut self.subs, sr, sub);
+            slice_remove(&mut self.values, pr)
+        };
+        self.maybe_switch_repr(k, mode);
+        v
+    }
+
+    pub fn replace_sub_with_post(
+        &mut self,
+        k: usize,
+        h: u64,
+        key: &[u64],
+        value: V,
+        mode: ReprMode,
+    ) {
+        let pb = self.post_bits(k);
+        if self.hc {
+            assert_eq!(self.hc_kind(k, h), KIND_SUB);
+            let (pr, sr) = self.hc_ranks(k, h);
+            let off = self.hc_kind_off(k, h);
+            self.bits.write_bits(off, KIND_POST, 2);
+            let pf = self.hc_pf_base(k) + h as usize * pb;
+            self.write_postfix_at(k, pf, key);
+            slice_remove(&mut self.subs, sr);
+            slice_insert(&mut self.values, pr, value);
+        } else {
+            let j = self.lhc_search(k, h).expect("replace_sub_with_post: empty slot");
+            assert!(self.lhc_is_sub(k, j));
+            let n = self.n_children();
+            let pr = self.lhc_post_rank(k, j);
+            let sr = j - pr;
+            self.bits.set(self.lhc_kind_off(k, n, j), false);
+            let pf = self.lhc_pf_base(k, n) + pr * pb;
+            self.bits.insert_gap(pf, pb);
+            self.write_postfix_at(k, pf, key);
+            slice_remove(&mut self.subs, sr);
+            slice_insert(&mut self.values, pr, value);
+        }
+        self.maybe_switch_repr(k, mode);
+    }
+
+    pub fn swap_sub(&mut self, k: usize, h: u64, sub: DynNode<V>) -> DynNode<V> {
+        let sr = self.sub_rank_of(k, h).expect("swap_sub: not a sub slot");
+        std::mem::replace(&mut self.subs[sr], sub)
+    }
+
+    pub fn take_single_child(&mut self, k: usize) -> Option<(u64, DynChild<V>)> {
+        if self.n_children() != 1 {
+            return None;
+        }
+        let (h, is_sub) = if self.hc {
+            let mut found = None;
+            for h in 0..(1u64 << k) {
+                match self.hc_kind(k, h) {
+                    KIND_EMPTY => {}
+                    kd => {
+                        found = Some((h, kd == KIND_SUB));
+                        break;
+                    }
+                }
+            }
+            found.expect("one child")
+        } else {
+            (self.lhc_addr_at(k, 0), self.lhc_is_sub(k, 0))
+        };
+        self.bits.truncate(self.infix_bits(k));
+        self.hc = false;
+        let child = if is_sub {
+            DynChild::Sub(slice_remove(&mut self.subs, 0))
+        } else {
+            DynChild::Post(slice_remove(&mut self.values, 0))
+        };
+        Some((h, child))
+    }
+
+    // ---------------- HC ⇄ LHC ----------------
+
+    #[inline]
+    fn lhc_cost_bits(&self, k: usize, n: usize, posts: usize) -> usize {
+        n * (k + 1) + posts * self.post_bits(k)
+    }
+
+    #[inline]
+    fn hc_cost_bits(&self, k: usize) -> usize {
+        if k > MAX_HC_K {
+            return usize::MAX;
+        }
+        (1usize << k) * (2 + self.post_bits(k))
+    }
+
+    pub fn maybe_switch_repr(&mut self, k: usize, mode: ReprMode) {
+        let want_hc = match mode {
+            ReprMode::ForceLhc => false,
+            ReprMode::ForceHc => k <= MAX_HC_K,
+            ReprMode::Adaptive => {
+                self.hc_cost_bits(k) < self.lhc_cost_bits(k, self.n_children(), self.n_posts())
+            }
+        };
+        if want_hc != self.hc {
+            if want_hc {
+                self.convert_to_hc(k);
+            } else {
+                self.convert_to_lhc(k);
+            }
+        }
+    }
+
+    fn convert_to_hc(&mut self, k: usize) {
+        debug_assert!(!self.hc);
+        let ib = self.infix_bits(k);
+        let pb = self.post_bits(k);
+        let n = self.n_children();
+        let slots = 1usize << k;
+        let mut bits = BitBuf::zeroed(ib + slots * (2 + pb));
+        bits.copy_bits_from(&self.bits, 0, 0, ib);
+        let pf_base_new = ib + 2 * slots;
+        let mut pr = 0usize;
+        for j in 0..n {
+            let h = self.lhc_addr_at(k, j) as usize;
+            if self.lhc_is_sub(k, j) {
+                bits.write_bits(ib + 2 * h, KIND_SUB, 2);
+            } else {
+                bits.write_bits(ib + 2 * h, KIND_POST, 2);
+                bits.copy_bits_from(
+                    &self.bits,
+                    self.lhc_pf_base(k, n) + pr * pb,
+                    pf_base_new + h * pb,
+                    pb,
+                );
+                pr += 1;
+            }
+        }
+        self.bits = bits;
+        self.hc = true;
+    }
+
+    fn convert_to_lhc(&mut self, k: usize) {
+        debug_assert!(self.hc);
+        let ib = self.infix_bits(k);
+        let pb = self.post_bits(k);
+        let n = self.n_children();
+        let posts = self.n_posts();
+        let mut bits = BitBuf::zeroed(ib + n * (k + 1) + posts * pb);
+        bits.copy_bits_from(&self.bits, 0, 0, ib);
+        let pf_base_new = ib + n * (k + 1);
+        let mut j = 0usize;
+        let mut pr = 0usize;
+        for h in 0..(1u64 << k) {
+            match self.hc_kind(k, h) {
+                KIND_EMPTY => continue,
+                KIND_POST => {
+                    bits.write_bits(ib + j * k, h, k as u32);
+                    bits.copy_bits_from(
+                        &self.bits,
+                        self.hc_pf_base(k) + h as usize * pb,
+                        pf_base_new + pr * pb,
+                        pb,
+                    );
+                    pr += 1;
+                }
+                _ => {
+                    bits.write_bits(ib + j * k, h, k as u32);
+                    bits.set(ib + n * k + j, true);
+                }
+            }
+            j += 1;
+        }
+        debug_assert_eq!(j, n);
+        self.bits = bits;
+        self.hc = false;
+    }
+
+    // ---------------- iteration ----------------
+
+    pub fn iter_slots(&self, k: usize) -> DynSlotIter<'_, V> {
+        DynSlotIter {
+            node: self,
+            k,
+            pos: 0,
+            pr: 0,
+            sr: 0,
+        }
+    }
+
+    // ---------------- invariants ----------------
+
+    pub fn check_invariants(&self, k: usize, is_root: bool) {
+        let n = self.n_children();
+        let posts = self.n_posts();
+        if self.hc {
+            assert!(k <= MAX_HC_K);
+            assert_eq!(
+                self.bits.len(),
+                self.infix_bits(k) + (1usize << k) * (2 + self.post_bits(k)),
+                "HC bit length"
+            );
+        } else {
+            assert_eq!(
+                self.bits.len(),
+                self.infix_bits(k) + n * (k + 1) + posts * self.post_bits(k),
+                "LHC bit length"
+            );
+            for j in 1..n {
+                assert!(self.lhc_addr_at(k, j - 1) < self.lhc_addr_at(k, j));
+            }
+            let subs = (0..n).filter(|&j| self.lhc_is_sub(k, j)).count();
+            assert_eq!(subs, self.n_subs());
+        }
+        if !is_root {
+            assert!(n >= 2, "non-root node with < 2 children");
+        } else {
+            assert_eq!(self.post_len as u32, W - 1);
+            assert_eq!(self.infix_len, 0);
+        }
+        for sub in self.subs.iter() {
+            assert_eq!(
+                sub.post_len as u32 + sub.infix_len as u32 + 1,
+                self.post_len as u32
+            );
+            sub.check_invariants(k, false);
+        }
+    }
+}
+
+/// Iterator over occupied slots in address order.
+pub(crate) struct DynSlotIter<'a, V> {
+    node: &'a DynNode<V>,
+    k: usize,
+    pos: usize,
+    pr: usize,
+    sr: usize,
+}
+
+impl<'a, V> Iterator for DynSlotIter<'a, V> {
+    type Item = (u64, SlotRef<'a, V>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let node = self.node;
+        let k = self.k;
+        if node.hc {
+            while self.pos < (1usize << k) {
+                let h = self.pos as u64;
+                self.pos += 1;
+                match node.hc_kind(k, h) {
+                    KIND_EMPTY => {}
+                    KIND_POST => {
+                        let r = SlotRef::Post {
+                            pf_off: node.hc_pf_base(k) + h as usize * node.post_bits(k),
+                            value: &node.values[self.pr],
+                        };
+                        self.pr += 1;
+                        return Some((h, r));
+                    }
+                    _ => {
+                        let r = SlotRef::Sub(&node.subs[self.sr]);
+                        self.sr += 1;
+                        return Some((h, r));
+                    }
+                }
+            }
+            None
+        } else {
+            if self.pos >= node.n_children() {
+                return None;
+            }
+            let j = self.pos;
+            self.pos += 1;
+            let h = node.lhc_addr_at(k, j);
+            if node.lhc_is_sub(k, j) {
+                let r = SlotRef::Sub(&node.subs[self.sr]);
+                self.sr += 1;
+                Some((h, r))
+            } else {
+                let r = SlotRef::Post {
+                    pf_off: node.lhc_pf_base(k, node.n_children()) + self.pr * node.post_bits(k),
+                    value: &node.values[self.pr],
+                };
+                self.pr += 1;
+                Some((h, r))
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Window queries for the dynamic tree (visitor style).
+
+use super::node::{DynNode, SlotRef};
+use super::tree::{KeyBuf, PhTreeDyn};
+use phbits::{hc, num};
+
+/// Runs the Sect. 3.5 window-query algorithm over the dynamic tree,
+/// calling `visit` for every match; returns the match count.
+pub(crate) fn query_visit<V>(
+    tree: &PhTreeDyn<V>,
+    min: &[u64],
+    max: &[u64],
+    visit: &mut dyn FnMut(&[u64], &V),
+) -> usize {
+    let k = tree.k;
+    let Some(root) = tree.root.as_deref() else {
+        return 0;
+    };
+    let mut count = 0;
+    let prefix: KeyBuf = [0; 64];
+    walk(k, root, &prefix, min, max, false, visit, &mut count);
+    count
+}
+
+/// Clears bits `0..=bit` of every dimension.
+#[inline]
+fn clear_low(key: &mut [u64], bit: u32) {
+    let m = !num::low_mask(bit + 1);
+    for v in key.iter_mut() {
+        *v &= m;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk<V>(
+    k: usize,
+    node: &DynNode<V>,
+    prefix: &KeyBuf,
+    min: &[u64],
+    max: &[u64],
+    mut inside: bool,
+    visit: &mut dyn FnMut(&[u64], &V),
+    count: &mut usize,
+) {
+    let span = num::low_mask(node.post_len as u32 + 1);
+    let (m_l, m_u);
+    if inside {
+        m_l = 0;
+        m_u = num::low_mask(k as u32);
+    } else {
+        let mut all_inside = true;
+        for d in 0..k {
+            if prefix[d] > max[d] || prefix[d] | span < min[d] {
+                return;
+            }
+            all_inside &= min[d] <= prefix[d] && prefix[d] | span <= max[d];
+        }
+        inside = all_inside;
+        if inside {
+            m_l = 0;
+            m_u = num::low_mask(k as u32);
+        } else {
+            let (l, u) = hc::masks(&prefix[..k], min, max, node.post_len as u32);
+            if l & !u != 0 {
+                return;
+            }
+            m_l = l;
+            m_u = u;
+        }
+    }
+    let mut handle = |h: u64, slot: SlotRef<'_, V>| match slot {
+        SlotRef::Post { pf_off, value } => {
+            let mut key = *prefix;
+            hc::apply_addr(&mut key[..k], h, node.post_len as u32);
+            node.read_postfix_into(k, pf_off, &mut key[..k]);
+            if inside || (0..k).all(|d| min[d] <= key[d] && key[d] <= max[d]) {
+                *count += 1;
+                visit(&key[..k], value);
+            }
+        }
+        SlotRef::Sub(sub) => {
+            let mut child_prefix = *prefix;
+            hc::apply_addr(&mut child_prefix[..k], h, node.post_len as u32);
+            sub.read_infix_into(k, &mut child_prefix[..k]);
+            clear_low(&mut child_prefix[..k], sub.post_len as u32);
+            walk(k, sub, &child_prefix, min, max, inside, visit, count);
+        }
+    };
+    if node.is_hc() {
+        let mut next = Some(hc::first_addr(m_l, m_u));
+        while let Some(h) = next {
+            next = hc::next_addr(h, m_l, m_u);
+            if let Some(slot) = node.get_slot(k, h) {
+                handle(h, slot);
+            }
+        }
+    } else {
+        let mut j = node.lhc_lower_bound(k, m_l);
+        while j < node.lhc_len() {
+            let (h, slot) = node.lhc_at(k, j);
+            j += 1;
+            if h > m_u {
+                break;
+            }
+            if hc::addr_valid(h, m_l, m_u) {
+                handle(h, slot);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tree::PhTreeDyn;
+
+    #[test]
+    fn empty_window_on_empty_tree() {
+        let t: PhTreeDyn<u8> = PhTreeDyn::new(2);
+        assert_eq!(t.query_count(&[0, 0], &[u64::MAX, u64::MAX]), 0);
+    }
+
+    #[test]
+    fn full_window_returns_everything() {
+        let mut t: PhTreeDyn<u8> = PhTreeDyn::new(3);
+        for i in 0..500u64 {
+            t.insert(&[i, i * i % 97, i % 7], 0);
+        }
+        assert_eq!(
+            t.query_count(&[0, 0, 0], &[u64::MAX, u64::MAX, u64::MAX]),
+            t.len()
+        );
+    }
+
+    #[test]
+    fn collect_returns_correct_pairs() {
+        let mut t: PhTreeDyn<u32> = PhTreeDyn::new(2);
+        t.insert(&[1, 1], 11);
+        t.insert(&[2, 2], 22);
+        t.insert(&[8, 8], 88);
+        let mut got = t.query_collect(&[0, 0], &[4, 4]);
+        got.sort();
+        assert_eq!(got, vec![(vec![1, 1], 11), (vec![2, 2], 22)]);
+    }
+}

@@ -1,0 +1,501 @@
+//! The runtime-dimensionality PH-tree map.
+
+use super::node::{DynChild, DynNode, Probe, SlotRef, W};
+use crate::config::ReprMode;
+use crate::stats::{TreeStats, ALLOC_OVERHEAD};
+use phbits::{hc, num};
+
+/// Scratch key buffer: `k ≤ 64`, so a fixed stack array suffices for
+/// all internal key reconstruction.
+pub(crate) type KeyBuf = [u64; 64];
+
+/// A PH-tree whose dimension count is chosen at runtime.
+///
+/// Functionally equivalent to [`crate::PhTree`] — it builds *identical*
+/// trees for identical data (the structure is canonical) — but takes
+/// keys as slices, which suits applications where `k` is not known at
+/// compile time (e.g. indexing all columns of a relational table, the
+/// paper's Sect. 5 outlook). The const-generic tree is faster; this one
+/// is more flexible.
+///
+/// # Example
+///
+/// ```
+/// use phtree::PhTreeDyn;
+///
+/// let mut t: PhTreeDyn<u32> = PhTreeDyn::new(4); // k chosen at runtime
+/// t.insert(&[1, 2, 3, 4], 10);
+/// t.insert(&[1, 2, 3, 5], 11);
+/// assert_eq!(t.get(&[1, 2, 3, 5]), Some(&11));
+/// let hits = t.query_count(&[0, 0, 0, 0], &[9, 9, 9, 4]);
+/// assert_eq!(hits, 1);
+/// assert_eq!(t.remove(&[1, 2, 3, 4]), Some(10));
+/// ```
+pub struct PhTreeDyn<V> {
+    pub(crate) root: Option<Box<DynNode<V>>>,
+    pub(crate) k: usize,
+    len: usize,
+    mode: ReprMode,
+}
+
+impl<V> PhTreeDyn<V> {
+    /// Creates an empty tree over `k`-dimensional keys (`1 ≤ k ≤ 64`).
+    pub fn new(k: usize) -> Self {
+        Self::with_mode(k, ReprMode::Adaptive)
+    }
+
+    /// Creates an empty tree with an explicit node representation
+    /// policy.
+    pub fn with_mode(k: usize, mode: ReprMode) -> Self {
+        assert!((1..=64).contains(&k), "PH-tree supports 1..=64 dimensions");
+        PhTreeDyn {
+            root: None,
+            k,
+            len: 0,
+            mode,
+        }
+    }
+
+    /// The dimension count.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.k
+    }
+
+    /// Number of entries stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.root = None;
+        self.len = 0;
+    }
+
+    #[inline]
+    fn check_key(&self, key: &[u64]) {
+        assert_eq!(key.len(), self.k, "key dimension mismatch");
+    }
+
+    /// Inserts `key → value`, returning the previous value if present.
+    pub fn insert(&mut self, key: &[u64], value: V) -> Option<V> {
+        self.check_key(key);
+        let (k, mode) = (self.k, self.mode);
+        match &mut self.root {
+            None => {
+                let mut root = Box::new(DynNode::new(k, (W - 1) as u8, 0, key));
+                root.insert_post(k, hc::addr(key, W - 1), key, value, mode);
+                self.root = Some(root);
+                self.len = 1;
+                None
+            }
+            Some(root) => {
+                let old = Self::insert_rec(k, root, key, value, mode);
+                if old.is_none() {
+                    self.len += 1;
+                }
+                old
+            }
+        }
+    }
+
+    fn insert_rec(
+        k: usize,
+        node: &mut DynNode<V>,
+        key: &[u64],
+        value: V,
+        mode: ReprMode,
+    ) -> Option<V> {
+        let h = hc::addr(key, node.post_len as u32);
+        match node.probe(k, h) {
+            Probe::Empty => {
+                node.insert_post(k, h, key, value, mode);
+                None
+            }
+            Probe::Post { pf_off } => {
+                if node.postfix_matches(k, pf_off, key) {
+                    return Some(node.replace_post_value(k, h, value));
+                }
+                let mut old_key: KeyBuf = [0; 64];
+                old_key[..k].copy_from_slice(key);
+                node.read_postfix_into(k, pf_off, &mut old_key[..k]);
+                let dmax = num::max_diverging_bit(key, &old_key[..k])
+                    .expect("distinct keys must diverge");
+                debug_assert!((dmax as u8) < node.post_len);
+                let sub = DynNode::new(k, dmax as u8, node.post_len - 1 - dmax as u8, key);
+                let old_val = node.swap_post_for_sub(k, h, sub, mode);
+                let sub = node.sub_mut(k, h).expect("just installed");
+                sub.insert_post(k, hc::addr(&old_key[..k], dmax), &old_key[..k], old_val, mode);
+                sub.insert_post(k, hc::addr(key, dmax), key, value, mode);
+                None
+            }
+            Probe::Sub => {
+                let node_post_len = node.post_len;
+                let sub = node.sub_mut(k, h).expect("probe said sub");
+                if sub.infix_matches(k, key) {
+                    return Self::insert_rec(k, sub, key, value, mode);
+                }
+                let mut sub_prefix: KeyBuf = [0; 64];
+                sub_prefix[..k].copy_from_slice(key);
+                sub.read_infix_into(k, &mut sub_prefix[..k]);
+                let dmax = num::max_diverging_bit(key, &sub_prefix[..k])
+                    .expect("infix mismatch must diverge");
+                let new_il = dmax as u8 - 1 - sub.post_len;
+                sub.reset_infix(k, new_il, &sub_prefix[..k], mode);
+                let mid = DynNode::new(k, dmax as u8, node_post_len - 1 - dmax as u8, key);
+                let old_sub = node.swap_sub(k, h, mid);
+                let mid = node.sub_mut(k, h).expect("just installed");
+                mid.insert_sub(k, hc::addr(&sub_prefix[..k], dmax), old_sub, mode);
+                mid.insert_post(k, hc::addr(key, dmax), key, value, mode);
+                None
+            }
+        }
+    }
+
+    /// Point query.
+    pub fn get(&self, key: &[u64]) -> Option<&V> {
+        self.check_key(key);
+        let k = self.k;
+        let mut node = self.root.as_deref()?;
+        loop {
+            if !node.infix_matches(k, key) {
+                return None;
+            }
+            let h = hc::addr(key, node.post_len as u32);
+            match node.get_slot(k, h)? {
+                SlotRef::Post { pf_off, value } => {
+                    return node.postfix_matches(k, pf_off, key).then_some(value);
+                }
+                SlotRef::Sub(sub) => node = sub,
+            }
+        }
+    }
+
+    /// Point query with mutable access.
+    pub fn get_mut(&mut self, key: &[u64]) -> Option<&mut V> {
+        self.check_key(key);
+        let k = self.k;
+        let mut node = self.root.as_deref_mut()?;
+        loop {
+            if !node.infix_matches(k, key) {
+                return None;
+            }
+            let h = hc::addr(key, node.post_len as u32);
+            match node.probe(k, h) {
+                Probe::Empty => return None,
+                Probe::Post { pf_off } => {
+                    if !node.postfix_matches(k, pf_off, key) {
+                        return None;
+                    }
+                    return node.post_value_mut(k, h);
+                }
+                Probe::Sub => node = node.sub_mut(k, h).expect("probe said sub"),
+            }
+        }
+    }
+
+    /// Whether `key` is stored.
+    pub fn contains(&self, key: &[u64]) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&mut self, key: &[u64]) -> Option<V> {
+        self.check_key(key);
+        let (k, mode) = (self.k, self.mode);
+        let root = self.root.as_deref_mut()?;
+        let (removed, _) = Self::remove_rec(k, root, key, mode, true);
+        if removed.is_some() {
+            self.len -= 1;
+            if self.root.as_ref().is_some_and(|r| r.n_children() == 0) {
+                self.root = None;
+            }
+        }
+        removed
+    }
+
+    fn remove_rec(
+        k: usize,
+        node: &mut DynNode<V>,
+        key: &[u64],
+        mode: ReprMode,
+        is_root: bool,
+    ) -> (Option<V>, bool) {
+        if !node.infix_matches(k, key) {
+            return (None, false);
+        }
+        let h = hc::addr(key, node.post_len as u32);
+        match node.probe(k, h) {
+            Probe::Empty => (None, false),
+            Probe::Post { pf_off } => {
+                if !node.postfix_matches(k, pf_off, key) {
+                    return (None, false);
+                }
+                let v = node.remove_post(k, h, mode);
+                (Some(v), !is_root && node.n_children() == 1)
+            }
+            Probe::Sub => {
+                let sub = node.sub_mut(k, h).expect("probe said sub");
+                let (removed, underflow) = Self::remove_rec(k, sub, key, mode, false);
+                if underflow {
+                    Self::merge_single_child(k, node, h, key, mode);
+                }
+                (removed, false)
+            }
+        }
+    }
+
+    fn merge_single_child(k: usize, node: &mut DynNode<V>, h: u64, key: &[u64], mode: ReprMode) {
+        let sub = node.sub_mut(k, h).expect("merge target must be a sub");
+        debug_assert_eq!(sub.n_children(), 1);
+        let mut rem_key: KeyBuf = [0; 64];
+        rem_key[..k].copy_from_slice(key);
+        sub.read_infix_into(k, &mut rem_key[..k]);
+        let (ch_addr, slot) = sub.iter_slots(k).next().expect("one child");
+        hc::apply_addr(&mut rem_key[..k], ch_addr, sub.post_len as u32);
+        match slot {
+            SlotRef::Post { pf_off, .. } => sub.read_postfix_into(k, pf_off, &mut rem_key[..k]),
+            SlotRef::Sub(g) => g.read_infix_into(k, &mut rem_key[..k]),
+        }
+        let sub_infix_len = sub.infix_len;
+        let (_, child) = sub.take_single_child(k).expect("one child");
+        match child {
+            DynChild::Post(v) => {
+                node.replace_sub_with_post(k, h, &rem_key[..k], v, mode);
+            }
+            DynChild::Sub(mut gsub) => {
+                let new_il = gsub.infix_len + sub_infix_len + 1;
+                gsub.reset_infix(k, new_il, &rem_key[..k], mode);
+                node.swap_sub(k, h, gsub);
+            }
+        }
+    }
+
+    /// Window query via visitor: calls `visit(key, value)` for every
+    /// entry inside `[min, max]` (inclusive per dimension). Returns the
+    /// number of matches. The visitor form avoids per-result key
+    /// allocations; see [`PhTreeDyn::query_collect`] for a `Vec`-based
+    /// convenience.
+    pub fn query_visit(&self, min: &[u64], max: &[u64], visit: &mut dyn FnMut(&[u64], &V)) -> usize {
+        self.check_key(min);
+        self.check_key(max);
+        super::query::query_visit(self, min, max, visit)
+    }
+
+    /// Window query returning owned `(key, value-clone)` pairs.
+    pub fn query_collect(&self, min: &[u64], max: &[u64]) -> Vec<(Vec<u64>, V)>
+    where
+        V: Clone,
+    {
+        let mut out = Vec::new();
+        self.query_visit(min, max, &mut |k, v| out.push((k.to_vec(), v.clone())));
+        out
+    }
+
+    /// Number of entries inside the window.
+    pub fn query_count(&self, min: &[u64], max: &[u64]) -> usize {
+        self.query_visit(min, max, &mut |_, _| {})
+    }
+
+    /// Visits every entry.
+    pub fn for_each(&self, visit: &mut dyn FnMut(&[u64], &V)) {
+        let lo = vec![0u64; self.k];
+        let hi = vec![u64::MAX; self.k];
+        self.query_visit(&lo, &hi, visit);
+    }
+
+    /// Structural statistics (same accounting as [`crate::PhTree::stats`]).
+    pub fn stats(&self) -> TreeStats {
+        fn walk<V>(n: &DynNode<V>, k: usize, depth: usize, s: &mut TreeStats) {
+            s.nodes += 1;
+            s.max_depth = s.max_depth.max(depth);
+            s.entries += n.n_posts();
+            if n.is_hc() {
+                s.hc_nodes += 1;
+            } else {
+                s.lhc_nodes += 1;
+            }
+            let bb = n.bits.heap_bytes();
+            if bb > 0 {
+                s.allocations += 1;
+                s.total_bytes += bb + ALLOC_OVERHEAD;
+                s.bit_bytes += bb;
+            }
+            if n.n_subs() > 0 {
+                s.allocations += 1;
+                s.total_bytes += n.n_subs() * std::mem::size_of::<DynNode<V>>() + ALLOC_OVERHEAD;
+            }
+            if std::mem::size_of::<V>() > 0 && n.n_posts() > 0 {
+                s.allocations += 1;
+                s.total_bytes += n.n_posts() * std::mem::size_of::<V>() + ALLOC_OVERHEAD;
+            }
+            for sub in n.subs.iter() {
+                walk(sub, k, depth + 1, s);
+            }
+        }
+        let mut s = TreeStats::default();
+        if let Some(r) = self.root.as_deref() {
+            s.allocations += 1;
+            s.total_bytes += std::mem::size_of::<DynNode<V>>() + ALLOC_OVERHEAD;
+            walk(r, self.k, 1, &mut s);
+        }
+        s
+    }
+
+    /// Validates all structural invariants (test helper; O(n)).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        if let Some(r) = &self.root {
+            r.check_invariants(self.k, true);
+            let mut count = 0;
+            self.for_each(&mut |_, _| count += 1);
+            assert_eq!(count, self.len, "len bookkeeping");
+        } else {
+            assert_eq!(self.len, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_map_semantics() {
+        let mut t: PhTreeDyn<u32> = PhTreeDyn::new(3);
+        assert_eq!(t.insert(&[1, 2, 3], 1), None);
+        assert_eq!(t.insert(&[1, 2, 3], 2), Some(1));
+        assert_eq!(t.insert(&[9, 9, 9], 3), None);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&[1, 2, 3]), Some(&2));
+        assert_eq!(t.get(&[1, 2, 4]), None);
+        *t.get_mut(&[9, 9, 9]).unwrap() = 7;
+        assert_eq!(t.remove(&[9, 9, 9]), Some(7));
+        assert_eq!(t.len(), 1);
+        t.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_key_len_panics() {
+        let mut t: PhTreeDyn<u32> = PhTreeDyn::new(3);
+        t.insert(&[1, 2], 0);
+    }
+
+    #[test]
+    fn random_ops_model_check() {
+        let mut t: PhTreeDyn<u64> = PhTreeDyn::new(2);
+        let mut model = std::collections::BTreeMap::new();
+        let mut x = 3u64;
+        for i in 0..3000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = vec![x % 64, (x >> 13) % 64];
+            match x % 3 {
+                0 | 1 => {
+                    assert_eq!(t.insert(&key, i), model.insert(key.clone(), i));
+                }
+                _ => {
+                    assert_eq!(t.remove(&key), model.remove(&key));
+                }
+            }
+            assert_eq!(t.len(), model.len());
+        }
+        t.check_invariants();
+        for (key, v) in &model {
+            assert_eq!(t.get(key), Some(v));
+        }
+        let mut seen = 0;
+        t.for_each(&mut |k, v| {
+            assert_eq!(model.get(k), Some(v));
+            seen += 1;
+        });
+        assert_eq!(seen, model.len());
+    }
+
+    #[test]
+    fn query_matches_brute_force() {
+        let mut t: PhTreeDyn<()> = PhTreeDyn::new(4);
+        let mut keys = Vec::new();
+        let mut x = 17u64;
+        for _ in 0..800 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = vec![x % 32, (x >> 8) % 32, (x >> 16) % 32, (x >> 24) % 32];
+            t.insert(&key, ());
+            keys.push(key);
+        }
+        keys.sort();
+        keys.dedup();
+        let (min, max) = (vec![4u64, 0, 8, 2], vec![20u64, 30, 25, 29]);
+        let got = t.query_count(&min, &max);
+        let want = keys
+            .iter()
+            .filter(|key| (0..4).all(|d| min[d] <= key[d] && key[d] <= max[d]))
+            .count();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn high_dims_at_runtime() {
+        // k chosen at runtime beyond the bench macro's list.
+        for k in [1usize, 7, 23, 40, 64] {
+            let mut t: PhTreeDyn<usize> = PhTreeDyn::new(k);
+            let mut x = 5u64;
+            let mut keys = Vec::new();
+            for i in 0..300 {
+                let key: Vec<u64> = (0..k)
+                    .map(|_| {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        x % 16
+                    })
+                    .collect();
+                t.insert(&key, i);
+                keys.push(key);
+            }
+            t.check_invariants();
+            for key in &keys {
+                assert!(t.contains(key), "k={k}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+
+    #[test]
+    fn dyn_stats_track_structure() {
+        let mut t: PhTreeDyn<()> = PhTreeDyn::new(3);
+        let mut x = 1u64;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            t.insert(&[x % 128, (x >> 20) % 128, (x >> 40) % 128], ());
+        }
+        let s = t.stats();
+        assert_eq!(s.entries, t.len());
+        assert!(s.nodes > 0);
+        assert_eq!(s.hc_nodes + s.lhc_nodes, s.nodes);
+        assert!(s.max_depth <= 64);
+        assert!(s.total_bytes > 0);
+        assert!(s.bytes_per_entry() > 0.0);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut t: PhTreeDyn<u8> = PhTreeDyn::new(2);
+        t.insert(&[1, 2], 3);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.stats().nodes, 0);
+        t.insert(&[1, 2], 4);
+        assert_eq!(t.get(&[1, 2]), Some(&4));
+    }
+}

@@ -1,0 +1,248 @@
+//! `f64`-keyed convenience wrapper.
+
+use crate::key::{key_to_point, point_to_key};
+use crate::knn::F64Euclidean;
+use crate::query::Query;
+use crate::stats::TreeStats;
+use crate::tree::PhTree;
+use crate::ReprMode;
+
+/// A PH-tree over `K`-dimensional `f64` points.
+///
+/// Coordinates are converted to sortable 64-bit keys with the
+/// order-preserving IEEE-754 transformation of the paper's Sect. 3.3
+/// ([`crate::key::f64_to_key`]) on the way in and decoded on the way
+/// out. `-0.0` is normalised to `+0.0`. NaN coordinates are storable but
+/// sort above `+∞`; window queries treat them accordingly.
+///
+/// See [`PhTree`] for the integer-keyed core API.
+#[derive(Clone)]
+pub struct PhTreeF64<V, const K: usize> {
+    inner: PhTree<V, K>,
+}
+
+impl<V, const K: usize> Default for PhTreeF64<V, K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V, const K: usize> PhTreeF64<V, K> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        PhTreeF64 {
+            inner: PhTree::new(),
+        }
+    }
+
+    /// Creates an empty tree with an explicit node representation policy.
+    pub fn with_mode(mode: ReprMode) -> Self {
+        PhTreeF64 {
+            inner: PhTree::with_mode(mode),
+        }
+    }
+
+    /// Number of entries stored.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.inner.clear()
+    }
+
+    /// Inserts `point → value`, returning the previous value if the
+    /// point was already present.
+    pub fn insert(&mut self, point: [f64; K], value: V) -> Option<V> {
+        self.inner.insert(point_to_key(&point), value)
+    }
+
+    /// Point query.
+    pub fn get(&self, point: &[f64; K]) -> Option<&V> {
+        self.inner.get(&point_to_key(point))
+    }
+
+    /// Point query with mutable access.
+    pub fn get_mut(&mut self, point: &[f64; K]) -> Option<&mut V> {
+        self.inner.get_mut(&point_to_key(point))
+    }
+
+    /// Whether `point` is stored.
+    pub fn contains(&self, point: &[f64; K]) -> bool {
+        self.inner.contains(&point_to_key(point))
+    }
+
+    /// Removes `point`, returning its value if present.
+    pub fn remove(&mut self, point: &[f64; K]) -> Option<V> {
+        self.inner.remove(&point_to_key(point))
+    }
+
+    /// Window query over the rectangle `[min, max]` (inclusive). Because
+    /// the key conversion is order-preserving per dimension, this is an
+    /// exact range query on the original coordinates.
+    pub fn query<'t>(&'t self, min: &[f64; K], max: &[f64; K]) -> QueryF64<'t, V, K> {
+        QueryF64 {
+            inner: self.inner.query(&point_to_key(min), &point_to_key(max)),
+        }
+    }
+
+    /// Iterates over all entries.
+    pub fn iter(&self) -> impl Iterator<Item = ([f64; K], &V)> {
+        self.inner.iter().map(|(k, v)| (key_to_point(&k), v))
+    }
+
+    /// Returns the `n` entries nearest to `center` under Euclidean
+    /// distance on the original `f64` coordinates, nearest first, as
+    /// `(point, value, distance)` triples.
+    pub fn knn(&self, center: &[f64; K], n: usize) -> Vec<([f64; K], &V, f64)> {
+        self.inner
+            .knn_with(&point_to_key(center), n, &F64Euclidean)
+            .into_iter()
+            .map(|nb| (key_to_point(&nb.key), nb.value, nb.dist))
+            .collect()
+    }
+
+    /// Structural statistics / memory accounting.
+    pub fn stats(&self) -> TreeStats {
+        self.inner.stats()
+    }
+
+    /// Releases surplus capacity in every node.
+    pub fn shrink_to_fit(&mut self) {
+        self.inner.shrink_to_fit()
+    }
+
+    /// Access to the underlying integer-keyed tree.
+    pub fn as_int_tree(&self) -> &PhTree<V, K> {
+        &self.inner
+    }
+}
+
+/// Window query iterator over `f64` points, returned by
+/// [`PhTreeF64::query`].
+pub struct QueryF64<'t, V, const K: usize> {
+    inner: Query<'t, V, K>,
+}
+
+impl<'t, V, const K: usize> Iterator for QueryF64<'t, V, K> {
+    type Item = ([f64; K], &'t V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next().map(|(k, v)| (key_to_point(&k), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_roundtrip() {
+        let mut t: PhTreeF64<u32, 2> = PhTreeF64::new();
+        assert_eq!(t.insert([0.5, -0.25], 1), None);
+        assert_eq!(t.insert([0.5, -0.25], 2), Some(1));
+        assert_eq!(t.get(&[0.5, -0.25]), Some(&2));
+        assert_eq!(t.remove(&[0.5, -0.25]), Some(2));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn negative_zero_unifies() {
+        let mut t: PhTreeF64<u32, 1> = PhTreeF64::new();
+        t.insert([-0.0], 1);
+        assert_eq!(t.get(&[0.0]), Some(&1));
+        assert_eq!(t.insert([0.0], 2), Some(1));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn window_query_with_negatives() {
+        let mut t: PhTreeF64<i32, 2> = PhTreeF64::new();
+        let pts = [
+            ([-2.0, -2.0], -1),
+            ([-0.5, 0.5], 0),
+            ([0.5, -0.5], 1),
+            ([1.5, 1.5], 2),
+        ];
+        for (p, v) in pts {
+            t.insert(p, v);
+        }
+        let mut hits: Vec<i32> = t
+            .query(&[-1.0, -1.0], &[1.0, 1.0])
+            .map(|(_, &v)| v)
+            .collect();
+        hits.sort();
+        assert_eq!(hits, vec![0, 1]);
+    }
+
+    #[test]
+    fn knn_euclidean_on_floats() {
+        let mut t: PhTreeF64<&str, 2> = PhTreeF64::new();
+        t.insert([0.0, 0.0], "o");
+        t.insert([0.3, 0.4], "p");
+        t.insert([10.0, 10.0], "q");
+        let nn = t.knn(&[0.0, 0.0], 2);
+        assert_eq!(*nn[0].1, "o");
+        assert_eq!(*nn[1].1, "p");
+        assert!((nn[1].2 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_decodes_points() {
+        let mut t: PhTreeF64<(), 3> = PhTreeF64::new();
+        t.insert([1.5, -2.5, 0.0], ());
+        let pts: Vec<[f64; 3]> = t.iter().map(|(p, _)| p).collect();
+        assert_eq!(pts, vec![[1.5, -2.5, 0.0]]);
+    }
+}
+
+#[cfg(test)]
+mod boundary_tests {
+    use super::*;
+
+    /// Windows straddling the IEEE exponent boundary at 0.5 (the
+    /// Sect. 4.3.6 hotspot) must still be exact.
+    #[test]
+    fn window_across_exponent_boundary() {
+        let mut t: PhTreeF64<(), 1> = PhTreeF64::new();
+        let pts: Vec<f64> = (0..1000).map(|i| 0.49995 + i as f64 * 1e-7).collect();
+        for &p in &pts {
+            t.insert([p], ());
+        }
+        let (lo, hi) = (0.49998, 0.50002);
+        let got = t.query(&[lo], &[hi]).count();
+        let want = pts.iter().filter(|&&p| p >= lo && p <= hi).count();
+        assert_eq!(got, want);
+        assert!(got > 0);
+    }
+
+    #[test]
+    fn knn_across_negative_positive() {
+        let mut t: PhTreeF64<i32, 1> = PhTreeF64::new();
+        t.insert([-1.0], -1);
+        t.insert([1.0], 1);
+        t.insert([-100.0], -100);
+        let nn = t.knn(&[-0.1], 2);
+        assert_eq!(*nn[0].1, -1);
+        assert_eq!(*nn[1].1, 1);
+    }
+
+    #[test]
+    fn infinities_are_storable_and_queryable() {
+        let mut t: PhTreeF64<&str, 1> = PhTreeF64::new();
+        t.insert([f64::NEG_INFINITY], "lo");
+        t.insert([0.0], "mid");
+        t.insert([f64::INFINITY], "hi");
+        assert_eq!(t.get(&[f64::INFINITY]), Some(&"hi"));
+        let all = t.query(&[f64::NEG_INFINITY], &[f64::INFINITY]).count();
+        assert_eq!(all, 3);
+        let finite_up = t.query(&[-1.0], &[f64::INFINITY]).count();
+        assert_eq!(finite_up, 2);
+    }
+}

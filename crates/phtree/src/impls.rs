@@ -1,0 +1,182 @@
+//! Standard-trait implementations for [`PhTree`] and [`PhTreeF64`].
+//!
+//! Because the PH-tree's structure is canonical, `Clone` (a deep
+//! structural copy) and re-insertion from an entry stream produce
+//! identical trees, and `PartialEq` over the entry streams is a full
+//! equality on the map contents.
+
+use crate::float::PhTreeF64;
+use crate::key::key_to_point;
+use crate::tree::PhTree;
+
+impl<V: std::fmt::Debug, const K: usize> std::fmt::Debug for PhTree<V, K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<V: PartialEq, const K: usize> PartialEq for PhTree<V, K> {
+    fn eq(&self, other: &Self) -> bool {
+        // Canonical structure ⇒ equal contents iterate identically.
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl<V: Eq, const K: usize> Eq for PhTree<V, K> {}
+
+impl<V, const K: usize> Extend<([u64; K], V)> for PhTree<V, K> {
+    fn extend<T: IntoIterator<Item = ([u64; K], V)>>(&mut self, iter: T) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+impl<V, const K: usize> FromIterator<([u64; K], V)> for PhTree<V, K> {
+    fn from_iter<T: IntoIterator<Item = ([u64; K], V)>>(iter: T) -> Self {
+        let mut t = PhTree::new();
+        t.extend(iter);
+        t
+    }
+}
+
+impl<'t, V, const K: usize> IntoIterator for &'t PhTree<V, K> {
+    type Item = ([u64; K], &'t V);
+    type IntoIter = crate::Iter<'t, V, K>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<V: std::fmt::Debug, const K: usize> std::fmt::Debug for PhTreeF64<V, K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map()
+            .entries(self.as_int_tree().iter().map(|(k, v)| (key_to_point(&k), v)))
+            .finish()
+    }
+}
+
+impl<V, const K: usize> Extend<([f64; K], V)> for PhTreeF64<V, K> {
+    fn extend<T: IntoIterator<Item = ([f64; K], V)>>(&mut self, iter: T) {
+        for (p, v) in iter {
+            self.insert(p, v);
+        }
+    }
+}
+
+impl<V, const K: usize> FromIterator<([f64; K], V)> for PhTreeF64<V, K> {
+    fn from_iter<T: IntoIterator<Item = ([f64; K], V)>>(iter: T) -> Self {
+        let mut t = PhTreeF64::new();
+        t.extend(iter);
+        t
+    }
+}
+
+#[cfg(feature = "serde")]
+mod serde_impls {
+    use super::*;
+    use serde::de::{MapAccess, Visitor};
+    use serde::ser::SerializeMap;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    impl<V: Serialize, const K: usize> Serialize for PhTree<V, K> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            let mut map = s.serialize_map(Some(self.len()))?;
+            for (k, v) in self.iter() {
+                map.serialize_entry(&k.to_vec(), v)?;
+            }
+            map.end()
+        }
+    }
+
+    impl<'de, V: Deserialize<'de>, const K: usize> Deserialize<'de> for PhTree<V, K> {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            struct V2<V, const K: usize>(std::marker::PhantomData<V>);
+            impl<'de, V: Deserialize<'de>, const K: usize> Visitor<'de> for V2<V, K> {
+                type Value = PhTree<V, K>;
+                fn expecting(&self, f: &mut std::fmt::Formatter) -> std::fmt::Result {
+                    write!(f, "a map from {K}-element integer keys to values")
+                }
+                fn visit_map<A: MapAccess<'de>>(self, mut m: A) -> Result<Self::Value, A::Error> {
+                    let mut t = PhTree::new();
+                    while let Some((k, v)) = m.next_entry::<Vec<u64>, V>()? {
+                        let key: [u64; K] = k
+                            .try_into()
+                            .map_err(|_| serde::de::Error::custom("key dimension mismatch"))?;
+                        t.insert(key, v);
+                    }
+                    Ok(t)
+                }
+            }
+            d.deserialize_map(V2(std::marker::PhantomData))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PhTree<u32, 2> {
+        let mut t = PhTree::new();
+        for i in 0..300u64 {
+            t.insert([i % 23, i / 23], i as u32);
+        }
+        t
+    }
+
+    #[test]
+    fn clone_is_deep_and_identical() {
+        let t = sample();
+        let mut u = t.clone();
+        u.check_invariants();
+        assert_eq!(t, u);
+        let (a, b) = (t.stats(), u.stats());
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.bit_bytes, b.bit_bytes);
+        // Mutating the clone leaves the original untouched.
+        u.insert([99, 99], 1);
+        assert_ne!(t, u);
+        assert_eq!(t.len() + 1, u.len());
+        assert!(!t.contains(&[99, 99]));
+    }
+
+    #[test]
+    fn equality_ignores_insert_order() {
+        let t = sample();
+        let mut u = PhTree::new();
+        let mut entries: Vec<_> = t.iter().map(|(k, &v)| (k, v)).collect();
+        entries.reverse();
+        u.extend(entries);
+        assert_eq!(t, u);
+        u.remove(&[0, 0]);
+        assert_ne!(t, u);
+    }
+
+    #[test]
+    fn from_iterator_and_into_iterator() {
+        let t: PhTree<u32, 2> = (0..50u64).map(|i| ([i, i * 2], i as u32)).collect();
+        assert_eq!(t.len(), 50);
+        let total: u32 = (&t).into_iter().map(|(_, &v)| v).sum();
+        assert_eq!(total, (0..50).sum::<u32>());
+    }
+
+    #[test]
+    fn debug_output_is_map_like() {
+        let mut t: PhTree<u8, 1> = PhTree::new();
+        t.insert([3], 7);
+        let s = format!("{t:?}");
+        assert!(s.contains('3') && s.contains('7'), "{s}");
+    }
+
+    #[test]
+    fn f64_clone_and_collect() {
+        let t: PhTreeF64<u8, 2> = [([0.5, 1.5], 1u8), ([-2.0, 4.0], 2)].into_iter().collect();
+        let u = t.clone();
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.get(&[-2.0, 4.0]), Some(&2));
+        let s = format!("{u:?}");
+        assert!(s.contains("1.5"), "{s}");
+    }
+}

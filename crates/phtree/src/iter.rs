@@ -1,0 +1,61 @@
+//! Full-tree iteration.
+
+use crate::query::Query;
+use crate::tree::PhTree;
+
+/// Iterator over every entry of a [`PhTree`], returned by
+/// [`PhTree::iter`]. Order is depth-first by hypercube address (a
+/// Z-order-like traversal), not sorted.
+pub struct Iter<'t, V, const K: usize> {
+    inner: Query<'t, V, K>,
+}
+
+impl<'t, V, const K: usize> Iterator for Iter<'t, V, K> {
+    type Item = ([u64; K], &'t V);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next()
+    }
+}
+
+impl<V, const K: usize> PhTree<V, K> {
+    /// Iterates over all entries.
+    ///
+    /// ```
+    /// let mut t: phtree::PhTree<u32, 2> = phtree::PhTree::new();
+    /// t.insert([1, 2], 10);
+    /// t.insert([3, 4], 20);
+    /// let total: u32 = t.iter().map(|(_, &v)| v).sum();
+    /// assert_eq!(total, 30);
+    /// ```
+    pub fn iter(&self) -> Iter<'_, V, K> {
+        Iter {
+            inner: self.query(&[0; K], &[u64::MAX; K]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iterates_all_entries_once() {
+        let mut t: PhTree<u64, 2> = PhTree::new();
+        for i in 0..256u64 {
+            t.insert([i % 13, i / 13], i);
+        }
+        let mut seen: Vec<[u64; 2]> = t.iter().map(|(k, _)| k).collect();
+        assert_eq!(seen.len(), t.len());
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), t.len());
+    }
+
+    #[test]
+    fn empty_iter() {
+        let t: PhTree<(), 5> = PhTree::new();
+        assert_eq!(t.iter().count(), 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Order-preserving key encodings (paper Sect. 3.3).
+//!
+//! The PH-tree understands only bit strings, which it orders as unsigned
+//! integers. Floating-point and signed-integer coordinates must therefore
+//! be converted into `u64`s such that the unsigned order of the converted
+//! values equals the natural order of the originals. This module provides
+//! those conversions and their inverses.
+
+/// Converts an IEEE-754 `f64` into a sortable `u64`.
+///
+/// This is the conversion function of Sect. 3.3: non-negative values map
+/// to their raw bit pattern with the sign bit set cleared... specifically,
+/// for `i1 = f64_to_key(f1)` and `i2 = f64_to_key(f2)`, `i1 > i2` holds if
+/// and only if `f1 > f2` (for non-NaN inputs). `-0.0` is normalised to
+/// `+0.0` before conversion, exactly as in the paper.
+///
+/// Unlike the paper's Java version (which compares as *signed* longs), we
+/// compare keys as unsigned integers, so positive values additionally get
+/// the sign bit set and negative values are fully inverted; the sortable
+/// property is identical.
+///
+/// NaN inputs are accepted and map above all other values (quiet-NaN bit
+/// patterns are larger than infinity's); ordering among NaNs is
+/// unspecified but stable.
+///
+/// ```
+/// use phtree::key::{f64_to_key, key_to_f64};
+/// let vals = [-1.5e300, -2.0, -0.0, 0.0, 1e-30, 0.4, 0.5, f64::INFINITY];
+/// let keys: Vec<u64> = vals.iter().map(|&v| f64_to_key(v)).collect();
+/// let mut sorted = keys.clone();
+/// sorted.sort();
+/// assert_eq!(keys, sorted);
+/// assert_eq!(key_to_f64(f64_to_key(0.4)), 0.4);
+/// assert_eq!(key_to_f64(f64_to_key(-0.0)), 0.0); // -0.0 is eliminated
+/// ```
+#[inline]
+pub fn f64_to_key(value: f64) -> u64 {
+    let value = if value == 0.0 { 0.0 } else { value }; // -0.0 → +0.0
+    let bits = value.to_bits();
+    if bits >> 63 == 0 {
+        // Non-negative: order of bit patterns already matches; offset into
+        // the upper half so that negatives sort below.
+        bits | (1 << 63)
+    } else {
+        // Negative: invert so that more-negative sorts lower.
+        !bits
+    }
+}
+
+/// Inverse of [`f64_to_key`].
+#[inline]
+pub fn key_to_f64(key: u64) -> f64 {
+    if key >> 63 == 1 {
+        f64::from_bits(key & !(1 << 63))
+    } else {
+        f64::from_bits(!key)
+    }
+}
+
+/// Converts a signed 64-bit integer into a sortable `u64` (flip the sign
+/// bit), preserving order.
+///
+/// ```
+/// use phtree::key::{i64_to_key, key_to_i64};
+/// assert!(i64_to_key(-5) < i64_to_key(3));
+/// assert_eq!(key_to_i64(i64_to_key(-42)), -42);
+/// ```
+#[inline]
+pub fn i64_to_key(value: i64) -> u64 {
+    (value as u64) ^ (1 << 63)
+}
+
+/// Inverse of [`i64_to_key`].
+#[inline]
+pub fn key_to_i64(key: u64) -> i64 {
+    (key ^ (1 << 63)) as i64
+}
+
+/// Converts an `f64` point to a PH-tree key, dimension-wise.
+#[inline]
+pub fn point_to_key<const K: usize>(p: &[f64; K]) -> [u64; K] {
+    std::array::from_fn(|d| f64_to_key(p[d]))
+}
+
+/// Converts a PH-tree key back to an `f64` point, dimension-wise.
+#[inline]
+pub fn key_to_point<const K: usize>(k: &[u64; K]) -> [f64; K] {
+    std::array::from_fn(|d| key_to_f64(k[d]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_normalised() {
+        assert_eq!(f64_to_key(-0.0), f64_to_key(0.0));
+        assert_eq!(key_to_f64(f64_to_key(-0.0)).to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn order_preserved_across_sign() {
+        let vals = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -1.0,
+            -1e-300,
+            0.0,
+            1e-300,
+            0.0999,
+            0.10001,
+            0.4999,
+            0.50001,
+            1.0,
+            1e300,
+            f64::INFINITY,
+        ];
+        for w in vals.windows(2) {
+            assert!(
+                f64_to_key(w[0]) < f64_to_key(w[1]),
+                "{} should sort below {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_non_nan() {
+        for v in [-123.456, -0.5, 0.5, 42.0, 1e-30, -1e30, f64::MAX, f64::MIN] {
+            assert_eq!(key_to_f64(f64_to_key(v)), v);
+        }
+    }
+
+    /// Table 4 of the paper: the exponent changes between 0.49999… and
+    /// 0.5, but not between 0.39999… and 0.4 — the cause of the
+    /// CLUSTER0.5 space blow-up (Sect. 4.3.6).
+    #[test]
+    fn table4_exponent_boundary() {
+        let exp = |v: f64| (v.to_bits() >> 52) & 0x7FF;
+        assert_eq!(exp(0.39999), exp(0.40005));
+        assert_ne!(exp(0.49999), exp(0.50001));
+        // Same effect is visible in the converted keys: common prefix of
+        // the 0.4-neighbourhood is much longer.
+        let common_prefix = |a: u64, b: u64| (a ^ b).leading_zeros();
+        let p4 = common_prefix(f64_to_key(0.39995), f64_to_key(0.40005));
+        let p5 = common_prefix(f64_to_key(0.49995), f64_to_key(0.50005));
+        assert_eq!(p4, 22, "0.4-cluster common prefix");
+        assert_eq!(p5, 10, "0.5-cluster prefix collapses at the exponent");
+    }
+
+    /// The exact IEEE bit patterns listed in Table 4.
+    #[test]
+    fn table4_bit_patterns() {
+        assert_eq!(0.39999f64.to_bits(), 4600877199177713619);
+        assert_eq!(0.40000f64.to_bits(), 4600877379321698714);
+        assert_eq!(0.49999f64.to_bits(), 4602678639028661817);
+        assert_eq!(0.50000f64.to_bits(), 4602678819172646912);
+    }
+
+    #[test]
+    fn i64_order_preserved() {
+        let vals = [i64::MIN, -100, -1, 0, 1, 100, i64::MAX];
+        for w in vals.windows(2) {
+            assert!(i64_to_key(w[0]) < i64_to_key(w[1]));
+        }
+        for v in vals {
+            assert_eq!(key_to_i64(i64_to_key(v)), v);
+        }
+    }
+
+    #[test]
+    fn point_conversions() {
+        let p = [0.25, -4.5, 1e10];
+        let k = point_to_key(&p);
+        assert_eq!(key_to_point(&k), p);
+    }
+
+    #[test]
+    fn nan_sorts_at_top() {
+        assert!(f64_to_key(f64::NAN) > f64_to_key(f64::INFINITY));
+    }
+}

@@ -1,0 +1,1289 @@
+//! PH-tree nodes: hypercube child addressing, adaptive HC/LHC
+//! representation and per-node bit-stream storage.
+//!
+//! Every node splits the space in all `K` dimensions at one bit position
+//! (its *split bit*, `post_len`). A child is addressed by the `K`-bit
+//! hypercube address formed from bit `post_len` of each dimension. Below
+//! the split, a child is either a **postfix entry** (the remaining
+//! `post_len` bits per dimension plus a user value) or a **sub-node**.
+//!
+//! Following the paper's Sect. 3.4, almost everything a node stores
+//! lives in a *single packed bit string*:
+//!
+//! * **LHC** (linear hypercube, sparse nodes):
+//!   `[infix | sorted addresses: n·K bits | kind bits: n | postfixes]`
+//!   — lookup by binary search over the packed address fields.
+//! * **HC** (full hypercube, dense nodes):
+//!   `[infix | 2-bit slot kinds: 2·2^K bits | postfixes at fixed
+//!   stride]` — O(1) lookup, no bit shifting on update.
+//!
+//! The only data outside the bit string are the things that cannot be
+//! bits: child nodes (`subs`, an exact-size slice in address order) and
+//! user values (`values`, likewise; zero-sized value types occupy no
+//! heap at all). Dense ranks ("how many postfix entries precede address
+//! h") are answered by word-wise popcounts over the packed kind bits.
+//!
+//! The representation is chosen per node by comparing the exact bit
+//! cost of both forms — `n·(k+1) + n_post·post_bits` for LHC versus
+//! `2^k·(2 + post_bits)` for HC — recomputed on every structural
+//! update, mirroring the paper's size comparison.
+
+use crate::config::ReprMode;
+use phbits::{num, BitBuf};
+
+/// Bits per dimension; the paper's `w`. Fixed to 64 in this
+/// implementation (the experiments all use 64-bit values).
+pub const W: u32 = 64;
+
+/// Largest `K` for which a node may materialise a full `2^K` hypercube
+/// kind table. Beyond this the size comparison would overflow; such
+/// nodes always stay in LHC form.
+const MAX_HC_K: usize = 22;
+
+/// HC slot kind codes (2 bits each in the kind table).
+const KIND_EMPTY: u64 = 0;
+const KIND_POST: u64 = 1;
+const KIND_SUB: u64 = 2;
+
+/// A child extracted from a node (used when merging one-child nodes).
+pub(crate) enum Child<V, const K: usize> {
+    /// A postfix entry's value (the postfix bits live in the node).
+    Post(V),
+    /// A sub-node.
+    Sub(Node<V, K>),
+}
+
+/// Result of a lightweight, borrow-free slot probe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Probe {
+    /// The slot is empty.
+    Empty,
+    /// The slot holds a postfix entry whose record starts at `pf_off`.
+    Post { pf_off: usize },
+    /// The slot holds a sub-node.
+    Sub,
+}
+
+/// Read-only view of an occupied hypercube slot.
+pub(crate) enum SlotRef<'a, V, const K: usize> {
+    /// A postfix entry: bit offset of its postfix record in the node's
+    /// buffer, and the value.
+    Post { pf_off: usize, value: &'a V },
+    /// A sub-node.
+    Sub(&'a Node<V, K>),
+}
+
+/// A PH-tree node. See the module docs for the storage layout.
+#[derive(Clone)]
+pub(crate) struct Node<V, const K: usize> {
+    /// Number of key bits per dimension below this node's split bit;
+    /// also the split bit position itself (0 = LSB).
+    pub post_len: u8,
+    /// Number of prefix bits per dimension stored in this node's infix.
+    pub infix_len: u8,
+    /// Whether the node is in HC (full hypercube) form.
+    hc: bool,
+    /// The packed bit string (see module docs).
+    pub bits: BitBuf,
+    /// Sub-node children in hypercube-address order, exact size.
+    pub subs: Box<[Node<V, K>]>,
+    /// Values of postfix entries in hypercube-address order, exact size.
+    pub values: Box<[V]>,
+}
+
+/// Inserts into an exact-size boxed slice (reallocates).
+fn slice_insert<T>(b: &mut Box<[T]>, i: usize, v: T) {
+    let mut vec = std::mem::take(b).into_vec();
+    vec.insert(i, v);
+    *b = vec.into_boxed_slice();
+}
+
+/// Removes from an exact-size boxed slice (reallocates).
+fn slice_remove<T>(b: &mut Box<[T]>, i: usize) -> T {
+    let mut vec = std::mem::take(b).into_vec();
+    let v = vec.remove(i);
+    *b = vec.into_boxed_slice();
+    v
+}
+
+impl<V, const K: usize> Node<V, K> {
+    /// Reassembles a node from serialised parts (see [`crate::raw`]).
+    /// Performs consistency checks; returns `None` on mismatch.
+    pub fn from_parts(
+        post_len: u8,
+        infix_len: u8,
+        hc: bool,
+        bits: BitBuf,
+        subs: Box<[Node<V, K>]>,
+        values: Box<[V]>,
+    ) -> Option<Self> {
+        if post_len as u32 >= W || post_len as u32 + (infix_len as u32) >= W {
+            return None;
+        }
+        let n = Node {
+            post_len,
+            infix_len,
+            hc,
+            bits,
+            subs,
+            values,
+        };
+        // Bit-length formula must hold for the claimed representation.
+        let expect = if hc {
+            if K > MAX_HC_K {
+                return None;
+            }
+            n.infix_bits() + (1usize << K) * (2 + n.post_bits())
+        } else {
+            n.infix_bits() + n.n_children() * (K + 1) + n.n_posts() * n.post_bits()
+        };
+        if n.bits.len() != expect {
+            return None;
+        }
+        // Kind bits must agree with the sub/value counts, addresses must
+        // be sorted, and child depths must chain correctly.
+        if hc {
+            let mut posts = 0;
+            let mut subs_n = 0;
+            for h in 0..(1u64 << K) {
+                match n.hc_kind(h) {
+                    KIND_EMPTY => {}
+                    KIND_POST => posts += 1,
+                    KIND_SUB => subs_n += 1,
+                    _ => return None,
+                }
+            }
+            if posts != n.n_posts() || subs_n != n.n_subs() {
+                return None;
+            }
+        } else {
+            let count = n.n_children();
+            let mut subs_n = 0;
+            for j in 0..count {
+                if j > 0 && n.lhc_addr_at(j - 1) >= n.lhc_addr_at(j) {
+                    return None;
+                }
+                if K < 64 && n.lhc_addr_at(j) >= (1u64 << K) {
+                    return None;
+                }
+                subs_n += n.lhc_is_sub(j) as usize;
+            }
+            if subs_n != n.n_subs() {
+                return None;
+            }
+        }
+        for sub in n.subs.iter() {
+            if sub.post_len as u32 + sub.infix_len as u32 + 1 != n.post_len as u32 {
+                return None;
+            }
+        }
+        Some(n)
+    }
+
+    /// Whether the node is in HC form (serialisation accessor).
+    pub fn hc_flag(&self) -> bool {
+        self.hc
+    }
+
+    /// Creates an empty (LHC) node. `infix_len` bits per dimension of
+    /// `key` (bits `post_len+1 ..= post_len+infix_len`) are recorded as
+    /// the node's infix.
+    pub fn new(post_len: u8, infix_len: u8, key: &[u64; K]) -> Self {
+        debug_assert!((post_len as u32) < W);
+        debug_assert!(post_len as u32 + (infix_len as u32) < W);
+        let mut bits = BitBuf::with_capacity(infix_len as usize * K + 2 * (K + 1));
+        bits.grow(infix_len as usize * K);
+        let mut n = Node {
+            post_len,
+            infix_len,
+            hc: false,
+            bits,
+            subs: Box::default(),
+            values: Box::default(),
+        };
+        n.write_infix(key);
+        n
+    }
+
+    #[inline]
+    pub fn infix_bits(&self) -> usize {
+        self.infix_len as usize * K
+    }
+
+    #[inline]
+    pub fn post_bits(&self) -> usize {
+        self.post_len as usize * K
+    }
+
+    /// Number of locally stored entries (postfixes).
+    #[inline]
+    pub fn n_posts(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of sub-node children.
+    #[inline]
+    pub fn n_subs(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Number of occupied hypercube slots.
+    #[inline]
+    pub fn n_children(&self) -> usize {
+        self.n_posts() + self.n_subs()
+    }
+
+    #[inline]
+    pub fn is_hc(&self) -> bool {
+        self.hc
+    }
+
+    // ------------------------------------------------------------------
+    // Infix handling
+    // ------------------------------------------------------------------
+
+    /// Records bits `post_len+1 ..= post_len+infix_len` of each dimension
+    /// of `key` as this node's infix.
+    pub fn write_infix(&mut self, key: &[u64; K]) {
+        let il = self.infix_len as u32;
+        if il == 0 {
+            return;
+        }
+        let lo = self.post_len as u32 + 1;
+        for (d, &v) in key.iter().enumerate() {
+            let frag = (v >> lo) & num::low_mask(il);
+            self.bits.write_bits(d * il as usize, frag, il);
+        }
+    }
+
+    /// Copies the stored infix into the corresponding bit range of `key`.
+    pub fn read_infix_into(&self, key: &mut [u64; K]) {
+        let il = self.infix_len as u32;
+        if il == 0 {
+            return;
+        }
+        let lo = self.post_len as u32 + 1;
+        let m = num::low_mask(il) << lo;
+        for (d, v) in key.iter_mut().enumerate() {
+            let frag = self.bits.read_bits(d * il as usize, il);
+            *v = (*v & !m) | (frag << lo);
+        }
+    }
+
+    /// Whether `key` matches this node's infix in every dimension.
+    pub fn infix_matches(&self, key: &[u64; K]) -> bool {
+        let il = self.infix_len as u32;
+        if il == 0 {
+            return true;
+        }
+        let lo = self.post_len as u32 + 1;
+        for (d, &v) in key.iter().enumerate() {
+            let frag = (v >> lo) & num::low_mask(il);
+            if frag != self.bits.read_bits(d * il as usize, il) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Rewrites the infix to `new_len` bits per dimension taken from
+    /// `key` (used when an infix is split or extended by node
+    /// restructuring).
+    pub fn reset_infix(&mut self, new_len: u8, key: &[u64; K], mode: ReprMode) {
+        let old = self.infix_bits();
+        self.infix_len = new_len;
+        let new = self.infix_bits();
+        if new < old {
+            self.bits.remove_range(new, old - new);
+        } else if new > old {
+            self.bits.insert_gap(old, new - old);
+        }
+        self.write_infix(key);
+        // The infix length feeds the HC/LHC size comparison only through
+        // rounding, but keep the representation a pure function of the
+        // node's final state.
+        self.maybe_switch_repr(mode);
+    }
+
+    // ------------------------------------------------------------------
+    // Layout offsets
+    // ------------------------------------------------------------------
+
+    /// LHC: bit offset of the address field of child `j` (given `n`
+    /// children).
+    #[inline]
+    fn lhc_addr_off(&self, j: usize) -> usize {
+        self.infix_bits() + j * K
+    }
+
+    /// LHC: bit offset of the kind bit of child `j`.
+    #[inline]
+    fn lhc_kind_off(&self, n: usize, j: usize) -> usize {
+        self.infix_bits() + n * K + j
+    }
+
+    /// LHC: bit offset of the start of the postfix area.
+    #[inline]
+    fn lhc_pf_base(&self, n: usize) -> usize {
+        self.infix_bits() + n * (K + 1)
+    }
+
+    /// HC: bit offset of slot `h`'s 2-bit kind.
+    #[inline]
+    fn hc_kind_off(&self, h: u64) -> usize {
+        self.infix_bits() + 2 * h as usize
+    }
+
+    /// HC: bit offset of the start of the fixed-stride postfix area.
+    #[inline]
+    fn hc_pf_base(&self) -> usize {
+        self.infix_bits() + 2 * (1usize << K)
+    }
+
+    /// LHC: address of child `j`.
+    #[inline]
+    pub fn lhc_addr_at(&self, j: usize) -> u64 {
+        self.bits.read_bits(self.lhc_addr_off(j), K as u32)
+    }
+
+    /// LHC: whether child `j` is a sub-node.
+    #[inline]
+    fn lhc_is_sub(&self, j: usize) -> bool {
+        self.bits.get(self.lhc_kind_off(self.n_children(), j))
+    }
+
+    /// LHC: number of postfix entries among children `0..j`.
+    #[inline]
+    fn lhc_post_rank(&self, j: usize) -> usize {
+        let n = self.n_children();
+        j - self.bits.count_ones(self.lhc_kind_off(n, 0), j)
+    }
+
+    /// HC: 2-bit kind of slot `h`.
+    #[inline]
+    fn hc_kind(&self, h: u64) -> u64 {
+        self.bits.read_bits(self.hc_kind_off(h), 2)
+    }
+
+    /// HC: `(post_rank, sub_rank)` — counts of posts/subs in slots
+    /// `0..h`, via word-wise popcounts over the packed kind table.
+    fn hc_ranks(&self, h: u64) -> (usize, usize) {
+        let base = self.infix_bits();
+        let nbits = 2 * h as usize;
+        let mut posts = 0usize;
+        let mut subs = 0usize;
+        let mut done = 0usize;
+        while done < nbits {
+            let chunk = (nbits - done).min(64) as u32;
+            let w = self.bits.read_bits(base + done, chunk);
+            // Kind 01 = post (low bit of the pair), kind 10 = sub.
+            posts += (w & 0x5555_5555_5555_5555).count_ones() as usize;
+            subs += (w & 0xAAAA_AAAA_AAAA_AAAA).count_ones() as usize;
+            done += chunk as usize;
+        }
+        (posts, subs)
+    }
+
+    /// LHC: index of the first child with address `>= h` (also the
+    /// insert position), or `Ok(j)` when child `j` has address `h`.
+    fn lhc_search(&self, h: u64) -> Result<usize, usize> {
+        let (mut lo, mut hi) = (0usize, self.n_children());
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.lhc_addr_at(mid) < h {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo < self.n_children() && self.lhc_addr_at(lo) == h {
+            Ok(lo)
+        } else {
+            Err(lo)
+        }
+    }
+
+    /// For window queries: index of the first child with address `>= h`.
+    pub fn lhc_lower_bound(&self, h: u64) -> usize {
+        debug_assert!(!self.hc);
+        match self.lhc_search(h) {
+            Ok(j) | Err(j) => j,
+        }
+    }
+
+    /// Number of LHC children (callers must check `!is_hc()`).
+    #[inline]
+    pub fn lhc_len(&self) -> usize {
+        debug_assert!(!self.hc);
+        self.n_children()
+    }
+
+    /// For LHC nodes: the address and slot at child index `j`.
+    pub fn lhc_at(&self, j: usize) -> (u64, SlotRef<'_, V, K>) {
+        debug_assert!(!self.hc);
+        let addr = self.lhc_addr_at(j);
+        let slot = if self.lhc_is_sub(j) {
+            let sr = j - self.lhc_post_rank(j);
+            SlotRef::Sub(&self.subs[sr])
+        } else {
+            let pr = self.lhc_post_rank(j);
+            SlotRef::Post {
+                pf_off: self.lhc_pf_base(self.n_children()) + pr * self.post_bits(),
+                value: &self.values[pr],
+            }
+        };
+        (addr, slot)
+    }
+
+    // ------------------------------------------------------------------
+    // Postfix handling
+    // ------------------------------------------------------------------
+
+    /// Writes the low `post_len` bits of each dimension of `key` into the
+    /// postfix record at bit offset `off` (which must already exist).
+    fn write_postfix_at(&mut self, off: usize, key: &[u64; K]) {
+        let pl = self.post_len as u32;
+        if pl == 0 {
+            return;
+        }
+        for (d, &v) in key.iter().enumerate() {
+            self.bits
+                .write_bits(off + d * pl as usize, v & num::low_mask(pl), pl);
+        }
+    }
+
+    /// Reads the postfix record at bit offset `off` into the low bits of
+    /// `key` (replacing them).
+    pub fn read_postfix_into(&self, off: usize, key: &mut [u64; K]) {
+        let pl = self.post_len as u32;
+        if pl == 0 {
+            return;
+        }
+        let m = num::low_mask(pl);
+        for (d, v) in key.iter_mut().enumerate() {
+            let frag = self.bits.read_bits(off + d * pl as usize, pl);
+            *v = (*v & !m) | frag;
+        }
+    }
+
+    /// Whether the postfix record at `off` equals the low bits of `key`.
+    pub fn postfix_matches(&self, off: usize, key: &[u64; K]) -> bool {
+        let pl = self.post_len as u32;
+        if pl == 0 {
+            return true;
+        }
+        for (d, &v) in key.iter().enumerate() {
+            if self.bits.read_bits(off + d * pl as usize, pl) != v & num::low_mask(pl) {
+                return false;
+            }
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Slot lookup
+    // ------------------------------------------------------------------
+
+    /// Looks up the slot for address `h`.
+    #[inline]
+    pub fn get_slot(&self, h: u64) -> Option<SlotRef<'_, V, K>> {
+        if self.hc {
+            match self.hc_kind(h) {
+                KIND_EMPTY => None,
+                KIND_POST => {
+                    let (pr, _) = self.hc_ranks(h);
+                    Some(SlotRef::Post {
+                        pf_off: self.hc_pf_base() + h as usize * self.post_bits(),
+                        value: &self.values[pr],
+                    })
+                }
+                _ => {
+                    let (_, sr) = self.hc_ranks(h);
+                    Some(SlotRef::Sub(&self.subs[sr]))
+                }
+            }
+        } else {
+            match self.lhc_search(h) {
+                Ok(j) => Some(self.lhc_at(j).1),
+                Err(_) => None,
+            }
+        }
+    }
+
+    /// Lightweight slot probe carrying only `Copy` data, for use where a
+    /// [`SlotRef`] borrow would conflict with subsequent mutation.
+    #[inline]
+    pub fn probe(&self, h: u64) -> Probe {
+        if self.hc {
+            match self.hc_kind(h) {
+                KIND_EMPTY => Probe::Empty,
+                KIND_POST => Probe::Post {
+                    pf_off: self.hc_pf_base() + h as usize * self.post_bits(),
+                },
+                _ => Probe::Sub,
+            }
+        } else {
+            match self.lhc_search(h) {
+                Ok(j) => {
+                    if self.lhc_is_sub(j) {
+                        Probe::Sub
+                    } else {
+                        let pr = self.lhc_post_rank(j);
+                        Probe::Post {
+                            pf_off: self.lhc_pf_base(self.n_children()) + pr * self.post_bits(),
+                        }
+                    }
+                }
+                Err(_) => Probe::Empty,
+            }
+        }
+    }
+
+    /// Index into `values` of the postfix entry at `h`, if any.
+    fn post_rank_of(&self, h: u64) -> Option<usize> {
+        if self.hc {
+            if self.hc_kind(h) == KIND_POST {
+                Some(self.hc_ranks(h).0)
+            } else {
+                None
+            }
+        } else {
+            match self.lhc_search(h) {
+                Ok(j) if !self.lhc_is_sub(j) => Some(self.lhc_post_rank(j)),
+                _ => None,
+            }
+        }
+    }
+
+    /// Index into `subs` of the sub-node at `h`, if any.
+    fn sub_rank_of(&self, h: u64) -> Option<usize> {
+        if self.hc {
+            if self.hc_kind(h) == KIND_SUB {
+                Some(self.hc_ranks(h).1)
+            } else {
+                None
+            }
+        } else {
+            match self.lhc_search(h) {
+                Ok(j) if self.lhc_is_sub(j) => Some(j - self.lhc_post_rank(j)),
+                _ => None,
+            }
+        }
+    }
+
+    /// Mutable access to the value of the postfix entry at `h`.
+    pub fn post_value_mut(&mut self, h: u64) -> Option<&mut V> {
+        let pr = self.post_rank_of(h)?;
+        Some(&mut self.values[pr])
+    }
+
+    /// Mutable access to the sub-node at `h`.
+    pub fn sub_mut(&mut self, h: u64) -> Option<&mut Node<V, K>> {
+        let sr = self.sub_rank_of(h)?;
+        Some(&mut self.subs[sr])
+    }
+
+    // ------------------------------------------------------------------
+    // Structural updates
+    // ------------------------------------------------------------------
+
+    /// Inserts a new postfix entry at (empty) address `h`.
+    pub fn insert_post(&mut self, h: u64, key: &[u64; K], value: V, mode: ReprMode) {
+        let pb = self.post_bits();
+        if self.hc {
+            debug_assert_eq!(self.hc_kind(h), KIND_EMPTY, "insert_post into occupied slot");
+            let (pr, _) = self.hc_ranks(h);
+            let off = self.hc_kind_off(h);
+            self.bits.write_bits(off, KIND_POST, 2);
+            let pf = self.hc_pf_base() + h as usize * pb;
+            self.write_postfix_at(pf, key);
+            slice_insert(&mut self.values, pr, value);
+        } else {
+            let j = match self.lhc_search(h) {
+                Err(j) => j,
+                Ok(_) => panic!("insert_post into occupied slot"),
+            };
+            let n = self.n_children();
+            let pr = self.lhc_post_rank(j);
+            // One splice opens the address, kind and postfix gaps.
+            self.bits.insert_gaps(&[
+                (self.lhc_addr_off(j), K),
+                (self.lhc_kind_off(n, j), 1), // zero = post
+                (self.lhc_pf_base(n) + pr * pb, pb),
+            ]);
+            let n = n + 1;
+            self.bits.write_bits(self.lhc_addr_off(j), h, K as u32);
+            let pf = self.lhc_pf_base(n) + pr * pb;
+            self.write_postfix_at(pf, key);
+            slice_insert(&mut self.values, pr, value);
+        }
+        self.maybe_switch_repr(mode);
+    }
+
+    /// Inserts a sub-node at (empty) address `h`.
+    pub fn insert_sub(&mut self, h: u64, sub: Node<V, K>, mode: ReprMode) {
+        if self.hc {
+            debug_assert_eq!(self.hc_kind(h), KIND_EMPTY, "insert_sub into occupied slot");
+            let (_, sr) = self.hc_ranks(h);
+            let off = self.hc_kind_off(h);
+            self.bits.write_bits(off, KIND_SUB, 2);
+            slice_insert(&mut self.subs, sr, sub);
+        } else {
+            let j = match self.lhc_search(h) {
+                Err(j) => j,
+                Ok(_) => panic!("insert_sub into occupied slot"),
+            };
+            let n = self.n_children();
+            let sr = j - self.lhc_post_rank(j);
+            self.bits.insert_gaps(&[
+                (self.lhc_addr_off(j), K),
+                (self.lhc_kind_off(n, j), 1),
+            ]);
+            let n = n + 1;
+            self.bits.write_bits(self.lhc_addr_off(j), h, K as u32);
+            self.bits.set(self.lhc_kind_off(n, j), true); // kind 1 = sub
+            slice_insert(&mut self.subs, sr, sub);
+        }
+        self.maybe_switch_repr(mode);
+    }
+
+    /// Removes the postfix entry at `h`, returning its value.
+    pub fn remove_post(&mut self, h: u64, mode: ReprMode) -> V {
+        let pb = self.post_bits();
+        let v = if self.hc {
+            assert_eq!(self.hc_kind(h), KIND_POST, "remove_post on non-post slot");
+            let (pr, _) = self.hc_ranks(h);
+            let off = self.hc_kind_off(h);
+            self.bits.write_bits(off, KIND_EMPTY, 2);
+            // Clear the stale postfix slot for determinism.
+            let pf = self.hc_pf_base() + h as usize * pb;
+            let zero: [u64; K] = [0; K];
+            self.write_postfix_at(pf, &zero);
+            slice_remove(&mut self.values, pr)
+        } else {
+            let j = self.lhc_search(h).expect("remove_post: empty slot");
+            assert!(!self.lhc_is_sub(j), "remove_post on sub slot");
+            let n = self.n_children();
+            let pr = self.lhc_post_rank(j);
+            self.bits.remove_ranges(&[
+                (self.lhc_addr_off(j), K),
+                (self.lhc_kind_off(n, j), 1),
+                (self.lhc_pf_base(n) + pr * pb, pb),
+            ]);
+            slice_remove(&mut self.values, pr)
+        };
+        self.maybe_switch_repr(mode);
+        v
+    }
+
+    /// Replaces the value of the postfix entry at `h`, returning the old
+    /// value. The postfix itself is unchanged.
+    pub fn replace_post_value(&mut self, h: u64, value: V) -> V {
+        std::mem::replace(
+            self.post_value_mut(h).expect("replace_post_value: not a post"),
+            value,
+        )
+    }
+
+    /// Replaces the postfix entry at `h` with a sub-node, returning the
+    /// displaced value. The caller re-inserts the displaced entry into
+    /// the sub-node (the paper's "at most one entry is moved between the
+    /// two nodes").
+    pub fn swap_post_for_sub(&mut self, h: u64, sub: Node<V, K>, mode: ReprMode) -> V {
+        let pb = self.post_bits();
+        let v = if self.hc {
+            assert_eq!(self.hc_kind(h), KIND_POST, "swap_post_for_sub on non-post slot");
+            let (pr, sr) = self.hc_ranks(h);
+            let off = self.hc_kind_off(h);
+            self.bits.write_bits(off, KIND_SUB, 2);
+            let pf = self.hc_pf_base() + h as usize * pb;
+            let zero: [u64; K] = [0; K];
+            self.write_postfix_at(pf, &zero);
+            slice_insert(&mut self.subs, sr, sub);
+            slice_remove(&mut self.values, pr)
+        } else {
+            let j = self.lhc_search(h).expect("swap_post_for_sub: empty slot");
+            assert!(!self.lhc_is_sub(j), "swap_post_for_sub on sub slot");
+            let n = self.n_children();
+            let pr = self.lhc_post_rank(j);
+            let sr = j - pr;
+            let pf = self.lhc_pf_base(n) + pr * pb;
+            self.bits.remove_range(pf, pb);
+            self.bits.set(self.lhc_kind_off(n, j), true);
+            slice_insert(&mut self.subs, sr, sub);
+            slice_remove(&mut self.values, pr)
+        };
+        // The post count feeds the size comparison; keep the
+        // representation a pure function of the node's final state.
+        self.maybe_switch_repr(mode);
+        v
+    }
+
+    /// Replaces the sub-node at `h` with a postfix entry (merge-up after
+    /// a deletion left the sub-node with a single local entry).
+    pub fn replace_sub_with_post(&mut self, h: u64, key: &[u64; K], value: V, mode: ReprMode) {
+        let pb = self.post_bits();
+        if self.hc {
+            assert_eq!(self.hc_kind(h), KIND_SUB, "replace_sub_with_post on non-sub slot");
+            let (pr, sr) = self.hc_ranks(h);
+            let off = self.hc_kind_off(h);
+            self.bits.write_bits(off, KIND_POST, 2);
+            let pf = self.hc_pf_base() + h as usize * pb;
+            self.write_postfix_at(pf, key);
+            slice_remove(&mut self.subs, sr);
+            slice_insert(&mut self.values, pr, value);
+        } else {
+            let j = self.lhc_search(h).expect("replace_sub_with_post: empty slot");
+            assert!(self.lhc_is_sub(j), "replace_sub_with_post on post slot");
+            let n = self.n_children();
+            let pr = self.lhc_post_rank(j);
+            let sr = j - pr;
+            self.bits.set(self.lhc_kind_off(n, j), false);
+            let pf = self.lhc_pf_base(n) + pr * pb;
+            self.bits.insert_gap(pf, pb);
+            self.write_postfix_at(pf, key);
+            slice_remove(&mut self.subs, sr);
+            slice_insert(&mut self.values, pr, value);
+        }
+        self.maybe_switch_repr(mode);
+    }
+
+    /// Replaces the sub-node at `h` with another sub-node, returning the
+    /// displaced one.
+    pub fn swap_sub(&mut self, h: u64, sub: Node<V, K>) -> Node<V, K> {
+        let sr = self.sub_rank_of(h).expect("swap_sub: not a sub slot");
+        std::mem::replace(&mut self.subs[sr], sub)
+    }
+
+    /// If this node has exactly one child, removes and returns it with
+    /// its address.
+    pub fn take_single_child(&mut self) -> Option<(u64, Child<V, K>)> {
+        if self.n_children() != 1 {
+            return None;
+        }
+        let (h, is_sub) = if self.hc {
+            let mut found = None;
+            for h in 0..(1u64 << K) {
+                match self.hc_kind(h) {
+                    KIND_EMPTY => {}
+                    k => {
+                        found = Some((h, k == KIND_SUB));
+                        break;
+                    }
+                }
+            }
+            found.expect("one child")
+        } else {
+            (self.lhc_addr_at(0), self.lhc_is_sub(0))
+        };
+        // Reset the bit string to "empty node" form (infix only).
+        self.bits.truncate(self.infix_bits());
+        self.hc = false;
+        let child = if is_sub {
+            Child::Sub(slice_remove(&mut self.subs, 0))
+        } else {
+            Child::Post(slice_remove(&mut self.values, 0))
+        };
+        Some((h, child))
+    }
+
+    // ------------------------------------------------------------------
+    // HC ⇄ LHC switching (Sect. 3.2)
+    // ------------------------------------------------------------------
+
+    /// Bit cost of the child table in LHC form (excl. infix, subs and
+    /// values, which are identical in both forms).
+    #[inline]
+    fn lhc_cost_bits(&self, n: usize, posts: usize) -> usize {
+        n * (K + 1) + posts * self.post_bits()
+    }
+
+    /// Bit cost of the child table in HC form, or `usize::MAX` when a
+    /// `2^K` table may not be materialised.
+    #[inline]
+    fn hc_cost_bits(&self) -> usize {
+        if K > MAX_HC_K {
+            return usize::MAX;
+        }
+        (1usize << K) * (2 + self.post_bits())
+    }
+
+    /// Converts to the smaller representation if the current one is not.
+    pub fn maybe_switch_repr(&mut self, mode: ReprMode) {
+        let want_hc = match mode {
+            ReprMode::ForceLhc => false,
+            ReprMode::ForceHc => K <= MAX_HC_K,
+            ReprMode::Adaptive => {
+                self.hc_cost_bits() < self.lhc_cost_bits(self.n_children(), self.n_posts())
+            }
+        };
+        if want_hc != self.hc {
+            if want_hc {
+                self.convert_to_hc();
+            } else {
+                self.convert_to_lhc();
+            }
+        }
+    }
+
+    fn convert_to_hc(&mut self) {
+        debug_assert!(!self.hc);
+        let ib = self.infix_bits();
+        let pb = self.post_bits();
+        let n = self.n_children();
+        let slots = 1usize << K;
+        let mut bits = BitBuf::with_capacity(ib + slots * (2 + pb));
+        bits.grow(ib + slots * (2 + pb));
+        bits.copy_bits_from(&self.bits, 0, 0, ib);
+        let pf_base_new = ib + 2 * slots;
+        let mut pr = 0usize;
+        for j in 0..n {
+            let h = self.lhc_addr_at(j) as usize;
+            if self.lhc_is_sub(j) {
+                bits.write_bits(ib + 2 * h, KIND_SUB, 2);
+            } else {
+                bits.write_bits(ib + 2 * h, KIND_POST, 2);
+                bits.copy_bits_from(
+                    &self.bits,
+                    self.lhc_pf_base(n) + pr * pb,
+                    pf_base_new + h * pb,
+                    pb,
+                );
+                pr += 1;
+            }
+        }
+        self.bits = bits;
+        self.hc = true;
+    }
+
+    fn convert_to_lhc(&mut self) {
+        debug_assert!(self.hc);
+        let ib = self.infix_bits();
+        let pb = self.post_bits();
+        let n = self.n_children();
+        let posts = self.n_posts();
+        let mut bits = BitBuf::with_capacity(ib + n * (K + 1) + posts * pb);
+        bits.grow(ib + n * (K + 1) + posts * pb);
+        bits.copy_bits_from(&self.bits, 0, 0, ib);
+        let pf_base_new = ib + n * (K + 1);
+        let mut j = 0usize;
+        let mut pr = 0usize;
+        for h in 0..(1u64 << K) {
+            match self.hc_kind(h) {
+                KIND_EMPTY => continue,
+                KIND_POST => {
+                    bits.write_bits(ib + j * K, h, K as u32);
+                    // kind bit stays 0
+                    bits.copy_bits_from(
+                        &self.bits,
+                        self.hc_pf_base() + h as usize * pb,
+                        pf_base_new + pr * pb,
+                        pb,
+                    );
+                    pr += 1;
+                }
+                _ => {
+                    bits.write_bits(ib + j * K, h, K as u32);
+                    bits.set(ib + n * K + j, true);
+                }
+            }
+            j += 1;
+        }
+        debug_assert_eq!(j, n);
+        self.bits = bits;
+        self.hc = false;
+    }
+
+    // ------------------------------------------------------------------
+    // Iteration support (used by queries, stats and merging)
+    // ------------------------------------------------------------------
+
+    /// Iterates all occupied slots in address order.
+    pub fn iter_slots(&self) -> SlotIter<'_, V, K> {
+        SlotIter {
+            node: self,
+            pos: 0,
+            pr: 0,
+            sr: 0,
+        }
+    }
+
+    /// Releases surplus capacity.
+    pub fn shrink_repr(&mut self) {
+        self.bits.shrink_to_fit();
+    }
+
+    /// Applies `f` to every sub-node child.
+    pub fn for_each_sub_mut(&mut self, f: &mut dyn FnMut(&mut Node<V, K>)) {
+        for s in self.subs.iter_mut() {
+            f(s);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant checking (tests)
+    // ------------------------------------------------------------------
+
+    /// Validates all structural invariants of this subtree; panics on
+    /// violation. Used by tests and debug assertions.
+    pub fn check_invariants(&self, is_root: bool) {
+        let n = self.n_children();
+        let posts = self.n_posts();
+        if self.hc {
+            assert!(K <= MAX_HC_K);
+            assert_eq!(
+                self.bits.len(),
+                self.infix_bits() + (1usize << K) * (2 + self.post_bits()),
+                "HC bit length"
+            );
+            let mut seen_posts = 0;
+            let mut seen_subs = 0;
+            for h in 0..(1u64 << K) {
+                match self.hc_kind(h) {
+                    KIND_EMPTY => {}
+                    KIND_POST => seen_posts += 1,
+                    KIND_SUB => seen_subs += 1,
+                    k => panic!("invalid kind {k}"),
+                }
+            }
+            assert_eq!(seen_posts, posts, "HC post count");
+            assert_eq!(seen_subs, self.n_subs(), "HC sub count");
+        } else {
+            assert_eq!(
+                self.bits.len(),
+                self.infix_bits() + n * (K + 1) + posts * self.post_bits(),
+                "LHC bit length"
+            );
+            for j in 1..n {
+                assert!(
+                    self.lhc_addr_at(j - 1) < self.lhc_addr_at(j),
+                    "addresses sorted/unique"
+                );
+            }
+            let subs = (0..n).filter(|&j| self.lhc_is_sub(j)).count();
+            assert_eq!(subs, self.n_subs(), "LHC sub count");
+            assert_eq!(n - subs, posts, "LHC post count");
+            if K < 64 {
+                for j in 0..n {
+                    assert!(self.lhc_addr_at(j) < (1u64 << K), "address in range");
+                }
+            }
+        }
+        if !is_root {
+            assert!(n >= 2, "non-root node with < 2 children");
+        } else {
+            assert_eq!(self.post_len as u32, W - 1, "root split bit");
+            assert_eq!(self.infix_len, 0, "root infix");
+        }
+        for sub in self.subs.iter() {
+            assert_eq!(
+                sub.post_len as u32 + sub.infix_len as u32 + 1,
+                self.post_len as u32,
+                "child depth arithmetic"
+            );
+            sub.check_invariants(false);
+        }
+    }
+}
+
+/// Iterator over occupied slots in address order, tracking dense ranks
+/// incrementally so each step is O(1) (plus empty-slot skipping in HC
+/// form).
+pub(crate) struct SlotIter<'a, V, const K: usize> {
+    node: &'a Node<V, K>,
+    /// LHC: next child index. HC: next slot address.
+    pos: usize,
+    pr: usize,
+    sr: usize,
+}
+
+impl<'a, V, const K: usize> Iterator for SlotIter<'a, V, K> {
+    type Item = (u64, SlotRef<'a, V, K>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let node = self.node;
+        if node.hc {
+            while self.pos < (1usize << K) {
+                let h = self.pos as u64;
+                self.pos += 1;
+                match node.hc_kind(h) {
+                    KIND_EMPTY => {}
+                    KIND_POST => {
+                        let r = SlotRef::Post {
+                            pf_off: node.hc_pf_base() + h as usize * node.post_bits(),
+                            value: &node.values[self.pr],
+                        };
+                        self.pr += 1;
+                        return Some((h, r));
+                    }
+                    _ => {
+                        let r = SlotRef::Sub(&node.subs[self.sr]);
+                        self.sr += 1;
+                        return Some((h, r));
+                    }
+                }
+            }
+            None
+        } else {
+            if self.pos >= node.n_children() {
+                return None;
+            }
+            let j = self.pos;
+            self.pos += 1;
+            let h = node.lhc_addr_at(j);
+            if node.lhc_is_sub(j) {
+                let r = SlotRef::Sub(&node.subs[self.sr]);
+                self.sr += 1;
+                Some((h, r))
+            } else {
+                let r = SlotRef::Post {
+                    pf_off: node.lhc_pf_base(node.n_children()) + self.pr * node.post_bits(),
+                    value: &node.values[self.pr],
+                };
+                self.pr += 1;
+                Some((h, r))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key2(a: u64, b: u64) -> [u64; 2] {
+        [a, b]
+    }
+
+    /// Builds a node at split bit 3 with infix length 2 over the given
+    /// prefix key.
+    fn test_node() -> Node<u32, 2> {
+        // post_len 3, infix_len 2: covers key bits 4..=5 as infix.
+        Node::new(3, 2, &key2(0b11_0000, 0b01_0000))
+    }
+
+    #[test]
+    fn infix_roundtrip_and_match() {
+        let n = test_node();
+        assert!(n.infix_matches(&key2(0b11_1010, 0b01_0101)));
+        assert!(!n.infix_matches(&key2(0b10_1010, 0b01_0101)));
+        let mut k = key2(0, 0);
+        n.read_infix_into(&mut k);
+        assert_eq!(k, key2(0b11_0000, 0b01_0000));
+    }
+
+    #[test]
+    fn lhc_insert_lookup_remove_posts() {
+        let mut n = test_node();
+        let mode = ReprMode::ForceLhc;
+        // Three postfix entries at addresses 0b01, 0b10, 0b11.
+        for (h, lo) in [(0b01u64, 0b101u64), (0b10, 0b010), (0b11, 0b111)] {
+            let mut k = key2(0b11_0000, 0b01_0000);
+            phbits::hc::apply_addr(&mut k, h, 3);
+            k[0] |= lo;
+            k[1] |= lo ^ 0b111;
+            n.insert_post(h, &k, h as u32, mode);
+        }
+        n.check_invariants(false);
+        assert_eq!(n.n_children(), 3);
+        assert_eq!(n.n_posts(), 3);
+        assert!(!n.is_hc());
+        assert!(matches!(n.probe(0b00), Probe::Empty));
+        for h in [0b01u64, 0b10, 0b11] {
+            match n.get_slot(h) {
+                Some(SlotRef::Post { pf_off, value }) => {
+                    assert_eq!(*value, h as u32);
+                    // The postfix must reproduce the low bits we stored.
+                    let mut k = key2(0, 0);
+                    n.read_postfix_into(pf_off, &mut k);
+                    let lo = match h {
+                        0b01 => 0b101,
+                        0b10 => 0b010,
+                        _ => 0b111,
+                    };
+                    assert_eq!(k[0] & 0b111, lo);
+                    assert_eq!(k[1] & 0b111, lo ^ 0b111);
+                }
+                _ => panic!("expected post at {h:#b}"),
+            }
+        }
+        // Remove the middle entry; ranks must stay consistent.
+        assert_eq!(n.remove_post(0b10, mode), 0b10);
+        n.check_invariants(false);
+        assert!(matches!(n.probe(0b10), Probe::Empty));
+        assert!(matches!(n.probe(0b01), Probe::Post { .. }));
+        assert!(matches!(n.probe(0b11), Probe::Post { .. }));
+    }
+
+    #[test]
+    fn hc_conversion_preserves_slots() {
+        let mut n: Node<u32, 2> = Node::new(1, 0, &[0, 0]);
+        let mode = ReprMode::Adaptive;
+        // post_len 1 → postfix 1 bit per dim; fill the whole 2-D cube so
+        // the size comparison flips to HC.
+        for h in 0..4u64 {
+            let mut k = [0u64, 0];
+            phbits::hc::apply_addr(&mut k, h, 1);
+            k[0] |= h & 1;
+            n.insert_post(h, &k, h as u32, mode);
+        }
+        assert!(n.is_hc(), "a full k=2 node must use the hypercube");
+        n.check_invariants(false);
+        for h in 0..4u64 {
+            let Some(SlotRef::Post { pf_off, value }) = n.get_slot(h) else {
+                panic!("missing slot {h}");
+            };
+            assert_eq!(*value, h as u32);
+            let mut k = [0u64, 0];
+            n.read_postfix_into(pf_off, &mut k);
+            assert_eq!(k[0] & 1, h & 1);
+        }
+        // Removing two entries flips it back to LHC.
+        n.remove_post(0, mode);
+        n.remove_post(3, mode);
+        assert!(!n.is_hc());
+        n.check_invariants(false);
+        assert_eq!(n.n_children(), 2);
+    }
+
+    #[test]
+    fn forced_hc_from_the_start() {
+        let mut n: Node<(), 3> = Node::new(5, 0, &[0; 3]);
+        let mode = ReprMode::ForceHc;
+        n.maybe_switch_repr(mode);
+        assert!(n.is_hc());
+        n.insert_post(0b101, &[0b01_0101, 0b00_0000, 0b01_1111], (), mode);
+        n.insert_post(0b010, &[0b00_0101, 0b01_0000, 0b00_1111], (), mode);
+        assert!(n.is_hc());
+        n.check_invariants(false);
+        assert!(matches!(n.probe(0b101), Probe::Post { .. }));
+        assert!(matches!(n.probe(0b000), Probe::Empty));
+        assert_eq!(n.remove_post(0b101, mode), ());
+        assert!(n.is_hc(), "forced mode must not fall back");
+    }
+
+    #[test]
+    fn sub_insert_swap_and_ranks() {
+        let mut n = test_node();
+        let mode = ReprMode::ForceLhc;
+        let prefix = key2(0b11_0000, 0b01_0000);
+        n.insert_post(0b00, &prefix, 7, mode);
+        let child = Node::new(1, 1, &prefix);
+        n.insert_sub(0b10, child, mode);
+        let mut k2 = prefix;
+        k2[0] |= 0b111;
+        n.insert_post(0b11, &k2, 9, mode);
+        assert_eq!(n.n_children(), 3);
+        assert_eq!(n.n_posts(), 2);
+        assert_eq!(n.n_subs(), 1);
+        assert!(matches!(n.probe(0b10), Probe::Sub));
+        assert!(n.sub_mut(0b10).is_some());
+        assert!(n.sub_mut(0b11).is_none());
+        // Swap the sub for another; the old one comes back out.
+        let other = Node::new(0, 2, &prefix);
+        let old = n.swap_sub(0b10, other);
+        assert_eq!(old.post_len, 1);
+        // Replace the sub with a post (merge-up path).
+        n.replace_sub_with_post(0b10, &prefix, 42, mode);
+        assert_eq!(n.n_subs(), 0);
+        assert_eq!(n.n_posts(), 3);
+        assert_eq!(n.replace_post_value(0b10, 43), 42);
+    }
+
+    #[test]
+    fn take_single_child_post_and_sub() {
+        let mode = ReprMode::ForceLhc;
+        let prefix = key2(0, 0);
+        let mut n: Node<u32, 2> = Node::new(2, 0, &prefix);
+        n.insert_post(0b01, &key2(0b100, 0b011), 5, mode);
+        let (h, c) = n.take_single_child().unwrap();
+        assert_eq!(h, 0b01);
+        assert!(matches!(c, Child::Post(5)));
+        assert_eq!(n.n_children(), 0);
+
+        let mut n: Node<u32, 2> = Node::new(2, 0, &prefix);
+        n.insert_sub(0b11, Node::new(0, 1, &prefix), mode);
+        let (h, c) = n.take_single_child().unwrap();
+        assert_eq!(h, 0b11);
+        assert!(matches!(c, Child::Sub(_)));
+
+        let mut n: Node<u32, 2> = Node::new(2, 0, &prefix);
+        n.insert_post(0b00, &prefix, 1, mode);
+        n.insert_post(0b01, &key2(0b100, 0b000), 2, mode);
+        assert!(n.take_single_child().is_none(), "two children");
+    }
+
+    #[test]
+    fn reset_infix_shrink_and_grow() {
+        let mut n = test_node();
+        let mode = ReprMode::ForceLhc;
+        let prefix = key2(0b11_0000, 0b01_0000);
+        n.insert_post(0b01, &key2(0b11_0101, 0b01_0010), 1, mode);
+        // Shrink the infix to 1 bit per dim.
+        n.reset_infix(1, &prefix, mode);
+        assert_eq!(n.infix_len, 1);
+        assert!(n.infix_matches(&key2(0b01_0000, 0b01_0000)));
+        // The postfix survived the relayout.
+        let Some(SlotRef::Post { pf_off, .. }) = n.get_slot(0b01) else {
+            panic!()
+        };
+        let mut k = key2(0, 0);
+        n.read_postfix_into(pf_off, &mut k);
+        assert_eq!(k, key2(0b101, 0b010));
+        // Grow it back to 2 bits per dim.
+        n.reset_infix(2, &prefix, mode);
+        assert!(n.infix_matches(&key2(0b11_0000, 0b01_0000)));
+        let Some(SlotRef::Post { pf_off, .. }) = n.get_slot(0b01) else {
+            panic!()
+        };
+        let mut k = key2(0, 0);
+        n.read_postfix_into(pf_off, &mut k);
+        assert_eq!(k, key2(0b101, 0b010));
+    }
+
+    #[test]
+    fn slot_iter_visits_in_addr_order_with_correct_ranks() {
+        let mut n = test_node();
+        let mode = ReprMode::ForceLhc;
+        let prefix = key2(0b11_0000, 0b01_0000);
+        n.insert_post(0b11, &key2(0b11_0001, 0b01_0001), 11, mode);
+        n.insert_sub(0b01, Node::new(1, 1, &prefix), mode);
+        n.insert_post(0b00, &prefix, 10, mode);
+        let kinds: Vec<(u64, bool)> = n
+            .iter_slots()
+            .map(|(h, s)| (h, matches!(s, SlotRef::Sub(_))))
+            .collect();
+        assert_eq!(kinds, vec![(0b00, false), (0b01, true), (0b11, false)]);
+        // Values map to the right posts.
+        let vals: Vec<u32> = n
+            .iter_slots()
+            .filter_map(|(_, s)| match s {
+                SlotRef::Post { value, .. } => Some(*value),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(vals, vec![10, 11]);
+    }
+
+    #[test]
+    fn zero_post_len_entries() {
+        // post_len 0: entries are fully determined by their address.
+        let mut n: Node<u8, 3> = Node::new(0, 0, &[0; 3]);
+        let mode = ReprMode::Adaptive;
+        for h in [0u64, 3, 5, 7] {
+            let mut k = [0u64; 3];
+            phbits::hc::apply_addr(&mut k, h, 0);
+            n.insert_post(h, &k, h as u8, mode);
+        }
+        n.check_invariants(false);
+        for h in [0u64, 3, 5, 7] {
+            let Some(SlotRef::Post { pf_off, value }) = n.get_slot(h) else {
+                panic!("missing {h}");
+            };
+            assert_eq!(*value, h as u8);
+            assert!(n.postfix_matches(pf_off, &[0; 3]), "empty postfix matches all");
+        }
+        assert_eq!(n.remove_post(5, mode), 5);
+        assert!(matches!(n.probe(5), Probe::Empty));
+    }
+}

@@ -1,0 +1,242 @@
+//! Raw node access for serialisation (used by the `phstore` paged
+//! persistence layer).
+//!
+//! A PH-tree's structure is canonical — a pure function of its contents
+//! — so persisting it per *node* (rather than per entry) is both safe
+//! and exactly what the paper's outlook proposes: node data is one
+//! packed bit string that can be written to disk pages, and any update
+//! affects at most two nodes, i.e. at most two page neighbourhoods.
+//!
+//! [`NodeRef`] exposes a node's serialisable parts; rebuilding goes
+//! through [`PhTree::from_raw_parts`]/[`NodeRef`]-shaped data via
+//! [`build_node`], which re-validates all structural invariants so that
+//! corrupt input yields an error instead of a broken tree.
+
+use crate::node::Node;
+use crate::tree::PhTree;
+use phbits::BitBuf;
+
+/// Read-only view of a node's serialisable parts.
+pub struct NodeRef<'t, V, const K: usize> {
+    pub(crate) node: &'t Node<V, K>,
+}
+
+impl<'t, V, const K: usize> NodeRef<'t, V, K> {
+    /// Bits per dimension below this node's split.
+    pub fn post_len(&self) -> u8 {
+        self.node.post_len
+    }
+
+    /// Bits per dimension of this node's stored infix.
+    pub fn infix_len(&self) -> u8 {
+        self.node.infix_len
+    }
+
+    /// Whether the node is in HC (full hypercube) representation.
+    pub fn is_hc(&self) -> bool {
+        self.node.hc_flag()
+    }
+
+    /// Length of the packed bit string, in bits.
+    pub fn bits_len(&self) -> usize {
+        self.node.bits.len()
+    }
+
+    /// Backing words of the packed bit string.
+    pub fn bits_words(&self) -> &[u64] {
+        self.node.bits.words()
+    }
+
+    /// Values of the node's postfix entries, in hypercube-address order.
+    pub fn values(&self) -> &[V] {
+        &self.node.values
+    }
+
+    /// Sub-node children, in hypercube-address order.
+    pub fn subs(&self) -> impl ExactSizeIterator<Item = NodeRef<'_, V, K>> {
+        self.node.subs.iter().map(|n| NodeRef { node: n })
+    }
+}
+
+/// An owned, validated node being reassembled from storage. Opaque;
+/// produced by [`build_node`] and consumed by child lists or
+/// [`PhTree::from_raw_parts`].
+pub struct RawNode<V, const K: usize> {
+    pub(crate) node: Node<V, K>,
+}
+
+/// Reassembles one node from its serialised parts. `subs` must be the
+/// node's children in hypercube-address order (built bottom-up).
+///
+/// Returns `None` if the parts are inconsistent (wrong bit-string
+/// length for the representation, unsorted addresses, child depth
+/// mismatches, …) — i.e. on corrupt input.
+pub fn build_node<V, const K: usize>(
+    post_len: u8,
+    infix_len: u8,
+    is_hc: bool,
+    bits_words: Box<[u64]>,
+    bits_len: usize,
+    subs: Vec<RawNode<V, K>>,
+    values: Vec<V>,
+) -> Option<RawNode<V, K>> {
+    let bits = BitBuf::from_words(bits_words, bits_len)?;
+    let subs: Box<[Node<V, K>]> = subs.into_iter().map(|r| r.node).collect();
+    let node = Node::from_parts(
+        post_len,
+        infix_len,
+        is_hc,
+        bits,
+        subs,
+        values.into_boxed_slice(),
+    )?;
+    Some(RawNode { node })
+}
+
+impl<V, const K: usize> PhTree<V, K> {
+    /// Read-only view of the root node, if any (serialisation entry
+    /// point).
+    pub fn root_raw(&self) -> Option<NodeRef<'_, V, K>> {
+        self.root.as_deref().map(|node| NodeRef { node })
+    }
+
+    /// Rebuilds a tree from a reassembled root node.
+    ///
+    /// Validates the root shape (split at the top bit, no infix) and
+    /// recounts the entries; returns `None` on mismatch with
+    /// `expected_len`.
+    pub fn from_raw_parts(root: Option<RawNode<V, K>>, expected_len: usize) -> Option<Self> {
+        let tree = match root {
+            None => PhTree::new(),
+            Some(r) => {
+                if r.node.post_len != 63 || r.node.infix_len != 0 {
+                    return None;
+                }
+                PhTree::assemble(r.node, expected_len)
+            }
+        };
+        if tree.len() != expected_len {
+            return None;
+        }
+        // Entry recount (cheap relative to I/O) guards the stored count.
+        if tree.iter().count() != expected_len {
+            return None;
+        }
+        Some(tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tree() -> PhTree<u32, 3> {
+        let mut t = PhTree::new();
+        for i in 0..500u64 {
+            t.insert([i % 17, i / 17, i.wrapping_mul(0x9E37_79B9)], i as u32);
+        }
+        t
+    }
+
+    /// Deep-copy a tree through the raw API (what phstore does through
+    /// a file).
+    fn roundtrip<V: Clone, const K: usize>(t: &PhTree<V, K>) -> Option<PhTree<V, K>> {
+        fn copy<V: Clone, const K: usize>(n: &NodeRef<'_, V, K>) -> Option<RawNode<V, K>> {
+            let subs = n
+                .subs()
+                .map(|c| copy(&c))
+                .collect::<Option<Vec<_>>>()?;
+            build_node(
+                n.post_len(),
+                n.infix_len(),
+                n.is_hc(),
+                n.bits_words().to_vec().into_boxed_slice(),
+                n.bits_len(),
+                subs,
+                n.values().to_vec(),
+            )
+        }
+        let root = match t.root_raw() {
+            None => None,
+            Some(r) => Some(copy(&r)?),
+        };
+        PhTree::from_raw_parts(root, t.len())
+    }
+
+    #[test]
+    fn raw_roundtrip_preserves_everything() {
+        let t = sample_tree();
+        let u = roundtrip(&t).expect("roundtrip");
+        u.check_invariants();
+        assert_eq!(u.len(), t.len());
+        let a: Vec<_> = t.iter().map(|(k, &v)| (k, v)).collect();
+        let b: Vec<_> = u.iter().map(|(k, &v)| (k, v)).collect();
+        assert_eq!(a, b);
+        let (sa, sb) = (t.stats(), u.stats());
+        assert_eq!(sa.nodes, sb.nodes);
+        assert_eq!(sa.hc_nodes, sb.hc_nodes);
+        assert_eq!(sa.total_bytes, sb.total_bytes);
+    }
+
+    #[test]
+    fn empty_tree_roundtrip() {
+        let t: PhTree<u32, 3> = PhTree::new();
+        let u = roundtrip(&t).unwrap();
+        assert!(u.is_empty());
+    }
+
+    #[test]
+    fn corrupt_bits_rejected() {
+        let t = sample_tree();
+        let r = t.root_raw().unwrap();
+        // Wrong bit length for the representation.
+        let bad = build_node::<u32, 3>(
+            r.post_len(),
+            r.infix_len(),
+            r.is_hc(),
+            r.bits_words().to_vec().into_boxed_slice(),
+            r.bits_len().saturating_sub(1),
+            Vec::new(),
+            r.values().to_vec(),
+        );
+        assert!(bad.is_none());
+    }
+
+    #[test]
+    fn wrong_root_shape_rejected() {
+        // A root that does not split at the top bit is refused.
+        let inner = build_node::<u32, 2>(
+            10,
+            0,
+            false,
+            Box::default(),
+            0,
+            Vec::new(),
+            Vec::new(),
+        )
+        .unwrap();
+        assert!(PhTree::from_raw_parts(Some(inner), 0).is_none());
+    }
+
+    #[test]
+    fn wrong_len_rejected() {
+        let t = sample_tree();
+        let root = {
+            fn copy<V: Clone, const K: usize>(n: &NodeRef<'_, V, K>) -> RawNode<V, K> {
+                let subs = n.subs().map(|c| copy(&c)).collect();
+                build_node(
+                    n.post_len(),
+                    n.infix_len(),
+                    n.is_hc(),
+                    n.bits_words().to_vec().into_boxed_slice(),
+                    n.bits_len(),
+                    subs,
+                    n.values().to_vec(),
+                )
+                .unwrap()
+            }
+            copy(&t.root_raw().unwrap())
+        };
+        assert!(PhTree::from_raw_parts(Some(root), t.len() + 1).is_none());
+    }
+}

@@ -1,0 +1,78 @@
+//! Geo-indexing scenario: a TIGER/Line-style map-point workload.
+//!
+//! Loads a synthetic US-road-network-like point cloud (the paper's
+//! motivating geo-information-system use case), runs viewport range
+//! queries like a slippy map would, and shows why an index beats a
+//! scan — plus the space accounting the paper is about.
+//!
+//! Run with: `cargo run --release -p ph-bench --example geo_index`
+
+use phtree::PhTreeF64;
+use std::time::Instant;
+
+fn main() {
+    let n = 500_000;
+    println!("generating {n} TIGER-like map points…");
+    let points = datasets::dedup(datasets::tiger_like(n, 42));
+
+    // Load the spatial index; the value is a synthetic feature id.
+    let t0 = Instant::now();
+    let mut index: PhTreeF64<u32, 2> = PhTreeF64::new();
+    for (i, p) in points.iter().enumerate() {
+        index.insert(*p, i as u32);
+    }
+    index.shrink_to_fit();
+    println!(
+        "loaded {} unique points in {:.0} ms",
+        index.len(),
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+
+    let s = index.stats();
+    println!(
+        "index size: {:.1} MiB ({:.1} bytes/entry, {} nodes, {:.2} entries/node)",
+        s.total_bytes as f64 / (1024.0 * 1024.0),
+        s.bytes_per_entry(),
+        s.nodes,
+        s.entries_per_node(),
+    );
+
+    // Viewport queries: 1°×1° map tiles over the densest region.
+    let viewports: Vec<([f64; 2], [f64; 2])> = (0..100)
+        .map(|i| {
+            let x = -100.0 + (i % 10) as f64 * 2.0;
+            let y = 30.0 + (i / 10) as f64 * 1.5;
+            ([x, y], [x + 1.0, y + 1.0])
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let mut total = 0usize;
+    for (lo, hi) in &viewports {
+        total += index.query(lo, hi).count();
+    }
+    let indexed = t0.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "100 viewport queries via PH-tree: {total} points in {indexed:.1} ms"
+    );
+
+    // The same via a full scan (what no index costs).
+    let t0 = Instant::now();
+    let mut total_scan = 0usize;
+    for (lo, hi) in &viewports {
+        total_scan += points
+            .iter()
+            .filter(|p| p[0] >= lo[0] && p[0] <= hi[0] && p[1] >= lo[1] && p[1] <= hi[1])
+            .count();
+    }
+    let scanned = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(total, total_scan);
+    println!("100 viewport queries via full scan: {total_scan} points in {scanned:.1} ms");
+    println!("speed-up: {:.0}×", scanned / indexed.max(1e-9));
+
+    // Feature lookup around a click: nearest map features to a cursor.
+    let cursor = [-98.35, 39.5];
+    for (p, id, d) in index.knn(&cursor, 3) {
+        println!("near click {cursor:?}: feature {id} at {p:?} ({d:.3}°)");
+    }
+}

@@ -1,0 +1,58 @@
+//! Persistence: snapshot a PH-tree to paged storage and load it back
+//! (the paper's disk-page outlook, Sect. 1/5).
+//!
+//! Run with: `cargo run --release -p ph-bench --example persistence`
+
+use phtree::key::point_to_key;
+use phtree::PhTree;
+use std::time::Instant;
+
+fn main() {
+    let n = 200_000;
+    println!("building a {n}-point 3-D index…");
+    let points = datasets::cube::<3>(n, 42);
+    let mut tree: PhTree<u32, 3> = PhTree::new();
+    for (i, p) in points.iter().enumerate() {
+        tree.insert(point_to_key(p), i as u32);
+    }
+    let mem = tree.stats();
+    println!(
+        "in memory: {} nodes, {:.1} MiB",
+        mem.nodes,
+        mem.total_bytes as f64 / (1024.0 * 1024.0)
+    );
+
+    let path = std::env::temp_dir().join("phtree-example.pht");
+    let t0 = Instant::now();
+    let stats = phstore::save(&tree, &path).expect("save");
+    let save_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let file_mib = (stats.pages * 4096) as f64 / (1024.0 * 1024.0);
+    println!(
+        "saved: {} node records in {} pages ({:.1} MiB file, {:.0}% record fill) in {save_ms:.0} ms",
+        stats.nodes,
+        stats.pages,
+        file_mib,
+        100.0 * stats.payload_bytes as f64 / (stats.pages * 4096) as f64,
+    );
+
+    let t0 = Instant::now();
+    let loaded: PhTree<u32, 3> = phstore::load(&path).expect("load");
+    let load_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!("loaded and re-validated in {load_ms:.0} ms");
+
+    // The PH-tree is canonical, so the loaded tree is *identical* — not
+    // just equivalent.
+    assert_eq!(loaded.len(), tree.len());
+    assert_eq!(loaded.stats(), tree.stats());
+    let probe = point_to_key(&points[1234]);
+    assert_eq!(loaded.get(&probe), Some(&1234));
+    println!("loaded tree is node-for-node identical ✓");
+
+    // Queries work straight off the loaded tree.
+    let hits = loaded
+        .query(&point_to_key(&[0.2; 3]), &point_to_key(&[0.4; 3]))
+        .count();
+    println!("window query on the loaded tree: {hits} hits");
+
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,78 @@
+//! Quickstart: the PH-tree as a multi-dimensional map.
+//!
+//! Run with: `cargo run --release -p ph-bench --example quickstart`
+
+use phtree::{PhTree, PhTreeF64};
+
+fn main() {
+    // ---------------------------------------------------------------
+    // 1. Floating-point points (the common case): PhTreeF64.
+    // ---------------------------------------------------------------
+    let mut cities: PhTreeF64<&str, 2> = PhTreeF64::new();
+    cities.insert([8.54, 47.38], "Zurich");
+    cities.insert([8.96, 46.00], "Lugano");
+    cities.insert([7.45, 46.95], "Bern");
+    cities.insert([6.14, 46.20], "Geneva");
+    cities.insert([-0.12, 51.51], "London");
+
+    println!("{} cities indexed", cities.len());
+
+    // Exact-match (point) query.
+    assert_eq!(cities.get(&[7.45, 46.95]), Some(&"Bern"));
+    println!("point query [7.45, 46.95] -> Bern ✓");
+
+    // Window query: everything in a lon/lat rectangle around Switzerland.
+    print!("cities in the Swiss bounding box:");
+    for (_, name) in cities.query(&[5.9, 45.8], &[10.5, 47.9]) {
+        print!(" {name}");
+    }
+    println!();
+
+    // Nearest neighbours (Euclidean on the original coordinates).
+    let nn = cities.knn(&[8.0, 47.0], 2);
+    println!(
+        "two nearest to (8.0, 47.0): {} ({:.2}°) and {} ({:.2}°)",
+        nn[0].1, nn[0].2, nn[1].1, nn[1].2
+    );
+
+    // Update & remove.
+    cities.insert([8.54, 47.38], "Zürich"); // replaces the value
+    assert_eq!(cities.remove(&[-0.12, 51.51]), Some("London"));
+    assert_eq!(cities.len(), 4);
+
+    // ---------------------------------------------------------------
+    // 2. Integer keys: PhTree stores any data expressible as u64s,
+    //    e.g. (timestamp, sensor-id, reading-bucket) triples — the
+    //    PH-tree has no notion of distance and handles non-metric,
+    //    discrete dimensions natively (paper Sect. 3).
+    // ---------------------------------------------------------------
+    let mut readings: PhTree<f32, 3> = PhTree::new();
+    for t in 0..1000u64 {
+        let sensor = t % 7;
+        let bucket = (t * t) % 100;
+        readings.insert([1_700_000_000 + t, sensor, bucket], t as f32 * 0.1);
+    }
+    // All readings of sensor 3 in a time slice, any bucket:
+    let hits = readings
+        .query(
+            &[1_700_000_100, 3, 0],
+            &[1_700_000_500, 3, u64::MAX],
+        )
+        .count();
+    println!("sensor-3 readings in window: {hits}");
+
+    // ---------------------------------------------------------------
+    // 3. Introspection: the node statistics behind the paper's space
+    //    numbers.
+    // ---------------------------------------------------------------
+    let s = readings.stats();
+    println!(
+        "readings tree: {} entries in {} nodes ({} HC / {} LHC), depth {}, {:.1} bytes/entry",
+        s.entries,
+        s.nodes,
+        s.hc_nodes,
+        s.lhc_nodes,
+        s.max_depth,
+        s.bytes_per_entry()
+    );
+}

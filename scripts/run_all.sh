@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper. Pass a scale factor
+# (default 0.1 = one tenth of the paper's entry counts).
+set -u
+SCALE="${1:-0.1}"
+SEED="${2:-42}"
+cd "$(dirname "$0")/.."
+mkdir -p results
+cargo build --release -p ph-bench >/dev/null
+
+run() {
+  local name="$1"; shift
+  echo "=== $name $* (scale $SCALE)"
+  "target/release/$name" --scale "$SCALE" --seed "$SEED" "$@" 2>&1
+  echo
+}
+
+{
+  run fig7_insert --dataset tiger
+  run fig7_insert --dataset cube
+  run fig7_insert --dataset cluster
+  run fig8_point_query --dataset tiger
+  run fig8_point_query --dataset cube
+  run fig8_point_query --dataset cluster
+  run fig9_range_query --dataset tiger
+  run fig9_range_query --dataset cube
+  run fig9_range_query --dataset cluster
+  run table1_space
+  run table2_cluster_space
+  run table3_nodes
+  run fig10_space_vs_k
+  run fig11_insert_vs_k
+  run fig12_insert_vs_k_cube
+  run fig13_query_vs_k --part a
+  run fig13_query_vs_k --part b
+  run fig13_query_vs_k --part c
+  run fig14_space_vs_k_cluster
+  run fig15_space_vs_k_cube
+  run unload --dataset cube
+  run unload --dataset cluster
+  run ablation_hclhc
+} | tee "results/run_all_scale${SCALE}.txt"
+echo "done -> results/run_all_scale${SCALE}.txt"
