@@ -41,15 +41,27 @@ fn main() {
     let n = ((1_000_000_f64 * scale) as usize).max(10_000);
     let n_q = cli.get_u64("queries", 50_000) as usize;
     for dataset in ["cube", "cluster0.4"] {
-        let mut ts = Table::new(&format!("ablation HC/LHC space B/entry, {dataset}, n = {n}"), "k");
-        let mut ti = Table::new(&format!("ablation HC/LHC insert µs/entry, {dataset}, n = {n}"), "k");
-        let mut tq = Table::new(&format!("ablation HC/LHC point query µs, {dataset}, n = {n}"), "k");
+        let mut ts = Table::new(
+            &format!("ablation HC/LHC space B/entry, {dataset}, n = {n}"),
+            "k",
+        );
+        let mut ti = Table::new(
+            &format!("ablation HC/LHC insert µs/entry, {dataset}, n = {n}"),
+            "k",
+        );
+        let mut tq = Table::new(
+            &format!("ablation HC/LHC point query µs, {dataset}, n = {n}"),
+            "k",
+        );
         for k in [2usize, 3, 5, 8, 12] {
             let adaptive = with_k!(k, run_mode(dataset, ReprMode::Adaptive, n, n_q, seed));
             let lhc = with_k!(k, run_mode(dataset, ReprMode::ForceLhc, n, n_q, seed));
             // ForceHc materialises 2^k slots per node: only run for small k.
             let hc = if k <= 8 {
-                Some(with_k!(k, run_mode(dataset, ReprMode::ForceHc, n, n_q, seed)))
+                Some(with_k!(
+                    k,
+                    run_mode(dataset, ReprMode::ForceHc, n, n_q, seed)
+                ))
             } else {
                 None
             };

@@ -5,7 +5,10 @@ use ph_bench::{load_timed, Index, Ph};
 fn main() {
     let cli = Cli::from_env();
     let n = cli.get_u64("n", 1_000_000) as usize;
-    println!("size_of Node<(),2> = {}", std::mem::size_of::<phtree::PhTree<(), 2>>());
+    println!(
+        "size_of Node<(),2> = {}",
+        std::mem::size_of::<phtree::PhTree<(), 2>>()
+    );
     {
         let (name, data) = ("tiger", datasets::dedup(datasets::tiger_like(n, 42)));
         let (mut idx, _) = load_timed::<Ph<2>, 2>(&data);

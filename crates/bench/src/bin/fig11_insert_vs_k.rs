@@ -29,7 +29,10 @@ fn main() {
     let scale = cli.get_f64("scale", 0.02);
     let seed = cli.get_u64("seed", 42);
     let n = ((10_000_000_f64 * scale) as usize).max(10_000);
-    let mut t = Table::new(&format!("fig11 insert µs/entry vs k, CLUSTER, n = {n}"), "k");
+    let mut t = Table::new(
+        &format!("fig11 insert µs/entry vs k, CLUSTER, n = {n}"),
+        "k",
+    );
     for k in [2usize, 3, 4, 5, 6, 8, 10] {
         t.add_row(
             k as f64,

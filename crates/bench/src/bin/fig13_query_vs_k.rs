@@ -11,7 +11,9 @@
 //!         --part a|b|c [--scale 0.02] [--queries N]`
 
 use measure::{Cli, Table};
-use ph_bench::{load_timed, point_queries_timed, range_queries_timed, with_k, Cb1, Cb2, Index, Kd2, Ph};
+use ph_bench::{
+    load_timed, point_queries_timed, range_queries_timed, with_k, Cb1, Cb2, Index, Kd2, Ph,
+};
 
 fn point_us<I: Index<K>, const K: usize>(name: &str, n: usize, n_q: usize, seed: u64) -> f64 {
     let data = ph_bench::make_dataset::<K>(name, n, seed);
@@ -63,18 +65,27 @@ fn main() {
     let with_kd_cluster = cli.get_str("with-kd-cluster", "false") == "true";
     match part.as_str() {
         "a" => {
-            let mut t = Table::new(
-                &format!("fig13a CLUSTER point query µs vs k, n = {n}"),
-                "k",
-            );
+            let mut t = Table::new(&format!("fig13a CLUSTER point query µs vs k, n = {n}"), "k");
             for k in [2usize, 3, 5, 8, 10, 12, 15] {
                 t.add_row(
                     k as f64,
                     &[
-                        ("PH-CL0.4", Some(with_k!(k, p_ph("cluster0.4", n, n_q, seed)))),
-                        ("PH-CL0.5", Some(with_k!(k, p_ph("cluster0.5", n, n_q, seed)))),
-                        ("KD2-CL0.5", Some(with_k!(k, p_kd2("cluster0.5", n, n_q, seed)))),
-                        ("CB1-CL0.5", Some(with_k!(k, p_cb1("cluster0.5", n, n_q, seed)))),
+                        (
+                            "PH-CL0.4",
+                            Some(with_k!(k, p_ph("cluster0.4", n, n_q, seed))),
+                        ),
+                        (
+                            "PH-CL0.5",
+                            Some(with_k!(k, p_ph("cluster0.5", n, n_q, seed))),
+                        ),
+                        (
+                            "KD2-CL0.5",
+                            Some(with_k!(k, p_kd2("cluster0.5", n, n_q, seed))),
+                        ),
+                        (
+                            "CB1-CL0.5",
+                            Some(with_k!(k, p_cb1("cluster0.5", n, n_q, seed))),
+                        ),
                     ],
                 );
             }
@@ -105,8 +116,14 @@ fn main() {
             );
             for k in [2usize, 3, 4, 5, 6, 8, 10] {
                 let mut cells = vec![
-                    ("PH-CL0.4", Some(with_k!(k, r_ph("cluster0.4", n, n_rq, seed)))),
-                    ("PH-CL0.5", Some(with_k!(k, r_ph("cluster0.5", n, n_rq, seed)))),
+                    (
+                        "PH-CL0.4",
+                        Some(with_k!(k, r_ph("cluster0.4", n, n_rq, seed))),
+                    ),
+                    (
+                        "PH-CL0.5",
+                        Some(with_k!(k, r_ph("cluster0.5", n, n_rq, seed))),
+                    ),
                     ("PH-CU", Some(with_k!(k, r_ph("cube", n, n_rq, seed)))),
                     ("KD2-CU", Some(with_k!(k, r_kd2("cube", n, n_rq, seed)))),
                 ];

@@ -58,7 +58,12 @@ fn main() {
         "cube" => {
             let cps = scaled_checkpoints(
                 &[
-                    1_000_000, 5_000_000, 10_000_000, 25_000_000, 50_000_000, 75_000_000,
+                    1_000_000,
+                    5_000_000,
+                    10_000_000,
+                    25_000_000,
+                    50_000_000,
+                    75_000_000,
                     100_000_000,
                 ],
                 scale,

@@ -6,7 +6,9 @@
 //!         --dataset tiger|cube|cluster [--scale 0.02] [--queries N]`
 
 use measure::{Cli, Table};
-use ph_bench::{load_timed, point_queries_timed, scaled_checkpoints, Cb1, Cb2, Index, Kd1, Kd2, Ph};
+use ph_bench::{
+    load_timed, point_queries_timed, scaled_checkpoints, Cb1, Cb2, Index, Kd1, Kd2, Ph,
+};
 
 fn series<I: Index<K>, const K: usize>(
     data: &[[f64; K]],
@@ -85,7 +87,14 @@ fn main() {
         }
         "cube" => {
             let cps = scaled_checkpoints(
-                &[1_000_000, 5_000_000, 10_000_000, 25_000_000, 50_000_000, 100_000_000],
+                &[
+                    1_000_000,
+                    5_000_000,
+                    10_000_000,
+                    25_000_000,
+                    50_000_000,
+                    100_000_000,
+                ],
                 scale,
             );
             let data = datasets::cube::<3>(*cps.last().unwrap(), seed);

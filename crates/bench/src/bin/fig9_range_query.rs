@@ -91,12 +91,22 @@ fn main() {
                 data,
                 cps,
                 queries,
-                Cfg { with_cb, kd_cap: None },
+                Cfg {
+                    with_cb,
+                    kd_cap: None,
+                },
             );
         }
         "cube" => {
             let cps = scaled_checkpoints(
-                &[1_000_000, 5_000_000, 10_000_000, 25_000_000, 50_000_000, 100_000_000],
+                &[
+                    1_000_000,
+                    5_000_000,
+                    10_000_000,
+                    25_000_000,
+                    50_000_000,
+                    100_000_000,
+                ],
                 scale,
             );
             let data = datasets::cube::<3>(*cps.last().unwrap(), seed);
@@ -107,7 +117,10 @@ fn main() {
                 data,
                 cps,
                 queries,
-                Cfg { with_cb, kd_cap: None },
+                Cfg {
+                    with_cb,
+                    kd_cap: None,
+                },
             );
         }
         "cluster" => {

@@ -38,10 +38,7 @@ fn main() {
     let scale = cli.get_f64("scale", 0.02);
     let seed = cli.get_u64("seed", 42);
     let n = ((5_000_000_f64 * scale) as usize).max(10_000);
-    let mut t = Table::new(
-        &format!("table1 bytes per entry, n = {n}"),
-        "dataset#",
-    );
+    let mut t = Table::new(&format!("table1 bytes per entry, n = {n}"), "dataset#");
     let tiger = datasets::dedup(datasets::tiger_like(n, seed));
     t.add_row(1.0, &row::<2>(&tiger));
     drop(tiger);

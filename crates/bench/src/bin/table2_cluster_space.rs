@@ -13,13 +13,18 @@ fn main() {
     let scale = cli.get_f64("scale", 0.02);
     let seed = cli.get_u64("seed", 42);
     let cps = ph_bench::scaled_checkpoints(
-        &[1_000_000, 5_000_000, 10_000_000, 15_000_000, 25_000_000, 50_000_000],
+        &[
+            1_000_000, 5_000_000, 10_000_000, 15_000_000, 25_000_000, 50_000_000,
+        ],
         scale,
     );
     let max = *cps.last().unwrap();
     let data04 = datasets::cluster::<3>(max, 0.4, seed);
     let data05 = datasets::cluster::<3>(max, 0.5, seed);
-    let mut t = Table::new("table2 PH bytes per entry, CLUSTER0.4 vs CLUSTER0.5, k=3", "10^6 entries");
+    let mut t = Table::new(
+        "table2 PH bytes per entry, CLUSTER0.4 vs CLUSTER0.5, k=3",
+        "10^6 entries",
+    );
     for &n in &cps {
         let mut cells = Vec::new();
         for (name, data) in [("CLUSTER0.4", &data04), ("CLUSTER0.5", &data05)] {

@@ -24,10 +24,7 @@ fn main() {
     let seed = cli.get_u64("seed", 42);
     let n = ((1_000_000_f64 * scale) as usize).max(10_000);
     let ks = [2usize, 3, 5, 10, 15];
-    let mut t = Table::new(
-        &format!("table3 PH node count (thousands), n = {n}"),
-        "k",
-    );
+    let mut t = Table::new(&format!("table3 PH node count (thousands), n = {n}"), "k");
     for &k in &ks {
         let cube = with_k!(k, nodes_thousands("cube", n, seed));
         let cl04 = with_k!(k, nodes_thousands("cluster0.4", n, seed));

@@ -22,20 +22,57 @@ fn run<const K: usize>(title: &str, data: Vec<[f64; K]>, seed: u64) {
     let mut order: Vec<usize> = (0..data.len()).collect();
     let mut x = seed | 1;
     for i in (1..order.len()).rev() {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         order.swap(i, (x as usize) % (i + 1));
     }
     let mut t = Table::new(title, "row#");
     let (ins, del) = pair::<Ph<K>, K>(&data, &order);
-    t.add_row(1.0, &[("insert µs", Some(ins)), ("delete µs", Some(del)), ("delete/insert", Some(del / ins))]);
+    t.add_row(
+        1.0,
+        &[
+            ("insert µs", Some(ins)),
+            ("delete µs", Some(del)),
+            ("delete/insert", Some(del / ins)),
+        ],
+    );
     let (ins, del) = pair::<Kd1<K>, K>(&data, &order);
-    t.add_row(2.0, &[("insert µs", Some(ins)), ("delete µs", Some(del)), ("delete/insert", Some(del / ins))]);
+    t.add_row(
+        2.0,
+        &[
+            ("insert µs", Some(ins)),
+            ("delete µs", Some(del)),
+            ("delete/insert", Some(del / ins)),
+        ],
+    );
     let (ins, del) = pair::<Kd2<K>, K>(&data, &order);
-    t.add_row(3.0, &[("insert µs", Some(ins)), ("delete µs", Some(del)), ("delete/insert", Some(del / ins))]);
+    t.add_row(
+        3.0,
+        &[
+            ("insert µs", Some(ins)),
+            ("delete µs", Some(del)),
+            ("delete/insert", Some(del / ins)),
+        ],
+    );
     let (ins, del) = pair::<Cb1<K>, K>(&data, &order);
-    t.add_row(4.0, &[("insert µs", Some(ins)), ("delete µs", Some(del)), ("delete/insert", Some(del / ins))]);
+    t.add_row(
+        4.0,
+        &[
+            ("insert µs", Some(ins)),
+            ("delete µs", Some(del)),
+            ("delete/insert", Some(del / ins)),
+        ],
+    );
     let (ins, del) = pair::<Cb2<K>, K>(&data, &order);
-    t.add_row(5.0, &[("insert µs", Some(ins)), ("delete µs", Some(del)), ("delete/insert", Some(del / ins))]);
+    t.add_row(
+        5.0,
+        &[
+            ("insert µs", Some(ins)),
+            ("delete µs", Some(del)),
+            ("delete/insert", Some(del / ins)),
+        ],
+    );
     println!("rows: 1 = PH, 2 = KD1, 3 = KD2, 4 = CB1, 5 = CB2");
     print!("{}", t.render_text());
     ph_bench::write_csv(title, &t);
@@ -53,7 +90,11 @@ fn main() {
             datasets::dedup(datasets::tiger_like(n, seed)),
             seed,
         ),
-        "cube" => run::<3>("unload 3D CUBE, µs/entry", datasets::cube::<3>(n, seed), seed),
+        "cube" => run::<3>(
+            "unload 3D CUBE, µs/entry",
+            datasets::cube::<3>(n, seed),
+            seed,
+        ),
         "cluster" => run::<3>(
             "unload 3D CLUSTER, µs/entry",
             datasets::cluster::<3>(n, 0.5, seed),

@@ -283,7 +283,11 @@ pub fn range_queries_timed<I: Index<K>, const K: usize>(
         }
         total
     });
-    let per = if total == 0 { f64::NAN } else { us / total as f64 };
+    let per = if total == 0 {
+        f64::NAN
+    } else {
+        us / total as f64
+    };
     (per, total)
 }
 
@@ -306,7 +310,13 @@ pub fn unload_timed<I: Index<K>, const K: usize>(idx: &mut I, data: &[[f64; K]])
 pub fn write_csv(title: &str, table: &measure::Table) {
     let slug: String = title
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect::<String>()
         .split('_')
         .filter(|s| !s.is_empty())

@@ -2,5 +2,7 @@
 //! in `src/bin/`.
 
 fn main() {
-    eprintln!("Use the per-figure binaries, e.g. `cargo run --release -p ph-bench --bin fig7_insert`.");
+    eprintln!(
+        "Use the per-figure binaries, e.g. `cargo run --release -p ph-bench --bin fig7_insert`."
+    );
 }

@@ -280,7 +280,9 @@ mod tests {
         let mut x = 31u64;
         (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 [x % 4096, (x >> 30) % 4096]
             })
             .collect()

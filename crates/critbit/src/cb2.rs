@@ -311,7 +311,9 @@ mod tests {
         let mut x = 131u64;
         (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 [x % 512, (x >> 20) % 512, (x >> 40) % 512]
             })
             .collect()

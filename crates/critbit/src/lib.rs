@@ -27,8 +27,8 @@
 #![warn(missing_docs)]
 
 pub mod cb1;
-pub mod morton;
 pub mod cb2;
+pub mod morton;
 
 pub use cb1::CritBit1;
 pub use cb2::CritBit2;

@@ -290,9 +290,11 @@ mod tests {
         let data = cube::<2>(1000, 11);
         let qs = point_query_mix(&data, 2000, &[0.0, 0.0], &[1.0, 1.0], 13);
         assert_eq!(qs.len(), 2000);
-        let set: std::collections::HashSet<_> =
-            data.iter().map(|p| p.map(f64::to_bits)).collect();
-        let hits = qs.iter().filter(|q| set.contains(&q.map(f64::to_bits))).count();
+        let set: std::collections::HashSet<_> = data.iter().map(|p| p.map(f64::to_bits)).collect();
+        let hits = qs
+            .iter()
+            .filter(|q| set.contains(&q.map(f64::to_bits)))
+            .count();
         // Roughly half should hit (binomial, wide tolerance).
         assert!(hits > 800 && hits < 1200, "hits = {hits}");
     }

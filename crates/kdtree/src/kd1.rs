@@ -126,11 +126,7 @@ impl<V, const K: usize> KdTree1<V, K> {
         v
     }
 
-    fn remove_rec(
-        link: &mut Option<Box<Node<V, K>>>,
-        point: &[f64; K],
-        depth: usize,
-    ) -> Option<V> {
+    fn remove_rec(link: &mut Option<Box<Node<V, K>>>, point: &[f64; K], depth: usize) -> Option<V> {
         let n = link.as_deref_mut()?;
         let axis = depth % K;
         if n.point != *point {
@@ -152,8 +148,8 @@ impl<V, const K: usize> KdTree1<V, K> {
         if n.right.is_some() {
             let (min_pt, min_val) = {
                 let min_pt = Self::find_min(n.right.as_deref().unwrap(), axis, depth + 1);
-                let v = Self::remove_rec(&mut n.right, &min_pt, depth + 1)
-                    .expect("minimum must exist");
+                let v =
+                    Self::remove_rec(&mut n.right, &min_pt, depth + 1).expect("minimum must exist");
                 (min_pt, v)
             };
             let old_val = std::mem::replace(&mut n.value, min_val);
@@ -179,7 +175,10 @@ impl<V, const K: usize> KdTree1<V, K> {
                 }
             }
         } else {
-            for child in [n.left.as_deref(), n.right.as_deref()].into_iter().flatten() {
+            for child in [n.left.as_deref(), n.right.as_deref()]
+                .into_iter()
+                .flatten()
+            {
                 let cand = Self::find_min(child, axis, depth + 1);
                 if cand[axis] < best[axis] {
                     best = cand;
@@ -282,7 +281,9 @@ mod tests {
         let mut x = 11u64;
         (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 [
                     (x % 1000) as f64,
                     ((x >> 20) % 1000) as f64,
@@ -374,7 +375,12 @@ mod tests {
         let got = t.knn(&center, 7);
         let mut want: Vec<f64> = uniq
             .iter()
-            .map(|p| (0..3).map(|d| (p[d] - center[d]).powi(2)).sum::<f64>().sqrt())
+            .map(|p| {
+                (0..3)
+                    .map(|d| (p[d] - center[d]).powi(2))
+                    .sum::<f64>()
+                    .sqrt()
+            })
             .collect();
         want.sort_by(f64::total_cmp);
         for (g, w) in got.iter().zip(&want) {
@@ -388,6 +394,9 @@ mod tests {
         for i in 0..100 {
             t.insert([i as f64, (i * 7) as f64], i);
         }
-        assert_eq!(t.memory_bytes(), 100 * (std::mem::size_of::<Node<u64, 2>>() + 16));
+        assert_eq!(
+            t.memory_bytes(),
+            100 * (std::mem::size_of::<Node<u64, 2>>() + 16)
+        );
     }
 }

@@ -323,7 +323,9 @@ mod tests {
         let mut x = 77u64;
         (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 [(x % 500) as f64, ((x >> 24) % 500) as f64]
             })
             .collect()
@@ -398,7 +400,11 @@ mod tests {
                 t.remove(&[i as f64]);
             }
         }
-        assert!(t.max_depth() <= 12, "depth after rebuild: {}", t.max_depth());
+        assert!(
+            t.max_depth() <= 12,
+            "depth after rebuild: {}",
+            t.max_depth()
+        );
     }
 
     #[test]

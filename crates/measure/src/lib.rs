@@ -91,7 +91,14 @@ impl Table {
         }
         let ncols = cells.iter().map(|r| r.len()).max().unwrap_or(0);
         let widths: Vec<usize> = (0..ncols)
-            .map(|c| cells.iter().filter_map(|r| r.get(c)).map(|s| s.len()).max().unwrap_or(0))
+            .map(|c| {
+                cells
+                    .iter()
+                    .filter_map(|r| r.get(c))
+                    .map(|s| s.len())
+                    .max()
+                    .unwrap_or(0)
+            })
             .collect();
         for r in &cells {
             for (c, s) in r.iter().enumerate() {
@@ -180,12 +187,16 @@ impl Cli {
 
     /// Float flag with default.
     pub fn get_f64(&self, key: &str, default: f64) -> f64 {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// Integer flag with default.
     pub fn get_u64(&self, key: &str, default: u64) -> u64 {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// String flag with default.

@@ -151,7 +151,10 @@ impl BitBuf {
     #[inline]
     pub fn write_bits(&mut self, off: usize, value: u64, nbits: u32) {
         assert!(nbits <= 64, "write of more than 64 bits");
-        assert!(off + nbits as usize <= self.len(), "bit write out of bounds");
+        assert!(
+            off + nbits as usize <= self.len(),
+            "bit write out of bounds"
+        );
         if nbits == 0 {
             return;
         }

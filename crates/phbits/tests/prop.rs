@@ -228,7 +228,7 @@ proptest! {
         // Wrong length is rejected.
         prop_assert!(BitBuf::from_words(words.clone(), b.len() + 70).is_none());
         // Stale bits beyond len are rejected.
-        if b.len() % 64 != 0 {
+        if !b.len().is_multiple_of(64) {
             let mut bad = words.clone();
             let last = bad.len() - 1;
             bad[last] |= 1u64 << 63;

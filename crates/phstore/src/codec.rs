@@ -45,7 +45,10 @@ impl ValueCodec for f64 {
         if buf.len() < 8 {
             return None;
         }
-        Some((f64::from_bits(u64::from_le_bytes(buf[..8].try_into().unwrap())), 8))
+        Some((
+            f64::from_bits(u64::from_le_bytes(buf[..8].try_into().unwrap())),
+            8,
+        ))
     }
 }
 
@@ -104,7 +107,7 @@ mod tests {
         roundtrip(42u32);
         roundtrip(u64::MAX);
         roundtrip(-123456789i64);
-        roundtrip(3.14159f64);
+        roundtrip(1.61803398874f64);
         roundtrip(-0.0f64);
         roundtrip(String::from("héllo wörld"));
         roundtrip(String::new());

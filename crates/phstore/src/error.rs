@@ -1,0 +1,171 @@
+//! Store-wide error type with corruption context.
+//!
+//! Corruption reports carry *where* the damage was found (record id,
+//! page id, byte offset) so a damaged file can be triaged without a hex
+//! editor. The `Display` prefix `phstore: corrupt file: {what}` is kept
+//! stable; context is appended after it.
+
+use crate::record::RecordId;
+use std::io;
+
+/// Location context for a [`StoreError::Corrupt`] report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Corruption {
+    /// What check failed.
+    pub what: &'static str,
+    /// Record being read when the damage was found, if any.
+    pub record: Option<RecordId>,
+    /// Page id involved, if known.
+    pub page: Option<u64>,
+    /// Byte offset within the file or frame, if known.
+    pub offset: Option<u64>,
+}
+
+impl Corruption {
+    /// A context-free corruption report.
+    pub fn new(what: &'static str) -> Self {
+        Corruption {
+            what,
+            ..Default::default()
+        }
+    }
+
+    /// Attaches the record being read.
+    pub fn at_record(mut self, id: RecordId) -> Self {
+        self.record = Some(id);
+        self
+    }
+
+    /// Attaches the page id.
+    pub fn at_page(mut self, page: u64) -> Self {
+        self.page = Some(page);
+        self
+    }
+
+    /// Attaches a byte offset.
+    pub fn at_offset(mut self, offset: u64) -> Self {
+        self.offset = Some(offset);
+        self
+    }
+}
+
+impl std::fmt::Display for Corruption {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.what)?;
+        if let Some(id) = self.record {
+            write!(f, " (record {}:{}", id.page, id.slot)?;
+        } else if let Some(p) = self.page {
+            write!(f, " (page {p}")?;
+        }
+        match (self.record.is_some() || self.page.is_some(), self.offset) {
+            (true, Some(off)) => write!(f, ", offset {off})")?,
+            (true, None) => write!(f, ")")?,
+            (false, Some(off)) => write!(f, " (offset {off})")?,
+            (false, None) => {}
+        }
+        Ok(())
+    }
+}
+
+/// Error accessing a stored tree.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The dimension count does not fit the snapshot header.
+    TooManyDims {
+        /// Requested dimension count `K`.
+        dims: usize,
+        /// Largest storable dimension count.
+        max: usize,
+    },
+    /// The file is structurally invalid for the requested tree type.
+    Corrupt(Corruption),
+}
+
+impl StoreError {
+    /// Shorthand for a context-free corruption error.
+    pub(crate) fn corrupt(what: &'static str) -> Self {
+        StoreError::Corrupt(Corruption::new(what))
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<Corruption> for StoreError {
+    fn from(c: Corruption) -> Self {
+        StoreError::Corrupt(c)
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "phstore: {e}"),
+            StoreError::TooManyDims { dims, max } => {
+                write!(
+                    f,
+                    "phstore: {dims} dimensions exceed the storable maximum of {max}"
+                )
+            }
+            StoreError::Corrupt(c) => write!(f, "phstore: corrupt file: {c}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefix_is_stable() {
+        let e = StoreError::corrupt("bad magic");
+        assert_eq!(e.to_string(), "phstore: corrupt file: bad magic");
+    }
+
+    #[test]
+    fn display_carries_context() {
+        let c = Corruption::new("record checksum mismatch")
+            .at_record(RecordId { page: 7, slot: 3 })
+            .at_offset(123);
+        assert_eq!(
+            StoreError::from(c).to_string(),
+            "phstore: corrupt file: record checksum mismatch (record 7:3, offset 123)"
+        );
+        let p = Corruption::new("bad page").at_page(9);
+        assert_eq!(
+            StoreError::from(p).to_string(),
+            "phstore: corrupt file: bad page (page 9)"
+        );
+        let o = Corruption::new("torn frame").at_offset(42);
+        assert_eq!(
+            StoreError::from(o).to_string(),
+            "phstore: corrupt file: torn frame (offset 42)"
+        );
+    }
+
+    #[test]
+    fn too_many_dims_display() {
+        let e = StoreError::TooManyDims {
+            dims: 300,
+            max: 255,
+        };
+        assert_eq!(
+            e.to_string(),
+            "phstore: 300 dimensions exceed the storable maximum of 255"
+        );
+    }
+}

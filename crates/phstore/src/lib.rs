@@ -16,7 +16,19 @@
 //! * [`save`]/[`load`] — persist a [`phtree::PhTree`] node by node
 //!   (post-order, children before parents) and rebuild it with full
 //!   structural re-validation; corrupt files yield errors, never broken
-//!   trees.
+//!   trees. Saves are atomic: staging file, fsync, rename, directory
+//!   fsync.
+//! * [`wal`] — a write-ahead log of logical ops (checksummed,
+//!   generation-stamped frames) whose recovery scan stops cleanly at
+//!   the first torn or corrupt frame.
+//! * [`durable`] — [`Durable`], a crash-safe tree: journal every
+//!   mutation, checkpoint past a log-size threshold, recover any crash
+//!   to a consistent acknowledged-prefix state.
+//! * [`vfs`] — the filesystem abstraction ([`vfs::StdVfs`],
+//!   [`vfs::MemVfs`]) plus a deterministic fault injector
+//!   ([`vfs::FaultVfs`]) that can cut the write stream at any byte,
+//!   which is how the crash-recovery guarantees are tested
+//!   exhaustively.
 //!
 //! Because the PH-tree's structure is canonical, the snapshot is
 //! byte-for-byte deterministic for a given tree content.
@@ -44,12 +56,18 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod durable;
+mod error;
 pub mod pager;
 pub mod record;
 mod store;
+pub mod vfs;
+pub mod wal;
 
 pub use codec::ValueCodec;
-pub use store::{load, save, SaveStats, StoreError};
+pub use durable::{Durable, DurableConfig, RecoveryStats};
+pub use error::{Corruption, StoreError};
+pub use store::{load, load_with, save, save_with, SaveStats};
 
 /// FNV-1a 64-bit checksum used for header and record integrity.
 pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {

@@ -4,9 +4,13 @@
 //! user metadata blob, all checksummed); data pages are allocated
 //! sequentially. The pager knows nothing about records — see
 //! [`crate::record`] for the slotted layout on top.
+//!
+//! All I/O goes through the [`crate::vfs`] abstraction so tests can run
+//! pagers on in-memory or fault-injected filesystems; [`Pager::create`]
+//! and [`Pager::open`] are real-filesystem conveniences.
 
-use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Seek, SeekFrom, Write};
+use crate::error::{Corruption, StoreError};
+use crate::vfs::{StdVfs, Vfs, VfsFile};
 use std::path::Path;
 
 /// Page size in bytes. 4 KiB, the common disk/OS page granularity the
@@ -19,32 +23,40 @@ pub const MAX_META: usize = PAGE_SIZE - 8 - 8 - 8 - 4;
 
 /// A page-granular file.
 pub struct Pager {
-    file: File,
+    file: Box<dyn VfsFile>,
     n_pages: u64,
 }
 
 impl Pager {
-    /// Creates (truncating) a paged file with the given user metadata.
-    pub fn create(path: &Path, meta: &[u8]) -> io::Result<Pager> {
+    /// Creates (truncating) a paged file with the given user metadata,
+    /// on the real filesystem.
+    pub fn create(path: &Path, meta: &[u8]) -> Result<Pager, StoreError> {
+        Self::create_in(&StdVfs, path, meta)
+    }
+
+    /// Creates (truncating) a paged file on any [`Vfs`].
+    pub fn create_in(vfs: &dyn Vfs, path: &Path, meta: &[u8]) -> Result<Pager, StoreError> {
         assert!(meta.len() <= MAX_META, "metadata too large");
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+        let file = vfs.create(path)?;
         let mut p = Pager { file, n_pages: 1 };
         p.write_header(meta)?;
         Ok(p)
     }
 
-    /// Opens an existing paged file, returning the pager and the user
-    /// metadata from the header page.
-    pub fn open(path: &Path) -> io::Result<(Pager, Vec<u8>)> {
-        let file = OpenOptions::new().read(true).write(true).open(path)?;
-        let len = file.metadata()?.len();
+    /// Opens an existing paged file on the real filesystem, returning
+    /// the pager and the user metadata from the header page.
+    pub fn open(path: &Path) -> Result<(Pager, Vec<u8>), StoreError> {
+        Self::open_in(&StdVfs, path)
+    }
+
+    /// Opens an existing paged file on any [`Vfs`].
+    pub fn open_in(vfs: &dyn Vfs, path: &Path) -> Result<(Pager, Vec<u8>), StoreError> {
+        let mut file = vfs.open(path)?;
+        let len = file.len()?;
         if len < PAGE_SIZE as u64 || len % PAGE_SIZE as u64 != 0 {
-            return Err(corrupt("file size is not page-aligned"));
+            return Err(Corruption::new("file size is not page-aligned")
+                .at_offset(len)
+                .into());
         }
         let mut p = Pager {
             file,
@@ -52,26 +64,30 @@ impl Pager {
         };
         let header = p.read_page(0)?;
         if &header[..8] != MAGIC {
-            return Err(corrupt("bad magic"));
+            return Err(StoreError::corrupt("bad magic"));
         }
         let stored_pages = u64::from_le_bytes(header[8..16].try_into().unwrap());
         if stored_pages != p.n_pages {
-            return Err(corrupt("page count mismatch"));
+            return Err(Corruption::new("page count mismatch")
+                .at_page(stored_pages)
+                .into());
         }
         let meta_len = u32::from_le_bytes(header[16..20].try_into().unwrap()) as usize;
         if meta_len > MAX_META {
-            return Err(corrupt("oversized metadata"));
+            return Err(StoreError::corrupt("oversized metadata"));
         }
         let meta = header[20..20 + meta_len].to_vec();
         let stored_sum = u64::from_le_bytes(header[PAGE_SIZE - 8..].try_into().unwrap());
         if stored_sum != crate::fnv1a(&header[..PAGE_SIZE - 8]) {
-            return Err(corrupt("header checksum mismatch"));
+            return Err(Corruption::new("header checksum mismatch")
+                .at_page(0)
+                .into());
         }
         Ok((p, meta))
     }
 
     /// Rewrites the header page (page count + metadata + checksum).
-    pub fn write_header(&mut self, meta: &[u8]) -> io::Result<()> {
+    pub fn write_header(&mut self, meta: &[u8]) -> Result<(), StoreError> {
         assert!(meta.len() <= MAX_META, "metadata too large");
         let mut page = vec![0u8; PAGE_SIZE];
         page[..8].copy_from_slice(MAGIC);
@@ -89,7 +105,7 @@ impl Pager {
     }
 
     /// Allocates a fresh (zeroed) page at the end of the file.
-    pub fn alloc_page(&mut self) -> io::Result<u64> {
+    pub fn alloc_page(&mut self) -> Result<u64, StoreError> {
         let id = self.n_pages;
         self.n_pages += 1;
         self.write_page(id, &[0u8; PAGE_SIZE])?;
@@ -97,37 +113,34 @@ impl Pager {
     }
 
     /// Reads page `id` in full.
-    pub fn read_page(&mut self, id: u64) -> io::Result<Vec<u8>> {
+    pub fn read_page(&mut self, id: u64) -> Result<Vec<u8>, StoreError> {
         if id >= self.n_pages {
-            return Err(corrupt("page id out of range"));
+            return Err(Corruption::new("page id out of range").at_page(id).into());
         }
-        self.file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
         let mut buf = vec![0u8; PAGE_SIZE];
-        self.file.read_exact(&mut buf)?;
+        self.file.read_exact_at(&mut buf, id * PAGE_SIZE as u64)?;
         Ok(buf)
     }
 
     /// Writes page `id` in full.
-    pub fn write_page(&mut self, id: u64, data: &[u8]) -> io::Result<()> {
+    pub fn write_page(&mut self, id: u64, data: &[u8]) -> Result<(), StoreError> {
         assert_eq!(data.len(), PAGE_SIZE);
         assert!(id < self.n_pages, "write to unallocated page");
-        self.file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
-        self.file.write_all(data)
+        self.file.write_all_at(data, id * PAGE_SIZE as u64)?;
+        Ok(())
     }
 
     /// Flushes everything to stable storage.
-    pub fn sync(&mut self) -> io::Result<()> {
-        self.file.sync_all()
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file.sync_all()?;
+        Ok(())
     }
-}
-
-pub(crate) fn corrupt(what: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, format!("phstore: {what}"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::MemVfs;
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("phstore-tests");
@@ -172,21 +185,44 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_header_is_rejected() {
-        let path = tmp("pager_corrupt.pht");
+    fn mem_vfs_pager_roundtrip() {
+        let vfs = MemVfs::new();
+        let path = Path::new("/mem/pager.pht");
+        let a;
         {
-            let mut p = Pager::create(&path, b"meta").unwrap();
+            let mut p = Pager::create_in(&vfs, path, b"mem meta").unwrap();
+            a = p.alloc_page().unwrap();
+            let mut page = vec![0x5Au8; PAGE_SIZE];
+            page[17] = 99;
+            p.write_page(a, &page).unwrap();
+            p.write_header(b"mem meta").unwrap();
+            p.sync().unwrap();
+        }
+        let (mut p, meta) = Pager::open_in(&vfs, path).unwrap();
+        assert_eq!(meta, b"mem meta");
+        assert_eq!(p.read_page(a).unwrap()[17], 99);
+    }
+
+    #[test]
+    fn corrupt_header_is_rejected_with_context() {
+        let vfs = MemVfs::new();
+        let path = Path::new("/mem/corrupt.pht");
+        {
+            let mut p = Pager::create_in(&vfs, path, b"meta").unwrap();
             p.alloc_page().unwrap();
             p.write_header(b"meta").unwrap();
         }
         // Flip a metadata byte without fixing the checksum.
-        {
-            let mut f = OpenOptions::new().write(true).open(&path).unwrap();
-            f.seek(SeekFrom::Start(21)).unwrap();
-            f.write_all(&[0xFF]).unwrap();
-        }
-        assert!(Pager::open(&path).is_err());
-        std::fs::remove_file(&path).ok();
+        assert!(vfs.corrupt(path, 21, 0xFF));
+        let err = match Pager::open_in(&vfs, path) {
+            Err(e) => e,
+            Ok(_) => panic!("corrupt header must be rejected"),
+        };
+        assert!(
+            err.to_string().contains("header checksum mismatch"),
+            "{err}"
+        );
+        assert!(matches!(err, StoreError::Corrupt(c) if c.page == Some(0)));
     }
 
     #[test]
@@ -197,7 +233,7 @@ mod tests {
             p.alloc_page().unwrap();
             p.write_header(b"").unwrap();
         }
-        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
         f.set_len(PAGE_SIZE as u64 + 100).unwrap();
         drop(f);
         assert!(Pager::open(&path).is_err());
@@ -208,7 +244,8 @@ mod tests {
     fn out_of_range_page_read_fails() {
         let path = tmp("pager_range.pht");
         let mut p = Pager::create(&path, b"").unwrap();
-        assert!(p.read_page(5).is_err());
+        let err = p.read_page(5).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(c) if c.page == Some(5)));
         std::fs::remove_file(&path).ok();
     }
 }

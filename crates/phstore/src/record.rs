@@ -23,8 +23,8 @@
 //! `payload head` is as much of the payload as fits in this page; the
 //! rest continues in overflow pages of the form `[next: u64][data]`.
 
-use crate::pager::{corrupt, Pager, PAGE_SIZE};
-use std::io;
+use crate::error::{Corruption, StoreError};
+use crate::pager::{Pager, PAGE_SIZE};
 
 /// Address of a record: page id + slot index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,7 +79,7 @@ pub struct RecordWriter<'p> {
 
 impl<'p> RecordWriter<'p> {
     /// Starts writing records into fresh pages of `pager`.
-    pub fn new(pager: &'p mut Pager) -> io::Result<Self> {
+    pub fn new(pager: &'p mut Pager) -> Result<Self, StoreError> {
         let page_id = pager.alloc_page()?;
         Ok(RecordWriter {
             pager,
@@ -97,12 +97,12 @@ impl<'p> RecordWriter<'p> {
         PAGE_SIZE - n_slots as usize * SLOT_BYTES
     }
 
-    fn flush_page(&mut self) -> io::Result<()> {
+    fn flush_page(&mut self) -> Result<(), StoreError> {
         self.page[..2].copy_from_slice(&self.n_slots.to_le_bytes());
         self.pager.write_page(self.page_id, &self.page)
     }
 
-    fn fresh_page(&mut self) -> io::Result<()> {
+    fn fresh_page(&mut self) -> Result<(), StoreError> {
         self.flush_page()?;
         self.page_id = self.pager.alloc_page()?;
         self.page.fill(0);
@@ -112,7 +112,7 @@ impl<'p> RecordWriter<'p> {
     }
 
     /// Appends one record, returning its address.
-    pub fn append(&mut self, payload: &[u8]) -> io::Result<RecordId> {
+    pub fn append(&mut self, payload: &[u8]) -> Result<RecordId, StoreError> {
         // Usable space: records grow up from `free`, the directory
         // (including the new slot) grows down from the page end.
         let limit = Self::dir_start(self.n_slots + 1);
@@ -177,22 +177,25 @@ impl<'p> RecordWriter<'p> {
     }
 
     /// Flushes the open page; must be called once at the end.
-    pub fn finish(mut self) -> io::Result<()> {
+    pub fn finish(mut self) -> Result<(), StoreError> {
         self.flush_page()
     }
 }
 
 /// Reads one record from a [`Pager`], verifying its checksum.
-pub fn read_record(pager: &mut Pager, id: RecordId) -> io::Result<Vec<u8>> {
+pub fn read_record(pager: &mut Pager, id: RecordId) -> Result<Vec<u8>, StoreError> {
     let page = pager.read_page(id.page)?;
     let n_slots = u16::from_le_bytes(page[..2].try_into().unwrap());
     if id.slot >= n_slots {
-        return Err(corrupt("slot out of range"));
+        return Err(Corruption::new("slot out of range").at_record(id).into());
     }
     let dir_pos = PAGE_SIZE - (id.slot as usize + 1) * SLOT_BYTES;
     let off = u16::from_le_bytes(page[dir_pos..dir_pos + 2].try_into().unwrap()) as usize;
     if off + REC_HEADER > PAGE_SIZE - (n_slots as usize) * SLOT_BYTES {
-        return Err(corrupt("record offset out of range"));
+        return Err(Corruption::new("record offset out of range")
+            .at_record(id)
+            .at_offset(off as u64)
+            .into());
     }
     let total = u32::from_le_bytes(page[off..off + 4].try_into().unwrap()) as usize;
     let sum = u64::from_le_bytes(page[off + 4..off + 12].try_into().unwrap());
@@ -202,7 +205,9 @@ pub fn read_record(pager: &mut Pager, id: RecordId) -> io::Result<Vec<u8>> {
     payload.extend_from_slice(&page[off + 20..off + 20 + head_take]);
     while payload.len() < total {
         if overflow == 0 {
-            return Err(corrupt("record truncated (missing overflow)"));
+            return Err(Corruption::new("record truncated (missing overflow)")
+                .at_record(id)
+                .into());
         }
         let buf = pager.read_page(overflow)?;
         let next = u64::from_le_bytes(buf[..8].try_into().unwrap());
@@ -211,7 +216,9 @@ pub fn read_record(pager: &mut Pager, id: RecordId) -> io::Result<Vec<u8>> {
         overflow = next;
     }
     if crate::fnv1a(&payload) != sum {
-        return Err(corrupt("record checksum mismatch"));
+        return Err(Corruption::new("record checksum mismatch")
+            .at_record(id)
+            .into());
     }
     Ok(payload)
 }
@@ -277,7 +284,9 @@ mod tests {
         {
             let mut w = RecordWriter::new(&mut p).unwrap();
             for _ in 0..200 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let len = (x % 9000) as usize;
                 let data: Vec<u8> = (0..len).map(|i| (i as u64 ^ x) as u8).collect();
                 let id = w.append(&data).unwrap();
@@ -334,7 +343,10 @@ mod tests {
 
     #[test]
     fn record_id_encoding_roundtrip() {
-        let id = RecordId { page: 0xDEAD_BEEF, slot: 513 };
+        let id = RecordId {
+            page: 0xDEAD_BEEF,
+            slot: 513,
+        };
         let mut buf = Vec::new();
         id.encode(&mut buf);
         assert_eq!(buf.len(), 10);

@@ -11,43 +11,29 @@
 //! ```
 //!
 //! The header page's metadata records the dimension count, the entry
-//! count and the root record id; loading re-validates every structural
-//! invariant (via `phtree::raw`), so corrupt or mismatched files yield
+//! count, the snapshot *generation* (see [`crate::durable`]) and the
+//! root record id; loading re-validates every structural invariant
+//! (via `phtree::raw`), so corrupt or mismatched files yield
 //! [`StoreError`]s, never broken trees.
+//!
+//! ## Atomicity
+//!
+//! [`save`] never modifies the target path in place: the snapshot is
+//! written to `<path>.tmp`, synced, then renamed over the target and
+//! the parent directory is synced. A crash at any point leaves either
+//! the complete old snapshot or the complete new one — never a torn
+//! mix, and never a lost old snapshot on an early error.
 
 use crate::codec::ValueCodec;
+use crate::error::StoreError;
 use crate::pager::Pager;
 use crate::record::{read_record, RecordId, RecordWriter};
+use crate::vfs::{StdVfs, Vfs};
 use phtree::raw::{build_node, NodeRef, RawNode};
 use phtree::PhTree;
-use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-/// Error loading a stored tree.
-#[derive(Debug)]
-pub enum StoreError {
-    /// Underlying I/O or page/record-level corruption.
-    Io(io::Error),
-    /// The file is structurally invalid for the requested tree type.
-    Corrupt(&'static str),
-}
-
-impl From<io::Error> for StoreError {
-    fn from(e: io::Error) -> Self {
-        StoreError::Io(e)
-    }
-}
-
-impl std::fmt::Display for StoreError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            StoreError::Io(e) => write!(f, "phstore: {e}"),
-            StoreError::Corrupt(w) => write!(f, "phstore: corrupt file: {w}"),
-        }
-    }
-}
-
-impl std::error::Error for StoreError {}
+pub use crate::error::Corruption;
 
 /// Statistics returned by [`save`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,13 +46,18 @@ pub struct SaveStats {
     pub payload_bytes: u64,
 }
 
-const META_VERSION: u8 = 1;
+/// Snapshot metadata format version. Version 2 added the generation
+/// number; version-1 files (no generation) are still readable as
+/// generation 0.
+const META_VERSION: u8 = 2;
+const META_VERSION_V1: u8 = 1;
 
-fn encode_meta(k: usize, len: u64, root: Option<RecordId>) -> Vec<u8> {
-    let mut m = Vec::with_capacity(32);
+fn encode_meta(k: usize, len: u64, generation: u64, root: Option<RecordId>) -> Vec<u8> {
+    let mut m = Vec::with_capacity(40);
     m.push(META_VERSION);
     m.push(k as u8);
     m.extend_from_slice(&len.to_le_bytes());
+    m.extend_from_slice(&generation.to_le_bytes());
     match root {
         None => m.push(0),
         Some(id) => {
@@ -77,30 +68,44 @@ fn encode_meta(k: usize, len: u64, root: Option<RecordId>) -> Vec<u8> {
     m
 }
 
-fn decode_meta(k: usize, meta: &[u8]) -> Result<(u64, Option<RecordId>), StoreError> {
-    if meta.len() < 11 || meta[0] != META_VERSION {
-        return Err(StoreError::Corrupt("bad metadata version"));
-    }
+fn decode_meta(k: usize, meta: &[u8]) -> Result<(u64, u64, Option<RecordId>), StoreError> {
+    let (generation, rest) = match meta.first() {
+        Some(&META_VERSION) => {
+            if meta.len() < 19 {
+                return Err(StoreError::corrupt("metadata truncated"));
+            }
+            (
+                u64::from_le_bytes(meta[10..18].try_into().unwrap()),
+                &meta[18..],
+            )
+        }
+        Some(&META_VERSION_V1) => {
+            if meta.len() < 11 {
+                return Err(StoreError::corrupt("metadata truncated"));
+            }
+            (0, &meta[10..])
+        }
+        _ => return Err(StoreError::corrupt("bad metadata version")),
+    };
     if meta[1] as usize != k {
-        return Err(StoreError::Corrupt("dimension count mismatch"));
+        return Err(StoreError::corrupt("dimension count mismatch"));
     }
     let len = u64::from_le_bytes(meta[2..10].try_into().unwrap());
-    let root = match meta[10] {
-        0 => None,
-        1 => {
-            let (id, _) =
-                RecordId::decode(&meta[11..]).ok_or(StoreError::Corrupt("bad root id"))?;
+    let root = match rest.first() {
+        Some(0) => None,
+        Some(1) => {
+            let (id, _) = RecordId::decode(&rest[1..]).ok_or(StoreError::corrupt("bad root id"))?;
             Some(id)
         }
-        _ => return Err(StoreError::Corrupt("bad root marker")),
+        _ => return Err(StoreError::corrupt("bad root marker")),
     };
-    Ok((len, root))
+    Ok((len, generation, root))
 }
 
 fn write_node<V: ValueCodec, const K: usize>(
     w: &mut RecordWriter<'_>,
     node: &NodeRef<'_, V, K>,
-) -> io::Result<RecordId> {
+) -> Result<RecordId, StoreError> {
     // Children first (post-order) so their ids are known.
     let mut child_ids = Vec::with_capacity(node.subs().len());
     for sub in node.subs() {
@@ -132,11 +137,13 @@ fn read_node<V: ValueCodec, const K: usize>(
     depth: usize,
 ) -> Result<RawNode<V, K>, StoreError> {
     if depth > 64 {
-        return Err(StoreError::Corrupt("node chain deeper than w"));
+        return Err(StoreError::corrupt("node chain deeper than w"));
     }
     let buf = read_record(pager, id)?;
     if buf.len() < 16 {
-        return Err(StoreError::Corrupt("node record too short"));
+        return Err(Corruption::new("node record too short")
+            .at_record(id)
+            .into());
     }
     let (post_len, infix_len, is_hc) = (buf[0], buf[1], buf[2] != 0);
     let n_subs = u32::from_le_bytes(buf[4..8].try_into().unwrap()) as usize;
@@ -145,7 +152,7 @@ fn read_node<V: ValueCodec, const K: usize>(
     let n_words = bits_len.div_ceil(64);
     let mut pos = 16;
     if buf.len() < pos + n_words * 8 {
-        return Err(StoreError::Corrupt("bit string truncated"));
+        return Err(Corruption::new("bit string truncated").at_record(id).into());
     }
     let words: Box<[u64]> = (0..n_words)
         .map(|i| u64::from_le_bytes(buf[pos + i * 8..pos + i * 8 + 8].try_into().unwrap()))
@@ -153,68 +160,133 @@ fn read_node<V: ValueCodec, const K: usize>(
     pos += n_words * 8;
     let mut values = Vec::with_capacity(n_values);
     for _ in 0..n_values {
-        let (v, used) =
-            V::decode(&buf[pos..]).ok_or(StoreError::Corrupt("value decode failed"))?;
+        let (v, used) = V::decode(&buf[pos..]).ok_or_else(|| {
+            StoreError::from(
+                Corruption::new("value decode failed")
+                    .at_record(id)
+                    .at_offset(pos as u64),
+            )
+        })?;
         values.push(v);
         pos += used;
     }
     let mut subs = Vec::with_capacity(n_subs);
     for _ in 0..n_subs {
-        let (cid, used) =
-            RecordId::decode(&buf[pos..]).ok_or(StoreError::Corrupt("child id truncated"))?;
+        let (cid, used) = RecordId::decode(&buf[pos..]).ok_or_else(|| {
+            StoreError::from(
+                Corruption::new("child id truncated")
+                    .at_record(id)
+                    .at_offset(pos as u64),
+            )
+        })?;
         pos += used;
         subs.push(read_node(pager, cid, depth + 1)?);
     }
     if pos != buf.len() {
-        return Err(StoreError::Corrupt("trailing bytes in node record"));
+        return Err(Corruption::new("trailing bytes in node record")
+            .at_record(id)
+            .at_offset(pos as u64)
+            .into());
     }
-    build_node(post_len, infix_len, is_hc, words, bits_len, subs, values)
-        .ok_or(StoreError::Corrupt("node invariants violated"))
-}
-
-/// Saves `tree` as a fresh snapshot at `path` (truncates any existing
-/// file).
-pub fn save<V: ValueCodec, const K: usize>(
-    tree: &PhTree<V, K>,
-    path: &Path,
-) -> io::Result<SaveStats> {
-    assert!(K <= 255, "dimension count must fit the header");
-    let mut pager = Pager::create(path, &encode_meta(K, tree.len() as u64, None))?;
-    let (root_id, nodes, payload_bytes) = match tree.root_raw() {
-        None => (None, 0, 0),
-        Some(root) => {
-            let mut w = RecordWriter::new(&mut pager)?;
-            let id = write_node(&mut w, &root)?;
-            let (records, bytes) = (w.records, w.bytes);
-            w.finish()?;
-            (Some(id), records, bytes)
-        }
-    };
-    pager.write_header(&encode_meta(K, tree.len() as u64, root_id))?;
-    pager.sync()?;
-    Ok(SaveStats {
-        nodes,
-        pages: pager.n_pages(),
-        payload_bytes,
+    build_node(post_len, infix_len, is_hc, words, bits_len, subs, values).ok_or_else(|| {
+        Corruption::new("node invariants violated")
+            .at_record(id)
+            .into()
     })
 }
 
-/// Loads a tree previously written by [`save`]. The value type and
-/// dimension count must match; everything is re-validated.
+/// The temp path a snapshot is staged at before the atomic rename.
+pub(crate) fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// Saves `tree` as a snapshot at `path` on the real filesystem,
+/// atomically: temp file, fsync, rename, directory fsync (see the
+/// module docs).
+pub fn save<V: ValueCodec, const K: usize>(
+    tree: &PhTree<V, K>,
+    path: &Path,
+) -> Result<SaveStats, StoreError> {
+    save_with(&StdVfs, tree, path, 0)
+}
+
+/// [`save`] on any [`Vfs`], stamping `generation` into the metadata.
+pub fn save_with<V: ValueCodec, const K: usize>(
+    vfs: &dyn Vfs,
+    tree: &PhTree<V, K>,
+    path: &Path,
+    generation: u64,
+) -> Result<SaveStats, StoreError> {
+    if K > 255 {
+        return Err(StoreError::TooManyDims { dims: K, max: 255 });
+    }
+    let tmp = tmp_path(path);
+    // Stage everything in the temp file; the target is untouched until
+    // the rename, so errors here cannot lose the previous snapshot.
+    let stats = (|| {
+        let mut pager = Pager::create_in(
+            vfs,
+            &tmp,
+            &encode_meta(K, tree.len() as u64, generation, None),
+        )?;
+        let (root_id, nodes, payload_bytes) = match tree.root_raw() {
+            None => (None, 0, 0),
+            Some(root) => {
+                let mut w = RecordWriter::new(&mut pager)?;
+                let id = write_node(&mut w, &root)?;
+                let (records, bytes) = (w.records, w.bytes);
+                w.finish()?;
+                (Some(id), records, bytes)
+            }
+        };
+        pager.write_header(&encode_meta(K, tree.len() as u64, generation, root_id))?;
+        pager.sync()?;
+        Ok::<_, StoreError>(SaveStats {
+            nodes,
+            pages: pager.n_pages(),
+            payload_bytes,
+        })
+    })()
+    .inspect_err(|_| {
+        // Best-effort cleanup of the partial staging file.
+        let _ = vfs.remove_file(&tmp);
+    })?;
+    vfs.rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        vfs.sync_dir(parent)?;
+    }
+    Ok(stats)
+}
+
+/// Loads a tree previously written by [`save`] from the real
+/// filesystem. The value type and dimension count must match;
+/// everything is re-validated.
 pub fn load<V: ValueCodec, const K: usize>(path: &Path) -> Result<PhTree<V, K>, StoreError> {
-    let (mut pager, meta) = Pager::open(path)?;
-    let (len, root_id) = decode_meta(K, &meta)?;
+    load_with(&StdVfs, path).map(|(tree, _gen)| tree)
+}
+
+/// [`load`] on any [`Vfs`], also returning the snapshot generation.
+pub fn load_with<V: ValueCodec, const K: usize>(
+    vfs: &dyn Vfs,
+    path: &Path,
+) -> Result<(PhTree<V, K>, u64), StoreError> {
+    let (mut pager, meta) = Pager::open_in(vfs, path)?;
+    let (len, generation, root_id) = decode_meta(K, &meta)?;
     let root = match root_id {
         None => None,
         Some(id) => Some(read_node::<V, K>(&mut pager, id, 0)?),
     };
-    PhTree::from_raw_parts(root, len as usize)
-        .ok_or(StoreError::Corrupt("tree reassembly failed"))
+    let tree = PhTree::from_raw_parts(root, len as usize)
+        .ok_or(StoreError::corrupt("tree reassembly failed"))?;
+    Ok((tree, generation))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::MemVfs;
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("phstore-tests");
@@ -226,7 +298,9 @@ mod tests {
         let mut t = PhTree::new();
         let mut x = 5u64;
         for i in 0..n {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             t.insert([x % 512, (x >> 20) % 512, (x >> 40) % 512], i);
         }
         t
@@ -336,5 +410,53 @@ mod tests {
         assert_eq!(u.len(), t.len());
         assert!(u.contains(&[31, 17]));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn generation_roundtrips_through_metadata() {
+        let vfs = MemVfs::new();
+        let path = Path::new("/snap/gen.pht");
+        let t = sample(200);
+        save_with(&vfs, &t, path, 42).unwrap();
+        let (u, generation) = load_with::<u64, 3>(&vfs, path).unwrap();
+        assert_eq!(generation, 42);
+        assert_eq!(u.len(), t.len());
+    }
+
+    #[test]
+    fn save_error_preserves_previous_snapshot() {
+        use crate::vfs::{FaultConfig, FaultVfs};
+        use std::sync::Arc;
+        let mem = MemVfs::new();
+        let path = Path::new("/snap/keep.pht");
+        let old = sample(300);
+        save_with(&mem, &old, path, 1).unwrap();
+        let before = mem.read_file(path).unwrap();
+        // A save that crashes mid-write must leave the target intact.
+        let faulty = FaultVfs::new(
+            Arc::new(mem.clone()),
+            FaultConfig {
+                write_budget: Some(1000),
+                ..Default::default()
+            },
+        );
+        let newer = sample(3000);
+        assert!(save_with(&faulty, &newer, path, 2).is_err());
+        assert_eq!(mem.read_file(path).unwrap(), before, "old snapshot lost");
+        let (u, generation) = load_with::<u64, 3>(&mem, path).unwrap();
+        assert_eq!(generation, 1);
+        assert_eq!(u.len(), old.len());
+    }
+
+    #[test]
+    fn save_leaves_no_tmp_behind() {
+        let vfs = MemVfs::new();
+        let path = Path::new("/snap/clean.pht");
+        save_with(&vfs, &sample(100), path, 1).unwrap();
+        assert!(vfs.exists(path));
+        assert!(
+            !vfs.exists(&tmp_path(path)),
+            "staging file must be renamed away"
+        );
     }
 }

@@ -360,8 +360,7 @@ impl<V> DynNode<V> {
                     } else {
                         let pr = self.lhc_post_rank(k, j);
                         Probe::Post {
-                            pf_off: self.lhc_pf_base(k, self.n_children())
-                                + pr * self.post_bits(k),
+                            pf_off: self.lhc_pf_base(k, self.n_children()) + pr * self.post_bits(k),
                         }
                     }
                 }
@@ -507,7 +506,8 @@ impl<V> DynNode<V> {
 
     pub fn replace_post_value(&mut self, k: usize, h: u64, value: V) -> V {
         std::mem::replace(
-            self.post_value_mut(k, h).expect("replace_post_value: not a post"),
+            self.post_value_mut(k, h)
+                .expect("replace_post_value: not a post"),
             value,
         )
     }
@@ -524,7 +524,9 @@ impl<V> DynNode<V> {
             slice_insert(&mut self.subs, sr, sub);
             slice_remove(&mut self.values, pr)
         } else {
-            let j = self.lhc_search(k, h).expect("swap_post_for_sub: empty slot");
+            let j = self
+                .lhc_search(k, h)
+                .expect("swap_post_for_sub: empty slot");
             assert!(!self.lhc_is_sub(k, j));
             let n = self.n_children();
             let pr = self.lhc_post_rank(k, j);
@@ -558,7 +560,9 @@ impl<V> DynNode<V> {
             slice_remove(&mut self.subs, sr);
             slice_insert(&mut self.values, pr, value);
         } else {
-            let j = self.lhc_search(k, h).expect("replace_sub_with_post: empty slot");
+            let j = self
+                .lhc_search(k, h)
+                .expect("replace_sub_with_post: empty slot");
             assert!(self.lhc_is_sub(k, j));
             let n = self.n_children();
             let pr = self.lhc_post_rank(k, j);

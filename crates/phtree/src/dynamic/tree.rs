@@ -127,13 +127,19 @@ impl<V> PhTreeDyn<V> {
                 let mut old_key: KeyBuf = [0; 64];
                 old_key[..k].copy_from_slice(key);
                 node.read_postfix_into(k, pf_off, &mut old_key[..k]);
-                let dmax = num::max_diverging_bit(key, &old_key[..k])
-                    .expect("distinct keys must diverge");
+                let dmax =
+                    num::max_diverging_bit(key, &old_key[..k]).expect("distinct keys must diverge");
                 debug_assert!((dmax as u8) < node.post_len);
                 let sub = DynNode::new(k, dmax as u8, node.post_len - 1 - dmax as u8, key);
                 let old_val = node.swap_post_for_sub(k, h, sub, mode);
                 let sub = node.sub_mut(k, h).expect("just installed");
-                sub.insert_post(k, hc::addr(&old_key[..k], dmax), &old_key[..k], old_val, mode);
+                sub.insert_post(
+                    k,
+                    hc::addr(&old_key[..k], dmax),
+                    &old_key[..k],
+                    old_val,
+                    mode,
+                );
                 sub.insert_post(k, hc::addr(key, dmax), key, value, mode);
                 None
             }
@@ -284,7 +290,12 @@ impl<V> PhTreeDyn<V> {
     /// number of matches. The visitor form avoids per-result key
     /// allocations; see [`PhTreeDyn::query_collect`] for a `Vec`-based
     /// convenience.
-    pub fn query_visit(&self, min: &[u64], max: &[u64], visit: &mut dyn FnMut(&[u64], &V)) -> usize {
+    pub fn query_visit(
+        &self,
+        min: &[u64],
+        max: &[u64],
+        visit: &mut dyn FnMut(&[u64], &V),
+    ) -> usize {
         self.check_key(min);
         self.check_key(max);
         super::query::query_visit(self, min, max, visit)
@@ -314,7 +325,7 @@ impl<V> PhTreeDyn<V> {
 
     /// Structural statistics (same accounting as [`crate::PhTree::stats`]).
     pub fn stats(&self) -> TreeStats {
-        fn walk<V>(n: &DynNode<V>, k: usize, depth: usize, s: &mut TreeStats) {
+        fn walk<V>(n: &DynNode<V>, depth: usize, s: &mut TreeStats) {
             s.nodes += 1;
             s.max_depth = s.max_depth.max(depth);
             s.entries += n.n_posts();
@@ -338,14 +349,14 @@ impl<V> PhTreeDyn<V> {
                 s.total_bytes += n.n_posts() * std::mem::size_of::<V>() + ALLOC_OVERHEAD;
             }
             for sub in n.subs.iter() {
-                walk(sub, k, depth + 1, s);
+                walk(sub, depth + 1, s);
             }
         }
         let mut s = TreeStats::default();
         if let Some(r) = self.root.as_deref() {
             s.allocations += 1;
             s.total_bytes += std::mem::size_of::<DynNode<V>>() + ALLOC_OVERHEAD;
-            walk(r, self.k, 1, &mut s);
+            walk(r, 1, &mut s);
         }
         s
     }
@@ -396,7 +407,9 @@ mod tests {
         let mut model = std::collections::BTreeMap::new();
         let mut x = 3u64;
         for i in 0..3000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = vec![x % 64, (x >> 13) % 64];
             match x % 3 {
                 0 | 1 => {
@@ -426,7 +439,9 @@ mod tests {
         let mut keys = Vec::new();
         let mut x = 17u64;
         for _ in 0..800 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = vec![x % 32, (x >> 8) % 32, (x >> 16) % 32, (x >> 24) % 32];
             t.insert(&key, ());
             keys.push(key);
@@ -476,7 +491,9 @@ mod stats_tests {
         let mut t: PhTreeDyn<()> = PhTreeDyn::new(3);
         let mut x = 1u64;
         for _ in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             t.insert(&[x % 128, (x >> 20) % 128, (x >> 40) % 128], ());
         }
         let s = t.stats();

@@ -52,7 +52,11 @@ impl<'t, V, const K: usize> IntoIterator for &'t PhTree<V, K> {
 impl<V: std::fmt::Debug, const K: usize> std::fmt::Debug for PhTreeF64<V, K> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_map()
-            .entries(self.as_int_tree().iter().map(|(k, v)| (key_to_point(&k), v)))
+            .entries(
+                self.as_int_tree()
+                    .iter()
+                    .map(|(k, v)| (key_to_point(&k), v)),
+            )
             .finish()
     }
 }
@@ -70,47 +74,6 @@ impl<V, const K: usize> FromIterator<([f64; K], V)> for PhTreeF64<V, K> {
         let mut t = PhTreeF64::new();
         t.extend(iter);
         t
-    }
-}
-
-#[cfg(feature = "serde")]
-mod serde_impls {
-    use super::*;
-    use serde::de::{MapAccess, Visitor};
-    use serde::ser::SerializeMap;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    impl<V: Serialize, const K: usize> Serialize for PhTree<V, K> {
-        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-            let mut map = s.serialize_map(Some(self.len()))?;
-            for (k, v) in self.iter() {
-                map.serialize_entry(&k.to_vec(), v)?;
-            }
-            map.end()
-        }
-    }
-
-    impl<'de, V: Deserialize<'de>, const K: usize> Deserialize<'de> for PhTree<V, K> {
-        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-            struct V2<V, const K: usize>(std::marker::PhantomData<V>);
-            impl<'de, V: Deserialize<'de>, const K: usize> Visitor<'de> for V2<V, K> {
-                type Value = PhTree<V, K>;
-                fn expecting(&self, f: &mut std::fmt::Formatter) -> std::fmt::Result {
-                    write!(f, "a map from {K}-element integer keys to values")
-                }
-                fn visit_map<A: MapAccess<'de>>(self, mut m: A) -> Result<Self::Value, A::Error> {
-                    let mut t = PhTree::new();
-                    while let Some((k, v)) = m.next_entry::<Vec<u64>, V>()? {
-                        let key: [u64; K] = k
-                            .try_into()
-                            .map_err(|_| serde::de::Error::custom("key dimension mismatch"))?;
-                        t.insert(key, v);
-                    }
-                    Ok(t)
-                }
-            }
-            d.deserialize_map(V2(std::marker::PhantomData))
-        }
     }
 }
 

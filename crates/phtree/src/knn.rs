@@ -29,7 +29,10 @@ pub trait Distance<const K: usize> {
 
     /// Euclidean-style distance between two points.
     fn point(&self, a: &[u64; K], b: &[u64; K]) -> f64 {
-        (0..K).map(|d| self.dim_dist2(d, a[d], b[d])).sum::<f64>().sqrt()
+        (0..K)
+            .map(|d| self.dim_dist2(d, a[d], b[d]))
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Minimum distance from `p` to the axis-aligned box `[lo, hi]`.
@@ -224,7 +227,10 @@ mod tests {
 
     fn brute_knn<const K: usize>(pts: &[[u64; K]], center: &[u64; K], n: usize) -> Vec<f64> {
         let m = IntEuclidean;
-        let mut d: Vec<f64> = pts.iter().map(|p| Distance::<K>::point(&m, center, p)).collect();
+        let mut d: Vec<f64> = pts
+            .iter()
+            .map(|p| Distance::<K>::point(&m, center, p))
+            .collect();
         d.sort_by(f64::total_cmp);
         d.truncate(n);
         d
@@ -249,7 +255,9 @@ mod tests {
         let mut pts = Vec::new();
         let mut x = 0x12345u64;
         for i in 0..400 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let p = [x % 1000, (x >> 20) % 1000, (x >> 40) % 1000];
             if t.insert(p, i).is_none() {
                 pts.push(p);

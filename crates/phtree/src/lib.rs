@@ -54,11 +54,12 @@
 mod config;
 pub mod dynamic;
 mod float;
-mod iter;
 mod impls;
+mod iter;
 pub mod key;
 mod knn;
 mod node;
+mod ops;
 mod query;
 pub mod raw;
 pub mod stats;
@@ -69,6 +70,7 @@ pub use dynamic::PhTreeDyn;
 pub use float::{PhTreeF64, QueryF64};
 pub use iter::Iter;
 pub use knn::{Distance, F64Euclidean, IntEuclidean, Neighbor};
+pub use ops::Op;
 pub use query::Query;
 pub use stats::{TreeStats, ALLOC_OVERHEAD};
 pub use tree::PhTree;

@@ -591,7 +591,11 @@ impl<V, const K: usize> Node<V, K> {
     pub fn insert_post(&mut self, h: u64, key: &[u64; K], value: V, mode: ReprMode) {
         let pb = self.post_bits();
         if self.hc {
-            debug_assert_eq!(self.hc_kind(h), KIND_EMPTY, "insert_post into occupied slot");
+            debug_assert_eq!(
+                self.hc_kind(h),
+                KIND_EMPTY,
+                "insert_post into occupied slot"
+            );
             let (pr, _) = self.hc_ranks(h);
             let off = self.hc_kind_off(h);
             self.bits.write_bits(off, KIND_POST, 2);
@@ -635,10 +639,8 @@ impl<V, const K: usize> Node<V, K> {
             };
             let n = self.n_children();
             let sr = j - self.lhc_post_rank(j);
-            self.bits.insert_gaps(&[
-                (self.lhc_addr_off(j), K),
-                (self.lhc_kind_off(n, j), 1),
-            ]);
+            self.bits
+                .insert_gaps(&[(self.lhc_addr_off(j), K), (self.lhc_kind_off(n, j), 1)]);
             let n = n + 1;
             self.bits.write_bits(self.lhc_addr_off(j), h, K as u32);
             self.bits.set(self.lhc_kind_off(n, j), true); // kind 1 = sub
@@ -680,7 +682,8 @@ impl<V, const K: usize> Node<V, K> {
     /// value. The postfix itself is unchanged.
     pub fn replace_post_value(&mut self, h: u64, value: V) -> V {
         std::mem::replace(
-            self.post_value_mut(h).expect("replace_post_value: not a post"),
+            self.post_value_mut(h)
+                .expect("replace_post_value: not a post"),
             value,
         )
     }
@@ -692,7 +695,11 @@ impl<V, const K: usize> Node<V, K> {
     pub fn swap_post_for_sub(&mut self, h: u64, sub: Node<V, K>, mode: ReprMode) -> V {
         let pb = self.post_bits();
         let v = if self.hc {
-            assert_eq!(self.hc_kind(h), KIND_POST, "swap_post_for_sub on non-post slot");
+            assert_eq!(
+                self.hc_kind(h),
+                KIND_POST,
+                "swap_post_for_sub on non-post slot"
+            );
             let (pr, sr) = self.hc_ranks(h);
             let off = self.hc_kind_off(h);
             self.bits.write_bits(off, KIND_SUB, 2);
@@ -724,7 +731,11 @@ impl<V, const K: usize> Node<V, K> {
     pub fn replace_sub_with_post(&mut self, h: u64, key: &[u64; K], value: V, mode: ReprMode) {
         let pb = self.post_bits();
         if self.hc {
-            assert_eq!(self.hc_kind(h), KIND_SUB, "replace_sub_with_post on non-sub slot");
+            assert_eq!(
+                self.hc_kind(h),
+                KIND_SUB,
+                "replace_sub_with_post on non-sub slot"
+            );
             let (pr, sr) = self.hc_ranks(h);
             let off = self.hc_kind_off(h);
             self.bits.write_bits(off, KIND_POST, 2);
@@ -733,7 +744,9 @@ impl<V, const K: usize> Node<V, K> {
             slice_remove(&mut self.subs, sr);
             slice_insert(&mut self.values, pr, value);
         } else {
-            let j = self.lhc_search(h).expect("replace_sub_with_post: empty slot");
+            let j = self
+                .lhc_search(h)
+                .expect("replace_sub_with_post: empty slot");
             assert!(self.lhc_is_sub(j), "replace_sub_with_post on post slot");
             let n = self.n_children();
             let pr = self.lhc_post_rank(j);
@@ -1281,7 +1294,10 @@ mod tests {
                 panic!("missing {h}");
             };
             assert_eq!(*value, h as u8);
-            assert!(n.postfix_matches(pf_off, &[0; 3]), "empty postfix matches all");
+            assert!(
+                n.postfix_matches(pf_off, &[0; 3]),
+                "empty postfix matches all"
+            );
         }
         assert_eq!(n.remove_post(5, mode), 5);
         assert!(matches!(n.probe(5), Probe::Empty));

@@ -1,0 +1,117 @@
+//! Mutation ops as values — the replay currency of write-ahead logging.
+//!
+//! The paper's outlook (Sect. 1/5) argues the PH-tree suits persistent
+//! storage because every update touches at most two nodes; a durable
+//! layer can therefore journal *logical* ops (a key and maybe a value)
+//! and replay them onto a snapshot instead of re-serialising structure.
+//! [`Op`] is that logical record, and [`PhTree::apply`] /
+//! [`PhTree::replay`] are the replay entry points used by `phstore`'s
+//! recovery path.
+
+use crate::tree::PhTree;
+
+/// One logical mutation of a `K`-dimensional tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op<V, const K: usize> {
+    /// Insert (or overwrite) `key` with `value`.
+    Insert {
+        /// The key being written.
+        key: [u64; K],
+        /// The value stored under `key`.
+        value: V,
+    },
+    /// Remove `key` if present.
+    Remove {
+        /// The key being removed.
+        key: [u64; K],
+    },
+}
+
+impl<V, const K: usize> Op<V, K> {
+    /// The key this op touches.
+    pub fn key(&self) -> &[u64; K] {
+        match self {
+            Op::Insert { key, .. } => key,
+            Op::Remove { key } => key,
+        }
+    }
+}
+
+impl<V, const K: usize> PhTree<V, K> {
+    /// Applies one logical op, returning the displaced value (the
+    /// previous value under the key for an insert, the removed value
+    /// for a remove).
+    pub fn apply(&mut self, op: Op<V, K>) -> Option<V> {
+        match op {
+            Op::Insert { key, value } => self.insert(key, value),
+            Op::Remove { key } => self.remove(&key),
+        }
+    }
+
+    /// Replays a sequence of ops in order (recovery entry point),
+    /// returning how many were applied.
+    pub fn replay<I: IntoIterator<Item = Op<V, K>>>(&mut self, ops: I) -> usize {
+        let mut n = 0;
+        for op in ops {
+            self.apply(op);
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_matches_direct_calls() {
+        let mut a: PhTree<u32, 2> = PhTree::new();
+        let mut b: PhTree<u32, 2> = PhTree::new();
+        let ops = vec![
+            Op::Insert {
+                key: [1, 2],
+                value: 10,
+            },
+            Op::Insert {
+                key: [3, 4],
+                value: 20,
+            },
+            Op::Insert {
+                key: [1, 2],
+                value: 30,
+            },
+            Op::Remove { key: [3, 4] },
+            Op::Remove { key: [9, 9] },
+        ];
+        for op in ops.clone() {
+            let got = a.apply(op.clone());
+            let want = match op {
+                Op::Insert { key, value } => b.insert(key, value),
+                Op::Remove { key } => b.remove(&key),
+            };
+            assert_eq!(got, want);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replay_rebuilds_equal_tree() {
+        let mut direct: PhTree<u64, 3> = PhTree::new();
+        let mut ops = Vec::new();
+        for i in 0..500u64 {
+            let key = [i % 31, i % 17, i % 7];
+            if i % 5 == 0 {
+                ops.push(Op::Remove { key });
+                direct.remove(&key);
+            } else {
+                ops.push(Op::Insert { key, value: i });
+                direct.insert(key, i);
+            }
+        }
+        let mut replayed: PhTree<u64, 3> = PhTree::new();
+        assert_eq!(replayed.replay(ops), 500);
+        replayed.check_invariants();
+        assert_eq!(replayed, direct);
+    }
+}

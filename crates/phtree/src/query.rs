@@ -168,12 +168,8 @@ impl<'t, V, const K: usize> Iterator for Query<'t, V, K> {
     fn next(&mut self) -> Option<Self::Item> {
         loop {
             let frame = self.stack.last()?;
-            let (node, prefix, post_len, inside) = (
-                frame.node,
-                frame.prefix,
-                frame.node.post_len,
-                frame.inside,
-            );
+            let (node, prefix, post_len, inside) =
+                (frame.node, frame.prefix, frame.node.post_len, frame.inside);
             match self.next_candidate() {
                 None => {
                     self.stack.pop();
@@ -244,12 +240,7 @@ impl<V, const K: usize> PhTree<V, K> {
     ///     assert!(k[0] >= 5 && k[0] <= 26 && k[1] >= 5 && k[1] <= 26);
     /// }
     /// ```
-    pub fn query_approx(
-        &self,
-        min: &[u64; K],
-        max: &[u64; K],
-        slack_bits: u32,
-    ) -> Query<'_, V, K> {
+    pub fn query_approx(&self, min: &[u64; K], max: &[u64; K], slack_bits: u32) -> Query<'_, V, K> {
         Query::new(self, *min, *max, slack_bits)
     }
 }
@@ -379,7 +370,10 @@ mod approx_tests {
             }
         }
         let exact: Vec<_> = t.query(&[10, 20], &[30, 40]).map(|(k, _)| k).collect();
-        let approx: Vec<_> = t.query_approx(&[10, 20], &[30, 40], 0).map(|(k, _)| k).collect();
+        let approx: Vec<_> = t
+            .query_approx(&[10, 20], &[30, 40], 0)
+            .map(|(k, _)| k)
+            .collect();
         assert_eq!(exact, approx);
     }
 

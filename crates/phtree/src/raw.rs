@@ -142,10 +142,7 @@ mod tests {
     /// a file).
     fn roundtrip<V: Clone, const K: usize>(t: &PhTree<V, K>) -> Option<PhTree<V, K>> {
         fn copy<V: Clone, const K: usize>(n: &NodeRef<'_, V, K>) -> Option<RawNode<V, K>> {
-            let subs = n
-                .subs()
-                .map(|c| copy(&c))
-                .collect::<Option<Vec<_>>>()?;
+            let subs = n.subs().map(|c| copy(&c)).collect::<Option<Vec<_>>>()?;
             build_node(
                 n.post_len(),
                 n.infix_len(),
@@ -205,16 +202,8 @@ mod tests {
     #[test]
     fn wrong_root_shape_rejected() {
         // A root that does not split at the top bit is refused.
-        let inner = build_node::<u32, 2>(
-            10,
-            0,
-            false,
-            Box::default(),
-            0,
-            Vec::new(),
-            Vec::new(),
-        )
-        .unwrap();
+        let inner =
+            build_node::<u32, 2>(10, 0, false, Box::default(), 0, Vec::new(), Vec::new()).unwrap();
         assert!(PhTree::from_raw_parts(Some(inner), 0).is_none());
     }
 

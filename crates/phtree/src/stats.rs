@@ -166,14 +166,19 @@ mod tests {
         let mut clustered: PhTree<(), 2> = PhTree::new();
         for i in 0..4096u64 {
             clustered.insert(
-                [0xFFFF_0000_0000_0000 | (i & 0x3F), 0xFFFF_0000_0000_0000 | (i >> 6)],
+                [
+                    0xFFFF_0000_0000_0000 | (i & 0x3F),
+                    0xFFFF_0000_0000_0000 | (i >> 6),
+                ],
                 (),
             );
         }
         let mut scattered: PhTree<(), 2> = PhTree::new();
         let mut x = 9u64;
         while scattered.len() < 4096 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let y = x.wrapping_mul(0x9E3779B97F4A7C15);
             scattered.insert([x, y], ());
         }

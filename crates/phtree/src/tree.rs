@@ -142,8 +142,8 @@ impl<V, const K: usize> PhTree<V, K> {
                 // postfix fully determines the old key.
                 let mut old_key = *key;
                 node.read_postfix_into(pf_off, &mut old_key);
-                let dmax = num::max_diverging_bit(key, &old_key)
-                    .expect("distinct keys must diverge");
+                let dmax =
+                    num::max_diverging_bit(key, &old_key).expect("distinct keys must diverge");
                 debug_assert!((dmax as u8) < node.post_len);
                 let sub = Node::new(dmax as u8, node.post_len - 1 - dmax as u8, key);
                 let old_val = node.swap_post_for_sub(h, sub, mode);
@@ -163,8 +163,8 @@ impl<V, const K: usize> PhTree<V, K> {
                 // sub-node and the new entry.
                 let mut sub_prefix = *key;
                 sub.read_infix_into(&mut sub_prefix);
-                let dmax = num::max_diverging_bit(key, &sub_prefix)
-                    .expect("infix mismatch must diverge");
+                let dmax =
+                    num::max_diverging_bit(key, &sub_prefix).expect("infix mismatch must diverge");
                 debug_assert!(dmax > sub.post_len as u32);
                 debug_assert!((dmax as u8) < node_post_len);
                 // Shorten the old sub-node's infix to the bits below the
@@ -554,8 +554,7 @@ mod tests {
             if pat % 37 != 0 {
                 continue; // sparse subset
             }
-            let key: [u64; 16] =
-                std::array::from_fn(|d| ((pat >> d) & 1) as u64) ;
+            let key: [u64; 16] = std::array::from_fn(|d| ((pat >> d) & 1) as u64);
             t.insert(key, pat);
             n += 1;
         }

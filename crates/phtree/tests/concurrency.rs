@@ -71,7 +71,9 @@ fn datasets_like(n: usize) -> Vec<[f64; 3]> {
     (0..n)
         .map(|_| {
             let mut next = || {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 11) as f64 / (1u64 << 53) as f64
             };
             [next(), next(), next()]

@@ -52,9 +52,7 @@ fn main() {
         total += index.query(lo, hi).count();
     }
     let indexed = t0.elapsed().as_secs_f64() * 1e3;
-    println!(
-        "100 viewport queries via PH-tree: {total} points in {indexed:.1} ms"
-    );
+    println!("100 viewport queries via PH-tree: {total} points in {indexed:.1} ms");
 
     // The same via a full scan (what no index costs).
     let t0 = Instant::now();

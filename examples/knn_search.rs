@@ -76,7 +76,10 @@ fn main() {
 
     assert!((check - check1).abs() < 1e-6 * check.abs());
     assert!((check - check2).abs() < 1e-6 * check.abs());
-    println!("5-NN × {} users (all results verified identical):", users.len());
+    println!(
+        "5-NN × {} users (all results verified identical):",
+        users.len()
+    );
     println!("  PH-tree best-first: {ph_ms:.1} ms");
     println!("  KD1 recursive:      {kd1_ms:.1} ms");
     println!("  KD2 arena:          {kd2_ms:.1} ms");

@@ -54,10 +54,7 @@ fn main() {
     }
     // All readings of sensor 3 in a time slice, any bucket:
     let hits = readings
-        .query(
-            &[1_700_000_100, 3, 0],
-            &[1_700_000_500, 3, u64::MAX],
-        )
+        .query(&[1_700_000_100, 3, 0], &[1_700_000_500, 3, u64::MAX])
         .count();
     println!("sensor-3 readings in window: {hits}");
 

@@ -11,7 +11,7 @@
 //!
 //! Run with: `cargo run --release -p ph-bench --example relational`
 
-use phtree::key::{f64_to_key, key_to_f64, i64_to_key};
+use phtree::key::{f64_to_key, i64_to_key, key_to_f64};
 use phtree::PhTreeDyn;
 use std::time::Instant;
 
@@ -35,7 +35,7 @@ impl Col {
 
 fn main() {
     // orders(order_id, customer, day, quantity, balance_delta, price)
-    let schema = vec![
+    let schema = [
         Col::U64("order_id"),
         Col::U64("customer"),
         Col::U64("day"),
@@ -54,7 +54,9 @@ fn main() {
     let mut table: PhTreeDyn<()> = PhTreeDyn::new(k);
     let mut x = 42u64;
     let mut rng = move || {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         x
     };
     let t0 = Instant::now();
@@ -115,7 +117,10 @@ fn main() {
     });
     let scan_ms = t0.elapsed().as_secs_f64() * 1e3;
     assert_eq!(hits, scan_hits);
-    println!("full scan agrees ({scan_hits} rows) and took {scan_ms:.2} ms — {:.0}× slower", scan_ms / q_ms.max(1e-9));
+    println!(
+        "full scan agrees ({scan_hits} rows) and took {scan_ms:.2} ms — {:.0}× slower",
+        scan_ms / q_ms.max(1e-9)
+    );
 
     // Point lookup by full row; deletes work too (an OLTP-ish update).
     let probe = {

@@ -1,0 +1,284 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored
+//! crate implements the benchmark-harness API the workspace uses
+//! ([`criterion_group!`], [`criterion_main!`], [`Criterion`],
+//! benchmark groups, [`BenchmarkId`], [`Throughput`], `Bencher::iter`)
+//! with a simple wall-clock measurement loop: warm up once, then run
+//! timed batches until a per-benchmark time budget is spent, and print
+//! the median batch's ns/iteration. There is no statistical analysis,
+//! HTML report or baseline comparison — the numbers are honest but
+//! plain.
+//!
+//! Each benchmark is also capped to a small time budget so that the
+//! binaries stay quick when executed outside `cargo bench` (e.g. by
+//! `cargo test` building/running bench targets).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group: a name plus an optional
+/// parameter, printed as `name/param`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id for benchmark `name` at parameter `param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// An id carrying only a parameter (upstream: `from_parameter`).
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Units processed per iteration, for derived throughput output.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Elements per iteration.
+    Elements(u64),
+}
+
+/// Measurement driver handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over this batch's iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Runs one benchmark: warmup, then timed batches within `budget`;
+/// returns (median ns/iter, total iters).
+fn measure(budget: Duration, f: &mut dyn FnMut(&mut Bencher)) -> (f64, u64) {
+    // Warmup batch of one iteration; also sizes the batches.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let batch_iters = (budget.as_nanos() / 10 / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut samples = Vec::new();
+    let mut total_iters = 0u64;
+    let start = Instant::now();
+    while start.elapsed() < budget && samples.len() < 64 {
+        let mut b = Bencher {
+            iters: batch_iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_nanos() as f64 / batch_iters as f64);
+        total_iters += batch_iters;
+    }
+    samples.sort_by(f64::total_cmp);
+    (samples[samples.len() / 2], total_iters)
+}
+
+fn report(
+    group: Option<&str>,
+    id: &BenchmarkId,
+    throughput: Option<Throughput>,
+    budget: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let (ns, iters) = measure(budget, f);
+    let name = match group {
+        Some(g) => format!("{g}/{}", id.id),
+        None => id.id.clone(),
+    };
+    let extra = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            format!(", {:.1} MiB/s", n as f64 / ns * 1e9 / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(n)) => format!(", {:.3} Melem/s", n as f64 / ns * 1e9 / 1e6),
+        None => String::new(),
+    };
+    println!("bench {name:<48} {ns:>14.1} ns/iter ({iters} iters{extra})");
+}
+
+/// Top-level benchmark driver (plain stand-in: no CLI, no reports).
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep bench binaries quick; this is a smoke-measure harness,
+        // not a statistics engine.
+        let ms = std::env::var("CRITERION_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        Criterion {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            budget: self.budget,
+            _parent: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        report(None, &id.into(), None, self.budget, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    budget: Duration,
+    _parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness sizes batches by
+    /// time budget, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-benchmark time budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget = d.min(Duration::from_secs(2));
+        self
+    }
+
+    /// Reports derived throughput alongside ns/iter.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        report(
+            Some(&self.name),
+            &id.into(),
+            self.throughput,
+            self.budget,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs one parameterised benchmark in this group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        report(
+            Some(&self.name),
+            &id.into(),
+            self.throughput,
+            self.budget,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Prevents the optimiser from discarding a value (re-export of the
+/// std implementation).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(20),
+        };
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(100));
+        let mut ran = 0u32;
+        g.bench_function(BenchmarkId::new("spin", 100), |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            ran += 1;
+        });
+        g.finish();
+        assert!(ran > 0);
+        c.bench_function("plain", |b| b.iter(|| 1 + 1));
+    }
+}

@@ -1,0 +1,354 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored
+//! crate reimplements the slice of proptest this workspace uses:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`, doc
+//!   comments and `#[test]` attributes, and `name in strategy` args),
+//! * [`Strategy`] with `prop_map`/`boxed`, implemented for integer and
+//!   float ranges, arrays, tuples, `any::<T>()` and `&str` (treated as
+//!   an arbitrary-string generator),
+//! * [`collection::vec`] / [`collection::btree_set`] /
+//!   [`collection::btree_map`],
+//! * [`prop_oneof!`] (weighted and unweighted) and the
+//!   `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! Semantics: each test runs `ProptestConfig::cases` generated cases
+//! from a deterministic per-test seed. There is **no shrinking** — a
+//! failing case reports its full `Debug` inputs instead. Edge values
+//! (zero, max, ±0.0, infinities, …) are mixed into `any` generation to
+//! keep boundary coverage comparable to upstream.
+
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Strategy, Union};
+
+/// RNG driving test-case generation.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Per-test configuration (only the field this workspace touches).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases a test must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Outcome of one generated case, produced by the `prop_assert*` /
+/// `prop_assume!` macros.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property does not hold.
+    Fail(String),
+    /// The inputs do not satisfy a `prop_assume!` precondition; the
+    /// case is discarded without counting towards the total.
+    Reject(String),
+}
+
+/// Test-loop driver used by the expansion of [`proptest!`]. Not part of
+/// the public API.
+#[doc(hidden)]
+pub mod runner {
+    use super::{ProptestConfig, TestCaseError, TestRng};
+    use rand::SeedableRng;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    pub fn run<C>(
+        config: &ProptestConfig,
+        name: &str,
+        mut mk_case: impl FnMut(&mut TestRng) -> (String, C),
+    ) where
+        C: FnOnce() -> Result<(), TestCaseError>,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let mut seed = fnv1a(name.as_bytes());
+        while passed < config.cases {
+            seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut rng = TestRng::seed_from_u64(seed);
+            let (inputs, case) = mk_case(&mut rng);
+            match catch_unwind(AssertUnwindSafe(case)) {
+                Ok(Ok(())) => passed += 1,
+                Ok(Err(TestCaseError::Reject(why))) => {
+                    rejected += 1;
+                    if rejected > config.cases.saturating_mul(32).max(4096) {
+                        panic!("{name}: too many rejected cases (last: {why})");
+                    }
+                }
+                Ok(Err(TestCaseError::Fail(why))) => {
+                    panic!(
+                        "{name}: property failed on case {passed}: {why}\n\
+                         minimal failing input not computed (no shrinking); inputs were:\n{inputs}"
+                    );
+                }
+                Err(payload) => {
+                    eprintln!("{name}: case {passed} panicked; inputs were:\n{inputs}");
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+/// Collection strategies (`vec`, `btree_set`, `btree_map`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors of values from `elem` with lengths in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with a size drawn from `size`.
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// Generates sets of values from `elem` with sizes in `size` (the
+    /// target size is capped when the value universe is too small).
+    pub fn btree_set<S: Strategy>(elem: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        assert!(size.start < size.end, "empty size range");
+        BTreeSetStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.gen_range(self.size.clone());
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < n && attempts < n * 50 + 100 {
+                out.insert(self.elem.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// Strategy for `BTreeMap<KS::Value, VS::Value>`.
+    pub struct BTreeMapStrategy<KS, VS> {
+        key: KS,
+        value: VS,
+        size: Range<usize>,
+    }
+
+    /// Generates maps with keys from `key`, values from `value` and
+    /// sizes in `size` (capped when the key universe is too small).
+    pub fn btree_map<KS: Strategy, VS: Strategy>(
+        key: KS,
+        value: VS,
+        size: Range<usize>,
+    ) -> BTreeMapStrategy<KS, VS>
+    where
+        KS::Value: Ord,
+    {
+        assert!(size.start < size.end, "empty size range");
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<KS: Strategy, VS: Strategy> Strategy for BTreeMapStrategy<KS, VS>
+    where
+        KS::Value: Ord,
+    {
+        type Value = BTreeMap<KS::Value, VS::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.gen_range(self.size.clone());
+            let mut out = BTreeMap::new();
+            let mut attempts = 0usize;
+            while out.len() < n && attempts < n * 50 + 100 {
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Everything a test module needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig, TestCaseError,
+    };
+}
+
+/// Defines property tests: `proptest! { #[test] fn f(x in strat) { … } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::runner::run(
+                &($cfg),
+                concat!(module_path!(), "::", stringify!($name)),
+                |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                    let __inputs = ::std::format!(
+                        concat!($("  ", stringify!($arg), " = {:?}\n"),+),
+                        $(&$arg),+
+                    );
+                    (__inputs, move || -> ::core::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })
+                },
+            );
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+/// Chooses among strategies, optionally weighted: `prop_oneof![a, b]`
+/// or `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not the
+/// whole process) so the runner can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), __l, __r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                        ::std::format!(
+                            "{}\n  left: {:?}\n right: {:?}",
+                            ::std::format!($($fmt)+), __l, __r
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l != *__r,
+                    "assertion failed: {} != {}\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l
+                );
+            }
+        }
+    };
+}
+
+/// Discards the current case when its inputs violate a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).into(),
+            ));
+        }
+    };
+}

@@ -1,0 +1,334 @@
+//! The [`Strategy`] trait and its built-in implementations.
+
+use crate::TestRng;
+use rand::Rng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of test-case values.
+///
+/// Unlike upstream proptest there is no value tree / shrinking — a
+/// strategy simply draws one value per case.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the strategy type (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Weighted choice among boxed strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; weights must not all be zero.
+    pub fn new(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = options.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        Union { options, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.gen_range(0..self.total);
+        for (w, s) in &self.options {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights changed mid-generation")
+    }
+}
+
+/// Types with a canonical [`any`] strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value, mixing in boundary cases.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy for an [`Arbitrary`] type, from [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for `T`: full-range values with boundary
+/// cases (zero, max, ±∞, …) mixed in.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // 1-in-8 boundary value keeps edge coverage without
+                // shrinking support.
+                if rng.gen_range(0u32..8) == 0 {
+                    *[0 as $t, 1 as $t, <$t>::MAX, <$t>::MAX - 1, <$t>::MAX / 2]
+                        .get(rng.gen_range(0usize..5))
+                        .unwrap()
+                } else {
+                    rng.gen::<$t>()
+                }
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                if rng.gen_range(0u32..8) == 0 {
+                    *[0 as $t, 1 as $t, -1 as $t, <$t>::MAX, <$t>::MIN]
+                        .get(rng.gen_range(0usize..5))
+                        .unwrap()
+                } else {
+                    rng.gen::<$t>()
+                }
+            }
+        }
+    )*};
+}
+
+signed_arbitrary!(i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        const SPECIAL: [f64; 10] = [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+            f64::EPSILON,
+            1e300,
+            -1e-300,
+        ];
+        if rng.gen_range(0u32..8) == 0 {
+            SPECIAL[rng.gen_range(0usize..SPECIAL.len())]
+        } else {
+            // Random bit patterns cover subnormals and extreme
+            // exponents; NaN is excluded like upstream's default.
+            loop {
+                let x = f64::from_bits(rng.gen::<u64>());
+                if !x.is_nan() {
+                    return x;
+                }
+            }
+        }
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                // Occasionally pin to an endpoint for boundary coverage.
+                match rng.gen_range(0u32..32) {
+                    0 => self.start,
+                    1 => self.end - 1 as $t,
+                    _ => rng.gen_range(self.clone()),
+                }
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                match rng.gen_range(0u32..32) {
+                    0 => *self.start(),
+                    1 => *self.end(),
+                    _ => rng.gen_range(self.clone()),
+                }
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<S: Strategy, const N: usize> Strategy for [S; N] {
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|i| self[i].generate(rng))
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+}
+
+/// String literals act as string strategies. Upstream interprets them
+/// as regexes; this stand-in generates arbitrary short strings (the
+/// workspace only ever uses the pattern `".*"`).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let n = rng.gen_range(0usize..12);
+        (0..n)
+            .map(|_| match rng.gen_range(0u32..8) {
+                // Mostly printable ASCII, some multi-byte code points.
+                0 => char::from_u32(rng.gen_range(0x00A1u32..0x0250)).unwrap_or('¿'),
+                1 => char::from_u32(rng.gen_range(0x4E00u32..0x4E80)).unwrap_or('中'),
+                _ => char::from(rng.gen_range(0x20u8..0x7F)),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn ranges_arrays_tuples_compose() {
+        let mut r = rng();
+        let s = ([0u64..16, 0u64..16, 0u64..16], 5u32..=9);
+        for _ in 0..500 {
+            let (k, v) = s.generate(&mut r);
+            assert!(k.iter().all(|&x| x < 16));
+            assert!((5..=9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut r = rng();
+        let s = (0u32..64).prop_map(|b| 1u64 << b);
+        for _ in 0..200 {
+            assert!(s.generate(&mut r).is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn union_respects_zero_weight() {
+        let mut r = rng();
+        let u = Union::new(vec![(0, (0u32..1).boxed()), (3, (5u32..6).boxed())]);
+        for _ in 0..100 {
+            assert_eq!(u.generate(&mut r), 5);
+        }
+    }
+
+    #[test]
+    fn any_f64_never_nan() {
+        let mut r = rng();
+        for _ in 0..5000 {
+            assert!(!any::<f64>().generate(&mut r).is_nan());
+        }
+    }
+
+    #[test]
+    fn collections_hit_requested_sizes() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = crate::collection::vec(any::<u64>(), 1..30).generate(&mut r);
+            assert!((1..30).contains(&v.len()));
+            let s = crate::collection::btree_set(0u64..1000, 2..20).generate(&mut r);
+            assert!(s.len() >= 2);
+            let m = crate::collection::btree_map(0u64..1000, any::<u32>(), 2..20).generate(&mut r);
+            assert!(m.len() >= 2);
+        }
+    }
+}
