@@ -1,0 +1,229 @@
+//! Parallel scaling of the sharded serving layer (`phshard`): window
+//! query throughput vs thread count on the uniform 3-D CUBE workload,
+//! plus verification that shard pruning never visits a shard whose
+//! prefix box is outside the query box.
+//!
+//! Two scaling axes:
+//! * **clients** — T independent client threads each issuing window
+//!   queries against a shared [`ShardedTree`] (fan-out pool disabled);
+//!   measures reader-reader scalability of the reader-writer cells.
+//! * **fanout** — one client, pool of T workers; each query's matching
+//!   shards are scanned in parallel; measures intra-query scaling on
+//!   large windows.
+//!
+//! Writes `results/par_scaling.json` (throughput vs threads, pruning
+//! stats, host core count — interpret speedups against that; a 1-core
+//! container cannot show parallel speedup) and a CSV table via the
+//! usual results/ pipeline.
+//!
+//! Usage: `cargo run --release -p ph-bench --bin par_scaling --
+//!         [--quick true] [--n 200000] [--queries 2000] [--shards 8]`
+
+use measure::{Cli, Table};
+use phshard::ShardedTree;
+use phtree::key::point_to_key;
+use std::sync::Arc;
+use std::time::Instant;
+
+type Key = [u64; 3];
+
+struct Workload {
+    items: Vec<(Key, u32)>,
+    /// Narrow windows (~1% volume) for the client-scaling axis.
+    narrow: Vec<(Key, Key)>,
+    /// Wide windows (~15% volume) for the fan-out axis.
+    wide: Vec<(Key, Key)>,
+}
+
+fn build_workload(n: usize, n_queries: usize, seed: u64) -> Workload {
+    let pts = datasets::cube::<3>(n, seed);
+    let items = pts
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (point_to_key(p), i as u32))
+        .collect();
+    let to_keys = |qs: Vec<([f64; 3], [f64; 3])>| {
+        qs.into_iter()
+            .map(|(lo, hi)| (point_to_key(&lo), point_to_key(&hi)))
+            .collect::<Vec<_>>()
+    };
+    let narrow = to_keys(datasets::range_queries::<3>(
+        n_queries,
+        &[0.0; 3],
+        &[1.0; 3],
+        0.01,
+        seed ^ 0x51_c0de,
+    ));
+    let wide = to_keys(datasets::range_queries::<3>(
+        n_queries.div_ceil(4),
+        &[0.0; 3],
+        &[1.0; 3],
+        0.15,
+        seed ^ 0x71de,
+    ));
+    Workload {
+        items,
+        narrow,
+        wide,
+    }
+}
+
+/// Queries/second with `clients` threads sharing the work evenly.
+fn run_clients(tree: &Arc<ShardedTree<u32, 3>>, queries: &[(Key, Key)], clients: usize) -> f64 {
+    let start = Instant::now();
+    let total: usize = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let tree = Arc::clone(tree);
+                let mine: Vec<(Key, Key)> = queries
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % clients == c)
+                    .map(|(_, q)| *q)
+                    .collect();
+                s.spawn(move || {
+                    let mut hits = 0usize;
+                    for (lo, hi) in &mine {
+                        hits += tree.query(lo, hi).len();
+                    }
+                    hits
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(total);
+    queries.len() as f64 / secs
+}
+
+/// Queries/second from one client on a tree with its own fan-out pool.
+fn run_fanout(tree: &ShardedTree<u32, 3>, queries: &[(Key, Key)]) -> f64 {
+    let start = Instant::now();
+    let mut hits = 0usize;
+    for (lo, hi) in queries {
+        hits += tree.query(lo, hi).len();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(hits);
+    queries.len() as f64 / secs
+}
+
+/// Checks the acceptance invariant on every query: the router's shard
+/// selection equals exact box intersection — pruned shards are always
+/// disjoint from the query (no false pruning positives, no misses).
+fn verify_pruning(
+    tree: &ShardedTree<u32, 3>,
+    queries: &[(Key, Key)],
+    shards: usize,
+) -> (f64, usize) {
+    let mut matched_total = 0usize;
+    let mut disagreements = 0usize;
+    for (lo, hi) in queries {
+        let matching = tree.router().matching_shards(lo, hi);
+        matched_total += matching.len();
+        for s in 0..shards {
+            let (bmin, bmax) = tree.router().shard_box(s);
+            let intersects = (0..3).all(|d| bmin[d] <= hi[d] && bmax[d] >= lo[d]);
+            if matching.contains(&s) != intersects {
+                disagreements += 1;
+            }
+        }
+    }
+    (matched_total as f64 / queries.len() as f64, disagreements)
+}
+
+fn json_series(rows: &[(usize, f64)]) -> String {
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|(t, qps)| format!("    {{\"threads\": {t}, \"queries_per_sec\": {qps:.1}}}"))
+        .collect();
+    format!("[\n{}\n  ]", entries.join(",\n"))
+}
+
+fn main() {
+    let cli = Cli::from_env();
+    let quick = cli.get_str("quick", "false") == "true";
+    let n = cli.get_u64("n", if quick { 20_000 } else { 200_000 }) as usize;
+    let n_queries = cli.get_u64("queries", if quick { 120 } else { 1_500 }) as usize;
+    let shards = cli.get_u64("shards", 8) as usize;
+    let seed = cli.get_u64("seed", 42);
+    let thread_counts = [1usize, 2, 4, 8];
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+
+    eprintln!(
+        "par_scaling: n={n} queries={} shards={shards} cores={cores}{}",
+        n_queries,
+        if quick { " (quick)" } else { "" }
+    );
+    let w = build_workload(n, n_queries, seed);
+
+    // Shared tree for client scaling; pool disabled so the only
+    // parallelism is the clients'.
+    let shared: Arc<ShardedTree<u32, 3>> = Arc::new(ShardedTree::with_threads(shards, 0));
+    let (_, load_us) = measure::time_us(|| shared.bulk_load(w.items.clone()));
+
+    let client_rows: Vec<(usize, f64)> = thread_counts
+        .iter()
+        .map(|&t| (t, run_clients(&shared, &w.narrow, t)))
+        .collect();
+
+    let fanout_rows: Vec<(usize, f64)> = thread_counts
+        .iter()
+        .map(|&t| {
+            let tree: ShardedTree<u32, 3> = ShardedTree::with_threads(shards, t);
+            tree.bulk_load(w.items.clone());
+            (t, run_fanout(&tree, &w.wide))
+        })
+        .collect();
+
+    let (avg_matched, disagreements) = verify_pruning(&shared, &w.narrow, shards);
+    assert_eq!(
+        disagreements, 0,
+        "router pruning disagrees with shard-box geometry"
+    );
+
+    let speedup = |rows: &[(usize, f64)], t: usize| {
+        rows.iter().find(|r| r.0 == t).map(|r| r.1).unwrap_or(0.0)
+            / rows.first().map(|r| r.1).unwrap_or(1.0)
+    };
+
+    let mut table = Table::new("par scaling window query throughput", "threads");
+    for (i, &t) in thread_counts.iter().enumerate() {
+        table.add_row(
+            t as f64,
+            &[
+                ("clients-qps", Some(client_rows[i].1)),
+                ("fanout-qps", Some(fanout_rows[i].1)),
+            ],
+        );
+    }
+    print!("{}", table.render_text());
+    println!(
+        "clients speedup @4t: {:.2}x   fanout speedup @4t: {:.2}x   (host cores: {cores})",
+        speedup(&client_rows, 4),
+        speedup(&fanout_rows, 4)
+    );
+    println!(
+        "pruning: avg {avg_matched:.2}/{shards} shards matched per narrow query, 0 geometry disagreements"
+    );
+    ph_bench::write_csv("par scaling window query throughput", &table);
+
+    let json = format!(
+        "{{\n  \"workload\": {{\"n\": {n}, \"queries\": {nq}, \"shards\": {shards}, \"dims\": 3, \"dataset\": \"uniform cube\", \"seed\": {seed}, \"bulk_load_us\": {load_us:.0}}},\n  \"host_cores\": {cores},\n  \"client_scaling\": {client},\n  \"fanout_scaling\": {fanout},\n  \"speedup_at_4_threads\": {{\"clients\": {s4c:.3}, \"fanout\": {s4f:.3}}},\n  \"pruning\": {{\"avg_shards_matched\": {avg_matched:.3}, \"geometry_disagreements\": {disagreements}}}\n}}\n",
+        nq = n_queries,
+        client = json_series(&client_rows),
+        fanout = json_series(&fanout_rows),
+        s4c = speedup(&client_rows, 4),
+        s4f = speedup(&fanout_rows, 4),
+    );
+    if let Err(e) = std::fs::create_dir_all("results") {
+        eprintln!("note: cannot create results/: {e}");
+    } else if let Err(e) = std::fs::write("results/par_scaling.json", &json) {
+        eprintln!("note: cannot write results/par_scaling.json: {e}");
+    } else {
+        eprintln!("wrote results/par_scaling.json");
+    }
+}

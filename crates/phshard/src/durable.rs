@@ -1,0 +1,201 @@
+//! Durable sharded mode: one `phstore::Durable` WAL per shard.
+//!
+//! Each shard journals to its own subdirectory
+//! (`phstore::durable::shard_dir`: `base/shard-NNN/`), so WAL appends
+//! on different shards never serialise on one file, and recovery —
+//! snapshot load + WAL replay per shard — runs on all cores. A small
+//! manifest in the base directory pins the shard count: reopening with
+//! a different count would silently misroute keys, so it is refused.
+
+use crate::route::Router;
+use phstore::durable::shard_dir;
+use phstore::vfs::{StdVfs, Vfs};
+use phstore::{Corruption, Durable, DurableConfig, RecoveryStats, StoreError, ValueCodec};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock};
+
+/// Manifest file pinning the shard count of a sharded store directory.
+pub const MANIFEST_FILE: &str = "phshard.meta";
+const MANIFEST_MAGIC: &[u8; 8] = b"PHSHARD1";
+
+/// A crash-safe [`crate::ShardedTree`]-alike: per-shard
+/// [`phstore::Durable`] write-ahead logs, parallel recovery.
+///
+/// Consistency matches the in-memory layer: single-key operations are
+/// linearizable within their shard *and* durable once acknowledged
+/// (journal-then-apply under the shard's write lock); cross-shard reads
+/// are read-committed. Durability is per shard too — a crash can lose
+/// no acknowledged op, but ops acknowledged on different shards have
+/// no global order in the logs.
+pub struct DurableSharded<V: ValueCodec + Send + Sync, const K: usize> {
+    shards: Box<[RwLock<Durable<V, K>>]>,
+    router: Router<K>,
+    dir: PathBuf,
+    recovery: Vec<RecoveryStats>,
+}
+
+impl<V: ValueCodec + Send + Sync, const K: usize> DurableSharded<V, K> {
+    /// Opens (or initialises) a sharded durable store under `dir` on
+    /// the real filesystem with default tuning.
+    pub fn open(dir: &Path, shards: usize) -> Result<Self, StoreError> {
+        Self::open_with(Arc::new(StdVfs), dir, shards, DurableConfig::default())
+    }
+
+    /// Opens (or initialises) on any [`Vfs`]. Recovers all shards in
+    /// parallel (one thread per shard). Refuses to open a directory
+    /// whose manifest records a different shard count.
+    pub fn open_with(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        shards: usize,
+        config: DurableConfig,
+    ) -> Result<Self, StoreError> {
+        let router: Router<K> = Router::new(shards);
+        vfs.create_dir_all(dir)?;
+        check_or_write_manifest(vfs.as_ref(), dir, shards)?;
+
+        let mut opened: Vec<Option<Result<Durable<V, K>, StoreError>>> =
+            (0..shards).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(shards);
+            for s in 0..shards {
+                let vfs = Arc::clone(&vfs);
+                let config = config.clone();
+                let d = shard_dir(dir, s);
+                handles.push(scope.spawn(move || Durable::open_with(vfs, &d, config)));
+            }
+            for (slot, h) in opened.iter_mut().zip(handles) {
+                *slot = Some(h.join().expect("shard recovery thread panicked"));
+            }
+        });
+        let mut cells = Vec::with_capacity(shards);
+        let mut recovery = Vec::with_capacity(shards);
+        for r in opened.into_iter().flatten() {
+            let d = r?;
+            recovery.push(d.recovery_stats());
+            cells.push(RwLock::new(d));
+        }
+        Ok(DurableSharded {
+            shards: cells.into_boxed_slice(),
+            router,
+            dir: dir.to_path_buf(),
+            recovery,
+        })
+    }
+
+    /// Base directory of the store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// What recovery found and did, per shard.
+    pub fn recovery_stats(&self) -> &[RecoveryStats] {
+        &self.recovery
+    }
+
+    /// Inserts `key` → `value`: journaled on the owning shard's WAL
+    /// before being applied, under that shard's write lock.
+    pub fn insert(&self, key: [u64; K], value: V) -> Result<Option<V>, StoreError> {
+        let s = self.router.route(&key);
+        self.shards[s].write().unwrap().insert(key, value)
+    }
+
+    /// Removes `key`, journaled like [`DurableSharded::insert`].
+    pub fn remove(&self, key: &[u64; K]) -> Result<Option<V>, StoreError> {
+        let s = self.router.route(key);
+        self.shards[s].write().unwrap().remove(key)
+    }
+
+    /// Applies `f` to the value at `key` under the shard's read lock.
+    pub fn get_with<R>(&self, key: &[u64; K], f: impl FnOnce(&V) -> R) -> Option<R> {
+        let s = self.router.route(key);
+        self.shards[s].read().unwrap().get(key).map(f)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &[u64; K]) -> bool {
+        self.get_with(key, |_| ()).is_some()
+    }
+
+    /// Total entries across shards (read-committed).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Collects all entries in the window `[min, max]`, in global
+    /// Z-order. Shards outside the window are pruned by the router's
+    /// mask walk and never locked.
+    pub fn query(&self, min: &[u64; K], max: &[u64; K]) -> Vec<([u64; K], V)>
+    where
+        V: Clone,
+    {
+        let mut out = Vec::new();
+        for s in self.router.matching_shards(min, max) {
+            let guard = self.shards[s].read().unwrap();
+            out.extend(guard.tree().query(min, max).map(|(k, v)| (k, v.clone())));
+        }
+        out
+    }
+
+    /// Checkpoints every shard (snapshot + WAL rotation) in parallel.
+    /// Returns per-shard generation numbers.
+    pub fn checkpoint_all(&self) -> Result<Vec<u64>, StoreError> {
+        let mut gens: Vec<Option<Result<u64, StoreError>>> =
+            (0..self.shards.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.shards.len());
+            for cell in self.shards.iter() {
+                handles.push(scope.spawn(move || cell.write().unwrap().checkpoint()));
+            }
+            for (slot, h) in gens.iter_mut().zip(handles) {
+                *slot = Some(h.join().expect("checkpoint thread panicked"));
+            }
+        });
+        gens.into_iter().flatten().collect()
+    }
+
+    /// Durability barrier on every shard's WAL.
+    pub fn sync_all(&self) -> Result<(), StoreError> {
+        for cell in self.shards.iter() {
+            cell.write().unwrap().sync()?;
+        }
+        Ok(())
+    }
+}
+
+/// Validates (or, on first open, writes) the shard-count manifest.
+fn check_or_write_manifest(vfs: &dyn Vfs, dir: &Path, shards: usize) -> Result<(), StoreError> {
+    let path = dir.join(MANIFEST_FILE);
+    if vfs.exists(&path) {
+        let mut f = vfs.open(&path)?;
+        let mut buf = [0u8; 12];
+        f.read_exact_at(&mut buf, 0)
+            .map_err(|_| StoreError::from(Corruption::new("sharded manifest truncated")))?;
+        if &buf[..8] != MANIFEST_MAGIC {
+            return Err(Corruption::new("sharded manifest magic mismatch").into());
+        }
+        let stored = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
+        if stored != shards {
+            return Err(Corruption::new("shard count differs from manifest").into());
+        }
+        return Ok(());
+    }
+    let mut f = vfs.create(&path)?;
+    let mut buf = [0u8; 12];
+    buf[..8].copy_from_slice(MANIFEST_MAGIC);
+    buf[8..12].copy_from_slice(&(shards as u32).to_le_bytes());
+    f.write_all_at(&buf, 0)?;
+    f.sync_all()?;
+    vfs.sync_dir(dir)?;
+    Ok(())
+}

@@ -1,0 +1,104 @@
+//! # phshard — a concurrent, sharded PH-tree serving layer
+//!
+//! The PH-tree's structural properties (paper Sect. 3/5) make it
+//! unusually easy to serve concurrently: its shape is a pure function
+//! of its contents, updates touch at most two nodes, and the top of the
+//! tree branches on exactly the bit stream a Z-order prefix router
+//! uses. This crate exploits that:
+//!
+//! * [`ShardedTree`] partitions the key space into `S = 2^s` shards by
+//!   the first `s` bits of each key's Z-order interleaving
+//!   ([`Router`]). Every shard owns an axis-aligned hypercube prefix
+//!   region, so a window query prunes non-matching shards with the
+//!   *same* `mL`/`mU` masks the in-node range iterator uses.
+//! * Each shard's [`phtree::PhTree`] sits in a reader-writer cell:
+//!   point ops lock one shard; window queries / kNN / bulk loads fan
+//!   out across a std-only [`WorkerPool`] (no rayon — the workspace
+//!   builds offline) and merge results (kNN via a bounded k-way heap
+//!   merge).
+//! * [`DurableSharded`] gives every shard its own [`phstore::Durable`]
+//!   write-ahead log in `base/shard-NNN/`, so journaling never
+//!   serialises across shards and crash recovery replays all shards in
+//!   parallel.
+//!
+//! ## Consistency model
+//!
+//! See [`Consistency`]: per-shard linearizable, cross-shard
+//! read-committed.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use phshard::ShardedTree;
+//!
+//! // 4 shards, pool sized to the host (0 extra threads on 1 core).
+//! let t: ShardedTree<u32, 3> = ShardedTree::new(4);
+//! t.insert([1, 2, 3], 10);
+//! t.insert([u64::MAX, 0, 7], 20);
+//! assert_eq!(t.get(&[1, 2, 3]), Some(10));
+//! // Window query: prunes shards whose prefix region misses the box.
+//! assert_eq!(t.query(&[0, 0, 0], &[9, 9, 9]), vec![([1, 2, 3], 10)]);
+//! assert_eq!(t.knn(&[1, 2, 2], 1)[0].0, [1, 2, 3]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod durable;
+mod merge;
+mod pool;
+mod route;
+mod sharded;
+
+pub use durable::{DurableSharded, MANIFEST_FILE};
+pub use pool::WorkerPool;
+pub use route::{Router, MAX_SHARDS};
+pub use sharded::{ShardStats, ShardedTree};
+
+/// The consistency guarantee of an operation on a sharded tree.
+///
+/// The sharded layer deliberately trades global ordering for
+/// parallelism, and this enum documents exactly where the line is:
+///
+/// * Operations touching **one key** (`insert`, `remove`, `get`,
+///   `get_with`, `contains`) acquire the owning shard's reader-writer
+///   lock and are therefore [`Consistency::Linearizable`] — there is a
+///   single total order of operations per shard, and every read sees
+///   the latest acknowledged write of its key.
+/// * Operations spanning **multiple shards** (`query`, `query_count`,
+///   `knn`, `len`, `bulk_load`, `stats`) lock each shard independently
+///   (never two at once — no lock-order deadlocks, writers never stall
+///   behind a long cross-shard scan). Each shard contributes a
+///   committed snapshot, but the snapshots are not taken at one global
+///   instant: [`Consistency::ReadCommitted`]. A query concurrent with
+///   writes may reflect a write on shard A and miss an *earlier* write
+///   on shard B; it never sees torn or uncommitted state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Consistency {
+    /// Single total order; reads see the latest acknowledged write.
+    /// Holds for all single-key operations (they lock one shard).
+    Linearizable,
+    /// Per-shard committed snapshots without a global instant. Holds
+    /// for all cross-shard operations.
+    ReadCommitted,
+}
+
+/// The guarantee an operation enjoys, by whether it can span shards.
+/// (Single-key ops never span shards; everything else may.)
+pub const fn consistency(spans_shards: bool) -> Consistency {
+    if spans_shards {
+        Consistency::ReadCommitted
+    } else {
+        Consistency::Linearizable
+    }
+}
+
+// Compile-time thread-safety guarantees: the whole point of this crate
+// is `&self` access from many threads, so a regression here must be a
+// compile error.
+const _: () = {
+    const fn send_sync<T: Send + Sync>() {}
+    send_sync::<ShardedTree<String, 3>>();
+    send_sync::<DurableSharded<String, 3>>();
+    send_sync::<Router<3>>();
+    send_sync::<WorkerPool>();
+};

@@ -1,0 +1,76 @@
+//! Bounded k-way merge of per-shard nearest-neighbour lists.
+//!
+//! Each shard's kNN runs independently and returns its `n` nearest
+//! entries sorted by distance; the global answer is the `n` smallest of
+//! the union. Merging with a heap of list heads costs
+//! `O(n log S)` — it stops as soon as `n` results are emitted instead
+//! of sorting all `S · n` candidates.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Total-order f64 wrapper (NaN-free distances; `total_cmp` for
+/// safety).
+#[derive(PartialEq, PartialOrd)]
+struct D(f64);
+impl Eq for D {}
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for D {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Merges per-shard ascending-by-distance lists into the global `n`
+/// nearest, ascending. `dist` extracts the sort key.
+pub fn merge_nearest<T>(lists: Vec<Vec<T>>, n: usize, dist: impl Fn(&T) -> f64) -> Vec<T> {
+    let mut lists: Vec<std::vec::IntoIter<T>> = lists.into_iter().map(Vec::into_iter).collect();
+    let mut heap: BinaryHeap<Reverse<(D, usize)>> = BinaryHeap::with_capacity(lists.len());
+    let mut heads: Vec<Option<T>> = Vec::with_capacity(lists.len());
+    for (i, it) in lists.iter_mut().enumerate() {
+        let head = it.next();
+        if let Some(h) = &head {
+            heap.push(Reverse((D(dist(h)), i)));
+        }
+        heads.push(head);
+    }
+    let mut out = Vec::with_capacity(n.min(64));
+    while out.len() < n {
+        let Some(Reverse((_, i))) = heap.pop() else {
+            break;
+        };
+        let item = heads[i].take().expect("head tracked by heap");
+        out.push(item);
+        heads[i] = lists[i].next();
+        if let Some(h) = &heads[i] {
+            heap.push(Reverse((D(dist(h)), i)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_global_top_n() {
+        let lists = vec![vec![0.5, 2.0, 9.0], vec![], vec![0.1, 0.2, 0.3], vec![1.0]];
+        let got = merge_nearest(lists, 4, |&d| d);
+        assert_eq!(got, vec![0.1, 0.2, 0.3, 0.5]);
+    }
+
+    #[test]
+    fn merge_short_input() {
+        let got = merge_nearest(vec![vec![3.0], vec![1.0]], 10, |&d| d);
+        assert_eq!(got, vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn merge_ties_are_stable_enough() {
+        // Equal distances: all of them surface, in some order.
+        let mut got = merge_nearest(vec![vec![1.0, 1.0], vec![1.0]], 3, |&d| d);
+        got.sort_by(f64::total_cmp);
+        assert_eq!(got, vec![1.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,174 @@
+//! A small std-only worker pool for query fan-out.
+//!
+//! No rayon (the workspace builds offline): a fixed set of worker
+//! threads drains a `Mutex<VecDeque>` of boxed jobs, woken by a
+//! condvar. With `threads == 0` the pool degenerates to inline
+//! execution on the caller — the zero-cost configuration for
+//! single-core hosts or embedding in an outer scheduler.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    queue: Mutex<State>,
+    cv: Condvar,
+}
+
+struct State {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// Fixed-size worker pool executing boxed jobs in FIFO order.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers. `threads == 0` means *inline*: jobs
+    /// run on the submitting thread, no workers are spawned.
+    pub fn new(threads: usize) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Number of worker threads (0 = inline execution).
+    pub fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Submits a job. Inline pools run it before returning.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        if self.handles.is_empty() {
+            job();
+            return;
+        }
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.jobs.push_back(Box::new(job));
+        }
+        self.shared.cv.notify_one();
+    }
+
+    /// Runs `tasks` across the pool and returns their results in task
+    /// order. The last task runs inline on the caller (it would
+    /// otherwise idle-wait), so even a 1-thread pool overlaps two
+    /// tasks.
+    ///
+    /// # Panics
+    /// If a task panics on a worker, the panic is surfaced here as
+    /// "scatter worker lost" (the pool itself survives).
+    pub fn scatter<R: Send + 'static>(
+        &self,
+        mut tasks: Vec<Box<dyn FnOnce() -> R + Send + 'static>>,
+    ) -> Vec<R> {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let last = tasks.pop().unwrap();
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        for (i, t) in tasks.into_iter().enumerate() {
+            let tx = tx.clone();
+            self.execute(move || {
+                let _ = tx.send((i, t()));
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        out[n - 1] = Some(last());
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|o| o.expect("scatter worker lost"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(j) = q.jobs.pop_front() {
+                    break j;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.cv.wait(q).unwrap();
+            }
+        };
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scatter_returns_in_order() {
+        for threads in [0usize, 1, 4] {
+            let pool = WorkerPool::new(threads);
+            let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16usize)
+                .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+                .collect();
+            let out = pool.scatter(tasks);
+            assert_eq!(out, (0..16usize).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn execute_runs_everything() {
+        let pool = WorkerPool::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // drop joins workers after the queue drains
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn empty_scatter_is_fine() {
+        let pool = WorkerPool::new(2);
+        let out: Vec<u8> = pool.scatter(Vec::new());
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,313 @@
+//! Key-space shard routing by top-level hypercube address bits.
+//!
+//! A [`Router`] assigns every key to one of `S = 2^s` shards using the
+//! first `s` bits of the key's Z-order (Morton) interleaving — exactly
+//! the bit stream the PH-tree itself branches on. Level `l` of the tree
+//! contributes the `K`-bit hypercube address [`hc::addr`]`(key, 63 - l)`
+//! (dimension 0 in the MSB), so the shard id is the path the root
+//! region would take through the first `ceil(s / K)` levels of a
+//! global tree.
+//!
+//! Because each shard therefore owns a *hypercube prefix region* — an
+//! axis-aligned box ([`Router::shard_box`]) — a window query can prune
+//! whole shards with the same `mL`/`mU` mechanics the in-node range
+//! iterator uses (paper Sect. 3.5): [`Router::matching_shards`] walks
+//! the prefix levels, computes [`hc::masks`] per level, and descends
+//! only into quadrants the query box intersects.
+
+use phbits::hc;
+
+/// Upper bound on the shard count (2^16); routing uses at most 16
+/// prefix bits, which keeps every mask shift in range and is far more
+/// shards than any realistic core count needs.
+pub const MAX_SHARDS: usize = 1 << 16;
+
+/// Routes keys and window queries to shards by Z-order prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Router<const K: usize> {
+    /// log2 of the shard count: number of prefix bits consumed.
+    bits: u32,
+}
+
+impl<const K: usize> Router<K> {
+    /// A router over `shards` shards. `shards` must be a power of two
+    /// in `1 ..= 2^16` (the id is a bit prefix, so only powers of two
+    /// partition the space evenly).
+    ///
+    /// # Panics
+    /// If `shards` is zero, not a power of two, or above [`MAX_SHARDS`].
+    pub fn new(shards: usize) -> Self {
+        assert!(
+            shards.is_power_of_two() && shards <= MAX_SHARDS,
+            "shard count must be a power of two in 1..={MAX_SHARDS}, got {shards}"
+        );
+        assert!(K >= 1, "zero-dimensional keys cannot be routed");
+        Router {
+            bits: shards.trailing_zeros(),
+        }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shards(&self) -> usize {
+        1usize << self.bits
+    }
+
+    /// Number of Z-order prefix bits consumed by routing.
+    #[inline]
+    pub fn prefix_bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The shard owning `key`: the first [`Self::prefix_bits`] bits of
+    /// the key's Z-order interleaving, MSB first.
+    #[inline]
+    pub fn route(&self, key: &[u64; K]) -> usize {
+        let mut id = 0u64;
+        let mut need = self.bits;
+        let mut level = 0u32;
+        while need > 0 {
+            let h = hc::addr(key, 63 - level);
+            let take = need.min(K as u32);
+            id = (id << take) | (h >> (K as u32 - take));
+            need -= take;
+            level += 1;
+        }
+        id as usize
+    }
+
+    /// The axis-aligned box of keys owned by `shard`: its Z-order
+    /// prefix with all remaining bits free. `(min, max)` inclusive.
+    pub fn shard_box(&self, shard: usize) -> ([u64; K], [u64; K]) {
+        debug_assert!(shard < self.shards());
+        let mut min = [0u64; K];
+        let mut max = [u64::MAX; K];
+        let mut consumed = 0u32;
+        let mut level = 0u32;
+        while consumed < self.bits {
+            let take = (self.bits - consumed).min(K as u32);
+            let chunk = (shard as u64 >> (self.bits - consumed - take)) & ((1u64 << take) - 1);
+            let bit = 63 - level;
+            let (cmin, cmax) = child_region(&min, &max, chunk, take, bit);
+            min = cmin;
+            max = cmax;
+            consumed += take;
+            level += 1;
+        }
+        (min, max)
+    }
+
+    /// Shards whose region intersects the query box `[q_min, q_max]`,
+    /// in ascending shard order. Every other shard provably contains no
+    /// matching key, so window queries skip it entirely.
+    ///
+    /// Uses the paper's `mL`/`mU` quadrant masks level by level over
+    /// the routing prefix — the same pruning the in-node iterator does,
+    /// lifted to the shard map.
+    pub fn matching_shards(&self, q_min: &[u64; K], q_max: &[u64; K]) -> Vec<usize> {
+        if self.bits == 0 {
+            return vec![0];
+        }
+        let mut out = Vec::new();
+        self.descend(0, 0, 0, [0u64; K], [u64::MAX; K], q_min, q_max, &mut out);
+        out
+    }
+
+    /// Recursive quadrant walk over the routing prefix. `node_min` /
+    /// `node_max` bound the current prefix region; addresses are
+    /// explored in ascending order, so `out` ends up sorted.
+    #[allow(clippy::too_many_arguments)]
+    fn descend(
+        &self,
+        level: u32,
+        consumed: u32,
+        prefix: u64,
+        node_min: [u64; K],
+        node_max: [u64; K],
+        q_min: &[u64; K],
+        q_max: &[u64; K],
+        out: &mut Vec<usize>,
+    ) {
+        for d in 0..K {
+            if node_min[d] > q_max[d] || node_max[d] < q_min[d] {
+                return;
+            }
+        }
+        if consumed == self.bits {
+            out.push(prefix as usize);
+            return;
+        }
+        let bit = 63 - level;
+        let take = (self.bits - consumed).min(K as u32);
+        let (m_l, m_u) = hc::masks(&node_min, q_min, q_max, bit);
+        if take == K as u32 {
+            for h in hc::valid_addrs(m_l, m_u) {
+                let (cmin, cmax) = child_region(&node_min, &node_max, h, K as u32, bit);
+                self.descend(
+                    level + 1,
+                    consumed + take,
+                    (prefix << take) | h,
+                    cmin,
+                    cmax,
+                    q_min,
+                    q_max,
+                    out,
+                );
+            }
+        } else {
+            // Partial last level: only the top `take` address bits
+            // (dimensions 0..take) are part of the shard id; the
+            // remaining dimensions stay unconstrained. Restrict the
+            // masks to those dimensions by dropping the low bits.
+            let pm_l = m_l >> (K as u32 - take);
+            let pm_u = m_u >> (K as u32 - take);
+            for h in hc::valid_addrs(pm_l, pm_u) {
+                let (cmin, cmax) = child_region(&node_min, &node_max, h, take, bit);
+                self.descend(
+                    level + 1,
+                    consumed + take,
+                    (prefix << take) | h,
+                    cmin,
+                    cmax,
+                    q_min,
+                    q_max,
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// Region of the child at partial-or-full address `h` covering
+/// dimensions `0..dims`: set/clear `bit` in each constrained dimension.
+fn child_region<const K: usize>(
+    node_min: &[u64; K],
+    node_max: &[u64; K],
+    h: u64,
+    dims: u32,
+    bit: u32,
+) -> ([u64; K], [u64; K]) {
+    let mut cmin = *node_min;
+    let mut cmax = *node_max;
+    for d in 0..dims as usize {
+        if (h >> (dims as usize - 1 - d)) & 1 == 1 {
+            cmin[d] |= 1u64 << bit;
+        } else {
+            cmax[d] &= !(1u64 << bit);
+        }
+    }
+    (cmin, cmax)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxes_intersect<const K: usize>(
+        a_min: &[u64; K],
+        a_max: &[u64; K],
+        b_min: &[u64; K],
+        b_max: &[u64; K],
+    ) -> bool {
+        (0..K).all(|d| a_min[d] <= b_max[d] && a_max[d] >= b_min[d])
+    }
+
+    #[test]
+    fn route_matches_shard_box() {
+        // Every key must land in the shard whose box contains it.
+        for &s in &[1usize, 2, 4, 8, 16, 64] {
+            let r: Router<3> = Router::new(s);
+            let mut x = 7u64;
+            for _ in 0..500 {
+                let mut key = [0u64; 3];
+                for k in key.iter_mut() {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    *k = x;
+                }
+                let id = r.route(&key);
+                assert!(id < s);
+                let (lo, hi) = r.shard_box(id);
+                for d in 0..3 {
+                    assert!(lo[d] <= key[d] && key[d] <= hi[d], "shard {id} box dim {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_boxes_partition_the_space() {
+        // Boxes are pairwise disjoint (a key routes to exactly one).
+        let r: Router<2> = Router::new(8); // 3 bits: one full level + 1
+        let boxes: Vec<_> = (0..8).map(|s| r.shard_box(s)).collect();
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                let (imin, imax) = boxes[i];
+                let (jmin, jmax) = boxes[j];
+                assert!(
+                    !boxes_intersect(&imin, &imax, &jmin, &jmax),
+                    "shards {i} and {j} overlap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matching_shards_equals_brute_force() {
+        // The mask walk must select exactly the shards whose box
+        // intersects the query — no false negatives (correctness) and
+        // no false positives (the pruning acceptance criterion).
+        let mut x = 99u64;
+        let mut rng = move || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x
+        };
+        for &s in &[1usize, 2, 4, 8, 32] {
+            let r: Router<3> = Router::new(s);
+            for _ in 0..200 {
+                let mut lo = [0u64; 3];
+                let mut hi = [0u64; 3];
+                for d in 0..3 {
+                    let a = rng();
+                    let b = rng();
+                    lo[d] = a.min(b);
+                    hi[d] = a.max(b);
+                }
+                let got = r.matching_shards(&lo, &hi);
+                let want: Vec<usize> = (0..s)
+                    .filter(|&id| {
+                        let (bmin, bmax) = r.shard_box(id);
+                        boxes_intersect(&bmin, &bmax, &lo, &hi)
+                    })
+                    .collect();
+                assert_eq!(got, want, "S={s} query {lo:?}..{hi:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_space_query_matches_all_shards() {
+        let r: Router<2> = Router::new(16);
+        assert_eq!(
+            r.matching_shards(&[0; 2], &[u64::MAX; 2]),
+            (0..16).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn single_shard_router_is_trivial() {
+        let r: Router<4> = Router::new(1);
+        assert_eq!(r.route(&[u64::MAX; 4]), 0);
+        assert_eq!(r.matching_shards(&[1; 4], &[2; 4]), vec![0]);
+        assert_eq!(r.shard_box(0), ([0u64; 4], [u64::MAX; 4]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_rejected() {
+        let _ = Router::<2>::new(3);
+    }
+}

@@ -1,0 +1,268 @@
+//! The concurrent, sharded PH-tree.
+
+use crate::merge::merge_nearest;
+use crate::pool::WorkerPool;
+use crate::route::Router;
+use phtree::PhTree;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A boxed fan-out task as submitted to the worker pool.
+type Task<R> = Box<dyn FnOnce() -> R + Send>;
+/// A window-query hit: key plus cloned value.
+type Entry<V, const K: usize> = ([u64; K], V);
+/// A kNN hit: key, cloned value, distance.
+type Scored<V, const K: usize> = ([u64; K], V, f64);
+
+/// Per-instance statistics (see [`ShardedTree::stats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Number of shards.
+    pub shards: usize,
+    /// Worker threads in the fan-out pool (0 = inline).
+    pub threads: usize,
+    /// Total entries across all shards.
+    pub entries: usize,
+    /// Entry count per shard (routing balance diagnostic).
+    pub per_shard: Vec<usize>,
+    /// Shards visited by window queries since construction.
+    pub shards_scanned: u64,
+    /// Shards skipped by prefix-mask pruning since construction.
+    pub shards_pruned: u64,
+}
+
+/// A key-space-partitioned concurrent PH-tree.
+///
+/// Keys are routed to one of `S` shards by the first `log2 S` bits of
+/// their Z-order interleaving ([`Router`]), so each shard owns an
+/// axis-aligned hypercube prefix region. Single-key operations lock
+/// exactly one shard; window queries prune non-intersecting shards
+/// with the paper's `mL`/`mU` masks and fan the survivors out across a
+/// std-only worker pool. See [`crate::Consistency`] for the guarantees.
+///
+/// All methods take `&self`; the structure is `Send + Sync` and meant
+/// to be shared (e.g. in an `Arc`) across server threads.
+pub struct ShardedTree<V, const K: usize> {
+    shards: Arc<[RwLock<PhTree<V, K>>]>,
+    router: Router<K>,
+    pool: WorkerPool,
+    scanned: AtomicU64,
+    pruned: AtomicU64,
+}
+
+impl<V, const K: usize> ShardedTree<V, K> {
+    /// A sharded tree with `shards` shards (power of two) and a worker
+    /// pool sized to the host: `available_parallelism - 1` threads,
+    /// capped at the shard count (0 on single-core hosts — inline
+    /// execution, no thread overhead).
+    pub fn new(shards: usize) -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_threads(shards, (cores - 1).min(shards))
+    }
+
+    /// A sharded tree with an explicit fan-out pool size. `threads ==
+    /// 0` runs every fan-out inline on the calling thread.
+    pub fn with_threads(shards: usize, threads: usize) -> Self {
+        let router = Router::new(shards);
+        let shards: Arc<[RwLock<PhTree<V, K>>]> =
+            (0..shards).map(|_| RwLock::new(PhTree::new())).collect();
+        ShardedTree {
+            shards,
+            router,
+            pool: WorkerPool::new(threads),
+            scanned: AtomicU64::new(0),
+            pruned: AtomicU64::new(0),
+        }
+    }
+
+    /// The routing function (shard id, shard boxes, query pruning).
+    pub fn router(&self) -> &Router<K> {
+        &self.router
+    }
+
+    /// The shard that owns `key`.
+    pub fn shard_of(&self, key: &[u64; K]) -> usize {
+        self.router.route(key)
+    }
+
+    /// Inserts `key` → `value`; returns the previous value, if any.
+    /// Locks only the owning shard (linearizable per key).
+    pub fn insert(&self, key: [u64; K], value: V) -> Option<V> {
+        let s = self.router.route(&key);
+        self.shards[s].write().unwrap().insert(key, value)
+    }
+
+    /// Removes `key`; returns its value, if present.
+    pub fn remove(&self, key: &[u64; K]) -> Option<V> {
+        let s = self.router.route(key);
+        self.shards[s].write().unwrap().remove(key)
+    }
+
+    /// Applies `f` to the value at `key` under the shard's read lock —
+    /// the zero-copy point read.
+    pub fn get_with<R>(&self, key: &[u64; K], f: impl FnOnce(&V) -> R) -> Option<R> {
+        let s = self.router.route(key);
+        self.shards[s].read().unwrap().get(key).map(f)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &[u64; K]) -> bool {
+        self.get_with(key, |_| ()).is_some()
+    }
+
+    /// Total entries (sums shard lengths; read-committed across
+    /// shards).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+    }
+
+    /// Whether the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counts entries in the window `[min, max]` without materialising
+    /// them. Prunes shards by prefix mask; survivors are scanned
+    /// sequentially (counting is cheap — cloning is what fan-out is
+    /// for).
+    pub fn query_count(&self, min: &[u64; K], max: &[u64; K]) -> usize {
+        let matching = self.router.matching_shards(min, max);
+        self.note_pruning(matching.len());
+        matching
+            .into_iter()
+            .map(|s| self.shards[s].read().unwrap().query(min, max).count())
+            .sum()
+    }
+
+    /// Snapshot of shard sizes and pruning counters.
+    pub fn stats(&self) -> ShardStats {
+        let per_shard: Vec<usize> = self
+            .shards
+            .iter()
+            .map(|s| s.read().unwrap().len())
+            .collect();
+        ShardStats {
+            shards: self.shards.len(),
+            threads: self.pool.threads(),
+            entries: per_shard.iter().sum(),
+            per_shard,
+            shards_scanned: self.scanned.load(Ordering::Relaxed),
+            shards_pruned: self.pruned.load(Ordering::Relaxed),
+        }
+    }
+
+    fn note_pruning(&self, matched: usize) {
+        self.scanned.fetch_add(matched as u64, Ordering::Relaxed);
+        self.pruned
+            .fetch_add((self.shards.len() - matched) as u64, Ordering::Relaxed);
+    }
+}
+
+impl<V: Clone + Send + Sync + 'static, const K: usize> ShardedTree<V, K> {
+    /// Returns a clone of the value at `key` (the lock is released
+    /// before returning, so the value is cloned out; use
+    /// [`ShardedTree::get_with`] to borrow instead).
+    pub fn get(&self, key: &[u64; K]) -> Option<V> {
+        self.get_with(key, V::clone)
+    }
+
+    /// Collects all entries in the window `[min, max]` (inclusive
+    /// corners), in global Z-order.
+    ///
+    /// Shards whose prefix region is disjoint from the window are
+    /// pruned by the router's mask walk and never locked; the
+    /// surviving shards are scanned in parallel on the worker pool.
+    /// Because shard ids are Z-order prefixes, concatenating per-shard
+    /// results in shard order yields exactly the order a single
+    /// unsharded tree's query iterator produces.
+    pub fn query(&self, min: &[u64; K], max: &[u64; K]) -> Vec<([u64; K], V)> {
+        let matching = self.router.matching_shards(min, max);
+        self.note_pruning(matching.len());
+        let (min, max) = (*min, *max);
+        let tasks: Vec<Task<Vec<Entry<V, K>>>> = matching
+            .into_iter()
+            .map(|s| {
+                let shards = Arc::clone(&self.shards);
+                Box::new(move || {
+                    let guard = shards[s].read().unwrap();
+                    guard
+                        .query(&min, &max)
+                        .map(|(k, v)| (k, v.clone()))
+                        .collect()
+                }) as Box<dyn FnOnce() -> Vec<([u64; K], V)> + Send>
+            })
+            .collect();
+        let mut out = Vec::new();
+        for chunk in self.pool.scatter(tasks) {
+            out.extend(chunk);
+        }
+        out
+    }
+
+    /// The `n` entries nearest to `center` under integer Euclidean
+    /// distance, nearest first, as `(key, value, distance)`.
+    ///
+    /// Every non-empty shard answers its local kNN in parallel; the
+    /// global result is a bounded k-way heap merge of the per-shard
+    /// lists (each already sorted), stopping after `n` results.
+    pub fn knn(&self, center: &[u64; K], n: usize) -> Vec<([u64; K], V, f64)> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let center = *center;
+        let tasks: Vec<Task<Vec<Scored<V, K>>>> = (0..self.shards.len())
+            .map(|s| {
+                let shards = Arc::clone(&self.shards);
+                Box::new(move || {
+                    let guard = shards[s].read().unwrap();
+                    guard
+                        .knn(&center, n)
+                        .into_iter()
+                        .map(|nb| (nb.key, nb.value.clone(), nb.dist))
+                        .collect()
+                }) as Box<dyn FnOnce() -> Vec<([u64; K], V, f64)> + Send>
+            })
+            .collect();
+        let lists = self.pool.scatter(tasks);
+        merge_nearest(lists, n, |e| e.2)
+    }
+
+    /// Bulk-inserts `items`, partitioning them by shard and loading
+    /// each partition under one write-lock acquisition on the worker
+    /// pool. Returns the number of *new* keys (duplicates overwrite,
+    /// like [`ShardedTree::insert`]).
+    pub fn bulk_load(&self, items: Vec<([u64; K], V)>) -> usize {
+        let mut parts: Vec<Vec<([u64; K], V)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (key, value) in items {
+            parts[self.router.route(&key)].push((key, value));
+        }
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = parts
+            .into_iter()
+            .enumerate()
+            .filter(|(_, p)| !p.is_empty())
+            .map(|(s, part)| {
+                let shards = Arc::clone(&self.shards);
+                Box::new(move || {
+                    let mut guard = shards[s].write().unwrap();
+                    let mut new = 0usize;
+                    for (k, v) in part {
+                        if guard.insert(k, v).is_none() {
+                            new += 1;
+                        }
+                    }
+                    new
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        self.pool.scatter(tasks).into_iter().sum()
+    }
+}
+
+impl<V, const K: usize> Default for ShardedTree<V, K> {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}

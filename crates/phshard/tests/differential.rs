@@ -1,0 +1,173 @@
+//! Differential tests: the same op stream drives a [`ShardedTree`] (at
+//! shard counts 1, 2 and 8), a plain [`PhTree`], a dynamic-K
+//! [`PhTreeDyn`] and a `BTreeMap` oracle — all four must agree at every
+//! step. This pins down const-K vs dynamic-K parity *under the shard
+//! router*: routing must never change what a key maps to, only where
+//! it lives.
+
+use phshard::ShardedTree;
+use phtree::{PhTree, PhTreeDyn};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert([u64; 3], u32),
+    Remove([u64; 3]),
+    Get([u64; 3]),
+}
+
+/// Keys mixing dense low coordinates (deep trees, one shard) with
+/// high-bit patterns (the bits the router actually consumes).
+fn key_strategy() -> impl Strategy<Value = [u64; 3]> {
+    prop_oneof![
+        [0u64..16, 0u64..16, 0u64..16],
+        [0u64..4, 0u64..4, 0u64..4].prop_map(|k| k.map(|v| v << 62)),
+        [any::<u64>(), any::<u64>(), any::<u64>()],
+        [0u32..64, 0u32..64, 0u32..64].prop_map(|k| k.map(|b| 1u64 << b)),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (key_strategy(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        2 => key_strategy().prop_map(Op::Remove),
+        1 => key_strategy().prop_map(Op::Get),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Point-op and full-scan parity across shard counts.
+    #[test]
+    fn sharded_matches_unsharded_and_oracle(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+    ) {
+        for shards in [1usize, 2, 8] {
+            // threads=2 exercises the pool even under proptest.
+            let sharded: ShardedTree<u32, 3> = ShardedTree::with_threads(shards, 2);
+            let mut plain: PhTree<u32, 3> = PhTree::new();
+            let mut dynk: PhTreeDyn<u32> = PhTreeDyn::new(3);
+            let mut oracle: BTreeMap<[u64; 3], u32> = BTreeMap::new();
+            for op in &ops {
+                match *op {
+                    Op::Insert(k, v) => {
+                        let want = oracle.insert(k, v);
+                        prop_assert_eq!(sharded.insert(k, v), want, "S={} insert {:?}", shards, k);
+                        prop_assert_eq!(plain.insert(k, v), want);
+                        prop_assert_eq!(dynk.insert(&k, v), want);
+                    }
+                    Op::Remove(k) => {
+                        let want = oracle.remove(&k);
+                        prop_assert_eq!(sharded.remove(&k), want, "S={} remove {:?}", shards, k);
+                        prop_assert_eq!(plain.remove(&k), want);
+                        prop_assert_eq!(dynk.remove(&k), want);
+                    }
+                    Op::Get(k) => {
+                        let want = oracle.get(&k).copied();
+                        prop_assert_eq!(sharded.get(&k), want, "S={} get {:?}", shards, k);
+                        prop_assert_eq!(plain.get(&k).copied(), want);
+                        prop_assert_eq!(dynk.get(&k).copied(), want);
+                    }
+                }
+                prop_assert_eq!(sharded.len(), oracle.len());
+            }
+            // Full-space window = full contents, in the same global
+            // Z-order as the unsharded tree (shard ids are Z-prefixes).
+            let got = sharded.query(&[0; 3], &[u64::MAX; 3]);
+            let want: Vec<([u64; 3], u32)> =
+                plain.query(&[0; 3], &[u64::MAX; 3]).map(|(k, &v)| (k, v)).collect();
+            prop_assert_eq!(got, want, "S={} full scan order", shards);
+        }
+    }
+
+    /// Window-query parity (contents *and* order) plus the pruning
+    /// soundness invariant, across shard counts.
+    #[test]
+    fn sharded_window_queries_match(
+        keys in proptest::collection::vec(key_strategy(), 1..150),
+        qa in key_strategy(),
+        qb in key_strategy(),
+    ) {
+        let min: [u64; 3] = std::array::from_fn(|d| qa[d].min(qb[d]));
+        let max: [u64; 3] = std::array::from_fn(|d| qa[d].max(qb[d]));
+        let mut plain: PhTree<u32, 3> = PhTree::new();
+        for (i, &k) in keys.iter().enumerate() {
+            plain.insert(k, i as u32);
+        }
+        let want: Vec<([u64; 3], u32)> = plain.query(&min, &max).map(|(k, &v)| (k, v)).collect();
+        for shards in [1usize, 2, 8] {
+            let sharded: ShardedTree<u32, 3> = ShardedTree::with_threads(shards, 2);
+            for (i, &k) in keys.iter().enumerate() {
+                sharded.insert(k, i as u32);
+            }
+            prop_assert_eq!(sharded.query(&min, &max), want.clone(), "S={}", shards);
+            prop_assert_eq!(sharded.query_count(&min, &max), want.len());
+            // Pruning soundness: every pruned shard's box is disjoint
+            // from the query box (the acceptance criterion).
+            let matching = sharded.router().matching_shards(&min, &max);
+            for s in 0..shards {
+                let (bmin, bmax) = sharded.router().shard_box(s);
+                let intersects = (0..3).all(|d| bmin[d] <= max[d] && bmax[d] >= min[d]);
+                prop_assert_eq!(
+                    matching.contains(&s),
+                    intersects,
+                    "S={} shard {} pruning disagrees with geometry", shards, s
+                );
+            }
+        }
+    }
+
+    /// kNN parity: the sharded bounded heap merge returns the same
+    /// distance profile as the single tree, across shard counts.
+    #[test]
+    fn sharded_knn_matches(
+        keys in proptest::collection::vec(key_strategy(), 1..100),
+        center in key_strategy(),
+        n in 1usize..8,
+    ) {
+        let mut plain: PhTree<u32, 3> = PhTree::new();
+        for (i, &k) in keys.iter().enumerate() {
+            plain.insert(k, i as u32);
+        }
+        let want: Vec<f64> = plain.knn(&center, n).into_iter().map(|nb| nb.dist).collect();
+        for shards in [1usize, 2, 8] {
+            let sharded: ShardedTree<u32, 3> = ShardedTree::with_threads(shards, 2);
+            for (i, &k) in keys.iter().enumerate() {
+                sharded.insert(k, i as u32);
+            }
+            let got: Vec<f64> = sharded.knn(&center, n).into_iter().map(|e| e.2).collect();
+            prop_assert_eq!(got.len(), want.len(), "S={}", shards);
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert!((g - w).abs() < 1e-9, "S={} dist {} vs {}", shards, g, w);
+            }
+        }
+    }
+
+    /// bulk_load is equivalent to sequential inserts.
+    #[test]
+    fn bulk_load_equals_inserts(
+        keys in proptest::collection::vec(key_strategy(), 1..150),
+    ) {
+        let items: Vec<([u64; 3], u32)> =
+            keys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+        for shards in [1usize, 8] {
+            let bulk: ShardedTree<u32, 3> = ShardedTree::with_threads(shards, 2);
+            let new = bulk.bulk_load(items.clone());
+            let seq: ShardedTree<u32, 3> = ShardedTree::with_threads(shards, 0);
+            let mut fresh = 0;
+            for (k, v) in items.clone() {
+                if seq.insert(k, v).is_none() {
+                    fresh += 1;
+                }
+            }
+            prop_assert_eq!(new, fresh);
+            prop_assert_eq!(bulk.len(), seq.len());
+            prop_assert_eq!(
+                bulk.query(&[0; 3], &[u64::MAX; 3]),
+                seq.query(&[0; 3], &[u64::MAX; 3])
+            );
+        }
+    }
+}

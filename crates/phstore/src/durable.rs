@@ -47,6 +47,16 @@ pub const SNAPSHOT_FILE: &str = "snapshot.pht";
 /// WAL file name inside a [`Durable`] directory.
 pub const WAL_FILE: &str = "wal.log";
 
+/// Directory for one shard of a sharded durable store: `base/shard-NNN`.
+///
+/// Keeping each shard's snapshot + WAL in its own subdirectory lets a
+/// sharding layer (phshard's `DurableSharded`) journal shards
+/// independently and recover them in parallel. Zero-padded so listings
+/// sort in shard order.
+pub fn shard_dir(base: &Path, shard: usize) -> PathBuf {
+    base.join(format!("shard-{shard:03}"))
+}
+
 /// Tuning knobs for [`Durable`].
 #[derive(Debug, Clone)]
 pub struct DurableConfig {

@@ -188,11 +188,8 @@ fn read_node<V: ValueCodec, const K: usize>(
             .at_offset(pos as u64)
             .into());
     }
-    build_node(post_len, infix_len, is_hc, words, bits_len, subs, values).ok_or_else(|| {
-        Corruption::new("node invariants violated")
-            .at_record(id)
-            .into()
-    })
+    build_node(post_len, infix_len, is_hc, words, bits_len, subs, values)
+        .map_err(|e| Corruption::new(e.what()).at_record(id).into())
 }
 
 /// The temp path a snapshot is staged at before the atomic rename.
@@ -278,8 +275,7 @@ pub fn load_with<V: ValueCodec, const K: usize>(
         None => None,
         Some(id) => Some(read_node::<V, K>(&mut pager, id, 0)?),
     };
-    let tree = PhTree::from_raw_parts(root, len as usize)
-        .ok_or(StoreError::corrupt("tree reassembly failed"))?;
+    let tree = PhTree::from_raw_parts(root, len as usize).map_err(|e| Corruption::new(e.what()))?;
     Ok((tree, generation))
 }
 

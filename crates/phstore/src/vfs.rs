@@ -23,8 +23,13 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 /// An open random-access file.
+///
+/// `Send + Sync` so containers holding file handles (e.g. a
+/// [`crate::Durable`] inside a sharded layer's reader-writer cell) can
+/// be shared across threads; all methods take `&mut self`, so `Sync`
+/// costs implementors nothing.
 #[allow(clippy::len_without_is_empty)] // emptiness is meaningless for file handles
-pub trait VfsFile: Send {
+pub trait VfsFile: Send + Sync {
     /// Reads exactly `buf.len()` bytes at absolute offset `off`.
     fn read_exact_at(&mut self, buf: &mut [u8], off: u64) -> io::Result<()>;
     /// Writes all of `buf` at absolute offset `off`, extending the file

@@ -74,3 +74,21 @@ pub use ops::Op;
 pub use query::Query;
 pub use stats::{TreeStats, ALLOC_OVERHEAD};
 pub use tree::PhTree;
+
+// Compile-time thread-safety guarantees. The trees hold no interior
+// mutability or thread affinity, so shared references support
+// concurrent readers (`&self` entry points: `get`, `query`, `knn`,
+// `iter`, `root_raw`) and ownership can move across threads. Sharding
+// layers rely on these bounds; this block makes a regression a compile
+// error rather than a distant downstream breakage.
+const _: () = {
+    const fn send_sync<T: Send + Sync>() {}
+    const fn send<T: Send>() {}
+    send_sync::<PhTree<String, 3>>();
+    send_sync::<PhTreeDyn<String>>();
+    send_sync::<PhTreeF64<String, 3>>();
+    // Borrowing iterators are Send + Sync when the element type is.
+    send_sync::<Iter<'static, String, 3>>();
+    send_sync::<Query<'static, String, 3>>();
+    send::<Op<String, 3>>();
+};

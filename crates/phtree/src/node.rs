@@ -108,7 +108,10 @@ fn slice_remove<T>(b: &mut Box<[T]>, i: usize) -> T {
 
 impl<V, const K: usize> Node<V, K> {
     /// Reassembles a node from serialised parts (see [`crate::raw`]).
-    /// Performs consistency checks; returns `None` on mismatch.
+    /// Performs consistency checks; returns a description of the first
+    /// violated invariant on mismatch — corrupt input must surface as an
+    /// error, never a panic, so storage layers can map it into their own
+    /// corruption reporting.
     pub fn from_parts(
         post_len: u8,
         infix_len: u8,
@@ -116,10 +119,7 @@ impl<V, const K: usize> Node<V, K> {
         bits: BitBuf,
         subs: Box<[Node<V, K>]>,
         values: Box<[V]>,
-    ) -> Option<Self> {
-        if post_len as u32 >= W || post_len as u32 + (infix_len as u32) >= W {
-            return None;
-        }
+    ) -> Result<Self, &'static str> {
         let n = Node {
             post_len,
             infix_len,
@@ -128,56 +128,75 @@ impl<V, const K: usize> Node<V, K> {
             subs,
             values,
         };
-        // Bit-length formula must hold for the claimed representation.
-        let expect = if hc {
+        n.validate_local()?;
+        Ok(n)
+    }
+
+    /// Checks every *local* structural invariant of this node (plus the
+    /// depth/arity relation to its direct children): split/infix bit
+    /// budgets, the exact bit-string length for the claimed
+    /// representation, slot-kind codes, kind/count agreement, LHC
+    /// address ordering and range, and child depth chaining.
+    ///
+    /// This is the decode-side validation shared by [`Node::from_parts`]
+    /// and [`Node::check_invariants`]; it must reject hostile bytes with
+    /// an `Err`, never panic. Indexing into `bits` is safe here because
+    /// the bit-length check runs before any kind/address reads.
+    pub fn validate_local(&self) -> Result<(), &'static str> {
+        if self.post_len as u32 >= W || self.post_len as u32 + (self.infix_len as u32) >= W {
+            return Err("split/infix bits exceed key width");
+        }
+        let n = self.n_children();
+        let posts = self.n_posts();
+        // Bit-length formula must hold for the claimed representation
+        // before anything below reads kinds or addresses out of `bits`.
+        if self.hc {
             if K > MAX_HC_K {
-                return None;
+                return Err("HC representation beyond dimension limit");
             }
-            n.infix_bits() + (1usize << K) * (2 + n.post_bits())
-        } else {
-            n.infix_bits() + n.n_children() * (K + 1) + n.n_posts() * n.post_bits()
-        };
-        if n.bits.len() != expect {
-            return None;
-        }
-        // Kind bits must agree with the sub/value counts, addresses must
-        // be sorted, and child depths must chain correctly.
-        if hc {
-            let mut posts = 0;
-            let mut subs_n = 0;
+            if self.bits.len() != self.infix_bits() + (1usize << K) * (2 + self.post_bits()) {
+                return Err("HC bit-string length mismatch");
+            }
+            let mut seen_posts = 0;
+            let mut seen_subs = 0;
             for h in 0..(1u64 << K) {
-                match n.hc_kind(h) {
+                match self.hc_kind(h) {
                     KIND_EMPTY => {}
-                    KIND_POST => posts += 1,
-                    KIND_SUB => subs_n += 1,
-                    _ => return None,
+                    KIND_POST => seen_posts += 1,
+                    KIND_SUB => seen_subs += 1,
+                    _ => return Err("invalid HC slot kind"),
                 }
             }
-            if posts != n.n_posts() || subs_n != n.n_subs() {
-                return None;
+            if seen_posts != posts || seen_subs != self.n_subs() {
+                return Err("HC kind table disagrees with child counts");
             }
         } else {
-            let count = n.n_children();
+            if self.bits.len() != self.infix_bits() + n * (K + 1) + posts * self.post_bits() {
+                return Err("LHC bit-string length mismatch");
+            }
             let mut subs_n = 0;
-            for j in 0..count {
-                if j > 0 && n.lhc_addr_at(j - 1) >= n.lhc_addr_at(j) {
-                    return None;
+            for j in 0..n {
+                if j > 0 && self.lhc_addr_at(j - 1) >= self.lhc_addr_at(j) {
+                    return Err("LHC addresses not sorted/unique");
                 }
-                if K < 64 && n.lhc_addr_at(j) >= (1u64 << K) {
-                    return None;
+                if K < 64 && self.lhc_addr_at(j) >= (1u64 << K) {
+                    return Err("LHC address out of range");
                 }
-                subs_n += n.lhc_is_sub(j) as usize;
+                subs_n += self.lhc_is_sub(j) as usize;
             }
-            if subs_n != n.n_subs() {
-                return None;
+            if subs_n != self.n_subs() {
+                return Err("LHC kind bits disagree with child counts");
             }
         }
-        for sub in n.subs.iter() {
-            if sub.post_len as u32 + sub.infix_len as u32 + 1 != n.post_len as u32 {
-                return None;
+        for sub in self.subs.iter() {
+            if sub.post_len as u32 + sub.infix_len as u32 + 1 != self.post_len as u32 {
+                return Err("child depth arithmetic broken");
+            }
+            if sub.n_children() < 2 {
+                return Err("sub-node with fewer than 2 children");
             }
         }
-        Some(n)
+        Ok(())
     }
 
     /// Whether the node is in HC form (serialisation accessor).
@@ -938,62 +957,19 @@ impl<V, const K: usize> Node<V, K> {
     // ------------------------------------------------------------------
 
     /// Validates all structural invariants of this subtree; panics on
-    /// violation. Used by tests and debug assertions.
+    /// violation. Used by tests and debug assertions — decode paths use
+    /// the fallible [`Node::validate_local`] instead.
     pub fn check_invariants(&self, is_root: bool) {
-        let n = self.n_children();
-        let posts = self.n_posts();
-        if self.hc {
-            assert!(K <= MAX_HC_K);
-            assert_eq!(
-                self.bits.len(),
-                self.infix_bits() + (1usize << K) * (2 + self.post_bits()),
-                "HC bit length"
-            );
-            let mut seen_posts = 0;
-            let mut seen_subs = 0;
-            for h in 0..(1u64 << K) {
-                match self.hc_kind(h) {
-                    KIND_EMPTY => {}
-                    KIND_POST => seen_posts += 1,
-                    KIND_SUB => seen_subs += 1,
-                    k => panic!("invalid kind {k}"),
-                }
-            }
-            assert_eq!(seen_posts, posts, "HC post count");
-            assert_eq!(seen_subs, self.n_subs(), "HC sub count");
-        } else {
-            assert_eq!(
-                self.bits.len(),
-                self.infix_bits() + n * (K + 1) + posts * self.post_bits(),
-                "LHC bit length"
-            );
-            for j in 1..n {
-                assert!(
-                    self.lhc_addr_at(j - 1) < self.lhc_addr_at(j),
-                    "addresses sorted/unique"
-                );
-            }
-            let subs = (0..n).filter(|&j| self.lhc_is_sub(j)).count();
-            assert_eq!(subs, self.n_subs(), "LHC sub count");
-            assert_eq!(n - subs, posts, "LHC post count");
-            if K < 64 {
-                for j in 0..n {
-                    assert!(self.lhc_addr_at(j) < (1u64 << K), "address in range");
-                }
-            }
+        if let Err(what) = self.validate_local() {
+            panic!("node invariant violated: {what}");
         }
         if !is_root {
-            assert!(n >= 2, "non-root node with < 2 children");
+            assert!(self.n_children() >= 2, "non-root node with < 2 children");
         } else {
             assert_eq!(self.post_len as u32, W - 1, "root split bit");
             assert_eq!(self.infix_len, 0, "root infix");
         }
         for sub in self.subs.iter() {
-            assert_eq!(
-                sub.post_len as u32 + sub.infix_len as u32 + 1,
-                self.post_len as u32,
-                "child depth arithmetic"
-            );
             sub.check_invariants(false);
         }
     }

@@ -65,12 +65,40 @@ pub struct RawNode<V, const K: usize> {
     pub(crate) node: Node<V, K>,
 }
 
+/// Why raw reassembly rejected its input — i.e. which structural
+/// invariant the (presumably corrupt) serialised bytes violated.
+/// Storage layers surface [`RawError::what`] in their own corruption
+/// errors instead of panicking on hostile input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawError {
+    what: &'static str,
+}
+
+impl RawError {
+    fn new(what: &'static str) -> Self {
+        RawError { what }
+    }
+
+    /// Static description of the violated invariant.
+    pub fn what(&self) -> &'static str {
+        self.what
+    }
+}
+
+impl std::fmt::Display for RawError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corrupt node: {}", self.what)
+    }
+}
+
+impl std::error::Error for RawError {}
+
 /// Reassembles one node from its serialised parts. `subs` must be the
 /// node's children in hypercube-address order (built bottom-up).
 ///
-/// Returns `None` if the parts are inconsistent (wrong bit-string
-/// length for the representation, unsorted addresses, child depth
-/// mismatches, …) — i.e. on corrupt input.
+/// Returns an error if the parts are inconsistent (wrong bit-string
+/// length for the representation, invalid slot-kind codes, unsorted
+/// addresses, child depth mismatches, …) — i.e. on corrupt input.
 pub fn build_node<V, const K: usize>(
     post_len: u8,
     infix_len: u8,
@@ -79,8 +107,9 @@ pub fn build_node<V, const K: usize>(
     bits_len: usize,
     subs: Vec<RawNode<V, K>>,
     values: Vec<V>,
-) -> Option<RawNode<V, K>> {
-    let bits = BitBuf::from_words(bits_words, bits_len)?;
+) -> Result<RawNode<V, K>, RawError> {
+    let bits = BitBuf::from_words(bits_words, bits_len)
+        .ok_or_else(|| RawError::new("bit-string length disagrees with word count"))?;
     let subs: Box<[Node<V, K>]> = subs.into_iter().map(|r| r.node).collect();
     let node = Node::from_parts(
         post_len,
@@ -89,8 +118,9 @@ pub fn build_node<V, const K: usize>(
         bits,
         subs,
         values.into_boxed_slice(),
-    )?;
-    Some(RawNode { node })
+    )
+    .map_err(RawError::new)?;
+    Ok(RawNode { node })
 }
 
 impl<V, const K: usize> PhTree<V, K> {
@@ -103,26 +133,31 @@ impl<V, const K: usize> PhTree<V, K> {
     /// Rebuilds a tree from a reassembled root node.
     ///
     /// Validates the root shape (split at the top bit, no infix) and
-    /// recounts the entries; returns `None` on mismatch with
+    /// recounts the entries; returns an error on mismatch with
     /// `expected_len`.
-    pub fn from_raw_parts(root: Option<RawNode<V, K>>, expected_len: usize) -> Option<Self> {
+    pub fn from_raw_parts(
+        root: Option<RawNode<V, K>>,
+        expected_len: usize,
+    ) -> Result<Self, RawError> {
         let tree = match root {
             None => PhTree::new(),
             Some(r) => {
                 if r.node.post_len != 63 || r.node.infix_len != 0 {
-                    return None;
+                    return Err(RawError::new(
+                        "root must split at the top bit with no infix",
+                    ));
                 }
                 PhTree::assemble(r.node, expected_len)
             }
         };
         if tree.len() != expected_len {
-            return None;
+            return Err(RawError::new("stored entry count disagrees with tree"));
         }
         // Entry recount (cheap relative to I/O) guards the stored count.
         if tree.iter().count() != expected_len {
-            return None;
+            return Err(RawError::new("entry recount disagrees with stored count"));
         }
-        Some(tree)
+        Ok(tree)
     }
 }
 
@@ -140,9 +175,11 @@ mod tests {
 
     /// Deep-copy a tree through the raw API (what phstore does through
     /// a file).
-    fn roundtrip<V: Clone, const K: usize>(t: &PhTree<V, K>) -> Option<PhTree<V, K>> {
-        fn copy<V: Clone, const K: usize>(n: &NodeRef<'_, V, K>) -> Option<RawNode<V, K>> {
-            let subs = n.subs().map(|c| copy(&c)).collect::<Option<Vec<_>>>()?;
+    fn roundtrip<V: Clone, const K: usize>(t: &PhTree<V, K>) -> Result<PhTree<V, K>, RawError> {
+        fn copy<V: Clone, const K: usize>(
+            n: &NodeRef<'_, V, K>,
+        ) -> Result<RawNode<V, K>, RawError> {
+            let subs = n.subs().map(|c| copy(&c)).collect::<Result<Vec<_>, _>>()?;
             build_node(
                 n.post_len(),
                 n.infix_len(),
@@ -196,7 +233,46 @@ mod tests {
             Vec::new(),
             r.values().to_vec(),
         );
-        assert!(bad.is_none());
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn corrupt_kind_bytes_rejected() {
+        // Flip kind bits in an HC node to the invalid code 0b11: must be
+        // reported as an error, never a panic (hostile-input path).
+        let mut t: PhTree<u32, 2> = PhTree::new();
+        for i in 0..64u64 {
+            t.insert([i % 8, i / 8], i as u32);
+        }
+        // Find an HC node (root or first HC descendant).
+        fn find_hc<V, const K: usize>(n: &Node<V, K>) -> Option<&Node<V, K>> {
+            if n.hc_flag() {
+                return Some(n);
+            }
+            n.subs.iter().find_map(find_hc)
+        }
+        let hc = match t.root.as_deref().and_then(find_hc) {
+            Some(n) => NodeRef { node: n },
+            None => return, // representation thresholds changed; nothing to corrupt
+        };
+        let mut words = hc.bits_words().to_vec();
+        // Kind table starts right after the infix; force every slot's
+        // 2-bit kind to 0b11 by setting all bits of the first word.
+        words[0] = !0;
+        let bad = build_node::<u32, 2>(
+            hc.post_len(),
+            hc.infix_len(),
+            true,
+            words.into_boxed_slice(),
+            hc.bits_len(),
+            Vec::new(),
+            hc.values().to_vec(),
+        );
+        let err = match bad {
+            Err(e) => e,
+            Ok(_) => panic!("corrupted kind bytes must be rejected"),
+        };
+        assert!(!err.what().is_empty());
     }
 
     #[test]
@@ -204,7 +280,7 @@ mod tests {
         // A root that does not split at the top bit is refused.
         let inner =
             build_node::<u32, 2>(10, 0, false, Box::default(), 0, Vec::new(), Vec::new()).unwrap();
-        assert!(PhTree::from_raw_parts(Some(inner), 0).is_none());
+        assert!(PhTree::from_raw_parts(Some(inner), 0).is_err());
     }
 
     #[test]
@@ -226,6 +302,6 @@ mod tests {
             }
             copy(&t.root_raw().unwrap())
         };
-        assert!(PhTree::from_raw_parts(Some(root), t.len() + 1).is_none());
+        assert!(PhTree::from_raw_parts(Some(root), t.len() + 1).is_err());
     }
 }
