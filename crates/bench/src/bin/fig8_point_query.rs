@@ -4,10 +4,15 @@
 //!
 //! Usage: `cargo run --release -p ph-bench --bin fig8_point_query --
 //!         --dataset tiger|cube|cluster [--scale 0.02] [--queries N]`
+//!
+//! Perf-baseline mode: `--k <K>` measures PH only on a CUBE dataset at
+//! dimensionality `K` (one checkpoint, best of several repeats) and with
+//! `--json <path>` records the metric into the flat perf-baseline JSON;
+//! `--quick true` shrinks the default scale for CI smoke runs.
 
 use measure::{Cli, Table};
 use ph_bench::{
-    load_timed, point_queries_timed, scaled_checkpoints, Cb1, Cb2, Index, Kd1, Kd2, Ph,
+    load_timed, point_queries_timed, scaled_checkpoints, Cb1, Cb2, Index, Kd1, Kd2, Ph, PhWorkload,
 };
 
 fn series<I: Index<K>, const K: usize>(
@@ -62,9 +67,26 @@ fn run<const K: usize>(
 
 fn main() {
     let cli = Cli::from_env();
-    let scale = cli.get_f64("scale", 0.02);
+    let quick = cli.get_str("quick", "false") == "true";
+    let scale = cli.get_f64("scale", if quick { 0.01 } else { 0.02 });
     let seed = cli.get_u64("seed", 42);
     let n_queries = cli.get_u64("queries", ((1_000_000_f64 * scale) as u64).max(20_000)) as usize;
+    let k = cli.get_u64("k", 0) as usize;
+    if k != 0 {
+        let json = cli.get_str("json", "");
+        let json = (!json.is_empty()).then_some(json);
+        let repeats = if quick { 3 } else { 5 };
+        ph_bench::run_ph_only_k(
+            PhWorkload::PointQuery,
+            k,
+            scale,
+            n_queries,
+            repeats,
+            seed,
+            json.as_deref(),
+        );
+        return;
+    }
     let dataset = cli.get_str("dataset", "cube");
     match dataset.as_str() {
         "tiger" => {

@@ -270,6 +270,16 @@ pub fn point_queries_timed<I: Index<K>, const K: usize>(idx: &I, queries: &[[f64
     per
 }
 
+/// Runs one untimed pass of a point-query workload, returning the hit
+/// count (callers time whole batches of passes themselves).
+pub fn point_queries_run<I: Index<K>, const K: usize>(idx: &I, queries: &[[f64; K]]) -> usize {
+    let mut hits = 0usize;
+    for q in queries {
+        hits += idx.get(q) as usize;
+    }
+    hits
+}
+
 /// Runs window queries, returning µs per *returned entry* (Fig. 9
 /// metric) and the total number of returned entries.
 pub fn range_queries_timed<I: Index<K>, const K: usize>(
@@ -335,9 +345,11 @@ pub fn write_csv(title: &str, table: &measure::Table) {
     }
 }
 
-/// Dispatches a generic function over the paper's `k` values.
+/// Dispatches a generic function over the paper's `k` values (plus
+/// `k = 20` for the perf-regression baseline, which stresses the
+/// word-level node kernels with multi-word postfix records).
 ///
-/// `$f` must be callable as `f::<K>(args…)` for K in 2..=15.
+/// `$f` must be callable as `f::<K>(args…)`.
 #[macro_export]
 macro_rules! with_k {
     ($k:expr, $f:ident ( $($args:expr),* $(,)? )) => {
@@ -351,9 +363,241 @@ macro_rules! with_k {
             10 => $f::<10>($($args),*),
             12 => $f::<12>($($args),*),
             15 => $f::<15>($($args),*),
-            other => panic!("unsupported k = {other} (supported: 2,3,4,5,6,8,10,12,15)"),
+            20 => $f::<20>($($args),*),
+            other => panic!("unsupported k = {other} (supported: 2,3,4,5,6,8,10,12,15,20)"),
         }
     };
+}
+
+// ---------------------------------------------------------------------
+// Perf-regression baseline support (`--k` mode of the fig7/8/9 bins)
+// ---------------------------------------------------------------------
+
+/// Which of the three figure workloads a `--k` run measures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PhWorkload {
+    /// Fig. 7 metric: µs per inserted entry.
+    Insert,
+    /// Fig. 8 metric: µs per point query (50 % hit mix).
+    PointQuery,
+    /// Fig. 9 metric: µs per returned range-query entry.
+    RangeQuery,
+}
+
+impl PhWorkload {
+    fn slug(self) -> &'static str {
+        match self {
+            PhWorkload::Insert => "fig7_insert",
+            PhWorkload::PointQuery => "fig8_point_query",
+            PhWorkload::RangeQuery => "fig9_range_query",
+        }
+    }
+}
+
+/// Axis-aligned boxes with a fixed per-dimension extent of
+/// `coverage^(1/K)` at random positions in the unit cube.
+///
+/// [`datasets::range_queries`] draws every edge length uniformly and
+/// resamples until the box reaches the target volume; at high `K` the
+/// product of `K−1` uniform fractions almost never exceeds the coverage,
+/// so that rejection loop degenerates. The baseline sweep therefore uses
+/// this deterministic-extent variant for every `K`.
+pub fn cube_range_queries<const K: usize>(
+    n_queries: usize,
+    coverage: f64,
+    seed: u64,
+) -> Vec<([f64; K], [f64; K])> {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let f = coverage.powf(1.0 / K as f64);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBA5E);
+    (0..n_queries)
+        .map(|_| {
+            let min: [f64; K] = std::array::from_fn(|_| rng.gen::<f64>() * (1.0 - f));
+            let max: [f64; K] = std::array::from_fn(|d| min[d] + f);
+            (min, max)
+        })
+        .collect()
+}
+
+/// Minimum wall-clock length of one timed sample. Sub-µs operations
+/// over a few-thousand-item workload finish in single-digit
+/// milliseconds, which is scheduler-jitter territory on a shared
+/// machine; repeating the workload until a sample spans this long makes
+/// the min-of-samples estimate reproducible to a few percent.
+const MIN_SAMPLE_US: f64 = 150_000.0;
+
+/// How many times to repeat a workload whose single pass took
+/// `once_us`, so one timed sample reaches [`MIN_SAMPLE_US`].
+fn calibrated_iters(once_us: f64) -> usize {
+    if !once_us.is_finite() || once_us <= 0.0 {
+        return 1;
+    }
+    ((MIN_SAMPLE_US / once_us).ceil() as usize).clamp(1, 1_000_000)
+}
+
+/// One PH-only measurement at compile-time dimensionality `K`: builds a
+/// CUBE dataset of `n` points and reports the workload metric as the
+/// minimum over `repeats` samples (minimum = least-noise estimate on a
+/// shared machine), each sample calibrated to span at least
+/// [`MIN_SAMPLE_US`] of wall clock.
+pub fn ph_only_measure<const K: usize>(
+    workload: PhWorkload,
+    n: usize,
+    n_queries: usize,
+    repeats: usize,
+    seed: u64,
+) -> f64 {
+    let data = datasets::cube::<K>(n, seed);
+    let mut best = f64::INFINITY;
+    match workload {
+        PhWorkload::Insert => {
+            // Calibration build doubles as warmup and is not counted.
+            let (idx, per_once) = load_timed::<Ph<K>, K>(&data);
+            std::hint::black_box(idx.len());
+            let iters = calibrated_iters(per_once * data.len() as f64);
+            for _ in 0..repeats.max(1) {
+                let (built, us) = measure::time_us(|| {
+                    let mut total_len = 0usize;
+                    for _ in 0..iters {
+                        let (idx, _) = load_timed::<Ph<K>, K>(&data);
+                        total_len += idx.len();
+                    }
+                    total_len
+                });
+                std::hint::black_box(built);
+                best = best.min(us / (iters * data.len()) as f64);
+            }
+        }
+        PhWorkload::PointQuery => {
+            let (mut idx, _) = load_timed::<Ph<K>, K>(&data);
+            idx.finalize();
+            let queries = datasets::point_query_mix(&data, n_queries, &[0.0; K], &[1.0; K], seed);
+            let iters =
+                calibrated_iters(point_queries_timed(&idx, &queries) * queries.len() as f64);
+            for _ in 0..repeats.max(1) {
+                let (_, us) = measure::time_us(|| {
+                    for _ in 0..iters {
+                        std::hint::black_box(point_queries_run(&idx, &queries));
+                    }
+                });
+                best = best.min(us / (iters * queries.len()) as f64);
+            }
+        }
+        PhWorkload::RangeQuery => {
+            let (mut idx, _) = load_timed::<Ph<K>, K>(&data);
+            idx.finalize();
+            let queries = cube_range_queries::<K>(n_queries, 0.001, seed);
+            let (per_once, total) = range_queries_timed(&idx, &queries);
+            if total == 0 {
+                return f64::NAN;
+            }
+            let iters = calibrated_iters(per_once * total as f64);
+            for _ in 0..repeats.max(1) {
+                let (grand, us) = measure::time_us(|| {
+                    let mut grand = 0usize;
+                    for _ in 0..iters {
+                        for (min, max) in &queries {
+                            grand += idx.window_count(min, max);
+                        }
+                    }
+                    grand
+                });
+                std::hint::black_box(grand);
+                best = best.min(us / grand as f64);
+            }
+        }
+    }
+    best
+}
+
+/// Entry point for the `--k` mode shared by the fig7/8/9 bins: one
+/// PH-only measurement on the CUBE dataset at runtime dimensionality
+/// `k`, printed as a table row and (optionally) recorded into the flat
+/// JSON baseline at `json_path`.
+pub fn run_ph_only_k(
+    workload: PhWorkload,
+    k: usize,
+    scale: f64,
+    n_queries: usize,
+    repeats: usize,
+    seed: u64,
+    json_path: Option<&str>,
+) {
+    let n = ((1_000_000_f64 * scale) as usize).max(1000);
+    let us = with_k!(k, ph_only_measure(workload, n, n_queries, repeats, seed));
+    let name = format!("{}_cube_k{k}", workload.slug());
+    println!("{name}: n={n} -> {us:.4} µs");
+    if let Some(path) = json_path {
+        match perfjson::record(path, &name, us) {
+            Ok(()) => eprintln!("json: {path}"),
+            Err(e) => eprintln!("note: cannot update {path}: {e}"),
+        }
+    }
+}
+
+/// Reading and writing the flat perf-baseline JSON
+/// (`{"bench_name": µs, …}`) without a serialisation dependency.
+pub mod perfjson {
+    use std::io;
+
+    /// Parses a flat `{"name": number, …}` JSON object (the only shape
+    /// this harness ever writes).
+    pub fn parse(text: &str) -> Result<Vec<(String, f64)>, String> {
+        let body = text.trim();
+        let body = body
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .ok_or("not a JSON object")?;
+        let mut out = Vec::new();
+        for part in body.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, val) = part
+                .split_once(':')
+                .ok_or_else(|| format!("bad pair {part:?}"))?;
+            let key = key
+                .trim()
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .ok_or_else(|| format!("bad key {key:?}"))?;
+            let val: f64 = val
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad value for {key:?}: {e}"))?;
+            out.push((key.to_string(), val));
+        }
+        Ok(out)
+    }
+
+    /// Renders entries (sorted by name) as the flat JSON object.
+    pub fn render(entries: &[(String, f64)]) -> String {
+        let mut sorted: Vec<&(String, f64)> = entries.iter().collect();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = String::from("{\n");
+        for (i, (k, v)) in sorted.iter().enumerate() {
+            out.push_str(&format!("  \"{k}\": {v:.6}"));
+            out.push_str(if i + 1 < sorted.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Inserts or overwrites `name` in the baseline file at `path`,
+    /// creating the file if needed.
+    pub fn record(path: &str, name: &str, value: f64) -> io::Result<()> {
+        let mut entries = match std::fs::read_to_string(path) {
+            Ok(text) => parse(&text).map_err(io::Error::other)?,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        match entries.iter_mut().find(|(k, _)| k == name) {
+            Some(e) => e.1 = value,
+            None => entries.push((name.to_string(), value)),
+        }
+        std::fs::write(path, render(&entries))
+    }
 }
 
 #[cfg(test)]
@@ -412,5 +656,60 @@ mod tests {
         }
         assert_eq!(with_k!(2, probe()), 2);
         assert_eq!(with_k!(15, probe()), 15);
+        assert_eq!(with_k!(20, probe()), 20);
+    }
+
+    #[test]
+    fn perfjson_roundtrip() {
+        let entries = vec![
+            ("fig8_point_query_cube_k3".to_string(), 1.25),
+            ("fig7_insert_cube_k20".to_string(), 10.5),
+        ];
+        let text = perfjson::render(&entries);
+        let mut back = perfjson::parse(&text).unwrap();
+        back.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].0, "fig7_insert_cube_k20");
+        assert!((back[0].1 - 10.5).abs() < 1e-9);
+        assert!(perfjson::parse("[1, 2]").is_err());
+        assert!(perfjson::parse("{\"a\": \"str\"}").is_err());
+    }
+
+    #[test]
+    fn perfjson_record_merges() {
+        let dir = std::env::temp_dir().join(format!("perfjson_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let path = path.to_str().unwrap();
+        perfjson::record(path, "a", 1.0).unwrap();
+        perfjson::record(path, "b", 2.0).unwrap();
+        perfjson::record(path, "a", 3.0).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        let entries = perfjson::parse(&text).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries.iter().find(|(k, _)| k == "a").unwrap().1, 3.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ph_only_measure_smoke() {
+        let us = ph_only_measure::<3>(PhWorkload::Insert, 1000, 0, 1, 7);
+        assert!(us.is_finite() && us >= 0.0);
+        let us = ph_only_measure::<3>(PhWorkload::PointQuery, 1000, 100, 2, 7);
+        assert!(us.is_finite() && us >= 0.0);
+        let us = ph_only_measure::<3>(PhWorkload::RangeQuery, 1000, 10, 2, 7);
+        assert!(us.is_finite() && us >= 0.0);
+    }
+
+    #[test]
+    fn cube_range_queries_have_fixed_extent() {
+        let qs = cube_range_queries::<4>(20, 0.001, 9);
+        let f = 0.001f64.powf(0.25);
+        for (min, max) in qs {
+            for d in 0..4 {
+                assert!(min[d] >= 0.0 && max[d] <= 1.0 + 1e-12);
+                assert!((max[d] - min[d] - f).abs() < 1e-12);
+            }
+        }
     }
 }

@@ -1,4 +1,4 @@
-//! A packed bit buffer with exact-size storage.
+//! A packed bit buffer with word-level access kernels.
 //!
 //! Bits are stored in `u64` words. Bit index `i` lives in word `i / 64`
 //! at bit position `i % 64` counted from the least significant bit.
@@ -6,15 +6,25 @@
 //! value's bit 0 is at the lowest buffer index. This keeps every
 //! read/write a one- or two-word operation.
 //!
-//! The backing store is an exact-size `Box<[u64]>`: a buffer of `n` bits
-//! owns exactly `ceil(n/64)` words of heap — the PH-tree's space
-//! accounting depends on nodes never carrying capacity slack. All
-//! structural edits (gap insertion, range removal) rebuild the word
-//! array in a single allocation + single copy pass, so a combined edit
-//! of several regions ([`BitBuf::insert_gaps`]) costs one pass, not one
-//! per region.
+//! The backing store is a `Vec<u64>` holding exactly `ceil(n/64)` words
+//! of *initialised* data; [`BitBuf::grow`]/[`BitBuf::truncate`] resize
+//! in place with the vector's amortised growth, so appending is O(1)
+//! amortised. [`BitBuf::shrink_to_fit`] releases capacity slack and
+//! [`BitBuf::heap_bytes`] reports the true capacity, so the PH-tree's
+//! space accounting stays exact after a shrink pass. All structural
+//! edits (gap insertion, range removal) rebuild the word array in a
+//! single allocation + single copy pass, so a combined edit of several
+//! regions ([`BitBuf::insert_gaps`]) costs one pass, not one per region.
+//!
+//! Beyond single-value reads and writes, the buffer exposes **word-level
+//! kernels** for the PH-tree's node hot paths: [`BitBuf::eq_range`] /
+//! [`BitBuf::cmp_range`] compare a packed bit range against a
+//! caller-packed key in `O(nbits/64)` word operations, and
+//! [`BitBuf::read_key_into`] / [`BitBuf::write_key`] gather/scatter a
+//! run of `K` fixed-width fields (one per dimension) with a single
+//! rolling word cursor instead of `K` independent sub-word accesses.
 
-/// A packed bit buffer with exact-size heap storage.
+/// A packed bit buffer backed by a word vector.
 ///
 /// This is the per-node bit string of the PH-tree: it holds the node's
 /// infix, the packed child addresses/kinds and the postfixes of all
@@ -49,7 +59,11 @@
 /// ```
 #[derive(Clone, Default, PartialEq, Eq)]
 pub struct BitBuf {
-    words: Box<[u64]>,
+    /// Invariant: `words.len() == len.div_ceil(64)` and every bit at
+    /// index `>= len` in the last word is zero. Capacity beyond
+    /// `words.len()` is allowed (amortised growth) and reported by
+    /// [`BitBuf::heap_bytes`].
+    words: Vec<u64>,
     len: u32,
 }
 
@@ -69,16 +83,19 @@ impl BitBuf {
         Self::default()
     }
 
-    /// Creates an empty buffer. (`nbits` is advisory only; storage is
-    /// always exact-size, so this is equivalent to [`BitBuf::new`].)
-    pub fn with_capacity(_nbits: usize) -> Self {
-        Self::default()
+    /// Creates an empty buffer with room for `nbits` bits pre-reserved,
+    /// so pushes up to that size never reallocate.
+    pub fn with_capacity(nbits: usize) -> Self {
+        BitBuf {
+            words: Vec::with_capacity(nbits.div_ceil(64)),
+            len: 0,
+        }
     }
 
     /// Creates a zero-filled buffer of `nbits` bits.
     pub fn zeroed(nbits: usize) -> Self {
         BitBuf {
-            words: vec![0u64; nbits.div_ceil(64)].into_boxed_slice(),
+            words: vec![0u64; nbits.div_ceil(64)],
             len: nbits as u32,
         }
     }
@@ -97,25 +114,30 @@ impl BitBuf {
 
     /// Removes all bits (and the allocation).
     pub fn clear(&mut self) {
-        self.words = Box::default();
+        self.words = Vec::new();
         self.len = 0;
     }
 
-    /// Bytes of heap memory held by this buffer (always exact:
-    /// `ceil(len/64)` words).
+    /// Bytes of heap memory held by this buffer, including capacity
+    /// slack from amortised growth. [`BitBuf::shrink_to_fit`] brings it
+    /// down to [`BitBuf::used_bytes`].
     #[inline]
     pub fn heap_bytes(&self) -> usize {
-        self.words.len() * 8
+        self.words.capacity() * 8
     }
 
-    /// Same as [`BitBuf::heap_bytes`] (kept for API compatibility).
+    /// Bytes of heap actually holding bits: `ceil(len/64)` words.
     #[inline]
     pub fn used_bytes(&self) -> usize {
         self.len().div_ceil(64) * 8
     }
 
-    /// No-op: storage is always exact-size.
-    pub fn shrink_to_fit(&mut self) {}
+    /// Releases capacity slack so [`BitBuf::heap_bytes`] equals
+    /// [`BitBuf::used_bytes`] (the PH-tree's space figures assume nodes
+    /// carry no slack after a shrink pass).
+    pub fn shrink_to_fit(&mut self) {
+        self.words.shrink_to_fit();
+    }
 
     /// Reads `nbits` bits (0..=64) starting at bit offset `off`.
     ///
@@ -182,36 +204,31 @@ impl BitBuf {
         self.write_bits(off, value, nbits);
     }
 
-    /// Extends the buffer by `nbits` zero bits (reallocates exactly).
+    /// Extends the buffer by `nbits` zero bits in place (amortised O(1)
+    /// per word thanks to the vector's growth policy). The new bits are
+    /// zero because the invariant keeps trailing bits of the last word
+    /// zeroed.
     pub fn grow(&mut self, nbits: usize) {
-        let old_len = self.len();
-        self.resize_words(old_len + nbits);
+        let new_len = self.len() + nbits;
+        self.words.resize(new_len.div_ceil(64), 0);
+        self.len = new_len as u32;
     }
 
-    /// Truncates the buffer to `nbits` bits (reallocates exactly).
+    /// Truncates the buffer to `nbits` bits in place. Capacity is
+    /// retained (use [`BitBuf::shrink_to_fit`] to release it).
     ///
     /// # Panics
     ///
     /// Panics if `nbits > len()`.
     pub fn truncate(&mut self, nbits: usize) {
         assert!(nbits <= self.len(), "truncate beyond length");
-        self.resize_words(nbits);
-    }
-
-    /// Reallocates to exactly `new_len` bits, preserving the common
-    /// prefix and zeroing everything beyond the old length.
-    fn resize_words(&mut self, new_len: usize) {
-        let need = new_len.div_ceil(64);
-        let keep_bits = self.len().min(new_len);
-        let mut out = vec![0u64; need].into_boxed_slice();
-        let full = keep_bits / 64;
-        out[..full].copy_from_slice(&self.words[..full]);
-        let rem = (keep_bits % 64) as u32;
+        let need = nbits.div_ceil(64);
+        self.words.truncate(need);
+        let rem = (nbits % 64) as u32;
         if rem != 0 {
-            out[full] = self.words[full] & mask(rem);
+            self.words[need - 1] &= mask(rem);
         }
-        self.words = out;
-        self.len = new_len as u32;
+        self.len = nbits as u32;
     }
 
     /// Opens one gap of `gap` zero bits at offset `off`, shifting all
@@ -308,15 +325,56 @@ impl BitBuf {
 
     /// Copies `n` bits from `src` (another buffer) at `src_off` into `self`
     /// at `dst_off`. The destination range must already exist.
+    ///
+    /// When both offsets share the same residue mod 64 (the common case
+    /// in node relayouts, where whole regions shift by multiples of the
+    /// postfix stride), the middle of the range is moved with a plain
+    /// word `copy_from_slice` instead of per-chunk shifting.
     pub fn copy_bits_from(&mut self, src: &BitBuf, src_off: usize, dst_off: usize, n: usize) {
         assert!(src_off + n <= src.len(), "source range out of bounds");
         assert!(dst_off + n <= self.len(), "destination range out of bounds");
+        if n == 0 {
+            return;
+        }
+        if src_off % 64 == dst_off % 64 {
+            return self.copy_aligned(src, src_off, dst_off, n);
+        }
         let mut done = 0;
         while done < n {
             let chunk = (n - done).min(64) as u32;
             let v = src.read_bits(src_off + done, chunk);
             self.write_bits(dst_off + done, v, chunk);
             done += chunk as usize;
+        }
+    }
+
+    /// Word-aligned copy: `src_off % 64 == dst_off % 64`. Handles the
+    /// partial head word up to the boundary, block-copies full words,
+    /// then merges the masked tail.
+    #[inline]
+    fn copy_aligned(&mut self, src: &BitBuf, src_off: usize, dst_off: usize, n: usize) {
+        let mut sw = src_off / 64;
+        let mut dw = dst_off / 64;
+        let bit = (src_off % 64) as u32;
+        let mut rem = n;
+        if bit != 0 {
+            let head = ((64 - bit) as usize).min(rem) as u32;
+            let m = mask(head) << bit;
+            self.words[dw] = (self.words[dw] & !m) | (src.words[sw] & m);
+            rem -= head as usize;
+            if rem == 0 {
+                return;
+            }
+            sw += 1;
+            dw += 1;
+        }
+        let full = rem / 64;
+        self.words[dw..dw + full].copy_from_slice(&src.words[sw..sw + full]);
+        let tail = (rem % 64) as u32;
+        if tail != 0 {
+            let m = mask(tail);
+            let w = dw + full;
+            self.words[w] = (self.words[w] & !m) | (src.words[sw + full] & m);
         }
     }
 
@@ -344,6 +402,232 @@ impl BitBuf {
         total
     }
 
+    // ------------------------------------------------------------------
+    // Word-level kernels (PH-tree node hot paths)
+    // ------------------------------------------------------------------
+
+    /// Whether the `nbits` bits at `off..off + nbits` equal the packed
+    /// little-endian key in `key` (word `i` holds bits `i*64..`, trailing
+    /// bits of the last word are ignored).
+    ///
+    /// Word-chunked: one (aligned) or two (shifted) word reads per 64
+    /// compared bits, instead of one `read_bits` per field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds [`BitBuf::len`] or `key` holds fewer
+    /// than `ceil(nbits/64)` words.
+    #[inline]
+    pub fn eq_range(&self, off: usize, key: &[u64], nbits: usize) -> bool {
+        assert!(off + nbits <= self.len(), "eq_range out of bounds");
+        if nbits == 0 {
+            return true;
+        }
+        let nwords = nbits.div_ceil(64);
+        assert!(key.len() >= nwords, "eq_range key too short");
+        let word = off / 64;
+        let shift = (off % 64) as u32;
+        if shift == 0 {
+            let full = nbits / 64;
+            if self.words[word..word + full] != key[..full] {
+                return false;
+            }
+            let rem = (nbits % 64) as u32;
+            rem == 0 || (self.words[word + full] ^ key[full]) & mask(rem) == 0
+        } else {
+            let inv = 64 - shift;
+            let mut rem = nbits;
+            for (w, &k) in (word..).zip(key[..nwords].iter()) {
+                let take = rem.min(64) as u32;
+                let lo = self.words[w] >> shift;
+                let v = if take <= inv {
+                    lo
+                } else {
+                    lo | (self.words[w + 1] << inv)
+                };
+                if (v ^ k) & mask(take) != 0 {
+                    return false;
+                }
+                rem -= take as usize;
+            }
+            true
+        }
+    }
+
+    /// Compares the `nbits` bits at `off..` against the packed
+    /// little-endian key in `key`, both interpreted as `nbits`-bit
+    /// unsigned integers (bit 0 least significant).
+    ///
+    /// Decides from the most significant word down, so mismatching keys
+    /// usually resolve on the first word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds [`BitBuf::len`] or `key` holds fewer
+    /// than `ceil(nbits/64)` words.
+    #[inline]
+    pub fn cmp_range(&self, off: usize, key: &[u64], nbits: usize) -> std::cmp::Ordering {
+        assert!(off + nbits <= self.len(), "cmp_range out of bounds");
+        let nwords = nbits.div_ceil(64);
+        assert!(key.len() >= nwords, "cmp_range key too short");
+        if nbits == 0 {
+            return std::cmp::Ordering::Equal;
+        }
+        if nbits <= 64 {
+            // Single-word fields (K <= 64 hypercube addresses) compare in
+            // one extract, skipping the word loop entirely.
+            let take = nbits as u32;
+            return self.read_bits(off, take).cmp(&(key[0] & mask(take)));
+        }
+        for i in (0..nwords).rev() {
+            let take = (nbits - i * 64).min(64) as u32;
+            let v = self.read_bits(off + i * 64, take);
+            let k = key[i] & mask(take);
+            if v != k {
+                return v.cmp(&k);
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+
+    /// Gathers `key.len()` fields of `width` bits each, laid out
+    /// back-to-back from `off` (field `d` at `off + d*width`), merging
+    /// field `d` into `key[d]` at bit position `shift`:
+    /// `key[d] = (key[d] & !(mask << shift)) | (field << shift)`.
+    ///
+    /// This is the PH-tree postfix (`shift == 0`) / infix
+    /// (`shift == post_len + 1`) read: the packed run is walked once
+    /// with a rolling word cursor instead of `K` independent
+    /// [`BitBuf::read_bits`] calls re-deriving word/bit offsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run exceeds [`BitBuf::len`]. Requires
+    /// `width + shift <= 64` (debug-asserted).
+    #[inline]
+    pub fn read_key_into(&self, off: usize, width: u32, shift: u32, key: &mut [u64]) {
+        if width == 0 {
+            return;
+        }
+        debug_assert!(width + shift <= 64, "field must fit a word");
+        let total = width as usize * key.len();
+        assert!(off + total <= self.len(), "key read out of bounds");
+        let m = mask(width);
+        let place = !(m << shift);
+        let mut word = off / 64;
+        let mut bit = (off % 64) as u32;
+        for v in key.iter_mut() {
+            let lo = self.words[word] >> bit;
+            let have = 64 - bit;
+            let field = if width <= have {
+                lo & m
+            } else {
+                (lo | (self.words[word + 1] << have)) & m
+            };
+            *v = (*v & place) | (field << shift);
+            bit += width;
+            if bit >= 64 {
+                word += 1;
+                bit -= 64;
+            }
+        }
+    }
+
+    /// Compares `key.len()` fields of `width` bits each in the packed
+    /// run at `off` (field `d` at `off + d*width`) against bits
+    /// `shift..shift + width` of `key[d]`, returning whether every field
+    /// matches. The compare-side sibling of [`BitBuf::read_key_into`]:
+    /// the same rolling cursor, but it exits on the first mismatching
+    /// dimension — on miss-heavy probes (point queries are 50 % misses
+    /// in the paper's workload) that usually means one field of work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run exceeds [`BitBuf::len`]. Requires
+    /// `width + shift <= 64` (debug-asserted).
+    #[inline]
+    pub fn eq_key(&self, off: usize, width: u32, shift: u32, key: &[u64]) -> bool {
+        if width == 0 {
+            return true;
+        }
+        debug_assert!(width + shift <= 64, "field must fit a word");
+        let total = width as usize * key.len();
+        assert!(off + total <= self.len(), "key compare out of bounds");
+        let m = mask(width);
+        let mut word = off / 64;
+        let mut bit = (off % 64) as u32;
+        for &v in key {
+            let lo = self.words[word] >> bit;
+            let have = 64 - bit;
+            let field = if width <= have {
+                lo & m
+            } else {
+                (lo | (self.words[word + 1] << have)) & m
+            };
+            if field != (v >> shift) & m {
+                return false;
+            }
+            bit += width;
+            if bit >= 64 {
+                word += 1;
+                bit -= 64;
+            }
+        }
+        true
+    }
+
+    /// Scatters `key.len()` fields of `width` bits each into the packed
+    /// run at `off` (field `d` at `off + d*width`), taking field `d`
+    /// from bits `shift..shift + width` of `key[d]`. The write-side dual
+    /// of [`BitBuf::read_key_into`]: each touched word is loaded and
+    /// stored once via a rolling cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run exceeds [`BitBuf::len`]. Requires
+    /// `width + shift <= 64` (debug-asserted).
+    #[inline]
+    pub fn write_key(&mut self, off: usize, width: u32, shift: u32, key: &[u64]) {
+        if width == 0 {
+            return;
+        }
+        debug_assert!(width + shift <= 64, "field must fit a word");
+        let total = width as usize * key.len();
+        assert!(off + total <= self.len(), "key write out of bounds");
+        let m = mask(width);
+        let mut word = off / 64;
+        let mut bit = (off % 64) as u32;
+        let mut cur = self.words[word];
+        for &v in key {
+            let field = (v >> shift) & m;
+            let have = 64 - bit;
+            if width < have {
+                cur = (cur & !(m << bit)) | (field << bit);
+                bit += width;
+            } else if width == have {
+                cur = (cur & !(m << bit)) | (field << bit);
+                self.words[word] = cur;
+                word += 1;
+                bit = 0;
+                if word < self.words.len() {
+                    cur = self.words[word];
+                }
+            } else {
+                // Field spans into the next word: `field << bit`
+                // truncates the spill, which lands in the next word.
+                cur = (cur & !(u64::MAX << bit)) | (field << bit);
+                self.words[word] = cur;
+                word += 1;
+                let spill = width - have;
+                cur = (self.words[word] & !mask(spill)) | (field >> have);
+                bit = spill;
+            }
+        }
+        if bit > 0 {
+            self.words[word] = cur;
+        }
+    }
+
     /// The backing words (exactly `ceil(len/64)`; bits beyond `len` in
     /// the last word are zero). For serialisation.
     #[inline]
@@ -365,7 +649,7 @@ impl BitBuf {
             return None;
         }
         Some(BitBuf {
-            words,
+            words: words.into_vec(),
             len: len_bits as u32,
         })
     }
@@ -597,16 +881,165 @@ mod tests {
     }
 
     #[test]
-    fn storage_is_exact() {
+    fn with_capacity_reserves_and_shrink_releases() {
+        // with_capacity must actually pre-reserve: pushes within the
+        // reserved size never move the allocation.
+        let mut b = BitBuf::with_capacity(64 * 10);
+        assert!(b.heap_bytes() >= 80, "capacity not reserved");
+        let cap = b.heap_bytes();
+        for i in 0..10u64 {
+            b.push_bits(i, 64);
+        }
+        assert_eq!(b.heap_bytes(), cap, "grow within capacity reallocated");
+        assert_eq!(b.used_bytes(), 80);
+
+        // truncate keeps capacity; shrink_to_fit releases the slack.
+        b.truncate(65);
+        assert_eq!(b.heap_bytes(), cap, "truncate must retain capacity");
+        assert_eq!(b.used_bytes(), 16);
+        b.shrink_to_fit();
+        assert_eq!(b.heap_bytes(), b.used_bytes(), "slack not released");
+        assert_eq!(b.read_bits(0, 64), 0);
+        assert_eq!(b.read_bits(64, 1), 1);
+    }
+
+    #[test]
+    fn truncate_in_place_zeroes_tail_bits() {
         let mut b = BitBuf::new();
-        b.grow(65);
-        assert_eq!(b.heap_bytes(), 16);
-        b.truncate(64);
-        assert_eq!(b.heap_bytes(), 8);
-        b.truncate(0);
-        assert_eq!(b.heap_bytes(), 0);
-        b.grow(1);
-        assert_eq!(b.heap_bytes(), 8);
+        b.push_bits(u64::MAX, 64);
+        b.truncate(3);
+        // Invariant: bits beyond len in the last word are zero, so a
+        // grow re-exposes zeros, and words() shows a masked last word.
+        assert_eq!(b.words(), &[0b111]);
+        b.grow(61);
+        assert_eq!(b.read_bits(0, 64), 0b111);
+    }
+
+    #[test]
+    fn eq_range_aligned_and_shifted() {
+        let mut b = BitBuf::new();
+        let payload = [0x0123_4567_89AB_CDEFu64, 0xFEDC_BA98_7654_3210, 0x5555];
+        b.grow(7); // force a shifted copy at offset 7
+        for &w in &payload {
+            b.push_bits(w, 64);
+        }
+        // Shifted compare over sub-word, word and multi-word lengths.
+        for nbits in [1usize, 13, 64, 65, 100, 128, 150, 192] {
+            let mut key = [0u64; 3];
+            for (i, k) in key.iter_mut().enumerate() {
+                if nbits > i * 64 {
+                    let take = (nbits - i * 64).min(64) as u32;
+                    *k = b.read_bits(7 + i * 64, take);
+                }
+            }
+            assert!(b.eq_range(7, &key, nbits), "nbits {nbits}");
+            if nbits > 0 {
+                key[(nbits - 1) / 64] ^= 1 << ((nbits - 1) % 64);
+                assert!(!b.eq_range(7, &key, nbits), "flip at {nbits}");
+            }
+        }
+        // Aligned path (offset 64).
+        let mut key = [b.read_bits(64, 64), b.read_bits(128, 32)];
+        assert!(b.eq_range(64, &key, 96));
+        key[1] ^= 1 << 31;
+        assert!(!b.eq_range(64, &key, 96));
+    }
+
+    #[test]
+    fn cmp_range_orders_like_integers() {
+        use std::cmp::Ordering::*;
+        let mut b = BitBuf::new();
+        b.grow(5);
+        b.push_bits(500, 10);
+        b.push_bits(0xABCD_EF01_2345_6789, 64);
+        // A 70-bit value (high bits zero), pushed in two pieces.
+        b.push_bits(0x3FF, 64);
+        b.push_bits(0, 6);
+        assert_eq!(b.cmp_range(5, &[500], 10), Equal);
+        assert_eq!(b.cmp_range(5, &[499], 10), Greater);
+        assert_eq!(b.cmp_range(5, &[501], 10), Less);
+        // Trailing key bits beyond nbits are ignored.
+        assert_eq!(b.cmp_range(5, &[500 | (1 << 10)], 10), Equal);
+        assert_eq!(b.cmp_range(15, &[0xABCD_EF01_2345_6789], 64), Equal);
+        // Multi-word: decided by the high word first.
+        assert_eq!(b.cmp_range(79, &[0x3FF, 0], 70), Equal);
+        assert_eq!(b.cmp_range(79, &[0, 1], 70), Less);
+        assert_eq!(b.cmp_range(79, &[u64::MAX, 0], 70), Less);
+    }
+
+    #[test]
+    fn key_gather_scatter_roundtrip() {
+        // Postfix-style (shift 0) and infix-style (shift > 0) fields at
+        // an awkward offset, spanning several words.
+        let key = [0x1A5u64, 0x0F3, 0x1FF, 0x000, 0x155];
+        for shift in [0u32, 5] {
+            let shifted: Vec<u64> = key.iter().map(|&v| v << shift).collect();
+            for width in [1u32, 9, 37, 59] {
+                let mut b = BitBuf::new();
+                b.grow(3 + width as usize * key.len() + 64);
+                b.write_key(3, width, shift, &shifted);
+                // Each field lands at its strided offset.
+                for (d, &v) in key.iter().enumerate() {
+                    assert_eq!(
+                        b.read_bits(3 + d * width as usize, width),
+                        v & mask(width),
+                        "width {width} shift {shift} dim {d}"
+                    );
+                }
+                // Gather merges into existing high bits without clobber.
+                let mut out = vec![u64::MAX; key.len()];
+                b.read_key_into(3, width, shift, &mut out);
+                for (d, &v) in key.iter().enumerate() {
+                    let expect = !(mask(width) << shift) | ((v & mask(width)) << shift);
+                    assert_eq!(out[d], expect, "width {width} shift {shift} dim {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn write_key_preserves_neighbours() {
+        let mut b = BitBuf::new();
+        b.grow(200);
+        for i in 0..200 {
+            b.set(i, i % 3 == 0);
+        }
+        let before: Vec<bool> = (0..200).map(|i| b.get(i)).collect();
+        b.write_key(70, 17, 0, &[0x1ABCD, 0x05432, 0x1FFFF]);
+        for (i, &bit) in before.iter().enumerate() {
+            if !(70..70 + 51).contains(&i) {
+                assert_eq!(b.get(i), bit, "neighbour bit {i} clobbered");
+            }
+        }
+        let mut out = [0u64; 3];
+        b.read_key_into(70, 17, 0, &mut out);
+        assert_eq!(out, [0x1ABCD, 0x05432, 0x1FFFF]);
+    }
+
+    #[test]
+    fn aligned_copy_matches_generic() {
+        let mut src = BitBuf::new();
+        for i in 0..6u64 {
+            src.push_bits(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1), 64);
+        }
+        for (src_off, dst_off, n) in [
+            (0usize, 64usize, 256usize), // fully word-aligned
+            (13, 13, 200),               // equal non-zero residue
+            (13, 77, 200),               // equal residue, different words
+            (70, 6, 63),                 // shorter than a word
+            (1, 65, 1),
+        ] {
+            let mut fast = BitBuf::zeroed(512);
+            fast.copy_bits_from(&src, src_off, dst_off, n);
+            let mut slow = BitBuf::zeroed(512);
+            let mut done = 0;
+            while done < n {
+                let chunk = (n - done).min(61) as u32; // odd chunk, generic path
+                slow.write_bits(dst_off + done, src.read_bits(src_off + done, chunk), chunk);
+                done += chunk as usize;
+            }
+            assert_eq!(fast, slow, "src {src_off} dst {dst_off} n {n}");
+        }
     }
 
     #[test]

@@ -214,6 +214,42 @@ proptest! {
         prop_assert_eq!(multi, seq);
     }
 
+    /// Aligned-residue copies (`src_off % 64 == dst_off % 64`) take the
+    /// word-level fast path; check it against the bool model.
+    #[test]
+    fn copy_bits_aligned_matches_model(
+        src_bits in proptest::collection::vec(any::<bool>(), 1..400),
+        residue in 0usize..64,
+        src_word in 0usize..3,
+        dst_word in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let mut src = BitBuf::new();
+        for &b in &src_bits {
+            src.push_bits(b as u64, 1);
+        }
+        let src_off = src_word * 64 + residue;
+        prop_assume!(src_off < src_bits.len());
+        let n = 1 + (seed as usize) % (src_bits.len() - src_off);
+        let dst_off = dst_word * 64 + residue;
+        let mut dst = BitBuf::new();
+        dst.grow(dst_off + n + 19);
+        // Pre-fill with junk so clobbered neighbours would be caught.
+        for i in 0..dst.len() {
+            dst.write_bits(i, (seed >> (i % 64)) & 1, 1);
+        }
+        let before: Vec<bool> = (0..dst.len()).map(|i| dst.get(i)).collect();
+        dst.copy_bits_from(&src, src_off, dst_off, n);
+        for i in 0..dst.len() {
+            let want = if (dst_off..dst_off + n).contains(&i) {
+                src_bits[src_off + i - dst_off]
+            } else {
+                before[i]
+            };
+            prop_assert_eq!(dst.get(i), want, "bit {}", i);
+        }
+    }
+
     /// `words`/`from_words` is a lossless round trip, and `from_words`
     /// rejects stale high bits.
     #[test]
@@ -235,6 +271,158 @@ proptest! {
             if b.len() % 64 != 64 {
                 prop_assert!(BitBuf::from_words(bad, b.len()).is_none());
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential tests: word-level kernels vs naive bit-by-bit references.
+// ---------------------------------------------------------------------------
+
+/// Builds a buffer from a bool vector.
+fn buf_from_bits(bits: &[bool]) -> BitBuf {
+    let mut b = BitBuf::new();
+    for &x in bits {
+        b.push_bits(x as u64, 1);
+    }
+    b
+}
+
+/// Naive reference for `eq_range`: compare bit-by-bit against the packed key.
+fn eq_range_naive(bits: &[bool], off: usize, key: &[u64], nbits: usize) -> bool {
+    (0..nbits).all(|i| bits[off + i] == ((key[i / 64] >> (i % 64)) & 1 == 1))
+}
+
+/// Naive reference for `cmp_range`: little-endian integer order.
+fn cmp_range_naive(bits: &[bool], off: usize, key: &[u64], nbits: usize) -> std::cmp::Ordering {
+    for i in (0..nbits).rev() {
+        let v = bits[off + i];
+        let k = (key[i / 64] >> (i % 64)) & 1 == 1;
+        if v != k {
+            return v.cmp(&k);
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `eq_range` agrees with a bit-by-bit scan, on both exact copies and
+    /// single-bit corruptions, across aligned and shifted offsets.
+    #[test]
+    fn eq_range_matches_naive(
+        bits in proptest::collection::vec(any::<bool>(), 1..400),
+        off_sel in any::<usize>(),
+        len_sel in any::<usize>(),
+        flip_sel in any::<usize>(),
+        corrupt in any::<bool>(),
+    ) {
+        let b = buf_from_bits(&bits);
+        let off = off_sel % bits.len();
+        let nbits = 1 + len_sel % (bits.len() - off);
+        // Pack the exact range, then optionally flip one bit of the key.
+        let mut key = vec![0u64; nbits.div_ceil(64)];
+        for i in 0..nbits {
+            if bits[off + i] {
+                key[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        if corrupt {
+            let f = flip_sel % nbits;
+            key[f / 64] ^= 1u64 << (f % 64);
+        }
+        prop_assert_eq!(
+            b.eq_range(off, &key, nbits),
+            eq_range_naive(&bits, off, &key, nbits)
+        );
+        prop_assert_eq!(b.eq_range(off, &key, nbits), !corrupt);
+    }
+
+    /// `cmp_range` orders ranges like little-endian integers, matching a
+    /// top-down bit scan.
+    #[test]
+    fn cmp_range_matches_naive(
+        bits in proptest::collection::vec(any::<bool>(), 1..400),
+        off_sel in any::<usize>(),
+        len_sel in any::<usize>(),
+        key_raw in proptest::collection::vec(any::<u64>(), 7..8),
+    ) {
+        let b = buf_from_bits(&bits);
+        let off = off_sel % bits.len();
+        let nbits = 1 + len_sel % (bits.len() - off);
+        let nwords = nbits.div_ceil(64);
+        let mut key = key_raw[..nwords].to_vec();
+        // High bits beyond nbits are ignored by contract; mask to be explicit.
+        let rem = (nbits % 64) as u32;
+        if rem != 0 {
+            key[nwords - 1] &= num::low_mask(rem);
+        }
+        prop_assert_eq!(
+            b.cmp_range(off, &key, nbits),
+            cmp_range_naive(&bits, off, &key, nbits)
+        );
+    }
+
+    /// `read_key_into` / `write_key` agree with a per-dimension
+    /// `read_bits` / `write_bits` loop for K in 1..24 and any legal
+    /// (width, shift) split of a word.
+    #[test]
+    fn key_kernels_match_naive(
+        k in 1usize..24,
+        width in 0u32..=64,
+        shift_sel in any::<u32>(),
+        off_sel in any::<usize>(),
+        key_raw in proptest::collection::vec(any::<u64>(), 24..25),
+        backing in proptest::collection::vec(any::<bool>(), 1600..1700),
+    ) {
+        let shift = if width == 64 { 0 } else { shift_sel % (64 - width + 1) };
+        let total = width as usize * k;
+        let off = off_sel % (backing.len() - total);
+        let key = &key_raw[..k];
+
+        // --- write_key vs naive write_bits loop ---
+        let mut fast = buf_from_bits(&backing);
+        fast.write_key(off, width, shift, key);
+        let mut slow = buf_from_bits(&backing);
+        for (d, &v) in key.iter().enumerate() {
+            slow.write_bits(off + d * width as usize, (v >> shift) & num::low_mask(width), width);
+        }
+        prop_assert_eq!(&fast, &slow);
+
+        // --- read_key_into vs naive read_bits loop ---
+        let mut got = key_raw[..k].to_vec();
+        fast.read_key_into(off, width, shift, &mut got);
+        let keep = !(num::low_mask(width) << shift);
+        for (d, g) in got.iter().enumerate() {
+            let field = slow.read_bits(off + d * width as usize, width);
+            let want = (key_raw[d] & keep) | (field << shift);
+            prop_assert_eq!(*g, want, "dim {}", d);
+        }
+
+        // --- pack_key agrees with the committed write_key layout ---
+        let mut packed = vec![u64::MAX; 24];
+        let nbits = num::pack_key(key, shift, width, &mut packed);
+        prop_assert_eq!(nbits, total);
+        for i in 0..total {
+            let want = fast.get(off + i);
+            prop_assert_eq!((packed[i / 64] >> (i % 64)) & 1 == 1, want, "bit {}", i);
+        }
+        // And eq_range/eq_key accept the written key at the written offset.
+        if total > 0 {
+            prop_assert!(fast.eq_range(off, &packed, total));
+        }
+        prop_assert!(fast.eq_key(off, width, shift, key));
+        // eq_key agrees with a per-dimension read_bits compare after a flip.
+        if width > 0 {
+            let mut fuzz = fast.clone();
+            let f = off + off_sel % total;
+            fuzz.set(f, !fuzz.get(f));
+            let naive = key.iter().enumerate().all(|(d, &v)| {
+                fuzz.read_bits(off + d * width as usize, width) == (v >> shift) & num::low_mask(width)
+            });
+            prop_assert_eq!(fuzz.eq_key(off, width, shift, key), naive);
+            prop_assert!(!fuzz.eq_key(off, width, shift, key));
         }
     }
 }

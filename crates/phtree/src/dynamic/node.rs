@@ -10,7 +10,7 @@
 //! property the test suite asserts.
 
 use crate::config::ReprMode;
-use phbits::{num, BitBuf};
+use phbits::BitBuf;
 
 /// Bits per dimension (`w` in the paper).
 pub const W: u32 = 64;
@@ -70,7 +70,7 @@ impl<V> DynNode<V> {
     pub fn new(k: usize, post_len: u8, infix_len: u8, key: &[u64]) -> Self {
         debug_assert!((post_len as u32) < W);
         debug_assert!(post_len as u32 + (infix_len as u32) < W);
-        let mut bits = BitBuf::new();
+        let mut bits = BitBuf::with_capacity(infix_len as usize * k + 2 * (k + 1));
         bits.grow(infix_len as usize * k);
         let mut n = DynNode {
             post_len,
@@ -121,11 +121,8 @@ impl<V> DynNode<V> {
         if il == 0 {
             return;
         }
-        let lo = self.post_len as u32 + 1;
-        for (d, &v) in key.iter().enumerate().take(k) {
-            let frag = (v >> lo) & num::low_mask(il);
-            self.bits.write_bits(d * il as usize, frag, il);
-        }
+        self.bits
+            .write_key(0, il, self.post_len as u32 + 1, &key[..k]);
     }
 
     pub fn read_infix_into(&self, k: usize, key: &mut [u64]) {
@@ -133,12 +130,8 @@ impl<V> DynNode<V> {
         if il == 0 {
             return;
         }
-        let lo = self.post_len as u32 + 1;
-        let m = num::low_mask(il) << lo;
-        for (d, v) in key.iter_mut().enumerate().take(k) {
-            let frag = self.bits.read_bits(d * il as usize, il);
-            *v = (*v & !m) | (frag << lo);
-        }
+        self.bits
+            .read_key_into(0, il, self.post_len as u32 + 1, &mut key[..k]);
     }
 
     pub fn infix_matches(&self, k: usize, key: &[u64]) -> bool {
@@ -146,14 +139,7 @@ impl<V> DynNode<V> {
         if il == 0 {
             return true;
         }
-        let lo = self.post_len as u32 + 1;
-        for (d, &v) in key.iter().enumerate().take(k) {
-            let frag = (v >> lo) & num::low_mask(il);
-            if frag != self.bits.read_bits(d * il as usize, il) {
-                return false;
-            }
-        }
-        true
+        self.bits.eq_key(0, il, self.post_len as u32 + 1, &key[..k])
     }
 
     pub fn reset_infix(&mut self, k: usize, new_len: u8, key: &[u64], mode: ReprMode) {
@@ -234,20 +220,20 @@ impl<V> DynNode<V> {
     }
 
     fn lhc_search(&self, k: usize, h: u64) -> Result<usize, usize> {
-        let (mut lo, mut hi) = (0usize, self.n_children());
+        use std::cmp::Ordering;
+        let ib = self.infix_bits(k);
+        let n = self.n_children();
+        let key = [h];
+        let (mut lo, mut hi) = (0usize, n);
         while lo < hi {
             let mid = (lo + hi) / 2;
-            if self.lhc_addr_at(k, mid) < h {
-                lo = mid + 1;
-            } else {
-                hi = mid;
+            match self.bits.cmp_range(ib + mid * k, &key, k) {
+                Ordering::Less => lo = mid + 1,
+                Ordering::Equal => return Ok(mid),
+                Ordering::Greater => hi = mid,
             }
         }
-        if lo < self.n_children() && self.lhc_addr_at(k, lo) == h {
-            Ok(lo)
-        } else {
-            Err(lo)
-        }
+        Err(lo)
     }
 
     pub fn lhc_lower_bound(&self, k: usize, h: u64) -> usize {
@@ -261,6 +247,41 @@ impl<V> DynNode<V> {
     pub fn lhc_len(&self) -> usize {
         debug_assert!(!self.hc);
         self.n_children()
+    }
+
+    /// LHC: initial state for an incremental scan starting at child `j`
+    /// (dense post rank at `j`, postfix base offset) — see
+    /// [`Self::lhc_at_ranked`].
+    pub fn lhc_scan_state(&self, k: usize, j: usize) -> (usize, usize) {
+        debug_assert!(!self.hc);
+        (
+            self.lhc_post_rank(k, j),
+            self.lhc_pf_base(k, self.n_children()),
+        )
+    }
+
+    /// LHC: like [`Self::lhc_at`], but with the dense post rank `pr` of
+    /// child `j` and the postfix base tracked incrementally by the
+    /// caller, avoiding the per-child rank popcount during scans.
+    pub fn lhc_at_ranked(
+        &self,
+        k: usize,
+        j: usize,
+        pr: usize,
+        pf_base: usize,
+    ) -> (u64, SlotRef<'_, V>) {
+        debug_assert!(!self.hc);
+        debug_assert_eq!(pr, self.lhc_post_rank(k, j), "rank tracking out of sync");
+        let addr = self.lhc_addr_at(k, j);
+        let slot = if self.lhc_is_sub(k, j) {
+            SlotRef::Sub(&self.subs[j - pr])
+        } else {
+            SlotRef::Post {
+                pf_off: pf_base + pr * self.post_bits(k),
+                value: &self.values[pr],
+            }
+        };
+        (addr, slot)
     }
 
     pub fn lhc_at(&self, k: usize, j: usize) -> (u64, SlotRef<'_, V>) {
@@ -286,10 +307,7 @@ impl<V> DynNode<V> {
         if pl == 0 {
             return;
         }
-        for (d, &v) in key.iter().enumerate().take(k) {
-            self.bits
-                .write_bits(off + d * pl as usize, v & num::low_mask(pl), pl);
-        }
+        self.bits.write_key(off, pl, 0, &key[..k]);
     }
 
     pub fn read_postfix_into(&self, k: usize, off: usize, key: &mut [u64]) {
@@ -297,24 +315,12 @@ impl<V> DynNode<V> {
         if pl == 0 {
             return;
         }
-        let m = num::low_mask(pl);
-        for (d, v) in key.iter_mut().enumerate().take(k) {
-            let frag = self.bits.read_bits(off + d * pl as usize, pl);
-            *v = (*v & !m) | frag;
-        }
+        self.bits.read_key_into(off, pl, 0, &mut key[..k]);
     }
 
     pub fn postfix_matches(&self, k: usize, off: usize, key: &[u64]) -> bool {
-        let pl = self.post_len as u32;
-        if pl == 0 {
-            return true;
-        }
-        for (d, &v) in key.iter().enumerate().take(k) {
-            if self.bits.read_bits(off + d * pl as usize, pl) != v & num::low_mask(pl) {
-                return false;
-            }
-        }
-        true
+        // Fused per-dimension compare with first-mismatch early exit.
+        self.bits.eq_key(off, self.post_len as u32, 0, &key[..k])
     }
 
     // ---------------- lookup ----------------
@@ -711,9 +717,16 @@ impl<V> DynNode<V> {
     // ---------------- iteration ----------------
 
     pub fn iter_slots(&self, k: usize) -> DynSlotIter<'_, V> {
+        let pf_base = if self.hc {
+            self.hc_pf_base(k)
+        } else {
+            self.lhc_pf_base(k, self.n_children())
+        };
         DynSlotIter {
             node: self,
             k,
+            pf_base,
+            pb: self.post_bits(k),
             pos: 0,
             pr: 0,
             sr: 0,
@@ -733,16 +746,21 @@ impl<V> DynNode<V> {
                 "HC bit length"
             );
         } else {
+            let ib = self.infix_bits(k);
             assert_eq!(
                 self.bits.len(),
-                self.infix_bits(k) + n * (k + 1) + posts * self.post_bits(k),
+                ib + n * (k + 1) + posts * self.post_bits(k),
                 "LHC bit length"
             );
-            for j in 1..n {
-                assert!(self.lhc_addr_at(k, j - 1) < self.lhc_addr_at(k, j));
+            // Single pass: read each address once, compare to its
+            // predecessor; count kind bits with one chunked popcount.
+            let mut prev = 0u64;
+            for j in 0..n {
+                let addr = self.bits.read_bits(ib + j * k, k as u32);
+                assert!(j == 0 || prev < addr, "LHC addresses not sorted/unique");
+                prev = addr;
             }
-            let subs = (0..n).filter(|&j| self.lhc_is_sub(k, j)).count();
-            assert_eq!(subs, self.n_subs());
+            assert_eq!(self.bits.count_ones(ib + n * k, n), self.n_subs());
         }
         if !is_root {
             assert!(n >= 2, "non-root node with < 2 children");
@@ -764,6 +782,10 @@ impl<V> DynNode<V> {
 pub(crate) struct DynSlotIter<'a, V> {
     node: &'a DynNode<V>,
     k: usize,
+    /// Bit offset of the postfix area (loop-invariant).
+    pf_base: usize,
+    /// Postfix stride in bits (loop-invariant).
+    pb: usize,
     pos: usize,
     pr: usize,
     sr: usize,
@@ -783,7 +805,7 @@ impl<'a, V> Iterator for DynSlotIter<'a, V> {
                     KIND_EMPTY => {}
                     KIND_POST => {
                         let r = SlotRef::Post {
-                            pf_off: node.hc_pf_base(k) + h as usize * node.post_bits(k),
+                            pf_off: self.pf_base + h as usize * self.pb,
                             value: &node.values[self.pr],
                         };
                         self.pr += 1;
@@ -810,7 +832,7 @@ impl<'a, V> Iterator for DynSlotIter<'a, V> {
                 Some((h, r))
             } else {
                 let r = SlotRef::Post {
-                    pf_off: node.lhc_pf_base(k, node.n_children()) + self.pr * node.post_bits(k),
+                    pf_off: self.pf_base + self.pr * self.pb,
                     value: &node.values[self.pr],
                 };
                 self.pr += 1;

@@ -96,9 +96,14 @@ fn walk<V>(
         }
     } else {
         let mut j = node.lhc_lower_bound(k, m_l);
+        // Track the dense post rank incrementally across the scan.
+        let (mut pr, pf_base) = node.lhc_scan_state(k, j);
         while j < node.lhc_len() {
-            let (h, slot) = node.lhc_at(k, j);
+            let (h, slot) = node.lhc_at_ranked(k, j, pr, pf_base);
             j += 1;
+            if matches!(slot, SlotRef::Post { .. }) {
+                pr += 1;
+            }
             if h > m_u {
                 break;
             }

@@ -29,7 +29,7 @@
 //! update, mirroring the paper's size comparison.
 
 use crate::config::ReprMode;
-use phbits::{num, BitBuf};
+use phbits::BitBuf;
 
 /// Bits per dimension; the paper's `w`. Fixed to 64 in this
 /// implementation (the experiments all use 64-bit values).
@@ -171,20 +171,25 @@ impl<V, const K: usize> Node<V, K> {
                 return Err("HC kind table disagrees with child counts");
             }
         } else {
-            if self.bits.len() != self.infix_bits() + n * (K + 1) + posts * self.post_bits() {
+            let ib = self.infix_bits();
+            if self.bits.len() != ib + n * (K + 1) + posts * self.post_bits() {
                 return Err("LHC bit-string length mismatch");
             }
-            let mut subs_n = 0;
+            // Single pass: each address is read once and compared against
+            // the previous one, and kind bits are counted in one
+            // word-chunked popcount over the packed kind run.
+            let mut prev = 0u64;
             for j in 0..n {
-                if j > 0 && self.lhc_addr_at(j - 1) >= self.lhc_addr_at(j) {
+                let addr = self.bits.read_bits(ib + j * K, K as u32);
+                if j > 0 && prev >= addr {
                     return Err("LHC addresses not sorted/unique");
                 }
-                if K < 64 && self.lhc_addr_at(j) >= (1u64 << K) {
+                if K < 64 && addr >= (1u64 << K) {
                     return Err("LHC address out of range");
                 }
-                subs_n += self.lhc_is_sub(j) as usize;
+                prev = addr;
             }
-            if subs_n != self.n_subs() {
+            if self.bits.count_ones(ib + n * K, n) != self.n_subs() {
                 return Err("LHC kind bits disagree with child counts");
             }
         }
@@ -262,47 +267,37 @@ impl<V, const K: usize> Node<V, K> {
     // ------------------------------------------------------------------
 
     /// Records bits `post_len+1 ..= post_len+infix_len` of each dimension
-    /// of `key` as this node's infix.
+    /// of `key` as this node's infix (one scatter pass over the packed
+    /// run).
     pub fn write_infix(&mut self, key: &[u64; K]) {
         let il = self.infix_len as u32;
         if il == 0 {
             return;
         }
-        let lo = self.post_len as u32 + 1;
-        for (d, &v) in key.iter().enumerate() {
-            let frag = (v >> lo) & num::low_mask(il);
-            self.bits.write_bits(d * il as usize, frag, il);
-        }
+        self.bits.write_key(0, il, self.post_len as u32 + 1, key);
     }
 
-    /// Copies the stored infix into the corresponding bit range of `key`.
+    /// Copies the stored infix into the corresponding bit range of `key`
+    /// (one gather pass over the packed run).
     pub fn read_infix_into(&self, key: &mut [u64; K]) {
         let il = self.infix_len as u32;
         if il == 0 {
             return;
         }
-        let lo = self.post_len as u32 + 1;
-        let m = num::low_mask(il) << lo;
-        for (d, v) in key.iter_mut().enumerate() {
-            let frag = self.bits.read_bits(d * il as usize, il);
-            *v = (*v & !m) | (frag << lo);
-        }
+        self.bits
+            .read_key_into(0, il, self.post_len as u32 + 1, key);
     }
 
     /// Whether `key` matches this node's infix in every dimension.
+    /// Fused per-dimension compare: runs once per node on the descent
+    /// path, so avoiding the pack pass and its scratch matters at
+    /// small K where descent is deepest.
     pub fn infix_matches(&self, key: &[u64; K]) -> bool {
         let il = self.infix_len as u32;
         if il == 0 {
             return true;
         }
-        let lo = self.post_len as u32 + 1;
-        for (d, &v) in key.iter().enumerate() {
-            let frag = (v >> lo) & num::low_mask(il);
-            if frag != self.bits.read_bits(d * il as usize, il) {
-                return false;
-            }
-        }
-        true
+        self.bits.eq_key(0, il, self.post_len as u32 + 1, key)
     }
 
     /// Rewrites the infix to `new_len` bits per dimension taken from
@@ -405,21 +400,25 @@ impl<V, const K: usize> Node<V, K> {
 
     /// LHC: index of the first child with address `>= h` (also the
     /// insert position), or `Ok(j)` when child `j` has address `h`.
+    ///
+    /// The infix offset and child count are hoisted out of the binary
+    /// search; each probe is a single word-level [`BitBuf::cmp_range`]
+    /// against the packed address field.
     fn lhc_search(&self, h: u64) -> Result<usize, usize> {
-        let (mut lo, mut hi) = (0usize, self.n_children());
+        use std::cmp::Ordering;
+        let ib = self.infix_bits();
+        let n = self.n_children();
+        let key = [h];
+        let (mut lo, mut hi) = (0usize, n);
         while lo < hi {
             let mid = (lo + hi) / 2;
-            if self.lhc_addr_at(mid) < h {
-                lo = mid + 1;
-            } else {
-                hi = mid;
+            match self.bits.cmp_range(ib + mid * K, &key, K) {
+                Ordering::Less => lo = mid + 1,
+                Ordering::Equal => return Ok(mid),
+                Ordering::Greater => hi = mid,
             }
         }
-        if lo < self.n_children() && self.lhc_addr_at(lo) == h {
-            Ok(lo)
-        } else {
-            Err(lo)
-        }
+        Err(lo)
     }
 
     /// For window queries: index of the first child with address `>= h`.
@@ -435,6 +434,34 @@ impl<V, const K: usize> Node<V, K> {
     pub fn lhc_len(&self) -> usize {
         debug_assert!(!self.hc);
         self.n_children()
+    }
+
+    /// LHC: initial state for an incremental scan starting at child `j`:
+    /// the dense post rank at `j` (one popcount) and the postfix area
+    /// base offset. Feed both to [`Node::lhc_at_ranked`] and advance the
+    /// rank on every postfix child; this turns the per-child rank
+    /// popcount of [`Node::lhc_at`] into O(1) bookkeeping.
+    pub fn lhc_scan_state(&self, j: usize) -> (usize, usize) {
+        debug_assert!(!self.hc);
+        (self.lhc_post_rank(j), self.lhc_pf_base(self.n_children()))
+    }
+
+    /// LHC: like [`Node::lhc_at`], but with the dense post rank `pr` of
+    /// child `j` and the postfix base supplied by a caller tracking them
+    /// incrementally (see [`Node::lhc_scan_state`]).
+    pub fn lhc_at_ranked(&self, j: usize, pr: usize, pf_base: usize) -> (u64, SlotRef<'_, V, K>) {
+        debug_assert!(!self.hc);
+        debug_assert_eq!(pr, self.lhc_post_rank(j), "rank tracking out of sync");
+        let addr = self.lhc_addr_at(j);
+        let slot = if self.lhc_is_sub(j) {
+            SlotRef::Sub(&self.subs[j - pr])
+        } else {
+            SlotRef::Post {
+                pf_off: pf_base + pr * self.post_bits(),
+                value: &self.values[pr],
+            }
+        };
+        (addr, slot)
     }
 
     /// For LHC nodes: the address and slot at child index `j`.
@@ -459,44 +486,32 @@ impl<V, const K: usize> Node<V, K> {
     // ------------------------------------------------------------------
 
     /// Writes the low `post_len` bits of each dimension of `key` into the
-    /// postfix record at bit offset `off` (which must already exist).
+    /// postfix record at bit offset `off` (which must already exist) in
+    /// one scatter pass.
     fn write_postfix_at(&mut self, off: usize, key: &[u64; K]) {
         let pl = self.post_len as u32;
         if pl == 0 {
             return;
         }
-        for (d, &v) in key.iter().enumerate() {
-            self.bits
-                .write_bits(off + d * pl as usize, v & num::low_mask(pl), pl);
-        }
+        self.bits.write_key(off, pl, 0, key);
     }
 
     /// Reads the postfix record at bit offset `off` into the low bits of
-    /// `key` (replacing them).
+    /// `key` (replacing them) in one gather pass.
     pub fn read_postfix_into(&self, off: usize, key: &mut [u64; K]) {
         let pl = self.post_len as u32;
         if pl == 0 {
             return;
         }
-        let m = num::low_mask(pl);
-        for (d, v) in key.iter_mut().enumerate() {
-            let frag = self.bits.read_bits(off + d * pl as usize, pl);
-            *v = (*v & !m) | frag;
-        }
+        self.bits.read_key_into(off, pl, 0, key);
     }
 
-    /// Whether the postfix record at `off` equals the low bits of `key`.
+    /// Whether the postfix record at `off` equals the low bits of `key`:
+    /// word-wise compare of the packed run against the packed key.
     pub fn postfix_matches(&self, off: usize, key: &[u64; K]) -> bool {
-        let pl = self.post_len as u32;
-        if pl == 0 {
-            return true;
-        }
-        for (d, &v) in key.iter().enumerate() {
-            if self.bits.read_bits(off + d * pl as usize, pl) != v & num::low_mask(pl) {
-                return false;
-            }
-        }
-        true
+        // Fused per-dimension compare: point queries are 50 % misses, so
+        // the first-mismatch early exit matters more than bulk compare.
+        self.bits.eq_key(off, self.post_len as u32, 0, key)
     }
 
     // ------------------------------------------------------------------
@@ -932,8 +947,17 @@ impl<V, const K: usize> Node<V, K> {
 
     /// Iterates all occupied slots in address order.
     pub fn iter_slots(&self) -> SlotIter<'_, V, K> {
+        // The postfix base and stride are loop-invariant; computing them
+        // here keeps the per-item cost to one address/kind read.
+        let pf_base = if self.hc {
+            self.hc_pf_base()
+        } else {
+            self.lhc_pf_base(self.n_children())
+        };
         SlotIter {
             node: self,
+            pf_base,
+            pb: self.post_bits(),
             pos: 0,
             pr: 0,
             sr: 0,
@@ -980,6 +1004,10 @@ impl<V, const K: usize> Node<V, K> {
 /// form).
 pub(crate) struct SlotIter<'a, V, const K: usize> {
     node: &'a Node<V, K>,
+    /// Bit offset of the postfix area (loop-invariant).
+    pf_base: usize,
+    /// Postfix stride in bits (loop-invariant).
+    pb: usize,
     /// LHC: next child index. HC: next slot address.
     pos: usize,
     pr: usize,
@@ -999,7 +1027,7 @@ impl<'a, V, const K: usize> Iterator for SlotIter<'a, V, K> {
                     KIND_EMPTY => {}
                     KIND_POST => {
                         let r = SlotRef::Post {
-                            pf_off: node.hc_pf_base() + h as usize * node.post_bits(),
+                            pf_off: self.pf_base + h as usize * self.pb,
                             value: &node.values[self.pr],
                         };
                         self.pr += 1;
@@ -1026,7 +1054,7 @@ impl<'a, V, const K: usize> Iterator for SlotIter<'a, V, K> {
                 Some((h, r))
             } else {
                 let r = SlotRef::Post {
-                    pf_off: node.lhc_pf_base(node.n_children()) + self.pr * node.post_bits(),
+                    pf_off: self.pf_base + self.pr * self.pb,
                     value: &node.values[self.pr],
                 };
                 self.pr += 1;

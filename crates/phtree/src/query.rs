@@ -28,10 +28,23 @@ pub struct Query<'t, V, const K: usize> {
 }
 
 enum Cursor {
-    /// Next LHC child index to examine.
-    Lhc(usize),
+    /// Next LHC child index to examine, plus its dense post rank and the
+    /// node's postfix base offset, tracked incrementally so each step
+    /// avoids the O(children) rank popcount.
+    Lhc {
+        idx: usize,
+        pr: usize,
+        pf_base: usize,
+    },
     /// Next HC address to examine, `None` when exhausted.
     Hc(Option<u64>),
+}
+
+impl Cursor {
+    fn lhc<V, const K: usize>(node: &Node<V, K>, idx: usize) -> Self {
+        let (pr, pf_base) = node.lhc_scan_state(idx);
+        Cursor::Lhc { idx, pr, pf_base }
+    }
 }
 
 struct Frame<'t, V, const K: usize> {
@@ -103,7 +116,7 @@ impl<'t, V, const K: usize> Query<'t, V, K> {
         let cursor = if node.is_hc() {
             Cursor::Hc(Some(hc::first_addr(m_l, m_u)))
         } else {
-            Cursor::Lhc(node.lhc_lower_bound(m_l))
+            Cursor::lhc(node, node.lhc_lower_bound(m_l))
         };
         self.stack.push(Frame {
             node,
@@ -120,7 +133,7 @@ impl<'t, V, const K: usize> Query<'t, V, K> {
         let cursor = if node.is_hc() {
             Cursor::Hc(Some(0))
         } else {
-            Cursor::Lhc(0)
+            Cursor::lhc(node, 0)
         };
         self.stack.push(Frame {
             node,
@@ -137,10 +150,13 @@ impl<'t, V, const K: usize> Query<'t, V, K> {
         let frame = self.stack.last_mut()?;
         let node = frame.node;
         match &mut frame.cursor {
-            Cursor::Lhc(idx) => {
+            Cursor::Lhc { idx, pr, pf_base } => {
                 while *idx < node.lhc_len() {
-                    let (h, slot) = node.lhc_at(*idx);
+                    let (h, slot) = node.lhc_at_ranked(*idx, *pr, *pf_base);
                     *idx += 1;
+                    if matches!(slot, SlotRef::Post { .. }) {
+                        *pr += 1;
+                    }
                     if h > frame.m_u {
                         break; // beyond the largest possible match
                     }

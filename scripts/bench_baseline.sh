@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Perf-regression baseline: runs the fig7/fig8/fig9 bins PH-only on the
+# CUBE dataset at K in {3, 8, 20} and writes one flat JSON of µs metrics
+# ({"fig8_point_query_cube_k8": 1.23, ...}).
+#
+# Usage:  scripts/bench_baseline.sh [output.json]
+#   QUICK=false scripts/bench_baseline.sh    # full-size run (default true)
+#   SCALE=0.05  scripts/bench_baseline.sh    # override the entry count
+#
+# The committed baseline lives at BENCH_phtree.json; CI regenerates a
+# fresh one in --quick mode and diffs it via scripts/bench_diff.py.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_phtree.json}"
+QUICK="${QUICK:-true}"
+SEED="${SEED:-42}"
+SCALE="${SCALE:-}"
+
+cargo build --release -p ph-bench >/dev/null
+
+EXTRA=()
+if [ -n "$SCALE" ]; then
+  EXTRA+=(--scale "$SCALE")
+fi
+
+rm -f "$OUT"
+for K in 3 8 20; do
+  for BIN in fig7_insert fig8_point_query fig9_range_query; do
+    "target/release/$BIN" --k "$K" --quick "$QUICK" --seed "$SEED" \
+      --json "$OUT" "${EXTRA[@]+"${EXTRA[@]}"}"
+  done
+done
+echo "baseline -> $OUT"

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench run against the committed perf baseline.
+
+Both inputs are the flat JSON files written by scripts/bench_baseline.sh
+({"bench_name": microseconds, ...}). A bench regresses when its new
+metric exceeds the baseline by more than --threshold percent.
+
+Exit status: 0 unless --hard is given and a regression (or a missing
+bench) was found. CI runs this warn-only first; --hard is for local
+gating before committing a perf-sensitive change.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    p = argparse.ArgumentParser(description=__doc__)
+    p.add_argument("baseline", help="committed baseline JSON")
+    p.add_argument("new", help="freshly measured JSON")
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=15.0,
+        help="regression threshold in percent (default 15)",
+    )
+    p.add_argument(
+        "--hard",
+        action="store_true",
+        help="exit non-zero on regression instead of warning",
+    )
+    args = p.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.new) as f:
+        new = json.load(f)
+
+    if not isinstance(base, dict) or not isinstance(new, dict):
+        print("error: inputs must be flat JSON objects", file=sys.stderr)
+        return 2
+
+    regressions = []
+    missing = []
+    width = max((len(k) for k in base), default=10)
+    print(f"{'bench':<{width}}  {'base µs':>10}  {'new µs':>10}  {'delta':>8}")
+    for name in sorted(base):
+        b = float(base[name])
+        if name not in new:
+            missing.append(name)
+            print(f"{name:<{width}}  {b:>10.4f}  {'MISSING':>10}  {'-':>8}")
+            continue
+        n = float(new[name])
+        delta = (n - b) / b * 100.0 if b > 0 else 0.0
+        flag = ""
+        if delta > args.threshold:
+            regressions.append((name, delta))
+            flag = "  << REGRESSION"
+        print(f"{name:<{width}}  {b:>10.4f}  {n:>10.4f}  {delta:>+7.1f}%{flag}")
+    for name in sorted(set(new) - set(base)):
+        print(f"{name:<{width}}  {'(new)':>10}  {float(new[name]):>10.4f}  {'-':>8}")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} bench(es) regressed more than "
+            f"{args.threshold:.0f}% vs {args.baseline}:"
+        )
+        for name, delta in regressions:
+            print(f"  {name}: +{delta:.1f}%")
+    if missing:
+        print(f"\n{len(missing)} baseline bench(es) missing from the new run")
+    if not regressions and not missing:
+        print("\nno regressions above threshold")
+
+    if args.hard and (regressions or missing):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
