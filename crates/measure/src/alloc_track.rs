@@ -1,0 +1,102 @@
+//! An allocation-counting global allocator (feature `alloc-track`).
+//!
+//! [`CountingAlloc`] wraps the system allocator and keeps three global
+//! counters: cumulative allocation events, live heap bytes and live
+//! blocks. Installing it in a benchmark or test binary
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: measure::alloc_track::CountingAlloc =
+//!     measure::alloc_track::CountingAlloc;
+//! ```
+//!
+//! lets two kinds of measurements be made without any instrumentation
+//! in the code under test:
+//!
+//! * **allocation rate** — the delta of [`AllocSnapshot::allocs`]
+//!   across a workload (e.g. allocations per inserted entry);
+//! * **exact heap footprint** — build a structure, snapshot, drop it,
+//!   snapshot again: the fall in `live_bytes`/`live_blocks` is exactly
+//!   the heap the structure owned, which the `phtree` test-suite checks
+//!   against the tree's own structural accounting.
+//!
+//! Counters are process-global; measurements are only meaningful in a
+//! single-threaded section (run such tests with `--test-threads=1` or
+//! one test per binary).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+static LIVE_BYTES: AtomicUsize = AtomicUsize::new(0);
+static LIVE_BLOCKS: AtomicUsize = AtomicUsize::new(0);
+
+/// A [`GlobalAlloc`] that forwards to [`System`] and counts.
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            ALLOCS.fetch_add(1, Relaxed);
+            LIVE_BYTES.fetch_add(layout.size(), Relaxed);
+            LIVE_BLOCKS.fetch_add(1, Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        LIVE_BYTES.fetch_sub(layout.size(), Relaxed);
+        LIVE_BLOCKS.fetch_sub(1, Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            // One allocation event; the block count is unchanged.
+            ALLOCS.fetch_add(1, Relaxed);
+            LIVE_BYTES.fetch_add(new_size, Relaxed);
+            LIVE_BYTES.fetch_sub(layout.size(), Relaxed);
+        }
+        p
+    }
+}
+
+/// A point-in-time reading of the global counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Cumulative allocation events (allocs + reallocs) so far.
+    pub allocs: usize,
+    /// Heap bytes currently live.
+    pub live_bytes: usize,
+    /// Heap blocks currently live.
+    pub live_blocks: usize,
+}
+
+/// Reads the counters.
+pub fn snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        allocs: ALLOCS.load(Relaxed),
+        live_bytes: LIVE_BYTES.load(Relaxed),
+        live_blocks: LIVE_BLOCKS.load(Relaxed),
+    }
+}
+
+impl AllocSnapshot {
+    /// Allocation events since `earlier`.
+    pub fn allocs_since(&self, earlier: &AllocSnapshot) -> usize {
+        self.allocs - earlier.allocs
+    }
+
+    /// Net live-byte growth since `earlier` (saturating: a shrink
+    /// reads as 0).
+    pub fn bytes_since(&self, earlier: &AllocSnapshot) -> usize {
+        self.live_bytes.saturating_sub(earlier.live_bytes)
+    }
+
+    /// Net live-block growth since `earlier` (saturating).
+    pub fn blocks_since(&self, earlier: &AllocSnapshot) -> usize {
+        self.live_blocks.saturating_sub(earlier.live_blocks)
+    }
+}

@@ -11,6 +11,9 @@
 
 use std::time::Instant;
 
+#[cfg(feature = "alloc-track")]
+pub mod alloc_track;
+
 /// Times `f` and returns (result, elapsed microseconds).
 pub fn time_us<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let t0 = Instant::now();

@@ -11,10 +11,13 @@
 //! in place with the vector's amortised growth, so appending is O(1)
 //! amortised. [`BitBuf::shrink_to_fit`] releases capacity slack and
 //! [`BitBuf::heap_bytes`] reports the true capacity, so the PH-tree's
-//! space accounting stays exact after a shrink pass. All structural
-//! edits (gap insertion, range removal) rebuild the word array in a
-//! single allocation + single copy pass, so a combined edit of several
-//! regions ([`BitBuf::insert_gaps`]) costs one pass, not one per region.
+//! space accounting stays exact after a shrink pass. Structural edits
+//! (gap insertion, range removal) shift the affected regions **in
+//! place**: [`BitBuf::insert_gaps`] reserves the full post-insert
+//! length once up front and shifts right from the back, and
+//! [`BitBuf::remove_ranges`] shifts left and truncates, retaining
+//! capacity — so a node absorbing entries touches the allocator only
+//! on the vector's amortised doublings, not on every edit.
 //!
 //! Beyond single-value reads and writes, the buffer exposes **word-level
 //! kernels** for the PH-tree's node hot paths: [`BitBuf::eq_range`] /
@@ -32,7 +35,9 @@
 /// [`BitBuf::insert_gaps`] (shift-right, used on entry insertion) and
 /// [`BitBuf::remove_ranges`] (shift-left, used on deletion) — are
 /// exactly the operations whose costs the paper discusses in Sect. 3.6
-/// and 4.3.4.
+/// and 4.3.4. Both operate in place on the existing word vector
+/// (growing it once to the final length, or truncating with capacity
+/// retained), so repeated edits amortise their allocations.
 ///
 /// # Example
 ///
@@ -239,11 +244,15 @@ impl BitBuf {
         self.insert_gaps(&[(off, gap)]);
     }
 
-    /// Opens several zero gaps in one allocation + copy pass.
+    /// Opens several zero gaps in one in-place pass.
     ///
     /// `gaps` are `(offset, length)` pairs with offsets in *original*
     /// buffer coordinates, sorted ascending; each gap is inserted before
     /// the original bit at `offset` (an offset equal to `len` appends).
+    ///
+    /// The buffer grows to the full post-insert length once up front
+    /// (one amortised vector resize), then regions between gaps are
+    /// shifted right from the back — no fresh allocation per edit.
     ///
     /// ```
     /// let mut b = phbits::BitBuf::new();
@@ -264,16 +273,19 @@ impl BitBuf {
         if total == 0 {
             return;
         }
-        let mut out = BitBuf::zeroed(old_len + total);
-        let mut src = 0usize;
-        let mut dst = 0usize;
-        for &(off, gap) in gaps {
-            out.copy_bits_from(self, src, dst, off - src);
-            dst += off - src + gap;
-            src = off;
+        self.grow(total);
+        // Walk the gaps back-to-front: the region between gap i-1 and
+        // gap i shifts right by the summed width of gaps 0..i, so the
+        // cumulative shift shrinks as gaps peel off and every source
+        // bit is read before anything overwrites it.
+        let mut shift = total;
+        let mut region_end = old_len;
+        for &(off, gap) in gaps.iter().rev() {
+            self.move_bits_right(off, off + shift, region_end - off);
+            shift -= gap;
+            self.zero_bits(off + shift, gap);
+            region_end = off;
         }
-        out.copy_bits_from(self, src, dst, old_len - src);
-        *self = out;
     }
 
     /// Removes the `n` bits at `off..off + n`, shifting all later bits
@@ -284,10 +296,14 @@ impl BitBuf {
         self.remove_ranges(&[(off, n)]);
     }
 
-    /// Removes several disjoint ranges in one allocation + copy pass.
+    /// Removes several disjoint ranges in one in-place pass.
     ///
     /// `ranges` are `(offset, length)` pairs in original coordinates,
     /// sorted ascending and non-overlapping.
+    ///
+    /// Surviving regions are shifted left in place, then the buffer is
+    /// truncated with capacity retained — deletion never touches the
+    /// allocator (use [`BitBuf::shrink_to_fit`] to release the slack).
     ///
     /// ```
     /// let mut b = phbits::BitBuf::new();
@@ -311,16 +327,60 @@ impl BitBuf {
         if total == 0 {
             return;
         }
-        let mut out = BitBuf::zeroed(old_len - total);
         let mut src = 0usize;
         let mut dst = 0usize;
         for &(off, n) in ranges {
-            out.copy_bits_from(self, src, dst, off - src);
+            self.move_bits_left(src, dst, off - src);
             dst += off - src;
             src = off + n;
         }
-        out.copy_bits_from(self, src, dst, old_len - src);
-        *self = out;
+        self.move_bits_left(src, dst, old_len - src);
+        self.truncate(old_len - total);
+    }
+
+    /// Moves the `n` bits at `src..src + n` to `dst..dst + n` within
+    /// this buffer, `dst >= src`. Copies back-to-front in word-sized
+    /// chunks so overlapping ranges are safe: each chunk's write lands
+    /// at or above every not-yet-read source bit.
+    fn move_bits_right(&mut self, src: usize, dst: usize, n: usize) {
+        debug_assert!(dst >= src);
+        if n == 0 || dst == src {
+            return;
+        }
+        let mut rem = n;
+        while rem > 0 {
+            let chunk = rem.min(64) as u32;
+            rem -= chunk as usize;
+            let v = self.read_bits(src + rem, chunk);
+            self.write_bits(dst + rem, v, chunk);
+        }
+    }
+
+    /// Moves the `n` bits at `src..src + n` to `dst..dst + n` within
+    /// this buffer, `dst <= src`. Copies front-to-back in word-sized
+    /// chunks; safe for overlap since writes trail the reads.
+    fn move_bits_left(&mut self, src: usize, dst: usize, n: usize) {
+        debug_assert!(dst <= src);
+        if n == 0 || dst == src {
+            return;
+        }
+        let mut done = 0usize;
+        while done < n {
+            let chunk = (n - done).min(64) as u32;
+            let v = self.read_bits(src + done, chunk);
+            self.write_bits(dst + done, v, chunk);
+            done += chunk as usize;
+        }
+    }
+
+    /// Zeroes the `n` bits at `off..off + n`.
+    fn zero_bits(&mut self, off: usize, n: usize) {
+        let mut done = 0usize;
+        while done < n {
+            let chunk = (n - done).min(64) as u32;
+            self.write_bits(off + done, 0, chunk);
+            done += chunk as usize;
+        }
     }
 
     /// Copies `n` bits from `src` (another buffer) at `src_off` into `self`
@@ -901,6 +961,24 @@ mod tests {
         assert_eq!(b.heap_bytes(), b.used_bytes(), "slack not released");
         assert_eq!(b.read_bits(0, 64), 0);
         assert_eq!(b.read_bits(64, 1), 1);
+    }
+
+    #[test]
+    fn structural_edits_amortise_allocations() {
+        // remove_ranges shifts in place and keeps capacity, so a
+        // follow-up insert_gaps of no more than the removed width never
+        // needs a new allocation.
+        let mut b = BitBuf::new();
+        for i in 0..8u64 {
+            b.push_bits(0x5A5A_5A5A ^ i, 64);
+        }
+        let cap = b.heap_bytes();
+        b.remove_ranges(&[(10, 70), (200, 100)]);
+        assert_eq!(b.heap_bytes(), cap, "remove must retain capacity");
+        assert_eq!(b.len(), 8 * 64 - 170);
+        b.insert_gaps(&[(5, 70), (100, 100)]);
+        assert_eq!(b.heap_bytes(), cap, "insert within capacity reallocated");
+        assert_eq!(b.len(), 8 * 64);
     }
 
     #[test]

@@ -229,10 +229,13 @@ impl<V: Clone + Send + Sync + 'static, const K: usize> ShardedTree<V, K> {
         merge_nearest(lists, n, |e| e.2)
     }
 
-    /// Bulk-inserts `items`, partitioning them by shard and loading
-    /// each partition under one write-lock acquisition on the worker
-    /// pool. Returns the number of *new* keys (duplicates overwrite,
-    /// like [`ShardedTree::insert`]).
+    /// Bulk-inserts `items`, partitioning them by shard once and
+    /// loading each partition under one write-lock acquisition on the
+    /// worker pool. An empty shard gets its partition through
+    /// [`PhTree::bulk_load`]'s O(n) bottom-up builder (the ingest fast
+    /// path); a non-empty shard falls back to per-key inserts. Returns
+    /// the number of *new* keys (duplicates overwrite, like
+    /// [`ShardedTree::insert`]).
     pub fn bulk_load(&self, items: Vec<([u64; K], V)>) -> usize {
         let mut parts: Vec<Vec<([u64; K], V)>> =
             (0..self.shards.len()).map(|_| Vec::new()).collect();
@@ -247,13 +250,22 @@ impl<V: Clone + Send + Sync + 'static, const K: usize> ShardedTree<V, K> {
                 let shards = Arc::clone(&self.shards);
                 Box::new(move || {
                     let mut guard = shards[s].write().unwrap();
-                    let mut new = 0usize;
-                    for (k, v) in part {
-                        if guard.insert(k, v).is_none() {
-                            new += 1;
+                    if guard.is_empty() {
+                        // Bottom-up bulk build: every key in the
+                        // partition is new (duplicates within the batch
+                        // collapse last-write-wins, same as the insert
+                        // loop below).
+                        *guard = PhTree::bulk_load(part);
+                        guard.len()
+                    } else {
+                        let mut new = 0usize;
+                        for (k, v) in part {
+                            if guard.insert(k, v).is_none() {
+                                new += 1;
+                            }
                         }
+                        new
                     }
-                    new
                 }) as Box<dyn FnOnce() -> usize + Send>
             })
             .collect();

@@ -145,16 +145,30 @@ proptest! {
         }
     }
 
-    /// bulk_load is equivalent to sequential inserts.
+    /// bulk_load is equivalent to sequential inserts — into empty trees
+    /// (the bottom-up bulk-build path) and into pre-populated trees
+    /// (the per-key fallback), across shard counts, with duplicate keys
+    /// and empty/singleton batches included in the generated cases.
     #[test]
     fn bulk_load_equals_inserts(
-        keys in proptest::collection::vec(key_strategy(), 1..150),
+        keys in proptest::collection::vec(key_strategy(), 0..150),
+        split in 0usize..150,
     ) {
         let items: Vec<([u64; 3], u32)> =
             keys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
-        for shards in [1usize, 8] {
+        let split = split.min(items.len());
+        for shards in [1usize, 2, 8] {
             let bulk: ShardedTree<u32, 3> = ShardedTree::with_threads(shards, 2);
-            let new = bulk.bulk_load(items.clone());
+            // Pre-populate a prefix one by one, then bulk the rest:
+            // shards untouched by the prefix take the bottom-up path,
+            // the others the insert-loop fallback.
+            let mut new = 0;
+            for &(k, v) in &items[..split] {
+                if bulk.insert(k, v).is_none() {
+                    new += 1;
+                }
+            }
+            new += bulk.bulk_load(items[split..].to_vec());
             let seq: ShardedTree<u32, 3> = ShardedTree::with_threads(shards, 0);
             let mut fresh = 0;
             for (k, v) in items.clone() {
@@ -162,7 +176,7 @@ proptest! {
                     fresh += 1;
                 }
             }
-            prop_assert_eq!(new, fresh);
+            prop_assert_eq!(new, fresh, "S={} new-key count", shards);
             prop_assert_eq!(bulk.len(), seq.len());
             prop_assert_eq!(
                 bulk.query(&[0; 3], &[u64::MAX; 3]),

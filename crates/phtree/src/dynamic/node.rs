@@ -3,8 +3,9 @@
 //! Same storage layout as the const-generic [`crate::PhTree`] nodes
 //! (see `crate::node`): one packed bit string per node holding
 //! `[infix | addresses | kinds | postfixes]` (LHC) or `[infix | 2-bit
-//! kinds | fixed-stride postfixes]` (HC), plus exact-size slices of
-//! sub-nodes and values. The dimension count `k` is a runtime value
+//! kinds | fixed-stride postfixes]` (HC), plus capacity-managed vectors
+//! of sub-nodes and values (amortised growth, slack released by the
+//! shrink pass). The dimension count `k` is a runtime value
 //! threaded through every call instead of a const parameter, so the two
 //! implementations build *identical* trees for identical data — a
 //! property the test suite asserts.
@@ -49,21 +50,15 @@ pub(crate) struct DynNode<V> {
     pub infix_len: u8,
     hc: bool,
     pub bits: BitBuf,
-    pub subs: Box<[DynNode<V>]>,
-    pub values: Box<[V]>,
+    pub subs: Vec<DynNode<V>>,
+    pub values: Vec<V>,
 }
 
-fn slice_insert<T>(b: &mut Box<[T]>, i: usize, v: T) {
-    let mut vec = std::mem::take(b).into_vec();
-    vec.insert(i, v);
-    *b = vec.into_boxed_slice();
-}
-
-fn slice_remove<T>(b: &mut Box<[T]>, i: usize) -> T {
-    let mut vec = std::mem::take(b).into_vec();
-    let v = vec.remove(i);
-    *b = vec.into_boxed_slice();
-    v
+/// A finished child handed to [`DynNode::from_children`] during
+/// bottom-up bulk construction (see `crate::node::BulkChild`).
+pub(crate) enum DynBulkChild<V> {
+    Post { key: Vec<u64>, value: V },
+    Sub(DynNode<V>),
 }
 
 impl<V> DynNode<V> {
@@ -77,11 +72,100 @@ impl<V> DynNode<V> {
             infix_len,
             hc: false,
             bits,
-            subs: Box::default(),
-            values: Box::default(),
+            subs: Vec::new(),
+            values: Vec::new(),
         };
         n.write_infix(k, key);
         n
+    }
+
+    /// Builds a node in one shot from its final set of children
+    /// (bottom-up bulk construction; mirrors
+    /// `crate::node::Node::from_children` with runtime `k`).
+    ///
+    /// `children` must be sorted by hypercube address with no
+    /// duplicates. The representation is chosen once from the final
+    /// child counts and every buffer is allocated at exact final size.
+    pub fn from_children(
+        k: usize,
+        post_len: u8,
+        infix_len: u8,
+        key: &[u64],
+        children: Vec<(u64, DynBulkChild<V>)>,
+        mode: ReprMode,
+    ) -> Self {
+        debug_assert!(children.windows(2).all(|w| w[0].0 < w[1].0));
+        let n = children.len();
+        let posts = children
+            .iter()
+            .filter(|(_, c)| matches!(c, DynBulkChild::Post { .. }))
+            .count();
+        let n_subs = n - posts;
+        let ib = infix_len as usize * k;
+        let pb = post_len as usize * k;
+        let lhc_cost = n * (k + 1) + posts * pb;
+        let hc_cost = if k > MAX_HC_K {
+            usize::MAX
+        } else {
+            (1usize << k) * (2 + pb)
+        };
+        let hc = match mode {
+            ReprMode::ForceLhc => false,
+            ReprMode::ForceHc => k <= MAX_HC_K,
+            ReprMode::Adaptive => hc_cost < lhc_cost,
+        };
+        let nbits = ib + if hc { hc_cost } else { lhc_cost };
+        let mut node = DynNode {
+            post_len,
+            infix_len,
+            hc,
+            bits: BitBuf::zeroed(nbits),
+            subs: Vec::with_capacity(n_subs),
+            values: Vec::with_capacity(posts),
+        };
+        node.write_infix(k, key);
+        if hc {
+            let pf_base = node.hc_pf_base(k);
+            for (h, child) in children {
+                let kind_off = node.hc_kind_off(k, h);
+                match child {
+                    DynBulkChild::Post { key, value } => {
+                        node.bits.write_bits(kind_off, KIND_POST, 2);
+                        node.write_postfix_at(k, pf_base + h as usize * pb, &key);
+                        node.values.push(value);
+                    }
+                    DynBulkChild::Sub(sub) => {
+                        node.bits.write_bits(kind_off, KIND_SUB, 2);
+                        node.subs.push(sub);
+                    }
+                }
+            }
+        } else {
+            let pf_base = ib + n * (k + 1);
+            let mut pr = 0usize;
+            for (j, (h, child)) in children.into_iter().enumerate() {
+                node.bits.write_bits(ib + j * k, h, k as u32);
+                match child {
+                    DynBulkChild::Post { key, value } => {
+                        node.write_postfix_at(k, pf_base + pr * pb, &key);
+                        node.values.push(value);
+                        pr += 1;
+                    }
+                    DynBulkChild::Sub(sub) => {
+                        node.bits.set(ib + n * k + j, true);
+                        node.subs.push(sub);
+                    }
+                }
+            }
+        }
+        node
+    }
+
+    /// Releases surplus capacity in the bit string and child vectors.
+    pub fn shrink_repr(&mut self) {
+        self.bits.shrink_to_fit();
+        self.subs.shrink_to_fit();
+        self.values.shrink_to_fit();
     }
 
     #[inline]
@@ -426,7 +510,7 @@ impl<V> DynNode<V> {
             self.bits.write_bits(off, KIND_POST, 2);
             let pf = self.hc_pf_base(k) + h as usize * pb;
             self.write_postfix_at(k, pf, key);
-            slice_insert(&mut self.values, pr, value);
+            self.values.insert(pr, value);
         } else {
             let j = match self.lhc_search(k, h) {
                 Err(j) => j,
@@ -443,7 +527,7 @@ impl<V> DynNode<V> {
             self.bits.write_bits(self.lhc_addr_off(k, j), h, k as u32);
             let pf = self.lhc_pf_base(k, n) + pr * pb;
             self.write_postfix_at(k, pf, key);
-            slice_insert(&mut self.values, pr, value);
+            self.values.insert(pr, value);
         }
         self.maybe_switch_repr(k, mode);
     }
@@ -454,7 +538,7 @@ impl<V> DynNode<V> {
             let (_, sr) = self.hc_ranks(k, h);
             let off = self.hc_kind_off(k, h);
             self.bits.write_bits(off, KIND_SUB, 2);
-            slice_insert(&mut self.subs, sr, sub);
+            self.subs.insert(sr, sub);
         } else {
             let j = match self.lhc_search(k, h) {
                 Err(j) => j,
@@ -469,7 +553,7 @@ impl<V> DynNode<V> {
             let n = n + 1;
             self.bits.write_bits(self.lhc_addr_off(k, j), h, k as u32);
             self.bits.set(self.lhc_kind_off(k, n, j), true);
-            slice_insert(&mut self.subs, sr, sub);
+            self.subs.insert(sr, sub);
         }
         self.maybe_switch_repr(k, mode);
     }
@@ -483,7 +567,7 @@ impl<V> DynNode<V> {
             self.bits.write_bits(off, KIND_EMPTY, 2);
             let pf = self.hc_pf_base(k) + h as usize * pb;
             self.zero_postfix(k, pf);
-            slice_remove(&mut self.values, pr)
+            self.values.remove(pr)
         } else {
             let j = self.lhc_search(k, h).expect("remove_post: empty slot");
             assert!(!self.lhc_is_sub(k, j));
@@ -494,7 +578,7 @@ impl<V> DynNode<V> {
                 (self.lhc_kind_off(k, n, j), 1),
                 (self.lhc_pf_base(k, n) + pr * pb, pb),
             ]);
-            slice_remove(&mut self.values, pr)
+            self.values.remove(pr)
         };
         self.maybe_switch_repr(k, mode);
         v
@@ -527,8 +611,8 @@ impl<V> DynNode<V> {
             self.bits.write_bits(off, KIND_SUB, 2);
             let pf = self.hc_pf_base(k) + h as usize * pb;
             self.zero_postfix(k, pf);
-            slice_insert(&mut self.subs, sr, sub);
-            slice_remove(&mut self.values, pr)
+            self.subs.insert(sr, sub);
+            self.values.remove(pr)
         } else {
             let j = self
                 .lhc_search(k, h)
@@ -540,8 +624,8 @@ impl<V> DynNode<V> {
             let pf = self.lhc_pf_base(k, n) + pr * pb;
             self.bits.remove_range(pf, pb);
             self.bits.set(self.lhc_kind_off(k, n, j), true);
-            slice_insert(&mut self.subs, sr, sub);
-            slice_remove(&mut self.values, pr)
+            self.subs.insert(sr, sub);
+            self.values.remove(pr)
         };
         self.maybe_switch_repr(k, mode);
         v
@@ -563,8 +647,8 @@ impl<V> DynNode<V> {
             self.bits.write_bits(off, KIND_POST, 2);
             let pf = self.hc_pf_base(k) + h as usize * pb;
             self.write_postfix_at(k, pf, key);
-            slice_remove(&mut self.subs, sr);
-            slice_insert(&mut self.values, pr, value);
+            self.subs.remove(sr);
+            self.values.insert(pr, value);
         } else {
             let j = self
                 .lhc_search(k, h)
@@ -577,8 +661,8 @@ impl<V> DynNode<V> {
             let pf = self.lhc_pf_base(k, n) + pr * pb;
             self.bits.insert_gap(pf, pb);
             self.write_postfix_at(k, pf, key);
-            slice_remove(&mut self.subs, sr);
-            slice_insert(&mut self.values, pr, value);
+            self.subs.remove(sr);
+            self.values.insert(pr, value);
         }
         self.maybe_switch_repr(k, mode);
     }
@@ -610,9 +694,9 @@ impl<V> DynNode<V> {
         self.bits.truncate(self.infix_bits(k));
         self.hc = false;
         let child = if is_sub {
-            DynChild::Sub(slice_remove(&mut self.subs, 0))
+            DynChild::Sub(self.subs.remove(0))
         } else {
-            DynChild::Post(slice_remove(&mut self.values, 0))
+            DynChild::Post(self.values.remove(0))
         };
         Some((h, child))
     }

@@ -1,9 +1,18 @@
 //! The runtime-dimensionality PH-tree map.
 
-use super::node::{DynChild, DynNode, Probe, SlotRef, W};
+use super::node::{DynBulkChild, DynChild, DynNode, Probe, SlotRef, W};
 use crate::config::ReprMode;
 use crate::stats::{TreeStats, ALLOC_OVERHEAD};
 use phbits::{hc, num};
+
+/// Z-order (Morton-order) comparison of two equal-length keys: the
+/// ordering induced by a depth-first traversal of the tree.
+fn z_cmp_dyn(a: &[u64], b: &[u64]) -> std::cmp::Ordering {
+    match num::max_diverging_bit(a, b) {
+        None => std::cmp::Ordering::Equal,
+        Some(d) => hc::addr(a, d).cmp(&hc::addr(b, d)),
+    }
+}
 
 /// Scratch key buffer: `k ≤ 64`, so a fixed stack array suffices for
 /// all internal key reconstruction.
@@ -53,6 +62,119 @@ impl<V> PhTreeDyn<V> {
             k,
             len: 0,
             mode,
+        }
+    }
+
+    /// Builds a tree from a batch of entries in one bottom-up pass
+    /// (runtime-`k` analog of [`crate::PhTree::bulk_load`]).
+    ///
+    /// O(n log n) for the Z-order sort plus O(n) construction; every
+    /// node is allocated once at its exact final size. Duplicate keys
+    /// keep the last value. The result is structurally identical to
+    /// inserting the same entries one by one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is outside `1..=64` or any key has length ≠ `k`.
+    pub fn bulk_load(k: usize, items: Vec<(Vec<u64>, V)>) -> Self {
+        Self::bulk_load_with_mode(k, items, ReprMode::Adaptive)
+    }
+
+    /// [`PhTreeDyn::bulk_load`] with an explicit node representation
+    /// policy.
+    pub fn bulk_load_with_mode(k: usize, mut items: Vec<(Vec<u64>, V)>, mode: ReprMode) -> Self {
+        assert!((1..=64).contains(&k), "PH-tree supports 1..=64 dimensions");
+        for (key, _) in &items {
+            assert_eq!(key.len(), k, "key dimension mismatch");
+        }
+        // Z-order sort = depth-first tree order; a stable sort plus
+        // keep-last dedup gives last-write-wins for duplicate keys.
+        items.sort_by(|a, b| z_cmp_dyn(&a.0, &b.0));
+        items.dedup_by(|later, kept| {
+            if later.0 == kept.0 {
+                std::mem::swap(&mut later.1, &mut kept.1);
+                true
+            } else {
+                false
+            }
+        });
+        let len = items.len();
+        if len == 0 {
+            return Self::with_mode(k, mode);
+        }
+        let mut keys = Vec::with_capacity(len);
+        let mut values = Vec::with_capacity(len);
+        for (key, v) in items {
+            keys.push(key);
+            values.push(v);
+        }
+        let mut vals = values.into_iter();
+        let root = Self::build_range(k, &keys, 0, len, (W - 1) as u8, 0, &mut vals, mode);
+        debug_assert!(vals.next().is_none(), "value stream fully consumed");
+        PhTreeDyn {
+            root: Some(Box::new(root)),
+            k,
+            len,
+            mode,
+        }
+    }
+
+    /// Builds the node covering the Z-sorted, deduplicated key range
+    /// `keys[lo..hi]` bottom-up. All keys in the range agree on every
+    /// bit above `post_len`; groups sharing a hypercube address recurse
+    /// on their own maximal diverging bit.
+    #[allow(clippy::too_many_arguments)]
+    fn build_range(
+        k: usize,
+        keys: &[Vec<u64>],
+        lo: usize,
+        hi: usize,
+        post_len: u8,
+        infix_len: u8,
+        vals: &mut std::vec::IntoIter<V>,
+        mode: ReprMode,
+    ) -> DynNode<V> {
+        let mut children: Vec<(u64, DynBulkChild<V>)> = Vec::new();
+        let mut i = lo;
+        while i < hi {
+            let h = hc::addr(&keys[i], post_len as u32);
+            let mut j = i + 1;
+            while j < hi && hc::addr(&keys[j], post_len as u32) == h {
+                j += 1;
+            }
+            if j - i == 1 {
+                let value = vals.next().expect("one value per key");
+                children.push((
+                    h,
+                    DynBulkChild::Post {
+                        key: keys[i].clone(),
+                        value,
+                    },
+                ));
+            } else {
+                let d = num::max_diverging_bit(&keys[i], &keys[j - 1])
+                    .expect("distinct keys in a group must diverge");
+                debug_assert!((d as u8) < post_len);
+                let sub =
+                    Self::build_range(k, keys, i, j, d as u8, post_len - 1 - d as u8, vals, mode);
+                children.push((h, DynBulkChild::Sub(sub)));
+            }
+            i = j;
+        }
+        DynNode::from_children(k, post_len, infix_len, &keys[lo], children, mode)
+    }
+
+    /// Releases surplus capacity throughout the tree (bit strings and
+    /// child vectors retain slack from amortised growth).
+    pub fn shrink_to_fit(&mut self) {
+        fn walk<V>(n: &mut DynNode<V>) {
+            n.shrink_repr();
+            for sub in n.subs.iter_mut() {
+                walk(sub);
+            }
+        }
+        if let Some(r) = self.root.as_deref_mut() {
+            walk(r);
         }
     }
 
@@ -340,13 +462,18 @@ impl<V> PhTreeDyn<V> {
                 s.total_bytes += bb + ALLOC_OVERHEAD;
                 s.bit_bytes += bb;
             }
-            if n.n_subs() > 0 {
+            // Child vectors are charged at *capacity*, not length —
+            // amortised growth slack is real heap usage until a shrink
+            // pass releases it. (ZST values never allocate; a ZST Vec
+            // reports usize::MAX capacity.)
+            if n.subs.capacity() > 0 {
                 s.allocations += 1;
-                s.total_bytes += n.n_subs() * std::mem::size_of::<DynNode<V>>() + ALLOC_OVERHEAD;
+                s.total_bytes +=
+                    n.subs.capacity() * std::mem::size_of::<DynNode<V>>() + ALLOC_OVERHEAD;
             }
-            if std::mem::size_of::<V>() > 0 && n.n_posts() > 0 {
+            if std::mem::size_of::<V>() > 0 && n.values.capacity() > 0 {
                 s.allocations += 1;
-                s.total_bytes += n.n_posts() * std::mem::size_of::<V>() + ALLOC_OVERHEAD;
+                s.total_bytes += n.values.capacity() * std::mem::size_of::<V>() + ALLOC_OVERHEAD;
             }
             for sub in n.subs.iter() {
                 walk(sub, depth + 1, s);
@@ -455,6 +582,52 @@ mod tests {
             .filter(|key| (0..4).all(|d| min[d] <= key[d] && key[d] <= max[d]))
             .count();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bulk_load_matches_sequential() {
+        let mut x = 11u64;
+        let mut items = Vec::new();
+        for i in 0..1500u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            items.push((vec![x % 256, (x >> 16) % 256, (x >> 32) % 256], i));
+        }
+        let bulk = PhTreeDyn::bulk_load(3, items.clone());
+        bulk.check_invariants();
+        let mut seq: PhTreeDyn<u64> = PhTreeDyn::new(3);
+        for (k, v) in &items {
+            seq.insert(k, *v);
+        }
+        assert_eq!(bulk.len(), seq.len());
+        seq.shrink_to_fit();
+        let (a, b) = (bulk.stats(), seq.stats());
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.hc_nodes, b.hc_nodes);
+        // Bulk-built nodes carry zero slack: byte-for-byte identical to
+        // the sequentially grown tree after a shrink pass.
+        assert_eq!(a.total_bytes, b.total_bytes);
+        let mut pairs_a = Vec::new();
+        bulk.for_each(&mut |k, v| pairs_a.push((k.to_vec(), *v)));
+        let mut pairs_b = Vec::new();
+        seq.for_each(&mut |k, v| pairs_b.push((k.to_vec(), *v)));
+        assert_eq!(pairs_a, pairs_b);
+    }
+
+    #[test]
+    fn bulk_load_duplicates_and_edges() {
+        let empty: PhTreeDyn<u8> = PhTreeDyn::bulk_load(2, Vec::new());
+        assert!(empty.is_empty());
+        let one = PhTreeDyn::bulk_load(2, vec![(vec![5, 6], 1u8)]);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.get(&[5, 6]), Some(&1));
+        // Duplicate keys: last write wins.
+        let dup =
+            PhTreeDyn::bulk_load(2, vec![(vec![5, 6], 1u8), (vec![7, 8], 2), (vec![5, 6], 3)]);
+        assert_eq!(dup.len(), 2);
+        assert_eq!(dup.get(&[5, 6]), Some(&3));
+        dup.check_invariants();
     }
 
     #[test]

@@ -18,10 +18,15 @@
 //!   stride]` — O(1) lookup, no bit shifting on update.
 //!
 //! The only data outside the bit string are the things that cannot be
-//! bits: child nodes (`subs`, an exact-size slice in address order) and
-//! user values (`values`, likewise; zero-sized value types occupy no
-//! heap at all). Dense ranks ("how many postfix entries precede address
-//! h") are answered by word-wise popcounts over the packed kind bits.
+//! bits: child nodes (`subs`, a vector in address order) and user
+//! values (`values`, likewise; zero-sized value types occupy no heap at
+//! all). Both vectors grow geometrically, so a node absorbing entries
+//! pays an amortised O(1) allocations per child instead of an exact-fit
+//! reallocate-and-copy on every structural update; a shrink pass
+//! ([`Node::shrink_repr`]) releases the slack, and bulk construction
+//! ([`Node::from_children`]) allocates at exact final size up front.
+//! Dense ranks ("how many postfix entries precede address h") are
+//! answered by word-wise popcounts over the packed kind bits.
 //!
 //! The representation is chosen per node by comparing the exact bit
 //! cost of both forms — `n·(k+1) + n_post·post_bits` for LHC versus
@@ -85,25 +90,23 @@ pub(crate) struct Node<V, const K: usize> {
     hc: bool,
     /// The packed bit string (see module docs).
     pub bits: BitBuf,
-    /// Sub-node children in hypercube-address order, exact size.
-    pub subs: Box<[Node<V, K>]>,
-    /// Values of postfix entries in hypercube-address order, exact size.
-    pub values: Box<[V]>,
+    /// Sub-node children in hypercube-address order. Capacity may
+    /// exceed the length (amortised growth); [`Node::shrink_repr`]
+    /// releases the slack.
+    pub subs: Vec<Node<V, K>>,
+    /// Values of postfix entries in hypercube-address order. Capacity
+    /// may exceed the length, as for `subs`.
+    pub values: Vec<V>,
 }
 
-/// Inserts into an exact-size boxed slice (reallocates).
-fn slice_insert<T>(b: &mut Box<[T]>, i: usize, v: T) {
-    let mut vec = std::mem::take(b).into_vec();
-    vec.insert(i, v);
-    *b = vec.into_boxed_slice();
-}
-
-/// Removes from an exact-size boxed slice (reallocates).
-fn slice_remove<T>(b: &mut Box<[T]>, i: usize) -> T {
-    let mut vec = std::mem::take(b).into_vec();
-    let v = vec.remove(i);
-    *b = vec.into_boxed_slice();
-    v
+/// A finished child handed to [`Node::from_children`] during bottom-up
+/// bulk construction.
+pub(crate) enum BulkChild<V, const K: usize> {
+    /// A postfix entry: the full key (the node extracts the low
+    /// `post_len` bits) and its value.
+    Post { key: [u64; K], value: V },
+    /// An already-built sub-node.
+    Sub(Node<V, K>),
 }
 
 impl<V, const K: usize> Node<V, K> {
@@ -117,8 +120,8 @@ impl<V, const K: usize> Node<V, K> {
         infix_len: u8,
         hc: bool,
         bits: BitBuf,
-        subs: Box<[Node<V, K>]>,
-        values: Box<[V]>,
+        subs: Vec<Node<V, K>>,
+        values: Vec<V>,
     ) -> Result<Self, &'static str> {
         let n = Node {
             post_len,
@@ -222,11 +225,97 @@ impl<V, const K: usize> Node<V, K> {
             infix_len,
             hc: false,
             bits,
-            subs: Box::default(),
-            values: Box::default(),
+            subs: Vec::new(),
+            values: Vec::new(),
         };
         n.write_infix(key);
         n
+    }
+
+    /// Builds a node in one shot from its final set of children
+    /// (bottom-up bulk construction).
+    ///
+    /// `children` must be sorted by hypercube address with no
+    /// duplicates. The representation is chosen **once** from the final
+    /// child counts (the same cost comparison
+    /// [`Node::maybe_switch_repr`] applies incrementally), and the bit
+    /// string and child vectors are allocated at exact final size — no
+    /// per-child reallocation, no capacity slack, and no HC⇄LHC
+    /// flip-flopping on the way up. The result is byte-identical to the
+    /// node sequential insertion would converge to, because the
+    /// representation and layout are pure functions of the contents.
+    pub(crate) fn from_children(
+        post_len: u8,
+        infix_len: u8,
+        key: &[u64; K],
+        children: Vec<(u64, BulkChild<V, K>)>,
+        mode: ReprMode,
+    ) -> Self {
+        debug_assert!(children.windows(2).all(|w| w[0].0 < w[1].0));
+        let n = children.len();
+        let posts = children
+            .iter()
+            .filter(|(_, c)| matches!(c, BulkChild::Post { .. }))
+            .count();
+        let n_subs = n - posts;
+        let ib = infix_len as usize * K;
+        let pb = post_len as usize * K;
+        let lhc_cost = n * (K + 1) + posts * pb;
+        let hc_cost = if K > MAX_HC_K {
+            usize::MAX
+        } else {
+            (1usize << K) * (2 + pb)
+        };
+        let hc = match mode {
+            ReprMode::ForceLhc => false,
+            ReprMode::ForceHc => K <= MAX_HC_K,
+            ReprMode::Adaptive => hc_cost < lhc_cost,
+        };
+        let nbits = ib + if hc { hc_cost } else { lhc_cost };
+        let mut node = Node {
+            post_len,
+            infix_len,
+            hc,
+            bits: BitBuf::zeroed(nbits),
+            subs: Vec::with_capacity(n_subs),
+            values: Vec::with_capacity(posts),
+        };
+        node.write_infix(key);
+        if hc {
+            let pf_base = node.hc_pf_base();
+            for (h, child) in children {
+                let kind_off = node.hc_kind_off(h);
+                match child {
+                    BulkChild::Post { key, value } => {
+                        node.bits.write_bits(kind_off, KIND_POST, 2);
+                        node.write_postfix_at(pf_base + h as usize * pb, &key);
+                        node.values.push(value);
+                    }
+                    BulkChild::Sub(sub) => {
+                        node.bits.write_bits(kind_off, KIND_SUB, 2);
+                        node.subs.push(sub);
+                    }
+                }
+            }
+        } else {
+            let pf_base = ib + n * (K + 1);
+            let mut pr = 0usize;
+            for (j, (h, child)) in children.into_iter().enumerate() {
+                node.bits.write_bits(ib + j * K, h, K as u32);
+                match child {
+                    BulkChild::Post { key, value } => {
+                        node.write_postfix_at(pf_base + pr * pb, &key);
+                        node.values.push(value);
+                        pr += 1;
+                    }
+                    BulkChild::Sub(sub) => {
+                        node.bits.set(ib + n * K + j, true);
+                        node.subs.push(sub);
+                    }
+                }
+            }
+        }
+        node
     }
 
     #[inline]
@@ -635,7 +724,7 @@ impl<V, const K: usize> Node<V, K> {
             self.bits.write_bits(off, KIND_POST, 2);
             let pf = self.hc_pf_base() + h as usize * pb;
             self.write_postfix_at(pf, key);
-            slice_insert(&mut self.values, pr, value);
+            self.values.insert(pr, value);
         } else {
             let j = match self.lhc_search(h) {
                 Err(j) => j,
@@ -653,7 +742,7 @@ impl<V, const K: usize> Node<V, K> {
             self.bits.write_bits(self.lhc_addr_off(j), h, K as u32);
             let pf = self.lhc_pf_base(n) + pr * pb;
             self.write_postfix_at(pf, key);
-            slice_insert(&mut self.values, pr, value);
+            self.values.insert(pr, value);
         }
         self.maybe_switch_repr(mode);
     }
@@ -665,7 +754,7 @@ impl<V, const K: usize> Node<V, K> {
             let (_, sr) = self.hc_ranks(h);
             let off = self.hc_kind_off(h);
             self.bits.write_bits(off, KIND_SUB, 2);
-            slice_insert(&mut self.subs, sr, sub);
+            self.subs.insert(sr, sub);
         } else {
             let j = match self.lhc_search(h) {
                 Err(j) => j,
@@ -678,7 +767,7 @@ impl<V, const K: usize> Node<V, K> {
             let n = n + 1;
             self.bits.write_bits(self.lhc_addr_off(j), h, K as u32);
             self.bits.set(self.lhc_kind_off(n, j), true); // kind 1 = sub
-            slice_insert(&mut self.subs, sr, sub);
+            self.subs.insert(sr, sub);
         }
         self.maybe_switch_repr(mode);
     }
@@ -695,7 +784,7 @@ impl<V, const K: usize> Node<V, K> {
             let pf = self.hc_pf_base() + h as usize * pb;
             let zero: [u64; K] = [0; K];
             self.write_postfix_at(pf, &zero);
-            slice_remove(&mut self.values, pr)
+            self.values.remove(pr)
         } else {
             let j = self.lhc_search(h).expect("remove_post: empty slot");
             assert!(!self.lhc_is_sub(j), "remove_post on sub slot");
@@ -706,7 +795,7 @@ impl<V, const K: usize> Node<V, K> {
                 (self.lhc_kind_off(n, j), 1),
                 (self.lhc_pf_base(n) + pr * pb, pb),
             ]);
-            slice_remove(&mut self.values, pr)
+            self.values.remove(pr)
         };
         self.maybe_switch_repr(mode);
         v
@@ -740,8 +829,8 @@ impl<V, const K: usize> Node<V, K> {
             let pf = self.hc_pf_base() + h as usize * pb;
             let zero: [u64; K] = [0; K];
             self.write_postfix_at(pf, &zero);
-            slice_insert(&mut self.subs, sr, sub);
-            slice_remove(&mut self.values, pr)
+            self.subs.insert(sr, sub);
+            self.values.remove(pr)
         } else {
             let j = self.lhc_search(h).expect("swap_post_for_sub: empty slot");
             assert!(!self.lhc_is_sub(j), "swap_post_for_sub on sub slot");
@@ -751,8 +840,8 @@ impl<V, const K: usize> Node<V, K> {
             let pf = self.lhc_pf_base(n) + pr * pb;
             self.bits.remove_range(pf, pb);
             self.bits.set(self.lhc_kind_off(n, j), true);
-            slice_insert(&mut self.subs, sr, sub);
-            slice_remove(&mut self.values, pr)
+            self.subs.insert(sr, sub);
+            self.values.remove(pr)
         };
         // The post count feeds the size comparison; keep the
         // representation a pure function of the node's final state.
@@ -775,8 +864,8 @@ impl<V, const K: usize> Node<V, K> {
             self.bits.write_bits(off, KIND_POST, 2);
             let pf = self.hc_pf_base() + h as usize * pb;
             self.write_postfix_at(pf, key);
-            slice_remove(&mut self.subs, sr);
-            slice_insert(&mut self.values, pr, value);
+            self.subs.remove(sr);
+            self.values.insert(pr, value);
         } else {
             let j = self
                 .lhc_search(h)
@@ -789,8 +878,8 @@ impl<V, const K: usize> Node<V, K> {
             let pf = self.lhc_pf_base(n) + pr * pb;
             self.bits.insert_gap(pf, pb);
             self.write_postfix_at(pf, key);
-            slice_remove(&mut self.subs, sr);
-            slice_insert(&mut self.values, pr, value);
+            self.subs.remove(sr);
+            self.values.insert(pr, value);
         }
         self.maybe_switch_repr(mode);
     }
@@ -827,9 +916,9 @@ impl<V, const K: usize> Node<V, K> {
         self.bits.truncate(self.infix_bits());
         self.hc = false;
         let child = if is_sub {
-            Child::Sub(slice_remove(&mut self.subs, 0))
+            Child::Sub(self.subs.remove(0))
         } else {
-            Child::Post(slice_remove(&mut self.values, 0))
+            Child::Post(self.values.remove(0))
         };
         Some((h, child))
     }
@@ -964,9 +1053,12 @@ impl<V, const K: usize> Node<V, K> {
         }
     }
 
-    /// Releases surplus capacity.
+    /// Releases surplus capacity in the bit string and both child
+    /// vectors, so the space accounting sees zero slack afterwards.
     pub fn shrink_repr(&mut self) {
         self.bits.shrink_to_fit();
+        self.subs.shrink_to_fit();
+        self.values.shrink_to_fit();
     }
 
     /// Applies `f` to every sub-node child.

@@ -110,16 +110,15 @@ pub fn build_node<V, const K: usize>(
 ) -> Result<RawNode<V, K>, RawError> {
     let bits = BitBuf::from_words(bits_words, bits_len)
         .ok_or_else(|| RawError::new("bit-string length disagrees with word count"))?;
-    let subs: Box<[Node<V, K>]> = subs.into_iter().map(|r| r.node).collect();
-    let node = Node::from_parts(
-        post_len,
-        infix_len,
-        is_hc,
-        bits,
-        subs,
-        values.into_boxed_slice(),
-    )
-    .map_err(RawError::new)?;
+    let mut subs: Vec<Node<V, K>> = subs.into_iter().map(|r| r.node).collect();
+    // Decoded trees must carry zero capacity slack (the space accounting
+    // charges capacity): callers may have collected these vectors
+    // through adapters that over-reserve.
+    subs.shrink_to_fit();
+    let mut values = values;
+    values.shrink_to_fit();
+    let node =
+        Node::from_parts(post_len, infix_len, is_hc, bits, subs, values).map_err(RawError::new)?;
     Ok(RawNode { node })
 }
 
@@ -199,7 +198,10 @@ mod tests {
 
     #[test]
     fn raw_roundtrip_preserves_everything() {
-        let t = sample_tree();
+        let mut t = sample_tree();
+        // The roundtripped tree is rebuilt at exact capacity; shrink the
+        // source so the byte-for-byte space comparison is meaningful.
+        t.shrink_to_fit();
         let u = roundtrip(&t).expect("roundtrip");
         u.check_invariants();
         assert_eq!(u.len(), t.len());

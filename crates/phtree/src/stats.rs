@@ -74,15 +74,18 @@ fn node_stats<V, const K: usize>(n: &Node<V, K>, depth: usize, s: &mut TreeStats
         s.total_bytes += bb + ALLOC_OVERHEAD;
         s.bit_bytes += bb;
     }
-    // Sub-node slice: the children's own struct bytes live here.
-    if n.n_subs() > 0 {
+    // Sub-node vector: the children's own struct bytes live here.
+    // Charged at *capacity*, not length — amortised growth leaves slack
+    // that is real heap usage until a shrink pass releases it.
+    if n.subs.capacity() > 0 {
         s.allocations += 1;
-        s.total_bytes += n.n_subs() * std::mem::size_of::<Node<V, K>>() + ALLOC_OVERHEAD;
+        s.total_bytes += n.subs.capacity() * std::mem::size_of::<Node<V, K>>() + ALLOC_OVERHEAD;
     }
-    // Value slice (no heap at all for zero-sized values).
-    if std::mem::size_of::<V>() > 0 && n.n_posts() > 0 {
+    // Value vector, likewise at capacity (no heap at all for zero-sized
+    // values — a ZST Vec reports usize::MAX capacity without allocating).
+    if std::mem::size_of::<V>() > 0 && n.values.capacity() > 0 {
         s.allocations += 1;
-        s.total_bytes += n.n_posts() * std::mem::size_of::<V>() + ALLOC_OVERHEAD;
+        s.total_bytes += n.values.capacity() * std::mem::size_of::<V>() + ALLOC_OVERHEAD;
     }
     for sub in n.subs.iter() {
         node_stats(sub, depth + 1, s);

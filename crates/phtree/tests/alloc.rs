@@ -1,0 +1,103 @@
+//! Exact-heap verification of the structural space accounting.
+//!
+//! The paper validates its calculated node sizes against JVM heap
+//! measurements (Sect. 4.3.5, within 5 %). We can do better: with a
+//! counting global allocator, every heap byte a tree owns is observable
+//! as the fall in live bytes when the tree is dropped, and the stats
+//! model must match it *exactly* — including capacity slack from
+//! amortised vector growth, and including its absence in bulk-loaded
+//! or shrunk trees.
+//!
+//! Everything lives in ONE `#[test]`: the counters are process-global
+//! and libtest runs separate tests on separate threads.
+
+use measure::alloc_track::{snapshot, CountingAlloc};
+use phtree::{PhTree, PhTreeDyn, ALLOC_OVERHEAD};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn dataset(n: u64) -> Vec<([u64; 3], u64)> {
+    let mut x = 7u64;
+    (0..n)
+        .map(|i| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ([x % 4096, (x >> 20) % 4096, (x >> 40) % 4096], i)
+        })
+        .collect()
+}
+
+/// Heap bytes and blocks owned by `t`, measured as the live-counter
+/// fall across dropping it.
+fn measured_heap<T>(t: T) -> (usize, usize) {
+    let before = snapshot();
+    drop(t);
+    let after = snapshot();
+    (
+        before.live_bytes - after.live_bytes,
+        before.live_blocks - after.live_blocks,
+    )
+}
+
+fn assert_stats_exact(name: &str, stats: phtree::TreeStats, bytes: usize, blocks: usize) {
+    assert_eq!(
+        stats.allocations, blocks,
+        "{name}: allocation count vs live blocks"
+    );
+    assert_eq!(
+        stats.total_bytes - ALLOC_OVERHEAD * stats.allocations,
+        bytes,
+        "{name}: accounted bytes vs measured heap bytes"
+    );
+}
+
+#[test]
+fn stats_match_measured_heap_exactly() {
+    let items = dataset(5000);
+
+    // Bulk-loaded: exact-size construction, zero slack by design.
+    let bulk = PhTree::bulk_load(items.clone());
+    let bulk_stats = bulk.stats();
+    let (bytes, blocks) = measured_heap(bulk);
+    assert_stats_exact("bulk", bulk_stats, bytes, blocks);
+
+    // Sequentially grown: capacity slack is real heap and must be
+    // charged, byte for byte.
+    let mut seq: PhTree<u64, 3> = PhTree::new();
+    for &(k, v) in &items {
+        seq.insert(k, v);
+    }
+    let seq_stats = seq.stats();
+    let (bytes, blocks) = measured_heap(seq);
+    assert_stats_exact("sequential", seq_stats, bytes, blocks);
+
+    // Shrunk: same contents, slack released; bulk and shrunk-sequential
+    // agree exactly (the structure is canonical).
+    let mut shrunk: PhTree<u64, 3> = PhTree::new();
+    for &(k, v) in &items {
+        shrunk.insert(k, v);
+    }
+    shrunk.shrink_to_fit();
+    let shrunk_stats = shrunk.stats();
+    assert_eq!(shrunk_stats, bulk_stats, "bulk output carries zero slack");
+    let (bytes, blocks) = measured_heap(shrunk);
+    assert_stats_exact("shrunk", shrunk_stats, bytes, blocks);
+    assert!(shrunk_stats.total_bytes <= seq_stats.total_bytes);
+
+    // Runtime-k tree, bulk and shrunk-sequential alike.
+    let dyn_items: Vec<(Vec<u64>, u64)> = items.iter().map(|&(k, v)| (k.to_vec(), v)).collect();
+    let dbulk: PhTreeDyn<u64> = PhTreeDyn::bulk_load(3, dyn_items.clone());
+    let dbulk_stats = dbulk.stats();
+    let (bytes, blocks) = measured_heap(dbulk);
+    assert_stats_exact("dyn bulk", dbulk_stats, bytes, blocks);
+    let mut dseq: PhTreeDyn<u64> = PhTreeDyn::new(3);
+    for (k, v) in &dyn_items {
+        dseq.insert(k, *v);
+    }
+    dseq.shrink_to_fit();
+    assert_eq!(dseq.stats(), dbulk_stats);
+    let (bytes, blocks) = measured_heap(dseq);
+    assert_stats_exact("dyn shrunk", dbulk_stats, bytes, blocks);
+}

@@ -244,6 +244,54 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
+    /// Bulk loading is indistinguishable from sequential insertion:
+    /// byte-identical structure (the canonical-form guarantee makes the
+    /// whole tree a pure function of its contents), identical iteration
+    /// order and identical window-query order — in every representation
+    /// mode, with duplicate keys (last write wins) and empty/singleton
+    /// inputs included in the generated cases.
+    #[test]
+    fn bulk_load_equals_sequential_inserts(
+        items in proptest::collection::vec((key_strategy(), any::<u32>()), 0..150),
+    ) {
+        for mode in [ReprMode::Adaptive, ReprMode::ForceLhc, ReprMode::ForceHc] {
+            let bulk = PhTree::bulk_load_with_mode(items.clone(), mode);
+            bulk.check_invariants();
+            let mut seq: PhTree<u32, 3> = PhTree::with_mode(mode);
+            for &(k, v) in &items {
+                seq.insert(k, v);
+            }
+            seq.shrink_to_fit();
+            prop_assert_eq!(bulk.len(), seq.len());
+            // Byte-identical structure once growth slack is released.
+            prop_assert_eq!(bulk.stats(), seq.stats());
+            let a: Vec<_> = bulk.iter().map(|(k, &v)| (k, v)).collect();
+            let b: Vec<_> = seq.iter().map(|(k, &v)| (k, v)).collect();
+            prop_assert_eq!(a, b);
+            let (min, max) = ([1u64, 0, 2], [1u64 << 62, 15, 1 << 63]);
+            let qa: Vec<_> = bulk.query(&min, &max).map(|(k, _)| k).collect();
+            let qb: Vec<_> = seq.query(&min, &max).map(|(k, _)| k).collect();
+            prop_assert_eq!(qa, qb);
+        }
+        // The runtime-k tree gets the same guarantee.
+        let dyn_items: Vec<(Vec<u64>, u32)> =
+            items.iter().map(|&(k, v)| (k.to_vec(), v)).collect();
+        let dbulk: phtree::PhTreeDyn<u32> = phtree::PhTreeDyn::bulk_load(3, dyn_items.clone());
+        dbulk.check_invariants();
+        let mut dseq: phtree::PhTreeDyn<u32> = phtree::PhTreeDyn::new(3);
+        for (k, v) in &dyn_items {
+            dseq.insert(k, *v);
+        }
+        dseq.shrink_to_fit();
+        prop_assert_eq!(dbulk.len(), dseq.len());
+        prop_assert_eq!(dbulk.stats(), dseq.stats());
+        let mut pa = Vec::new();
+        dbulk.for_each(&mut |k, v| pa.push((k.to_vec(), *v)));
+        let mut pb = Vec::new();
+        dseq.for_each(&mut |k, v| pb.push((k.to_vec(), *v)));
+        prop_assert_eq!(pa, pb);
+    }
+
     /// The dynamic (runtime-k) tree and the const-generic tree run the
     /// same canonical algorithm: identical data must produce identical
     /// structure, contents and statistics — under inserts AND removals.

@@ -15,6 +15,10 @@ fn main() {
     for (i, p) in points.iter().enumerate() {
         tree.insert(point_to_key(p), i as u32);
     }
+    // Sequential growth leaves capacity slack; loading rebuilds every
+    // node at its exact size. Shrink so the node-for-node stats
+    // comparison below is byte-exact.
+    tree.shrink_to_fit();
     let mem = tree.stats();
     println!(
         "in memory: {} nodes, {:.1} MiB",

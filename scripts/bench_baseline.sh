@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Perf-regression baseline: runs the fig7/fig8/fig9 bins PH-only on the
-# CUBE dataset at K in {3, 8, 20} and writes one flat JSON of µs metrics
-# ({"fig8_point_query_cube_k8": 1.23, ...}).
+# Perf-regression baseline: runs the fig7/fig8/fig9/fig_load bins
+# PH-only on the CUBE dataset at K in {3, 8, 20} and writes one flat
+# JSON of µs metrics ({"fig8_point_query_cube_k8": 1.23, ...}).
+# fig_load also hard-asserts its own acceptance floors (bulk ≥2× faster
+# than sequential at K=8, O(1) allocations per bulk-loaded entry).
 #
 # Usage:  scripts/bench_baseline.sh [output.json]
 #   QUICK=false scripts/bench_baseline.sh    # full-size run (default true)
@@ -26,7 +28,7 @@ fi
 
 rm -f "$OUT"
 for K in 3 8 20; do
-  for BIN in fig7_insert fig8_point_query fig9_range_query; do
+  for BIN in fig7_insert fig8_point_query fig9_range_query fig_load; do
     "target/release/$BIN" --k "$K" --quick "$QUICK" --seed "$SEED" \
       --json "$OUT" "${EXTRA[@]+"${EXTRA[@]}"}"
   done
