@@ -67,6 +67,7 @@ fn run<const K: usize>(
 
 fn main() {
     let cli = Cli::from_env();
+    ph_bench::maybe_install_counting_sink(&cli);
     let quick = cli.get_str("quick", "false") == "true";
     let scale = cli.get_f64("scale", if quick { 0.01 } else { 0.02 });
     let seed = cli.get_u64("seed", 42);

@@ -535,6 +535,47 @@ pub fn run_ph_only_k(
     }
 }
 
+/// Installs a minimal counting `TreeSink` (three relaxed atomics) when
+/// the harness runs with `--sink true` on a `--features metrics` build.
+/// This is how the *enabled*-path overhead quoted in DESIGN.md §13 is
+/// measured: the same bins and workload as the committed baseline, with
+/// a live sink behind every probe. Without the feature the flag warns
+/// and is ignored, so baseline numbers stay honest.
+pub fn maybe_install_counting_sink(cli: &measure::Cli) {
+    if cli.get_str("sink", "false") != "true" {
+        return;
+    }
+    #[cfg(feature = "metrics")]
+    {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        struct CountingSink {
+            ops: AtomicU64,
+            nodes: AtomicU64,
+            switches: AtomicU64,
+        }
+        impl phtree::telemetry::TreeSink for CountingSink {
+            fn op(&self, _op: phtree::telemetry::TreeOp, nodes_visited: u32) {
+                self.ops.fetch_add(1, Ordering::Relaxed);
+                self.nodes
+                    .fetch_add(nodes_visited as u64, Ordering::Relaxed);
+            }
+            fn repr_switch(&self, _to_hc: bool) {
+                self.switches.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let sink: &'static CountingSink = Box::leak(Box::new(CountingSink {
+            ops: AtomicU64::new(0),
+            nodes: AtomicU64::new(0),
+            switches: AtomicU64::new(0),
+        }));
+        if phtree::telemetry::set_sink(sink) {
+            eprintln!("counting sink installed (enabled-path measurement)");
+        }
+    }
+    #[cfg(not(feature = "metrics"))]
+    eprintln!("note: --sink true needs --features metrics; measuring the uninstrumented build");
+}
+
 /// Reading and writing the flat perf-baseline JSON
 /// (`{"bench_name": µs, …}`) without a serialisation dependency.
 pub mod perfjson {

@@ -1,0 +1,240 @@
+//! Fixed-bucket log₂ latency histogram.
+//!
+//! Recording is **one relaxed atomic add**: the value's bit length
+//! picks one of [`NUM_BUCKETS`] power-of-two buckets, so bucket `b`
+//! (for `b ≥ 1`) holds all samples `v` with `2^(b-1) ≤ v < 2^b`;
+//! bucket 0 holds exactly `v = 0`. The top bucket is open-ended.
+//! There is no sum, min or per-sample storage — quantiles (p50, p90,
+//! p99) and the max are *estimated* from the bucket counts, each
+//! reported as the inclusive upper bound of the bucket the rank falls
+//! in. The estimate is therefore exact to within one power-of-two
+//! bucket, which is the resolution contract the concurrent proptests
+//! pin down.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Number of histogram buckets. Bucket 0 is the zero bucket; bucket
+/// `b ≥ 1` covers `[2^(b-1), 2^b)`; the last bucket is open-ended
+/// (everything ≥ 2^(NUM_BUCKETS-2), ≈ 73 minutes in nanoseconds).
+pub const NUM_BUCKETS: usize = 43;
+
+/// The bucket a value lands in: its bit length, clamped to the open
+/// top bucket.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    ((64 - value.leading_zeros()) as usize).min(NUM_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the open top
+/// bucket). Bucket 0 (the zero bucket) has upper bound 0.
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= NUM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+pub(crate) struct HistCells {
+    pub(crate) buckets: [AtomicU64; NUM_BUCKETS],
+}
+
+impl HistCells {
+    pub(crate) fn new() -> Self {
+        HistCells {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A lock-free latency/size histogram handle.
+///
+/// Handles are cheap to clone and share one set of atomic buckets. A
+/// handle from a disabled registry (or [`Histogram::noop`]) skips the
+/// atomic entirely — recording against it is a branch on a null
+/// `Option`.
+#[derive(Clone)]
+pub struct Histogram {
+    pub(crate) cell: Option<Arc<HistCells>>,
+}
+
+/// An in-flight latency measurement started by [`Histogram::start`].
+///
+/// Holds the start instant only when the histogram is live, so the
+/// disabled path never touches the clock.
+#[must_use = "finish the timer with Histogram::finish to record the sample"]
+pub struct OpTimer(Option<Instant>);
+
+impl OpTimer {
+    /// A timer that records nothing when finished.
+    pub fn noop() -> OpTimer {
+        OpTimer(None)
+    }
+}
+
+impl Histogram {
+    /// A detached handle that records nothing.
+    pub fn noop() -> Histogram {
+        Histogram { cell: None }
+    }
+
+    /// Whether samples recorded here are actually stored.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.cell.is_some()
+    }
+
+    /// Records one sample (one relaxed atomic add).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if let Some(c) = &self.cell {
+            c.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Starts a latency measurement; reads the clock only when the
+    /// histogram is live.
+    #[inline]
+    pub fn start(&self) -> OpTimer {
+        OpTimer(self.cell.is_some().then(Instant::now))
+    }
+
+    /// Ends a measurement from [`Histogram::start`], recording the
+    /// elapsed nanoseconds.
+    #[inline]
+    pub fn finish(&self, timer: OpTimer) {
+        if let Some(t0) = timer.0 {
+            self.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
+    }
+
+    /// Reads the current bucket counts (relaxed; counts only grow).
+    pub fn load(&self) -> HistSnapshot {
+        let mut counts = [0u64; NUM_BUCKETS];
+        if let Some(c) = &self.cell {
+            for (out, b) in counts.iter_mut().zip(c.buckets.iter()) {
+                *out = b.load(Ordering::Relaxed);
+            }
+        }
+        HistSnapshot { counts }
+    }
+}
+
+/// A point-in-time copy of a histogram's bucket counts, with quantile
+/// estimation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket sample counts (see [`bucket_index`]).
+    pub counts: [u64; NUM_BUCKETS],
+}
+
+impl HistSnapshot {
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Estimated quantile `q ∈ [0, 1]`: the inclusive upper bound of
+    /// the bucket holding the rank-`⌈q·n⌉` sample. Returns 0 for an
+    /// empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(NUM_BUCKETS - 1)
+    }
+
+    /// Estimated median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// Estimated 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// Estimated 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Estimated maximum: the upper bound of the highest non-empty
+    /// bucket (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, bucket_upper_bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(NUM_BUCKETS - 1), u64::MAX);
+        // Every value lands in a bucket whose bounds contain it.
+        for v in [0u64, 1, 2, 3, 7, 8, 1000, 1 << 40, u64::MAX] {
+            let b = bucket_index(v);
+            assert!(v <= bucket_upper_bound(b));
+            if b > 0 {
+                assert!(v > bucket_upper_bound(b - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_from_known_distribution() {
+        let h = Histogram {
+            cell: Some(std::sync::Arc::new(HistCells::new())),
+        };
+        // 90 samples of ~100ns, 9 of ~10_000ns, 1 of ~1_000_000ns.
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..9 {
+            h.record(10_000);
+        }
+        h.record(1_000_000);
+        let s = h.load();
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.p50(), bucket_upper_bound(bucket_index(100)));
+        assert_eq!(s.p90(), bucket_upper_bound(bucket_index(100)));
+        assert_eq!(s.p99(), bucket_upper_bound(bucket_index(10_000)));
+        assert_eq!(s.max(), bucket_upper_bound(bucket_index(1_000_000)));
+    }
+
+    #[test]
+    fn noop_records_nothing_and_skips_clock() {
+        let h = Histogram::noop();
+        h.record(42);
+        let t = h.start();
+        h.finish(t);
+        assert_eq!(h.load().count(), 0);
+        assert!(!h.is_enabled());
+    }
+}

@@ -1,0 +1,157 @@
+//! Periodic background flushing of registry snapshots.
+
+use crate::Registry;
+use std::io::Write;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A background thread that flushes a [`Registry`] on a fixed interval.
+///
+/// The flush callback receives the registry and runs off the serving
+/// threads, so exposition cost (string building, I/O) never lands on
+/// an operation's latency path. Dropping the reporter performs one
+/// final flush and joins the thread.
+///
+/// ```
+/// use phmetrics::{MetricsReporter, Registry};
+/// use std::sync::{Arc, Mutex};
+/// use std::time::Duration;
+///
+/// let r = Registry::new();
+/// r.counter("demo_total").inc();
+/// let seen = Arc::new(Mutex::new(Vec::new()));
+/// let sink = Arc::clone(&seen);
+/// let reporter = MetricsReporter::spawn(r, Duration::from_millis(5), move |reg| {
+///     sink.lock().unwrap().push(reg.snapshot().counter("demo_total").unwrap());
+/// });
+/// std::thread::sleep(Duration::from_millis(30));
+/// drop(reporter); // final flush + join
+/// assert!(!seen.lock().unwrap().is_empty());
+/// ```
+pub struct MetricsReporter {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsReporter {
+    /// Spawns a reporter calling `flush` every `interval` (and once
+    /// more on shutdown).
+    pub fn spawn<F>(registry: Registry, interval: Duration, mut flush: F) -> MetricsReporter
+    where
+        F: FnMut(&Registry) + Send + 'static,
+    {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("phmetrics-reporter".into())
+            .spawn(move || {
+                let (lock, cv) = &*stop2;
+                let mut stopped = lock.lock().unwrap();
+                loop {
+                    if *stopped {
+                        break;
+                    }
+                    let (guard, timeout) = cv.wait_timeout(stopped, interval).unwrap();
+                    stopped = guard;
+                    if *stopped {
+                        break;
+                    }
+                    if timeout.timed_out() {
+                        drop(stopped);
+                        flush(&registry);
+                        stopped = lock.lock().unwrap();
+                    }
+                }
+                drop(stopped);
+                flush(&registry); // final flush so shutdown state is visible
+            })
+            .expect("spawn metrics reporter thread");
+        MetricsReporter {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Spawns a reporter writing the Prometheus text exposition to
+    /// `writer` every `interval`.
+    pub fn to_writer<W: Write + Send + 'static>(
+        registry: Registry,
+        interval: Duration,
+        mut writer: W,
+    ) -> MetricsReporter {
+        Self::spawn(registry, interval, move |r| {
+            let _ = writer.write_all(r.render_prometheus().as_bytes());
+            let _ = writer.flush();
+        })
+    }
+
+    /// Stops the background thread (equivalent to dropping).
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        let (lock, cv) = &*self.stop;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsReporter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn reporter_flushes_periodically_and_on_drop() {
+        let r = Registry::new();
+        r.counter("t_total").add(7);
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        let rep = MetricsReporter::spawn(r.clone(), Duration::from_millis(5), move |reg| {
+            assert_eq!(reg.snapshot().counter("t_total"), Some(7));
+            n2.fetch_add(1, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(40));
+        let before_drop = n.load(Ordering::SeqCst);
+        assert!(before_drop >= 1, "periodic flushes must have run");
+        drop(rep);
+        assert!(
+            n.load(Ordering::SeqCst) > before_drop,
+            "final flush on drop"
+        );
+    }
+
+    #[test]
+    fn to_writer_emits_exposition() {
+        struct Buf(Arc<Mutex<String>>);
+        impl Write for Buf {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0
+                    .lock()
+                    .unwrap()
+                    .push_str(std::str::from_utf8(b).unwrap());
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let r = Registry::new();
+        r.counter("w_total").inc();
+        let out = Arc::new(Mutex::new(String::new()));
+        let rep = MetricsReporter::to_writer(r, Duration::from_secs(60), Buf(Arc::clone(&out)));
+        rep.stop(); // final flush runs even if the interval never elapsed
+        assert!(out.lock().unwrap().contains("w_total 1"));
+    }
+}

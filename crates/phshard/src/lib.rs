@@ -45,11 +45,13 @@
 
 mod durable;
 mod merge;
+mod metrics;
 mod pool;
 mod route;
 mod sharded;
 
 pub use durable::{DurableSharded, MANIFEST_FILE};
+pub use metrics::PoolMetrics;
 pub use pool::WorkerPool;
 pub use route::{Router, MAX_SHARDS};
 pub use sharded::{ShardStats, ShardedTree};

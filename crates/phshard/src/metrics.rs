@@ -1,0 +1,157 @@
+//! Instrument wiring for the sharded serving layer.
+//!
+//! All instruments are issued by a [`phmetrics::Registry`] passed to
+//! [`crate::ShardedTree::with_metrics`] / [`crate::WorkerPool::with_metrics`].
+//! Trees built without a registry carry no-op handles, so every record
+//! call below compiles to a branch on a null `Option` — the layer is
+//! instrumented unconditionally and the handles decide.
+//!
+//! Instrument catalogue (Prometheus names):
+//!
+//! * `phshard_ops_total{op=...}` — counter per operation type
+//!   (`insert`, `remove`, `get`, `query`, `query_count`, `knn`,
+//!   `bulk_load`).
+//! * `phshard_op_latency_ns{op=...}` — log₂ latency histogram per
+//!   operation type, measured at the `ShardedTree` API boundary.
+//! * `phshard_shard_ops_total{shard=N}` — keys routed to shard `N`
+//!   (single-key ops count 1, `bulk_load` counts its partition size);
+//!   the live counterpart of [`crate::ShardStats::skew`].
+//! * `phshard_query_fanout` — histogram of surviving shards per window
+//!   query after prefix-mask pruning.
+//! * `phshard_knn_merge_candidates` — histogram of total per-shard
+//!   candidates entering the bounded k-way kNN merge.
+//! * `phshard_pool_queue_depth` (+`_peak`) — fan-out pool queue depth.
+//! * `phshard_pool_tasks_total` — jobs submitted to the pool.
+//! * `phshard_pool_task_panics_total` — jobs that panicked (caught;
+//!   the worker survives).
+//! * `phshard_pool_busy_ns_total` — cumulative worker busy time.
+
+use phmetrics::{Counter, Gauge, Histogram, OpTimer, Registry};
+
+/// Handles for one operation type: total counter + latency histogram.
+#[derive(Clone)]
+pub(crate) struct OpInstruments {
+    total: Counter,
+    latency_ns: Histogram,
+}
+
+impl OpInstruments {
+    fn noop() -> Self {
+        OpInstruments {
+            total: Counter::noop(),
+            latency_ns: Histogram::noop(),
+        }
+    }
+
+    fn new(reg: &Registry, op: &str) -> Self {
+        OpInstruments {
+            total: reg.counter(&format!("phshard_ops_total{{op=\"{op}\"}}")),
+            latency_ns: reg.histogram(&format!("phshard_op_latency_ns{{op=\"{op}\"}}")),
+        }
+    }
+
+    /// Starts the latency clock (no-op handles skip the clock read).
+    #[inline]
+    pub(crate) fn start(&self) -> OpTimer {
+        self.latency_ns.start()
+    }
+
+    /// Counts the op and records its latency.
+    #[inline]
+    pub(crate) fn finish(&self, t: OpTimer) {
+        self.total.inc();
+        self.latency_ns.finish(t);
+    }
+}
+
+/// Every instrument recorded by [`crate::ShardedTree`].
+#[derive(Clone)]
+pub(crate) struct ShardMetrics {
+    pub(crate) insert: OpInstruments,
+    pub(crate) remove: OpInstruments,
+    pub(crate) get: OpInstruments,
+    pub(crate) query: OpInstruments,
+    pub(crate) query_count: OpInstruments,
+    pub(crate) knn: OpInstruments,
+    pub(crate) bulk_load: OpInstruments,
+    pub(crate) fanout: Histogram,
+    pub(crate) merge_candidates: Histogram,
+    per_shard_ops: Vec<Counter>,
+}
+
+impl ShardMetrics {
+    pub(crate) fn disabled() -> Self {
+        ShardMetrics {
+            insert: OpInstruments::noop(),
+            remove: OpInstruments::noop(),
+            get: OpInstruments::noop(),
+            query: OpInstruments::noop(),
+            query_count: OpInstruments::noop(),
+            knn: OpInstruments::noop(),
+            bulk_load: OpInstruments::noop(),
+            fanout: Histogram::noop(),
+            merge_candidates: Histogram::noop(),
+            per_shard_ops: Vec::new(),
+        }
+    }
+
+    pub(crate) fn new(reg: &Registry, shards: usize) -> Self {
+        ShardMetrics {
+            insert: OpInstruments::new(reg, "insert"),
+            remove: OpInstruments::new(reg, "remove"),
+            get: OpInstruments::new(reg, "get"),
+            query: OpInstruments::new(reg, "query"),
+            query_count: OpInstruments::new(reg, "query_count"),
+            knn: OpInstruments::new(reg, "knn"),
+            bulk_load: OpInstruments::new(reg, "bulk_load"),
+            fanout: reg.histogram("phshard_query_fanout"),
+            merge_candidates: reg.histogram("phshard_knn_merge_candidates"),
+            per_shard_ops: (0..shards)
+                .map(|s| reg.counter(&format!("phshard_shard_ops_total{{shard=\"{s}\"}}")))
+                .collect(),
+        }
+    }
+
+    /// Counts `n` keys routed to shard `s` (no-op when disabled: the
+    /// vector is empty).
+    #[inline]
+    pub(crate) fn add_shard_ops(&self, s: usize, n: u64) {
+        if let Some(c) = self.per_shard_ops.get(s) {
+            c.add(n);
+        }
+    }
+}
+
+/// Instruments for a [`crate::WorkerPool`] (see the module docs for
+/// the catalogue). Built from a registry via
+/// [`PoolMetrics::from_registry`]; [`PoolMetrics::disabled`] is the
+/// no-op default every plain `WorkerPool::new` ships with.
+#[derive(Clone)]
+pub struct PoolMetrics {
+    pub(crate) queue_depth: Gauge,
+    pub(crate) tasks: Counter,
+    pub(crate) panics: Counter,
+    pub(crate) busy_ns: Counter,
+}
+
+impl PoolMetrics {
+    /// No-op handles; records nothing.
+    pub fn disabled() -> Self {
+        PoolMetrics {
+            queue_depth: Gauge::noop(),
+            tasks: Counter::noop(),
+            panics: Counter::noop(),
+            busy_ns: Counter::noop(),
+        }
+    }
+
+    /// Pool instruments registered under `phshard_pool_*`.
+    pub fn from_registry(reg: &Registry) -> Self {
+        PoolMetrics {
+            queue_depth: reg.gauge("phshard_pool_queue_depth"),
+            tasks: reg.counter("phshard_pool_tasks_total"),
+            panics: reg.counter("phshard_pool_task_panics_total"),
+            busy_ns: reg.counter("phshard_pool_busy_ns_total"),
+        }
+    }
+}

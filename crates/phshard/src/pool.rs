@@ -5,17 +5,29 @@
 //! condvar. With `threads == 0` the pool degenerates to inline
 //! execution on the caller — the zero-cost configuration for
 //! single-core hosts or embedding in an outer scheduler.
+//!
+//! Panic containment: a job that panics on a worker is caught there
+//! (the worker survives — a dead worker would silently shrink the pool
+//! for the process lifetime) and counted in
+//! `phshard_pool_task_panics_total`; [`WorkerPool::scatter`] resurfaces
+//! the first panic on the caller with the task's label and index
+//! attached, instead of the anonymous "worker lost" it used to raise.
 
+use crate::metrics::PoolMetrics;
+use std::any::Any;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 struct Shared {
     queue: Mutex<State>,
     cv: Condvar,
+    metrics: PoolMetrics,
 }
 
 struct State {
@@ -33,12 +45,19 @@ impl WorkerPool {
     /// Spawns `threads` workers. `threads == 0` means *inline*: jobs
     /// run on the submitting thread, no workers are spawned.
     pub fn new(threads: usize) -> Self {
+        Self::with_metrics(threads, PoolMetrics::disabled())
+    }
+
+    /// Like [`WorkerPool::new`], recording queue depth, task/panic
+    /// counts and worker busy time into `metrics`.
+    pub fn with_metrics(threads: usize, metrics: PoolMetrics) -> Self {
         let shared = Arc::new(Shared {
             queue: Mutex::new(State {
                 jobs: VecDeque::new(),
                 shutdown: false,
             }),
             cv: Condvar::new(),
+            metrics,
         });
         let handles = (0..threads)
             .map(|_| {
@@ -54,8 +73,10 @@ impl WorkerPool {
         self.handles.len()
     }
 
-    /// Submits a job. Inline pools run it before returning.
+    /// Submits a job. Inline pools run it before returning (panics
+    /// propagate to the caller directly — no containment needed).
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.shared.metrics.tasks.inc();
         if self.handles.is_empty() {
             job();
             return;
@@ -63,6 +84,7 @@ impl WorkerPool {
         {
             let mut q = self.shared.queue.lock().unwrap();
             q.jobs.push_back(Box::new(job));
+            self.shared.metrics.queue_depth.set(q.jobs.len() as i64);
         }
         self.shared.cv.notify_one();
     }
@@ -73,33 +95,88 @@ impl WorkerPool {
     /// tasks.
     ///
     /// # Panics
-    /// If a task panics on a worker, the panic is surfaced here as
-    /// "scatter worker lost" (the pool itself survives).
+    /// If a task panics, the panic is caught (workers survive), all
+    /// other tasks still run, and the first panic in task order is
+    /// resurfaced here with the task index attached. Use
+    /// [`WorkerPool::scatter_labeled`] to attach a meaningful label
+    /// (e.g. a shard id) instead of a bare index.
     pub fn scatter<R: Send + 'static>(
         &self,
+        tasks: Vec<Box<dyn FnOnce() -> R + Send + 'static>>,
+    ) -> Vec<R> {
+        self.scatter_impl(tasks, None)
+    }
+
+    /// [`WorkerPool::scatter`] with a label per task; a panicking
+    /// task's label and index are attached to the resurfaced panic.
+    pub fn scatter_labeled<R: Send + 'static>(
+        &self,
+        tasks: Vec<(String, Box<dyn FnOnce() -> R + Send + 'static>)>,
+    ) -> Vec<R> {
+        let (labels, tasks): (Vec<String>, Vec<_>) = tasks.into_iter().unzip();
+        self.scatter_impl(tasks, Some(labels))
+    }
+
+    fn scatter_impl<R: Send + 'static>(
+        &self,
         mut tasks: Vec<Box<dyn FnOnce() -> R + Send + 'static>>,
+        labels: Option<Vec<String>>,
     ) -> Vec<R> {
         let n = tasks.len();
         if n == 0 {
             return Vec::new();
         }
         let last = tasks.pop().unwrap();
-        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<R>)>();
         for (i, t) in tasks.into_iter().enumerate() {
             let tx = tx.clone();
+            let panics = self.shared.metrics.panics.clone();
             self.execute(move || {
-                let _ = tx.send((i, t()));
+                let r = catch_unwind(AssertUnwindSafe(t));
+                if r.is_err() {
+                    panics.inc();
+                }
+                let _ = tx.send((i, r));
             });
         }
         drop(tx);
-        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        out[n - 1] = Some(last());
+        let mut out: Vec<Option<std::thread::Result<R>>> = (0..n).map(|_| None).collect();
+        let last_r = catch_unwind(AssertUnwindSafe(last));
+        if last_r.is_err() {
+            self.shared.metrics.panics.inc();
+        }
+        out[n - 1] = Some(last_r);
         for (i, r) in rx {
             out[i] = Some(r);
         }
         out.into_iter()
-            .map(|o| o.expect("scatter worker lost"))
+            .enumerate()
+            .map(|(i, o)| match o.expect("scatter result lost") {
+                Ok(r) => r,
+                Err(payload) => {
+                    let label = match &labels {
+                        Some(l) => l[i].as_str(),
+                        None => "unlabeled",
+                    };
+                    panic!(
+                        "scatter task '{label}' (index {i}) panicked: {}",
+                        payload_msg(payload.as_ref())
+                    );
+                }
+            })
             .collect()
+    }
+}
+
+/// Best-effort display of a panic payload (panics carry `&str` or
+/// `String` unless raised via `panic_any`).
+fn payload_msg(p: &(dyn Any + Send)) -> &str {
+    if let Some(s) = p.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
     }
 }
 
@@ -122,6 +199,7 @@ fn worker_loop(shared: &Shared) {
             let mut q = shared.queue.lock().unwrap();
             loop {
                 if let Some(j) = q.jobs.pop_front() {
+                    shared.metrics.queue_depth.set(q.jobs.len() as i64);
                     break j;
                 }
                 if q.shutdown {
@@ -130,7 +208,16 @@ fn worker_loop(shared: &Shared) {
                 q = shared.cv.wait(q).unwrap();
             }
         };
-        job();
+        let start = shared.metrics.busy_ns.is_enabled().then(Instant::now);
+        // Contain panics from plain `execute` jobs so they cannot kill
+        // the worker; scatter tasks catch their own (to ship the
+        // payload back to the caller), so no double count here.
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            shared.metrics.panics.inc();
+        }
+        if let Some(t) = start {
+            shared.metrics.busy_ns.add(t.elapsed().as_nanos() as u64);
+        }
     }
 }
 
@@ -170,5 +257,31 @@ mod tests {
         let pool = WorkerPool::new(2);
         let out: Vec<u8> = pool.scatter(Vec::new());
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn scatter_panic_carries_label_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let tasks: Vec<(String, Box<dyn FnOnce() -> usize + Send>)> = (0..4usize)
+            .map(|i| {
+                let task: Box<dyn FnOnce() -> usize + Send> = if i == 1 {
+                    Box::new(|| panic!("boom"))
+                } else {
+                    Box::new(move || i)
+                };
+                (format!("shard-{i}"), task)
+            })
+            .collect();
+        let err = catch_unwind(AssertUnwindSafe(|| pool.scatter_labeled(tasks)))
+            .expect_err("must resurface the task panic");
+        let msg = payload_msg(err.as_ref());
+        assert!(msg.contains("shard-1"), "panic message: {msg}");
+        assert!(msg.contains("index 1"), "panic message: {msg}");
+        assert!(msg.contains("boom"), "panic message: {msg}");
+        // The workers survived the panic: the pool still computes.
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8usize)
+            .map(|i| Box::new(move || i + 1) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        assert_eq!(pool.scatter(tasks), (1..=8usize).collect::<Vec<_>>());
     }
 }

@@ -1,8 +1,10 @@
 //! The concurrent, sharded PH-tree.
 
 use crate::merge::merge_nearest;
+use crate::metrics::{PoolMetrics, ShardMetrics};
 use crate::pool::WorkerPool;
 use crate::route::Router;
+use phmetrics::Registry;
 use phtree::PhTree;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -31,6 +33,22 @@ pub struct ShardStats {
     pub shards_pruned: u64,
 }
 
+impl ShardStats {
+    /// Routing skew: the fullest shard's occupancy over the mean
+    /// occupancy. `1.0` is perfect balance, `shards as f64` means every
+    /// entry landed on one shard (the Z-prefix router's worst case:
+    /// keys clustered under one top-bit prefix). `1.0` for an empty
+    /// tree.
+    pub fn skew(&self) -> f64 {
+        if self.entries == 0 || self.per_shard.is_empty() {
+            return 1.0;
+        }
+        let max = self.per_shard.iter().copied().max().unwrap_or(0);
+        let mean = self.entries as f64 / self.per_shard.len() as f64;
+        max as f64 / mean
+    }
+}
+
 /// A key-space-partitioned concurrent PH-tree.
 ///
 /// Keys are routed to one of `S` shards by the first `log2 S` bits of
@@ -48,6 +66,7 @@ pub struct ShardedTree<V, const K: usize> {
     pool: WorkerPool,
     scanned: AtomicU64,
     pruned: AtomicU64,
+    metrics: ShardMetrics,
 }
 
 impl<V, const K: usize> ShardedTree<V, K> {
@@ -65,15 +84,45 @@ impl<V, const K: usize> ShardedTree<V, K> {
     /// A sharded tree with an explicit fan-out pool size. `threads ==
     /// 0` runs every fan-out inline on the calling thread.
     pub fn with_threads(shards: usize, threads: usize) -> Self {
+        Self::build(
+            shards,
+            threads,
+            ShardMetrics::disabled(),
+            PoolMetrics::disabled(),
+        )
+    }
+
+    /// A sharded tree whose operations record into `registry`: per-op
+    /// counters and latency histograms, per-shard routing counters,
+    /// query fan-out / kNN merge widths, and the fan-out pool's queue
+    /// depth, busy time and panic count (see `phshard_*` in the crate's
+    /// instrument catalogue). Trees built without a registry carry
+    /// no-op handles — recording is then a branch on a null `Option`.
+    pub fn with_metrics(shards: usize, threads: usize, registry: &Registry) -> Self {
+        Self::build(
+            shards,
+            threads,
+            ShardMetrics::new(registry, shards),
+            PoolMetrics::from_registry(registry),
+        )
+    }
+
+    fn build(
+        shards: usize,
+        threads: usize,
+        metrics: ShardMetrics,
+        pool_metrics: PoolMetrics,
+    ) -> Self {
         let router = Router::new(shards);
         let shards: Arc<[RwLock<PhTree<V, K>>]> =
             (0..shards).map(|_| RwLock::new(PhTree::new())).collect();
         ShardedTree {
             shards,
             router,
-            pool: WorkerPool::new(threads),
+            pool: WorkerPool::with_metrics(threads, pool_metrics),
             scanned: AtomicU64::new(0),
             pruned: AtomicU64::new(0),
+            metrics,
         }
     }
 
@@ -90,21 +139,33 @@ impl<V, const K: usize> ShardedTree<V, K> {
     /// Inserts `key` → `value`; returns the previous value, if any.
     /// Locks only the owning shard (linearizable per key).
     pub fn insert(&self, key: [u64; K], value: V) -> Option<V> {
+        let t = self.metrics.insert.start();
         let s = self.router.route(&key);
-        self.shards[s].write().unwrap().insert(key, value)
+        self.metrics.add_shard_ops(s, 1);
+        let out = self.shards[s].write().unwrap().insert(key, value);
+        self.metrics.insert.finish(t);
+        out
     }
 
     /// Removes `key`; returns its value, if present.
     pub fn remove(&self, key: &[u64; K]) -> Option<V> {
+        let t = self.metrics.remove.start();
         let s = self.router.route(key);
-        self.shards[s].write().unwrap().remove(key)
+        self.metrics.add_shard_ops(s, 1);
+        let out = self.shards[s].write().unwrap().remove(key);
+        self.metrics.remove.finish(t);
+        out
     }
 
     /// Applies `f` to the value at `key` under the shard's read lock —
     /// the zero-copy point read.
     pub fn get_with<R>(&self, key: &[u64; K], f: impl FnOnce(&V) -> R) -> Option<R> {
+        let t = self.metrics.get.start();
         let s = self.router.route(key);
-        self.shards[s].read().unwrap().get(key).map(f)
+        self.metrics.add_shard_ops(s, 1);
+        let out = self.shards[s].read().unwrap().get(key).map(f);
+        self.metrics.get.finish(t);
+        out
     }
 
     /// Whether `key` is present.
@@ -128,12 +189,16 @@ impl<V, const K: usize> ShardedTree<V, K> {
     /// sequentially (counting is cheap — cloning is what fan-out is
     /// for).
     pub fn query_count(&self, min: &[u64; K], max: &[u64; K]) -> usize {
+        let t = self.metrics.query_count.start();
         let matching = self.router.matching_shards(min, max);
         self.note_pruning(matching.len());
-        matching
+        self.metrics.fanout.record(matching.len() as u64);
+        let out = matching
             .into_iter()
             .map(|s| self.shards[s].read().unwrap().query(min, max).count())
-            .sum()
+            .sum();
+        self.metrics.query_count.finish(t);
+        out
     }
 
     /// Snapshot of shard sizes and pruning counters.
@@ -178,26 +243,30 @@ impl<V: Clone + Send + Sync + 'static, const K: usize> ShardedTree<V, K> {
     /// results in shard order yields exactly the order a single
     /// unsharded tree's query iterator produces.
     pub fn query(&self, min: &[u64; K], max: &[u64; K]) -> Vec<([u64; K], V)> {
+        let t = self.metrics.query.start();
         let matching = self.router.matching_shards(min, max);
         self.note_pruning(matching.len());
+        self.metrics.fanout.record(matching.len() as u64);
         let (min, max) = (*min, *max);
-        let tasks: Vec<Task<Vec<Entry<V, K>>>> = matching
+        let tasks: Vec<(String, Task<Vec<Entry<V, K>>>)> = matching
             .into_iter()
             .map(|s| {
                 let shards = Arc::clone(&self.shards);
-                Box::new(move || {
+                let task = Box::new(move || {
                     let guard = shards[s].read().unwrap();
                     guard
                         .query(&min, &max)
                         .map(|(k, v)| (k, v.clone()))
                         .collect()
-                }) as Box<dyn FnOnce() -> Vec<([u64; K], V)> + Send>
+                }) as Box<dyn FnOnce() -> Vec<([u64; K], V)> + Send>;
+                (format!("query:shard-{s}"), task)
             })
             .collect();
         let mut out = Vec::new();
-        for chunk in self.pool.scatter(tasks) {
+        for chunk in self.pool.scatter_labeled(tasks) {
             out.extend(chunk);
         }
+        self.metrics.query.finish(t);
         out
     }
 
@@ -211,22 +280,30 @@ impl<V: Clone + Send + Sync + 'static, const K: usize> ShardedTree<V, K> {
         if n == 0 {
             return Vec::new();
         }
+        let t = self.metrics.knn.start();
         let center = *center;
-        let tasks: Vec<Task<Vec<Scored<V, K>>>> = (0..self.shards.len())
+        let tasks: Vec<(String, Task<Vec<Scored<V, K>>>)> = (0..self.shards.len())
             .map(|s| {
                 let shards = Arc::clone(&self.shards);
-                Box::new(move || {
+                let task = Box::new(move || {
                     let guard = shards[s].read().unwrap();
                     guard
                         .knn(&center, n)
                         .into_iter()
                         .map(|nb| (nb.key, nb.value.clone(), nb.dist))
                         .collect()
-                }) as Box<dyn FnOnce() -> Vec<([u64; K], V, f64)> + Send>
+                })
+                    as Box<dyn FnOnce() -> Vec<([u64; K], V, f64)> + Send>;
+                (format!("knn:shard-{s}"), task)
             })
             .collect();
-        let lists = self.pool.scatter(tasks);
-        merge_nearest(lists, n, |e| e.2)
+        let lists = self.pool.scatter_labeled(tasks);
+        self.metrics
+            .merge_candidates
+            .record(lists.iter().map(Vec::len).sum::<usize>() as u64);
+        let out = merge_nearest(lists, n, |e| e.2);
+        self.metrics.knn.finish(t);
+        out
     }
 
     /// Bulk-inserts `items`, partitioning them by shard once and
@@ -237,18 +314,20 @@ impl<V: Clone + Send + Sync + 'static, const K: usize> ShardedTree<V, K> {
     /// the number of *new* keys (duplicates overwrite, like
     /// [`ShardedTree::insert`]).
     pub fn bulk_load(&self, items: Vec<([u64; K], V)>) -> usize {
+        let t = self.metrics.bulk_load.start();
         let mut parts: Vec<Vec<([u64; K], V)>> =
             (0..self.shards.len()).map(|_| Vec::new()).collect();
         for (key, value) in items {
             parts[self.router.route(&key)].push((key, value));
         }
-        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = parts
+        let tasks: Vec<(String, Box<dyn FnOnce() -> usize + Send>)> = parts
             .into_iter()
             .enumerate()
             .filter(|(_, p)| !p.is_empty())
             .map(|(s, part)| {
+                self.metrics.add_shard_ops(s, part.len() as u64);
                 let shards = Arc::clone(&self.shards);
-                Box::new(move || {
+                let task = Box::new(move || {
                     let mut guard = shards[s].write().unwrap();
                     if guard.is_empty() {
                         // Bottom-up bulk build: every key in the
@@ -266,10 +345,13 @@ impl<V: Clone + Send + Sync + 'static, const K: usize> ShardedTree<V, K> {
                         }
                         new
                     }
-                }) as Box<dyn FnOnce() -> usize + Send>
+                }) as Box<dyn FnOnce() -> usize + Send>;
+                (format!("bulk_load:shard-{s}"), task)
             })
             .collect();
-        self.pool.scatter(tasks).into_iter().sum()
+        let out = self.pool.scatter_labeled(tasks).into_iter().sum();
+        self.metrics.bulk_load.finish(t);
+        out
     }
 }
 

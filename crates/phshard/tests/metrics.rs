@@ -1,0 +1,141 @@
+//! Integration tests for the serving layer's instrument wiring and
+//! the `ShardStats::skew` routing diagnostic.
+
+use phmetrics::Registry;
+use phshard::ShardedTree;
+
+#[test]
+fn clustered_keys_provably_skew_the_router() {
+    // The Z-prefix router shards on the *top* interleaved bits. Keys
+    // clustered in the low half of every dimension share the top bit
+    // pattern 0...0, so every one of them routes to shard 0 — the
+    // router's provable worst case.
+    let shards = 8;
+    let t: ShardedTree<u32, 2> = ShardedTree::with_threads(shards, 0);
+    for i in 0..400u64 {
+        t.insert([i, i * 31 % 997], i as u32); // all far below 2^63
+    }
+    let stats = t.stats();
+    assert_eq!(stats.per_shard[0], stats.entries, "all keys on shard 0");
+    assert_eq!(stats.skew(), shards as f64, "max/mean == shard count");
+
+    // Spreading keys across all top-bit prefixes balances the router:
+    // one key per 3-bit Z-prefix per round. For K=2 the first three
+    // interleaved bits are (d0 bit63, d1 bit63, d0 bit62).
+    let u: ShardedTree<u32, 2> = ShardedTree::with_threads(shards, 0);
+    for i in 0..400u64 {
+        let p = i % 8;
+        let d0 = ((p >> 2) & 1) << 63 | (p & 1) << 62;
+        let d1 = ((p >> 1) & 1) << 63;
+        u.insert([d0 | i, d1 | i], i as u32);
+    }
+    let stats = u.stats();
+    assert!(
+        stats.per_shard.iter().all(|&n| n == stats.entries / shards),
+        "balanced: {:?}",
+        stats.per_shard
+    );
+    assert_eq!(stats.skew(), 1.0);
+
+    // Empty tree: skew defined as 1.0 (no imbalance).
+    let e: ShardedTree<u32, 2> = ShardedTree::with_threads(shards, 0);
+    assert_eq!(e.stats().skew(), 1.0);
+}
+
+#[test]
+fn sharded_tree_records_into_registry() {
+    let reg = Registry::new();
+    let t: ShardedTree<u64, 3> = ShardedTree::with_metrics(4, 2, &reg);
+
+    for i in 0..100u64 {
+        t.insert([i, i * 7, i * 13], i);
+    }
+    for i in 0..50u64 {
+        assert_eq!(t.get(&[i, i * 7, i * 13]), Some(i));
+    }
+    assert!(t.remove(&[0, 0, 0]).is_some());
+    let hits = t.query(&[0, 0, 0], &[u64::MAX, u64::MAX, u64::MAX]);
+    assert_eq!(hits.len(), 99);
+    assert_eq!(
+        t.query_count(&[0, 0, 0], &[u64::MAX, u64::MAX, u64::MAX]),
+        99
+    );
+    let nn = t.knn(&[5, 35, 65], 3);
+    assert_eq!(nn.len(), 3);
+    let loaded = t.bulk_load((1000..1100u64).map(|i| ([i, i, i], i)).collect());
+    assert_eq!(loaded, 100);
+
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("phshard_ops_total{op=\"insert\"}"), Some(100));
+    assert_eq!(snap.counter("phshard_ops_total{op=\"get\"}"), Some(50));
+    assert_eq!(snap.counter("phshard_ops_total{op=\"remove\"}"), Some(1));
+    assert_eq!(snap.counter("phshard_ops_total{op=\"query\"}"), Some(1));
+    assert_eq!(
+        snap.counter("phshard_ops_total{op=\"query_count\"}"),
+        Some(1)
+    );
+    assert_eq!(snap.counter("phshard_ops_total{op=\"knn\"}"), Some(1));
+    assert_eq!(snap.counter("phshard_ops_total{op=\"bulk_load\"}"), Some(1));
+
+    // Latency histograms saw exactly as many samples as ops ran.
+    let lat = snap
+        .histogram("phshard_op_latency_ns{op=\"insert\"}")
+        .expect("insert latency histogram");
+    assert_eq!(lat.count(), 100);
+    assert!(lat.max() > 0);
+
+    // Fan-out width: both full-space window ops matched all 4 shards.
+    let fanout = snap.histogram("phshard_query_fanout").expect("fanout");
+    assert_eq!(fanout.count(), 2);
+    assert_eq!(fanout.max(), 7, "bucket upper bound for value 4");
+
+    // kNN merge candidates: at most shards * k, at least k.
+    let merge = snap
+        .histogram("phshard_knn_merge_candidates")
+        .expect("merge candidates");
+    assert_eq!(merge.count(), 1);
+
+    // Per-shard routing counters cover every single-key op and the
+    // bulk partition sizes: 100 inserts + 50 gets + 1 remove + 100
+    // bulk-loaded keys.
+    let routed: u64 = (0..4)
+        .map(|s| {
+            snap.counter(&format!("phshard_shard_ops_total{{shard=\"{s}\"}}"))
+                .unwrap_or(0)
+        })
+        .sum();
+    assert_eq!(routed, 100 + 50 + 1 + 100);
+
+    // The pool ran the fan-out tasks and never panicked.
+    assert!(snap.counter("phshard_pool_tasks_total").unwrap_or(0) > 0);
+    assert_eq!(snap.counter("phshard_pool_task_panics_total"), Some(0));
+    let depth = snap.gauge("phshard_pool_queue_depth").expect("queue depth");
+    assert!(depth.high_water >= 0);
+
+    // The exposition renders every instrument family.
+    let text = reg.render_prometheus();
+    for needle in [
+        "# TYPE phshard_ops_total counter",
+        "# TYPE phshard_op_latency_ns histogram",
+        "# TYPE phshard_shard_ops_total counter",
+        "# TYPE phshard_query_fanout histogram",
+        "# TYPE phshard_pool_queue_depth gauge",
+        "phshard_pool_queue_depth_peak",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+}
+
+#[test]
+fn unmetered_tree_still_works_and_registry_stays_empty() {
+    let t: ShardedTree<u8, 2> = ShardedTree::with_threads(4, 1);
+    t.insert([1, 2], 3);
+    assert_eq!(t.get(&[1, 2]), Some(3));
+    assert_eq!(t.query(&[0, 0], &[10, 10]).len(), 1);
+    // A disabled registry hands out no-op handles and renders nothing.
+    let reg = Registry::disabled();
+    let d: ShardedTree<u8, 2> = ShardedTree::with_metrics(2, 0, &reg);
+    d.insert([5, 5], 9);
+    assert_eq!(d.get(&[5, 5]), Some(9));
+    assert_eq!(reg.render_prometheus(), "");
+}

@@ -35,6 +35,7 @@
 
 use crate::codec::ValueCodec;
 use crate::error::StoreError;
+use crate::metrics::StoreMetrics;
 use crate::store::{load_with, save_with, tmp_path};
 use crate::vfs::{StdVfs, Vfs};
 use crate::wal::{self, WalDisposition, WalWriter};
@@ -85,6 +86,10 @@ pub struct RecoveryStats {
     pub generation: u64,
     /// Ops replayed from the WAL onto the snapshot.
     pub replayed_ops: usize,
+    /// Of the replayed ops, how many rode the bulk-load fast path
+    /// (leading inserts replayed onto an empty tree via the O(n)
+    /// bottom-up builder).
+    pub bulk_replayed: usize,
     /// Torn/corrupt WAL tail bytes discarded.
     pub truncated_bytes: u64,
     /// Whether a stale WAL (older generation — crash mid-rotation) was
@@ -102,6 +107,7 @@ pub struct Durable<V: ValueCodec, const K: usize> {
     generation: u64,
     config: DurableConfig,
     recovery: RecoveryStats,
+    metrics: StoreMetrics,
 }
 
 impl<V: ValueCodec, const K: usize> Durable<V, K> {
@@ -121,6 +127,20 @@ impl<V: ValueCodec, const K: usize> Durable<V, K> {
         vfs: Arc<dyn Vfs>,
         dir: &Path,
         config: DurableConfig,
+    ) -> Result<Self, StoreError> {
+        Self::open_observed(vfs, dir, config, StoreMetrics::disabled())
+    }
+
+    /// [`Durable::open_with`] wired to record into `metrics` (build one
+    /// with [`StoreMetrics::from_registry`]): WAL append volume and
+    /// fsync latency, checkpoint count/duration/bytes, and this open's
+    /// recovery telemetry (ops replayed — bulk fast-path ops broken out
+    /// — torn-tail truncations, stale-WAL discards).
+    pub fn open_observed(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        config: DurableConfig,
+        metrics: StoreMetrics,
     ) -> Result<Self, StoreError> {
         vfs.create_dir_all(dir)?;
         let snap = dir.join(SNAPSHOT_FILE);
@@ -147,11 +167,13 @@ impl<V: ValueCodec, const K: usize> Durable<V, K> {
         recovery.generation = generation;
 
         // Reconcile the WAL with the checkpoint.
-        let wal = if vfs.exists(&wal_path) {
+        let mut wal = if vfs.exists(&wal_path) {
             let rec = wal::recover::<V, K>(vfs.as_ref(), &wal_path)?;
             match wal::classify_generation(rec.generation, generation)? {
                 WalDisposition::Replay => {
-                    recovery.replayed_ops = tree.replay(rec.ops);
+                    let replay = tree.replay_stats(rec.ops);
+                    recovery.replayed_ops = replay.applied;
+                    recovery.bulk_replayed = replay.bulk_loaded;
                     recovery.truncated_bytes = rec.total_bytes - rec.valid_bytes;
                     wal::resume_writer(
                         vfs.as_ref(),
@@ -168,6 +190,23 @@ impl<V: ValueCodec, const K: usize> Durable<V, K> {
         } else {
             Self::fresh_wal(vfs.as_ref(), &wal_path, generation, &config)?
         };
+        wal.set_metrics(metrics.clone());
+
+        metrics
+            .recovery_replayed_ops
+            .add(recovery.replayed_ops as u64);
+        metrics
+            .recovery_bulk_replayed
+            .add(recovery.bulk_replayed as u64);
+        if recovery.truncated_bytes > 0 {
+            metrics.recovery_truncations.inc();
+            metrics
+                .recovery_truncated_bytes
+                .add(recovery.truncated_bytes);
+        }
+        if recovery.reset_stale_wal {
+            metrics.recovery_stale_wals.inc();
+        }
 
         Ok(Durable {
             vfs,
@@ -177,6 +216,7 @@ impl<V: ValueCodec, const K: usize> Durable<V, K> {
             generation,
             config,
             recovery,
+            metrics,
         })
     }
 
@@ -231,16 +271,23 @@ impl<V: ValueCodec, const K: usize> Durable<V, K> {
     /// `g + 1` and rotates the WAL (see the module docs for the crash
     /// windows). Returns the new generation.
     pub fn checkpoint(&mut self) -> Result<u64, StoreError> {
+        let t = self.metrics.checkpoint_ns.start();
         let snap = self.dir.join(SNAPSHOT_FILE);
         let next = self.generation + 1;
-        save_with(self.vfs.as_ref(), &self.tree, &snap, next)?;
+        let stats = save_with(self.vfs.as_ref(), &self.tree, &snap, next)?;
         self.wal = Self::fresh_wal(
             self.vfs.as_ref(),
             &self.dir.join(WAL_FILE),
             next,
             &self.config,
         )?;
+        self.wal.set_metrics(self.metrics.clone());
         self.generation = next;
+        self.metrics.checkpoints.inc();
+        self.metrics
+            .checkpoint_bytes
+            .add(stats.pages * crate::pager::PAGE_SIZE as u64);
+        self.metrics.checkpoint_ns.finish(t);
         Ok(next)
     }
 

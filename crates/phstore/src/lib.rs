@@ -58,6 +58,7 @@
 pub mod codec;
 pub mod durable;
 mod error;
+pub mod metrics;
 pub mod pager;
 pub mod record;
 mod store;
@@ -67,6 +68,7 @@ pub mod wal;
 pub use codec::ValueCodec;
 pub use durable::{Durable, DurableConfig, RecoveryStats};
 pub use error::{Corruption, StoreError};
+pub use metrics::StoreMetrics;
 pub use store::{load, load_with, save, save_with, SaveStats};
 
 /// FNV-1a 64-bit checksum used for header and record integrity.

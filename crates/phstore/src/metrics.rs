@@ -1,0 +1,82 @@
+//! Instrument wiring for the durability layer.
+//!
+//! Built from a [`phmetrics::Registry`] via
+//! [`StoreMetrics::from_registry`] and handed to
+//! [`crate::Durable::open_observed`]; stores opened without one carry
+//! no-op handles ([`StoreMetrics::disabled`]), so every record call is
+//! a branch on a null `Option`.
+//!
+//! Instrument catalogue (Prometheus names):
+//!
+//! * `phstore_wal_append_frames_total` / `phstore_wal_append_bytes_total`
+//!   — frames and bytes (incl. frame headers) appended to the WAL.
+//! * `phstore_wal_fsync_ns` — log₂ histogram of WAL fsync latency
+//!   (per-append with `sync_writes`, plus explicit `sync()` calls).
+//! * `phstore_checkpoints_total` — checkpoint rotations completed.
+//! * `phstore_checkpoint_ns` — histogram of whole-rotation duration
+//!   (snapshot write + WAL rotation, both fsynced).
+//! * `phstore_checkpoint_bytes_total` — snapshot file bytes written by
+//!   checkpoints (pages × page size).
+//! * `phstore_recovery_replayed_ops_total` — WAL ops replayed on open.
+//! * `phstore_recovery_bulk_replayed_total` — replayed ops that rode
+//!   the bulk-load fast path (leading inserts on an empty tree).
+//! * `phstore_recovery_torn_tail_truncations_total` /
+//!   `phstore_recovery_truncated_bytes_total` — torn/corrupt WAL tails
+//!   discarded on open, and their size.
+//! * `phstore_recovery_stale_wals_total` — stale (pre-rotation) WALs
+//!   discarded wholesale on open.
+
+use phmetrics::{Counter, Histogram, Registry};
+
+/// Every instrument recorded by the durability layer (see the module
+/// docs for the catalogue). Cheap to clone; clones share cells.
+#[derive(Clone)]
+pub struct StoreMetrics {
+    pub(crate) wal_append_frames: Counter,
+    pub(crate) wal_append_bytes: Counter,
+    pub(crate) wal_fsync_ns: Histogram,
+    pub(crate) checkpoints: Counter,
+    pub(crate) checkpoint_ns: Histogram,
+    pub(crate) checkpoint_bytes: Counter,
+    pub(crate) recovery_replayed_ops: Counter,
+    pub(crate) recovery_bulk_replayed: Counter,
+    pub(crate) recovery_truncations: Counter,
+    pub(crate) recovery_truncated_bytes: Counter,
+    pub(crate) recovery_stale_wals: Counter,
+}
+
+impl StoreMetrics {
+    /// No-op handles; records nothing.
+    pub fn disabled() -> Self {
+        StoreMetrics {
+            wal_append_frames: Counter::noop(),
+            wal_append_bytes: Counter::noop(),
+            wal_fsync_ns: Histogram::noop(),
+            checkpoints: Counter::noop(),
+            checkpoint_ns: Histogram::noop(),
+            checkpoint_bytes: Counter::noop(),
+            recovery_replayed_ops: Counter::noop(),
+            recovery_bulk_replayed: Counter::noop(),
+            recovery_truncations: Counter::noop(),
+            recovery_truncated_bytes: Counter::noop(),
+            recovery_stale_wals: Counter::noop(),
+        }
+    }
+
+    /// Store instruments registered under `phstore_*`.
+    pub fn from_registry(reg: &Registry) -> Self {
+        StoreMetrics {
+            wal_append_frames: reg.counter("phstore_wal_append_frames_total"),
+            wal_append_bytes: reg.counter("phstore_wal_append_bytes_total"),
+            wal_fsync_ns: reg.histogram("phstore_wal_fsync_ns"),
+            checkpoints: reg.counter("phstore_checkpoints_total"),
+            checkpoint_ns: reg.histogram("phstore_checkpoint_ns"),
+            checkpoint_bytes: reg.counter("phstore_checkpoint_bytes_total"),
+            recovery_replayed_ops: reg.counter("phstore_recovery_replayed_ops_total"),
+            recovery_bulk_replayed: reg.counter("phstore_recovery_bulk_replayed_total"),
+            recovery_truncations: reg.counter("phstore_recovery_torn_tail_truncations_total"),
+            recovery_truncated_bytes: reg.counter("phstore_recovery_truncated_bytes_total"),
+            recovery_stale_wals: reg.counter("phstore_recovery_stale_wals_total"),
+        }
+    }
+}

@@ -38,6 +38,7 @@
 
 use crate::codec::ValueCodec;
 use crate::error::{Corruption, StoreError};
+use crate::metrics::StoreMetrics;
 use crate::vfs::{Vfs, VfsFile};
 use phtree::Op;
 use std::path::Path;
@@ -68,6 +69,7 @@ pub struct WalWriter {
     file: Box<dyn VfsFile>,
     offset: u64,
     sync_writes: bool,
+    metrics: StoreMetrics,
 }
 
 impl WalWriter {
@@ -86,6 +88,7 @@ impl WalWriter {
             file,
             offset: WAL_HEADER,
             sync_writes,
+            metrics: StoreMetrics::disabled(),
         })
     }
 
@@ -103,7 +106,14 @@ impl WalWriter {
             file,
             offset,
             sync_writes,
+            metrics: StoreMetrics::disabled(),
         })
+    }
+
+    /// Wires the writer to record appended frames/bytes and fsync
+    /// latency (`phstore_wal_*`).
+    pub fn set_metrics(&mut self, metrics: StoreMetrics) {
+        self.metrics = metrics;
     }
 
     /// Bytes in the log so far (header + valid frames).
@@ -117,8 +127,12 @@ impl WalWriter {
         frame.extend_from_slice(&crate::fnv1a(payload).to_le_bytes());
         frame.extend_from_slice(payload);
         self.file.write_all_at(&frame, self.offset)?;
+        self.metrics.wal_append_frames.inc();
+        self.metrics.wal_append_bytes.add(frame.len() as u64);
         if self.sync_writes {
+            let t = self.metrics.wal_fsync_ns.start();
             self.file.sync_all()?;
+            self.metrics.wal_fsync_ns.finish(t);
         }
         self.offset += frame.len() as u64;
         Ok(())
@@ -152,7 +166,9 @@ impl WalWriter {
     /// Forces buffered frames to stable storage (no-op when every
     /// append already syncs).
     pub fn sync(&mut self) -> Result<(), StoreError> {
+        let t = self.metrics.wal_fsync_ns.start();
         self.file.sync_all()?;
+        self.metrics.wal_fsync_ns.finish(t);
         Ok(())
     }
 }

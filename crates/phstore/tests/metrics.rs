@@ -1,0 +1,145 @@
+//! Integration tests for the durability layer's instrument wiring:
+//! WAL append/fsync accounting, checkpoint telemetry, and recovery
+//! telemetry (replay, bulk fast path, torn tails, stale WALs).
+
+use phmetrics::Registry;
+use phstore::vfs::MemVfs;
+use phstore::wal::WAL_HEADER;
+use phstore::{Durable, DurableConfig, StoreMetrics};
+use std::path::Path;
+use std::sync::Arc;
+
+fn open(vfs: &MemVfs, reg: &Registry) -> Durable<u32, 2> {
+    Durable::open_observed(
+        Arc::new(vfs.clone()),
+        Path::new("/db"),
+        DurableConfig {
+            checkpoint_bytes: 1 << 20,
+            sync_writes: true,
+        },
+        StoreMetrics::from_registry(reg),
+    )
+    .unwrap()
+}
+
+#[test]
+fn wal_and_checkpoint_telemetry() {
+    let vfs = MemVfs::new();
+    let reg = Registry::new();
+    let mut d = open(&vfs, &reg);
+    for i in 0..80u64 {
+        d.insert([i, i * 3], i as u32).unwrap();
+    }
+    d.remove(&[0, 0]).unwrap();
+
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("phstore_wal_append_frames_total"), Some(81));
+    let bytes = snap.counter("phstore_wal_append_bytes_total").unwrap();
+    assert_eq!(bytes, d.wal_bytes() - WAL_HEADER);
+    // Every append fsynced (sync_writes), so the latency histogram saw
+    // at least one sample per frame.
+    let fsync = snap.histogram("phstore_wal_fsync_ns").expect("fsync hist");
+    assert!(fsync.count() >= 81, "fsyncs: {}", fsync.count());
+
+    d.checkpoint().unwrap();
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("phstore_checkpoints_total"), Some(1));
+    assert!(snap.counter("phstore_checkpoint_bytes_total").unwrap() >= 4096);
+    assert_eq!(snap.histogram("phstore_checkpoint_ns").unwrap().count(), 1);
+    // The rotated WAL keeps recording: append volume grows again.
+    d.insert([500, 501], 7).unwrap();
+    let snap2 = reg.snapshot();
+    assert_eq!(snap2.counter("phstore_wal_append_frames_total"), Some(82));
+}
+
+#[test]
+fn recovery_telemetry_replay_and_bulk_fast_path() {
+    let vfs = MemVfs::new();
+    let reg = Registry::new();
+    {
+        let mut d = open(&vfs, &reg);
+        for i in 0..60u64 {
+            d.insert([i, i], i as u32).unwrap();
+        }
+        d.remove(&[3, 3]).unwrap();
+    } // dropped without checkpoint: everything lives in the WAL
+
+    let reg2 = Registry::new();
+    let d = open(&vfs, &reg2);
+    assert_eq!(d.len(), 59);
+    let stats = d.recovery_stats();
+    assert_eq!(stats.replayed_ops, 61);
+    // The leading 60 inserts replay onto an empty tree via bulk load.
+    assert_eq!(stats.bulk_replayed, 60);
+    let snap = reg2.snapshot();
+    assert_eq!(
+        snap.counter("phstore_recovery_replayed_ops_total"),
+        Some(61)
+    );
+    assert_eq!(
+        snap.counter("phstore_recovery_bulk_replayed_total"),
+        Some(60)
+    );
+    assert_eq!(
+        snap.counter("phstore_recovery_torn_tail_truncations_total"),
+        Some(0)
+    );
+}
+
+#[test]
+fn recovery_telemetry_torn_tail() {
+    let vfs = MemVfs::new();
+    let reg = Registry::new();
+    {
+        let mut d = open(&vfs, &reg);
+        for i in 0..20u64 {
+            d.insert([i, i + 1], i as u32).unwrap();
+        }
+    }
+    // Tear the last few bytes off the log, mid-frame.
+    let wal_path = Path::new("/db/wal.log");
+    let full = vfs.read_file(wal_path).unwrap();
+    vfs.write_file(wal_path, full[..full.len() - 5].to_vec());
+
+    let reg2 = Registry::new();
+    let d = open(&vfs, &reg2);
+    let stats = d.recovery_stats();
+    assert_eq!(stats.replayed_ops, 19, "last op torn away");
+    assert!(stats.truncated_bytes > 0);
+    let snap = reg2.snapshot();
+    assert_eq!(
+        snap.counter("phstore_recovery_torn_tail_truncations_total"),
+        Some(1)
+    );
+    assert_eq!(
+        snap.counter("phstore_recovery_truncated_bytes_total"),
+        Some(stats.truncated_bytes)
+    );
+}
+
+#[test]
+fn recovery_telemetry_stale_wal() {
+    let vfs = MemVfs::new();
+    let reg = Registry::new();
+    let wal_path = Path::new("/db/wal.log");
+    {
+        let mut d = open(&vfs, &reg);
+        for i in 0..10u64 {
+            d.insert([i, i], i as u32).unwrap();
+        }
+        // Keep a copy of the generation-0 log, checkpoint to
+        // generation 1, then put the old log back — simulating a crash
+        // that left a pre-rotation WAL behind.
+        let old = vfs.read_file(wal_path).unwrap();
+        d.checkpoint().unwrap();
+        drop(d);
+        vfs.write_file(wal_path, old);
+    }
+    let reg2 = Registry::new();
+    let d = open(&vfs, &reg2);
+    assert!(d.recovery_stats().reset_stale_wal);
+    assert_eq!(d.len(), 10, "stale ops already in the snapshot");
+    let snap = reg2.snapshot();
+    assert_eq!(snap.counter("phstore_recovery_stale_wals_total"), Some(1));
+    assert_eq!(snap.counter("phstore_recovery_replayed_ops_total"), Some(0));
+}

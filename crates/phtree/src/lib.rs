@@ -63,6 +63,7 @@ mod ops;
 mod query;
 pub mod raw;
 pub mod stats;
+pub mod telemetry;
 mod tree;
 
 pub use config::ReprMode;
@@ -70,7 +71,7 @@ pub use dynamic::PhTreeDyn;
 pub use float::{PhTreeF64, QueryF64};
 pub use iter::Iter;
 pub use knn::{Distance, F64Euclidean, IntEuclidean, Neighbor};
-pub use ops::Op;
+pub use ops::{Op, ReplayStats};
 pub use query::Query;
 pub use stats::{TreeStats, ALLOC_OVERHEAD};
 pub use tree::PhTree;

@@ -954,6 +954,7 @@ impl<V, const K: usize> Node<V, K> {
             }
         };
         if want_hc != self.hc {
+            crate::telemetry::record_repr_switch(want_hc);
             if want_hc {
                 self.convert_to_hc();
             } else {

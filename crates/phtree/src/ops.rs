@@ -37,6 +37,17 @@ impl<V, const K: usize> Op<V, K> {
     }
 }
 
+/// What [`PhTree::replay_stats`] did (recovery telemetry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplayStats {
+    /// Ops applied in total.
+    pub applied: usize,
+    /// Ops that went through the O(n) bottom-up bulk builder instead of
+    /// individual top-down descents (the empty-tree leading-insert fast
+    /// path).
+    pub bulk_loaded: usize,
+}
+
 impl<V, const K: usize> PhTree<V, K> {
     /// Applies one logical op, returning the displaced value (the
     /// previous value under the key for an insert, the removed value
@@ -58,7 +69,13 @@ impl<V, const K: usize> PhTree<V, K> {
     /// the bulk path for free. Duplicate keys keep the last value
     /// either way, so the result is identical to sequential replay.
     pub fn replay<I: IntoIterator<Item = Op<V, K>>>(&mut self, ops: I) -> usize {
-        let mut n = 0;
+        self.replay_stats(ops).applied
+    }
+
+    /// [`PhTree::replay`] with telemetry: also reports how many ops
+    /// rode the bulk-load fast path.
+    pub fn replay_stats<I: IntoIterator<Item = Op<V, K>>>(&mut self, ops: I) -> ReplayStats {
+        let mut stats = ReplayStats::default();
         let mut ops = ops.into_iter();
         if self.is_empty() {
             let mut batch = Vec::new();
@@ -72,20 +89,21 @@ impl<V, const K: usize> PhTree<V, K> {
                     }
                 }
             }
-            n += batch.len();
+            stats.applied += batch.len();
+            stats.bulk_loaded = batch.len();
             if !batch.is_empty() {
                 *self = PhTree::bulk_load_with_mode(batch, self.mode());
             }
             if let Some(op) = first_non_insert {
                 self.apply(op);
-                n += 1;
+                stats.applied += 1;
             }
         }
         for op in ops {
             self.apply(op);
-            n += 1;
+            stats.applied += 1;
         }
-        n
+        stats
     }
 }
 

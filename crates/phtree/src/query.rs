@@ -8,6 +8,7 @@
 //! [`phbits::hc`]. Sub-nodes are pruned by prefix-region intersection.
 
 use crate::node::{Node, SlotRef};
+use crate::telemetry::Visits;
 use crate::tree::PhTree;
 use phbits::{hc, num};
 
@@ -25,6 +26,16 @@ pub struct Query<'t, V, const K: usize> {
     /// boundary checks. 0 = exact.
     slack_bits: u32,
     stack: Vec<Frame<'t, V, K>>,
+    /// Nodes visited over the iterator's lifetime, reported to the
+    /// telemetry sink on drop (ZST when the `metrics` feature is off).
+    vis: Visits,
+}
+
+#[cfg(feature = "metrics")]
+impl<V, const K: usize> Drop for Query<'_, V, K> {
+    fn drop(&mut self) {
+        crate::telemetry::record_op(crate::telemetry::TreeOp::Query, self.vis);
+    }
 }
 
 enum Cursor {
@@ -84,6 +95,7 @@ impl<'t, V, const K: usize> Query<'t, V, K> {
             max,
             slack_bits,
             stack: Vec::with_capacity(16),
+            vis: Visits::new(),
         };
         if let Some(root) = tree.root.as_deref() {
             q.push_node(root, [0u64; K]);
@@ -113,6 +125,7 @@ impl<'t, V, const K: usize> Query<'t, V, K> {
         if m_l & !m_u != 0 {
             return; // contradictory: no slot can match
         }
+        self.vis.bump();
         let cursor = if node.is_hc() {
             Cursor::Hc(Some(hc::first_addr(m_l, m_u)))
         } else {
@@ -130,6 +143,7 @@ impl<'t, V, const K: usize> Query<'t, V, K> {
 
     /// Pushes a frame for a node known to lie entirely inside the query.
     fn push_node_inside(&mut self, node: &'t Node<V, K>, prefix: [u64; K]) {
+        self.vis.bump();
         let cursor = if node.is_hc() {
             Cursor::Hc(Some(0))
         } else {

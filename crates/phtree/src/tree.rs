@@ -9,6 +9,7 @@
 
 use crate::config::ReprMode;
 use crate::node::{BulkChild, Child, Node, Probe, SlotRef, W};
+use crate::telemetry::{self, TreeOp, Visits};
 use phbits::{hc, num};
 
 /// Z-order (Morton-order) comparison of two keys: the order a
@@ -234,7 +235,8 @@ impl<V, const K: usize> PhTree<V, K> {
     /// Inserts `key → value`. Returns the previous value if the key was
     /// already present (the PH-tree stores no duplicate keys).
     pub fn insert(&mut self, key: [u64; K], value: V) -> Option<V> {
-        match &mut self.root {
+        let mut vis = Visits::new();
+        let old = match &mut self.root {
             None => {
                 // First entry: the root always splits at the top bit
                 // (zb = 1 in the paper's numbering), with no prefix.
@@ -242,19 +244,29 @@ impl<V, const K: usize> PhTree<V, K> {
                 root.insert_post(hc::addr(&key, W - 1), &key, value, self.mode);
                 self.root = Some(root);
                 self.len = 1;
+                vis.bump();
                 None
             }
             Some(root) => {
-                let old = Self::insert_rec(root, &key, value, self.mode);
+                let old = Self::insert_rec(root, &key, value, self.mode, &mut vis);
                 if old.is_none() {
                     self.len += 1;
                 }
                 old
             }
-        }
+        };
+        telemetry::record_op(TreeOp::Insert, vis);
+        old
     }
 
-    fn insert_rec(node: &mut Node<V, K>, key: &[u64; K], value: V, mode: ReprMode) -> Option<V> {
+    fn insert_rec(
+        node: &mut Node<V, K>,
+        key: &[u64; K],
+        value: V,
+        mode: ReprMode,
+        vis: &mut Visits,
+    ) -> Option<V> {
+        vis.bump();
         let h = hc::addr(key, node.post_len as u32);
         match node.probe(h) {
             Probe::Empty => {
@@ -285,7 +297,7 @@ impl<V, const K: usize> PhTree<V, K> {
                 let node_post_len = node.post_len;
                 let sub = node.sub_mut(h).expect("probe said sub");
                 if sub.infix_matches(key) {
-                    return Self::insert_rec(sub, key, value, mode);
+                    return Self::insert_rec(sub, key, value, mode, vis);
                 }
                 // The key deviates inside the sub-node's infix: split the
                 // infix with an intermediate node holding the existing
@@ -313,19 +325,30 @@ impl<V, const K: usize> PhTree<V, K> {
     /// Point query: returns a reference to the value stored under `key`.
     #[inline]
     pub fn get(&self, key: &[u64; K]) -> Option<&V> {
-        let mut node = self.root.as_deref()?;
-        loop {
-            if !node.infix_matches(key) {
+        let mut vis = Visits::new();
+        let mut node = match self.root.as_deref() {
+            Some(n) => n,
+            None => {
+                telemetry::record_op(TreeOp::Get, vis);
                 return None;
             }
-            let h = hc::addr(key, node.post_len as u32);
-            match node.get_slot(h)? {
-                SlotRef::Post { pf_off, value } => {
-                    return node.postfix_matches(pf_off, key).then_some(value);
-                }
-                SlotRef::Sub(sub) => node = sub,
+        };
+        let found = loop {
+            vis.bump();
+            if !node.infix_matches(key) {
+                break None;
             }
-        }
+            let h = hc::addr(key, node.post_len as u32);
+            match node.get_slot(h) {
+                None => break None,
+                Some(SlotRef::Post { pf_off, value }) => {
+                    break node.postfix_matches(pf_off, key).then_some(value);
+                }
+                Some(SlotRef::Sub(sub)) => node = sub,
+            }
+        };
+        telemetry::record_op(TreeOp::Get, vis);
+        found
     }
 
     /// Point query with mutable access to the value.
@@ -357,8 +380,16 @@ impl<V, const K: usize> PhTree<V, K> {
 
     /// Removes `key`, returning its value if present.
     pub fn remove(&mut self, key: &[u64; K]) -> Option<V> {
-        let root = self.root.as_deref_mut()?;
-        let (removed, _) = Self::remove_rec(root, key, self.mode, true);
+        let mut vis = Visits::new();
+        let root = match self.root.as_deref_mut() {
+            Some(r) => r,
+            None => {
+                telemetry::record_op(TreeOp::Remove, vis);
+                return None;
+            }
+        };
+        let (removed, _) = Self::remove_rec(root, key, self.mode, true, &mut vis);
+        telemetry::record_op(TreeOp::Remove, vis);
         if removed.is_some() {
             self.len -= 1;
             if self.root.as_ref().is_some_and(|r| r.n_children() == 0) {
@@ -376,7 +407,9 @@ impl<V, const K: usize> PhTree<V, K> {
         key: &[u64; K],
         mode: ReprMode,
         is_root: bool,
+        vis: &mut Visits,
     ) -> (Option<V>, bool) {
+        vis.bump();
         if !node.infix_matches(key) {
             return (None, false);
         }
@@ -392,7 +425,7 @@ impl<V, const K: usize> PhTree<V, K> {
             }
             Probe::Sub => {
                 let sub = node.sub_mut(h).expect("probe said sub");
-                let (removed, underflow) = Self::remove_rec(sub, key, mode, false);
+                let (removed, underflow) = Self::remove_rec(sub, key, mode, false, vis);
                 if underflow {
                     Self::merge_single_child(node, h, key, mode);
                 }

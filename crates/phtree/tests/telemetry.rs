@@ -1,0 +1,116 @@
+//! Exercises the `metrics`-feature telemetry sink: per-op node-visit
+//! reporting and HC<->LHC switch notifications.
+//!
+//! The sink is process-global (first install wins), so everything runs
+//! in one test function.
+#![cfg(feature = "metrics")]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use phtree::telemetry::{self, TreeOp, TreeSink};
+use phtree::{PhTree, ReprMode};
+
+#[derive(Default)]
+struct Collect {
+    gets: AtomicU64,
+    get_nodes: AtomicU64,
+    inserts: AtomicU64,
+    insert_nodes: AtomicU64,
+    removes: AtomicU64,
+    queries: AtomicU64,
+    query_nodes: AtomicU64,
+    to_hc: AtomicU64,
+    to_lhc: AtomicU64,
+}
+
+impl TreeSink for Collect {
+    fn op(&self, op: TreeOp, nodes_visited: u32) {
+        let (count, nodes) = match op {
+            TreeOp::Get => (&self.gets, Some(&self.get_nodes)),
+            TreeOp::Insert => (&self.inserts, Some(&self.insert_nodes)),
+            TreeOp::Remove => (&self.removes, None),
+            TreeOp::Query => (&self.queries, Some(&self.query_nodes)),
+        };
+        count.fetch_add(1, Ordering::Relaxed);
+        if let Some(n) = nodes {
+            n.fetch_add(nodes_visited as u64, Ordering::Relaxed);
+        }
+    }
+
+    fn repr_switch(&self, to_hc: bool) {
+        if to_hc {
+            self.to_hc.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.to_lhc.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+static SINK: Collect = Collect {
+    gets: AtomicU64::new(0),
+    get_nodes: AtomicU64::new(0),
+    inserts: AtomicU64::new(0),
+    insert_nodes: AtomicU64::new(0),
+    removes: AtomicU64::new(0),
+    queries: AtomicU64::new(0),
+    query_nodes: AtomicU64::new(0),
+    to_hc: AtomicU64::new(0),
+    to_lhc: AtomicU64::new(0),
+};
+
+#[test]
+fn sink_observes_ops_visits_and_repr_switches() {
+    assert!(!telemetry::sink_installed());
+    assert!(telemetry::set_sink(&SINK));
+    assert!(telemetry::sink_installed());
+    // First install wins; a second install is rejected.
+    static OTHER: Collect = Collect {
+        gets: AtomicU64::new(0),
+        get_nodes: AtomicU64::new(0),
+        inserts: AtomicU64::new(0),
+        insert_nodes: AtomicU64::new(0),
+        removes: AtomicU64::new(0),
+        queries: AtomicU64::new(0),
+        query_nodes: AtomicU64::new(0),
+        to_hc: AtomicU64::new(0),
+        to_lhc: AtomicU64::new(0),
+    };
+    assert!(!telemetry::set_sink(&OTHER));
+
+    // A dense 16x16 2-D grid forces HC nodes under adaptive mode, so
+    // building it must report LHC->HC switches.
+    let mut t: PhTree<u64, 2> = PhTree::with_mode(ReprMode::Adaptive);
+    for x in 0..16u64 {
+        for y in 0..16u64 {
+            t.insert([x, y], x * 16 + y);
+        }
+    }
+    assert_eq!(SINK.inserts.load(Ordering::Relaxed), 256);
+    // Every insert touches at least the root.
+    assert!(SINK.insert_nodes.load(Ordering::Relaxed) >= 256);
+    assert!(t.stats().hc_nodes > 0, "grid must produce HC nodes");
+    assert!(SINK.to_hc.load(Ordering::Relaxed) > 0);
+
+    // Point queries: hits and misses both report, with >= 1 node each.
+    assert_eq!(t.get(&[3, 5]), Some(&(3 * 16 + 5)));
+    assert_eq!(t.get(&[99, 99]), None);
+    assert_eq!(SINK.gets.load(Ordering::Relaxed), 2);
+    assert!(SINK.get_nodes.load(Ordering::Relaxed) >= 2);
+
+    // Window query reports once, on iterator drop, counting all nodes
+    // pushed during the traversal.
+    let hits = t.query(&[2, 3], &[4, 5]).count();
+    assert_eq!(hits, 3 * 3);
+    assert_eq!(SINK.queries.load(Ordering::Relaxed), 1);
+    assert!(SINK.query_nodes.load(Ordering::Relaxed) >= 1);
+
+    // Draining the tree merges nodes back below the HC threshold,
+    // reporting HC->LHC switches on the way down.
+    for x in 0..16u64 {
+        for y in 0..16u64 {
+            assert!(t.remove(&[x, y]).is_some());
+        }
+    }
+    assert_eq!(SINK.removes.load(Ordering::Relaxed), 256);
+    assert!(SINK.to_lhc.load(Ordering::Relaxed) > 0);
+}

@@ -3,11 +3,15 @@
 //! Demonstrates the `phshard` subsystem end to end:
 //! * writers and readers sharing one `ShardedTree` through `&self`,
 //! * window queries pruning whole shards via the router's prefix masks,
-//! * kNN fan-out with the bounded k-way merge, and
-//! * `DurableSharded`: per-shard write-ahead logs, parallel recovery.
+//! * kNN fan-out with the bounded k-way merge,
+//! * `DurableSharded`: per-shard write-ahead logs, parallel recovery,
+//!   and
+//! * runtime metrics: the tree records into a `phmetrics::Registry`,
+//!   dumped as an ops/p99/skew summary at shutdown.
 //!
 //! Run: `cargo run --release -p ph-bench --example sharded_service`
 
+use phmetrics::Registry;
 use phshard::{DurableSharded, ShardedTree};
 use phtree::key::point_to_key;
 use std::sync::Arc;
@@ -15,7 +19,13 @@ use std::sync::Arc;
 fn main() {
     // ---- In-memory serving -------------------------------------------
     const SHARDS: usize = 8;
-    let index: Arc<ShardedTree<u64, 3>> = Arc::new(ShardedTree::new(SHARDS));
+    let registry = Registry::new();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get() - 1)
+        .unwrap_or(0)
+        .min(SHARDS);
+    let index: Arc<ShardedTree<u64, 3>> =
+        Arc::new(ShardedTree::with_metrics(SHARDS, threads, &registry));
 
     // 4 writers load 3-D points concurrently; 2 readers query while
     // they do. All through &self — no external locking.
@@ -95,4 +105,38 @@ fn main() {
             .collect::<Vec<_>>()
     );
     let _ = std::fs::remove_dir_all(&dir);
+
+    // ---- Shutdown metrics summary ------------------------------------
+    let snap = registry.snapshot();
+    println!(
+        "\n-- metrics at shutdown ({:.1}s uptime) --",
+        snap.uptime.as_secs_f64()
+    );
+    for op in ["insert", "get", "query", "query_count", "knn"] {
+        let total = snap
+            .counter(&format!("phshard_ops_total{{op=\"{op}\"}}"))
+            .unwrap_or(0);
+        if total == 0 {
+            continue;
+        }
+        let p99 = snap
+            .histogram(&format!("phshard_op_latency_ns{{op=\"{op}\"}}"))
+            .map_or(0, |h| h.p99());
+        println!("{op:>12}: {total:>7} ops, p99 <= {p99} ns");
+    }
+    let stats = index.stats();
+    println!(
+        "{:>12}: {:.2} (max/mean over {} shards; 1.0 = balanced)",
+        "skew",
+        stats.skew(),
+        stats.shards
+    );
+    println!(
+        "{:>12}: depth peak {}, tasks {}, panics {}",
+        "pool",
+        snap.gauge("phshard_pool_queue_depth")
+            .map_or(0, |g| g.high_water),
+        snap.counter("phshard_pool_tasks_total").unwrap_or(0),
+        snap.counter("phshard_pool_task_panics_total").unwrap_or(0),
+    );
 }

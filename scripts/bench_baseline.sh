@@ -6,11 +6,17 @@
 # than sequential at K=8, O(1) allocations per bulk-loaded entry).
 #
 # Usage:  scripts/bench_baseline.sh [output.json]
-#   QUICK=false scripts/bench_baseline.sh    # full-size run (default true)
-#   SCALE=0.05  scripts/bench_baseline.sh    # override the entry count
+#   QUICK=false scripts/bench_baseline.sh      # full-size run (default true)
+#   SCALE=0.05  scripts/bench_baseline.sh      # override the entry count
+#   FEATURES=metrics scripts/bench_baseline.sh # measure an instrumented build
+#   SINK=true FEATURES=metrics scripts/bench_baseline.sh
+#                                              # ... with a live counting sink
 #
 # The committed baseline lives at BENCH_phtree.json; CI regenerates a
 # fresh one in --quick mode and diffs it via scripts/bench_diff.py.
+# FEATURES=metrics builds the telemetry-enabled binaries (no sink
+# installed), which is how the disabled-path overhead contract in
+# DESIGN.md §13 is checked.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,12 +24,21 @@ OUT="${1:-BENCH_phtree.json}"
 QUICK="${QUICK:-true}"
 SEED="${SEED:-42}"
 SCALE="${SCALE:-}"
+FEATURES="${FEATURES:-}"
+SINK="${SINK:-}"
 
-cargo build --release -p ph-bench >/dev/null
+if [ -n "$FEATURES" ]; then
+  cargo build --release -p ph-bench --features "$FEATURES" >/dev/null
+else
+  cargo build --release -p ph-bench >/dev/null
+fi
 
 EXTRA=()
 if [ -n "$SCALE" ]; then
   EXTRA+=(--scale "$SCALE")
+fi
+if [ -n "$SINK" ]; then
+  EXTRA+=(--sink true)
 fi
 
 rm -f "$OUT"
