@@ -12,6 +12,7 @@ fn no_sync(checkpoint_bytes: u64) -> DurableConfig {
     DurableConfig {
         checkpoint_bytes,
         sync_writes: false,
+        retry: None,
     }
 }
 

@@ -1,40 +1,345 @@
-//! Durable sharded mode: one `phstore::Durable` WAL per shard.
+//! Durable sharded mode: one `phstore::Durable` WAL per shard, with
+//! crash-safe online shard splitting.
 //!
 //! Each shard journals to its own subdirectory
 //! (`phstore::durable::shard_dir`: `base/shard-NNN/`), so WAL appends
 //! on different shards never serialise on one file, and recovery —
-//! snapshot load + WAL replay per shard — runs on all cores. A small
-//! manifest in the base directory pins the shard count: reopening with
-//! a different count would silently misroute keys, so it is refused.
+//! snapshot load + WAL replay per shard — runs on all cores. A
+//! manifest in the base directory records the full routing topology
+//! (a [`ShardMap`] trie), the routing epoch, and — while a split is in
+//! flight — an in-progress migration record.
+//!
+//! ## Manifest v2 (`PHSHARD2`)
+//!
+//! ```text
+//! magic      "PHSHARD2"                8 bytes
+//! k          dimension count           u32 LE
+//! gen        manifest write counter    u64 LE
+//! epoch      routing epoch             u64 LE
+//! next_slot  slot allocation bound     u32 LE
+//! map        length-prefixed ShardMap  u32 LE + preorder bytes
+//! migration  0, or 1 + record          u8 [+ src u32, bits u32,
+//!                                          n u32, children u32×n]
+//! crc        FNV-1a of all above       u64 LE
+//! ```
+//!
+//! Every manifest write is atomic: staging file, fsync, rename over
+//! `phshard.meta`, directory fsync — a crash can only ever expose the
+//! previous or the next manifest, never a torn one. Legacy `PHSHARD1`
+//! manifests (uniform shard count only) are read and upgraded in
+//! place.
+//!
+//! ## Migration protocol (hot-shard split)
+//!
+//! A split of slot `P` into children `C₀..Cₙ` walks four states; the
+//! commit point is a single manifest rename:
+//!
+//! ```text
+//! IDLE ──(1 prepare)──▶ PREPARED ──(2 copy)──▶ COPIED ──(3 commit)──▶ DONE
+//!
+//! 1 prepare  manifest := {old map, migration record}   (atomic)
+//! 2 copy     freeze-point snapshot of P under a brief write lock;
+//!            children built via bulk_load + snapshot write;
+//!            writes to P keep journaling to P's WAL *and* queue in a
+//!            bounded backlog (full backlog ⇒ typed Overloaded shed —
+//!            the shed op is neither journaled nor applied);
+//!            reads keep serving from P throughout
+//! 3 commit   under P's write lock: drain backlog into the children's
+//!            WALs, sync, then manifest := {new map, no record}
+//!            (atomic rename = commit point); install the new routing
+//!            epoch in memory; retire P's cell
+//! ```
+//!
+//! Crash recovery is deterministic at every byte: a manifest *with* a
+//! migration record rolls the split back (delete the children's files
+//! — their content is a re-derivable copy — then clear the record),
+//! landing in the pre-migration state with every acknowledged write
+//! intact in `P`'s WAL; a manifest *without* a record is already the
+//! pre- or post-migration state. Backlogged writes are journaled to
+//! `P` at acknowledgement time, so they survive rollback even though
+//! commit re-journals them to the children. The `migration_crash`
+//! integration test sweeps a crash through every byte of this write
+//! stream and asserts exactly that.
 
-use crate::route::Router;
+use crate::epoch::ShardMap;
+use crate::error::ShardError;
+use crate::metrics::RebalanceMetrics;
+use crate::sharded::SplitReport;
+use phmetrics::Registry;
 use phstore::durable::shard_dir;
 use phstore::vfs::{StdVfs, Vfs};
-use phstore::{Corruption, Durable, DurableConfig, RecoveryStats, StoreError, ValueCodec};
+use phstore::{fnv1a, Corruption, Durable, DurableConfig, RecoveryStats, StoreError, ValueCodec};
+use phtree::{Op, PhTree};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
-/// Manifest file pinning the shard count of a sharded store directory.
+/// Manifest file recording the routing topology of a sharded store
+/// directory.
 pub const MANIFEST_FILE: &str = "phshard.meta";
-const MANIFEST_MAGIC: &[u8; 8] = b"PHSHARD1";
+const MAGIC_V1: &[u8; 8] = b"PHSHARD1";
+const MAGIC_V2: &[u8; 8] = b"PHSHARD2";
+
+/// Default bound on a migrating shard's write backlog before further
+/// writes shed with [`ShardError::Overloaded`].
+pub const DEFAULT_BACKLOG_CAP: usize = 4096;
+
+/// In-progress migration record, persisted in the manifest between
+/// prepare and commit so recovery knows which child directories to
+/// roll back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct MigrationRecord {
+    src: u32,
+    bits: u32,
+    children: Vec<u32>,
+}
+
+/// The decoded manifest: committed routing map + optional in-flight
+/// migration.
+#[derive(Debug, Clone, PartialEq)]
+struct Manifest<const K: usize> {
+    map: ShardMap<K>,
+    gen: u64,
+    migration: Option<MigrationRecord>,
+}
+
+impl<const K: usize> Manifest<K> {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(MAGIC_V2);
+        out.extend_from_slice(&(K as u32).to_le_bytes());
+        out.extend_from_slice(&self.gen.to_le_bytes());
+        out.extend_from_slice(&self.map.epoch().to_le_bytes());
+        out.extend_from_slice(&(self.map.slot_bound() as u32).to_le_bytes());
+        let mut map_bytes = Vec::new();
+        self.map.encode(&mut map_bytes);
+        out.extend_from_slice(&(map_bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&map_bytes);
+        match &self.migration {
+            None => out.push(0),
+            Some(m) => {
+                out.push(1);
+                out.extend_from_slice(&m.src.to_le_bytes());
+                out.extend_from_slice(&m.bits.to_le_bytes());
+                out.extend_from_slice(&(m.children.len() as u32).to_le_bytes());
+                for c in &m.children {
+                    out.extend_from_slice(&c.to_le_bytes());
+                }
+            }
+        }
+        let crc = fnv1a(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Manifest<K>, StoreError> {
+        let bad = |what: &'static str| StoreError::from(Corruption::new(what));
+        // Legacy v1: magic + u32 shard count, no checksum.
+        if bytes.len() == 12 && &bytes[..8] == MAGIC_V1 {
+            let count = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+            if !count.is_power_of_two() || count > crate::MAX_SHARDS {
+                return Err(bad("legacy manifest shard count invalid"));
+            }
+            return Ok(Manifest {
+                map: ShardMap::uniform(count),
+                gen: 0,
+                migration: None,
+            });
+        }
+        if bytes.len() < 8 || &bytes[..8] != MAGIC_V2 {
+            return Err(bad("sharded manifest magic mismatch"));
+        }
+        if bytes.len() < 8 + 8 {
+            return Err(bad("sharded manifest truncated"));
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 8);
+        let crc = u64::from_le_bytes(crc_bytes.try_into().unwrap());
+        if fnv1a(body) != crc {
+            return Err(bad("sharded manifest checksum mismatch"));
+        }
+        let mut pos = 8usize;
+        let mut take = |n: usize| -> Result<&[u8], StoreError> {
+            let s = body
+                .get(pos..pos + n)
+                .ok_or_else(|| Corruption::new("sharded manifest truncated"))?;
+            pos += n;
+            Ok(s)
+        };
+        let k = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+        if k != K {
+            return Err(bad("sharded manifest dimension mismatch"));
+        }
+        let gen = u64::from_le_bytes(take(8)?.try_into().unwrap());
+        let epoch = u64::from_le_bytes(take(8)?.try_into().unwrap());
+        let next_slot = u32::from_le_bytes(take(4)?.try_into().unwrap());
+        let map_len = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+        let map_bytes = take(map_len)?;
+        let map = ShardMap::decode(map_bytes, epoch, next_slot)
+            .ok_or_else(|| bad("sharded manifest routing map malformed"))?;
+        let migration = match take(1)?[0] {
+            0 => None,
+            1 => {
+                let src = u32::from_le_bytes(take(4)?.try_into().unwrap());
+                let bits = u32::from_le_bytes(take(4)?.try_into().unwrap());
+                let n = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+                if n > crate::MAX_SHARDS {
+                    return Err(bad("sharded manifest migration record malformed"));
+                }
+                let mut children = Vec::with_capacity(n);
+                for _ in 0..n {
+                    children.push(u32::from_le_bytes(take(4)?.try_into().unwrap()));
+                }
+                Some(MigrationRecord {
+                    src,
+                    bits,
+                    children,
+                })
+            }
+            _ => return Err(bad("sharded manifest migration tag invalid")),
+        };
+        if pos != body.len() {
+            return Err(bad("sharded manifest has trailing bytes"));
+        }
+        Ok(Manifest {
+            map,
+            gen,
+            migration,
+        })
+    }
+}
+
+/// Atomically writes the manifest: staging file + fsync + rename +
+/// directory fsync. A crash anywhere exposes either the previous or
+/// the new manifest, never a torn one.
+fn write_manifest<const K: usize>(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    m: &Manifest<K>,
+) -> Result<(), StoreError> {
+    let path = dir.join(MANIFEST_FILE);
+    let staging = dir.join(format!("{MANIFEST_FILE}.tmp"));
+    let bytes = m.encode();
+    let mut f = vfs.create(&staging)?;
+    f.write_all_at(&bytes, 0)?;
+    f.sync_all()?;
+    drop(f);
+    vfs.rename(&staging, &path)?;
+    vfs.sync_dir(dir)?;
+    Ok(())
+}
+
+fn read_manifest<const K: usize>(
+    vfs: &dyn Vfs,
+    dir: &Path,
+) -> Result<Option<Manifest<K>>, StoreError> {
+    let path = dir.join(MANIFEST_FILE);
+    if !vfs.exists(&path) {
+        return Ok(None);
+    }
+    let mut f = vfs.open(&path)?;
+    let len = f.len()? as usize;
+    let mut bytes = vec![0u8; len];
+    f.read_exact_at(&mut bytes, 0)?;
+    Manifest::decode(&bytes).map(Some)
+}
+
+/// Best-effort removal of one shard directory's files (snapshot, WAL,
+/// staging leftovers). Used by migration rollback and post-commit
+/// cleanup; failures are ignored — leftover bytes in an unreferenced
+/// directory are garbage, not state.
+fn scrub_shard_dir(vfs: &dyn Vfs, dir: &Path) {
+    for name in [phstore::durable::SNAPSHOT_FILE, phstore::durable::WAL_FILE] {
+        let p = dir.join(name);
+        let _ = vfs.remove_file(&p);
+        let _ = vfs.remove_file(&dir.join(format!("{name}.tmp")));
+    }
+}
+
+/// Bounded queue of writes accepted while a slot's contents are being
+/// copied; drained onto the children at commit.
+struct Backlog<V, const K: usize> {
+    ops: Vec<Op<V, K>>,
+    cap: usize,
+}
+
+/// One shard's durable cell: the store plus (while migrating) the
+/// write backlog, guarded together so backlog membership is exactly
+/// "journaled after the freeze-point snapshot".
+struct DurCellState<V: ValueCodec, const K: usize> {
+    store: Durable<V, K>,
+    backlog: Option<Backlog<V, K>>,
+}
+
+struct DurCell<V: ValueCodec, const K: usize> {
+    retired: AtomicBool,
+    state: RwLock<DurCellState<V, K>>,
+}
+
+/// An immutable routing snapshot: map + slot-indexed cells, swapped
+/// wholesale behind `Arc` at each committed split.
+struct DurInner<V: ValueCodec, const K: usize> {
+    map: Arc<ShardMap<K>>,
+    cells: Vec<Option<Arc<DurCell<V, K>>>>,
+}
+
+/// A split prepared by [`DurableSharded::begin_split`]: children built
+/// and durable, backlog accepting writes, manifest carrying the
+/// migration record. Holds the split gate, so exactly one can exist;
+/// pass it to [`DurableSharded::commit_split`] to make the new routing
+/// epoch the committed state, or [`DurableSharded::abort_split`] to
+/// roll back. Dropping it without either leaves the slot backlogging
+/// (and eventually shedding) until the next reopen rolls the split
+/// back — always safe, never lossy, but don't.
+pub struct PendingSplit<'a, V: ValueCodec, const K: usize> {
+    _gate: MutexGuard<'a, u64>,
+    src: usize,
+    map2: ShardMap<K>,
+    child_slots: Vec<usize>,
+    children: Vec<Durable<V, K>>,
+    migrated: usize,
+}
+
+impl<V: ValueCodec, const K: usize> PendingSplit<'_, V, K> {
+    /// The slot being split.
+    pub fn src(&self) -> usize {
+        self.src
+    }
+
+    /// The child slots the commit will install.
+    pub fn children(&self) -> &[usize] {
+        &self.child_slots
+    }
+}
 
 /// A crash-safe [`crate::ShardedTree`]-alike: per-shard
-/// [`phstore::Durable`] write-ahead logs, parallel recovery.
+/// [`phstore::Durable`] write-ahead logs, parallel recovery, and
+/// online hot-shard splitting (see the module docs for the migration
+/// protocol).
 ///
 /// Consistency matches the in-memory layer: single-key operations are
 /// linearizable within their shard *and* durable once acknowledged
 /// (journal-then-apply under the shard's write lock); cross-shard reads
 /// are read-committed. Durability is per shard too — a crash can lose
 /// no acknowledged op, but ops acknowledged on different shards have
-/// no global order in the logs.
-pub struct DurableSharded<V: ValueCodec + Send + Sync, const K: usize> {
-    shards: Box<[RwLock<Durable<V, K>>]>,
-    router: Router<K>,
+/// no global order in the logs. During a migration the source shard
+/// keeps serving reads and accepting writes; only backlog overflow
+/// sheds (typed [`ShardError::Overloaded`], not journaled, safe to
+/// retry).
+pub struct DurableSharded<V: ValueCodec + Clone + Send + Sync, const K: usize> {
+    vfs: Arc<dyn Vfs>,
     dir: PathBuf,
+    config: DurableConfig,
+    state: RwLock<Arc<DurInner<V, K>>>,
+    /// Serialises splits; the guarded value is the manifest write
+    /// counter (`gen`), owned by whoever holds the gate.
+    split_gate: Mutex<u64>,
+    backlog_cap: AtomicUsize,
     recovery: Vec<RecoveryStats>,
+    rolled_back: bool,
+    reb_metrics: RebalanceMetrics,
 }
 
-impl<V: ValueCodec + Send + Sync, const K: usize> DurableSharded<V, K> {
+impl<V: ValueCodec + Clone + Send + Sync, const K: usize> DurableSharded<V, K> {
     /// Opens (or initialises) a sharded durable store under `dir` on
     /// the real filesystem with default tuning.
     pub fn open(dir: &Path, shards: usize) -> Result<Self, StoreError> {
@@ -42,45 +347,121 @@ impl<V: ValueCodec + Send + Sync, const K: usize> DurableSharded<V, K> {
     }
 
     /// Opens (or initialises) on any [`Vfs`]. Recovers all shards in
-    /// parallel (one thread per shard). Refuses to open a directory
-    /// whose manifest records a different shard count.
+    /// parallel (one thread per shard). `shards` is the *initial*
+    /// uniform topology: once the store has split (epoch > 0), the
+    /// manifest's topology is authoritative and `shards` is ignored;
+    /// at epoch 0 a mismatch with the manifest is refused, as before.
+    /// A manifest carrying an in-progress migration record (crash
+    /// mid-split) is rolled back to the pre-migration state first.
     pub fn open_with(
         vfs: Arc<dyn Vfs>,
         dir: &Path,
         shards: usize,
         config: DurableConfig,
     ) -> Result<Self, StoreError> {
-        let router: Router<K> = Router::new(shards);
-        vfs.create_dir_all(dir)?;
-        check_or_write_manifest(vfs.as_ref(), dir, shards)?;
+        Self::open_observed_impl(vfs, dir, shards, config, RebalanceMetrics::disabled())
+    }
 
+    /// [`DurableSharded::open_with`] wired to record rebalance
+    /// transitions into `registry` (`phshard_rebalance_*`,
+    /// `phshard_routing_epoch`, `phshard_migration_inflight`).
+    pub fn open_observed(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        shards: usize,
+        config: DurableConfig,
+        registry: &Registry,
+    ) -> Result<Self, StoreError> {
+        Self::open_observed_impl(vfs, dir, shards, config, RebalanceMetrics::new(registry))
+    }
+
+    fn open_observed_impl(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        shards: usize,
+        config: DurableConfig,
+        reb_metrics: RebalanceMetrics,
+    ) -> Result<Self, StoreError> {
+        vfs.create_dir_all(dir)?;
+        let mut rolled_back = false;
+        let manifest: Manifest<K> = match read_manifest(vfs.as_ref(), dir)? {
+            None => {
+                let m = Manifest {
+                    map: ShardMap::uniform(shards),
+                    gen: 1,
+                    migration: None,
+                };
+                write_manifest(vfs.as_ref(), dir, &m)?;
+                m
+            }
+            Some(mut m) => {
+                if m.map.epoch() == 0 && m.map.shards() != shards {
+                    return Err(Corruption::new("shard count differs from manifest").into());
+                }
+                if let Some(mig) = m.migration.take() {
+                    // Crash mid-migration: the children are a
+                    // re-derivable copy; every acknowledged write is in
+                    // the source's WAL. Scrub the children, then clear
+                    // the record — idempotent if we crash again here.
+                    for c in &mig.children {
+                        scrub_shard_dir(vfs.as_ref(), &shard_dir(dir, *c as usize));
+                    }
+                    m.gen += 1;
+                    write_manifest(vfs.as_ref(), dir, &m)?;
+                    rolled_back = true;
+                }
+                m
+            }
+        };
+
+        let live = manifest.map.live_slots();
         let mut opened: Vec<Option<Result<Durable<V, K>, StoreError>>> =
-            (0..shards).map(|_| None).collect();
+            (0..live.len()).map(|_| None).collect();
         std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(shards);
-            for s in 0..shards {
+            let mut handles = Vec::with_capacity(live.len());
+            for &slot in &live {
                 let vfs = Arc::clone(&vfs);
                 let config = config.clone();
-                let d = shard_dir(dir, s);
+                let d = shard_dir(dir, slot);
                 handles.push(scope.spawn(move || Durable::open_with(vfs, &d, config)));
             }
-            for (slot, h) in opened.iter_mut().zip(handles) {
-                *slot = Some(h.join().expect("shard recovery thread panicked"));
+            for (out, h) in opened.iter_mut().zip(handles) {
+                *out = Some(h.join().expect("shard recovery thread panicked"));
             }
         });
-        let mut cells = Vec::with_capacity(shards);
-        let mut recovery = Vec::with_capacity(shards);
-        for r in opened.into_iter().flatten() {
+        let mut cells: Vec<Option<Arc<DurCell<V, K>>>> =
+            (0..manifest.map.slot_bound()).map(|_| None).collect();
+        let mut recovery = Vec::with_capacity(live.len());
+        for (&slot, r) in live.iter().zip(opened.into_iter().flatten()) {
             let d = r?;
             recovery.push(d.recovery_stats());
-            cells.push(RwLock::new(d));
+            cells[slot] = Some(Arc::new(DurCell {
+                retired: AtomicBool::new(false),
+                state: RwLock::new(DurCellState {
+                    store: d,
+                    backlog: None,
+                }),
+            }));
         }
+        reb_metrics.routing_epoch.set(manifest.map.epoch() as i64);
         Ok(DurableSharded {
-            shards: cells.into_boxed_slice(),
-            router,
+            vfs,
             dir: dir.to_path_buf(),
+            config,
+            state: RwLock::new(Arc::new(DurInner {
+                map: Arc::new(manifest.map),
+                cells,
+            })),
+            split_gate: Mutex::new(manifest.gen),
+            backlog_cap: AtomicUsize::new(DEFAULT_BACKLOG_CAP),
             recovery,
+            rolled_back,
+            reb_metrics,
         })
+    }
+
+    fn snapshot(&self) -> Arc<DurInner<V, K>> {
+        Arc::clone(&self.state.read().unwrap())
     }
 
     /// Base directory of the store.
@@ -88,33 +469,137 @@ impl<V: ValueCodec + Send + Sync, const K: usize> DurableSharded<V, K> {
         &self.dir
     }
 
-    /// Number of shards.
+    /// Number of live shards.
     pub fn shards(&self) -> usize {
-        self.shards.len()
+        self.snapshot().map.shards()
     }
 
-    /// What recovery found and did, per shard.
+    /// The current routing snapshot (slot ids, shard boxes, query
+    /// pruning). Splits installed later do not mutate it — re-call to
+    /// observe the new epoch.
+    pub fn router(&self) -> Arc<ShardMap<K>> {
+        Arc::clone(&self.snapshot().map)
+    }
+
+    /// Current routing epoch (0 until the first committed split).
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().map.epoch()
+    }
+
+    /// What recovery found and did, per live shard (in
+    /// [`ShardMap::live_slots`] order).
     pub fn recovery_stats(&self) -> &[RecoveryStats] {
         &self.recovery
     }
 
-    /// Inserts `key` → `value`: journaled on the owning shard's WAL
-    /// before being applied, under that shard's write lock.
-    pub fn insert(&self, key: [u64; K], value: V) -> Result<Option<V>, StoreError> {
-        let s = self.router.route(&key);
-        self.shards[s].write().unwrap().insert(key, value)
+    /// Whether this open rolled back a crashed in-flight migration.
+    pub fn rolled_back_migration(&self) -> bool {
+        self.rolled_back
     }
 
-    /// Removes `key`, journaled like [`DurableSharded::insert`].
-    pub fn remove(&self, key: &[u64; K]) -> Result<Option<V>, StoreError> {
-        let s = self.router.route(key);
-        self.shards[s].write().unwrap().remove(key)
+    /// Caps how many writes a migrating shard queues before shedding
+    /// with [`ShardError::Overloaded`] (default
+    /// [`DEFAULT_BACKLOG_CAP`]). Applies to splits begun after the
+    /// call.
+    pub fn set_backlog_capacity(&self, cap: usize) {
+        self.backlog_cap.store(cap.max(1), Ordering::Relaxed);
+    }
+
+    /// Routes `key` to its live cell and runs `f` under the cell's
+    /// write lock, re-routing if a split commit retired the cell while
+    /// we waited (the retired-cell retry loop).
+    fn with_cell_write<R>(
+        &self,
+        key: &[u64; K],
+        mut f: impl FnMut(usize, &mut DurCellState<V, K>) -> R,
+    ) -> R {
+        loop {
+            let inner = self.snapshot();
+            let slot = inner.map.route(key);
+            let cell = inner.cells[slot]
+                .as_ref()
+                .expect("routing map addressed a missing cell");
+            let mut guard = cell.state.write().unwrap();
+            if cell.retired.load(Ordering::Acquire) {
+                continue;
+            }
+            return f(slot, &mut guard);
+        }
+    }
+
+    /// Inserts `key` → `value`: journaled on the owning shard's WAL
+    /// before being applied, under that shard's write lock. If the
+    /// shard is mid-migration the op is also queued on the bounded
+    /// backlog for replay onto the children; a full backlog sheds the
+    /// write with [`ShardError::Overloaded`] *before* journaling, so a
+    /// shed write is neither durable nor applied — safe to retry.
+    pub fn insert(&self, key: [u64; K], value: V) -> Result<Option<V>, ShardError> {
+        let mut value = Some(value);
+        self.with_cell_write(&key, |slot, cs| {
+            if let Some(b) = cs.backlog.as_ref() {
+                if b.ops.len() >= b.cap {
+                    self.reb_metrics.shed.inc();
+                    return Err(ShardError::Overloaded {
+                        slot,
+                        backlog: b.cap,
+                    });
+                }
+            }
+            let value = value.take().expect("insert retried after completion");
+            let queued = cs.backlog.is_some().then(|| value.clone());
+            let prev = cs.store.insert(key, value)?;
+            if let Some(value) = queued {
+                cs.backlog
+                    .as_mut()
+                    .expect("backlog vanished under the cell lock")
+                    .ops
+                    .push(Op::Insert { key, value });
+            }
+            Ok(prev)
+        })
+    }
+
+    /// Removes `key`, journaled (and backlogged / shed) like
+    /// [`DurableSharded::insert`].
+    pub fn remove(&self, key: &[u64; K]) -> Result<Option<V>, ShardError> {
+        self.with_cell_write(key, |slot, cs| {
+            if let Some(b) = cs.backlog.as_ref() {
+                if b.ops.len() >= b.cap {
+                    self.reb_metrics.shed.inc();
+                    return Err(ShardError::Overloaded {
+                        slot,
+                        backlog: b.cap,
+                    });
+                }
+            }
+            let prev = cs.store.remove(key)?;
+            if let Some(b) = cs.backlog.as_mut() {
+                b.ops.push(Op::Remove { key: *key });
+            }
+            Ok(prev)
+        })
     }
 
     /// Applies `f` to the value at `key` under the shard's read lock.
+    /// During a migration this still reads the (fully current) source
+    /// shard — reads never degrade.
     pub fn get_with<R>(&self, key: &[u64; K], f: impl FnOnce(&V) -> R) -> Option<R> {
-        let s = self.router.route(key);
-        self.shards[s].read().unwrap().get(key).map(f)
+        let mut f = Some(f);
+        loop {
+            let inner = self.snapshot();
+            let slot = inner.map.route(key);
+            let cell = inner.cells[slot]
+                .as_ref()
+                .expect("routing map addressed a missing cell");
+            let guard = cell.state.read().unwrap();
+            if cell.retired.load(Ordering::Acquire) {
+                continue;
+            }
+            return guard
+                .store
+                .get(key)
+                .map(|v| (f.take().expect("get retried after completion"))(v));
+        }
     }
 
     /// Whether `key` is present.
@@ -124,7 +609,22 @@ impl<V: ValueCodec + Send + Sync, const K: usize> DurableSharded<V, K> {
 
     /// Total entries across shards (read-committed).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+        let inner = self.snapshot();
+        inner
+            .map
+            .live_slots()
+            .into_iter()
+            .map(|s| {
+                inner.cells[s]
+                    .as_ref()
+                    .expect("live slot without a cell")
+                    .state
+                    .read()
+                    .unwrap()
+                    .store
+                    .len()
+            })
+            .sum()
     }
 
     /// Whether the store holds no entries.
@@ -133,69 +633,375 @@ impl<V: ValueCodec + Send + Sync, const K: usize> DurableSharded<V, K> {
     }
 
     /// Collects all entries in the window `[min, max]`, in global
-    /// Z-order. Shards outside the window are pruned by the router's
-    /// mask walk and never locked.
-    pub fn query(&self, min: &[u64; K], max: &[u64; K]) -> Vec<([u64; K], V)>
-    where
-        V: Clone,
-    {
-        let mut out = Vec::new();
-        for s in self.router.matching_shards(min, max) {
-            let guard = self.shards[s].read().unwrap();
-            out.extend(guard.tree().query(min, max).map(|(k, v)| (k, v.clone())));
+    /// Z-order. Shards outside the window are pruned by the routing
+    /// map's mask walk and never locked; a split committing mid-scan
+    /// is detected (retired cell) and the query re-runs on the new
+    /// epoch.
+    pub fn query(&self, min: &[u64; K], max: &[u64; K]) -> Vec<([u64; K], V)> {
+        'retry: loop {
+            let inner = self.snapshot();
+            let mut out = Vec::new();
+            for s in inner.map.matching_shards(min, max) {
+                let cell = inner.cells[s].as_ref().expect("live slot without a cell");
+                let guard = cell.state.read().unwrap();
+                if cell.retired.load(Ordering::Acquire) {
+                    continue 'retry;
+                }
+                out.extend(
+                    guard
+                        .store
+                        .tree()
+                        .query(min, max)
+                        .map(|(k, v)| (k, v.clone())),
+                );
+            }
+            return out;
         }
-        out
     }
 
-    /// Checkpoints every shard (snapshot + WAL rotation) in parallel.
-    /// Returns per-shard generation numbers.
-    pub fn checkpoint_all(&self) -> Result<Vec<u64>, StoreError> {
+    /// Per-shard statistics (slot ids, entry counts, epoch) shaped
+    /// like [`crate::ShardStats`] minus the in-memory-only counters —
+    /// this is what the rebalancer's skew watch reads.
+    pub fn stats(&self) -> crate::ShardStats {
+        let inner = self.snapshot();
+        let live_slots = inner.map.live_slots();
+        let per_shard: Vec<usize> = live_slots
+            .iter()
+            .map(|&s| {
+                inner.cells[s]
+                    .as_ref()
+                    .expect("live slot without a cell")
+                    .state
+                    .read()
+                    .unwrap()
+                    .store
+                    .len()
+            })
+            .collect();
+        crate::ShardStats {
+            shards: inner.map.shards(),
+            threads: 0,
+            entries: per_shard.iter().sum(),
+            per_shard,
+            live_slots,
+            epoch: inner.map.epoch(),
+            shards_scanned: 0,
+            shards_pruned: 0,
+        }
+    }
+
+    /// Checkpoints every live shard (snapshot + WAL rotation) in
+    /// parallel. Returns `(slot, new_generation)` per shard.
+    ///
+    /// Shards checkpoint independently — each shard's snapshot+WAL
+    /// pair stays self-consistent no matter which other shards
+    /// advanced — and the routing manifest is **not** touched, so a
+    /// failure on one shard can never publish topology past broken
+    /// data. On failure, the first failing shard is reported with its
+    /// slot ([`ShardError::Checkpoint`]); other shards may or may not
+    /// have advanced, which is safe, and a subsequent reopen recovers
+    /// every shard from whatever generation it reached.
+    pub fn checkpoint_all(&self) -> Result<Vec<(usize, u64)>, ShardError> {
+        let inner = self.snapshot();
+        let live = inner.map.live_slots();
         let mut gens: Vec<Option<Result<u64, StoreError>>> =
-            (0..self.shards.len()).map(|_| None).collect();
+            (0..live.len()).map(|_| None).collect();
         std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(self.shards.len());
-            for cell in self.shards.iter() {
-                handles.push(scope.spawn(move || cell.write().unwrap().checkpoint()));
+            let mut handles = Vec::with_capacity(live.len());
+            for &slot in &live {
+                let cell = Arc::clone(inner.cells[slot].as_ref().expect("live slot"));
+                handles.push(scope.spawn(move || cell.state.write().unwrap().store.checkpoint()));
             }
-            for (slot, h) in gens.iter_mut().zip(handles) {
-                *slot = Some(h.join().expect("checkpoint thread panicked"));
+            for (out, h) in gens.iter_mut().zip(handles) {
+                *out = Some(h.join().expect("checkpoint thread panicked"));
             }
         });
-        gens.into_iter().flatten().collect()
+        let mut out = Vec::with_capacity(live.len());
+        for (&slot, r) in live.iter().zip(gens.into_iter().flatten()) {
+            match r {
+                Ok(g) => out.push((slot, g)),
+                Err(source) => return Err(ShardError::Checkpoint { slot, source }),
+            }
+        }
+        Ok(out)
     }
 
-    /// Durability barrier on every shard's WAL.
+    /// Durability barrier on every live shard's WAL.
     pub fn sync_all(&self) -> Result<(), StoreError> {
-        for cell in self.shards.iter() {
-            cell.write().unwrap().sync()?;
+        let inner = self.snapshot();
+        for s in inner.map.live_slots() {
+            inner.cells[s]
+                .as_ref()
+                .expect("live slot without a cell")
+                .state
+                .write()
+                .unwrap()
+                .store
+                .sync()?;
         }
         Ok(())
     }
-}
 
-/// Validates (or, on first open, writes) the shard-count manifest.
-fn check_or_write_manifest(vfs: &dyn Vfs, dir: &Path, shards: usize) -> Result<(), StoreError> {
-    let path = dir.join(MANIFEST_FILE);
-    if vfs.exists(&path) {
-        let mut f = vfs.open(&path)?;
-        let mut buf = [0u8; 12];
-        f.read_exact_at(&mut buf, 0)
-            .map_err(|_| StoreError::from(Corruption::new("sharded manifest truncated")))?;
-        if &buf[..8] != MANIFEST_MAGIC {
-            return Err(Corruption::new("sharded manifest magic mismatch").into());
-        }
-        let stored = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
-        if stored != shards {
-            return Err(Corruption::new("shard count differs from manifest").into());
-        }
-        return Ok(());
+    /// Splits the live shard `slot` into `2^bits` children — prepare,
+    /// copy, and commit in one call (see the module docs for the
+    /// protocol and its crash windows). Reads and writes to every
+    /// shard, including `slot`, keep flowing throughout; only backlog
+    /// overflow on `slot` sheds.
+    pub fn split_shard(&self, slot: usize, bits: u32) -> Result<SplitReport, ShardError> {
+        let pending = self.begin_split(slot, bits)?;
+        self.commit_split(pending)
     }
-    let mut f = vfs.create(&path)?;
-    let mut buf = [0u8; 12];
-    buf[..8].copy_from_slice(MANIFEST_MAGIC);
-    buf[8..12].copy_from_slice(&(shards as u32).to_le_bytes());
-    f.write_all_at(&buf, 0)?;
-    f.sync_all()?;
-    vfs.sync_dir(dir)?;
-    Ok(())
+
+    /// Phases 1–2 of a split: persists the migration record (atomic
+    /// manifest write), takes the freeze-point snapshot of `slot`
+    /// under a brief write lock, arms the write backlog, and builds
+    /// the `2^bits` children as durable generation-0 stores. On return
+    /// the split is fully prepared but not committed: recovery at this
+    /// point rolls it back.
+    pub fn begin_split(
+        &self,
+        slot: usize,
+        bits: u32,
+    ) -> Result<PendingSplit<'_, V, K>, ShardError> {
+        let mut gate = self.split_gate.lock().unwrap();
+        let inner = self.snapshot();
+        let cell = inner
+            .cells
+            .get(slot)
+            .and_then(|c| c.as_ref())
+            .filter(|c| !c.retired.load(Ordering::Acquire))
+            .cloned()
+            .ok_or(ShardError::UnknownSlot { slot })
+            .inspect_err(|_| self.reb_metrics.split_failures.inc())?;
+        let (map2, child_slots) = inner
+            .map
+            .split(slot, bits)
+            .inspect_err(|_| self.reb_metrics.split_failures.inc())?;
+
+        // Phase 1 — prepare: persist the migration record before any
+        // child bytes exist, so every later crash finds the record and
+        // knows what to scrub.
+        *gate += 1;
+        let prepared = Manifest {
+            map: (*inner.map).clone(),
+            gen: *gate,
+            migration: Some(MigrationRecord {
+                src: slot as u32,
+                bits,
+                children: child_slots.iter().map(|&c| c as u32).collect(),
+            }),
+        };
+        if let Err(e) = write_manifest(self.vfs.as_ref(), &self.dir, &prepared) {
+            self.reb_metrics.split_failures.inc();
+            return Err(e.into());
+        }
+        self.reb_metrics.migration_inflight.add(1);
+
+        // Freeze point: under the cell's write lock, snapshot the tree
+        // and arm the backlog. Every write ordered after this lock
+        // release lands in the backlog (or sheds); everything before
+        // is in the snapshot. The lock is held only for the O(n)
+        // clone, not the rebuild.
+        let snap = {
+            let mut cs = cell.state.write().unwrap();
+            debug_assert!(cs.backlog.is_none(), "split gate admitted two migrations");
+            cs.backlog = Some(Backlog {
+                ops: Vec::new(),
+                cap: self.backlog_cap.load(Ordering::Relaxed),
+            });
+            cs.store.tree().clone()
+        };
+
+        // Phase 2 — copy: partition the frozen snapshot by the
+        // successor map and build each child as a durable generation-0
+        // store (snapshot written atomically, fresh WAL). No locks
+        // held: reads and writes keep flowing.
+        let migrated = snap.len();
+        let base = child_slots[0];
+        let mut parts: Vec<Vec<([u64; K], V)>> =
+            (0..child_slots.len()).map(|_| Vec::new()).collect();
+        for (k, v) in snap.iter() {
+            parts[map2.route(&k) - base].push((k, v.clone()));
+        }
+        drop(snap);
+        let mut children = Vec::with_capacity(child_slots.len());
+        for (i, part) in parts.into_iter().enumerate() {
+            let d = shard_dir(&self.dir, base + i);
+            match Durable::create_with_tree(
+                Arc::clone(&self.vfs),
+                &d,
+                PhTree::bulk_load(part),
+                self.config.clone(),
+            ) {
+                Ok(c) => children.push(c),
+                Err(e) => {
+                    // Build failed: roll back in place (same steps
+                    // recovery would take) and disarm the backlog.
+                    self.rollback_in_place(&cell, &child_slots, &inner.map, &mut gate);
+                    self.reb_metrics.split_failures.inc();
+                    return Err(e.into());
+                }
+            }
+        }
+        Ok(PendingSplit {
+            _gate: gate,
+            src: slot,
+            map2,
+            child_slots,
+            children,
+            migrated,
+        })
+    }
+
+    /// Phase 3 of a split: under the source's write lock, drains the
+    /// backlog into the children's WALs, syncs them, then atomically
+    /// rewrites the manifest with the successor map — the commit point
+    /// — and installs the new routing epoch. On any error before the
+    /// manifest rename the split rolls back in place (children
+    /// scrubbed, backlog disarmed, record cleared); acknowledged
+    /// writes are in the source's WAL either way.
+    pub fn commit_split(&self, pending: PendingSplit<'_, V, K>) -> Result<SplitReport, ShardError> {
+        let PendingSplit {
+            mut _gate,
+            src,
+            map2,
+            child_slots,
+            mut children,
+            migrated,
+        } = pending;
+        let inner = self.snapshot();
+        let cell = Arc::clone(inner.cells[src].as_ref().expect("pending split src cell"));
+        let mut cs = cell.state.write().unwrap();
+        let backlog = cs
+            .backlog
+            .take()
+            .expect("pending split lost its backlog")
+            .ops;
+        let drained = backlog.len();
+        let base = child_slots[0];
+        let drain = || -> Result<(), StoreError> {
+            for op in backlog {
+                match op {
+                    Op::Insert { key, value } => {
+                        children[map2.route(&key) - base].insert(key, value)?;
+                    }
+                    Op::Remove { key } => {
+                        children[map2.route(&key) - base].remove(&key)?;
+                    }
+                }
+            }
+            if !self.config.sync_writes {
+                for c in children.iter_mut() {
+                    c.sync()?;
+                }
+            }
+            Ok(())
+        };
+        if let Err(e) = drain() {
+            drop(cs);
+            self.rollback_in_place(&cell, &child_slots, &inner.map, &mut _gate);
+            self.reb_metrics.split_failures.inc();
+            return Err(e.into());
+        }
+
+        // Commit point: one atomic rename flips recovery from
+        // "roll back to source" to "serve from children".
+        *_gate += 1;
+        let committed = Manifest {
+            map: map2.clone(),
+            gen: *_gate,
+            migration: None,
+        };
+        if let Err(e) = write_manifest(self.vfs.as_ref(), &self.dir, &committed) {
+            drop(cs);
+            self.rollback_in_place(&cell, &child_slots, &inner.map, &mut _gate);
+            self.reb_metrics.split_failures.inc();
+            return Err(e.into());
+        }
+
+        // Install the new epoch while still holding the source's write
+        // lock, then retire it: waiters wake, see retired, re-route.
+        let epoch = map2.epoch();
+        let mut cells = inner.cells.clone();
+        cells.resize(map2.slot_bound(), None);
+        cells[src] = None;
+        for (i, child) in children.into_iter().enumerate() {
+            cells[base + i] = Some(Arc::new(DurCell {
+                retired: AtomicBool::new(false),
+                state: RwLock::new(DurCellState {
+                    store: child,
+                    backlog: None,
+                }),
+            }));
+        }
+        *self.state.write().unwrap() = Arc::new(DurInner {
+            map: Arc::new(map2),
+            cells,
+        });
+        cell.retired.store(true, Ordering::Release);
+        drop(cs);
+
+        // The source directory is now unreferenced; scrub best-effort
+        // (a crash here just leaves garbage bytes).
+        scrub_shard_dir(self.vfs.as_ref(), &shard_dir(&self.dir, src));
+
+        self.reb_metrics.migration_inflight.add(-1);
+        self.reb_metrics.splits.inc();
+        self.reb_metrics.migrated_entries.add(migrated as u64);
+        self.reb_metrics.backlog_drained.add(drained as u64);
+        self.reb_metrics.routing_epoch.set(epoch as i64);
+        Ok(SplitReport {
+            src,
+            children: child_slots,
+            migrated,
+            backlog_drained: drained,
+            epoch,
+        })
+    }
+
+    /// Abandons a prepared split: scrubs the children, disarms the
+    /// backlog, clears the manifest record. The store is back in the
+    /// pre-migration state with every acknowledged write intact.
+    pub fn abort_split(&self, pending: PendingSplit<'_, V, K>) -> Result<(), ShardError> {
+        let PendingSplit {
+            mut _gate,
+            src,
+            child_slots,
+            children,
+            ..
+        } = pending;
+        drop(children);
+        let inner = self.snapshot();
+        let cell = Arc::clone(inner.cells[src].as_ref().expect("pending split src cell"));
+        self.rollback_in_place(&cell, &child_slots, &inner.map, &mut _gate);
+        Ok(())
+    }
+
+    /// Shared rollback: scrub child files, clear the migration record
+    /// (best-effort — recovery redoes both if the VFS is already
+    /// dead), disarm the backlog. Ordering matters: files first, then
+    /// the record, so a crash between the two re-runs the scrub.
+    fn rollback_in_place(
+        &self,
+        cell: &Arc<DurCell<V, K>>,
+        child_slots: &[usize],
+        old_map: &ShardMap<K>,
+        gate: &mut u64,
+    ) {
+        for &c in child_slots {
+            scrub_shard_dir(self.vfs.as_ref(), &shard_dir(&self.dir, c));
+        }
+        *gate += 1;
+        let _ = write_manifest(
+            self.vfs.as_ref(),
+            &self.dir,
+            &Manifest {
+                map: old_map.clone(),
+                gen: *gate,
+                migration: None,
+            },
+        );
+        cell.state.write().unwrap().backlog = None;
+        self.reb_metrics.migration_inflight.add(-1);
+    }
 }

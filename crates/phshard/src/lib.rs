@@ -20,6 +20,12 @@
 //!   write-ahead log in `base/shard-NNN/`, so journaling never
 //!   serialises across shards and crash recovery replays all shards in
 //!   parallel.
+//! * Both layers **split hot shards online**: [`ShardMap`] is a routing
+//!   trie that deepens one leaf's Z-prefix into `2^bits` children while
+//!   serving continues, and the durable layer makes the migration
+//!   crash-safe with a two-phase manifest commit (see
+//!   `phshard::durable` module docs). A [`Rebalancer`] watches per-shard
+//!   skew and fires splits by [`RebalancePolicy`].
 //!
 //! ## Consistency model
 //!
@@ -44,17 +50,23 @@
 #![warn(missing_docs)]
 
 mod durable;
+mod epoch;
+mod error;
 mod merge;
 mod metrics;
 mod pool;
+mod rebalance;
 mod route;
 mod sharded;
 
-pub use durable::{DurableSharded, MANIFEST_FILE};
+pub use durable::{DurableSharded, PendingSplit, DEFAULT_BACKLOG_CAP, MANIFEST_FILE};
+pub use epoch::{ShardMap, MAX_DEPTH};
+pub use error::ShardError;
 pub use metrics::PoolMetrics;
 pub use pool::WorkerPool;
+pub use rebalance::{RebalancePolicy, Rebalancer, SkewReport, Splittable};
 pub use route::{Router, MAX_SHARDS};
-pub use sharded::{ShardStats, ShardedTree};
+pub use sharded::{ShardStats, ShardedTree, SplitReport};
 
 /// The consistency guarantee of an operation on a sharded tree.
 ///

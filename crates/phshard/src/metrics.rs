@@ -25,6 +25,22 @@
 //! * `phshard_pool_task_panics_total` — jobs that panicked (caught;
 //!   the worker survives).
 //! * `phshard_pool_busy_ns_total` — cumulative worker busy time.
+//!
+//! Rebalancing instruments (`phshard_rebalance_*` and friends):
+//!
+//! * `phshard_rebalance_splits_total` — committed hot-shard splits.
+//! * `phshard_rebalance_split_failures_total` — splits that errored
+//!   (store failure, depth/count ceiling, lost race).
+//! * `phshard_rebalance_shed_total` — writes shed with `Overloaded`
+//!   because a migrating slot's backlog was full.
+//! * `phshard_rebalance_migrated_entries_total` — entries copied into
+//!   child shards by splits.
+//! * `phshard_rebalance_backlog_drained_total` — backlogged writes
+//!   replayed onto children at commit.
+//! * `phshard_routing_epoch` — current routing epoch (gauge; bumps on
+//!   every committed split).
+//! * `phshard_migration_inflight` — migrations currently in progress
+//!   (gauge; 0 or 1 per slot, splits are serialised).
 
 use phmetrics::{Counter, Gauge, Histogram, OpTimer, Registry};
 
@@ -118,6 +134,48 @@ impl ShardMetrics {
     pub(crate) fn add_shard_ops(&self, s: usize, n: u64) {
         if let Some(c) = self.per_shard_ops.get(s) {
             c.add(n);
+        }
+    }
+}
+
+/// Instruments emitted by the online-rebalancing machinery
+/// ([`crate::ShardedTree::split_shard`],
+/// [`crate::DurableSharded::split_shard`], and the write-shedding
+/// path). Disabled handles are no-ops, so the transitions are
+/// instrumented unconditionally.
+#[derive(Clone)]
+pub(crate) struct RebalanceMetrics {
+    pub(crate) splits: Counter,
+    pub(crate) split_failures: Counter,
+    pub(crate) shed: Counter,
+    pub(crate) migrated_entries: Counter,
+    pub(crate) backlog_drained: Counter,
+    pub(crate) routing_epoch: Gauge,
+    pub(crate) migration_inflight: Gauge,
+}
+
+impl RebalanceMetrics {
+    pub(crate) fn disabled() -> Self {
+        RebalanceMetrics {
+            splits: Counter::noop(),
+            split_failures: Counter::noop(),
+            shed: Counter::noop(),
+            migrated_entries: Counter::noop(),
+            backlog_drained: Counter::noop(),
+            routing_epoch: Gauge::noop(),
+            migration_inflight: Gauge::noop(),
+        }
+    }
+
+    pub(crate) fn new(reg: &Registry) -> Self {
+        RebalanceMetrics {
+            splits: reg.counter("phshard_rebalance_splits_total"),
+            split_failures: reg.counter("phshard_rebalance_split_failures_total"),
+            shed: reg.counter("phshard_rebalance_shed_total"),
+            migrated_entries: reg.counter("phshard_rebalance_migrated_entries_total"),
+            backlog_drained: reg.counter("phshard_rebalance_backlog_drained_total"),
+            routing_epoch: reg.gauge("phshard_routing_epoch"),
+            migration_inflight: reg.gauge("phshard_migration_inflight"),
         }
     }
 }

@@ -1,0 +1,290 @@
+//! Skew-driven rebalancing: watch per-shard load, split the hot shard.
+//!
+//! The policy layer is pure — [`RebalancePolicy::pick`] maps a
+//! [`SkewReport`] to "split this slot" or "do nothing", and is tested
+//! without any tree. The mechanism layer ([`Splittable`]) is the split
+//! entry point the in-memory and durable stores already expose. The
+//! [`Rebalancer`] glues them on a background thread: sample stats,
+//! consult the policy, fire `split_hot`, repeat — every transition
+//! surfaced through the `phshard_rebalance_*` instruments the split
+//! paths record.
+
+use crate::error::ShardError;
+use crate::sharded::{ShardStats, SplitReport};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A point-in-time view of per-shard load, as consumed by
+/// [`RebalancePolicy::pick`]. Obtainable from
+/// [`crate::ShardedTree::stats`] / [`crate::DurableSharded::stats`]
+/// via `From<&ShardStats>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewReport {
+    /// Routing epoch the sample was taken at.
+    pub epoch: u64,
+    /// Total entries across shards.
+    pub entries: usize,
+    /// `(slot, entries)` per live shard.
+    pub per_slot: Vec<(usize, usize)>,
+}
+
+impl From<&ShardStats> for SkewReport {
+    fn from(s: &ShardStats) -> Self {
+        SkewReport {
+            epoch: s.epoch,
+            entries: s.entries,
+            per_slot: s
+                .live_slots
+                .iter()
+                .copied()
+                .zip(s.per_shard.iter().copied())
+                .collect(),
+        }
+    }
+}
+
+impl SkewReport {
+    /// Max-to-mean load ratio, the same statistic as
+    /// [`ShardStats::skew`]: 1.0 is perfectly even, `shards` is
+    /// everything on one shard. An empty tree reports 1.0.
+    pub fn skew(&self) -> f64 {
+        if self.entries == 0 || self.per_slot.is_empty() {
+            return 1.0;
+        }
+        let max = self.per_slot.iter().map(|&(_, n)| n).max().unwrap_or(0);
+        let mean = self.entries as f64 / self.per_slot.len() as f64;
+        max as f64 / mean
+    }
+
+    /// The most loaded `(slot, entries)`, if any shard is non-empty.
+    pub fn hottest(&self) -> Option<(usize, usize)> {
+        self.per_slot
+            .iter()
+            .copied()
+            .filter(|&(_, n)| n > 0)
+            .max_by_key(|&(_, n)| n)
+    }
+}
+
+/// When to split, and how deep. All thresholds are conservative by
+/// default: a split copies the shard, so firing on noise is worse than
+/// waiting a round.
+#[derive(Debug, Clone)]
+pub struct RebalancePolicy {
+    /// Minimum [`SkewReport::skew`] before any split fires (default
+    /// 2.0: the hot shard carries at least twice the mean).
+    pub max_skew: f64,
+    /// Minimum entries in the hot shard (default 1024): splitting a
+    /// tiny shard buys nothing and burns a migration.
+    pub min_entries: usize,
+    /// Z-bits to deepen per split: `2^bits` children (default 1).
+    /// `bits = K` splits one full hypercube level into `2^K` children.
+    pub split_bits: u32,
+    /// Stop splitting once the live shard count reaches this (default
+    /// [`crate::MAX_SHARDS`]).
+    pub max_shards: usize,
+    /// How often the [`Rebalancer`] samples stats (default 100 ms).
+    pub interval: Duration,
+}
+
+impl Default for RebalancePolicy {
+    fn default() -> Self {
+        RebalancePolicy {
+            max_skew: 2.0,
+            min_entries: 1024,
+            split_bits: 1,
+            max_shards: crate::MAX_SHARDS,
+            interval: Duration::from_millis(100),
+        }
+    }
+}
+
+impl RebalancePolicy {
+    /// Pure decision function: the slot to split, or `None`. Fires only
+    /// when the skew threshold, the hot-shard size floor, and the
+    /// shard-count ceiling all allow it.
+    pub fn pick(&self, report: &SkewReport) -> Option<usize> {
+        if report.per_slot.len() + (1usize << self.split_bits) - 1 > self.max_shards {
+            return None;
+        }
+        if report.skew() < self.max_skew {
+            return None;
+        }
+        let (slot, n) = report.hottest()?;
+        (n >= self.min_entries).then_some(slot)
+    }
+}
+
+/// A store the [`Rebalancer`] can watch and split. Implemented by
+/// [`crate::ShardedTree`] and [`crate::DurableSharded`].
+pub trait Splittable: Send + Sync {
+    /// Samples current per-shard load.
+    fn skew_report(&self) -> SkewReport;
+    /// Splits `slot` into `2^bits` children (online; serving
+    /// continues).
+    fn split_hot(&self, slot: usize, bits: u32) -> Result<SplitReport, ShardError>;
+}
+
+impl<V: Clone + Send + Sync + 'static, const K: usize> Splittable for crate::ShardedTree<V, K> {
+    fn skew_report(&self) -> SkewReport {
+        SkewReport::from(&self.stats())
+    }
+
+    fn split_hot(&self, slot: usize, bits: u32) -> Result<SplitReport, ShardError> {
+        self.split_shard(slot, bits)
+    }
+}
+
+impl<V, const K: usize> Splittable for crate::DurableSharded<V, K>
+where
+    V: phstore::ValueCodec + Clone + Send + Sync,
+{
+    fn skew_report(&self) -> SkewReport {
+        SkewReport::from(&self.stats())
+    }
+
+    fn split_hot(&self, slot: usize, bits: u32) -> Result<SplitReport, ShardError> {
+        self.split_shard(slot, bits)
+    }
+}
+
+struct Shared {
+    stop: Mutex<bool>,
+    wake: Condvar,
+}
+
+/// Background thread that samples a [`Splittable`]'s load every
+/// [`RebalancePolicy::interval`] and splits the hot shard whenever the
+/// policy fires. Stop (and join) with [`Rebalancer::stop`]; dropping
+/// without stopping also shuts the thread down.
+pub struct Rebalancer {
+    shared: Arc<Shared>,
+    handle: Option<JoinHandle<Vec<SplitReport>>>,
+}
+
+impl Rebalancer {
+    /// Starts watching `target` under `policy`.
+    pub fn spawn<T: Splittable + 'static>(target: Arc<T>, policy: RebalancePolicy) -> Self {
+        let shared = Arc::new(Shared {
+            stop: Mutex::new(false),
+            wake: Condvar::new(),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("phshard-rebalancer".into())
+            .spawn(move || {
+                let mut reports = Vec::new();
+                let mut stop = thread_shared.stop.lock().unwrap();
+                while !*stop {
+                    let (guard, _) = thread_shared
+                        .wake
+                        .wait_timeout(stop, policy.interval)
+                        .unwrap();
+                    stop = guard;
+                    if *stop {
+                        break;
+                    }
+                    let report = target.skew_report();
+                    if let Some(slot) = policy.pick(&report) {
+                        // Losing a race (slot retired by a manual
+                        // split) or hitting a ceiling is routine —
+                        // the next sample re-decides on fresh state.
+                        if let Ok(r) = target.split_hot(slot, policy.split_bits) {
+                            reports.push(r);
+                        }
+                    }
+                }
+                reports
+            })
+            .expect("spawn rebalancer thread");
+        Rebalancer {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signals the thread to stop and joins it, returning every split
+    /// it committed.
+    pub fn stop(mut self) -> Vec<SplitReport> {
+        self.signal_stop();
+        self.handle
+            .take()
+            .expect("rebalancer already stopped")
+            .join()
+            .expect("rebalancer thread panicked")
+    }
+
+    fn signal_stop(&self) {
+        *self.shared.stop.lock().unwrap() = true;
+        self.shared.wake.notify_all();
+    }
+}
+
+impl Drop for Rebalancer {
+    fn drop(&mut self) {
+        if let Some(h) = self.handle.take() {
+            self.signal_stop();
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(per_slot: &[(usize, usize)]) -> SkewReport {
+        SkewReport {
+            epoch: 0,
+            entries: per_slot.iter().map(|&(_, n)| n).sum(),
+            per_slot: per_slot.to_vec(),
+        }
+    }
+
+    #[test]
+    fn pick_fires_on_skewed_hot_shard() {
+        let p = RebalancePolicy {
+            min_entries: 100,
+            ..RebalancePolicy::default()
+        };
+        let r = report(&[(0, 1000), (1, 10), (2, 10), (3, 10)]);
+        assert!(r.skew() > 2.0);
+        assert_eq!(p.pick(&r), Some(0));
+    }
+
+    #[test]
+    fn pick_respects_skew_threshold_and_size_floor() {
+        let p = RebalancePolicy {
+            min_entries: 100,
+            ..RebalancePolicy::default()
+        };
+        // Even load: skew 1.0, no split.
+        assert_eq!(p.pick(&report(&[(0, 50), (1, 50), (2, 50), (3, 50)])), None);
+        // Skewed but tiny: below the size floor.
+        assert_eq!(p.pick(&report(&[(0, 40), (1, 1), (2, 1), (3, 1)])), None);
+    }
+
+    #[test]
+    fn pick_respects_shard_ceiling() {
+        let p = RebalancePolicy {
+            min_entries: 1,
+            max_shards: 4,
+            ..RebalancePolicy::default()
+        };
+        assert_eq!(p.pick(&report(&[(0, 1000), (1, 1), (2, 1), (3, 1)])), None);
+        let roomy = RebalancePolicy { max_shards: 8, ..p };
+        assert_eq!(
+            roomy.pick(&report(&[(0, 1000), (1, 1), (2, 1), (3, 1)])),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn empty_report_is_unskewed() {
+        let r = report(&[]);
+        assert_eq!(r.skew(), 1.0);
+        assert_eq!(r.hottest(), None);
+        assert_eq!(RebalancePolicy::default().pick(&r), None);
+    }
+}

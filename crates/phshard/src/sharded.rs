@@ -1,13 +1,14 @@
 //! The concurrent, sharded PH-tree.
 
+use crate::epoch::ShardMap;
+use crate::error::ShardError;
 use crate::merge::merge_nearest;
-use crate::metrics::{PoolMetrics, ShardMetrics};
+use crate::metrics::{PoolMetrics, RebalanceMetrics, ShardMetrics};
 use crate::pool::WorkerPool;
-use crate::route::Router;
 use phmetrics::Registry;
 use phtree::PhTree;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// A boxed fan-out task as submitted to the worker pool.
 type Task<R> = Box<dyn FnOnce() -> R + Send>;
@@ -15,9 +16,12 @@ type Task<R> = Box<dyn FnOnce() -> R + Send>;
 type Entry<V, const K: usize> = ([u64; K], V);
 /// A kNN hit: key, cloned value, distance.
 type Scored<V, const K: usize> = ([u64; K], V, f64);
+/// Labeled fan-out tasks, one per matching shard; `Err(())` signals a
+/// cell retired mid-scan and the whole operation retries.
+type ShardScan<T> = Vec<(String, Task<Result<Vec<T>, ()>>)>;
 
 /// Per-instance statistics (see [`ShardedTree::stats`]).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShardStats {
     /// Number of shards.
     pub shards: usize,
@@ -25,8 +29,14 @@ pub struct ShardStats {
     pub threads: usize,
     /// Total entries across all shards.
     pub entries: usize,
-    /// Entry count per shard (routing balance diagnostic).
+    /// Entry count per shard, aligned with [`ShardStats::live_slots`]
+    /// (routing balance diagnostic).
     pub per_shard: Vec<usize>,
+    /// Live slot ids in Z-order of their regions (uniform maps:
+    /// `0..shards`).
+    pub live_slots: Vec<usize>,
+    /// Routing epoch: 0 until the first committed split.
+    pub epoch: u64,
     /// Shards visited by window queries since construction.
     pub shards_scanned: u64,
     /// Shards skipped by prefix-mask pruning since construction.
@@ -47,26 +57,81 @@ impl ShardStats {
         let mean = self.entries as f64 / self.per_shard.len() as f64;
         max as f64 / mean
     }
+
+    /// The live slot with the most entries, `(slot, entries)`. `None`
+    /// when empty.
+    pub fn hottest(&self) -> Option<(usize, usize)> {
+        self.live_slots
+            .iter()
+            .copied()
+            .zip(self.per_shard.iter().copied())
+            .filter(|&(_, n)| n > 0)
+            .max_by_key(|&(_, n)| n)
+    }
+}
+
+/// Outcome of a committed hot-shard split (see
+/// [`ShardedTree::split_shard`] / `DurableSharded::split_shard`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitReport {
+    /// The retired parent slot.
+    pub src: usize,
+    /// Freshly allocated child slots, in Z-order of their regions.
+    pub children: Vec<usize>,
+    /// Entries moved from the parent into the children.
+    pub migrated: usize,
+    /// Backlogged writes replayed onto children at commit (always 0
+    /// for the in-memory tree, whose split is atomic under the shard
+    /// lock).
+    pub backlog_drained: usize,
+    /// Routing epoch after the split.
+    pub epoch: u64,
+}
+
+/// One shard's storage cell. `retired` flips (under the cell's write
+/// lock) when a committed split moves the slot's data elsewhere; a
+/// thread that locked the cell through a stale routing snapshot must
+/// re-route instead of operating on it.
+struct MemCell<V, const K: usize> {
+    retired: AtomicBool,
+    tree: RwLock<PhTree<V, K>>,
+}
+
+/// An immutable routing snapshot: the map plus the slot-indexed cell
+/// table it addresses. Swapped wholesale (behind `Arc`) on every
+/// committed split, so readers see map and cells move together.
+struct MemInner<V, const K: usize> {
+    map: Arc<ShardMap<K>>,
+    cells: Vec<Option<Arc<MemCell<V, K>>>>,
 }
 
 /// A key-space-partitioned concurrent PH-tree.
 ///
-/// Keys are routed to one of `S` shards by the first `log2 S` bits of
-/// their Z-order interleaving ([`Router`]), so each shard owns an
-/// axis-aligned hypercube prefix region. Single-key operations lock
-/// exactly one shard; window queries prune non-intersecting shards
-/// with the paper's `mL`/`mU` masks and fan the survivors out across a
-/// std-only worker pool. See [`crate::Consistency`] for the guarantees.
+/// Keys are routed to shards by a prefix of their Z-order interleaving
+/// ([`ShardMap`]), so each shard owns an axis-aligned hypercube prefix
+/// region. Single-key operations lock exactly one shard; window
+/// queries prune non-intersecting shards with the paper's `mL`/`mU`
+/// masks and fan the survivors out across a std-only worker pool. See
+/// [`crate::Consistency`] for the guarantees.
+///
+/// The routing topology is *versioned*: [`ShardedTree::split_shard`]
+/// deepens one hot shard's prefix into `2^bits` children without
+/// touching any other shard, installing a new routing epoch. Threads
+/// holding the previous epoch's snapshot detect the retired cell under
+/// its lock and re-route — no operation ever lands on moved data.
 ///
 /// All methods take `&self`; the structure is `Send + Sync` and meant
 /// to be shared (e.g. in an `Arc`) across server threads.
 pub struct ShardedTree<V, const K: usize> {
-    shards: Arc<[RwLock<PhTree<V, K>>]>,
-    router: Router<K>,
+    state: RwLock<Arc<MemInner<V, K>>>,
+    /// Serialises splits: at most one topology change in flight, so a
+    /// split sees a stable map between planning and install.
+    split_gate: Mutex<()>,
     pool: WorkerPool,
     scanned: AtomicU64,
     pruned: AtomicU64,
     metrics: ShardMetrics,
+    reb_metrics: RebalanceMetrics,
 }
 
 impl<V, const K: usize> ShardedTree<V, K> {
@@ -89,21 +154,25 @@ impl<V, const K: usize> ShardedTree<V, K> {
             threads,
             ShardMetrics::disabled(),
             PoolMetrics::disabled(),
+            RebalanceMetrics::disabled(),
         )
     }
 
     /// A sharded tree whose operations record into `registry`: per-op
     /// counters and latency histograms, per-shard routing counters,
-    /// query fan-out / kNN merge widths, and the fan-out pool's queue
-    /// depth, busy time and panic count (see `phshard_*` in the crate's
-    /// instrument catalogue). Trees built without a registry carry
-    /// no-op handles — recording is then a branch on a null `Option`.
+    /// query fan-out / kNN merge widths, rebalance transitions
+    /// (`phshard_rebalance_*`, `phshard_routing_epoch`), and the
+    /// fan-out pool's queue depth, busy time and panic count (see
+    /// `phshard_*` in the crate's instrument catalogue). Trees built
+    /// without a registry carry no-op handles — recording is then a
+    /// branch on a null `Option`.
     pub fn with_metrics(shards: usize, threads: usize, registry: &Registry) -> Self {
         Self::build(
             shards,
             threads,
             ShardMetrics::new(registry, shards),
             PoolMetrics::from_registry(registry),
+            RebalanceMetrics::new(registry),
         )
     }
 
@@ -112,37 +181,94 @@ impl<V, const K: usize> ShardedTree<V, K> {
         threads: usize,
         metrics: ShardMetrics,
         pool_metrics: PoolMetrics,
+        reb_metrics: RebalanceMetrics,
     ) -> Self {
-        let router = Router::new(shards);
-        let shards: Arc<[RwLock<PhTree<V, K>>]> =
-            (0..shards).map(|_| RwLock::new(PhTree::new())).collect();
+        let map = ShardMap::uniform(shards);
+        let cells = (0..shards)
+            .map(|_| {
+                Some(Arc::new(MemCell {
+                    retired: AtomicBool::new(false),
+                    tree: RwLock::new(PhTree::new()),
+                }))
+            })
+            .collect();
         ShardedTree {
-            shards,
-            router,
+            state: RwLock::new(Arc::new(MemInner {
+                map: Arc::new(map),
+                cells,
+            })),
+            split_gate: Mutex::new(()),
             pool: WorkerPool::with_metrics(threads, pool_metrics),
             scanned: AtomicU64::new(0),
             pruned: AtomicU64::new(0),
             metrics,
+            reb_metrics,
         }
     }
 
-    /// The routing function (shard id, shard boxes, query pruning).
-    pub fn router(&self) -> &Router<K> {
-        &self.router
+    fn snapshot(&self) -> Arc<MemInner<V, K>> {
+        Arc::clone(&self.state.read().unwrap())
     }
 
-    /// The shard that owns `key`.
+    /// The current routing snapshot (shard ids, shard boxes, query
+    /// pruning). A split installed after this call does not change the
+    /// returned map — re-call to observe the new epoch.
+    pub fn router(&self) -> Arc<ShardMap<K>> {
+        Arc::clone(&self.snapshot().map)
+    }
+
+    /// The slot that currently owns `key`.
     pub fn shard_of(&self, key: &[u64; K]) -> usize {
-        self.router.route(key)
+        self.snapshot().map.route(key)
+    }
+
+    /// Routes `key` and locks its live cell for writing: the
+    /// retired-cell retry loop. Re-snapshots whenever the locked cell
+    /// turns out to have been retired by a concurrent split commit.
+    fn with_cell_write<R>(
+        &self,
+        key: &[u64; K],
+        mut f: impl FnMut(usize, &mut PhTree<V, K>) -> R,
+    ) -> R {
+        loop {
+            let inner = self.snapshot();
+            let slot = inner.map.route(key);
+            let cell = inner.cells[slot]
+                .as_ref()
+                .expect("routing map addressed a missing cell");
+            let mut guard = cell.tree.write().unwrap();
+            if cell.retired.load(Ordering::Acquire) {
+                continue; // split committed while we waited for the lock
+            }
+            return f(slot, &mut guard);
+        }
+    }
+
+    /// Read-lock variant of [`ShardedTree::with_cell_write`].
+    fn with_cell_read<R>(&self, key: &[u64; K], mut f: impl FnMut(usize, &PhTree<V, K>) -> R) -> R {
+        loop {
+            let inner = self.snapshot();
+            let slot = inner.map.route(key);
+            let cell = inner.cells[slot]
+                .as_ref()
+                .expect("routing map addressed a missing cell");
+            let guard = cell.tree.read().unwrap();
+            if cell.retired.load(Ordering::Acquire) {
+                continue;
+            }
+            return f(slot, &guard);
+        }
     }
 
     /// Inserts `key` → `value`; returns the previous value, if any.
     /// Locks only the owning shard (linearizable per key).
     pub fn insert(&self, key: [u64; K], value: V) -> Option<V> {
         let t = self.metrics.insert.start();
-        let s = self.router.route(&key);
-        self.metrics.add_shard_ops(s, 1);
-        let out = self.shards[s].write().unwrap().insert(key, value);
+        let mut value = Some(value);
+        let out = self.with_cell_write(&key, |slot, tree| {
+            self.metrics.add_shard_ops(slot, 1);
+            tree.insert(key, value.take().expect("insert retried after success"))
+        });
         self.metrics.insert.finish(t);
         out
     }
@@ -150,9 +276,10 @@ impl<V, const K: usize> ShardedTree<V, K> {
     /// Removes `key`; returns its value, if present.
     pub fn remove(&self, key: &[u64; K]) -> Option<V> {
         let t = self.metrics.remove.start();
-        let s = self.router.route(key);
-        self.metrics.add_shard_ops(s, 1);
-        let out = self.shards[s].write().unwrap().remove(key);
+        let out = self.with_cell_write(key, |slot, tree| {
+            self.metrics.add_shard_ops(slot, 1);
+            tree.remove(key)
+        });
         self.metrics.remove.finish(t);
         out
     }
@@ -161,9 +288,12 @@ impl<V, const K: usize> ShardedTree<V, K> {
     /// the zero-copy point read.
     pub fn get_with<R>(&self, key: &[u64; K], f: impl FnOnce(&V) -> R) -> Option<R> {
         let t = self.metrics.get.start();
-        let s = self.router.route(key);
-        self.metrics.add_shard_ops(s, 1);
-        let out = self.shards[s].read().unwrap().get(key).map(f);
+        let mut f = Some(f);
+        let out = self.with_cell_read(key, |slot, tree| {
+            self.metrics.add_shard_ops(slot, 1);
+            tree.get(key)
+                .map(|v| (f.take().expect("get retried after success"))(v))
+        });
         self.metrics.get.finish(t);
         out
     }
@@ -176,12 +306,31 @@ impl<V, const K: usize> ShardedTree<V, K> {
     /// Total entries (sums shard lengths; read-committed across
     /// shards).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+        self.live_cells()
+            .into_iter()
+            .map(|(_, c)| c.tree.read().unwrap().len())
+            .sum()
     }
 
     /// Whether the tree holds no entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Live `(slot, cell)` pairs in Z-order of their regions.
+    fn live_cells(&self) -> Vec<(usize, Arc<MemCell<V, K>>)> {
+        let inner = self.snapshot();
+        inner
+            .map
+            .live_slots()
+            .into_iter()
+            .map(|s| {
+                (
+                    s,
+                    Arc::clone(inner.cells[s].as_ref().expect("live slot without a cell")),
+                )
+            })
+            .collect()
     }
 
     /// Counts entries in the window `[min, max]` without materialising
@@ -190,38 +339,58 @@ impl<V, const K: usize> ShardedTree<V, K> {
     /// for).
     pub fn query_count(&self, min: &[u64; K], max: &[u64; K]) -> usize {
         let t = self.metrics.query_count.start();
-        let matching = self.router.matching_shards(min, max);
-        self.note_pruning(matching.len());
-        self.metrics.fanout.record(matching.len() as u64);
-        let out = matching
-            .into_iter()
-            .map(|s| self.shards[s].read().unwrap().query(min, max).count())
-            .sum();
+        let out = 'retry: loop {
+            let inner = self.snapshot();
+            let matching = inner.map.matching_shards(min, max);
+            self.note_pruning(inner.map.shards(), matching.len());
+            self.metrics.fanout.record(matching.len() as u64);
+            let mut sum = 0usize;
+            for s in matching {
+                let cell = inner.cells[s].as_ref().expect("live slot without a cell");
+                let guard = cell.tree.read().unwrap();
+                if cell.retired.load(Ordering::Acquire) {
+                    continue 'retry;
+                }
+                sum += guard.query(min, max).count();
+            }
+            break sum;
+        };
         self.metrics.query_count.finish(t);
         out
     }
 
-    /// Snapshot of shard sizes and pruning counters.
+    /// Snapshot of shard sizes, routing epoch and pruning counters.
     pub fn stats(&self) -> ShardStats {
-        let per_shard: Vec<usize> = self
-            .shards
+        let inner = self.snapshot();
+        let live_slots = inner.map.live_slots();
+        let per_shard: Vec<usize> = live_slots
             .iter()
-            .map(|s| s.read().unwrap().len())
+            .map(|&s| {
+                inner.cells[s]
+                    .as_ref()
+                    .expect("live slot without a cell")
+                    .tree
+                    .read()
+                    .unwrap()
+                    .len()
+            })
             .collect();
         ShardStats {
-            shards: self.shards.len(),
+            shards: inner.map.shards(),
             threads: self.pool.threads(),
             entries: per_shard.iter().sum(),
             per_shard,
+            live_slots,
+            epoch: inner.map.epoch(),
             shards_scanned: self.scanned.load(Ordering::Relaxed),
             shards_pruned: self.pruned.load(Ordering::Relaxed),
         }
     }
 
-    fn note_pruning(&self, matched: usize) {
+    fn note_pruning(&self, shards: usize, matched: usize) {
         self.scanned.fetch_add(matched as u64, Ordering::Relaxed);
         self.pruned
-            .fetch_add((self.shards.len() - matched) as u64, Ordering::Relaxed);
+            .fetch_add((shards - matched) as u64, Ordering::Relaxed);
     }
 }
 
@@ -237,35 +406,50 @@ impl<V: Clone + Send + Sync + 'static, const K: usize> ShardedTree<V, K> {
     /// corners), in global Z-order.
     ///
     /// Shards whose prefix region is disjoint from the window are
-    /// pruned by the router's mask walk and never locked; the
+    /// pruned by the routing map's mask walk and never locked; the
     /// surviving shards are scanned in parallel on the worker pool.
-    /// Because shard ids are Z-order prefixes, concatenating per-shard
-    /// results in shard order yields exactly the order a single
-    /// unsharded tree's query iterator produces.
+    /// Because shard regions are Z-order prefixes and
+    /// [`ShardMap::matching_shards`] yields them in Z-order,
+    /// concatenating per-shard results yields exactly the order a
+    /// single unsharded tree's query iterator produces. A split
+    /// committing mid-scan retires a cell; the query detects it and
+    /// re-runs against the new epoch, so results are never torn.
     pub fn query(&self, min: &[u64; K], max: &[u64; K]) -> Vec<([u64; K], V)> {
         let t = self.metrics.query.start();
-        let matching = self.router.matching_shards(min, max);
-        self.note_pruning(matching.len());
-        self.metrics.fanout.record(matching.len() as u64);
-        let (min, max) = (*min, *max);
-        let tasks: Vec<(String, Task<Vec<Entry<V, K>>>)> = matching
-            .into_iter()
-            .map(|s| {
-                let shards = Arc::clone(&self.shards);
-                let task = Box::new(move || {
-                    let guard = shards[s].read().unwrap();
-                    guard
-                        .query(&min, &max)
-                        .map(|(k, v)| (k, v.clone()))
-                        .collect()
-                }) as Box<dyn FnOnce() -> Vec<([u64; K], V)> + Send>;
-                (format!("query:shard-{s}"), task)
-            })
-            .collect();
-        let mut out = Vec::new();
-        for chunk in self.pool.scatter_labeled(tasks) {
-            out.extend(chunk);
-        }
+        let out = loop {
+            let inner = self.snapshot();
+            let matching = inner.map.matching_shards(min, max);
+            self.note_pruning(inner.map.shards(), matching.len());
+            self.metrics.fanout.record(matching.len() as u64);
+            let (min, max) = (*min, *max);
+            let tasks: ShardScan<Entry<V, K>> = matching
+                .into_iter()
+                .map(|s| {
+                    let cell =
+                        Arc::clone(inner.cells[s].as_ref().expect("live slot without a cell"));
+                    let task = Box::new(move || {
+                        let guard = cell.tree.read().unwrap();
+                        if cell.retired.load(Ordering::Acquire) {
+                            return Err(());
+                        }
+                        Ok(guard
+                            .query(&min, &max)
+                            .map(|(k, v)| (k, v.clone()))
+                            .collect())
+                    }) as Task<Result<Vec<Entry<V, K>>, ()>>;
+                    (format!("query:shard-{s}"), task)
+                })
+                .collect();
+            let chunks = self.pool.scatter_labeled(tasks);
+            if chunks.iter().any(Result::is_err) {
+                continue; // a split landed mid-scan: retry on the new epoch
+            }
+            let mut out = Vec::new();
+            for chunk in chunks {
+                out.extend(chunk.expect("checked above"));
+            }
+            break out;
+        };
         self.metrics.query.finish(t);
         out
     }
@@ -273,35 +457,47 @@ impl<V: Clone + Send + Sync + 'static, const K: usize> ShardedTree<V, K> {
     /// The `n` entries nearest to `center` under integer Euclidean
     /// distance, nearest first, as `(key, value, distance)`.
     ///
-    /// Every non-empty shard answers its local kNN in parallel; the
-    /// global result is a bounded k-way heap merge of the per-shard
-    /// lists (each already sorted), stopping after `n` results.
+    /// Every live shard answers its local kNN in parallel; the global
+    /// result is a bounded k-way heap merge of the per-shard lists
+    /// (each already sorted), stopping after `n` results.
     pub fn knn(&self, center: &[u64; K], n: usize) -> Vec<([u64; K], V, f64)> {
         if n == 0 {
             return Vec::new();
         }
         let t = self.metrics.knn.start();
-        let center = *center;
-        let tasks: Vec<(String, Task<Vec<Scored<V, K>>>)> = (0..self.shards.len())
-            .map(|s| {
-                let shards = Arc::clone(&self.shards);
-                let task = Box::new(move || {
-                    let guard = shards[s].read().unwrap();
-                    guard
-                        .knn(&center, n)
-                        .into_iter()
-                        .map(|nb| (nb.key, nb.value.clone(), nb.dist))
-                        .collect()
+        let out = loop {
+            let center = *center;
+            let tasks: ShardScan<Scored<V, K>> = self
+                .live_cells()
+                .into_iter()
+                .map(|(s, cell)| {
+                    let task = Box::new(move || {
+                        let guard = cell.tree.read().unwrap();
+                        if cell.retired.load(Ordering::Acquire) {
+                            return Err(());
+                        }
+                        Ok(guard
+                            .knn(&center, n)
+                            .into_iter()
+                            .map(|nb| (nb.key, nb.value.clone(), nb.dist))
+                            .collect())
+                    }) as Task<Result<Vec<Scored<V, K>>, ()>>;
+                    (format!("knn:shard-{s}"), task)
                 })
-                    as Box<dyn FnOnce() -> Vec<([u64; K], V, f64)> + Send>;
-                (format!("knn:shard-{s}"), task)
-            })
-            .collect();
-        let lists = self.pool.scatter_labeled(tasks);
-        self.metrics
-            .merge_candidates
-            .record(lists.iter().map(Vec::len).sum::<usize>() as u64);
-        let out = merge_nearest(lists, n, |e| e.2);
+                .collect();
+            let lists = self.pool.scatter_labeled(tasks);
+            if lists.iter().any(Result::is_err) {
+                continue;
+            }
+            let lists: Vec<Vec<Scored<V, K>>> = lists
+                .into_iter()
+                .map(|l| l.expect("checked above"))
+                .collect();
+            self.metrics
+                .merge_candidates
+                .record(lists.iter().map(Vec::len).sum::<usize>() as u64);
+            break merge_nearest(lists, n, |e| e.2);
+        };
         self.metrics.knn.finish(t);
         out
     }
@@ -312,46 +508,133 @@ impl<V: Clone + Send + Sync + 'static, const K: usize> ShardedTree<V, K> {
     /// [`PhTree::bulk_load`]'s O(n) bottom-up builder (the ingest fast
     /// path); a non-empty shard falls back to per-key inserts. Returns
     /// the number of *new* keys (duplicates overwrite, like
-    /// [`ShardedTree::insert`]).
+    /// [`ShardedTree::insert`]). Partitions whose cell retires
+    /// mid-load come back untouched and are re-routed through the new
+    /// epoch.
     pub fn bulk_load(&self, items: Vec<([u64; K], V)>) -> usize {
         let t = self.metrics.bulk_load.start();
-        let mut parts: Vec<Vec<([u64; K], V)>> =
-            (0..self.shards.len()).map(|_| Vec::new()).collect();
-        for (key, value) in items {
-            parts[self.router.route(&key)].push((key, value));
-        }
-        let tasks: Vec<(String, Box<dyn FnOnce() -> usize + Send>)> = parts
-            .into_iter()
-            .enumerate()
-            .filter(|(_, p)| !p.is_empty())
-            .map(|(s, part)| {
-                self.metrics.add_shard_ops(s, part.len() as u64);
-                let shards = Arc::clone(&self.shards);
-                let task = Box::new(move || {
-                    let mut guard = shards[s].write().unwrap();
-                    if guard.is_empty() {
-                        // Bottom-up bulk build: every key in the
-                        // partition is new (duplicates within the batch
-                        // collapse last-write-wins, same as the insert
-                        // loop below).
-                        *guard = PhTree::bulk_load(part);
-                        guard.len()
-                    } else {
-                        let mut new = 0usize;
-                        for (k, v) in part {
-                            if guard.insert(k, v).is_none() {
-                                new += 1;
-                            }
+        let mut pending = items;
+        let mut new_total = 0usize;
+        while !pending.is_empty() {
+            let inner = self.snapshot();
+            let bound = inner.map.slot_bound();
+            let mut parts: Vec<Vec<([u64; K], V)>> = (0..bound).map(|_| Vec::new()).collect();
+            for (key, value) in pending.drain(..) {
+                parts[inner.map.route(&key)].push((key, value));
+            }
+            type LoadOut<V, const K: usize> = Result<usize, Vec<([u64; K], V)>>;
+            let tasks: Vec<(String, Task<LoadOut<V, K>>)> = parts
+                .into_iter()
+                .enumerate()
+                .filter(|(_, p)| !p.is_empty())
+                .map(|(s, part)| {
+                    self.metrics.add_shard_ops(s, part.len() as u64);
+                    let cell =
+                        Arc::clone(inner.cells[s].as_ref().expect("live slot without a cell"));
+                    let task = Box::new(move || {
+                        let mut guard = cell.tree.write().unwrap();
+                        if cell.retired.load(Ordering::Acquire) {
+                            return Err(part); // re-route under the new epoch
                         }
-                        new
-                    }
-                }) as Box<dyn FnOnce() -> usize + Send>;
-                (format!("bulk_load:shard-{s}"), task)
-            })
-            .collect();
-        let out = self.pool.scatter_labeled(tasks).into_iter().sum();
+                        if guard.is_empty() {
+                            // Bottom-up bulk build: every key in the
+                            // partition is new (duplicates within the
+                            // batch collapse last-write-wins, same as
+                            // the insert loop below).
+                            *guard = PhTree::bulk_load(part);
+                            Ok(guard.len())
+                        } else {
+                            let mut new = 0usize;
+                            for (k, v) in part {
+                                if guard.insert(k, v).is_none() {
+                                    new += 1;
+                                }
+                            }
+                            Ok(new)
+                        }
+                    }) as Task<LoadOut<V, K>>;
+                    (format!("bulk_load:shard-{s}"), task)
+                })
+                .collect();
+            for r in self.pool.scatter_labeled(tasks) {
+                match r {
+                    Ok(n) => new_total += n,
+                    Err(part) => pending.extend(part),
+                }
+            }
+        }
         self.metrics.bulk_load.finish(t);
-        out
+        new_total
+    }
+
+    /// Splits the live shard `slot` into `2^bits` children, deepening
+    /// its Z-prefix — the in-memory half of online rebalancing.
+    ///
+    /// The parent's entries are partitioned by the successor routing
+    /// map and rebuilt into the children via [`PhTree::bulk_load`]
+    /// under the parent's write lock, so the split is atomic: every
+    /// other shard stays fully available throughout, and operations
+    /// already waiting on the parent re-route to the children the
+    /// moment the lock releases (the retired-cell retry). Splits are
+    /// serialised with each other; the routing epoch increments by
+    /// one.
+    pub fn split_shard(&self, slot: usize, bits: u32) -> Result<SplitReport, ShardError> {
+        let _gate = self.split_gate.lock().unwrap();
+        let inner = self.snapshot();
+        let cell = inner
+            .cells
+            .get(slot)
+            .and_then(|c| c.as_ref())
+            .filter(|c| !c.retired.load(Ordering::Acquire))
+            .ok_or(ShardError::UnknownSlot { slot })
+            .inspect_err(|_| self.reb_metrics.split_failures.inc())?;
+        // The gate guarantees no other split runs, so the map we
+        // derive from is the one we install over.
+        let (map2, children) = inner
+            .map
+            .split(slot, bits)
+            .inspect_err(|_| self.reb_metrics.split_failures.inc())?;
+        self.reb_metrics.migration_inflight.add(1);
+
+        let mut guard = cell.tree.write().unwrap();
+        let tree = std::mem::replace(&mut *guard, PhTree::new());
+        let migrated = tree.len();
+        let base = children[0];
+        let mut parts: Vec<Vec<([u64; K], V)>> = (0..children.len()).map(|_| Vec::new()).collect();
+        for (k, v) in tree.iter() {
+            parts[map2.route(&k) - base].push((k, v.clone()));
+        }
+        let mut cells = inner.cells.clone();
+        cells.resize(map2.slot_bound(), None);
+        cells[slot] = None;
+        for (i, part) in parts.into_iter().enumerate() {
+            cells[base + i] = Some(Arc::new(MemCell {
+                retired: AtomicBool::new(false),
+                tree: RwLock::new(PhTree::bulk_load(part)),
+            }));
+        }
+        let epoch = map2.epoch();
+        *self.state.write().unwrap() = Arc::new(MemInner {
+            map: Arc::new(map2),
+            cells,
+        });
+        // Retire *after* the successor state is visible, still under
+        // the parent's write lock: a waiter waking on the lock sees
+        // retired=true and its retry finds the new epoch.
+        cell.retired.store(true, Ordering::Release);
+        drop(guard);
+
+        self.reb_metrics.migration_inflight.add(-1);
+        self.reb_metrics.splits.inc();
+        self.reb_metrics.migrated_entries.add(migrated as u64);
+        self.reb_metrics.routing_epoch.set(epoch as i64);
+        Ok(SplitReport {
+            src: slot,
+            children,
+            migrated,
+            backlog_drained: 0,
+            epoch,
+        })
     }
 }
 

@@ -114,6 +114,7 @@ fn durable_sharded_recovers_all_shards() {
     let cfg = DurableConfig {
         checkpoint_bytes: 1 << 14, // force some checkpoints
         sync_writes: false,
+        retry: None,
     };
     let n = 1_000u64;
     {
@@ -158,6 +159,7 @@ fn durable_sharded_checkpoint_and_reopen() {
     let cfg = DurableConfig {
         checkpoint_bytes: u64::MAX, // manual checkpoints only
         sync_writes: false,
+        retry: None,
     };
     {
         let store: DurableSharded<String, 3> =
@@ -167,7 +169,7 @@ fn durable_sharded_checkpoint_and_reopen() {
         }
         let gens = store.checkpoint_all().unwrap();
         assert_eq!(gens.len(), 2);
-        assert!(gens.iter().all(|&g| g >= 1));
+        assert!(gens.iter().all(|&(_, g)| g >= 1));
     }
     let store: DurableSharded<String, 3> = DurableSharded::open_with(vfs, dir, 2, cfg).unwrap();
     assert_eq!(store.len(), 200);

@@ -1,0 +1,437 @@
+//! Crash-point sweep over an **in-flight shard migration**.
+//!
+//! The central test runs a deterministic script — writes, then
+//! `begin_split` on the hot shard, writes *during* the migration
+//! (which backlog), `commit_split`, writes after — under a
+//! [`FaultVfs`] that cuts the write stream at a given byte budget,
+//! then reopens the surviving bytes fault-free and asserts the
+//! recovered store holds **exactly** the model state after the
+//! acknowledged ops (or one more, for an op that became durable inside
+//! the call that crashed): no lost writes, no duplicated or phantom
+//! keys, at every single crash offset. Companion tests kill the
+//! manifest renames and syncs that fence the protocol's phases.
+//!
+//! By default the sweep strides across the byte space so it stays
+//! fast enough for PR CI; set `MIGRATION_SWEEP_FULL=1` to cut at
+//! every byte (the nightly configuration).
+
+use phshard::{DurableSharded, ShardError};
+use phstore::vfs::{FaultConfig, FaultVfs, MemVfs};
+use phstore::DurableConfig;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+type Key = [u64; 2];
+type Model = BTreeMap<Key, u32>;
+
+/// Ops 0..PRE run before `begin_split`, PRE..MID while the migration
+/// is in flight (they journal to the source *and* queue on the
+/// backlog), MID.. after `commit_split` (routed by the new epoch).
+const PRE: usize = 12;
+const MID: usize = 22;
+const N_OPS: usize = 30;
+
+fn config() -> DurableConfig {
+    DurableConfig {
+        checkpoint_bytes: u64::MAX, // no auto checkpoints: byte stream stays small
+        sync_writes: true,
+        retry: None,
+    }
+}
+
+/// Deterministic workload, concentrated on slot 0 (dim-0 MSB clear) so
+/// slot 0 is the hot shard, with a few slot-1 keys and removes mixed
+/// in. Values are distinct so a stale overwrite is detectable.
+fn workload() -> Vec<(bool, Key, u32)> {
+    let mut x = 0x2545_F491_4F6C_DD1Du64;
+    let mut ops = Vec::with_capacity(N_OPS);
+    for i in 0..N_OPS {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        // 1 in 4 keys lands on slot 1; the rest heat up slot 0.
+        let hi = if x.is_multiple_of(4) { 1u64 << 63 } else { 0 };
+        let key = [hi | ((x >> 16) % 16), (x >> 40) % 16];
+        // Removes only after enough inserts exist to hit something.
+        let is_remove = i > 6 && x.is_multiple_of(5);
+        ops.push((is_remove, key, i as u32));
+    }
+    ops
+}
+
+fn apply_model(model: &mut Model, op: &(bool, Key, u32)) {
+    let (is_remove, key, value) = *op;
+    if is_remove {
+        model.remove(&key);
+    } else {
+        model.insert(key, value);
+    }
+}
+
+/// `states[n]` = model after the first `n` ops.
+fn model_states(ops: &[(bool, Key, u32)]) -> Vec<Model> {
+    let mut states = vec![Model::new()];
+    let mut model = Model::new();
+    for op in ops {
+        apply_model(&mut model, op);
+        states.push(model.clone());
+    }
+    states
+}
+
+fn store_equals_model(store: &DurableSharded<u32, 2>, model: &Model) -> bool {
+    store.len() == model.len()
+        && model
+            .iter()
+            .all(|(k, &v)| store.get_with(k, |got| *got) == Some(v))
+}
+
+/// Runs the script on `store`, splitting slot 0 between phases.
+/// Returns how many data ops were acknowledged (split calls are not
+/// data ops — their effects are content-neutral by construction).
+fn run_script(store: &DurableSharded<u32, 2>, ops: &[(bool, Key, u32)]) -> usize {
+    let mut acked = 0usize;
+    let do_op = |op: &(bool, Key, u32)| -> Result<(), ShardError> {
+        let (is_remove, key, value) = *op;
+        if is_remove {
+            store.remove(&key)?;
+        } else {
+            store.insert(key, value)?;
+        }
+        Ok(())
+    };
+    for op in &ops[..PRE] {
+        if do_op(op).is_err() {
+            return acked;
+        }
+        acked += 1;
+    }
+    let pending = store.begin_split(0, 1).ok();
+    for op in &ops[PRE..MID] {
+        if do_op(op).is_err() {
+            // The VFS is dead; still drive the commit/rollback path so
+            // the sweep covers its failure handling too.
+            if let Some(p) = pending {
+                let _ = store.commit_split(p);
+            }
+            return acked;
+        }
+        acked += 1;
+    }
+    if let Some(p) = pending {
+        let _ = store.commit_split(p);
+    }
+    for op in &ops[MID..] {
+        if do_op(op).is_err() {
+            return acked;
+        }
+        acked += 1;
+    }
+    acked
+}
+
+/// Fault-free reference run: asserts the script itself is sound and
+/// measures the total byte stream (the sweep space).
+fn reference_run() -> (Vec<Model>, u64) {
+    let ops = workload();
+    let states = model_states(&ops);
+    let mem = MemVfs::new();
+    let probe = FaultVfs::new(Arc::new(mem.clone()), FaultConfig::default());
+    let store: DurableSharded<u32, 2> =
+        DurableSharded::open_with(Arc::new(probe.clone()), Path::new("/db"), 2, config()).unwrap();
+    let acked = run_script(&store, &ops);
+    assert_eq!(acked, ops.len(), "reference run must ack everything");
+    assert!(store.epoch() > 0, "reference run must commit the split");
+    assert_eq!(store.shards(), 3, "slot 0 split into two children");
+    assert!(store_equals_model(&store, &states[N_OPS]));
+    drop(store);
+    // And the post-split state must survive a plain reopen.
+    let reopened: DurableSharded<u32, 2> =
+        DurableSharded::open_with(Arc::new(mem), Path::new("/db"), 2, config()).unwrap();
+    assert!(reopened.epoch() > 0);
+    assert!(store_equals_model(&reopened, &states[N_OPS]));
+    (states, probe.bytes_written())
+}
+
+/// THE sweep: cut the full write stream (WALs, snapshots, manifests —
+/// everything) at byte offsets across the whole migration, recover,
+/// and check the recovered contents are exactly a model state.
+#[test]
+fn migration_crash_sweep() {
+    let (states, total_bytes) = reference_run();
+    assert!(total_bytes > 2_000, "sweep space too small: {total_bytes}");
+    let ops = workload();
+    let full = std::env::var("MIGRATION_SWEEP_FULL").is_ok_and(|v| v == "1");
+    let stride = if full { 1 } else { (total_bytes / 192).max(1) };
+
+    let mut rolled_back = 0u32;
+    let mut committed = 0u32;
+    let mut budget = 0u64;
+    while budget <= total_bytes {
+        // -- Crash phase: run the script until the injected cut.
+        let mem = MemVfs::new();
+        let faulty = FaultVfs::new(
+            Arc::new(mem.clone()),
+            FaultConfig {
+                write_budget: Some(budget),
+                ..Default::default()
+            },
+        );
+        let acked = match DurableSharded::<u32, 2>::open_with(
+            Arc::new(faulty),
+            Path::new("/db"),
+            2,
+            config(),
+        ) {
+            Err(_) => 0, // crashed while creating the initial store
+            Ok(store) => run_script(&store, &ops),
+        };
+
+        // -- Recovery phase: reopen the surviving bytes, fault-free.
+        let store =
+            DurableSharded::<u32, 2>::open_with(Arc::new(mem), Path::new("/db"), 2, config())
+                .unwrap_or_else(|e| panic!("budget {budget}: recovery must not fail: {e}"));
+        if store.rolled_back_migration() {
+            rolled_back += 1;
+        }
+        if store.epoch() > 0 {
+            committed += 1;
+        }
+        // Deterministic landing: pre-migration state (rollback) or
+        // post-migration state (commit), never in between — and in
+        // both, exactly the acknowledged ops (or one more that became
+        // durable inside the crashing call). Never fewer: no lost
+        // acks. Never other keys: no duplicated or phantom entries.
+        let candidates = [acked, (acked + 1).min(ops.len())];
+        assert!(
+            candidates
+                .iter()
+                .any(|&n| store_equals_model(&store, &states[n])),
+            "budget {budget}: recovered state diverged (acked {acked}, epoch {})",
+            store.epoch()
+        );
+        budget += stride;
+    }
+    // The sweep must actually exercise both recovery outcomes.
+    assert!(rolled_back > 0, "sweep never rolled a migration back");
+    assert!(committed > 0, "sweep never recovered a committed split");
+}
+
+/// Kill the manifest *renames* that fence the protocol: the prepare
+/// record, the commit point, and the rollback each publish via one
+/// atomic rename. A failed rename must leave the previous manifest
+/// fully in force.
+#[test]
+fn migration_rename_kill_lands_pre_or_post() {
+    let ops = workload();
+    let states = model_states(&ops);
+    let mut crashes = 0u32;
+    for rename_budget in 0..8u64 {
+        let mem = MemVfs::new();
+        let faulty = FaultVfs::new(
+            Arc::new(mem.clone()),
+            FaultConfig {
+                target: Some("phshard.meta".into()),
+                rename_budget: Some(rename_budget),
+                ..Default::default()
+            },
+        );
+        let acked = match DurableSharded::<u32, 2>::open_with(
+            Arc::new(faulty.clone()),
+            Path::new("/db"),
+            2,
+            config(),
+        ) {
+            Err(_) => 0,
+            Ok(store) => run_script(&store, &ops),
+        };
+        if faulty.crashed() {
+            crashes += 1;
+        }
+        let store =
+            DurableSharded::<u32, 2>::open_with(Arc::new(mem), Path::new("/db"), 2, config())
+                .unwrap_or_else(|e| panic!("rename budget {rename_budget}: recovery failed: {e}"));
+        let candidates = [acked, (acked + 1).min(ops.len())];
+        assert!(
+            candidates
+                .iter()
+                .any(|&n| store_equals_model(&store, &states[n])),
+            "rename budget {rename_budget}: diverged (acked {acked})"
+        );
+    }
+    assert!(crashes >= 2, "budgets never hit the manifest renames");
+}
+
+/// Kill manifest fsyncs: same deterministic landing guarantee.
+#[test]
+fn migration_sync_kill_lands_pre_or_post() {
+    let ops = workload();
+    let states = model_states(&ops);
+    let mut crashes = 0u32;
+    for sync_budget in 0..8u64 {
+        let mem = MemVfs::new();
+        let faulty = FaultVfs::new(
+            Arc::new(mem.clone()),
+            FaultConfig {
+                target: Some("phshard.meta".into()),
+                sync_budget: Some(sync_budget),
+                ..Default::default()
+            },
+        );
+        let acked = match DurableSharded::<u32, 2>::open_with(
+            Arc::new(faulty.clone()),
+            Path::new("/db"),
+            2,
+            config(),
+        ) {
+            Err(_) => 0,
+            Ok(store) => run_script(&store, &ops),
+        };
+        if faulty.crashed() {
+            crashes += 1;
+        }
+        let store =
+            DurableSharded::<u32, 2>::open_with(Arc::new(mem), Path::new("/db"), 2, config())
+                .unwrap_or_else(|e| panic!("sync budget {sync_budget}: recovery failed: {e}"));
+        let candidates = [acked, (acked + 1).min(ops.len())];
+        assert!(
+            candidates
+                .iter()
+                .any(|&n| store_equals_model(&store, &states[n])),
+            "sync budget {sync_budget}: diverged (acked {acked})"
+        );
+    }
+    assert!(crashes >= 2, "budgets never hit the manifest syncs");
+}
+
+/// Crash confined to the *children* being built: writes to
+/// `shard-002`/`shard-003` are a re-derivable copy, so the split
+/// aborts in place (no process death needed — the source VFS is
+/// healthy) and the store keeps serving the pre-split topology with
+/// nothing lost.
+#[test]
+fn child_build_failure_aborts_split_in_place() {
+    let ops = workload();
+    let states = model_states(&ops);
+    let mem = MemVfs::new();
+    let faulty = FaultVfs::new(
+        Arc::new(mem.clone()),
+        FaultConfig {
+            target: Some("shard-002".into()),
+            write_budget: Some(64), // tear the first child's snapshot
+            ..Default::default()
+        },
+    );
+    let store: DurableSharded<u32, 2> =
+        DurableSharded::open_with(Arc::new(faulty.clone()), Path::new("/db"), 2, config()).unwrap();
+    for op in &ops[..PRE] {
+        let (is_remove, key, value) = *op;
+        if is_remove {
+            store.remove(&key).unwrap();
+        } else {
+            store.insert(key, value).unwrap();
+        }
+    }
+    let err = store.split_shard(0, 1).expect_err("child build must fail");
+    assert!(matches!(err, ShardError::Store(_)), "got {err}");
+    assert_eq!(store.epoch(), 0, "failed split must not commit");
+    // NOTE: FaultVfs is globally dead after the fault, so further
+    // *durable* ops fail — but nothing acknowledged was lost:
+    drop(store);
+    let store =
+        DurableSharded::<u32, 2>::open_with(Arc::new(mem), Path::new("/db"), 2, config()).unwrap();
+    assert_eq!(store.epoch(), 0);
+    assert!(store_equals_model(&store, &states[PRE]));
+    // The in-place rollback could not persist the record-clear (the
+    // faulted VFS was already dead), so recovery finished the job.
+    assert!(store.rolled_back_migration());
+}
+
+/// Satellite (a): a failed per-shard checkpoint reports a typed
+/// [`ShardError::Checkpoint`], never publishes topology past the
+/// broken shard (the manifest is untouched by checkpoints), and a
+/// reopen recovers every acknowledged write.
+#[test]
+fn checkpoint_failure_is_typed_and_recoverable() {
+    // Size the budget to clear shard 1's initial empty snapshot but
+    // tear the (larger) snapshot its checkpoint writes.
+    let empty_snapshot_bytes = {
+        let probe_mem = MemVfs::new();
+        let probe = FaultVfs::new(
+            Arc::new(probe_mem),
+            FaultConfig {
+                target: Some("shard-001/snapshot".into()),
+                ..Default::default()
+            },
+        );
+        let _store: DurableSharded<u32, 2> =
+            DurableSharded::open_with(Arc::new(probe.clone()), Path::new("/db"), 4, config())
+                .unwrap();
+        probe.bytes_written()
+    };
+    let mem = MemVfs::new();
+    let manifest_before = {
+        let faulty = FaultVfs::new(
+            Arc::new(mem.clone()),
+            FaultConfig {
+                target: Some("shard-001/snapshot".into()),
+                write_budget: Some(empty_snapshot_bytes + 16),
+                ..Default::default()
+            },
+        );
+        let store: DurableSharded<u32, 2> =
+            DurableSharded::open_with(Arc::new(faulty), Path::new("/db"), 4, config()).unwrap();
+        for i in 0..64u64 {
+            store.insert([(i % 4) << 62 | i, i * 7], i as u32).unwrap();
+        }
+        let manifest_before = mem.read_file(Path::new("/db/phshard.meta")).unwrap();
+        let err = store.checkpoint_all().expect_err("checkpoint must fail");
+        assert!(matches!(err, ShardError::Checkpoint { .. }), "got {err}");
+        manifest_before
+    };
+    // The routing manifest never moves on a checkpoint — success or
+    // failure — so a partial checkpoint cannot publish topology past
+    // the failing shard.
+    assert_eq!(
+        mem.read_file(Path::new("/db/phshard.meta")).unwrap(),
+        manifest_before
+    );
+    // Every shard recovers from whatever generation it reached.
+    let store =
+        DurableSharded::<u32, 2>::open_with(Arc::new(mem), Path::new("/db"), 4, config()).unwrap();
+    assert_eq!(store.len(), 64);
+    for i in 0..64u64 {
+        assert_eq!(
+            store.get_with(&[(i % 4) << 62 | i, i * 7], |v| *v),
+            Some(i as u32)
+        );
+    }
+}
+
+/// A legacy `PHSHARD1` manifest (magic + u32 shard count) opens as the
+/// uniform epoch-0 topology, and the first committed split upgrades it
+/// to v2 on disk.
+#[test]
+fn legacy_manifest_reads_and_upgrades_on_split() {
+    let mem = MemVfs::new();
+    let mut legacy = Vec::new();
+    legacy.extend_from_slice(b"PHSHARD1");
+    legacy.extend_from_slice(&2u32.to_le_bytes());
+    mem.write_file(Path::new("/db/phshard.meta"), legacy);
+    let store: DurableSharded<u32, 2> =
+        DurableSharded::open_with(Arc::new(mem.clone()), Path::new("/db"), 2, config()).unwrap();
+    assert_eq!(store.epoch(), 0);
+    assert_eq!(store.shards(), 2);
+    for i in 0..32u64 {
+        store.insert([i, i], i as u32).unwrap();
+    }
+    store.split_shard(0, 1).unwrap();
+    drop(store);
+    let manifest = mem.read_file(Path::new("/db/phshard.meta")).unwrap();
+    assert_eq!(&manifest[..8], b"PHSHARD2");
+    let store =
+        DurableSharded::<u32, 2>::open_with(Arc::new(mem), Path::new("/db"), 2, config()).unwrap();
+    assert!(store.epoch() > 0);
+    assert_eq!(store.len(), 32);
+}

@@ -36,6 +36,7 @@
 use crate::codec::ValueCodec;
 use crate::error::StoreError;
 use crate::metrics::StoreMetrics;
+use crate::retry::{RetryPolicy, RetryVfs};
 use crate::store::{load_with, save_with, tmp_path};
 use crate::vfs::{StdVfs, Vfs};
 use crate::wal::{self, WalDisposition, WalWriter};
@@ -68,6 +69,13 @@ pub struct DurableConfig {
     /// trades the "every acknowledged op survives" guarantee for
     /// throughput (recovery is still prefix-consistent).
     pub sync_writes: bool,
+    /// When set, wrap the VFS in a [`RetryVfs`] so transient
+    /// sync/rename failures (`EINTR`-shaped: `Interrupted`,
+    /// `WouldBlock`, `TimedOut`) are retried with bounded exponential
+    /// backoff instead of surfacing as store errors. Permanent failures
+    /// — including fault-injected crashes — still surface immediately.
+    /// Default `None` (no retry layer).
+    pub retry: Option<RetryPolicy>,
 }
 
 impl Default for DurableConfig {
@@ -75,6 +83,7 @@ impl Default for DurableConfig {
         DurableConfig {
             checkpoint_bytes: 1 << 20,
             sync_writes: true,
+            retry: None,
         }
     }
 }
@@ -142,6 +151,10 @@ impl<V: ValueCodec, const K: usize> Durable<V, K> {
         config: DurableConfig,
         metrics: StoreMetrics,
     ) -> Result<Self, StoreError> {
+        let vfs: Arc<dyn Vfs> = match &config.retry {
+            Some(policy) => Arc::new(RetryVfs::new(vfs, policy.clone())),
+            None => vfs,
+        };
         vfs.create_dir_all(dir)?;
         let snap = dir.join(SNAPSHOT_FILE);
         let wal_path = dir.join(WAL_FILE);
@@ -239,6 +252,44 @@ impl<V: ValueCodec, const K: usize> Durable<V, K> {
         // semantics on StdVfs and MemVfs alike), so it stays valid
         // across the rename.
         Ok(writer)
+    }
+
+    /// Creates a *new* durable store in `dir` seeded from an
+    /// already-built tree — the migration path for shard splits: the
+    /// child tree is assembled in memory (e.g. via
+    /// [`PhTree::bulk_load`]) and persisted here as a generation-0
+    /// snapshot plus a fresh empty WAL, both written atomically
+    /// (staging file + fsync + rename + directory fsync).
+    ///
+    /// Any existing files in `dir` are overwritten, which makes crashed
+    /// and rolled-back migrations idempotent: re-running the split
+    /// rebuilds the child from scratch.
+    pub fn create_with_tree(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        tree: PhTree<V, K>,
+        config: DurableConfig,
+    ) -> Result<Self, StoreError> {
+        let vfs: Arc<dyn Vfs> = match &config.retry {
+            Some(policy) => Arc::new(RetryVfs::new(vfs, policy.clone())),
+            None => vfs,
+        };
+        vfs.create_dir_all(dir)?;
+        let snap = dir.join(SNAPSHOT_FILE);
+        save_with(vfs.as_ref(), &tree, &snap, 0)?;
+        let mut wal = Self::fresh_wal(vfs.as_ref(), &dir.join(WAL_FILE), 0, &config)?;
+        let metrics = StoreMetrics::disabled();
+        wal.set_metrics(metrics.clone());
+        Ok(Durable {
+            vfs,
+            dir: dir.to_path_buf(),
+            tree,
+            wal,
+            generation: 0,
+            config,
+            recovery: RecoveryStats::default(),
+            metrics,
+        })
     }
 
     /// Inserts `key` → `value`, journaling first. When this returns
@@ -355,6 +406,7 @@ mod tests {
             DurableConfig {
                 checkpoint_bytes,
                 sync_writes: true,
+                retry: None,
             },
         )
         .unwrap()
@@ -453,6 +505,81 @@ mod tests {
         d.checkpoint().unwrap();
         assert!(!vfs.exists(Path::new("/db/snapshot.pht.tmp")));
         assert!(!vfs.exists(Path::new("/db/wal.log.tmp")));
+    }
+
+    #[test]
+    fn create_with_tree_seeds_generation_zero_and_reopens() {
+        let vfs = MemVfs::new();
+        let mut tree: PhTree<u32, 2> = PhTree::new();
+        for i in 0..64u64 {
+            tree.insert([i, i * 2], i as u32);
+        }
+        let mut d = Durable::create_with_tree(
+            Arc::new(vfs.clone()),
+            Path::new("/child"),
+            tree,
+            DurableConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(d.generation(), 0);
+        assert_eq!(d.len(), 64);
+        // The seeded store journals further writes like any other.
+        d.insert([500, 500], 99).unwrap();
+        drop(d);
+        let d: Durable<u32, 2> = Durable::open_with(
+            Arc::new(vfs.clone()),
+            Path::new("/child"),
+            DurableConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(d.len(), 65);
+        assert_eq!(d.get(&[500, 500]), Some(&99));
+        assert_eq!(d.get(&[3, 6]), Some(&3));
+        d.tree().check_invariants();
+    }
+
+    #[test]
+    fn create_with_tree_truncates_previous_contents() {
+        let vfs = MemVfs::new();
+        let mut old: PhTree<u32, 2> = PhTree::new();
+        old.insert([1, 1], 1);
+        drop(Durable::create_with_tree(
+            Arc::new(vfs.clone()),
+            Path::new("/c"),
+            old,
+            DurableConfig::default(),
+        ));
+        let mut fresh: PhTree<u32, 2> = PhTree::new();
+        fresh.insert([2, 2], 2);
+        drop(Durable::create_with_tree(
+            Arc::new(vfs.clone()),
+            Path::new("/c"),
+            fresh,
+            DurableConfig::default(),
+        ));
+        let d: Durable<u32, 2> =
+            Durable::open_with(Arc::new(vfs), Path::new("/c"), DurableConfig::default()).unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.get(&[2, 2]), Some(&2));
+        assert_eq!(d.get(&[1, 1]), None, "old contents must be gone");
+    }
+
+    #[test]
+    fn retry_config_wraps_vfs_transparently() {
+        let vfs = MemVfs::new();
+        let cfg = DurableConfig {
+            retry: Some(crate::retry::RetryPolicy::default()),
+            ..Default::default()
+        };
+        let mut d: Durable<u32, 2> =
+            Durable::open_with(Arc::new(vfs.clone()), Path::new("/db"), cfg.clone()).unwrap();
+        for i in 0..32u64 {
+            d.insert([i, i], i as u32).unwrap();
+        }
+        d.checkpoint().unwrap();
+        drop(d);
+        let d: Durable<u32, 2> = Durable::open_with(Arc::new(vfs), Path::new("/db"), cfg).unwrap();
+        assert_eq!(d.len(), 32);
     }
 
     #[test]

@@ -61,6 +61,7 @@ mod error;
 pub mod metrics;
 pub mod pager;
 pub mod record;
+pub mod retry;
 mod store;
 pub mod vfs;
 pub mod wal;
@@ -69,10 +70,13 @@ pub use codec::ValueCodec;
 pub use durable::{Durable, DurableConfig, RecoveryStats};
 pub use error::{Corruption, StoreError};
 pub use metrics::StoreMetrics;
+pub use retry::{RetryClock, RetryPolicy, RetryVfs, SystemClock, TestClock};
 pub use store::{load, load_with, save, save_with, SaveStats};
 
 /// FNV-1a 64-bit checksum used for header and record integrity.
-pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+/// Public so layers above (e.g. phshard's sharded manifest) can frame
+/// their own small metadata files with the same integrity check.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= b as u64;

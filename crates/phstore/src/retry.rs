@@ -1,0 +1,401 @@
+//! Bounded retry-with-backoff for transient VFS failures.
+//!
+//! Real filesystems occasionally fail `fsync` or `rename` with
+//! *transient* errors (`EINTR`, `EAGAIN`, NFS timeouts) that succeed on
+//! the next attempt. Before this layer, one such blip in the middle of
+//! a checkpoint rotation surfaced as a hard [`crate::StoreError`] even
+//! though the store was perfectly healthy. [`RetryVfs`] wraps any
+//! [`Vfs`] and retries exactly the durability-barrier operations —
+//! `sync_all`, `sync_dir`, `rename` — under a bounded, exponentially
+//! backed-off [`RetryPolicy`].
+//!
+//! Two properties keep this safe and testable:
+//!
+//! * **Only transient errors are retried** ([`is_transient`]):
+//!   `Interrupted`, `WouldBlock` and `TimedOut`. Everything else —
+//!   including the fault injector's simulated crashes, which report as
+//!   `ErrorKind::Other` — surfaces immediately as a typed error, so
+//!   retrying can never mask corruption or spin against a dead disk,
+//!   and the crash-point sweeps see exactly the failures they inject.
+//! * **Time is injected** ([`RetryClock`]): production uses
+//!   [`SystemClock`] (real `thread::sleep`), tests use [`TestClock`],
+//!   which records the requested sleeps without sleeping, so the
+//!   backoff schedule itself is asserted deterministically.
+//!
+//! Reads and writes are deliberately *not* retried: a torn write is a
+//! crash-consistency event the WAL protocol already handles, and
+//! retrying it would re-issue bytes the fault model says were lost.
+
+use crate::vfs::{Vfs, VfsFile};
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Bounded exponential-backoff schedule for transient VFS failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first failure (0 = fail immediately, like an
+    /// unwrapped VFS). Total attempts = `max_retries + 1`.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base_backoff: Duration,
+    /// Ceiling on a single backoff sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff slept before retry number `retry` (0-based):
+    /// `min(base << retry, max)`.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let scaled = self
+            .base_backoff
+            .checked_mul(1u32 << retry.min(20))
+            .unwrap_or(self.max_backoff);
+        scaled.min(self.max_backoff)
+    }
+}
+
+/// Whether an I/O error is worth retrying. Deliberately conservative:
+/// simulated crashes (`Other`), missing files, and corruption-shaped
+/// errors must surface immediately.
+pub fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Source of sleeps for the backoff schedule, injected so tests run in
+/// zero wall-clock time.
+pub trait RetryClock: Send + Sync {
+    /// Blocks (or pretends to block) for `d`.
+    fn sleep(&self, d: Duration);
+}
+
+/// The production clock: real `std::thread::sleep`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SystemClock;
+
+impl RetryClock for SystemClock {
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// A deterministic test clock: records every requested sleep, sleeps
+/// for none of them.
+#[derive(Debug, Default)]
+pub struct TestClock {
+    slept: Mutex<Vec<Duration>>,
+}
+
+impl TestClock {
+    /// A fresh clock with no recorded sleeps.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Every sleep requested so far, in order.
+    pub fn slept(&self) -> Vec<Duration> {
+        self.slept.lock().unwrap().clone()
+    }
+}
+
+impl RetryClock for TestClock {
+    fn sleep(&self, d: Duration) {
+        self.slept.lock().unwrap().push(d);
+    }
+}
+
+fn run_with_retry<T>(
+    policy: &RetryPolicy,
+    clock: &dyn RetryClock,
+    retries_counter: &AtomicU64,
+    mut op: impl FnMut() -> io::Result<T>,
+) -> io::Result<T> {
+    let mut retry = 0u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if is_transient(&e) && retry < policy.max_retries => {
+                clock.sleep(policy.backoff(retry));
+                retries_counter.fetch_add(1, Ordering::Relaxed);
+                retry += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// A [`Vfs`] decorator retrying transient `sync_all` / `sync_dir` /
+/// `rename` failures per a [`RetryPolicy`]. All other operations pass
+/// straight through.
+pub struct RetryVfs {
+    inner: Arc<dyn Vfs>,
+    policy: RetryPolicy,
+    clock: Arc<dyn RetryClock>,
+    retries: Arc<AtomicU64>,
+}
+
+impl RetryVfs {
+    /// Wraps `inner` with the production clock.
+    pub fn new(inner: Arc<dyn Vfs>, policy: RetryPolicy) -> Self {
+        Self::with_clock(inner, policy, Arc::new(SystemClock))
+    }
+
+    /// Wraps `inner` with an explicit clock (tests pass [`TestClock`]).
+    pub fn with_clock(
+        inner: Arc<dyn Vfs>,
+        policy: RetryPolicy,
+        clock: Arc<dyn RetryClock>,
+    ) -> Self {
+        RetryVfs {
+            inner,
+            policy,
+            clock,
+            retries: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Transient failures absorbed (retried) so far, across the VFS and
+    /// every file handle it opened.
+    pub fn retries_absorbed(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+}
+
+struct RetryFile {
+    inner: Box<dyn VfsFile>,
+    policy: RetryPolicy,
+    clock: Arc<dyn RetryClock>,
+    retries: Arc<AtomicU64>,
+}
+
+impl VfsFile for RetryFile {
+    fn read_exact_at(&mut self, buf: &mut [u8], off: u64) -> io::Result<()> {
+        self.inner.read_exact_at(buf, off)
+    }
+
+    fn write_all_at(&mut self, buf: &[u8], off: u64) -> io::Result<()> {
+        self.inner.write_all_at(buf, off)
+    }
+
+    fn len(&mut self) -> io::Result<u64> {
+        self.inner.len()
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.inner.set_len(len)
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        let inner = &mut self.inner;
+        run_with_retry(&self.policy, self.clock.as_ref(), &self.retries, || {
+            inner.sync_all()
+        })
+    }
+}
+
+impl Vfs for RetryVfs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(RetryFile {
+            inner: self.inner.create(path)?,
+            policy: self.policy.clone(),
+            clock: Arc::clone(&self.clock),
+            retries: Arc::clone(&self.retries),
+        }))
+    }
+
+    fn open(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(RetryFile {
+            inner: self.inner.open(path)?,
+            policy: self.policy.clone(),
+            clock: Arc::clone(&self.clock),
+            retries: Arc::clone(&self.retries),
+        }))
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        run_with_retry(&self.policy, self.clock.as_ref(), &self.retries, || {
+            self.inner.rename(from, to)
+        })
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(path)
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        run_with_retry(&self.policy, self.clock.as_ref(), &self.retries, || {
+            self.inner.sync_dir(path)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::MemVfs;
+    use std::sync::atomic::AtomicU32;
+
+    /// Fails the first `fail_n` matched sync/rename calls with `kind`,
+    /// then behaves normally — the shape of a transient blip.
+    struct FlakyVfs {
+        inner: MemVfs,
+        kind: io::ErrorKind,
+        remaining: AtomicU32,
+    }
+
+    impl FlakyVfs {
+        fn new(inner: MemVfs, kind: io::ErrorKind, fail_n: u32) -> Self {
+            FlakyVfs {
+                inner,
+                kind,
+                remaining: AtomicU32::new(fail_n),
+            }
+        }
+
+        fn maybe_fail(&self) -> io::Result<()> {
+            let left = self.remaining.load(Ordering::SeqCst);
+            if left > 0 {
+                self.remaining.store(left - 1, Ordering::SeqCst);
+                return Err(io::Error::new(self.kind, "flaky vfs"));
+            }
+            Ok(())
+        }
+    }
+
+    impl Vfs for FlakyVfs {
+        fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+            self.inner.create(path)
+        }
+        fn open(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+            self.inner.open(path)
+        }
+        fn exists(&self, path: &Path) -> bool {
+            self.inner.exists(path)
+        }
+        fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+            self.maybe_fail()?;
+            self.inner.rename(from, to)
+        }
+        fn remove_file(&self, path: &Path) -> io::Result<()> {
+            self.inner.remove_file(path)
+        }
+        fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+            self.inner.create_dir_all(path)
+        }
+        fn sync_dir(&self, path: &Path) -> io::Result<()> {
+            self.maybe_fail()?;
+            self.inner.sync_dir(path)
+        }
+    }
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn transient_rename_is_retried_with_recorded_backoff() {
+        let mem = MemVfs::new();
+        mem.create(Path::new("/a")).unwrap();
+        let flaky = FlakyVfs::new(mem.clone(), io::ErrorKind::Interrupted, 2);
+        let clock = Arc::new(TestClock::new());
+        let vfs = RetryVfs::with_clock(Arc::new(flaky), policy(), clock.clone());
+        vfs.rename(Path::new("/a"), Path::new("/b")).unwrap();
+        assert!(mem.exists(Path::new("/b")));
+        // Two transient failures → two sleeps: base, then base*2 capped.
+        assert_eq!(
+            clock.slept(),
+            vec![Duration::from_millis(2), Duration::from_millis(4)]
+        );
+        assert_eq!(vfs.retries_absorbed(), 2);
+    }
+
+    #[test]
+    fn permanent_failure_surfaces_immediately_without_sleeping() {
+        let mem = MemVfs::new();
+        mem.create(Path::new("/a")).unwrap();
+        let flaky = FlakyVfs::new(mem, io::ErrorKind::Other, 1);
+        let clock = Arc::new(TestClock::new());
+        let vfs = RetryVfs::with_clock(Arc::new(flaky), policy(), clock.clone());
+        let err = vfs.rename(Path::new("/a"), Path::new("/b")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        assert!(
+            clock.slept().is_empty(),
+            "permanent errors must not back off"
+        );
+        assert_eq!(vfs.retries_absorbed(), 0);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_transient_error() {
+        let mem = MemVfs::new();
+        mem.create(Path::new("/a")).unwrap();
+        let flaky = FlakyVfs::new(mem.clone(), io::ErrorKind::TimedOut, 10);
+        let clock = Arc::new(TestClock::new());
+        let vfs = RetryVfs::with_clock(Arc::new(flaky), policy(), clock.clone());
+        let err = vfs.rename(Path::new("/a"), Path::new("/b")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert_eq!(clock.slept().len(), 3, "max_retries sleeps, then give up");
+        assert!(mem.exists(Path::new("/a")), "failed rename must not move");
+    }
+
+    #[test]
+    fn sync_dir_retries_and_backoff_caps() {
+        let mem = MemVfs::new();
+        let flaky = FlakyVfs::new(mem, io::ErrorKind::WouldBlock, 3);
+        let clock = Arc::new(TestClock::new());
+        let vfs = RetryVfs::with_clock(Arc::new(flaky), policy(), clock.clone());
+        vfs.sync_dir(Path::new("/")).unwrap();
+        // base 2ms, 4ms, then 8ms capped to 5ms.
+        assert_eq!(
+            clock.slept(),
+            vec![
+                Duration::from_millis(2),
+                Duration::from_millis(4),
+                Duration::from_millis(5)
+            ]
+        );
+    }
+
+    #[test]
+    fn backoff_schedule_is_monotone_and_capped() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+        };
+        let mut prev = Duration::ZERO;
+        for r in 0..10 {
+            let b = p.backoff(r);
+            assert!(b >= prev && b <= p.max_backoff);
+            prev = b;
+        }
+        assert_eq!(p.backoff(9), Duration::from_millis(50));
+    }
+}

@@ -320,8 +320,10 @@ impl Vfs for MemVfs {
 // -------------------------------------------------------------- Fault
 
 /// What to break, and when. All budgets count only operations on files
-/// whose *file name* contains [`FaultConfig::target`] (every file when
-/// `target` is `None`).
+/// whose *full path* contains [`FaultConfig::target`] (every file when
+/// `target` is `None`). Full-path matching lets a sweep target one
+/// shard's files — e.g. `"shard-001/wal"` — while siblings write freely;
+/// bare file-name substrings like `"wal"` still match as before.
 #[derive(Clone, Debug, Default)]
 pub struct FaultConfig {
     /// Substring selecting which files the budgets apply to.
@@ -386,10 +388,7 @@ impl FaultVfs {
         let state = self.state.lock().unwrap();
         match &state.cfg.target {
             None => true,
-            Some(t) => path
-                .file_name()
-                .map(|n| n.to_string_lossy().contains(t.as_str()))
-                .unwrap_or(false),
+            Some(t) => path.to_string_lossy().contains(t.as_str()),
         }
     }
 
@@ -622,6 +621,28 @@ mod tests {
         let mut wal = faulty.create(Path::new("/dir/wal.log")).unwrap();
         assert!(wal.write_all_at(&[1u8; 3], 0).is_err()); // torn at 2
         assert_eq!(mem.read_file(Path::new("/dir/wal.log")).unwrap(), [1, 1]);
+    }
+
+    #[test]
+    fn fault_target_matches_full_path_for_per_shard_scoping() {
+        let mem = MemVfs::new();
+        let faulty = FaultVfs::new(
+            Arc::new(mem.clone()),
+            FaultConfig {
+                target: Some("shard-001/wal".into()),
+                write_budget: Some(2),
+                ..Default::default()
+            },
+        );
+        // Same file name under a different shard dir: unmetered.
+        let mut other = faulty.create(Path::new("/db/shard-000/wal.log")).unwrap();
+        other.write_all_at(&[9u8; 50], 0).unwrap();
+        let mut hot = faulty.create(Path::new("/db/shard-001/wal.log")).unwrap();
+        assert!(hot.write_all_at(&[1u8; 3], 0).is_err()); // torn at 2
+        assert_eq!(
+            mem.read_file(Path::new("/db/shard-001/wal.log")).unwrap(),
+            [1, 1]
+        );
     }
 
     #[test]

@@ -43,6 +43,7 @@ fn config() -> DurableConfig {
     DurableConfig {
         checkpoint_bytes: CHECKPOINT_BYTES,
         sync_writes: true,
+        retry: None,
     }
 }
 
@@ -299,6 +300,7 @@ fn bit_flip_in_wal_truncates_and_store_keeps_working() {
             DurableConfig {
                 checkpoint_bytes: u64::MAX, // keep everything in one log
                 sync_writes: true,
+                retry: None,
             },
         )
         .unwrap();

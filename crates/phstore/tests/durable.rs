@@ -22,6 +22,7 @@ fn config(checkpoint_bytes: u64) -> DurableConfig {
     DurableConfig {
         checkpoint_bytes,
         sync_writes: true,
+        retry: None,
     }
 }
 

@@ -16,6 +16,7 @@ fn open(vfs: &MemVfs, reg: &Registry) -> Durable<u32, 2> {
         DurableConfig {
             checkpoint_bytes: 1 << 20,
             sync_writes: true,
+            retry: None,
         },
         StoreMetrics::from_registry(reg),
     )

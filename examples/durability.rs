@@ -34,6 +34,7 @@ fn config() -> DurableConfig {
         // Small threshold so a big fill rotates generations many times.
         checkpoint_bytes: 64 * 1024,
         sync_writes: false,
+        retry: None,
     }
 }
 

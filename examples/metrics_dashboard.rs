@@ -103,6 +103,7 @@ fn main() {
         DurableConfig {
             checkpoint_bytes: 64 * 1024,
             sync_writes: true,
+            retry: None,
         },
         StoreMetrics::from_registry(&registry),
     )
