@@ -1,0 +1,94 @@
+//! The storage seam the server speaks to: one trait over the
+//! in-memory [`ShardedTree`] and the WAL-backed [`DurableSharded`],
+//! selected by a `phserve` flag at startup.
+//!
+//! Values are fixed to `u64` at the serving tier (the paper's PH-tree
+//! stores references, not payloads), which keeps the wire protocol
+//! single-shaped. Fallible writes surface `phshard`'s typed
+//! [`ShardError`] so the server can translate `Overloaded` into the
+//! protocol's shed reply instead of flattening every failure into one
+//! opaque error.
+
+use phshard::{DurableSharded, ShardError, ShardStats, ShardedTree};
+
+/// Storage operations the server needs, `&self` and thread-safe —
+/// every connection worker calls straight into the same backend.
+pub trait Backend<const K: usize>: Send + Sync + 'static {
+    /// Upserts `key` → `value`.
+    fn insert(&self, key: [u64; K], value: u64) -> Result<(), ShardError>;
+    /// Point lookup.
+    fn get(&self, key: &[u64; K]) -> Option<u64>;
+    /// Removes `key`, returning the removed value.
+    fn remove(&self, key: &[u64; K]) -> Result<Option<u64>, ShardError>;
+    /// Window query over `[min, max]`, inclusive, in global Z-order.
+    fn query(&self, min: &[u64; K], max: &[u64; K]) -> Vec<([u64; K], u64)>;
+    /// `n` nearest neighbours of `center`, nearest first.
+    fn knn(&self, center: &[u64; K], n: usize) -> Vec<([u64; K], u64, f64)>;
+    /// Batch upsert through the bulk-admission seam; returns the count
+    /// of new keys. Must be all-or-nothing with respect to
+    /// [`ShardError::Overloaded`]: a shed batch applies nothing.
+    fn bulk_load(&self, items: Vec<([u64; K], u64)>) -> Result<usize, ShardError>;
+    /// Per-shard statistics snapshot.
+    fn stats(&self) -> ShardStats;
+}
+
+impl<const K: usize> Backend<K> for ShardedTree<u64, K> {
+    fn insert(&self, key: [u64; K], value: u64) -> Result<(), ShardError> {
+        ShardedTree::insert(self, key, value);
+        Ok(())
+    }
+
+    fn get(&self, key: &[u64; K]) -> Option<u64> {
+        ShardedTree::get(self, key)
+    }
+
+    fn remove(&self, key: &[u64; K]) -> Result<Option<u64>, ShardError> {
+        Ok(ShardedTree::remove(self, key))
+    }
+
+    fn query(&self, min: &[u64; K], max: &[u64; K]) -> Vec<([u64; K], u64)> {
+        ShardedTree::query(self, min, max)
+    }
+
+    fn knn(&self, center: &[u64; K], n: usize) -> Vec<([u64; K], u64, f64)> {
+        ShardedTree::knn(self, center, n)
+    }
+
+    fn bulk_load(&self, items: Vec<([u64; K], u64)>) -> Result<usize, ShardError> {
+        Ok(ShardedTree::bulk_load(self, items))
+    }
+
+    fn stats(&self) -> ShardStats {
+        ShardedTree::stats(self)
+    }
+}
+
+impl<const K: usize> Backend<K> for DurableSharded<u64, K> {
+    fn insert(&self, key: [u64; K], value: u64) -> Result<(), ShardError> {
+        DurableSharded::insert(self, key, value).map(|_| ())
+    }
+
+    fn get(&self, key: &[u64; K]) -> Option<u64> {
+        self.get_with(key, |v| *v)
+    }
+
+    fn remove(&self, key: &[u64; K]) -> Result<Option<u64>, ShardError> {
+        DurableSharded::remove(self, key)
+    }
+
+    fn query(&self, min: &[u64; K], max: &[u64; K]) -> Vec<([u64; K], u64)> {
+        DurableSharded::query(self, min, max)
+    }
+
+    fn knn(&self, center: &[u64; K], n: usize) -> Vec<([u64; K], u64, f64)> {
+        DurableSharded::knn(self, center, n)
+    }
+
+    fn bulk_load(&self, items: Vec<([u64; K], u64)>) -> Result<usize, ShardError> {
+        DurableSharded::bulk_load(self, items)
+    }
+
+    fn stats(&self) -> ShardStats {
+        DurableSharded::stats(self)
+    }
+}

@@ -1,0 +1,320 @@
+//! `phload` — scenario load generator for phserve.
+//!
+//! Two modes:
+//!
+//! * **Spawn mode** (default): starts in-process servers on ephemeral
+//!   loopback ports, drives the four standard mixes against a
+//!   default-tuned server, then the overload mix against a deliberately
+//!   undersized one (tiny admission queue + artificial per-op delay),
+//!   verifies every connection's acked-op model against the server,
+//!   checks server `stats.entries` equals the sum of client models, and
+//!   writes `results/phserve.json` stamped with `host_cores`.
+//!
+//!   ```text
+//!   phload [--quick] [--durable] [--out results/phserve.json]
+//!   ```
+//!
+//! * **External mode**: drives scenarios against an already-running
+//!   server (CI's serve-smoke job).
+//!
+//!   ```text
+//!   phload --addr HOST:PORT --scenario point_heavy [--quick]
+//!   ```
+//!
+//! Exit code is non-zero on any verification failure, unexpected error
+//! reply, or (spawn mode) missing shed evidence in the overload run.
+
+use phmetrics::Registry;
+use phserve::load::{
+    host_cores, render_table, run_scenario, to_json, LoadConfig, Scenario, ScenarioReport,
+    SERVE_DIMS,
+};
+use phserve::server::{spawn, ServerConfig, ServerHandle};
+use phserve::Client;
+use phshard::{DurableSharded, RebalancePolicy, Rebalancer, ShardedTree};
+use phstore::vfs::StdVfs;
+use phstore::DurableConfig;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+const K: usize = SERVE_DIMS;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: phload [--quick] [--durable] [--out PATH]\n\
+         \x20      phload --addr HOST:PORT --scenario NAME [--quick]"
+    );
+    std::process::exit(2);
+}
+
+/// Plain-std HTTP GET against the metrics sidecar.
+fn scrape(addr: SocketAddr, path: &str) -> std::io::Result<String> {
+    let mut s = TcpStream::connect(addr)?;
+    s.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nHost: phload\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut buf = String::new();
+    s.read_to_string(&mut buf)?;
+    match buf.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_string()),
+        None => Ok(buf),
+    }
+}
+
+/// Extracts a metric's value from Prometheus text exposition.
+fn metric_value(text: &str, name: &str) -> Option<f64> {
+    text.lines().find_map(|l| {
+        let (n, v) = l.split_once(' ')?;
+        (n == name).then(|| v.trim().parse().ok())?
+    })
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("phload: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+/// Runs one scenario and enforces the invariants every scenario must
+/// uphold: zero non-shed error replies and a model-exact verification.
+fn run_checked(addr: SocketAddr, sc: Scenario, cfg: &LoadConfig) -> ScenarioReport {
+    eprintln!(
+        "phload: running {} ({} conns x {} ops)...",
+        sc.name(),
+        cfg.conns,
+        cfg.ops_per_conn
+    );
+    let report =
+        run_scenario(addr, sc, cfg).unwrap_or_else(|e| fail(&format!("{} failed: {e}", sc.name())));
+    if report.errors > 0 {
+        fail(&format!(
+            "{}: {} unexpected error replies",
+            report.scenario, report.errors
+        ));
+    }
+    if report.verify_failures > 0 {
+        fail(&format!(
+            "{}: {} of {} verified keys disagree with the acked-op model",
+            report.scenario, report.verify_failures, report.verified_keys
+        ));
+    }
+    eprintln!(
+        "phload: {}: {:.0} op/s, {} acked, {} shed, {} keys verified",
+        report.scenario, report.throughput_ops_s, report.acked, report.shed, report.verified_keys
+    );
+    report
+}
+
+/// Spawns a server (+rebalancer) over a fresh backend; the returned
+/// path, if any, is the durable store directory to clean up after.
+fn launch(
+    durable: bool,
+    cfg: ServerConfig,
+    tag: &str,
+) -> (ServerHandle, Rebalancer, Option<PathBuf>) {
+    let registry = Registry::new();
+    if durable {
+        let dir = std::env::temp_dir().join(format!("phload-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let backend = Arc::new(
+            DurableSharded::<u64, K>::open_observed(
+                Arc::new(StdVfs),
+                &dir,
+                8,
+                DurableConfig::default(),
+                &registry,
+            )
+            .unwrap_or_else(|e| fail(&format!("open durable store: {e}"))),
+        );
+        let reb = Rebalancer::spawn(Arc::clone(&backend), RebalancePolicy::default());
+        let handle = spawn(
+            Arc::clone(&backend),
+            "127.0.0.1:0",
+            Some("127.0.0.1:0"),
+            registry,
+            cfg,
+        )
+        .unwrap_or_else(|e| fail(&format!("bind: {e}")));
+        (handle, reb, Some(dir))
+    } else {
+        let backend = Arc::new(ShardedTree::<u64, K>::with_metrics(8, 2, &registry));
+        let reb = Rebalancer::spawn(Arc::clone(&backend), RebalancePolicy::default());
+        let handle = spawn(
+            Arc::clone(&backend),
+            "127.0.0.1:0",
+            Some("127.0.0.1:0"),
+            registry,
+            cfg,
+        )
+        .unwrap_or_else(|e| fail(&format!("bind: {e}")));
+        (handle, reb, None)
+    }
+}
+
+fn spawn_mode(quick: bool, durable: bool, out: &str) {
+    let cfg = if quick {
+        LoadConfig::quick()
+    } else {
+        LoadConfig::default()
+    };
+    let mut reports: Vec<ScenarioReport> = Vec::new();
+
+    // --- The four standard mixes against a default-tuned server. ---
+    let (handle, reb, cleanup) = launch(durable, ServerConfig::default(), "main");
+    let addr = handle.addr();
+    for sc in Scenario::standard() {
+        reports.push(run_checked(addr, sc, &cfg));
+    }
+
+    // Cross-check: the server's entry count must equal the sum of the
+    // per-connection models (namespaces are disjoint and the server
+    // started empty) — acked writes all landed, shed writes none.
+    let model_total: u64 = reports.iter().map(|r| r.model_entries).sum();
+    let mut client: Client<K> = Client::connect(addr).unwrap_or_else(|e| fail(&e.to_string()));
+    let stats = client.stats().unwrap_or_else(|e| fail(&e.to_string()));
+    if stats.entries != model_total {
+        fail(&format!(
+            "server holds {} entries but client models ack {model_total}",
+            stats.entries
+        ));
+    }
+    eprintln!(
+        "phload: consistency: server entries {} == sum of client models (epoch {}, skew {:.2})",
+        stats.entries, stats.epoch, stats.skew
+    );
+
+    // The sidecar must expose live serving metrics.
+    let maddr = handle.metrics_addr().expect("sidecar running");
+    let text = scrape(maddr, "/metrics").unwrap_or_else(|e| fail(&format!("scrape: {e}")));
+    for required in [
+        "phserve_connections_total",
+        "phserve_batches_total",
+        "phserve_queue_depth_peak",
+    ] {
+        if metric_value(&text, required).is_none() {
+            fail(&format!("/metrics is missing {required}"));
+        }
+    }
+    drop(client);
+    handle.stop();
+    let splits = reb.stop();
+    eprintln!(
+        "phload: rebalancer performed {} split(s) under traffic",
+        splits.len()
+    );
+    if let Some(dir) = cleanup {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    // --- Overload against an undersized queue with a slow backend. ---
+    let over_server = ServerConfig {
+        queue_cap: 64,
+        batch_max: 16,
+        workers: 1,
+        shed_wait: Duration::from_micros(500),
+        op_delay: Some(Duration::from_micros(200)),
+    };
+    let over_cfg = LoadConfig {
+        conns: 2,
+        ops_per_conn: if quick { 1200 } else { 4000 },
+        pipeline: 256,
+        seed: cfg.seed,
+    };
+    let (handle, reb, cleanup) = launch(durable, over_server.clone(), "overload");
+    let report = run_checked(handle.addr(), Scenario::Overload, &over_cfg);
+    if report.shed == 0 {
+        fail("overload scenario shed nothing — the queue never reached high water");
+    }
+    let maddr = handle.metrics_addr().expect("sidecar running");
+    let text = scrape(maddr, "/metrics").unwrap_or_else(|e| fail(&format!("scrape: {e}")));
+    let peak = metric_value(&text, "phserve_queue_depth_peak")
+        .unwrap_or_else(|| fail("no queue depth peak exposed"));
+    if peak > over_server.queue_cap as f64 {
+        fail(&format!(
+            "queue depth peaked at {peak}, above the {} bound",
+            over_server.queue_cap
+        ));
+    }
+    eprintln!(
+        "phload: overload: queue depth peak {peak} stayed within the {} bound; {} of {} ops shed",
+        over_server.queue_cap, report.shed, report.ops_total
+    );
+    reports.push(report);
+    handle.stop();
+    reb.stop();
+    if let Some(dir) = cleanup {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    // --- Report. ---
+    let backend_name = if durable { "durable" } else { "in-memory" };
+    let json = to_json(&reports, backend_name, host_cores());
+    if let Some(parent) = std::path::Path::new(out).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(out, &json).unwrap_or_else(|e| fail(&format!("write {out}: {e}")));
+    println!("{}", render_table(&reports));
+    println!("phload: wrote {out} (host_cores={})", host_cores());
+}
+
+fn external_mode(addr: &str, scenario: &str, quick: bool, out: Option<&str>) {
+    let addr: SocketAddr = addr
+        .parse()
+        .unwrap_or_else(|_| fail(&format!("bad --addr {addr}")));
+    let sc =
+        Scenario::parse(scenario).unwrap_or_else(|| fail(&format!("unknown scenario {scenario}")));
+    let mut cfg = if quick {
+        LoadConfig::quick()
+    } else {
+        LoadConfig::default()
+    };
+    if sc == Scenario::Overload {
+        cfg.pipeline = 256;
+    }
+    let report = run_checked(addr, sc, &cfg);
+    let reports = [report];
+    if let Some(out) = out {
+        let json = to_json(&reports, "external", host_cores());
+        if let Some(parent) = std::path::Path::new(out).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(out, &json).unwrap_or_else(|e| fail(&format!("write {out}: {e}")));
+    }
+    println!("{}", render_table(&reports));
+}
+
+fn main() {
+    let mut quick = false;
+    let mut durable = false;
+    let mut out: Option<String> = None;
+    let mut addr: Option<String> = None;
+    let mut scenario: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--durable" => durable = true,
+            "--out" => out = Some(it.next().unwrap_or_else(|| usage())),
+            "--addr" => addr = Some(it.next().unwrap_or_else(|| usage())),
+            "--scenario" => scenario = Some(it.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    match (addr, scenario) {
+        (Some(a), Some(s)) => external_mode(&a, &s, quick, out.as_deref()),
+        (None, None) => spawn_mode(
+            quick,
+            durable,
+            out.as_deref().unwrap_or("results/phserve.json"),
+        ),
+        _ => usage(),
+    }
+}

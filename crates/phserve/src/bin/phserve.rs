@@ -1,0 +1,189 @@
+//! `phserve` — the PH-tree TCP server.
+//!
+//! ```text
+//! phserve [--addr 127.0.0.1:7070] [--metrics-addr 127.0.0.1:7071]
+//!         [--durable DIR] [--shards 8] [--threads N]
+//!         [--queue-cap 1024] [--batch-max 64] [--workers 1]
+//!         [--shed-wait-us 2000] [--op-delay-us 0] [--no-rebalance]
+//! ```
+//!
+//! Serves the in-memory `ShardedTree` by default; `--durable DIR`
+//! swaps in the WAL-backed `DurableSharded` (crash-recovering from
+//! `DIR` on start). The PR 6 rebalancer runs in the background unless
+//! `--no-rebalance`. Bind port 0 for an ephemeral port — the actual
+//! addresses are printed as `phserve listening on ...` /
+//! `phserve metrics on ...` lines for scripts to parse.
+
+use phmetrics::Registry;
+use phserve::load::SERVE_DIMS;
+use phserve::server::{spawn, ServerConfig};
+use phshard::{DurableSharded, RebalancePolicy, Rebalancer, ShardedTree};
+use phstore::vfs::StdVfs;
+use phstore::DurableConfig;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+const K: usize = SERVE_DIMS;
+
+struct Args {
+    addr: String,
+    metrics_addr: String,
+    durable: Option<PathBuf>,
+    shards: usize,
+    threads: usize,
+    cfg: ServerConfig,
+    rebalance: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: phserve [--addr A] [--metrics-addr A] [--durable DIR] [--shards N] \
+         [--threads N] [--queue-cap N] [--batch-max N] [--workers N] \
+         [--shed-wait-us N] [--op-delay-us N] [--no-rebalance]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:7070".into(),
+        metrics_addr: "127.0.0.1:7071".into(),
+        durable: None,
+        shards: 8,
+        threads: 0,
+        cfg: ServerConfig::default(),
+        rebalance: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = val("--addr"),
+            "--metrics-addr" => args.metrics_addr = val("--metrics-addr"),
+            "--durable" => args.durable = Some(PathBuf::from(val("--durable"))),
+            "--shards" => args.shards = val("--shards").parse().unwrap_or_else(|_| usage()),
+            "--threads" => args.threads = val("--threads").parse().unwrap_or_else(|_| usage()),
+            "--queue-cap" => {
+                args.cfg.queue_cap = val("--queue-cap").parse().unwrap_or_else(|_| usage())
+            }
+            "--batch-max" => {
+                args.cfg.batch_max = val("--batch-max").parse().unwrap_or_else(|_| usage())
+            }
+            "--workers" => args.cfg.workers = val("--workers").parse().unwrap_or_else(|_| usage()),
+            "--shed-wait-us" => {
+                let us: u64 = val("--shed-wait-us").parse().unwrap_or_else(|_| usage());
+                args.cfg.shed_wait = Duration::from_micros(us);
+            }
+            "--op-delay-us" => {
+                let us: u64 = val("--op-delay-us").parse().unwrap_or_else(|_| usage());
+                args.cfg.op_delay = (us > 0).then(|| Duration::from_micros(us));
+            }
+            "--no-rebalance" => args.rebalance = false,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let registry = Registry::new();
+    let threads = if args.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        args.threads
+    };
+
+    // The backend is generic but the binary must pick one concrete
+    // type per branch; each branch owns its server + rebalancer pair.
+    let (_handle, _rebalancer) = match &args.durable {
+        Some(dir) => {
+            let backend = Arc::new(
+                DurableSharded::<u64, K>::open_observed(
+                    Arc::new(StdVfs),
+                    dir,
+                    args.shards,
+                    DurableConfig::default(),
+                    &registry,
+                )
+                .unwrap_or_else(|e| {
+                    eprintln!(
+                        "phserve: cannot open durable store at {}: {e}",
+                        dir.display()
+                    );
+                    std::process::exit(1);
+                }),
+            );
+            let reb = args
+                .rebalance
+                .then(|| Rebalancer::spawn(Arc::clone(&backend), RebalancePolicy::default()));
+            let handle = spawn(
+                backend,
+                &args.addr,
+                Some(&args.metrics_addr),
+                registry,
+                args.cfg.clone(),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("phserve: bind failed: {e}");
+                std::process::exit(1);
+            });
+            (handle, reb)
+        }
+        None => {
+            let backend = Arc::new(ShardedTree::<u64, K>::with_metrics(
+                args.shards,
+                threads,
+                &registry,
+            ));
+            let reb = args
+                .rebalance
+                .then(|| Rebalancer::spawn(Arc::clone(&backend), RebalancePolicy::default()));
+            let handle = spawn(
+                backend,
+                &args.addr,
+                Some(&args.metrics_addr),
+                registry,
+                args.cfg.clone(),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("phserve: bind failed: {e}");
+                std::process::exit(1);
+            });
+            (handle, reb)
+        }
+    };
+
+    println!("phserve listening on {}", _handle.addr());
+    if let Some(m) = _handle.metrics_addr() {
+        println!("phserve metrics on {m}");
+    }
+    println!(
+        "phserve serving {} dims={K} shards={} workers={} queue_cap={}",
+        if args.durable.is_some() {
+            "durable"
+        } else {
+            "in-memory"
+        },
+        args.shards,
+        args.cfg.workers,
+        args.cfg.queue_cap,
+    );
+
+    // Serve until killed (CI tears the process down with SIGTERM).
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

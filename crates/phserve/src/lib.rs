@@ -1,0 +1,44 @@
+//! # phserve — a TCP serving front end for the sharded PH-tree
+//!
+//! The stack below this crate already serves concurrent in-process
+//! callers: `phshard` routes keys to shards by Z-order prefix, splits
+//! hot shards online, and (durably) journals per shard; `phmetrics`
+//! instruments all of it. This crate puts a network edge on top:
+//!
+//! * [`proto`] — a length-prefixed, FNV-1a-checksummed binary protocol
+//!   (the same checksum discipline as the phstore WAL) carrying the
+//!   full op surface: insert, get, remove, window query, kNN,
+//!   bulk-ingest, stats, ping. Requests carry ids, so one connection
+//!   can pipeline arbitrarily many.
+//! * [`server`] — std-only connection-per-thread accept loop feeding a
+//!   **shared bounded admission queue**. Workers pop batches; runs of
+//!   pipelined inserts coalesce into one `bulk_load` through the
+//!   backend's batch-admission seam, reads fan out through the
+//!   existing shard scatter. At the queue's high-water mark admission
+//!   first *blocks* the reader (backpressure via TCP flow control),
+//!   then sheds with a typed `Overloaded` reply — the same
+//!   not-applied, safe-to-retry contract `phshard` uses for migration
+//!   backlog shedding. A Prometheus sidecar answers `GET /metrics`.
+//! * [`backend`] — one trait over [`phshard::ShardedTree`] and
+//!   [`phshard::DurableSharded`], flag-selected at startup.
+//! * [`client`] — a blocking pipelining client.
+//! * [`load`] — the `phload` scenario engine: four standard mixes plus
+//!   an overload run, exact per-op percentiles, and an acked-ops model
+//!   check proving no write is lost or applied without an ack.
+//!
+//! Binaries: `phserve` (the server) and `phload` (the load generator).
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod client;
+pub mod load;
+mod metrics;
+pub mod proto;
+pub mod server;
+
+pub use backend::Backend;
+pub use client::Client;
+pub use load::{LoadConfig, Scenario, ScenarioReport, SERVE_DIMS};
+pub use proto::{ErrorCode, ProtoError, Request, Response, StatsReply};
+pub use server::{spawn, ServerConfig, ServerHandle};

@@ -1,0 +1,597 @@
+//! The TCP server: connection-per-thread readers feeding a shared
+//! bounded admission queue, batching workers, and load-shedding.
+//!
+//! ## Data flow
+//!
+//! ```text
+//! accept loop ──▶ conn reader ──▶ admission queue ──▶ worker(s)
+//!                 (1 thread/conn)  (bounded, shared)   (batch pop)
+//!                      │                                   │
+//!                 conn writer ◀──── framed replies ◀───────┘
+//! ```
+//!
+//! Each connection gets a reader thread (decodes frames, admits
+//! requests) and a writer thread (serialises framed replies from an
+//! mpsc channel). Workers pop up to [`ServerConfig::batch_max`]
+//! requests per lock acquisition — pipelined clients therefore batch
+//! naturally: the deeper the queue, the bigger the pop. A maximal run
+//! of consecutive `Insert` requests in a batch is coalesced into one
+//! [`Backend::bulk_load`] call (the phshard batch-admission seam);
+//! reads scatter through the backend's existing shard fan-out.
+//!
+//! ## Backpressure and shedding
+//!
+//! The admission queue is bounded by [`ServerConfig::queue_cap`] — the
+//! high-water mark. A reader that finds the queue at high water first
+//! *blocks* for up to [`ServerConfig::shed_wait`] (backpressure: the
+//! connection stops reading, TCP flow control pushes back on the
+//! client); if the queue is still at high water it replies with a
+//! typed `Overloaded` error — the same contract as
+//! `phshard::ShardError::Overloaded`: the op was not applied and is
+//! safe to retry. Queue depth is therefore *provably* bounded: depth
+//! never exceeds `queue_cap`, and the `phserve_queue_depth_peak` gauge
+//! exposes the observed maximum.
+//!
+//! ## Ordering
+//!
+//! With the default single worker, replies on one connection preserve
+//! request order. With `workers > 1`, batches may complete out of
+//! order across batch boundaries — every reply carries its request id,
+//! so pipelined clients match by id (per-key linearizability still
+//! comes from the backend's shard locks).
+//!
+//! A malformed frame (bad checksum, oversized length, unknown opcode,
+//! torn body) yields a typed [`ProtoError`], a best-effort error
+//! reply, and closes **only that connection** — the server never
+//! panics on input bytes.
+
+use crate::backend::Backend;
+use crate::metrics::ServeMetrics;
+use crate::proto::{self, ErrorCode, ProtoError, Request, Response, StatsReply};
+use phmetrics::{OpTimer, Registry};
+use phshard::{ShardError, ShardStats};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning. Defaults suit a small host; the load generator and
+/// tests shrink the queue to force the shed path deterministically.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Admission-queue high-water mark (hard depth bound). A reader
+    /// finding the queue here blocks for [`ServerConfig::shed_wait`],
+    /// then sheds with a typed `Overloaded` reply.
+    pub queue_cap: usize,
+    /// Maximum requests a worker pops per lock acquisition.
+    pub batch_max: usize,
+    /// Worker threads draining the admission queue. 1 (the default)
+    /// preserves per-connection reply order.
+    pub workers: usize,
+    /// How long an admission blocks on a full queue before shedding.
+    pub shed_wait: Duration,
+    /// Artificial per-backend-call service delay — a load-testing aid
+    /// to emulate an expensive backend on fast loopback hardware (the
+    /// overload scenario and the shed tests use it). `None` in
+    /// production.
+    pub op_delay: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            queue_cap: 1024,
+            batch_max: 64,
+            workers: 1,
+            shed_wait: Duration::from_millis(2),
+            op_delay: None,
+        }
+    }
+}
+
+/// One admitted request awaiting a worker.
+struct Job<const K: usize> {
+    req_id: u64,
+    req: Request<K>,
+    timer: OpTimer,
+    reply: mpsc::Sender<Vec<u8>>,
+}
+
+/// State shared by every server thread.
+struct Shared<B: Backend<K>, const K: usize> {
+    backend: Arc<B>,
+    cfg: ServerConfig,
+    metrics: ServeMetrics,
+    queue: Mutex<VecDeque<Job<K>>>,
+    /// Signals workers: the queue gained jobs (or stop flipped).
+    work: Condvar,
+    /// Signals blocked readers: the queue drained below high water.
+    space: Condvar,
+    stop: AtomicBool,
+    /// Live connection sockets (by connection id) so shutdown can
+    /// unblock their reader threads.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+}
+
+impl<B: Backend<K>, const K: usize> Shared<B, K> {
+    /// Admits `job` or sheds it with a typed `Overloaded` reply after
+    /// the bounded backpressure wait. Never blocks unboundedly.
+    fn admit(&self, job: Job<K>) {
+        let mut q = self.queue.lock().unwrap();
+        if q.len() >= self.cfg.queue_cap {
+            let (guard, _) = self
+                .space
+                .wait_timeout_while(q, self.cfg.shed_wait, |q| {
+                    q.len() >= self.cfg.queue_cap && !self.stop.load(Ordering::Relaxed)
+                })
+                .unwrap();
+            q = guard;
+            if q.len() >= self.cfg.queue_cap {
+                drop(q);
+                self.metrics.shed.inc();
+                let cap = self.cfg.queue_cap;
+                self.respond(
+                    job,
+                    &Response::Error {
+                        code: ErrorCode::Overloaded,
+                        detail: format!("admission queue at high water ({cap})"),
+                    },
+                );
+                return;
+            }
+        }
+        q.push_back(job);
+        self.metrics.queue_depth.set(q.len() as i64);
+        drop(q);
+        self.work.notify_one();
+    }
+
+    /// Encodes, frames and sends the reply, then closes out the op's
+    /// latency/counter instruments. Send failures (peer gone) are
+    /// ignored — the op already happened; the client just never hears.
+    fn respond(&self, job: Job<K>, resp: &Response<K>) {
+        let body = proto::encode_response(job.req_id, resp);
+        let framed = proto::frame(&body);
+        self.metrics.bytes_written.add(framed.len() as u64);
+        let _ = job.reply.send(framed);
+        let inst = self.metrics.op(job.req.label());
+        inst.total.inc();
+        inst.latency_ns.finish(job.timer);
+    }
+
+    /// Maps a backend failure to its wire error, counting backend
+    /// sheds separately from admission sheds.
+    fn err_response(&self, e: &ShardError) -> Response<K> {
+        let code = match e {
+            ShardError::Overloaded { .. } => {
+                self.metrics.backend_overloaded.inc();
+                ErrorCode::Overloaded
+            }
+            _ => ErrorCode::Internal,
+        };
+        Response::Error {
+            code,
+            detail: e.to_string(),
+        }
+    }
+
+    fn stats_reply(s: &ShardStats) -> StatsReply {
+        StatsReply {
+            shards: s.shards as u32,
+            entries: s.entries as u64,
+            epoch: s.epoch,
+            skew: s.skew(),
+        }
+    }
+
+    /// Executes one non-coalesced request against the backend.
+    fn handle_one(&self, job: Job<K>) {
+        if let Some(d) = self.cfg.op_delay {
+            std::thread::sleep(d);
+        }
+        let resp = match &job.req {
+            Request::Insert { key, value } => match self.backend.insert(*key, *value) {
+                Ok(()) => Response::Ack,
+                Err(e) => self.err_response(&e),
+            },
+            Request::Get { key } => Response::Value(self.backend.get(key)),
+            Request::Remove { key } => match self.backend.remove(key) {
+                Ok(prev) => Response::Value(prev),
+                Err(e) => self.err_response(&e),
+            },
+            Request::Query { min, max } => Response::Entries(self.backend.query(min, max)),
+            Request::Knn { center, n } => {
+                Response::Neighbors(self.backend.knn(center, *n as usize))
+            }
+            Request::BulkLoad { items } => match self.backend.bulk_load(items.clone()) {
+                Ok(new) => Response::Loaded { new: new as u32 },
+                Err(e) => self.err_response(&e),
+            },
+            Request::Stats => Response::Stats(Self::stats_reply(&self.backend.stats())),
+            Request::Ping => Response::Pong,
+        };
+        self.respond(job, &resp);
+    }
+
+    /// Processes one popped batch: maximal runs of consecutive inserts
+    /// ride one bulk load (all acked, or all shed — the backend's bulk
+    /// admission is all-or-nothing for `Overloaded`); everything else
+    /// executes in order.
+    fn process(&self, batch: Vec<Job<K>>) {
+        let mut rest: VecDeque<Job<K>> = batch.into();
+        while let Some(first) = rest.pop_front() {
+            let run_starts = matches!(first.req, Request::Insert { .. })
+                && matches!(rest.front().map(|j| &j.req), Some(Request::Insert { .. }));
+            if !run_starts {
+                self.handle_one(first);
+                continue;
+            }
+            let mut run = vec![first];
+            while matches!(rest.front().map(|j| &j.req), Some(Request::Insert { .. })) {
+                run.push(rest.pop_front().unwrap());
+            }
+            let items: Vec<([u64; K], u64)> = run
+                .iter()
+                .map(|j| match &j.req {
+                    Request::Insert { key, value } => (*key, *value),
+                    _ => unreachable!("run contains only inserts"),
+                })
+                .collect();
+            self.metrics.coalesced_inserts.add(run.len() as u64);
+            if let Some(d) = self.cfg.op_delay {
+                std::thread::sleep(d);
+            }
+            let resp = match self.backend.bulk_load(items) {
+                Ok(_) => Response::Ack,
+                Err(e) => self.err_response(&e),
+            };
+            for job in run {
+                self.respond(job, &resp);
+            }
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let batch: Vec<Job<K>> = {
+                let mut q = self.queue.lock().unwrap();
+                loop {
+                    if !q.is_empty() {
+                        break;
+                    }
+                    if self.stop.load(Ordering::Relaxed) {
+                        return; // queue drained, shutting down
+                    }
+                    q = self
+                        .work
+                        .wait_timeout(q, Duration::from_millis(50))
+                        .unwrap()
+                        .0;
+                }
+                let take = q.len().min(self.cfg.batch_max);
+                let batch = q.drain(..take).collect();
+                self.metrics.queue_depth.set(q.len() as i64);
+                batch
+            };
+            self.space.notify_all();
+            self.metrics.batches.inc();
+            self.metrics.batch_size.record(batch.len() as u64);
+            self.process(batch);
+        }
+    }
+
+    /// Reader half of one connection. Returns when the peer closes,
+    /// the frame stream turns malformed, or the server stops.
+    fn serve_conn(&self, stream: TcpStream, conn_id: u64) {
+        let _ = stream.set_nodelay(true);
+        let write_half = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let (tx, rx) = mpsc::channel::<Vec<u8>>();
+        let writer = std::thread::Builder::new()
+            .name(format!("phserve-wr-{conn_id}"))
+            .spawn(move || {
+                let mut w = BufWriter::new(write_half);
+                while let Ok(frame) = rx.recv() {
+                    if w.write_all(&frame).is_err() {
+                        break;
+                    }
+                    // Drain whatever else is ready before paying the
+                    // flush: pipelined replies coalesce into one write.
+                    let mut dead = false;
+                    while let Ok(frame) = rx.try_recv() {
+                        if w.write_all(&frame).is_err() {
+                            dead = true;
+                            break;
+                        }
+                    }
+                    if dead || w.flush().is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn connection writer");
+
+        let mut r = BufReader::new(stream);
+        loop {
+            if self.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            match proto::read_frame(&mut r) {
+                Ok(None) => break, // clean close at a frame boundary
+                Ok(Some(body)) => {
+                    self.metrics
+                        .bytes_read
+                        .add((proto::HEADER_LEN + body.len()) as u64);
+                    match proto::decode_request::<K>(&body) {
+                        Ok((req_id, req)) => {
+                            let timer = self.metrics.op(req.label()).latency_ns.start();
+                            self.admit(Job {
+                                req_id,
+                                req,
+                                timer,
+                                reply: tx.clone(),
+                            });
+                        }
+                        Err(e) => {
+                            self.protocol_error(&tx, &e);
+                            break;
+                        }
+                    }
+                }
+                Err(ProtoError::Io(_)) => break, // reset / our own shutdown
+                Err(e) => {
+                    if !self.stop.load(Ordering::Relaxed) {
+                        self.protocol_error(&tx, &e);
+                    }
+                    break;
+                }
+            }
+        }
+        drop(tx);
+        let _ = writer.join();
+        self.conns.lock().unwrap().remove(&conn_id);
+        self.metrics.connections.add(-1);
+    }
+
+    /// Counts a malformed frame and best-effort sends a typed error
+    /// reply (request id 0 — the frame's id is untrustworthy) before
+    /// the caller closes the connection.
+    fn protocol_error(&self, tx: &mpsc::Sender<Vec<u8>>, e: &ProtoError) {
+        self.metrics.protocol_errors.inc();
+        let resp: Response<K> = Response::Error {
+            code: ErrorCode::BadRequest,
+            detail: e.to_string(),
+        };
+        let _ = tx.send(proto::frame(&proto::encode_response(0, &resp)));
+    }
+}
+
+/// A running server. Dropping the handle stops it; [`ServerHandle::stop`]
+/// does the same explicitly and joins every thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
+    registry: Registry,
+    stop_fn: Option<Box<dyn FnOnce() + Send>>,
+    threads: Vec<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// Address the server accepted on (resolves `:0` binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Address of the Prometheus sidecar, if one was started.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// The registry every server instrument records into.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Stops accepting, unblocks and joins every thread. Queued
+    /// requests are drained (and answered) before workers exit.
+    pub fn stop(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if let Some(f) = self.stop_fn.take() {
+            f();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.conn_threads.lock().unwrap());
+        for t in handles {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Binds `addr` (use port 0 for an ephemeral port), spawns the accept
+/// loop, `cfg.workers` queue workers and — when `metrics_addr` is
+/// given — a Prometheus text-exposition sidecar answering
+/// `GET /metrics` (and `/healthz`) with `registry`'s contents.
+pub fn spawn<B: Backend<K>, const K: usize>(
+    backend: Arc<B>,
+    addr: &str,
+    metrics_addr: Option<&str>,
+    registry: Registry,
+    cfg: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        backend,
+        metrics: ServeMetrics::new(&registry),
+        cfg: cfg.clone(),
+        queue: Mutex::new(VecDeque::with_capacity(cfg.queue_cap.min(4096))),
+        work: Condvar::new(),
+        space: Condvar::new(),
+        stop: AtomicBool::new(false),
+        conns: Mutex::new(HashMap::new()),
+        next_conn: AtomicU64::new(0),
+    });
+
+    let mut threads = Vec::new();
+    for w in 0..cfg.workers.max(1) {
+        let sh = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("phserve-worker-{w}"))
+                .spawn(move || sh.worker_loop())
+                .expect("spawn worker"),
+        );
+    }
+
+    let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    {
+        let sh = Arc::clone(&shared);
+        let ct = Arc::clone(&conn_threads);
+        threads.push(
+            std::thread::Builder::new()
+                .name("phserve-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if sh.stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        sh.metrics.connections_total.inc();
+                        sh.metrics.connections.add(1);
+                        let conn_id = sh.next_conn.fetch_add(1, Ordering::Relaxed);
+                        if let Ok(clone) = stream.try_clone() {
+                            sh.conns.lock().unwrap().insert(conn_id, clone);
+                        }
+                        let conn_shared = Arc::clone(&sh);
+                        let handle = std::thread::Builder::new()
+                            .name(format!("phserve-conn-{conn_id}"))
+                            .spawn(move || conn_shared.serve_conn(stream, conn_id))
+                            .expect("spawn connection thread");
+                        let mut ct = ct.lock().unwrap();
+                        // Reap finished connection threads so a
+                        // long-lived server doesn't hoard handles.
+                        let (done, live): (Vec<_>, Vec<_>) =
+                            ct.drain(..).partition(|h| h.is_finished());
+                        for h in done {
+                            let _ = h.join();
+                        }
+                        *ct = live;
+                        ct.push(handle);
+                    }
+                })
+                .expect("spawn accept loop"),
+        );
+    }
+
+    let metrics_local = match metrics_addr {
+        Some(maddr) => {
+            let mlistener = TcpListener::bind(maddr)?;
+            let mlocal = mlistener.local_addr()?;
+            let reg = registry.clone();
+            let sh = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("phserve-metrics".into())
+                    .spawn(move || {
+                        for stream in mlistener.incoming() {
+                            if sh.stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            if let Ok(mut s) = stream {
+                                serve_http_once(&mut s, &reg);
+                            }
+                        }
+                    })
+                    .expect("spawn metrics sidecar"),
+            );
+            Some(mlocal)
+        }
+        None => None,
+    };
+
+    let stop_shared = Arc::clone(&shared);
+    let stop_fn = Box::new(move || {
+        stop_shared.stop.store(true, Ordering::SeqCst);
+        stop_shared.work.notify_all();
+        stop_shared.space.notify_all();
+        for s in stop_shared.conns.lock().unwrap().values() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        // Wake the (blocking) accept loops.
+        let _ = TcpStream::connect(local);
+        if let Some(m) = metrics_local {
+            let _ = TcpStream::connect(m);
+        }
+    });
+
+    Ok(ServerHandle {
+        addr: local,
+        metrics_addr: metrics_local,
+        registry,
+        stop_fn: Some(stop_fn),
+        threads,
+        conn_threads,
+    })
+}
+
+/// Answers exactly one HTTP request on `s`: `GET /metrics` with the
+/// Prometheus text exposition, `GET /healthz` with `ok`, anything
+/// else with 404. Connection: close — scrapers reconnect per scrape.
+fn serve_http_once(s: &mut TcpStream, registry: &Registry) {
+    let _ = s.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut buf = [0u8; 4096];
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match s.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                filled += n;
+                if buf[..filled].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..filled]);
+    let path = head
+        .lines()
+        .next()
+        .and_then(|line| {
+            let mut parts = line.split_whitespace();
+            match (parts.next(), parts.next()) {
+                (Some("GET"), Some(p)) => Some(p.to_string()),
+                _ => None,
+            }
+        })
+        .unwrap_or_default();
+    let (status, body) = match path.as_str() {
+        "/metrics" => ("200 OK", registry.render_prometheus()),
+        "/healthz" => ("200 OK", "ok\n".to_string()),
+        _ => ("404 Not Found", "not found\n".to_string()),
+    };
+    let resp = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = s.write_all(resp.as_bytes());
+    let _ = s.flush();
+}

@@ -63,6 +63,7 @@
 
 use crate::epoch::ShardMap;
 use crate::error::ShardError;
+use crate::merge::merge_nearest;
 use crate::metrics::RebalanceMetrics;
 use crate::sharded::SplitReport;
 use phmetrics::Registry;
@@ -656,6 +657,112 @@ impl<V: ValueCodec + Clone + Send + Sync, const K: usize> DurableSharded<V, K> {
                 );
             }
             return out;
+        }
+    }
+
+    /// The `n` entries nearest to `center` under integer Euclidean
+    /// distance, nearest first, as `(key, value, distance)`. Every
+    /// live shard answers its local kNN under its read lock; the
+    /// global result is the same bounded k-way merge the in-memory
+    /// layer uses. Read-committed across shards; a split committing
+    /// mid-scan retires a cell and the whole scan re-runs on the new
+    /// epoch.
+    pub fn knn(&self, center: &[u64; K], n: usize) -> Vec<([u64; K], V, f64)> {
+        if n == 0 {
+            return Vec::new();
+        }
+        'retry: loop {
+            let inner = self.snapshot();
+            let mut lists = Vec::new();
+            for s in inner.map.live_slots() {
+                let cell = inner.cells[s].as_ref().expect("live slot without a cell");
+                let guard = cell.state.read().unwrap();
+                if cell.retired.load(Ordering::Acquire) {
+                    continue 'retry;
+                }
+                lists.push(
+                    guard
+                        .store
+                        .tree()
+                        .knn(center, n)
+                        .into_iter()
+                        .map(|nb| (nb.key, nb.value.clone(), nb.dist))
+                        .collect(),
+                );
+            }
+            return merge_nearest(lists, n, |e| e.2);
+        }
+    }
+
+    /// Bulk-inserts `items`: the batch admission seam the serving
+    /// layer's pipelined ingest rides on. Items are partitioned by the
+    /// routing map once, every involved shard is write-locked in
+    /// ascending slot order, and admission is checked against each
+    /// armed migration backlog **before any item is journaled**: if any
+    /// partition would overflow its backlog the whole batch sheds with
+    /// [`ShardError::Overloaded`] — nothing journaled, nothing applied,
+    /// safe to retry. Once admitted, each item is journaled then
+    /// applied exactly like [`DurableSharded::insert`] (one WAL append
+    /// per item, one lock acquisition per shard). Returns the number
+    /// of *new* keys (duplicates overwrite, last write wins).
+    ///
+    /// Durability on a store I/O error matches the sequential path: the
+    /// failing item and everything after it (in slot order, then batch
+    /// order within a slot) are neither journaled nor applied; items
+    /// before it are as durable as individually acknowledged inserts.
+    pub fn bulk_load(&self, items: Vec<([u64; K], V)>) -> Result<usize, ShardError> {
+        let mut new_total = 0usize;
+        'retry: loop {
+            let inner = self.snapshot();
+            let bound = inner.map.slot_bound();
+            let mut parts: Vec<Vec<([u64; K], V)>> = (0..bound).map(|_| Vec::new()).collect();
+            for (k, v) in items.iter() {
+                parts[inner.map.route(k)].push((*k, v.clone()));
+            }
+            // Lock every involved cell, ascending slot order (every
+            // other lock holder in this crate holds at most one cell
+            // lock at a time, so an ordered multi-acquisition cannot
+            // deadlock). A retired cell means a split committed since
+            // the snapshot: drop everything and re-route.
+            let involved: Vec<usize> = (0..bound).filter(|&s| !parts[s].is_empty()).collect();
+            let mut guards = Vec::with_capacity(involved.len());
+            for &s in &involved {
+                let cell = inner.cells[s].as_ref().expect("live slot without a cell");
+                let guard = cell.state.write().unwrap();
+                if cell.retired.load(Ordering::Acquire) {
+                    continue 'retry;
+                }
+                guards.push(guard);
+            }
+            // Admission: every partition must fit its armed backlog
+            // before anything is journaled — all-or-nothing shedding.
+            for (&s, cs) in involved.iter().zip(guards.iter()) {
+                if let Some(b) = cs.backlog.as_ref() {
+                    if b.ops.len() + parts[s].len() > b.cap {
+                        self.reb_metrics.shed.add(items.len() as u64);
+                        return Err(ShardError::Overloaded {
+                            slot: s,
+                            backlog: b.cap,
+                        });
+                    }
+                }
+            }
+            for (&s, cs) in involved.iter().zip(guards.iter_mut()) {
+                for (key, value) in parts[s].drain(..) {
+                    let queued = cs.backlog.is_some().then(|| value.clone());
+                    if cs.store.insert(key, value)?.is_none() {
+                        new_total += 1;
+                    }
+                    if let Some(value) = queued {
+                        cs.backlog
+                            .as_mut()
+                            .expect("backlog vanished under the cell lock")
+                            .ops
+                            .push(Op::Insert { key, value });
+                    }
+                }
+            }
+            return Ok(new_total);
         }
     }
 
