@@ -62,8 +62,10 @@ fn table1_shape_space_ordering() {
     let cb1_b = cb1.memory_bytes() as f64 / cb1.len() as f64;
     assert!(ph_b < cb1_b, "PH {ph_b:.1} must beat CB1 {cb1_b:.1}");
     // The paper has PH well below the (Java) kD-trees; our Rust KD1 is
-    // leaner, so assert rough parity rather than dominance.
-    assert!(ph_b < kd1_b * 1.3, "PH {ph_b:.1} ≈ KD1 {kd1_b:.1}");
+    // leaner, and our nodes carry a per-node Arc header (+refcount) to
+    // support copy-on-write snapshot reads, so assert rough parity
+    // rather than dominance.
+    assert!(ph_b < kd1_b * 1.7, "PH {ph_b:.1} ≈ KD1 {kd1_b:.1}");
 }
 
 /// Fig. 10 / Sect. 4.3.6: the PH-tree's bytes/entry *drops* from k=2 to

@@ -9,7 +9,7 @@
 //! protocol's shed reply instead of flattening every failure into one
 //! opaque error.
 
-use phshard::{DurableSharded, ShardError, ShardStats, ShardedTree};
+use phshard::{DurableSharded, ShardError, ShardStats, ShardedTree, Snapshot};
 
 /// Storage operations the server needs, `&self` and thread-safe —
 /// every connection worker calls straight into the same backend.
@@ -30,6 +30,11 @@ pub trait Backend<const K: usize>: Send + Sync + 'static {
     fn bulk_load(&self, items: Vec<([u64; K], u64)>) -> Result<usize, ShardError>;
     /// Per-shard statistics snapshot.
     fn stats(&self) -> ShardStats;
+    /// Pins a consistent cross-shard view (see [`Snapshot`]). The
+    /// server serves runs of read requests from one snapshot, so a
+    /// pipelined read batch observes a single write-history cut and
+    /// pays the cut protocol once.
+    fn snapshot(&self) -> Snapshot<u64, K>;
 }
 
 impl<const K: usize> Backend<K> for ShardedTree<u64, K> {
@@ -61,6 +66,10 @@ impl<const K: usize> Backend<K> for ShardedTree<u64, K> {
     fn stats(&self) -> ShardStats {
         ShardedTree::stats(self)
     }
+
+    fn snapshot(&self) -> Snapshot<u64, K> {
+        ShardedTree::snapshot(self)
+    }
 }
 
 impl<const K: usize> Backend<K> for DurableSharded<u64, K> {
@@ -90,5 +99,9 @@ impl<const K: usize> Backend<K> for DurableSharded<u64, K> {
 
     fn stats(&self) -> ShardStats {
         DurableSharded::stats(self)
+    }
+
+    fn snapshot(&self) -> Snapshot<u64, K> {
+        DurableSharded::snapshot(self)
     }
 }

@@ -3,7 +3,8 @@
 //! Two modes:
 //!
 //! * **Spawn mode** (default): starts in-process servers on ephemeral
-//!   loopback ports, drives the four standard mixes against a
+//!   loopback ports, drives the six standard mixes (including both
+//!   read-under-write mixes with a churning writer) against a
 //!   default-tuned server, then the overload mix against a deliberately
 //!   undersized one (tiny admission queue + artificial per-op delay),
 //!   verifies every connection's acked-op model against the server,
@@ -163,7 +164,7 @@ fn spawn_mode(quick: bool, durable: bool, out: &str) {
     };
     let mut reports: Vec<ScenarioReport> = Vec::new();
 
-    // --- The four standard mixes against a default-tuned server. ---
+    // --- The standard mixes against a default-tuned server. ---
     let (handle, reb, cleanup) = launch(durable, ServerConfig::default(), "main");
     let addr = handle.addr();
     for sc in Scenario::standard() {

@@ -42,17 +42,29 @@ pub enum Scenario {
     /// Deeply pipelined pure inserts against a deliberately small
     /// admission queue: measures the shed path, not throughput.
     Overload,
+    /// MVCC-lite read-under-write at a 95/5 reader mix: connection 0 is
+    /// a dedicated writer churning its namespace (overwrites, fresh
+    /// inserts, removes) while every other connection runs 95% reads
+    /// (get / window / kNN over its own seeded working set). Measures
+    /// reader latency while the write path is publishing roots
+    /// underneath — the figure the lock-free read path exists for.
+    ReadUnderWrite95,
+    /// The same shape at a 50/50 reader mix — the reader connections
+    /// themselves add write pressure, so root swaps are constant.
+    ReadUnderWrite50,
 }
 
 impl Scenario {
-    /// The four standard mixes (overload runs against its own,
+    /// The standard mixes (overload runs against its own,
     /// deliberately undersized, server).
-    pub fn standard() -> [Scenario; 4] {
+    pub fn standard() -> [Scenario; 6] {
         [
             Scenario::PointHeavy,
             Scenario::WindowHeavy,
             Scenario::IngestBurst,
             Scenario::SkewedClustered,
+            Scenario::ReadUnderWrite95,
+            Scenario::ReadUnderWrite50,
         ]
     }
 
@@ -64,6 +76,8 @@ impl Scenario {
             Scenario::IngestBurst => "ingest_burst",
             Scenario::SkewedClustered => "skewed_clustered",
             Scenario::Overload => "overload",
+            Scenario::ReadUnderWrite95 => "read_under_write_95",
+            Scenario::ReadUnderWrite50 => "read_under_write_50",
         }
     }
 
@@ -75,6 +89,8 @@ impl Scenario {
             "ingest_burst" => Some(Scenario::IngestBurst),
             "skewed_clustered" => Some(Scenario::SkewedClustered),
             "overload" => Some(Scenario::Overload),
+            "read_under_write_95" => Some(Scenario::ReadUnderWrite95),
+            "read_under_write_50" => Some(Scenario::ReadUnderWrite50),
             _ => None,
         }
     }
@@ -88,6 +104,8 @@ impl Scenario {
             Scenario::IngestBurst => 3,
             Scenario::SkewedClustered => 4,
             Scenario::Overload => 5,
+            Scenario::ReadUnderWrite95 => 6,
+            Scenario::ReadUnderWrite50 => 7,
         }
     }
 
@@ -344,6 +362,80 @@ fn plan_ops(sc: Scenario, rng: &mut StdRng, ns: u64, n: usize) -> Vec<Request<K>
                     key: fresh(rng),
                     value: rng.gen::<u64>(),
                 });
+            }
+        }
+        Scenario::ReadUnderWrite95 | Scenario::ReadUnderWrite50 => {
+            let read_frac = if sc == Scenario::ReadUnderWrite95 {
+                0.95
+            } else {
+                0.50
+            };
+            // Connection index lives in bits 48..56 of the namespace
+            // (conn + 1): connection 0 is the dedicated churn writer,
+            // the rest are the measured readers.
+            let writer = (ns >> 48) & 0xFF == 1;
+            // Seed a working set first so the measured reads hit data.
+            let seed_n = (n / 10).clamp(1, 500).min(n);
+            for _ in 0..seed_n {
+                let key = fresh(rng);
+                existing.push(key);
+                ops.push(Request::Insert {
+                    key,
+                    value: rng.gen::<u64>(),
+                });
+            }
+            for _ in seed_n..n {
+                let churn = if writer {
+                    true
+                } else {
+                    rng.gen_range(0.0..1.0) >= read_frac
+                };
+                if churn {
+                    // Overwrites dominate — every one forces a root
+                    // publish the readers must never block on.
+                    let roll: f64 = rng.gen_range(0.0..1.0);
+                    if roll < 0.50 {
+                        ops.push(Request::Insert {
+                            key: pick(rng, &existing),
+                            value: rng.gen::<u64>(),
+                        });
+                    } else if roll < 0.80 {
+                        let key = fresh(rng);
+                        existing.push(key);
+                        ops.push(Request::Insert {
+                            key,
+                            value: rng.gen::<u64>(),
+                        });
+                    } else {
+                        ops.push(Request::Remove {
+                            key: pick(rng, &existing),
+                        });
+                    }
+                } else {
+                    let roll: f64 = rng.gen_range(0.0..1.0);
+                    if roll < 0.80 {
+                        ops.push(Request::Get {
+                            key: pick(rng, &existing),
+                        });
+                    } else if roll < 0.95 {
+                        let c = pick(rng, &existing);
+                        let ext = rng.gen_range(1u64..1 << 16);
+                        let mut min = c;
+                        let mut max = c;
+                        for d in 0..K {
+                            min[d] = c[d].saturating_sub(ext);
+                            max[d] = c[d].saturating_add(ext);
+                        }
+                        min[0] = min[0].max(ns);
+                        max[0] = max[0].min(ns | ((1 << 48) - 1));
+                        ops.push(Request::Query { min, max });
+                    } else {
+                        ops.push(Request::Knn {
+                            center: pick(rng, &existing),
+                            n: 3,
+                        });
+                    }
+                }
             }
         }
     }

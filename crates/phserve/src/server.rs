@@ -16,8 +16,11 @@
 //! requests per lock acquisition — pipelined clients therefore batch
 //! naturally: the deeper the queue, the bigger the pop. A maximal run
 //! of consecutive `Insert` requests in a batch is coalesced into one
-//! [`Backend::bulk_load`] call (the phshard batch-admission seam);
-//! reads scatter through the backend's existing shard fan-out.
+//! [`Backend::bulk_load`] call (the phshard batch-admission seam); a
+//! maximal run of consecutive reads (`Get`/`Query`/`Knn`/`Stats`) is
+//! answered from **one** pinned [`Backend::snapshot`] — a single
+//! consistent cross-shard cut per run, with zero lock acquisitions on
+//! the tree read path.
 //!
 //! ## Backpressure and shedding
 //!
@@ -49,7 +52,7 @@ use crate::backend::Backend;
 use crate::metrics::ServeMetrics;
 use crate::proto::{self, ErrorCode, ProtoError, Request, Response, StatsReply};
 use phmetrics::{OpTimer, Registry};
-use phshard::{ShardError, ShardStats};
+use phshard::{ShardError, ShardStats, Snapshot};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -217,13 +220,52 @@ impl<B: Backend<K>, const K: usize> Shared<B, K> {
         self.respond(job, &resp);
     }
 
+    /// Whether a request can be answered from a pinned [`Snapshot`].
+    fn is_read(req: &Request<K>) -> bool {
+        matches!(
+            req,
+            Request::Get { .. } | Request::Query { .. } | Request::Knn { .. } | Request::Stats
+        )
+    }
+
+    /// Answers one read request from a pinned snapshot.
+    fn handle_read(&self, job: Job<K>, snap: &Snapshot<u64, K>) {
+        let resp = match &job.req {
+            Request::Get { key } => Response::Value(snap.get(key).copied()),
+            Request::Query { min, max } => Response::Entries(snap.query(min, max)),
+            Request::Knn { center, n } => Response::Neighbors(snap.knn(center, *n as usize)),
+            Request::Stats => Response::Stats(Self::stats_reply(&snap.stats())),
+            _ => unreachable!("read run contains only reads"),
+        };
+        self.respond(job, &resp);
+    }
+
     /// Processes one popped batch: maximal runs of consecutive inserts
     /// ride one bulk load (all acked, or all shed — the backend's bulk
-    /// admission is all-or-nothing for `Overloaded`); everything else
-    /// executes in order.
+    /// admission is all-or-nothing for `Overloaded`); maximal runs of
+    /// consecutive reads are answered from **one** pinned backend
+    /// snapshot (a single consistent cut for the whole run, and one
+    /// cut-protocol round instead of one per request — the snapshot is
+    /// pinned after every request in the run was admitted, so each get
+    /// still sees every write acknowledged before it was sent);
+    /// everything else executes in order.
     fn process(&self, batch: Vec<Job<K>>) {
         let mut rest: VecDeque<Job<K>> = batch.into();
         while let Some(first) = rest.pop_front() {
+            if Self::is_read(&first.req) && rest.front().is_some_and(|j| Self::is_read(&j.req)) {
+                let mut run = vec![first];
+                while rest.front().is_some_and(|j| Self::is_read(&j.req)) {
+                    run.push(rest.pop_front().unwrap());
+                }
+                if let Some(d) = self.cfg.op_delay {
+                    std::thread::sleep(d);
+                }
+                let snap = self.backend.snapshot();
+                for job in run {
+                    self.handle_read(job, &snap);
+                }
+                continue;
+            }
             let run_starts = matches!(first.req, Request::Insert { .. })
                 && matches!(rest.front().map(|j| &j.req), Some(Request::Insert { .. }));
             if !run_starts {

@@ -41,6 +41,8 @@ fn concurrent_mixed_ops_match_acked_model() {
         Scenario::PointHeavy,
         Scenario::WindowHeavy,
         Scenario::IngestBurst,
+        Scenario::ReadUnderWrite95,
+        Scenario::ReadUnderWrite50,
     ] {
         let report = run_scenario(server.addr(), sc, &cfg).expect("scenario");
         assert_eq!(

@@ -63,9 +63,11 @@
 
 use crate::epoch::ShardMap;
 use crate::error::ShardError;
-use crate::merge::merge_nearest;
-use crate::metrics::RebalanceMetrics;
+use crate::lockstat::DataMutex;
+use crate::metrics::{RebalanceMetrics, SwapMetrics};
 use crate::sharded::SplitReport;
+use crate::snapshot::{Published, Snapshot, WriteClock, SNAPSHOT_SPIN};
+use crate::swap::Swap;
 use phmetrics::Registry;
 use phstore::durable::shard_dir;
 use phstore::vfs::{StdVfs, Vfs};
@@ -73,7 +75,7 @@ use phstore::{fnv1a, Corruption, Durable, DurableConfig, RecoveryStats, StoreErr
 use phtree::{Op, PhTree};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Manifest file recording the routing topology of a sharded store
 /// directory.
@@ -271,9 +273,37 @@ struct DurCellState<V: ValueCodec, const K: usize> {
     backlog: Option<Backlog<V, K>>,
 }
 
+/// One shard's durable cell. Writers mutate `state` (journal + apply)
+/// under its lock and then publish an O(1) structural clone of the
+/// store's tree through `published`; readers only touch `published`
+/// (lock-free). `retired` flips inside the commit's write-clock
+/// bracket, *before* the successor state installs — see
+/// [`crate::sharded`] for why that order makes lock-free reads sound.
 struct DurCell<V: ValueCodec, const K: usize> {
     retired: AtomicBool,
-    state: RwLock<DurCellState<V, K>>,
+    state: DataMutex<DurCellState<V, K>>,
+    published: Swap<Published<V, K>>,
+}
+
+impl<V: ValueCodec, const K: usize> DurCell<V, K> {
+    fn fresh(store: Durable<V, K>) -> Arc<Self> {
+        Arc::new(DurCell {
+            retired: AtomicBool::new(false),
+            published: Swap::new(Published::now(store.tree().clone())),
+            state: DataMutex::new(DurCellState {
+                store,
+                backlog: None,
+            }),
+        })
+    }
+
+    /// Publishes the store's current tree. Must be called under the
+    /// cell's state lock and inside a write-clock bracket.
+    fn publish(&self, cs: &DurCellState<V, K>, metrics: &SwapMetrics) {
+        self.published
+            .store(Published::now(cs.store.tree().clone()));
+        metrics.root_swaps.inc();
+    }
 }
 
 /// An immutable routing snapshot: map + slot-indexed cells, swapped
@@ -319,8 +349,10 @@ impl<V: ValueCodec, const K: usize> PendingSplit<'_, V, K> {
 ///
 /// Consistency matches the in-memory layer: single-key operations are
 /// linearizable within their shard *and* durable once acknowledged
-/// (journal-then-apply under the shard's write lock); cross-shard reads
-/// are read-committed. Durability is per shard too — a crash can lose
+/// (journal-then-apply under the shard's write lock, published to the
+/// lock-free read path before the ack); cross-shard reads are snapshot
+/// reads over a consistent cut ([`DurableSharded::snapshot`]).
+/// Durability is per shard too — a crash can lose
 /// no acknowledged op, but ops acknowledged on different shards have
 /// no global order in the logs. During a migration the source shard
 /// keeps serving reads and accepting writes; only backlog overflow
@@ -330,7 +362,10 @@ pub struct DurableSharded<V: ValueCodec + Clone + Send + Sync, const K: usize> {
     vfs: Arc<dyn Vfs>,
     dir: PathBuf,
     config: DurableConfig,
-    state: RwLock<Arc<DurInner<V, K>>>,
+    state: Swap<DurInner<V, K>>,
+    /// Global write counter pair for the snapshot consistent-cut
+    /// protocol (see [`crate::snapshot`]).
+    clock: WriteClock,
     /// Serialises splits; the guarded value is the manifest write
     /// counter (`gen`), owned by whoever holds the gate.
     split_gate: Mutex<u64>,
@@ -338,6 +373,7 @@ pub struct DurableSharded<V: ValueCodec + Clone + Send + Sync, const K: usize> {
     recovery: Vec<RecoveryStats>,
     rolled_back: bool,
     reb_metrics: RebalanceMetrics,
+    swap_metrics: SwapMetrics,
 }
 
 impl<V: ValueCodec + Clone + Send + Sync, const K: usize> DurableSharded<V, K> {
@@ -360,7 +396,14 @@ impl<V: ValueCodec + Clone + Send + Sync, const K: usize> DurableSharded<V, K> {
         shards: usize,
         config: DurableConfig,
     ) -> Result<Self, StoreError> {
-        Self::open_observed_impl(vfs, dir, shards, config, RebalanceMetrics::disabled())
+        Self::open_observed_impl(
+            vfs,
+            dir,
+            shards,
+            config,
+            RebalanceMetrics::disabled(),
+            SwapMetrics::disabled(),
+        )
     }
 
     /// [`DurableSharded::open_with`] wired to record rebalance
@@ -373,7 +416,14 @@ impl<V: ValueCodec + Clone + Send + Sync, const K: usize> DurableSharded<V, K> {
         config: DurableConfig,
         registry: &Registry,
     ) -> Result<Self, StoreError> {
-        Self::open_observed_impl(vfs, dir, shards, config, RebalanceMetrics::new(registry))
+        Self::open_observed_impl(
+            vfs,
+            dir,
+            shards,
+            config,
+            RebalanceMetrics::new(registry),
+            SwapMetrics::new(registry),
+        )
     }
 
     fn open_observed_impl(
@@ -382,6 +432,7 @@ impl<V: ValueCodec + Clone + Send + Sync, const K: usize> DurableSharded<V, K> {
         shards: usize,
         config: DurableConfig,
         reb_metrics: RebalanceMetrics,
+        swap_metrics: SwapMetrics,
     ) -> Result<Self, StoreError> {
         vfs.create_dir_all(dir)?;
         let mut rolled_back = false;
@@ -436,33 +487,29 @@ impl<V: ValueCodec + Clone + Send + Sync, const K: usize> DurableSharded<V, K> {
         for (&slot, r) in live.iter().zip(opened.into_iter().flatten()) {
             let d = r?;
             recovery.push(d.recovery_stats());
-            cells[slot] = Some(Arc::new(DurCell {
-                retired: AtomicBool::new(false),
-                state: RwLock::new(DurCellState {
-                    store: d,
-                    backlog: None,
-                }),
-            }));
+            cells[slot] = Some(DurCell::fresh(d));
         }
         reb_metrics.routing_epoch.set(manifest.map.epoch() as i64);
         Ok(DurableSharded {
             vfs,
             dir: dir.to_path_buf(),
             config,
-            state: RwLock::new(Arc::new(DurInner {
+            state: Swap::new(Arc::new(DurInner {
                 map: Arc::new(manifest.map),
                 cells,
             })),
+            clock: WriteClock::new(),
             split_gate: Mutex::new(manifest.gen),
             backlog_cap: AtomicUsize::new(DEFAULT_BACKLOG_CAP),
             recovery,
             rolled_back,
             reb_metrics,
+            swap_metrics,
         })
     }
 
-    fn snapshot(&self) -> Arc<DurInner<V, K>> {
-        Arc::clone(&self.state.read().unwrap())
+    fn load_state(&self) -> Arc<DurInner<V, K>> {
+        self.state.load()
     }
 
     /// Base directory of the store.
@@ -472,19 +519,19 @@ impl<V: ValueCodec + Clone + Send + Sync, const K: usize> DurableSharded<V, K> {
 
     /// Number of live shards.
     pub fn shards(&self) -> usize {
-        self.snapshot().map.shards()
+        self.load_state().map.shards()
     }
 
     /// The current routing snapshot (slot ids, shard boxes, query
     /// pruning). Splits installed later do not mutate it — re-call to
     /// observe the new epoch.
     pub fn router(&self) -> Arc<ShardMap<K>> {
-        Arc::clone(&self.snapshot().map)
+        Arc::clone(&self.load_state().map)
     }
 
     /// Current routing epoch (0 until the first committed split).
     pub fn epoch(&self) -> u64 {
-        self.snapshot().map.epoch()
+        self.load_state().map.epoch()
     }
 
     /// What recovery found and did, per live shard (in
@@ -507,24 +554,34 @@ impl<V: ValueCodec + Clone + Send + Sync, const K: usize> DurableSharded<V, K> {
     }
 
     /// Routes `key` to its live cell and runs `f` under the cell's
-    /// write lock, re-routing if a split commit retired the cell while
-    /// we waited (the retired-cell retry loop).
+    /// state lock, re-routing if a split commit retired the cell while
+    /// we waited (the retired-cell retry loop). When `f` succeeds, the
+    /// store's new tree version is published (inside a write-clock
+    /// bracket) before the lock releases, so lock-free readers see the
+    /// write the moment it is acknowledged; a failed write (shed or
+    /// store error) publishes nothing.
     fn with_cell_write<R>(
         &self,
         key: &[u64; K],
-        mut f: impl FnMut(usize, &mut DurCellState<V, K>) -> R,
-    ) -> R {
+        f: impl FnOnce(usize, &mut DurCellState<V, K>) -> Result<R, ShardError>,
+    ) -> Result<R, ShardError> {
+        let mut f = Some(f);
         loop {
-            let inner = self.snapshot();
+            let inner = self.load_state();
             let slot = inner.map.route(key);
             let cell = inner.cells[slot]
                 .as_ref()
                 .expect("routing map addressed a missing cell");
-            let mut guard = cell.state.write().unwrap();
-            if cell.retired.load(Ordering::Acquire) {
+            let mut guard = cell.state.lock();
+            if cell.retired.load(Ordering::SeqCst) {
                 continue;
             }
-            return f(slot, &mut guard);
+            let out = (f.take().expect("write retried after completion"))(slot, &mut guard);
+            if out.is_ok() {
+                self.clock
+                    .bracket(|| cell.publish(&guard, &self.swap_metrics));
+            }
+            return out;
         }
     }
 
@@ -535,7 +592,6 @@ impl<V: ValueCodec + Clone + Send + Sync, const K: usize> DurableSharded<V, K> {
     /// write with [`ShardError::Overloaded`] *before* journaling, so a
     /// shed write is neither durable nor applied — safe to retry.
     pub fn insert(&self, key: [u64; K], value: V) -> Result<Option<V>, ShardError> {
-        let mut value = Some(value);
         self.with_cell_write(&key, |slot, cs| {
             if let Some(b) = cs.backlog.as_ref() {
                 if b.ops.len() >= b.cap {
@@ -546,7 +602,6 @@ impl<V: ValueCodec + Clone + Send + Sync, const K: usize> DurableSharded<V, K> {
                     });
                 }
             }
-            let value = value.take().expect("insert retried after completion");
             let queued = cs.backlog.is_some().then(|| value.clone());
             let prev = cs.store.insert(key, value)?;
             if let Some(value) = queued {
@@ -581,25 +636,25 @@ impl<V: ValueCodec + Clone + Send + Sync, const K: usize> DurableSharded<V, K> {
         })
     }
 
-    /// Applies `f` to the value at `key` under the shard's read lock.
+    /// Applies `f` to the value at `key` in the current published
+    /// version — zero-copy, zero-lock, never blocked by writers.
     /// During a migration this still reads the (fully current) source
     /// shard — reads never degrade.
     pub fn get_with<R>(&self, key: &[u64; K], f: impl FnOnce(&V) -> R) -> Option<R> {
-        let mut f = Some(f);
         loop {
-            let inner = self.snapshot();
+            let inner = self.load_state();
             let slot = inner.map.route(key);
             let cell = inner.cells[slot]
                 .as_ref()
                 .expect("routing map addressed a missing cell");
-            let guard = cell.state.read().unwrap();
-            if cell.retired.load(Ordering::Acquire) {
-                continue;
+            let published = cell.published.load();
+            if !cell.retired.load(Ordering::SeqCst) {
+                self.swap_metrics.note_root_age(&published.stamp);
+                return published.tree.get(key).map(f);
             }
-            return guard
-                .store
-                .get(key)
-                .map(|v| (f.take().expect("get retried after completion"))(v));
+            // A split commit retired this cell; its successor state
+            // installs within the same clock bracket.
+            std::hint::spin_loop();
         }
     }
 
@@ -608,24 +663,9 @@ impl<V: ValueCodec + Clone + Send + Sync, const K: usize> DurableSharded<V, K> {
         self.get_with(key, |_| ()).is_some()
     }
 
-    /// Total entries across shards (read-committed).
+    /// Total entries across shards, from one consistent snapshot.
     pub fn len(&self) -> usize {
-        let inner = self.snapshot();
-        inner
-            .map
-            .live_slots()
-            .into_iter()
-            .map(|s| {
-                inner.cells[s]
-                    .as_ref()
-                    .expect("live slot without a cell")
-                    .state
-                    .read()
-                    .unwrap()
-                    .store
-                    .len()
-            })
-            .sum()
+        self.snapshot().len()
     }
 
     /// Whether the store holds no entries.
@@ -633,65 +673,67 @@ impl<V: ValueCodec + Clone + Send + Sync, const K: usize> DurableSharded<V, K> {
         self.len() == 0
     }
 
-    /// Collects all entries in the window `[min, max]`, in global
-    /// Z-order. Shards outside the window are pruned by the routing
-    /// map's mask walk and never locked; a split committing mid-scan
-    /// is detected (retired cell) and the query re-runs on the new
-    /// epoch.
-    pub fn query(&self, min: &[u64; K], max: &[u64; K]) -> Vec<([u64; K], V)> {
+    /// Pins a consistent point-in-time view across all shards (see
+    /// [`Snapshot`] and the [`crate::snapshot`] cut protocol). Cheap:
+    /// one pinned `Arc` per shard; versions share structure with the
+    /// live stores' trees copy-on-write. The snapshot covers applied
+    /// state — exactly the acknowledged writes up to its cut.
+    pub fn snapshot(&self) -> Snapshot<V, K> {
+        // Optimistic: collect between two quiet observations of the
+        // write clock; never blocks writers.
+        for _ in 0..SNAPSHOT_SPIN {
+            let Some(begun) = self.clock.stable() else {
+                std::hint::spin_loop();
+                continue;
+            };
+            let inner = self.load_state();
+            let roots: Vec<Option<Arc<Published<V, K>>>> = inner
+                .cells
+                .iter()
+                .map(|c| c.as_ref().map(|c| c.published.load()))
+                .collect();
+            if self.clock.begun() == begun {
+                return Snapshot::new(Arc::clone(&inner.map), roots, self.swap_metrics.clone());
+            }
+        }
+        // Sustained write pressure: freeze the cut under every live
+        // cell's state lock (slot order — same order as bulk_load's
+        // multi-acquisition, so no deadlock).
         'retry: loop {
-            let inner = self.snapshot();
-            let mut out = Vec::new();
-            for s in inner.map.matching_shards(min, max) {
+            let inner = self.load_state();
+            let live = inner.map.live_slots();
+            let mut guards = Vec::with_capacity(live.len());
+            for &s in &live {
                 let cell = inner.cells[s].as_ref().expect("live slot without a cell");
-                let guard = cell.state.read().unwrap();
-                if cell.retired.load(Ordering::Acquire) {
+                let guard = cell.state.lock();
+                if cell.retired.load(Ordering::SeqCst) {
                     continue 'retry;
                 }
-                out.extend(
-                    guard
-                        .store
-                        .tree()
-                        .query(min, max)
-                        .map(|(k, v)| (k, v.clone())),
-                );
+                guards.push(guard);
             }
-            return out;
+            let roots: Vec<Option<Arc<Published<V, K>>>> = inner
+                .cells
+                .iter()
+                .map(|c| c.as_ref().map(|c| c.published.load()))
+                .collect();
+            return Snapshot::new(Arc::clone(&inner.map), roots, self.swap_metrics.clone());
         }
     }
 
+    /// Collects all entries in the window `[min, max]`, in global
+    /// Z-order, against one consistent [`Snapshot`] — no locks, and a
+    /// split or batch mid-scan can never tear the result. Shards
+    /// outside the window are pruned by the routing map's mask walk.
+    pub fn query(&self, min: &[u64; K], max: &[u64; K]) -> Vec<([u64; K], V)> {
+        self.snapshot().query(min, max)
+    }
+
     /// The `n` entries nearest to `center` under integer Euclidean
-    /// distance, nearest first, as `(key, value, distance)`. Every
-    /// live shard answers its local kNN under its read lock; the
-    /// global result is the same bounded k-way merge the in-memory
-    /// layer uses. Read-committed across shards; a split committing
-    /// mid-scan retires a cell and the whole scan re-runs on the new
-    /// epoch.
+    /// distance, nearest first, as `(key, value, distance)`: per-shard
+    /// kNN over one consistent [`Snapshot`]'s pinned versions, merged
+    /// with the same bounded k-way merge the in-memory layer uses.
     pub fn knn(&self, center: &[u64; K], n: usize) -> Vec<([u64; K], V, f64)> {
-        if n == 0 {
-            return Vec::new();
-        }
-        'retry: loop {
-            let inner = self.snapshot();
-            let mut lists = Vec::new();
-            for s in inner.map.live_slots() {
-                let cell = inner.cells[s].as_ref().expect("live slot without a cell");
-                let guard = cell.state.read().unwrap();
-                if cell.retired.load(Ordering::Acquire) {
-                    continue 'retry;
-                }
-                lists.push(
-                    guard
-                        .store
-                        .tree()
-                        .knn(center, n)
-                        .into_iter()
-                        .map(|nb| (nb.key, nb.value.clone(), nb.dist))
-                        .collect(),
-                );
-            }
-            return merge_nearest(lists, n, |e| e.2);
-        }
+        self.snapshot().knn(center, n)
     }
 
     /// Bulk-inserts `items`: the batch admission seam the serving
@@ -710,10 +752,17 @@ impl<V: ValueCodec + Clone + Send + Sync, const K: usize> DurableSharded<V, K> {
     /// failing item and everything after it (in slot order, then batch
     /// order within a slot) are neither journaled nor applied; items
     /// before it are as durable as individually acknowledged inserts.
+    ///
+    /// Publication is all-at-once: every involved shard's new tree
+    /// version is published inside **one** write-clock bracket after
+    /// the whole batch applies, so a [`Snapshot`] observes either none
+    /// of the batch or all of it — never a torn batch. (A shed batch
+    /// publishes nothing; a mid-batch I/O error publishes the applied,
+    /// durable prefix before surfacing the error.)
     pub fn bulk_load(&self, items: Vec<([u64; K], V)>) -> Result<usize, ShardError> {
         let mut new_total = 0usize;
         'retry: loop {
-            let inner = self.snapshot();
+            let inner = self.load_state();
             let bound = inner.map.slot_bound();
             let mut parts: Vec<Vec<([u64; K], V)>> = (0..bound).map(|_| Vec::new()).collect();
             for (k, v) in items.iter() {
@@ -721,21 +770,26 @@ impl<V: ValueCodec + Clone + Send + Sync, const K: usize> DurableSharded<V, K> {
             }
             // Lock every involved cell, ascending slot order (every
             // other lock holder in this crate holds at most one cell
-            // lock at a time, so an ordered multi-acquisition cannot
-            // deadlock). A retired cell means a split committed since
-            // the snapshot: drop everything and re-route.
+            // lock at a time or locks in the same ascending order, so
+            // an ordered multi-acquisition cannot deadlock). A retired
+            // cell means a split committed since the state load: drop
+            // everything and re-route.
             let involved: Vec<usize> = (0..bound).filter(|&s| !parts[s].is_empty()).collect();
+            let cells: Vec<&Arc<DurCell<V, K>>> = involved
+                .iter()
+                .map(|&s| inner.cells[s].as_ref().expect("live slot without a cell"))
+                .collect();
             let mut guards = Vec::with_capacity(involved.len());
-            for &s in &involved {
-                let cell = inner.cells[s].as_ref().expect("live slot without a cell");
-                let guard = cell.state.write().unwrap();
-                if cell.retired.load(Ordering::Acquire) {
+            for cell in &cells {
+                let guard = cell.state.lock();
+                if cell.retired.load(Ordering::SeqCst) {
                     continue 'retry;
                 }
                 guards.push(guard);
             }
             // Admission: every partition must fit its armed backlog
-            // before anything is journaled — all-or-nothing shedding.
+            // before anything is journaled — all-or-nothing shedding
+            // (and nothing published: the trees never changed).
             for (&s, cs) in involved.iter().zip(guards.iter()) {
                 if let Some(b) = cs.backlog.as_ref() {
                     if b.ops.len() + parts[s].len() > b.cap {
@@ -747,11 +801,20 @@ impl<V: ValueCodec + Clone + Send + Sync, const K: usize> DurableSharded<V, K> {
                     }
                 }
             }
-            for (&s, cs) in involved.iter().zip(guards.iter_mut()) {
+            let mut failure = None;
+            'apply: for (&s, cs) in involved.iter().zip(guards.iter_mut()) {
                 for (key, value) in parts[s].drain(..) {
                     let queued = cs.backlog.is_some().then(|| value.clone());
-                    if cs.store.insert(key, value)?.is_none() {
-                        new_total += 1;
+                    match cs.store.insert(key, value) {
+                        Ok(prev) => {
+                            if prev.is_none() {
+                                new_total += 1;
+                            }
+                        }
+                        Err(e) => {
+                            failure = Some(e);
+                            break 'apply;
+                        }
                     }
                     if let Some(value) = queued {
                         cs.backlog
@@ -762,39 +825,27 @@ impl<V: ValueCodec + Clone + Send + Sync, const K: usize> DurableSharded<V, K> {
                     }
                 }
             }
-            return Ok(new_total);
+            // One bracket covering every involved cell: readers and
+            // snapshots see the batch land atomically. On failure this
+            // publishes the applied (journaled, durable) prefix.
+            self.clock.bracket(|| {
+                for (cell, cs) in cells.iter().zip(guards.iter()) {
+                    cell.publish(cs, &self.swap_metrics);
+                }
+            });
+            return match failure {
+                None => Ok(new_total),
+                Some(e) => Err(e.into()),
+            };
         }
     }
 
     /// Per-shard statistics (slot ids, entry counts, epoch) shaped
     /// like [`crate::ShardStats`] minus the in-memory-only counters —
-    /// this is what the rebalancer's skew watch reads.
+    /// this is what the rebalancer's skew watch reads. Served from one
+    /// consistent [`Snapshot`], lock-free.
     pub fn stats(&self) -> crate::ShardStats {
-        let inner = self.snapshot();
-        let live_slots = inner.map.live_slots();
-        let per_shard: Vec<usize> = live_slots
-            .iter()
-            .map(|&s| {
-                inner.cells[s]
-                    .as_ref()
-                    .expect("live slot without a cell")
-                    .state
-                    .read()
-                    .unwrap()
-                    .store
-                    .len()
-            })
-            .collect();
-        crate::ShardStats {
-            shards: inner.map.shards(),
-            threads: 0,
-            entries: per_shard.iter().sum(),
-            per_shard,
-            live_slots,
-            epoch: inner.map.epoch(),
-            shards_scanned: 0,
-            shards_pruned: 0,
-        }
+        self.snapshot().stats()
     }
 
     /// Checkpoints every live shard (snapshot + WAL rotation) in
@@ -809,7 +860,7 @@ impl<V: ValueCodec + Clone + Send + Sync, const K: usize> DurableSharded<V, K> {
     /// have advanced, which is safe, and a subsequent reopen recovers
     /// every shard from whatever generation it reached.
     pub fn checkpoint_all(&self) -> Result<Vec<(usize, u64)>, ShardError> {
-        let inner = self.snapshot();
+        let inner = self.load_state();
         let live = inner.map.live_slots();
         let mut gens: Vec<Option<Result<u64, StoreError>>> =
             (0..live.len()).map(|_| None).collect();
@@ -817,7 +868,7 @@ impl<V: ValueCodec + Clone + Send + Sync, const K: usize> DurableSharded<V, K> {
             let mut handles = Vec::with_capacity(live.len());
             for &slot in &live {
                 let cell = Arc::clone(inner.cells[slot].as_ref().expect("live slot"));
-                handles.push(scope.spawn(move || cell.state.write().unwrap().store.checkpoint()));
+                handles.push(scope.spawn(move || cell.state.lock().store.checkpoint()));
             }
             for (out, h) in gens.iter_mut().zip(handles) {
                 *out = Some(h.join().expect("checkpoint thread panicked"));
@@ -835,14 +886,13 @@ impl<V: ValueCodec + Clone + Send + Sync, const K: usize> DurableSharded<V, K> {
 
     /// Durability barrier on every live shard's WAL.
     pub fn sync_all(&self) -> Result<(), StoreError> {
-        let inner = self.snapshot();
+        let inner = self.load_state();
         for s in inner.map.live_slots() {
             inner.cells[s]
                 .as_ref()
                 .expect("live slot without a cell")
                 .state
-                .write()
-                .unwrap()
+                .lock()
                 .store
                 .sync()?;
         }
@@ -871,12 +921,12 @@ impl<V: ValueCodec + Clone + Send + Sync, const K: usize> DurableSharded<V, K> {
         bits: u32,
     ) -> Result<PendingSplit<'_, V, K>, ShardError> {
         let mut gate = self.split_gate.lock().unwrap();
-        let inner = self.snapshot();
+        let inner = self.load_state();
         let cell = inner
             .cells
             .get(slot)
             .and_then(|c| c.as_ref())
-            .filter(|c| !c.retired.load(Ordering::Acquire))
+            .filter(|c| !c.retired.load(Ordering::SeqCst))
             .cloned()
             .ok_or(ShardError::UnknownSlot { slot })
             .inspect_err(|_| self.reb_metrics.split_failures.inc())?;
@@ -904,13 +954,14 @@ impl<V: ValueCodec + Clone + Send + Sync, const K: usize> DurableSharded<V, K> {
         }
         self.reb_metrics.migration_inflight.add(1);
 
-        // Freeze point: under the cell's write lock, snapshot the tree
+        // Freeze point: under the cell's state lock, snapshot the tree
         // and arm the backlog. Every write ordered after this lock
         // release lands in the backlog (or sheds); everything before
-        // is in the snapshot. The lock is held only for the O(n)
-        // clone, not the rebuild.
+        // is in the snapshot. The lock is held only for the O(1)
+        // structural clone (versions share nodes copy-on-write), not
+        // the rebuild.
         let snap = {
-            let mut cs = cell.state.write().unwrap();
+            let mut cs = cell.state.lock();
             debug_assert!(cs.backlog.is_none(), "split gate admitted two migrations");
             cs.backlog = Some(Backlog {
                 ops: Vec::new(),
@@ -976,9 +1027,9 @@ impl<V: ValueCodec + Clone + Send + Sync, const K: usize> DurableSharded<V, K> {
             mut children,
             migrated,
         } = pending;
-        let inner = self.snapshot();
+        let inner = self.load_state();
         let cell = Arc::clone(inner.cells[src].as_ref().expect("pending split src cell"));
-        let mut cs = cell.state.write().unwrap();
+        let mut cs = cell.state.lock();
         let backlog = cs
             .backlog
             .take()
@@ -1026,26 +1077,29 @@ impl<V: ValueCodec + Clone + Send + Sync, const K: usize> DurableSharded<V, K> {
             return Err(e.into());
         }
 
-        // Install the new epoch while still holding the source's write
-        // lock, then retire it: waiters wake, see retired, re-route.
+        // Install the new epoch while still holding the source's state
+        // lock. The retire flag flips *before* the successor state
+        // installs, both inside one write-clock bracket: a lock-free
+        // reader that loaded the old state either sees retired=false —
+        // in which case the source's published root is still complete
+        // for its region — or sees retired=true and re-routes onto the
+        // successor; and a snapshot can never cut between the two.
+        // Each child's initial publication counts as a root swap.
         let epoch = map2.epoch();
         let mut cells = inner.cells.clone();
         cells.resize(map2.slot_bound(), None);
         cells[src] = None;
         for (i, child) in children.into_iter().enumerate() {
-            cells[base + i] = Some(Arc::new(DurCell {
-                retired: AtomicBool::new(false),
-                state: RwLock::new(DurCellState {
-                    store: child,
-                    backlog: None,
-                }),
-            }));
+            cells[base + i] = Some(DurCell::fresh(child));
+            self.swap_metrics.root_swaps.inc();
         }
-        *self.state.write().unwrap() = Arc::new(DurInner {
-            map: Arc::new(map2),
-            cells,
+        self.clock.bracket(|| {
+            cell.retired.store(true, Ordering::SeqCst);
+            self.state.store(Arc::new(DurInner {
+                map: Arc::new(map2),
+                cells,
+            }));
         });
-        cell.retired.store(true, Ordering::Release);
         drop(cs);
 
         // The source directory is now unreferenced; scrub best-effort
@@ -1078,7 +1132,7 @@ impl<V: ValueCodec + Clone + Send + Sync, const K: usize> DurableSharded<V, K> {
             ..
         } = pending;
         drop(children);
-        let inner = self.snapshot();
+        let inner = self.load_state();
         let cell = Arc::clone(inner.cells[src].as_ref().expect("pending split src cell"));
         self.rollback_in_place(&cell, &child_slots, &inner.map, &mut _gate);
         Ok(())
@@ -1108,7 +1162,7 @@ impl<V: ValueCodec + Clone + Send + Sync, const K: usize> DurableSharded<V, K> {
                 migration: None,
             },
         );
-        cell.state.write().unwrap().backlog = None;
+        cell.state.lock().backlog = None;
         self.reb_metrics.migration_inflight.add(-1);
     }
 }

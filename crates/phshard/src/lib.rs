@@ -11,11 +11,18 @@
 //!   ([`Router`]). Every shard owns an axis-aligned hypercube prefix
 //!   region, so a window query prunes non-matching shards with the
 //!   *same* `mL`/`mU` masks the in-node range iterator uses.
-//! * Each shard's [`phtree::PhTree`] sits in a reader-writer cell:
-//!   point ops lock one shard; window queries / kNN / bulk loads fan
-//!   out across a std-only [`WorkerPool`] (no rayon — the workspace
-//!   builds offline) and merge results (kNN via a bounded k-way heap
-//!   merge).
+//! * The read path is **lock-free** (MVCC-lite): every write publishes
+//!   an immutable tree version — an O(1) structural clone, versions
+//!   share nodes copy-on-write — through an atomic swap cell, and
+//!   `get`/`query`/`knn` serve from published versions without
+//!   acquiring any lock (pinned by a debug-mode lock counter,
+//!   [`data_lock_acquisitions`]). Writes lock one shard; window
+//!   queries / kNN / bulk loads fan out across a std-only
+//!   [`WorkerPool`] (no rayon — the workspace builds offline) and
+//!   merge results (kNN via a bounded k-way heap merge).
+//! * [`ShardedTree::snapshot`] / [`DurableSharded::snapshot`] pin a
+//!   [`Snapshot`]: a consistent cut across all shards, so cross-shard
+//!   scans are snapshot reads instead of read-committed.
 //! * [`DurableSharded`] gives every shard its own [`phstore::Durable`]
 //!   write-ahead log in `base/shard-NNN/`, so journaling never
 //!   serialises across shards and crash recovery replays all shards in
@@ -29,8 +36,8 @@
 //!
 //! ## Consistency model
 //!
-//! See [`Consistency`]: per-shard linearizable, cross-shard
-//! read-committed.
+//! See [`Consistency`]: per-shard linearizable, cross-shard snapshot
+//! reads (a consistent cut; see [`Snapshot`]).
 //!
 //! ## Quick start
 //!
@@ -52,55 +59,66 @@
 mod durable;
 mod epoch;
 mod error;
+mod lockstat;
 mod merge;
 mod metrics;
 mod pool;
 mod rebalance;
 mod route;
 mod sharded;
+pub mod snapshot;
+mod swap;
 
 pub use durable::{DurableSharded, PendingSplit, DEFAULT_BACKLOG_CAP, MANIFEST_FILE};
 pub use epoch::{ShardMap, MAX_DEPTH};
 pub use error::ShardError;
+#[cfg(debug_assertions)]
+pub use lockstat::data_lock_acquisitions;
 pub use metrics::PoolMetrics;
 pub use pool::WorkerPool;
 pub use rebalance::{RebalancePolicy, Rebalancer, SkewReport, Splittable};
 pub use route::{Router, MAX_SHARDS};
 pub use sharded::{ShardStats, ShardedTree, SplitReport};
+pub use snapshot::Snapshot;
 
 /// The consistency guarantee of an operation on a sharded tree.
 ///
-/// The sharded layer deliberately trades global ordering for
+/// The sharded layer deliberately trades global write ordering for
 /// parallelism, and this enum documents exactly where the line is:
 ///
 /// * Operations touching **one key** (`insert`, `remove`, `get`,
-///   `get_with`, `contains`) acquire the owning shard's reader-writer
-///   lock and are therefore [`Consistency::Linearizable`] — there is a
-///   single total order of operations per shard, and every read sees
-///   the latest acknowledged write of its key.
+///   `get_with`, `contains`) are [`Consistency::Linearizable`]:
+///   writers serialise on the owning shard's writer lock and publish a
+///   new tree version before acknowledging; readers load the published
+///   version lock-free, so every read sees the latest acknowledged
+///   write of its key — without ever blocking on a writer.
 /// * Operations spanning **multiple shards** (`query`, `query_count`,
-///   `knn`, `len`, `bulk_load`, `stats`) lock each shard independently
-///   (never two at once — no lock-order deadlocks, writers never stall
-///   behind a long cross-shard scan). Each shard contributes a
-///   committed snapshot, but the snapshots are not taken at one global
-///   instant: [`Consistency::ReadCommitted`]. A query concurrent with
-///   writes may reflect a write on shard A and miss an *earlier* write
-///   on shard B; it never sees torn or uncommitted state.
+///   `knn`, `len`, `stats`, and everything on a [`Snapshot`]) are
+///   [`Consistency::Snapshot`]: they pin one consistent cut of the
+///   write history across *all* shards (see [`crate::snapshot`] for
+///   the cut protocol) and read it without locks. A scan concurrent
+///   with writes reflects exactly the writes that precede its cut —
+///   never half of a batch, never one side of a shard split, never a
+///   write on shard A together with a miss of an earlier write on
+///   shard B. (This upgrades the pre-MVCC model, which was
+///   read-committed: per-shard committed states with no global
+///   instant.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Consistency {
     /// Single total order; reads see the latest acknowledged write.
-    /// Holds for all single-key operations (they lock one shard).
+    /// Holds for all single-key operations.
     Linearizable,
-    /// Per-shard committed snapshots without a global instant. Holds
-    /// for all cross-shard operations.
-    ReadCommitted,
+    /// One consistent cut of the write history across all shards.
+    /// Holds for all cross-shard reads (they scan a pinned
+    /// [`Snapshot`]).
+    Snapshot,
 }
 
 /// The guarantee an operation enjoys, by whether it can span shards.
 /// (Single-key ops never span shards; everything else may.)
 pub const fn consistency(spans_shards: bool) -> Consistency {
     if spans_shards {
-        Consistency::ReadCommitted
+        Consistency::Snapshot
     } else {
         Consistency::Linearizable
     }
@@ -113,6 +131,7 @@ const _: () = {
     const fn send_sync<T: Send + Sync>() {}
     send_sync::<ShardedTree<String, 3>>();
     send_sync::<DurableSharded<String, 3>>();
+    send_sync::<Snapshot<String, 3>>();
     send_sync::<Router<3>>();
     send_sync::<WorkerPool>();
 };

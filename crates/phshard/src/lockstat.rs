@@ -1,0 +1,73 @@
+//! Debug-mode accounting of data-path lock acquisitions.
+//!
+//! The MVCC-lite read path claims `get`/`query`/`knn`/`snapshot` take
+//! **zero** locks on shard state: readers load published tree versions
+//! through the lock-free [`crate::swap::Swap`] cell and traverse pure
+//! data. That claim is pinned by a test, not a comment: every lock
+//! guarding shard *data* in this crate is acquired through
+//! [`DataMutex`], which (under `debug_assertions` only) bumps a global
+//! counter. The `read_lockfree` integration test asserts the counter
+//! does not move across reads.
+//!
+//! Scope: the counter covers shard state and cell locks — the locks
+//! whose absence on the read path is the point. It deliberately does
+//! *not* cover the worker pool's internal queue mutex (scheduling, not
+//! data; reads of published roots never contend with writers through
+//! it) or `Swap`'s internal writer mutex (write path only — `load`
+//! takes no lock at all).
+
+use std::sync::{Mutex, MutexGuard};
+
+#[cfg(debug_assertions)]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[cfg(debug_assertions)]
+static DATA_LOCK_ACQS: AtomicU64 = AtomicU64::new(0);
+
+/// Data-path lock acquisitions since process start (debug builds
+/// only). Sample before and after an operation to count what it took;
+/// a lock-free read path leaves the value unchanged.
+#[cfg(debug_assertions)]
+pub fn data_lock_acquisitions() -> u64 {
+    DATA_LOCK_ACQS.load(Ordering::SeqCst)
+}
+
+#[inline]
+fn note_acquisition() {
+    #[cfg(debug_assertions)]
+    DATA_LOCK_ACQS.fetch_add(1, Ordering::SeqCst);
+}
+
+/// A `Mutex` guarding shard data, instrumented so debug builds can
+/// prove which paths acquire it. Poisoning is swallowed (`lock` on a
+/// poisoned mutex panics, matching the `.unwrap()` idiom it replaces).
+pub(crate) struct DataMutex<T>(Mutex<T>);
+
+impl<T> DataMutex<T> {
+    pub(crate) fn new(value: T) -> Self {
+        DataMutex(Mutex::new(value))
+    }
+
+    /// Locks, counting the acquisition in debug builds.
+    pub(crate) fn lock(&self) -> MutexGuard<'_, T> {
+        note_acquisition();
+        self.0.lock().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn lock_bumps_the_counter() {
+        let m = DataMutex::new(7u32);
+        let before = data_lock_acquisitions();
+        {
+            let g = m.lock();
+            assert_eq!(*g, 7);
+        }
+        assert!(data_lock_acquisitions() > before);
+    }
+}

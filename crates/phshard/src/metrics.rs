@@ -43,6 +43,52 @@
 //!   (gauge; 0 or 1 per slot, splits are serialised).
 
 use phmetrics::{Counter, Gauge, Histogram, OpTimer, Registry};
+use std::time::Instant;
+
+/// Instruments of the MVCC-lite publication machinery, shared by the
+/// in-memory and durable layers:
+///
+/// * `phshard_root_swaps_total` — published tree versions (one root
+///   swap per write/batch/split publication).
+/// * `phshard_snapshot_live` — currently live [`crate::Snapshot`]
+///   handles (gauge; `high_water` tracks the peak).
+/// * `phshard_root_age_ns` — log₂ histogram of the age of the
+///   published root at the moment a reader served from it (how stale
+///   lock-free reads actually run).
+#[derive(Clone)]
+pub(crate) struct SwapMetrics {
+    pub(crate) root_swaps: Counter,
+    pub(crate) snapshot_live: Gauge,
+    pub(crate) root_age_ns: Histogram,
+}
+
+impl SwapMetrics {
+    pub(crate) fn disabled() -> Self {
+        SwapMetrics {
+            root_swaps: Counter::noop(),
+            snapshot_live: Gauge::noop(),
+            root_age_ns: Histogram::noop(),
+        }
+    }
+
+    pub(crate) fn new(reg: &Registry) -> Self {
+        SwapMetrics {
+            root_swaps: reg.counter("phshard_root_swaps_total"),
+            snapshot_live: reg.gauge("phshard_snapshot_live"),
+            root_age_ns: reg.histogram("phshard_root_age_ns"),
+        }
+    }
+
+    /// Records how old the published root a reader just served from
+    /// was.
+    #[inline]
+    pub(crate) fn note_root_age(&self, published_at: &Instant) {
+        if self.root_age_ns.is_enabled() {
+            self.root_age_ns
+                .record(published_at.elapsed().as_nanos() as u64);
+        }
+    }
+}
 
 /// Handles for one operation type: total counter + latency histogram.
 #[derive(Clone)]

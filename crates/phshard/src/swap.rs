@@ -1,0 +1,161 @@
+//! A std-only atomically swappable `Arc<T>` cell with lock-free reads.
+//!
+//! This is the publication primitive of the MVCC-lite read path: each
+//! shard cell publishes its current tree version through a [`Swap`],
+//! readers take [`Swap::load`] (no lock, no blocking on writers), and
+//! writers install new versions with [`Swap::store`]. The workspace
+//! builds offline, so this is hand-rolled on `std` atomics instead of
+//! pulling in `arc-swap`.
+//!
+//! ## How it works
+//!
+//! Two slots hold `Arc<T>`s; an atomic index names the current one.
+//! Each slot carries a reader count. A reader:
+//!
+//! 1. loads the current index `i`,
+//! 2. increments `readers[i]`,
+//! 3. re-checks the index — if it moved, backs off and retries
+//!    *without touching the slot*,
+//! 4. clones the `Arc` out of slot `i`, then decrements `readers[i]`.
+//!
+//! A writer (serialised by an internal mutex) targets the *standby*
+//! slot: it waits for that slot's reader count to drain to zero,
+//! overwrites the slot, and flips the index. The current slot is never
+//! written, and the standby slot is never written while a reader holds
+//! its count — so the re-check in step 3 is what makes step 4 safe:
+//! either the index still names the slot (then every write to it
+//! happened-before the index flip that published it, `SeqCst`), or the
+//! reader backs off before dereferencing.
+//!
+//! Readers are lock-free: they never wait on a held lock, only retry
+//! when a concurrent flip lands between steps 1 and 3 (at most one
+//! in-flight flip can do this per attempt). Writers may briefly spin
+//! waiting for stale readers to drain — the cost is deliberately on
+//! the write side.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// An atomically swappable `Arc<T>`: wait-free-in-practice `load`,
+/// serialised `store`.
+pub(crate) struct Swap<T> {
+    slots: [UnsafeCell<Arc<T>>; 2],
+    readers: [AtomicUsize; 2],
+    current: AtomicUsize,
+    /// Serialises writers; readers never touch it.
+    write: Mutex<()>,
+}
+
+// Safety: the reader/writer protocol above guarantees a slot is never
+// written while any thread reads it (see module docs), so sharing
+// `&Swap<T>` across threads is sound whenever `Arc<T>` itself is
+// sendable and shareable.
+unsafe impl<T: Send + Sync> Send for Swap<T> {}
+unsafe impl<T: Send + Sync> Sync for Swap<T> {}
+
+impl<T> Swap<T> {
+    /// A cell initially publishing `value`.
+    pub(crate) fn new(value: Arc<T>) -> Self {
+        Swap {
+            slots: [UnsafeCell::new(Arc::clone(&value)), UnsafeCell::new(value)],
+            readers: [AtomicUsize::new(0), AtomicUsize::new(0)],
+            current: AtomicUsize::new(0),
+            write: Mutex::new(()),
+        }
+    }
+
+    /// The currently published value. Lock-free: never blocks on a
+    /// writer, retries only while an index flip is in flight.
+    pub(crate) fn load(&self) -> Arc<T> {
+        loop {
+            let i = self.current.load(Ordering::SeqCst);
+            self.readers[i].fetch_add(1, Ordering::SeqCst);
+            if self.current.load(Ordering::SeqCst) == i {
+                // The slot is pinned: a writer targets it only when its
+                // reader count is zero, and ours is visible (`SeqCst`).
+                let out = unsafe { (*self.slots[i].get()).clone() };
+                self.readers[i].fetch_sub(1, Ordering::Release);
+                return out;
+            }
+            // A flip landed between the two index loads; the slot may
+            // be the writer's target now. Back off without reading it.
+            self.readers[i].fetch_sub(1, Ordering::Release);
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Publishes `value`, replacing the current one. Writers are
+    /// serialised; the call briefly spins while readers that caught the
+    /// *previous* flip mid-load drain off the standby slot.
+    pub(crate) fn store(&self, value: Arc<T>) {
+        let _w = self.write.lock().unwrap();
+        let standby = 1 - self.current.load(Ordering::SeqCst);
+        while self.readers[standby].load(Ordering::SeqCst) != 0 {
+            std::hint::spin_loop();
+        }
+        // Safety: we hold the writer mutex, the standby slot is not
+        // `current` (no new reader pins it: they re-check the index),
+        // and its reader count drained — no other thread accesses it.
+        unsafe { *self.slots[standby].get() = value };
+        self.current.store(standby, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn load_returns_latest_store() {
+        let s = Swap::new(Arc::new(1u64));
+        assert_eq!(*s.load(), 1);
+        s.store(Arc::new(2));
+        assert_eq!(*s.load(), 2);
+        s.store(Arc::new(3));
+        s.store(Arc::new(4));
+        assert_eq!(*s.load(), 4);
+    }
+
+    #[test]
+    fn concurrent_loads_and_stores_see_whole_values() {
+        // Each published value is (n, n): a torn read would pair
+        // different halves.
+        let s = Arc::new(Swap::new(Arc::new((0u64, 0u64))));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let s = Arc::clone(&s);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut last = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    let v = s.load();
+                    assert_eq!(v.0, v.1, "torn publication");
+                    assert!(v.0 >= last, "went back in time");
+                    last = v.0;
+                }
+            }));
+        }
+        for n in 1..=10_000u64 {
+            s.store(Arc::new((n, n)));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(*s.load(), (10_000, 10_000));
+    }
+
+    #[test]
+    fn old_versions_stay_alive_while_held() {
+        let s = Swap::new(Arc::new(vec![1, 2, 3]));
+        let pinned = s.load();
+        s.store(Arc::new(vec![9]));
+        s.store(Arc::new(vec![10]));
+        // The pinned Arc still reads the version it captured.
+        assert_eq!(*pinned, vec![1, 2, 3]);
+        assert_eq!(*s.load(), vec![10]);
+    }
+}

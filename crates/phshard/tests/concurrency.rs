@@ -182,3 +182,197 @@ fn durable_sharded_checkpoint_and_reopen() {
         Some("v5")
     );
 }
+
+/// Torn-scan regression: a scan concurrent with batch inserts and
+/// online splits must never observe a partially applied batch.
+///
+/// In-memory, `bulk_load` publishes each shard's partition as one
+/// version (per-shard batch atomicity), so batches whose keys co-route
+/// — here they share the top 8 bits of every coordinate, more prefix
+/// than the router can ever consume (`MAX_DEPTH` = 16 interleaved bits
+/// at K=2) — are atomic to snapshots even across splits. Durable,
+/// `bulk_load` publishes every involved shard inside one write-clock
+/// bracket, so arbitrary cross-shard batches are atomic.
+#[test]
+fn scans_never_observe_torn_batches() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const B: u64 = 8; // batch size; every item of batch b carries value b
+    let check = |got: Vec<([u64; 2], u64)>, layer: &str| {
+        let mut counts = std::collections::HashMap::new();
+        for (_, v) in got {
+            *counts.entry(v).or_insert(0u64) += 1;
+        }
+        for (b, n) in counts {
+            assert_eq!(n, B, "{layer}: scan saw {n}/{B} items of batch {b}");
+        }
+    };
+
+    // ---- in-memory: co-routed batches + splits ----
+    let tree: Arc<ShardedTree<u64, 2>> = Arc::new(ShardedTree::with_threads(4, 2));
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        {
+            let tree = Arc::clone(&tree);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                for b in 1..=400u64 {
+                    let h = b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    let batch: Vec<([u64; 2], u64)> = (0..B)
+                        .map(|i| ([(h & !0xFF) | i, h.rotate_left(17)], b))
+                        .collect();
+                    tree.bulk_load(batch);
+                    if b % 80 == 0 {
+                        if let Some((hot, _)) = tree.stats().hottest() {
+                            let _ = tree.split_shard(hot, 1);
+                        }
+                    }
+                }
+                stop.store(true, Ordering::Relaxed);
+            });
+        }
+        for _ in 0..2 {
+            let tree = Arc::clone(&tree);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    check(tree.snapshot().query(&[0; 2], &[u64::MAX; 2]), "mem");
+                }
+            });
+        }
+    });
+    check(tree.query(&[0; 2], &[u64::MAX; 2]), "mem-final");
+    assert_eq!(tree.len(), 400 * B as usize);
+
+    // ---- durable: cross-shard batches + splits ----
+    let vfs = Arc::new(MemVfs::new());
+    let cfg = DurableConfig {
+        checkpoint_bytes: u64::MAX,
+        sync_writes: false,
+        retry: None,
+    };
+    let store: Arc<DurableSharded<u64, 2>> =
+        Arc::new(DurableSharded::open_with(vfs, Path::new("/torn"), 2, cfg).unwrap());
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                for b in 1..=200u64 {
+                    let batch: Vec<([u64; 2], u64)> = (0..B)
+                        .map(|i| {
+                            let h = (b * B + i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                            ([h, h.rotate_left(32)], b)
+                        })
+                        .collect();
+                    store.bulk_load(batch).unwrap();
+                    if b % 60 == 0 {
+                        if let Some((hot, _)) = store.stats().hottest() {
+                            let _ = store.split_shard(hot, 1);
+                        }
+                    }
+                }
+                stop.store(true, Ordering::Relaxed);
+            });
+        }
+        for _ in 0..2 {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    check(store.snapshot().query(&[0; 2], &[u64::MAX; 2]), "dur");
+                }
+            });
+        }
+    });
+    check(store.query(&[0; 2], &[u64::MAX; 2]), "dur-final");
+    assert_eq!(store.len(), 200 * B as usize);
+}
+
+/// Sustained read-under-write stress for CI (run with `-- --ignored`):
+/// ≥5 seconds of lock-free readers against a churning writer and a
+/// live rebalancer, with the torn-batch assertion running the whole
+/// time. Under debug assertions this also exercises the lock counter,
+/// the swap cell's reader accounting and the COW tree's internal
+/// invariants.
+#[test]
+#[ignore = "long-running; CI invokes it explicitly"]
+fn read_under_write_stress() {
+    use phshard::{RebalancePolicy, Rebalancer};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::time::{Duration, Instant};
+
+    const B: u64 = 8;
+    let tree: Arc<ShardedTree<u64, 2>> = Arc::new(ShardedTree::with_threads(4, 2));
+    let policy = RebalancePolicy {
+        max_skew: 1.5,
+        min_entries: 256,
+        split_bits: 1,
+        interval: Duration::from_millis(5),
+        ..RebalancePolicy::default()
+    };
+    let rebalancer = Rebalancer::spawn(Arc::clone(&tree), policy);
+    let stop = Arc::new(AtomicBool::new(false));
+    let batches = Arc::new(AtomicU64::new(0));
+    let deadline = Instant::now() + Duration::from_secs(5);
+
+    std::thread::scope(|s| {
+        {
+            // Writer: clustered co-routed batches (skewed on purpose so
+            // the rebalancer fires), plus point churn with
+            // read-your-write checks.
+            let tree = Arc::clone(&tree);
+            let stop = Arc::clone(&stop);
+            let batches = Arc::clone(&batches);
+            s.spawn(move || {
+                let mut b = 0u64;
+                while Instant::now() < deadline {
+                    b += 1;
+                    // Low top bits: everything clusters under one prefix.
+                    let h = b.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 8;
+                    let batch: Vec<([u64; 2], u64)> = (0..B)
+                        .map(|i| ([(h & !0xFF) | i, h.rotate_left(17)], b))
+                        .collect();
+                    tree.bulk_load(batch);
+                    let probe = [(h & !0xFF) | (B + 1), h.rotate_left(17)];
+                    tree.insert(probe, u64::MAX);
+                    assert_eq!(tree.get(&probe), Some(u64::MAX), "read-your-write");
+                    tree.remove(&probe);
+                    batches.store(b, Ordering::Relaxed);
+                }
+                stop.store(true, Ordering::Relaxed);
+            });
+        }
+        for _ in 0..3 {
+            // Readers: full scans with the torn-batch assertion, point
+            // reads, kNN — all on the lock-free path.
+            let tree = Arc::clone(&tree);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = tree.snapshot();
+                    let mut counts = std::collections::HashMap::new();
+                    for (_, v) in snap.query(&[0; 2], &[u64::MAX; 2]) {
+                        if v != u64::MAX {
+                            *counts.entry(v).or_insert(0u64) += 1;
+                        }
+                    }
+                    for (b, n) in counts {
+                        assert_eq!(n, B, "stress: scan saw {n}/{B} items of batch {b}");
+                    }
+                    tree.knn(&[u64::MAX / 2; 2], 3);
+                }
+            });
+        }
+    });
+    let reports = rebalancer.stop();
+    let b = batches.load(Ordering::Relaxed);
+    assert!(b > 0, "writer made no progress");
+    assert_eq!(tree.len(), (b * B) as usize, "no entry lost under stress");
+    assert!(
+        !reports.is_empty(),
+        "rebalancer never split under skewed load (skew {})",
+        tree.stats().skew()
+    );
+}

@@ -5,10 +5,14 @@
 //! router*: routing must never change what a key maps to, only where
 //! it lives.
 
-use phshard::ShardedTree;
+use phshard::{DurableSharded, ShardedTree};
+use phstore::vfs::MemVfs;
+use phstore::DurableConfig;
 use phtree::{PhTree, PhTreeDyn};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -182,6 +186,94 @@ proptest! {
                 bulk.query(&[0; 3], &[u64::MAX; 3]),
                 seq.query(&[0; 3], &[u64::MAX; 3])
             );
+        }
+    }
+
+    /// Snapshot consistency on the in-memory layer: a snapshot pinned
+    /// mid-op-stream equals the model frozen at exactly that point — no
+    /// later write, remove or batch leaks in, across shard counts.
+    #[test]
+    fn snapshot_equals_model_frozen_at_cut(
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+        cut in 0usize..80,
+    ) {
+        let cut = cut.min(ops.len());
+        for shards in [1usize, 2, 8] {
+            let sharded: ShardedTree<u32, 3> = ShardedTree::with_threads(shards, 2);
+            let mut oracle: BTreeMap<[u64; 3], u32> = BTreeMap::new();
+            for op in &ops[..cut] {
+                match *op {
+                    Op::Insert(k, v) => { oracle.insert(k, v); sharded.insert(k, v); }
+                    Op::Remove(k) => { oracle.remove(&k); sharded.remove(&k); }
+                    Op::Get(_) => {}
+                }
+            }
+            let frozen = oracle.clone();
+            let snap = sharded.snapshot();
+            for op in &ops[cut..] {
+                match *op {
+                    Op::Insert(k, v) => { oracle.insert(k, v); sharded.insert(k, v); }
+                    Op::Remove(k) => { oracle.remove(&k); sharded.remove(&k); }
+                    Op::Get(k) => {
+                        prop_assert_eq!(sharded.get(&k), oracle.get(&k).copied());
+                    }
+                }
+            }
+            prop_assert_eq!(snap.len(), frozen.len(), "S={} snapshot len", shards);
+            let seen: BTreeMap<[u64; 3], u32> =
+                snap.query(&[0; 3], &[u64::MAX; 3]).into_iter().collect();
+            prop_assert_eq!(&seen, &frozen, "S={} snapshot contents", shards);
+            for op in &ops {
+                let k = match *op { Op::Insert(k, _) | Op::Remove(k) | Op::Get(k) => k };
+                prop_assert_eq!(snap.get(&k).copied(), frozen.get(&k).copied(),
+                    "S={} snapshot get {:?}", shards, k);
+            }
+            // The live tree kept moving past the pinned cut.
+            prop_assert_eq!(sharded.len(), oracle.len(), "S={} live len", shards);
+        }
+    }
+
+    /// The same snapshot-at-cut property on the durable layer (WAL-
+    /// backed cells publish through the same machinery).
+    #[test]
+    fn durable_snapshot_equals_model_frozen_at_cut(
+        ops in proptest::collection::vec(op_strategy(), 1..50),
+        cut in 0usize..50,
+    ) {
+        let cut = cut.min(ops.len());
+        let config = DurableConfig {
+            checkpoint_bytes: u64::MAX,
+            sync_writes: false,
+            retry: None,
+        };
+        for shards in [1usize, 2, 8] {
+            let vfs = Arc::new(MemVfs::new());
+            let store: DurableSharded<u32, 3> =
+                DurableSharded::open_with(vfs, Path::new("/db"), shards, config.clone()).unwrap();
+            let mut oracle: BTreeMap<[u64; 3], u32> = BTreeMap::new();
+            for op in &ops[..cut] {
+                match *op {
+                    Op::Insert(k, v) => { oracle.insert(k, v); store.insert(k, v).unwrap(); }
+                    Op::Remove(k) => { oracle.remove(&k); store.remove(&k).unwrap(); }
+                    Op::Get(_) => {}
+                }
+            }
+            let frozen = oracle.clone();
+            let snap = store.snapshot();
+            for op in &ops[cut..] {
+                match *op {
+                    Op::Insert(k, v) => { oracle.insert(k, v); store.insert(k, v).unwrap(); }
+                    Op::Remove(k) => { oracle.remove(&k); store.remove(&k).unwrap(); }
+                    Op::Get(k) => {
+                        prop_assert_eq!(store.get_with(&k, |v| *v), oracle.get(&k).copied());
+                    }
+                }
+            }
+            prop_assert_eq!(snap.len(), frozen.len(), "S={} snapshot len", shards);
+            let seen: BTreeMap<[u64; 3], u32> =
+                snap.query(&[0; 3], &[u64::MAX; 3]).into_iter().collect();
+            prop_assert_eq!(&seen, &frozen, "S={} snapshot contents", shards);
+            prop_assert_eq!(store.len(), oracle.len(), "S={} live len", shards);
         }
     }
 }

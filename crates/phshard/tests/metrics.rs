@@ -139,3 +139,77 @@ fn unmetered_tree_still_works_and_registry_stays_empty() {
     assert_eq!(d.get(&[5, 5]), Some(9));
     assert_eq!(reg.render_prometheus(), "");
 }
+
+/// Pins the MVCC-lite publication instruments on the scrape:
+/// `phshard_root_swaps_total` (one per write/batch/split publication),
+/// `phshard_snapshot_live` (live snapshot handles, with peak), and
+/// `phshard_root_age_ns` (reader-observed age of the published root).
+#[test]
+fn mvcc_instruments_record_and_render() {
+    let reg = Registry::new();
+    let t: ShardedTree<u64, 2> = ShardedTree::with_metrics(4, 0, &reg);
+
+    // 10 single-key writes → 10 root publications.
+    for i in 0..10u64 {
+        t.insert([i, i * 3], i); // low keys: all on shard 0
+    }
+    assert_eq!(reg.snapshot().counter("phshard_root_swaps_total"), Some(10));
+
+    // A split republishes through its children: +2 swaps for 2 children.
+    t.split_shard(0, 1).unwrap();
+    assert_eq!(reg.snapshot().counter("phshard_root_swaps_total"), Some(12));
+
+    // Every lock-free get records the age of the root it served from.
+    for i in 0..5u64 {
+        assert_eq!(t.get(&[i, i * 3]), Some(i));
+    }
+    let snap = reg.snapshot();
+    let age = snap.histogram("phshard_root_age_ns").expect("root age");
+    assert_eq!(age.count(), 5);
+
+    // Live-snapshot gauge follows pin/drop, and the peak sticks.
+    let s1 = t.snapshot();
+    let s2 = t.snapshot();
+    let live = reg.snapshot();
+    let g = live.gauge("phshard_snapshot_live").expect("snapshot gauge");
+    assert_eq!(g.value, 2);
+    drop(s1);
+    drop(s2);
+    let live = reg.snapshot();
+    let g = live.gauge("phshard_snapshot_live").expect("snapshot gauge");
+    assert_eq!(g.value, 0);
+    assert!(g.high_water >= 2);
+
+    // All three families render in the Prometheus exposition.
+    let text = reg.render_prometheus();
+    for needle in [
+        "# TYPE phshard_root_swaps_total counter",
+        "# TYPE phshard_snapshot_live gauge",
+        "phshard_snapshot_live_peak",
+        "# TYPE phshard_root_age_ns histogram",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+
+    // The durable layer publishes through the same instruments.
+    let dreg = Registry::new();
+    let vfs = std::sync::Arc::new(phstore::vfs::MemVfs::new());
+    let cfg = phstore::DurableConfig {
+        checkpoint_bytes: u64::MAX,
+        sync_writes: false,
+        retry: None,
+    };
+    let store: phshard::DurableSharded<u64, 2> =
+        phshard::DurableSharded::open_observed(vfs, std::path::Path::new("/m"), 2, cfg, &dreg)
+            .unwrap();
+    for i in 0..4u64 {
+        store.insert([i << 62, i], i).unwrap();
+    }
+    store.get_with(&[0, 0], |v| *v);
+    let dsnap = dreg.snapshot();
+    assert_eq!(dsnap.counter("phshard_root_swaps_total"), Some(4));
+    assert_eq!(
+        dsnap.histogram("phshard_root_age_ns").map(|h| h.count()),
+        Some(1)
+    );
+}

@@ -4,7 +4,11 @@
 ///
 /// Implementations must be self-delimiting: `decode` returns the value
 /// and the number of bytes consumed, or `None` on malformed input.
-pub trait ValueCodec: Sized {
+///
+/// `Clone` is required because stored trees are copy-on-write: writes
+/// path-copy nodes shared with published read snapshots, cloning the
+/// values held in the copied nodes.
+pub trait ValueCodec: Sized + Clone {
     /// Appends the encoded value to `out`.
     fn encode(&self, out: &mut Vec<u8>);
     /// Decodes one value from the front of `buf`.

@@ -57,30 +57,14 @@ impl<V, const K: usize> PhTreeF64<V, K> {
         self.inner.clear()
     }
 
-    /// Inserts `point → value`, returning the previous value if the
-    /// point was already present.
-    pub fn insert(&mut self, point: [f64; K], value: V) -> Option<V> {
-        self.inner.insert(point_to_key(&point), value)
-    }
-
     /// Point query.
     pub fn get(&self, point: &[f64; K]) -> Option<&V> {
         self.inner.get(&point_to_key(point))
     }
 
-    /// Point query with mutable access.
-    pub fn get_mut(&mut self, point: &[f64; K]) -> Option<&mut V> {
-        self.inner.get_mut(&point_to_key(point))
-    }
-
     /// Whether `point` is stored.
     pub fn contains(&self, point: &[f64; K]) -> bool {
         self.inner.contains(&point_to_key(point))
-    }
-
-    /// Removes `point`, returning its value if present.
-    pub fn remove(&mut self, point: &[f64; K]) -> Option<V> {
-        self.inner.remove(&point_to_key(point))
     }
 
     /// Window query over the rectangle `[min, max]` (inclusive). Because
@@ -113,14 +97,35 @@ impl<V, const K: usize> PhTreeF64<V, K> {
         self.inner.stats()
     }
 
-    /// Releases surplus capacity in every node.
-    pub fn shrink_to_fit(&mut self) {
-        self.inner.shrink_to_fit()
-    }
-
     /// Access to the underlying integer-keyed tree.
     pub fn as_int_tree(&self) -> &PhTree<V, K> {
         &self.inner
+    }
+}
+
+/// Mutating operations. `V: Clone` for the same reason as on
+/// [`PhTree`]: writes path-copy nodes still shared with other tree
+/// versions.
+impl<V: Clone, const K: usize> PhTreeF64<V, K> {
+    /// Inserts `point → value`, returning the previous value if the
+    /// point was already present.
+    pub fn insert(&mut self, point: [f64; K], value: V) -> Option<V> {
+        self.inner.insert(point_to_key(&point), value)
+    }
+
+    /// Point query with mutable access.
+    pub fn get_mut(&mut self, point: &[f64; K]) -> Option<&mut V> {
+        self.inner.get_mut(&point_to_key(point))
+    }
+
+    /// Removes `point`, returning its value if present.
+    pub fn remove(&mut self, point: &[f64; K]) -> Option<V> {
+        self.inner.remove(&point_to_key(point))
+    }
+
+    /// Releases surplus capacity in every node.
+    pub fn shrink_to_fit(&mut self) {
+        self.inner.shrink_to_fit()
     }
 }
 

@@ -24,7 +24,7 @@ impl<V: PartialEq, const K: usize> PartialEq for PhTree<V, K> {
 
 impl<V: Eq, const K: usize> Eq for PhTree<V, K> {}
 
-impl<V, const K: usize> Extend<([u64; K], V)> for PhTree<V, K> {
+impl<V: Clone, const K: usize> Extend<([u64; K], V)> for PhTree<V, K> {
     fn extend<T: IntoIterator<Item = ([u64; K], V)>>(&mut self, iter: T) {
         for (k, v) in iter {
             self.insert(k, v);
@@ -32,7 +32,7 @@ impl<V, const K: usize> Extend<([u64; K], V)> for PhTree<V, K> {
     }
 }
 
-impl<V, const K: usize> FromIterator<([u64; K], V)> for PhTree<V, K> {
+impl<V: Clone, const K: usize> FromIterator<([u64; K], V)> for PhTree<V, K> {
     fn from_iter<T: IntoIterator<Item = ([u64; K], V)>>(iter: T) -> Self {
         let mut t = PhTree::new();
         t.extend(iter);
@@ -61,7 +61,7 @@ impl<V: std::fmt::Debug, const K: usize> std::fmt::Debug for PhTreeF64<V, K> {
     }
 }
 
-impl<V, const K: usize> Extend<([f64; K], V)> for PhTreeF64<V, K> {
+impl<V: Clone, const K: usize> Extend<([f64; K], V)> for PhTreeF64<V, K> {
     fn extend<T: IntoIterator<Item = ([f64; K], V)>>(&mut self, iter: T) {
         for (p, v) in iter {
             self.insert(p, v);
@@ -69,7 +69,7 @@ impl<V, const K: usize> Extend<([f64; K], V)> for PhTreeF64<V, K> {
     }
 }
 
-impl<V, const K: usize> FromIterator<([f64; K], V)> for PhTreeF64<V, K> {
+impl<V: Clone, const K: usize> FromIterator<([f64; K], V)> for PhTreeF64<V, K> {
     fn from_iter<T: IntoIterator<Item = ([f64; K], V)>>(iter: T) -> Self {
         let mut t = PhTreeF64::new();
         t.extend(iter);

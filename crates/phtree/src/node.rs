@@ -35,6 +35,7 @@
 
 use crate::config::ReprMode;
 use phbits::BitBuf;
+use std::sync::Arc;
 
 /// Bits per dimension; the paper's `w`. Fixed to 64 in this
 /// implementation (the experiments all use 64-bit values).
@@ -90,10 +91,13 @@ pub(crate) struct Node<V, const K: usize> {
     hc: bool,
     /// The packed bit string (see module docs).
     pub bits: BitBuf,
-    /// Sub-node children in hypercube-address order. Capacity may
-    /// exceed the length (amortised growth); [`Node::shrink_repr`]
-    /// releases the slack.
-    pub subs: Vec<Node<V, K>>,
+    /// Sub-node children in hypercube-address order, each behind an
+    /// `Arc` so whole subtrees are structurally shared between tree
+    /// versions (copy-on-write: mutation goes through
+    /// [`Arc::make_mut`], which copies a node only while another
+    /// version still references it). Capacity may exceed the length
+    /// (amortised growth); [`Node::shrink_repr`] releases the slack.
+    pub subs: Vec<Arc<Node<V, K>>>,
     /// Values of postfix entries in hypercube-address order. Capacity
     /// may exceed the length, as for `subs`.
     pub values: Vec<V>,
@@ -120,7 +124,7 @@ impl<V, const K: usize> Node<V, K> {
         infix_len: u8,
         hc: bool,
         bits: BitBuf,
-        subs: Vec<Node<V, K>>,
+        subs: Vec<Arc<Node<V, K>>>,
         values: Vec<V>,
     ) -> Result<Self, &'static str> {
         let n = Node {
@@ -293,7 +297,7 @@ impl<V, const K: usize> Node<V, K> {
                     }
                     BulkChild::Sub(sub) => {
                         node.bits.write_bits(kind_off, KIND_SUB, 2);
-                        node.subs.push(sub);
+                        node.subs.push(Arc::new(sub));
                     }
                 }
             }
@@ -310,7 +314,7 @@ impl<V, const K: usize> Node<V, K> {
                     }
                     BulkChild::Sub(sub) => {
                         node.bits.set(ib + n * K + j, true);
-                        node.subs.push(sub);
+                        node.subs.push(Arc::new(sub));
                     }
                 }
             }
@@ -700,12 +704,6 @@ impl<V, const K: usize> Node<V, K> {
         Some(&mut self.values[pr])
     }
 
-    /// Mutable access to the sub-node at `h`.
-    pub fn sub_mut(&mut self, h: u64) -> Option<&mut Node<V, K>> {
-        let sr = self.sub_rank_of(h)?;
-        Some(&mut self.subs[sr])
-    }
-
     // ------------------------------------------------------------------
     // Structural updates
     // ------------------------------------------------------------------
@@ -747,8 +745,11 @@ impl<V, const K: usize> Node<V, K> {
         self.maybe_switch_repr(mode);
     }
 
-    /// Inserts a sub-node at (empty) address `h`.
-    pub fn insert_sub(&mut self, h: u64, sub: Node<V, K>, mode: ReprMode) {
+    /// Inserts a sub-node at (empty) address `h`. Accepts an owned
+    /// node or an already-shared `Arc<Node>` (the path-copy code moves
+    /// shared subtrees between nodes without deep-copying them).
+    pub fn insert_sub(&mut self, h: u64, sub: impl Into<Arc<Node<V, K>>>, mode: ReprMode) {
+        let sub = sub.into();
         if self.hc {
             debug_assert_eq!(self.hc_kind(h), KIND_EMPTY, "insert_sub into occupied slot");
             let (_, sr) = self.hc_ranks(h);
@@ -816,6 +817,7 @@ impl<V, const K: usize> Node<V, K> {
     /// the sub-node (the paper's "at most one entry is moved between the
     /// two nodes").
     pub fn swap_post_for_sub(&mut self, h: u64, sub: Node<V, K>, mode: ReprMode) -> V {
+        let sub = Arc::new(sub);
         let pb = self.post_bits();
         let v = if self.hc {
             assert_eq!(
@@ -884,43 +886,13 @@ impl<V, const K: usize> Node<V, K> {
         self.maybe_switch_repr(mode);
     }
 
-    /// Replaces the sub-node at `h` with another sub-node, returning the
-    /// displaced one.
-    pub fn swap_sub(&mut self, h: u64, sub: Node<V, K>) -> Node<V, K> {
+    /// Replaces the sub-node at `h` with another sub-node, returning
+    /// the displaced one still behind its `Arc` (the caller either
+    /// re-attaches it elsewhere via [`Node::insert_sub`] or drops it;
+    /// neither needs the deep copy an unwrap would cost).
+    pub fn swap_sub(&mut self, h: u64, sub: impl Into<Arc<Node<V, K>>>) -> Arc<Node<V, K>> {
         let sr = self.sub_rank_of(h).expect("swap_sub: not a sub slot");
-        std::mem::replace(&mut self.subs[sr], sub)
-    }
-
-    /// If this node has exactly one child, removes and returns it with
-    /// its address.
-    pub fn take_single_child(&mut self) -> Option<(u64, Child<V, K>)> {
-        if self.n_children() != 1 {
-            return None;
-        }
-        let (h, is_sub) = if self.hc {
-            let mut found = None;
-            for h in 0..(1u64 << K) {
-                match self.hc_kind(h) {
-                    KIND_EMPTY => {}
-                    k => {
-                        found = Some((h, k == KIND_SUB));
-                        break;
-                    }
-                }
-            }
-            found.expect("one child")
-        } else {
-            (self.lhc_addr_at(0), self.lhc_is_sub(0))
-        };
-        // Reset the bit string to "empty node" form (infix only).
-        self.bits.truncate(self.infix_bits());
-        self.hc = false;
-        let child = if is_sub {
-            Child::Sub(self.subs.remove(0))
-        } else {
-            Child::Post(self.values.remove(0))
-        };
-        Some((h, child))
+        std::mem::replace(&mut self.subs[sr], sub.into())
     }
 
     // ------------------------------------------------------------------
@@ -1062,13 +1034,6 @@ impl<V, const K: usize> Node<V, K> {
         self.values.shrink_to_fit();
     }
 
-    /// Applies `f` to every sub-node child.
-    pub fn for_each_sub_mut(&mut self, f: &mut dyn FnMut(&mut Node<V, K>)) {
-        for s in self.subs.iter_mut() {
-            f(s);
-        }
-    }
-
     // ------------------------------------------------------------------
     // Invariant checking (tests)
     // ------------------------------------------------------------------
@@ -1089,6 +1054,59 @@ impl<V, const K: usize> Node<V, K> {
         for sub in self.subs.iter() {
             sub.check_invariants(false);
         }
+    }
+}
+
+/// Mutating accessors that descend into `Arc`-shared children. These
+/// need `V: Clone` because [`Arc::make_mut`] deep-copies a node that is
+/// still referenced by another tree version (a snapshot); when the
+/// child is uniquely owned — the steady state with no snapshots alive —
+/// they mutate in place with only a refcount check.
+impl<V: Clone, const K: usize> Node<V, K> {
+    /// Mutable access to the sub-node at `h`, copy-on-write.
+    pub fn sub_mut(&mut self, h: u64) -> Option<&mut Node<V, K>> {
+        let sr = self.sub_rank_of(h)?;
+        Some(Arc::make_mut(&mut self.subs[sr]))
+    }
+
+    /// Applies `f` to every sub-node child, copy-on-write.
+    pub fn for_each_sub_mut(&mut self, f: &mut dyn FnMut(&mut Node<V, K>)) {
+        for s in self.subs.iter_mut() {
+            f(Arc::make_mut(s));
+        }
+    }
+
+    /// If this node has exactly one child, removes and returns it with
+    /// its address. A sub-node child still shared with a snapshot is
+    /// cloned out (the snapshot keeps its version untouched).
+    pub fn take_single_child(&mut self) -> Option<(u64, Child<V, K>)> {
+        if self.n_children() != 1 {
+            return None;
+        }
+        let (h, is_sub) = if self.hc {
+            let mut found = None;
+            for h in 0..(1u64 << K) {
+                match self.hc_kind(h) {
+                    KIND_EMPTY => {}
+                    k => {
+                        found = Some((h, k == KIND_SUB));
+                        break;
+                    }
+                }
+            }
+            found.expect("one child")
+        } else {
+            (self.lhc_addr_at(0), self.lhc_is_sub(0))
+        };
+        // Reset the bit string to "empty node" form (infix only).
+        self.bits.truncate(self.infix_bits());
+        self.hc = false;
+        let child = if is_sub {
+            Child::Sub(Arc::unwrap_or_clone(self.subs.remove(0)))
+        } else {
+            Child::Post(self.values.remove(0))
+        };
+        Some((h, child))
     }
 }
 

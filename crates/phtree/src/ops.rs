@@ -48,7 +48,7 @@ pub struct ReplayStats {
     pub bulk_loaded: usize,
 }
 
-impl<V, const K: usize> PhTree<V, K> {
+impl<V: Clone, const K: usize> PhTree<V, K> {
     /// Applies one logical op, returning the displaced value (the
     /// previous value under the key for an insert, the removed value
     /// for a remove).

@@ -54,7 +54,7 @@ impl<'t, V, const K: usize> NodeRef<'t, V, K> {
 
     /// Sub-node children, in hypercube-address order.
     pub fn subs(&self) -> impl ExactSizeIterator<Item = NodeRef<'_, V, K>> {
-        self.node.subs.iter().map(|n| NodeRef { node: n })
+        self.node.subs.iter().map(|n| NodeRef { node: n.as_ref() })
     }
 }
 
@@ -110,7 +110,10 @@ pub fn build_node<V, const K: usize>(
 ) -> Result<RawNode<V, K>, RawError> {
     let bits = BitBuf::from_words(bits_words, bits_len)
         .ok_or_else(|| RawError::new("bit-string length disagrees with word count"))?;
-    let mut subs: Vec<Node<V, K>> = subs.into_iter().map(|r| r.node).collect();
+    let mut subs: Vec<std::sync::Arc<Node<V, K>>> = subs
+        .into_iter()
+        .map(|r| std::sync::Arc::new(r.node))
+        .collect();
     // Decoded trees must carry zero capacity slack (the space accounting
     // charges capacity): callers may have collected these vectors
     // through adapters that over-reserve.
@@ -251,7 +254,7 @@ mod tests {
             if n.hc_flag() {
                 return Some(n);
             }
-            n.subs.iter().find_map(find_hc)
+            n.subs.iter().find_map(|s| find_hc(s))
         }
         let hc = match t.root.as_deref().and_then(find_hc) {
             Some(n) => NodeRef { node: n },

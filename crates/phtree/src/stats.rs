@@ -15,6 +15,12 @@ use crate::tree::PhTree;
 /// header).
 pub const ALLOC_OVERHEAD: usize = 16;
 
+/// Bytes of the `Arc` control block preceding each node allocation
+/// (strong + weak refcounts). Nodes live behind `Arc`s so tree
+/// versions can share structure (copy-on-write snapshots); the two
+/// counters are the entire per-node cost of that capability.
+pub const ARC_HEADER: usize = 2 * std::mem::size_of::<usize>();
+
 /// Structural statistics of a [`PhTree`], from [`PhTree::stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TreeStats {
@@ -67,6 +73,10 @@ fn node_stats<V, const K: usize>(n: &Node<V, K>, depth: usize, s: &mut TreeStats
     } else {
         s.lhc_nodes += 1;
     }
+    // The node's own allocation: `Arc<Node>` puts the refcount control
+    // block and the node struct in one heap block.
+    s.allocations += 1;
+    s.total_bytes += ARC_HEADER + std::mem::size_of::<Node<V, K>>() + ALLOC_OVERHEAD;
     // The packed bit string.
     let bb = n.bits.heap_bytes();
     if bb > 0 {
@@ -74,12 +84,14 @@ fn node_stats<V, const K: usize>(n: &Node<V, K>, depth: usize, s: &mut TreeStats
         s.total_bytes += bb + ALLOC_OVERHEAD;
         s.bit_bytes += bb;
     }
-    // Sub-node vector: the children's own struct bytes live here.
-    // Charged at *capacity*, not length — amortised growth leaves slack
-    // that is real heap usage until a shrink pass releases it.
+    // Sub-node vector: one pointer per child (the child structs are
+    // separate `Arc` allocations, charged above when visited). Charged
+    // at *capacity*, not length — amortised growth leaves slack that is
+    // real heap usage until a shrink pass releases it.
     if n.subs.capacity() > 0 {
         s.allocations += 1;
-        s.total_bytes += n.subs.capacity() * std::mem::size_of::<Node<V, K>>() + ALLOC_OVERHEAD;
+        s.total_bytes +=
+            n.subs.capacity() * std::mem::size_of::<std::sync::Arc<Node<V, K>>>() + ALLOC_OVERHEAD;
     }
     // Value vector, likewise at capacity (no heap at all for zero-sized
     // values — a ZST Vec reports usize::MAX capacity without allocating).
@@ -94,13 +106,13 @@ fn node_stats<V, const K: usize>(n: &Node<V, K>, depth: usize, s: &mut TreeStats
 
 impl<V, const K: usize> PhTree<V, K> {
     /// Computes structural statistics by walking the whole tree (O(n)).
+    ///
+    /// Bytes shared with other tree versions (clones/snapshots) are
+    /// charged in full to every version referencing them: the figure is
+    /// "bytes this tree keeps alive", not a marginal cost.
     pub fn stats(&self) -> TreeStats {
         let mut s = TreeStats::default();
         if let Some(r) = self.root.as_deref() {
-            // The boxed root itself is one allocation; every other node's
-            // struct bytes are accounted inside its parent's sub slice.
-            s.allocations += 1;
-            s.total_bytes += std::mem::size_of::<Node<V, K>>() + ALLOC_OVERHEAD;
             node_stats(r, 1, &mut s);
         }
         s

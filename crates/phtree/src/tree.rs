@@ -11,6 +11,7 @@ use crate::config::ReprMode;
 use crate::node::{BulkChild, Child, Node, Probe, SlotRef, W};
 use crate::telemetry::{self, TreeOp, Visits};
 use phbits::{hc, num};
+use std::sync::Arc;
 
 /// Z-order (Morton-order) comparison of two keys: the order a
 /// depth-first walk of the tree visits entries in. Two keys compare by
@@ -52,9 +53,17 @@ fn z_cmp<const K: usize>(a: &[u64; K], b: &[u64; K]) -> std::cmp::Ordering {
 /// assert_eq!(tree.remove(&[1, 2]), Some("a"));
 /// assert_eq!(tree.len(), 2);
 /// ```
+/// # Cheap clones and copy-on-write
+///
+/// Nodes are stored behind [`Arc`]s, so `Clone` is O(1): it shares the
+/// whole structure. Mutating either tree afterwards copies only the
+/// nodes on the mutated path ([`Arc::make_mut`]) — the other tree is
+/// never affected. This is what gives the sharded serving layer its
+/// lock-free snapshot reads; a tree that is never cloned pays only a
+/// refcount check per node on the write path.
 #[derive(Clone)]
 pub struct PhTree<V, const K: usize> {
-    pub(crate) root: Option<Box<Node<V, K>>>,
+    pub(crate) root: Option<Arc<Node<V, K>>>,
     len: usize,
     mode: ReprMode,
 }
@@ -103,7 +112,7 @@ impl<V, const K: usize> PhTree<V, K> {
     /// Internal constructor for deserialisation ([`crate::raw`]).
     pub(crate) fn assemble(root: Node<V, K>, len: usize) -> Self {
         PhTree {
-            root: Some(Box::new(root)),
+            root: Some(Arc::new(root)),
             len,
             mode: ReprMode::Adaptive,
         }
@@ -178,7 +187,7 @@ impl<V, const K: usize> PhTree<V, K> {
         let root = Self::build_range(&keys, 0, len, (W - 1) as u8, 0, &mut vals, mode);
         debug_assert!(vals.next().is_none(), "every value must be consumed");
         PhTree {
-            root: Some(Box::new(root)),
+            root: Some(Arc::new(root)),
             len,
             mode,
         }
@@ -231,7 +240,15 @@ impl<V, const K: usize> PhTree<V, K> {
         // agrees on all bits above this node's split.
         Node::from_children(post_len, infix_len, &keys[lo], children, mode)
     }
+}
 
+/// Update operations. These require `V: Clone` because nodes are
+/// `Arc`-shared between tree versions: a mutation descending through a
+/// node that a clone/snapshot still references path-copies it
+/// ([`Arc::make_mut`]), which clones the values stored in that one
+/// node. With no other version alive every node is uniquely owned and
+/// updates happen in place, exactly as before.
+impl<V: Clone, const K: usize> PhTree<V, K> {
     /// Inserts `key → value`. Returns the previous value if the key was
     /// already present (the PH-tree stores no duplicate keys).
     pub fn insert(&mut self, key: [u64; K], value: V) -> Option<V> {
@@ -240,15 +257,15 @@ impl<V, const K: usize> PhTree<V, K> {
             None => {
                 // First entry: the root always splits at the top bit
                 // (zb = 1 in the paper's numbering), with no prefix.
-                let mut root = Box::new(Node::new((W - 1) as u8, 0, &key));
+                let mut root = Node::new((W - 1) as u8, 0, &key);
                 root.insert_post(hc::addr(&key, W - 1), &key, value, self.mode);
-                self.root = Some(root);
+                self.root = Some(Arc::new(root));
                 self.len = 1;
                 vis.bump();
                 None
             }
             Some(root) => {
-                let old = Self::insert_rec(root, &key, value, self.mode, &mut vis);
+                let old = Self::insert_rec(Arc::make_mut(root), &key, value, self.mode, &mut vis);
                 if old.is_none() {
                     self.len += 1;
                 }
@@ -321,7 +338,9 @@ impl<V, const K: usize> PhTree<V, K> {
             }
         }
     }
+}
 
+impl<V, const K: usize> PhTree<V, K> {
     /// Point query: returns a reference to the value stored under `key`.
     #[inline]
     pub fn get(&self, key: &[u64; K]) -> Option<&V> {
@@ -351,9 +370,18 @@ impl<V, const K: usize> PhTree<V, K> {
         found
     }
 
-    /// Point query with mutable access to the value.
+    /// Whether `key` is stored in the tree.
+    #[inline]
+    pub fn contains(&self, key: &[u64; K]) -> bool {
+        self.get(key).is_some()
+    }
+}
+
+impl<V: Clone, const K: usize> PhTree<V, K> {
+    /// Point query with mutable access to the value (copy-on-write: a
+    /// node shared with a snapshot is copied before being borrowed).
     pub fn get_mut(&mut self, key: &[u64; K]) -> Option<&mut V> {
-        let mut node = self.root.as_deref_mut()?;
+        let mut node = Arc::make_mut(self.root.as_mut()?);
         loop {
             if !node.infix_matches(key) {
                 return None;
@@ -372,17 +400,11 @@ impl<V, const K: usize> PhTree<V, K> {
         }
     }
 
-    /// Whether `key` is stored in the tree.
-    #[inline]
-    pub fn contains(&self, key: &[u64; K]) -> bool {
-        self.get(key).is_some()
-    }
-
     /// Removes `key`, returning its value if present.
     pub fn remove(&mut self, key: &[u64; K]) -> Option<V> {
         let mut vis = Visits::new();
-        let root = match self.root.as_deref_mut() {
-            Some(r) => r,
+        let root = match self.root.as_mut() {
+            Some(r) => Arc::make_mut(r),
             None => {
                 telemetry::record_op(TreeOp::Remove, vis);
                 return None;
@@ -472,17 +494,19 @@ impl<V, const K: usize> PhTree<V, K> {
     /// Releases surplus capacity in every node (the analogue of the
     /// paper's post-load `System.gc()` before space measurements).
     pub fn shrink_to_fit(&mut self) {
-        fn walk<V, const K: usize>(n: &mut Node<V, K>) {
+        fn walk<V: Clone, const K: usize>(n: &mut Node<V, K>) {
             n.bits.shrink_to_fit();
             n.shrink_repr();
             // Collect mutable child pointers via the repr directly.
             n.for_each_sub_mut(&mut |sub| walk(sub));
         }
-        if let Some(r) = self.root.as_deref_mut() {
-            walk(r);
+        if let Some(r) = self.root.as_mut() {
+            walk(Arc::make_mut(r));
         }
     }
+}
 
+impl<V, const K: usize> PhTree<V, K> {
     /// Validates all structural invariants (test helper; O(n)).
     #[doc(hidden)]
     pub fn check_invariants(&self) {
