@@ -315,6 +315,14 @@ pub fn unload_timed<I: Index<K>, const K: usize>(idx: &mut I, data: &[[f64; K]])
     per
 }
 
+/// Logical cores on this host — stamped into perf baselines so a
+/// 1-core CI number is never read as a parallel-speedup claim.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Writes a table's CSV next to the binary outputs (`results/<slug>.csv`,
 /// slug derived from the title). Failures are reported, not fatal.
 pub fn write_csv(title: &str, table: &measure::Table) {

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 mod buf;
+pub mod bytes;
 pub mod hc;
 pub mod num;
 

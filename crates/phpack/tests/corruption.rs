@@ -1,0 +1,129 @@
+//! Corruption fuzz: every byte of a packed artifact is pinned by
+//! exactly one checksum (superblock CRC, per-page sums, table CRC), so
+//! flipping ANY single bit anywhere in the file must surface as a typed
+//! [`StoreError::Corrupt`] — never a panic, never silently wrong
+//! results.
+//!
+//! * [`CacheMode::Resident`] verifies everything at open, so the flip
+//!   must fail `open_in` itself.
+//! * [`CacheMode::Lru`] verifies the superblock and checksum table at
+//!   open and data pages on first touch; a data flip must surface on
+//!   the full-scan walk (which fetches every data page).
+//!
+//! The default run strides through the file (~192 sampled offsets, PR
+//! CI budget); set `PACK_SWEEP_FULL=1` for the exhaustive every-byte
+//! sweep (nightly).
+
+use phpack::{pack_tree_in, CacheMode, PackedTree};
+use phstore::vfs::MemVfs;
+use phstore::StoreError;
+use phtree::PhTree;
+use std::path::Path;
+
+const K: usize = 3;
+type V = String;
+
+fn build(vfs: &MemVfs, path: &Path) -> u64 {
+    let mut live: PhTree<V, K> = PhTree::new();
+    let mut x = 9u64;
+    for i in 0..300u64 {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        live.insert(
+            [x % 512, (x >> 20) % 512, (x >> 40) % 512],
+            "v".repeat((i % 7) as usize),
+        );
+    }
+    pack_tree_in(&live, vfs, path).expect("pack").file_bytes
+}
+
+/// Walks the whole read surface; returns `true` on the first typed
+/// corruption error, panics on any other error kind.
+fn scan_detects(p: &PackedTree<V, K>, off: u64) -> bool {
+    for item in p.query(&[0; K], &[u64::MAX; K]) {
+        match item {
+            Ok(_) => {}
+            Err(StoreError::Corrupt(_)) => return true,
+            Err(e) => panic!("flip at {off}: full scan returned non-corruption error: {e:?}"),
+        }
+    }
+    match p.knn(&[5; K], 4) {
+        Ok(_) => {}
+        Err(StoreError::Corrupt(_)) => return true,
+        Err(e) => panic!("flip at {off}: knn returned non-corruption error: {e:?}"),
+    }
+    false
+}
+
+fn flip_must_surface(vfs: &MemVfs, path: &Path, off: u64, mask: u8) {
+    assert!(vfs.corrupt(path, off, mask), "corrupt at {off}");
+
+    // Resident verifies the whole file at open: the flip must fail it.
+    match PackedTree::<V, K>::open_in(vfs, path, CacheMode::Resident) {
+        Err(StoreError::Corrupt(_)) => {}
+        Err(e) => panic!("flip at {off}: resident open returned non-corruption error: {e:?}"),
+        Ok(_) => panic!("flip at {off} (mask {mask:#04x}): resident open succeeded"),
+    }
+
+    // LRU defers data pages to first touch; open or the scan must
+    // surface the flip — silently correct-looking output is a failure.
+    let detected = match PackedTree::<V, K>::open_in(vfs, path, CacheMode::Lru { pages: 2 }) {
+        Err(StoreError::Corrupt(_)) => true,
+        Err(e) => panic!("flip at {off}: lru open returned non-corruption error: {e:?}"),
+        Ok(p) => scan_detects(&p, off),
+    };
+    assert!(
+        detected,
+        "flip at {off} (mask {mask:#04x}): lru path never surfaced corruption"
+    );
+
+    // Un-flip (XOR mask) so the next iteration starts from a clean file.
+    assert!(vfs.corrupt(path, off, mask), "restore at {off}");
+}
+
+#[test]
+fn every_flipped_byte_surfaces_as_corruption() {
+    let vfs = MemVfs::new();
+    let path = Path::new("/m/fuzz.phk");
+    let total = build(&vfs, path);
+
+    // Sanity: the pristine artifact opens and scans clean on both paths.
+    let p = PackedTree::<V, K>::open_in(&vfs, path, CacheMode::Resident).unwrap();
+    assert!(!scan_detects(&p, u64::MAX));
+    let p = PackedTree::<V, K>::open_in(&vfs, path, CacheMode::Lru { pages: 2 }).unwrap();
+    assert!(!scan_detects(&p, u64::MAX));
+
+    let full = std::env::var("PACK_SWEEP_FULL").is_ok_and(|v| v == "1");
+    let stride = if full { 1 } else { (total / 192).max(1) };
+    let mut flips = 0u64;
+    let mut off = 0u64;
+    while off < total {
+        // Single-bit flips (the hardest to detect), bit varying with
+        // the offset so the sweep covers all positions over the file.
+        flip_must_surface(&vfs, path, off, 1u8 << (off % 8));
+        flips += 1;
+        off += stride;
+    }
+    assert!(flips >= if full { total } else { 150 });
+}
+
+/// Corruption errors carry locating context: a flipped data page is
+/// reported with its page id.
+#[test]
+fn corruption_reports_page_context() {
+    use phpack::format::PAGE_SIZE;
+    let vfs = MemVfs::new();
+    let path = Path::new("/m/ctx.phk");
+    build(&vfs, path);
+    // Flip a byte in the middle of data page 2.
+    let off = 2 * PAGE_SIZE as u64 + 123;
+    assert!(vfs.corrupt(path, off, 0x40));
+    match PackedTree::<V, K>::open_in(&vfs, path, CacheMode::Resident) {
+        Err(StoreError::Corrupt(c)) => {
+            assert_eq!(c.page, Some(2), "page context: {c:?}");
+        }
+        Err(e) => panic!("expected corruption, got {e:?}"),
+        Ok(_) => panic!("expected corruption, open succeeded"),
+    }
+}

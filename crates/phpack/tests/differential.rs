@@ -1,0 +1,291 @@
+//! Differential tests: a packed artifact must answer every query
+//! byte-identically to the live tree it was packed from (and both must
+//! agree with a `BTreeMap` / brute-force oracle), on both page-cache
+//! backends.
+//!
+//! "Identically" includes *order*: window queries are compared as
+//! sequences and kNN as exact (key, distance) sequences, which pins the
+//! packed walkers to the live traversal — including heap tie-breaking —
+//! not merely to the same result set.
+
+use phpack::{pack_tree_in, CacheMode, PackedTree};
+use phstore::vfs::MemVfs;
+use phtree::PhTree;
+use proptest::prelude::*;
+use proptest::{prop_assert, prop_assert_eq, proptest, ProptestConfig, TestCaseError};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+fn key_strategy<const K: usize>() -> impl Strategy<Value = [u64; K]> {
+    prop_oneof![
+        // Dense small coordinates: collisions, deep splits.
+        std::array::from_fn::<_, K, _>(|_| 0u64..8),
+        // High-bit patterns.
+        std::array::from_fn::<_, K, _>(|_| 0u64..4).prop_map(|k: [u64; K]| k.map(|v| v << 62)),
+        // Arbitrary values (includes boundary cases).
+        std::array::from_fn::<_, K, _>(|_| any::<u64>()),
+    ]
+}
+
+/// Packs `live`, reopens it under `mode`, and checks the full read
+/// surface against `live` and the `model` oracle.
+fn check_against<const K: usize>(
+    live: &PhTree<u64, K>,
+    model: &BTreeMap<[u64; K], u64>,
+    windows: &[([u64; K], [u64; K])],
+    centers: &[[u64; K]],
+    mode: CacheMode,
+) -> Result<(), TestCaseError> {
+    let vfs = MemVfs::new();
+    let path = Path::new("/m/t.phk");
+    let stats = pack_tree_in(live, &vfs, path).expect("pack");
+    prop_assert_eq!(stats.entries as usize, live.len());
+
+    let packed: PackedTree<u64, K> =
+        PackedTree::open_in(&vfs, path, mode).expect("open packed artifact");
+    prop_assert_eq!(packed.len(), live.len());
+    prop_assert_eq!(packed.is_empty(), live.is_empty());
+
+    // Point lookups: every stored key, plus near-miss probes.
+    for (k, v) in model {
+        prop_assert_eq!(packed.get(k).expect("get"), Some(*v), "get {:?}", k);
+        prop_assert!(packed.contains(k).expect("contains"));
+        let mut miss = *k;
+        miss[0] ^= 1;
+        prop_assert_eq!(
+            packed.get(&miss).expect("get miss"),
+            model.get(&miss).copied(),
+            "probe {:?}",
+            miss
+        );
+    }
+    prop_assert_eq!(
+        packed.get(&[0u64; K]).expect("get zero"),
+        model.get(&[0u64; K]).copied()
+    );
+    prop_assert_eq!(
+        packed.get(&[u64::MAX; K]).expect("get max"),
+        model.get(&[u64::MAX; K]).copied()
+    );
+
+    // Full scan: exact sequence equality with the live iterator.
+    let lo = [0u64; K];
+    let hi = [u64::MAX; K];
+    let got: Vec<([u64; K], u64)> = packed
+        .query(&lo, &hi)
+        .collect::<Result<_, _>>()
+        .expect("full scan");
+    let want: Vec<([u64; K], u64)> = live.query(&lo, &hi).map(|(k, &v)| (k, v)).collect();
+    prop_assert_eq!(&got, &want, "full-scan order");
+    prop_assert_eq!(packed.query_count(&lo, &hi).expect("count"), model.len());
+
+    // Windows: sequence equality with live, count vs brute force.
+    for (a, b) in windows {
+        let mut min = [0u64; K];
+        let mut max = [0u64; K];
+        for d in 0..K {
+            min[d] = a[d].min(b[d]);
+            max[d] = a[d].max(b[d]);
+        }
+        let got: Vec<([u64; K], u64)> = packed
+            .query(&min, &max)
+            .collect::<Result<_, _>>()
+            .expect("window");
+        let want: Vec<([u64; K], u64)> = live.query(&min, &max).map(|(k, &v)| (k, v)).collect();
+        prop_assert_eq!(&got, &want, "window order {:?}..{:?}", min, max);
+        let brute = model
+            .iter()
+            .filter(|(k, _)| (0..K).all(|d| min[d] <= k[d] && k[d] <= max[d]))
+            .count();
+        prop_assert_eq!(got.len(), brute, "window count {:?}..{:?}", min, max);
+        prop_assert_eq!(packed.query_count(&min, &max).expect("count"), brute);
+    }
+
+    // kNN: exact (key, dist, value) sequence equality — same results,
+    // same order, same tie-breaking.
+    for c in centers {
+        for n in [1usize, 3, model.len()] {
+            let got = packed.knn(c, n).expect("knn");
+            let want = live.knn(c, n);
+            prop_assert_eq!(got.len(), want.len(), "knn len @{:?} n={}", c, n);
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert_eq!(g.key, w.key, "knn key @{:?} n={}", c, n);
+                prop_assert_eq!(g.value, *w.value, "knn value @{:?} n={}", c, n);
+                prop_assert!(
+                    g.dist.to_bits() == w.dist.to_bits(),
+                    "knn dist @{:?} n={}: {} vs {}",
+                    c,
+                    n,
+                    g.dist,
+                    w.dist
+                );
+            }
+        }
+    }
+
+    // Round trip back to a live tree: full re-validation plus scan
+    // equality.
+    let rt = packed.to_tree().expect("to_tree");
+    rt.check_invariants();
+    let rt_scan: Vec<([u64; K], u64)> = rt.query(&lo, &hi).map(|(k, &v)| (k, v)).collect();
+    prop_assert_eq!(&rt_scan, &want, "round-trip scan");
+
+    Ok(())
+}
+
+fn check_all<const K: usize>(
+    items: Vec<([u64; K], u64)>,
+    windows: Vec<([u64; K], [u64; K])>,
+    centers: Vec<[u64; K]>,
+) -> Result<(), TestCaseError> {
+    let mut live: PhTree<u64, K> = PhTree::new();
+    let mut model: BTreeMap<[u64; K], u64> = BTreeMap::new();
+    for (k, v) in &items {
+        live.insert(*k, *v);
+        model.insert(*k, *v);
+    }
+    for mode in [
+        CacheMode::Resident,
+        // Tiny budget: constant eviction churn on every walk.
+        CacheMode::Lru { pages: 2 },
+        CacheMode::Lru { pages: 64 },
+    ] {
+        check_against(&live, &model, &windows, &centers, mode)?;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn packed_matches_live_k3(
+        items in proptest::collection::vec((key_strategy::<3>(), any::<u64>()), 0..160),
+        windows in proptest::collection::vec((key_strategy::<3>(), key_strategy::<3>()), 1..5),
+        centers in proptest::collection::vec(key_strategy::<3>(), 1..4),
+    ) {
+        check_all::<3>(items, windows, centers)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn packed_matches_live_k8(
+        items in proptest::collection::vec((key_strategy::<8>(), any::<u64>()), 0..100),
+        windows in proptest::collection::vec((key_strategy::<8>(), key_strategy::<8>()), 1..4),
+        centers in proptest::collection::vec(key_strategy::<8>(), 1..3),
+    ) {
+        check_all::<8>(items, windows, centers)?;
+    }
+
+    /// K=20 stays under the HC dimension limit but forces wide LHC
+    /// nodes and multi-word addresses.
+    #[test]
+    fn packed_matches_live_k20(
+        items in proptest::collection::vec((key_strategy::<20>(), any::<u64>()), 0..60),
+        windows in proptest::collection::vec((key_strategy::<20>(), key_strategy::<20>()), 1..3),
+        centers in proptest::collection::vec(key_strategy::<20>(), 1..3),
+    ) {
+        check_all::<20>(items, windows, centers)?;
+    }
+}
+
+// ------------------------------------------------------------ edge cases
+
+#[test]
+fn empty_tree_round_trips() {
+    let live: PhTree<u64, 3> = PhTree::new();
+    let vfs = MemVfs::new();
+    let path = Path::new("/m/empty.phk");
+    let stats = pack_tree_in(&live, &vfs, path).unwrap();
+    assert_eq!(stats.entries, 0);
+    assert_eq!(stats.nodes, 0);
+    for mode in [CacheMode::Resident, CacheMode::Lru { pages: 2 }] {
+        let p: PackedTree<u64, 3> = PackedTree::open_in(&vfs, path, mode).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.get(&[1, 2, 3]).unwrap(), None);
+        assert!(!p.contains(&[0, 0, 0]).unwrap());
+        assert_eq!(p.query(&[0; 3], &[u64::MAX; 3]).count(), 0);
+        assert_eq!(p.knn(&[5; 3], 4).unwrap().len(), 0);
+        assert_eq!(p.to_tree().unwrap().len(), 0);
+    }
+}
+
+#[test]
+fn singleton_and_duplicate_heavy() {
+    let mut live: PhTree<u64, 3> = PhTree::new();
+    live.insert([7, 8, 9], 1);
+    for i in 0..50 {
+        live.insert([7, 8, 9], i); // same key, value overwritten
+    }
+    assert_eq!(live.len(), 1);
+    let vfs = MemVfs::new();
+    let path = Path::new("/m/one.phk");
+    pack_tree_in(&live, &vfs, path).unwrap();
+    for mode in [CacheMode::Resident, CacheMode::Lru { pages: 1 }] {
+        let p: PackedTree<u64, 3> = PackedTree::open_in(&vfs, path, mode).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.get(&[7, 8, 9]).unwrap(), Some(49));
+        assert_eq!(p.get(&[7, 8, 8]).unwrap(), None);
+        let hits: Vec<_> = p
+            .query(&[0; 3], &[u64::MAX; 3])
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap();
+        assert_eq!(hits, vec![([7, 8, 9], 49)]);
+        let nn = p.knn(&[0; 3], 2).unwrap();
+        assert_eq!(nn.len(), 1);
+        assert_eq!(nn[0].key, [7, 8, 9]);
+    }
+}
+
+/// Variable-width values (strings) force the non-uniform value path:
+/// sequential skip-decode instead of O(1) striding.
+#[test]
+fn string_values_non_uniform_path() {
+    let mut live: PhTree<String, 3> = PhTree::new();
+    for i in 0u64..200 {
+        let k = [i % 17, (i * 7) % 23, i];
+        live.insert(k, "x".repeat((i % 11) as usize));
+    }
+    let vfs = MemVfs::new();
+    let path = Path::new("/m/strs.phk");
+    pack_tree_in(&live, &vfs, path).unwrap();
+    for mode in [CacheMode::Resident, CacheMode::Lru { pages: 3 }] {
+        let p: PackedTree<String, 3> = PackedTree::open_in(&vfs, path, mode).unwrap();
+        assert_eq!(p.len(), live.len());
+        for (k, v) in live.query(&[0; 3], &[u64::MAX; 3]) {
+            assert_eq!(p.get(&k).unwrap().as_deref(), Some(v.as_str()));
+        }
+        let got: Vec<_> = p
+            .query(&[0; 3], &[u64::MAX; 3])
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap();
+        let want: Vec<_> = live
+            .query(&[0; 3], &[u64::MAX; 3])
+            .map(|(k, v)| (k, v.clone()))
+            .collect();
+        assert_eq!(got, want);
+        let rt = p.to_tree().unwrap();
+        rt.check_invariants();
+        assert_eq!(rt.len(), live.len());
+    }
+}
+
+/// Unit values encode to zero bytes (uniform stride 0) — the degenerate
+/// end of the fixed-width path.
+#[test]
+fn unit_values_zero_stride() {
+    let mut live: PhTree<(), 3> = PhTree::new();
+    for i in 0u64..100 {
+        live.insert([i, i * 3 % 31, i % 5], ());
+    }
+    let vfs = MemVfs::new();
+    let path = Path::new("/m/unit.phk");
+    pack_tree_in(&live, &vfs, path).unwrap();
+    let p: PackedTree<(), 3> = PackedTree::open_in(&vfs, path, CacheMode::Resident).unwrap();
+    assert_eq!(p.len(), live.len());
+    assert_eq!(p.query_count(&[0; 3], &[u64::MAX; 3]).unwrap(), live.len());
+    assert_eq!(p.get(&[1, 3, 1]).unwrap(), Some(()));
+}

@@ -1,5 +1,6 @@
 //! The storage seam the server speaks to: one trait over the
-//! in-memory [`ShardedTree`] and the WAL-backed [`DurableSharded`],
+//! in-memory [`ShardedTree`], the WAL-backed [`DurableSharded`], and
+//! the read-only [`PackedBackend`] (a `phpack` packed checkpoint),
 //! selected by a `phserve` flag at startup.
 //!
 //! Values are fixed to `u64` at the serving tier (the paper's PH-tree
@@ -7,9 +8,70 @@
 //! single-shaped. Fallible writes surface `phshard`'s typed
 //! [`ShardError`] so the server can translate `Overloaded` into the
 //! protocol's shed reply instead of flattening every failure into one
-//! opaque error.
+//! opaque error — and reads are fallible too, because a packed
+//! checkpoint verifies page checksums lazily: corruption discovered
+//! mid-query must become a typed `Internal` wire error, never a panic
+//! and never a silently short result.
 
-use phshard::{DurableSharded, ShardError, ShardStats, ShardedTree, Snapshot};
+use phshard::{DurableSharded, PackedShards, ShardError, ShardStats, ShardedTree, Snapshot};
+use std::sync::Arc;
+
+/// A pinned, consistent read view: either a live cross-shard
+/// [`Snapshot`] or a packed checkpoint (which is *always* one
+/// consistent cut — it was frozen from a snapshot and never changes).
+///
+/// The server answers a maximal run of pipelined reads from one
+/// `ReadView`, so the whole run observes a single write-history cut
+/// and pays the cut protocol (or nothing, for packed) once.
+pub enum ReadView<const K: usize> {
+    /// A live MVCC snapshot pinned from the mutable backends.
+    Live(Snapshot<u64, K>),
+    /// A packed read-only checkpoint; reads verify checksums lazily
+    /// and therefore can fail with a typed store error.
+    Packed(Arc<PackedShards<u64, K>>),
+}
+
+impl<const K: usize> ReadView<K> {
+    /// Point lookup.
+    pub fn get(&self, key: &[u64; K]) -> Result<Option<u64>, ShardError> {
+        match self {
+            ReadView::Live(s) => Ok(s.get(key).copied()),
+            ReadView::Packed(p) => p.get(key).map_err(ShardError::from),
+        }
+    }
+
+    /// Window query over `[min, max]`, inclusive, in global Z-order.
+    pub fn query(
+        &self,
+        min: &[u64; K],
+        max: &[u64; K],
+    ) -> Result<Vec<([u64; K], u64)>, ShardError> {
+        match self {
+            ReadView::Live(s) => Ok(s.query(min, max)),
+            ReadView::Packed(p) => p.query(min, max).map_err(ShardError::from),
+        }
+    }
+
+    /// `n` nearest neighbours of `center`, nearest first.
+    pub fn knn(
+        &self,
+        center: &[u64; K],
+        n: usize,
+    ) -> Result<Vec<([u64; K], u64, f64)>, ShardError> {
+        match self {
+            ReadView::Live(s) => Ok(s.knn(center, n)),
+            ReadView::Packed(p) => p.knn(center, n).map_err(ShardError::from),
+        }
+    }
+
+    /// Per-shard statistics of the pinned view.
+    pub fn stats(&self) -> ShardStats {
+        match self {
+            ReadView::Live(s) => s.stats(),
+            ReadView::Packed(p) => p.stats(),
+        }
+    }
+}
 
 /// Storage operations the server needs, `&self` and thread-safe —
 /// every connection worker calls straight into the same backend.
@@ -17,24 +79,24 @@ pub trait Backend<const K: usize>: Send + Sync + 'static {
     /// Upserts `key` → `value`.
     fn insert(&self, key: [u64; K], value: u64) -> Result<(), ShardError>;
     /// Point lookup.
-    fn get(&self, key: &[u64; K]) -> Option<u64>;
+    fn get(&self, key: &[u64; K]) -> Result<Option<u64>, ShardError>;
     /// Removes `key`, returning the removed value.
     fn remove(&self, key: &[u64; K]) -> Result<Option<u64>, ShardError>;
     /// Window query over `[min, max]`, inclusive, in global Z-order.
-    fn query(&self, min: &[u64; K], max: &[u64; K]) -> Vec<([u64; K], u64)>;
+    fn query(&self, min: &[u64; K], max: &[u64; K]) -> Result<Vec<([u64; K], u64)>, ShardError>;
     /// `n` nearest neighbours of `center`, nearest first.
-    fn knn(&self, center: &[u64; K], n: usize) -> Vec<([u64; K], u64, f64)>;
+    fn knn(&self, center: &[u64; K], n: usize) -> Result<Vec<([u64; K], u64, f64)>, ShardError>;
     /// Batch upsert through the bulk-admission seam; returns the count
     /// of new keys. Must be all-or-nothing with respect to
     /// [`ShardError::Overloaded`]: a shed batch applies nothing.
     fn bulk_load(&self, items: Vec<([u64; K], u64)>) -> Result<usize, ShardError>;
     /// Per-shard statistics snapshot.
     fn stats(&self) -> ShardStats;
-    /// Pins a consistent cross-shard view (see [`Snapshot`]). The
-    /// server serves runs of read requests from one snapshot, so a
+    /// Pins a consistent cross-shard view (see [`ReadView`]). The
+    /// server serves runs of read requests from one view, so a
     /// pipelined read batch observes a single write-history cut and
     /// pays the cut protocol once.
-    fn snapshot(&self) -> Snapshot<u64, K>;
+    fn read_view(&self) -> ReadView<K>;
 }
 
 impl<const K: usize> Backend<K> for ShardedTree<u64, K> {
@@ -43,20 +105,20 @@ impl<const K: usize> Backend<K> for ShardedTree<u64, K> {
         Ok(())
     }
 
-    fn get(&self, key: &[u64; K]) -> Option<u64> {
-        ShardedTree::get(self, key)
+    fn get(&self, key: &[u64; K]) -> Result<Option<u64>, ShardError> {
+        Ok(ShardedTree::get(self, key))
     }
 
     fn remove(&self, key: &[u64; K]) -> Result<Option<u64>, ShardError> {
         Ok(ShardedTree::remove(self, key))
     }
 
-    fn query(&self, min: &[u64; K], max: &[u64; K]) -> Vec<([u64; K], u64)> {
-        ShardedTree::query(self, min, max)
+    fn query(&self, min: &[u64; K], max: &[u64; K]) -> Result<Vec<([u64; K], u64)>, ShardError> {
+        Ok(ShardedTree::query(self, min, max))
     }
 
-    fn knn(&self, center: &[u64; K], n: usize) -> Vec<([u64; K], u64, f64)> {
-        ShardedTree::knn(self, center, n)
+    fn knn(&self, center: &[u64; K], n: usize) -> Result<Vec<([u64; K], u64, f64)>, ShardError> {
+        Ok(ShardedTree::knn(self, center, n))
     }
 
     fn bulk_load(&self, items: Vec<([u64; K], u64)>) -> Result<usize, ShardError> {
@@ -67,8 +129,8 @@ impl<const K: usize> Backend<K> for ShardedTree<u64, K> {
         ShardedTree::stats(self)
     }
 
-    fn snapshot(&self) -> Snapshot<u64, K> {
-        ShardedTree::snapshot(self)
+    fn read_view(&self) -> ReadView<K> {
+        ReadView::Live(ShardedTree::snapshot(self))
     }
 }
 
@@ -77,20 +139,20 @@ impl<const K: usize> Backend<K> for DurableSharded<u64, K> {
         DurableSharded::insert(self, key, value).map(|_| ())
     }
 
-    fn get(&self, key: &[u64; K]) -> Option<u64> {
-        self.get_with(key, |v| *v)
+    fn get(&self, key: &[u64; K]) -> Result<Option<u64>, ShardError> {
+        Ok(self.get_with(key, |v| *v))
     }
 
     fn remove(&self, key: &[u64; K]) -> Result<Option<u64>, ShardError> {
         DurableSharded::remove(self, key)
     }
 
-    fn query(&self, min: &[u64; K], max: &[u64; K]) -> Vec<([u64; K], u64)> {
-        DurableSharded::query(self, min, max)
+    fn query(&self, min: &[u64; K], max: &[u64; K]) -> Result<Vec<([u64; K], u64)>, ShardError> {
+        Ok(DurableSharded::query(self, min, max))
     }
 
-    fn knn(&self, center: &[u64; K], n: usize) -> Vec<([u64; K], u64, f64)> {
-        DurableSharded::knn(self, center, n)
+    fn knn(&self, center: &[u64; K], n: usize) -> Result<Vec<([u64; K], u64, f64)>, ShardError> {
+        Ok(DurableSharded::knn(self, center, n))
     }
 
     fn bulk_load(&self, items: Vec<([u64; K], u64)>) -> Result<usize, ShardError> {
@@ -101,7 +163,48 @@ impl<const K: usize> Backend<K> for DurableSharded<u64, K> {
         DurableSharded::stats(self)
     }
 
-    fn snapshot(&self) -> Snapshot<u64, K> {
-        DurableSharded::snapshot(self)
+    fn read_view(&self) -> ReadView<K> {
+        ReadView::Live(DurableSharded::snapshot(self))
+    }
+}
+
+/// A read-only backend serving a packed checkpoint (`phserve
+/// --packed DIR`): the build-once serve-forever artifact. Every write
+/// op answers the typed [`ShardError::ReadOnly`] — structurally
+/// impossible, not transiently unavailable — and reads go straight to
+/// the zero-copy packed shards.
+pub struct PackedBackend<const K: usize>(pub Arc<PackedShards<u64, K>>);
+
+impl<const K: usize> Backend<K> for PackedBackend<K> {
+    fn insert(&self, _key: [u64; K], _value: u64) -> Result<(), ShardError> {
+        Err(ShardError::ReadOnly)
+    }
+
+    fn get(&self, key: &[u64; K]) -> Result<Option<u64>, ShardError> {
+        self.0.get(key).map_err(ShardError::from)
+    }
+
+    fn remove(&self, _key: &[u64; K]) -> Result<Option<u64>, ShardError> {
+        Err(ShardError::ReadOnly)
+    }
+
+    fn query(&self, min: &[u64; K], max: &[u64; K]) -> Result<Vec<([u64; K], u64)>, ShardError> {
+        self.0.query(min, max).map_err(ShardError::from)
+    }
+
+    fn knn(&self, center: &[u64; K], n: usize) -> Result<Vec<([u64; K], u64, f64)>, ShardError> {
+        self.0.knn(center, n).map_err(ShardError::from)
+    }
+
+    fn bulk_load(&self, _items: Vec<([u64; K], u64)>) -> Result<usize, ShardError> {
+        Err(ShardError::ReadOnly)
+    }
+
+    fn stats(&self) -> ShardStats {
+        self.0.stats()
+    }
+
+    fn read_view(&self) -> ReadView<K> {
+        ReadView::Packed(Arc::clone(&self.0))
     }
 }

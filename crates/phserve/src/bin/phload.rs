@@ -22,17 +22,33 @@
 //!   phload --addr HOST:PORT --scenario point_heavy [--quick]
 //!   ```
 //!
+//! * **Prepare mode**: freezes the deterministic packed dataset into a
+//!   checkpoint directory for `phserve --packed DIR`; the
+//!   `packed_read` scenario (external mode) then verifies the running
+//!   read-only server against the same seed-reproduced dataset.
+//!
+//!   ```text
+//!   phload --prepare-packed DIR [--seed N]
+//!   ```
+//!
+//! Spawn mode also runs `packed_read` end to end by itself: it packs
+//! the dataset, serves it read-only in process, checks a write answers
+//! the typed read-only error, and verifies every stored key.
+//!
 //! Exit code is non-zero on any verification failure, unexpected error
 //! reply, or (spawn mode) missing shed evidence in the overload run.
 
 use phmetrics::Registry;
+use phpack::CacheMode;
+use phserve::backend::PackedBackend;
 use phserve::load::{
-    host_cores, render_table, run_scenario, to_json, LoadConfig, Scenario, ScenarioReport,
-    SERVE_DIMS,
+    host_cores, prepare_packed, render_table, run_scenario, to_json, LoadConfig, Scenario,
+    ScenarioReport, SERVE_DIMS,
 };
+use phserve::proto::{ErrorCode, Request, Response};
 use phserve::server::{spawn, ServerConfig, ServerHandle};
 use phserve::Client;
-use phshard::{DurableSharded, RebalancePolicy, Rebalancer, ShardedTree};
+use phshard::{DurableSharded, PackedShards, RebalancePolicy, Rebalancer, ShardedTree};
 use phstore::vfs::StdVfs;
 use phstore::DurableConfig;
 use std::io::{Read, Write};
@@ -46,7 +62,8 @@ const K: usize = SERVE_DIMS;
 fn usage() -> ! {
     eprintln!(
         "usage: phload [--quick] [--durable] [--out PATH]\n\
-         \x20      phload --addr HOST:PORT --scenario NAME [--quick]"
+         \x20      phload --addr HOST:PORT --scenario NAME [--quick]\n\
+         \x20      phload --prepare-packed DIR [--seed N]"
     );
     std::process::exit(2);
 }
@@ -251,6 +268,57 @@ fn spawn_mode(quick: bool, durable: bool, out: &str) {
         let _ = std::fs::remove_dir_all(dir);
     }
 
+    // --- Packed read-only serving over a frozen checkpoint. ---
+    let pdir = std::env::temp_dir().join(format!("phload-{}-packed", std::process::id()));
+    let _ = std::fs::remove_dir_all(&pdir);
+    let (pshards, pentries) =
+        prepare_packed(&pdir, cfg.seed).unwrap_or_else(|e| fail(&format!("prepare packed: {e}")));
+    eprintln!(
+        "phload: packed checkpoint ready at {} ({pshards} shards, {pentries} entries)",
+        pdir.display()
+    );
+    let registry = Registry::new();
+    let packed = PackedShards::<u64, K>::open(&pdir, CacheMode::Resident)
+        .unwrap_or_else(|e| fail(&format!("open packed checkpoint: {e}")));
+    let backend = Arc::new(PackedBackend(Arc::new(packed)));
+    let handle = spawn(
+        backend,
+        "127.0.0.1:0",
+        Some("127.0.0.1:0"),
+        registry,
+        ServerConfig::default(),
+    )
+    .unwrap_or_else(|e| fail(&format!("bind: {e}")));
+    let report = run_checked(handle.addr(), Scenario::PackedRead, &cfg);
+    // A write against the packed server must answer the typed
+    // read-only error — refused, not applied, not a connection kill.
+    let mut client: Client<K> =
+        Client::connect(handle.addr()).unwrap_or_else(|e| fail(&e.to_string()));
+    match client.call(&Request::Insert {
+        key: [1; K],
+        value: 1,
+    }) {
+        Ok(Response::Error {
+            code: ErrorCode::BadRequest,
+            ..
+        }) => {}
+        other => fail(&format!(
+            "write against packed server answered {other:?}, want typed BadRequest"
+        )),
+    }
+    if client
+        .get([1; K])
+        .unwrap_or_else(|e| fail(&e.to_string()))
+        .is_some()
+    {
+        fail("refused write was applied to the packed server");
+    }
+    eprintln!("phload: packed_read: writes refused with typed error, reads verified");
+    reports.push(report);
+    drop(client);
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&pdir);
+
     // --- Report. ---
     let backend_name = if durable { "durable" } else { "in-memory" };
     let json = to_json(&reports, backend_name, host_cores());
@@ -262,7 +330,7 @@ fn spawn_mode(quick: bool, durable: bool, out: &str) {
     println!("phload: wrote {out} (host_cores={})", host_cores());
 }
 
-fn external_mode(addr: &str, scenario: &str, quick: bool, out: Option<&str>) {
+fn external_mode(addr: &str, scenario: &str, quick: bool, out: Option<&str>, seed: u64) {
     let addr: SocketAddr = addr
         .parse()
         .unwrap_or_else(|_| fail(&format!("bad --addr {addr}")));
@@ -273,6 +341,7 @@ fn external_mode(addr: &str, scenario: &str, quick: bool, out: Option<&str>) {
     } else {
         LoadConfig::default()
     };
+    cfg.seed = seed;
     if sc == Scenario::Overload {
         cfg.pipeline = 256;
     }
@@ -294,6 +363,8 @@ fn main() {
     let mut out: Option<String> = None;
     let mut addr: Option<String> = None;
     let mut scenario: Option<String> = None;
+    let mut prepare: Option<PathBuf> = None;
+    let mut seed = LoadConfig::default().seed;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -302,6 +373,15 @@ fn main() {
             "--out" => out = Some(it.next().unwrap_or_else(|| usage())),
             "--addr" => addr = Some(it.next().unwrap_or_else(|| usage())),
             "--scenario" => scenario = Some(it.next().unwrap_or_else(|| usage())),
+            "--prepare-packed" => {
+                prepare = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())))
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -309,8 +389,17 @@ fn main() {
             }
         }
     }
+    if let Some(dir) = prepare {
+        let (shards, entries) =
+            prepare_packed(&dir, seed).unwrap_or_else(|e| fail(&format!("prepare packed: {e}")));
+        println!(
+            "phload: packed checkpoint written to {} ({shards} shards, {entries} entries, seed {seed})",
+            dir.display()
+        );
+        return;
+    }
     match (addr, scenario) {
-        (Some(a), Some(s)) => external_mode(&a, &s, quick, out.as_deref()),
+        (Some(a), Some(s)) => external_mode(&a, &s, quick, out.as_deref(), seed),
         (None, None) => spawn_mode(
             quick,
             durable,

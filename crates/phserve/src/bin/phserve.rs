@@ -2,22 +2,30 @@
 //!
 //! ```text
 //! phserve [--addr 127.0.0.1:7070] [--metrics-addr 127.0.0.1:7071]
-//!         [--durable DIR] [--shards 8] [--threads N]
+//!         [--durable DIR | --packed DIR] [--shards 8] [--threads N]
 //!         [--queue-cap 1024] [--batch-max 64] [--workers 1]
 //!         [--shed-wait-us 2000] [--op-delay-us 0] [--no-rebalance]
+//!         [--lru-pages N]
 //! ```
 //!
 //! Serves the in-memory `ShardedTree` by default; `--durable DIR`
 //! swaps in the WAL-backed `DurableSharded` (crash-recovering from
-//! `DIR` on start). The PR 6 rebalancer runs in the background unless
-//! `--no-rebalance`. Bind port 0 for an ephemeral port — the actual
-//! addresses are printed as `phserve listening on ...` /
-//! `phserve metrics on ...` lines for scripts to parse.
+//! `DIR` on start); `--packed DIR` serves a packed checkpoint
+//! (written by `phload --prepare-packed` or
+//! `DurableSharded::checkpoint_packed`) **read-only** — writes answer
+//! a typed error, opens take milliseconds, and `--lru-pages N` caps
+//! the page cache instead of mapping everything resident. The PR 6
+//! rebalancer runs in the background unless `--no-rebalance`. Bind
+//! port 0 for an ephemeral port — the actual addresses are printed as
+//! `phserve listening on ...` / `phserve metrics on ...` lines for
+//! scripts to parse.
 
 use phmetrics::Registry;
+use phpack::CacheMode;
+use phserve::backend::PackedBackend;
 use phserve::load::SERVE_DIMS;
 use phserve::server::{spawn, ServerConfig};
-use phshard::{DurableSharded, RebalancePolicy, Rebalancer, ShardedTree};
+use phshard::{DurableSharded, PackedShards, RebalancePolicy, Rebalancer, ShardedTree};
 use phstore::vfs::StdVfs;
 use phstore::DurableConfig;
 use std::path::PathBuf;
@@ -30,6 +38,8 @@ struct Args {
     addr: String,
     metrics_addr: String,
     durable: Option<PathBuf>,
+    packed: Option<PathBuf>,
+    lru_pages: Option<usize>,
     shards: usize,
     threads: usize,
     cfg: ServerConfig,
@@ -38,9 +48,9 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: phserve [--addr A] [--metrics-addr A] [--durable DIR] [--shards N] \
-         [--threads N] [--queue-cap N] [--batch-max N] [--workers N] \
-         [--shed-wait-us N] [--op-delay-us N] [--no-rebalance]"
+        "usage: phserve [--addr A] [--metrics-addr A] [--durable DIR | --packed DIR] \
+         [--lru-pages N] [--shards N] [--threads N] [--queue-cap N] [--batch-max N] \
+         [--workers N] [--shed-wait-us N] [--op-delay-us N] [--no-rebalance]"
     );
     std::process::exit(2);
 }
@@ -50,6 +60,8 @@ fn parse_args() -> Args {
         addr: "127.0.0.1:7070".into(),
         metrics_addr: "127.0.0.1:7071".into(),
         durable: None,
+        packed: None,
+        lru_pages: None,
         shards: 8,
         threads: 0,
         cfg: ServerConfig::default(),
@@ -67,6 +79,10 @@ fn parse_args() -> Args {
             "--addr" => args.addr = val("--addr"),
             "--metrics-addr" => args.metrics_addr = val("--metrics-addr"),
             "--durable" => args.durable = Some(PathBuf::from(val("--durable"))),
+            "--packed" => args.packed = Some(PathBuf::from(val("--packed"))),
+            "--lru-pages" => {
+                args.lru_pages = Some(val("--lru-pages").parse().unwrap_or_else(|_| usage()))
+            }
             "--shards" => args.shards = val("--shards").parse().unwrap_or_else(|_| usage()),
             "--threads" => args.threads = val("--threads").parse().unwrap_or_else(|_| usage()),
             "--queue-cap" => {
@@ -106,63 +122,98 @@ fn main() {
         args.threads
     };
 
+    if args.packed.is_some() && args.durable.is_some() {
+        eprintln!("phserve: --packed and --durable are mutually exclusive");
+        usage();
+    }
+
     // The backend is generic but the binary must pick one concrete
     // type per branch; each branch owns its server + rebalancer pair.
-    let (_handle, _rebalancer) = match &args.durable {
-        Some(dir) => {
-            let backend = Arc::new(
-                DurableSharded::<u64, K>::open_observed(
-                    Arc::new(StdVfs),
-                    dir,
-                    args.shards,
-                    DurableConfig::default(),
-                    &registry,
+    let mut serving_shards = args.shards;
+    let (_handle, _rebalancer) = if let Some(dir) = &args.packed {
+        let mode = match args.lru_pages {
+            Some(pages) => CacheMode::Lru { pages },
+            None => CacheMode::Resident,
+        };
+        let shards = PackedShards::<u64, K>::open(dir, mode).unwrap_or_else(|e| {
+            eprintln!(
+                "phserve: cannot open packed checkpoint at {}: {e}",
+                dir.display()
+            );
+            std::process::exit(1);
+        });
+        serving_shards = shards.stats().shards;
+        let backend = Arc::new(PackedBackend(Arc::new(shards)));
+        let handle = spawn(
+            backend,
+            &args.addr,
+            Some(&args.metrics_addr),
+            registry,
+            args.cfg.clone(),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("phserve: bind failed: {e}");
+            std::process::exit(1);
+        });
+        // A packed checkpoint never splits: no rebalancer.
+        (handle, None)
+    } else {
+        match &args.durable {
+            Some(dir) => {
+                let backend = Arc::new(
+                    DurableSharded::<u64, K>::open_observed(
+                        Arc::new(StdVfs),
+                        dir,
+                        args.shards,
+                        DurableConfig::default(),
+                        &registry,
+                    )
+                    .unwrap_or_else(|e| {
+                        eprintln!(
+                            "phserve: cannot open durable store at {}: {e}",
+                            dir.display()
+                        );
+                        std::process::exit(1);
+                    }),
+                );
+                let reb = args
+                    .rebalance
+                    .then(|| Rebalancer::spawn(Arc::clone(&backend), RebalancePolicy::default()));
+                let handle = spawn(
+                    backend,
+                    &args.addr,
+                    Some(&args.metrics_addr),
+                    registry,
+                    args.cfg.clone(),
                 )
                 .unwrap_or_else(|e| {
-                    eprintln!(
-                        "phserve: cannot open durable store at {}: {e}",
-                        dir.display()
-                    );
+                    eprintln!("phserve: bind failed: {e}");
                     std::process::exit(1);
-                }),
-            );
-            let reb = args
-                .rebalance
-                .then(|| Rebalancer::spawn(Arc::clone(&backend), RebalancePolicy::default()));
-            let handle = spawn(
-                backend,
-                &args.addr,
-                Some(&args.metrics_addr),
-                registry,
-                args.cfg.clone(),
-            )
-            .unwrap_or_else(|e| {
-                eprintln!("phserve: bind failed: {e}");
-                std::process::exit(1);
-            });
-            (handle, reb)
-        }
-        None => {
-            let backend = Arc::new(ShardedTree::<u64, K>::with_metrics(
-                args.shards,
-                threads,
-                &registry,
-            ));
-            let reb = args
-                .rebalance
-                .then(|| Rebalancer::spawn(Arc::clone(&backend), RebalancePolicy::default()));
-            let handle = spawn(
-                backend,
-                &args.addr,
-                Some(&args.metrics_addr),
-                registry,
-                args.cfg.clone(),
-            )
-            .unwrap_or_else(|e| {
-                eprintln!("phserve: bind failed: {e}");
-                std::process::exit(1);
-            });
-            (handle, reb)
+                });
+                (handle, reb)
+            }
+            None => {
+                let backend = Arc::new(ShardedTree::<u64, K>::with_metrics(
+                    args.shards,
+                    threads,
+                    &registry,
+                ));
+                let reb = args
+                    .rebalance
+                    .then(|| Rebalancer::spawn(Arc::clone(&backend), RebalancePolicy::default()));
+                let handle = spawn(
+                    backend,
+                    &args.addr,
+                    Some(&args.metrics_addr),
+                    registry,
+                    args.cfg.clone(),
+                )
+                .unwrap_or_else(|e| {
+                    eprintln!("phserve: bind failed: {e}");
+                    std::process::exit(1);
+                });
+                (handle, reb)
+            }
         }
     };
 
@@ -172,12 +223,14 @@ fn main() {
     }
     println!(
         "phserve serving {} dims={K} shards={} workers={} queue_cap={}",
-        if args.durable.is_some() {
+        if args.packed.is_some() {
+            "packed-readonly"
+        } else if args.durable.is_some() {
             "durable"
         } else {
             "in-memory"
         },
-        args.shards,
+        serving_shards,
         args.cfg.workers,
         args.cfg.queue_cap,
     );

@@ -19,8 +19,10 @@
 //!   then sheds with a typed `Overloaded` reply — the same
 //!   not-applied, safe-to-retry contract `phshard` uses for migration
 //!   backlog shedding. A Prometheus sidecar answers `GET /metrics`.
-//! * [`backend`] — one trait over [`phshard::ShardedTree`] and
-//!   [`phshard::DurableSharded`], flag-selected at startup.
+//! * [`backend`] — one trait over [`phshard::ShardedTree`],
+//!   [`phshard::DurableSharded`] and the read-only
+//!   [`backend::PackedBackend`] (a `phpack` packed checkpoint),
+//!   flag-selected at startup.
 //! * [`client`] — a blocking pipelining client.
 //! * [`load`] — the `phload` scenario engine: four standard mixes plus
 //!   an overload run, exact per-op percentiles, and an acked-ops model
@@ -37,7 +39,7 @@ mod metrics;
 pub mod proto;
 pub mod server;
 
-pub use backend::Backend;
+pub use backend::{Backend, PackedBackend, ReadView};
 pub use client::Client;
 pub use load::{LoadConfig, Scenario, ScenarioReport, SERVE_DIMS};
 pub use proto::{ErrorCode, ProtoError, Request, Response, StatsReply};

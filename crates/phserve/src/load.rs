@@ -20,6 +20,7 @@ use crate::proto::{ErrorCode, ProtoError, Request, Response};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
+use std::path::Path;
 use std::time::Instant;
 
 /// Dimension count both binaries are compiled for.
@@ -52,6 +53,13 @@ pub enum Scenario {
     /// The same shape at a 50/50 reader mix — the reader connections
     /// themselves add write pressure, so root swaps are constant.
     ReadUnderWrite50,
+    /// Pure reads against a `phserve --packed` server holding the
+    /// deterministic [`packed_dataset`] (written by
+    /// `phload --prepare-packed`). Every connection regenerates the
+    /// dataset from the seed, so gets verify exact values, near-miss
+    /// gets verify absences, and the verification pass re-reads the
+    /// *whole* dataset — the packed artifact must agree byte for byte.
+    PackedRead,
 }
 
 impl Scenario {
@@ -78,6 +86,7 @@ impl Scenario {
             Scenario::Overload => "overload",
             Scenario::ReadUnderWrite95 => "read_under_write_95",
             Scenario::ReadUnderWrite50 => "read_under_write_50",
+            Scenario::PackedRead => "packed_read",
         }
     }
 
@@ -91,6 +100,7 @@ impl Scenario {
             "overload" => Some(Scenario::Overload),
             "read_under_write_95" => Some(Scenario::ReadUnderWrite95),
             "read_under_write_50" => Some(Scenario::ReadUnderWrite50),
+            "packed_read" => Some(Scenario::PackedRead),
             _ => None,
         }
     }
@@ -106,6 +116,7 @@ impl Scenario {
             Scenario::Overload => 5,
             Scenario::ReadUnderWrite95 => 6,
             Scenario::ReadUnderWrite50 => 7,
+            Scenario::PackedRead => 8,
         }
     }
 
@@ -116,6 +127,39 @@ impl Scenario {
             _ => base,
         }
     }
+}
+
+/// Entries in the deterministic packed-scenario dataset.
+pub const PACKED_DATASET_ENTRIES: usize = 2_000;
+
+/// The dataset `--prepare-packed` freezes and [`Scenario::PackedRead`]
+/// verifies — reproducible from the seed alone, so the load generator
+/// needs no side channel to know what the read-only server holds.
+pub fn packed_dataset(seed: u64) -> Vec<([u64; K], u64)> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7061_636B); // "pack"
+    let mut seen: HashSet<[u64; K]> = HashSet::new();
+    let mut out = Vec::with_capacity(PACKED_DATASET_ENTRIES);
+    while out.len() < PACKED_DATASET_ENTRIES {
+        let mut k = [0u64; K];
+        for d in k.iter_mut() {
+            *d = rng.gen_range(0u64..1 << 40);
+        }
+        if seen.insert(k) {
+            out.push((k, rng.gen::<u64>()));
+        }
+    }
+    out
+}
+
+/// Builds the packed checkpoint `phserve --packed` serves: bulk-loads
+/// the deterministic dataset into a sharded tree and freezes one
+/// snapshot into `dir`. Returns `(shards, entries)` packed.
+pub fn prepare_packed(dir: &Path, seed: u64) -> io::Result<(usize, u64)> {
+    let tree: phshard::ShardedTree<u64, K> = phshard::ShardedTree::new(4);
+    tree.bulk_load(packed_dataset(seed));
+    let ck = phshard::write_packed_checkpoint(&tree.snapshot(), &phstore::vfs::StdVfs, dir)
+        .map_err(io::Error::other)?;
+    Ok((ck.shards, ck.entries))
 }
 
 /// Load-generator knobs.
@@ -218,8 +262,9 @@ fn effect_of(req: &Request<K>) -> Effect {
 }
 
 /// Deterministic op plan for one connection. `ns` is the high-bits
-/// namespace tag baked into `key[0]`.
-fn plan_ops(sc: Scenario, rng: &mut StdRng, ns: u64, n: usize) -> Vec<Request<K>> {
+/// namespace tag baked into `key[0]`; `base_seed` is the run-wide seed
+/// (the packed scenario regenerates the shared dataset from it).
+fn plan_ops(sc: Scenario, rng: &mut StdRng, ns: u64, n: usize, base_seed: u64) -> Vec<Request<K>> {
     let coord = |rng: &mut StdRng| rng.gen_range(0u64..1 << 32);
     let fresh = |rng: &mut StdRng| -> [u64; K] {
         let mut k = [0u64; K];
@@ -438,6 +483,44 @@ fn plan_ops(sc: Scenario, rng: &mut StdRng, ns: u64, n: usize) -> Vec<Request<K>
                 }
             }
         }
+        Scenario::PackedRead => {
+            // Pure reads over the shared frozen dataset: point hits,
+            // near-miss probes (one bit off a stored key — must answer
+            // None), windows, kNN, periodic stats. No writes: the
+            // server is read-only and every write would answer a typed
+            // error.
+            let data = packed_dataset(base_seed);
+            let pick_e = |rng: &mut StdRng| data[rng.gen_range(0usize..data.len())].0;
+            for i in 0..n {
+                if i % 97 == 96 {
+                    ops.push(Request::Stats);
+                    continue;
+                }
+                let roll: f64 = rng.gen_range(0.0..1.0);
+                if roll < 0.60 {
+                    ops.push(Request::Get { key: pick_e(rng) });
+                } else if roll < 0.75 {
+                    let mut k = pick_e(rng);
+                    k[K - 1] ^= 1;
+                    ops.push(Request::Get { key: k });
+                } else if roll < 0.92 {
+                    let c = pick_e(rng);
+                    let ext = rng.gen_range(1u64..1 << 36);
+                    let mut min = c;
+                    let mut max = c;
+                    for d in 0..K {
+                        min[d] = c[d].saturating_sub(ext);
+                        max[d] = c[d].saturating_add(ext);
+                    }
+                    ops.push(Request::Query { min, max });
+                } else {
+                    ops.push(Request::Knn {
+                        center: pick_e(rng),
+                        n: 3,
+                    });
+                }
+            }
+        }
     }
     ops
 }
@@ -495,7 +578,7 @@ fn conn_worker(
 ) -> Result<ConnOutcome, ProtoError> {
     let ns = (sc.id() << 56) | ((conn as u64 + 1) << 48);
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ (ns.rotate_left(17)));
-    let ops = plan_ops(sc, &mut rng, ns, cfg.ops_per_conn);
+    let ops = plan_ops(sc, &mut rng, ns, cfg.ops_per_conn, cfg.seed);
     let pipeline = sc.pipeline(cfg.pipeline);
 
     let mut client: Client<K> = Client::connect(addr)?;
@@ -510,6 +593,20 @@ fn conn_worker(
     };
     let mut model: HashMap<[u64; K], u64> = HashMap::new();
     let mut attempted: HashSet<[u64; K]> = HashSet::new();
+    if sc == Scenario::PackedRead {
+        // The server is read-only and pre-filled with the frozen
+        // dataset: seed the model from the seed-reproducible dataset so
+        // the verification pass re-reads every stored key (plus a
+        // near-miss probe per key, which must answer absent) against
+        // the packed artifact.
+        for (k, v) in packed_dataset(cfg.seed) {
+            model.insert(k, v);
+            attempted.insert(k);
+            let mut miss = k;
+            miss[K - 1] ^= 1;
+            attempted.insert(miss);
+        }
+    }
     let mut inflight: VecDeque<(u64, &'static str, Effect, Instant)> = VecDeque::new();
 
     for req in &ops {

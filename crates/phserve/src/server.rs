@@ -18,7 +18,7 @@
 //! of consecutive `Insert` requests in a batch is coalesced into one
 //! [`Backend::bulk_load`] call (the phshard batch-admission seam); a
 //! maximal run of consecutive reads (`Get`/`Query`/`Knn`/`Stats`) is
-//! answered from **one** pinned [`Backend::snapshot`] — a single
+//! answered from **one** pinned [`Backend::read_view`] — a single
 //! consistent cross-shard cut per run, with zero lock acquisitions on
 //! the tree read path.
 //!
@@ -48,11 +48,11 @@
 //! reply, and closes **only that connection** — the server never
 //! panics on input bytes.
 
-use crate::backend::Backend;
+use crate::backend::{Backend, ReadView};
 use crate::metrics::ServeMetrics;
 use crate::proto::{self, ErrorCode, ProtoError, Request, Response, StatsReply};
 use phmetrics::{OpTimer, Registry};
-use phshard::{ShardError, ShardStats, Snapshot};
+use phshard::{ShardError, ShardStats};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -174,6 +174,9 @@ impl<B: Backend<K>, const K: usize> Shared<B, K> {
                 self.metrics.backend_overloaded.inc();
                 ErrorCode::Overloaded
             }
+            // Structurally unserviceable (packed read-only backend),
+            // not a backend failure: don't retry, don't page anyone.
+            ShardError::ReadOnly => ErrorCode::BadRequest,
             _ => ErrorCode::Internal,
         };
         Response::Error {
@@ -201,15 +204,22 @@ impl<B: Backend<K>, const K: usize> Shared<B, K> {
                 Ok(()) => Response::Ack,
                 Err(e) => self.err_response(&e),
             },
-            Request::Get { key } => Response::Value(self.backend.get(key)),
+            Request::Get { key } => match self.backend.get(key) {
+                Ok(v) => Response::Value(v),
+                Err(e) => self.err_response(&e),
+            },
             Request::Remove { key } => match self.backend.remove(key) {
                 Ok(prev) => Response::Value(prev),
                 Err(e) => self.err_response(&e),
             },
-            Request::Query { min, max } => Response::Entries(self.backend.query(min, max)),
-            Request::Knn { center, n } => {
-                Response::Neighbors(self.backend.knn(center, *n as usize))
-            }
+            Request::Query { min, max } => match self.backend.query(min, max) {
+                Ok(entries) => Response::Entries(entries),
+                Err(e) => self.err_response(&e),
+            },
+            Request::Knn { center, n } => match self.backend.knn(center, *n as usize) {
+                Ok(nbs) => Response::Neighbors(nbs),
+                Err(e) => self.err_response(&e),
+            },
             Request::BulkLoad { items } => match self.backend.bulk_load(items.clone()) {
                 Ok(new) => Response::Loaded { new: new as u32 },
                 Err(e) => self.err_response(&e),
@@ -220,7 +230,7 @@ impl<B: Backend<K>, const K: usize> Shared<B, K> {
         self.respond(job, &resp);
     }
 
-    /// Whether a request can be answered from a pinned [`Snapshot`].
+    /// Whether a request can be answered from a pinned [`ReadView`].
     fn is_read(req: &Request<K>) -> bool {
         matches!(
             req,
@@ -228,13 +238,22 @@ impl<B: Backend<K>, const K: usize> Shared<B, K> {
         )
     }
 
-    /// Answers one read request from a pinned snapshot.
-    fn handle_read(&self, job: Job<K>, snap: &Snapshot<u64, K>) {
+    /// Answers one read request from a pinned read view.
+    fn handle_read(&self, job: Job<K>, view: &ReadView<K>) {
         let resp = match &job.req {
-            Request::Get { key } => Response::Value(snap.get(key).copied()),
-            Request::Query { min, max } => Response::Entries(snap.query(min, max)),
-            Request::Knn { center, n } => Response::Neighbors(snap.knn(center, *n as usize)),
-            Request::Stats => Response::Stats(Self::stats_reply(&snap.stats())),
+            Request::Get { key } => match view.get(key) {
+                Ok(v) => Response::Value(v),
+                Err(e) => self.err_response(&e),
+            },
+            Request::Query { min, max } => match view.query(min, max) {
+                Ok(entries) => Response::Entries(entries),
+                Err(e) => self.err_response(&e),
+            },
+            Request::Knn { center, n } => match view.knn(center, *n as usize) {
+                Ok(nbs) => Response::Neighbors(nbs),
+                Err(e) => self.err_response(&e),
+            },
+            Request::Stats => Response::Stats(Self::stats_reply(&view.stats())),
             _ => unreachable!("read run contains only reads"),
         };
         self.respond(job, &resp);
@@ -244,8 +263,8 @@ impl<B: Backend<K>, const K: usize> Shared<B, K> {
     /// ride one bulk load (all acked, or all shed — the backend's bulk
     /// admission is all-or-nothing for `Overloaded`); maximal runs of
     /// consecutive reads are answered from **one** pinned backend
-    /// snapshot (a single consistent cut for the whole run, and one
-    /// cut-protocol round instead of one per request — the snapshot is
+    /// read view (a single consistent cut for the whole run, and one
+    /// cut-protocol round instead of one per request — the view is
     /// pinned after every request in the run was admitted, so each get
     /// still sees every write acknowledged before it was sent);
     /// everything else executes in order.
@@ -260,9 +279,9 @@ impl<B: Backend<K>, const K: usize> Shared<B, K> {
                 if let Some(d) = self.cfg.op_delay {
                     std::thread::sleep(d);
                 }
-                let snap = self.backend.snapshot();
+                let view = self.backend.read_view();
                 for job in run {
-                    self.handle_read(job, &snap);
+                    self.handle_read(job, &view);
                 }
                 continue;
             }

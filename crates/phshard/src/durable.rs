@@ -663,6 +663,12 @@ impl<V: ValueCodec + Clone + Send + Sync, const K: usize> DurableSharded<V, K> {
         self.get_with(key, |_| ()).is_some()
     }
 
+    /// The store's filesystem, for sibling modules writing artifacts
+    /// alongside it (packed checkpoints).
+    pub(crate) fn vfs(&self) -> &Arc<dyn Vfs> {
+        &self.vfs
+    }
+
     /// Total entries across shards, from one consistent snapshot.
     pub fn len(&self) -> usize {
         self.snapshot().len()

@@ -64,6 +64,10 @@ pub enum ShardError {
         /// The underlying store error.
         source: StoreError,
     },
+    /// The backend serves a packed (read-only) checkpoint: writes are
+    /// structurally impossible, not transiently unavailable. Callers
+    /// should route writes to a live store, not retry here.
+    ReadOnly,
 }
 
 impl fmt::Display for ShardError {
@@ -88,6 +92,12 @@ impl fmt::Display for ShardError {
             }
             ShardError::Checkpoint { slot, source } => {
                 write!(f, "checkpoint of slot {slot} failed: {source}")
+            }
+            ShardError::ReadOnly => {
+                write!(
+                    f,
+                    "backend is a packed read-only checkpoint; writes are not accepted"
+                )
             }
         }
     }

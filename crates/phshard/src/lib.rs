@@ -62,6 +62,7 @@ mod error;
 mod lockstat;
 mod merge;
 mod metrics;
+mod packed;
 mod pool;
 mod rebalance;
 mod route;
@@ -75,6 +76,9 @@ pub use error::ShardError;
 #[cfg(debug_assertions)]
 pub use lockstat::data_lock_acquisitions;
 pub use metrics::PoolMetrics;
+pub use packed::{
+    write_packed_checkpoint, PackedCheckpoint, PackedShards, PACKED_MANIFEST, PACKED_SHARDS_MAGIC,
+};
 pub use pool::WorkerPool;
 pub use rebalance::{RebalancePolicy, Rebalancer, SkewReport, Splittable};
 pub use route::{Router, MAX_SHARDS};

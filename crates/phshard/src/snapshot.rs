@@ -163,6 +163,11 @@ impl<V, const K: usize> Snapshot<V, K> {
             .expect("snapshot routing map addressed a missing root")
     }
 
+    /// The pinned tree of live slot `slot` (for packed checkpoints).
+    pub(crate) fn shard_tree(&self, slot: usize) -> &PhTree<V, K> {
+        &self.root(slot).tree
+    }
+
     /// Total entries at the snapshot instant.
     pub fn len(&self) -> usize {
         self.map

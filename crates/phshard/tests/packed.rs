@@ -1,0 +1,156 @@
+//! Packed-checkpoint round trip: a consistent cut of a live sharded
+//! store, packed to per-shard artifacts + manifest, must reopen
+//! read-only (on both page-cache backends) and answer the full read
+//! surface identically to the snapshot it froze — including after a
+//! shard split changed the topology.
+
+use phpack::CacheMode;
+use phshard::{DurableSharded, PackedShards, ShardError, PACKED_MANIFEST};
+use phstore::vfs::MemVfs;
+use phstore::DurableConfig;
+use std::path::Path;
+use std::sync::Arc;
+
+fn cfg() -> DurableConfig {
+    DurableConfig {
+        checkpoint_bytes: 1 << 20,
+        sync_writes: false,
+        retry: None,
+    }
+}
+
+fn key(i: u64) -> [u64; 2] {
+    let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    [h, h.rotate_left(32)]
+}
+
+fn check_matches(store: &DurableSharded<u64, 2>, packed: &PackedShards<u64, 2>, n: u64) {
+    let snap = store.snapshot();
+    assert_eq!(packed.len(), snap.len());
+    assert_eq!(packed.epoch(), snap.epoch());
+    assert_eq!(packed.shards(), snap.shards());
+    for i in 0..n {
+        let k = key(i);
+        assert_eq!(packed.get(&k).unwrap(), snap.get(&k).copied(), "get {k:?}");
+        assert_eq!(packed.contains(&k).unwrap(), snap.contains(&k));
+    }
+    let (lo, hi) = ([0u64; 2], [u64::MAX; 2]);
+    assert_eq!(packed.query(&lo, &hi).unwrap(), snap.query(&lo, &hi));
+    assert_eq!(
+        packed.query_count(&lo, &hi).unwrap(),
+        snap.query_count(&lo, &hi)
+    );
+    let window = ([0u64, 0], [u64::MAX / 3, u64::MAX / 2]);
+    assert_eq!(
+        packed.query(&window.0, &window.1).unwrap(),
+        snap.query(&window.0, &window.1)
+    );
+    for c in [[0u64, 0], [u64::MAX / 2; 2], key(7)] {
+        let got = packed.knn(&c, 9).unwrap();
+        let want = snap.knn(&c, 9);
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.0, w.0, "knn key @{c:?}");
+            assert_eq!(g.1, w.1);
+            assert_eq!(g.2.to_bits(), w.2.to_bits());
+        }
+    }
+    let st = packed.stats();
+    let want = snap.stats();
+    assert_eq!(st.entries, want.entries);
+    assert_eq!(st.per_shard, want.per_shard);
+    assert_eq!(st.live_slots, want.live_slots);
+    assert_eq!(st.epoch, want.epoch);
+}
+
+#[test]
+fn packed_checkpoint_round_trips() {
+    let vfs = Arc::new(MemVfs::new());
+    let store: DurableSharded<u64, 2> =
+        DurableSharded::open_with(vfs.clone(), Path::new("/store"), 4, cfg()).unwrap();
+    let n = 2_000u64;
+    for i in 0..n {
+        store.insert(key(i), i).unwrap();
+    }
+    for i in (0..n).step_by(5) {
+        store.remove(&key(i)).unwrap();
+    }
+
+    let dir = Path::new("/packed");
+    let ck = store.checkpoint_packed(dir).unwrap();
+    assert_eq!(ck.shards, 4);
+    assert_eq!(ck.entries as usize, store.len());
+    assert!(ck.file_bytes > 0);
+
+    for mode in [CacheMode::Resident, CacheMode::Lru { pages: 4 }] {
+        let packed: PackedShards<u64, 2> = PackedShards::open_in(&*vfs, dir, mode).unwrap();
+        check_matches(&store, &packed, n);
+    }
+
+    // Writes continuing on the live store do not disturb the artifact:
+    // it stays pinned at its cut.
+    let frozen_len = store.len();
+    for i in n..n + 100 {
+        store.insert(key(i), i).unwrap();
+    }
+    let packed: PackedShards<u64, 2> =
+        PackedShards::open_in(&*vfs, dir, CacheMode::Resident).unwrap();
+    assert_eq!(packed.len(), frozen_len);
+}
+
+#[test]
+fn packed_checkpoint_follows_topology_changes() {
+    let vfs = Arc::new(MemVfs::new());
+    let store: DurableSharded<u64, 2> =
+        DurableSharded::open_with(vfs.clone(), Path::new("/store"), 2, cfg()).unwrap();
+    for i in 0..1_500u64 {
+        store.insert(key(i), i).unwrap();
+    }
+    // Split the hottest shard: the manifest must carry the new trie.
+    let hot = store.stats();
+    let slot = *hot
+        .live_slots
+        .iter()
+        .max_by_key(|&&s| hot.per_shard[hot.live_slots.iter().position(|&x| x == s).unwrap()])
+        .unwrap();
+    store.split_shard(slot, 1).unwrap();
+
+    let dir = Path::new("/packed2");
+    let ck = store.checkpoint_packed(dir).unwrap();
+    assert_eq!(ck.shards, store.stats().shards);
+    let packed: PackedShards<u64, 2> =
+        PackedShards::open_in(&*vfs, dir, CacheMode::Resident).unwrap();
+    check_matches(&store, &packed, 1_500);
+    assert!(packed.epoch() > 0);
+}
+
+#[test]
+fn packed_open_rejects_missing_or_torn_manifest() {
+    let vfs = MemVfs::new();
+    // No manifest at all.
+    assert!(
+        PackedShards::<u64, 2>::open_in(&vfs, Path::new("/nowhere"), CacheMode::Resident).is_err()
+    );
+
+    // A checkpoint whose manifest byte got flipped must be refused.
+    let store: DurableSharded<u64, 2> =
+        DurableSharded::open_with(Arc::new(MemVfs::new()), Path::new("/s"), 2, cfg()).unwrap();
+    for i in 0..200u64 {
+        store.insert(key(i), i).unwrap();
+    }
+    let dir = Path::new("/p");
+    phshard::write_packed_checkpoint(&store.snapshot(), &vfs, dir).unwrap();
+    assert!(vfs.corrupt(&dir.join(PACKED_MANIFEST), 40, 0x10));
+    assert!(
+        PackedShards::<u64, 2>::open_in(&vfs, dir, CacheMode::Resident).is_err(),
+        "corrupt manifest must not open"
+    );
+}
+
+#[test]
+fn read_only_error_is_typed() {
+    // The serving layer maps write attempts against packed backends to
+    // this variant; it must be constructible and display usefully.
+    let e = ShardError::ReadOnly;
+    assert!(e.to_string().contains("read-only"));
+}

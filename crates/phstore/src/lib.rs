@@ -63,6 +63,7 @@ pub mod pager;
 pub mod record;
 pub mod retry;
 mod store;
+pub mod superblock;
 pub mod vfs;
 pub mod wal;
 

@@ -10,16 +10,13 @@
 //! and [`Pager::open`] are real-filesystem conveniences.
 
 use crate::error::{Corruption, StoreError};
+use crate::superblock;
 use crate::vfs::{StdVfs, Vfs, VfsFile};
 use std::path::Path;
 
-/// Page size in bytes. 4 KiB, the common disk/OS page granularity the
-/// paper's outlook refers to.
-pub const PAGE_SIZE: usize = 4096;
+pub use crate::superblock::{MAX_META, PAGE_SIZE};
 
-const MAGIC: &[u8; 8] = b"PHSTORE1";
-/// Maximum user metadata bytes storable in the header page.
-pub const MAX_META: usize = PAGE_SIZE - 8 - 8 - 8 - 4;
+use crate::superblock::STORE_MAGIC as MAGIC;
 
 /// A page-granular file.
 pub struct Pager {
@@ -63,39 +60,19 @@ impl Pager {
             n_pages: len / PAGE_SIZE as u64,
         };
         let header = p.read_page(0)?;
-        if &header[..8] != MAGIC {
-            return Err(StoreError::corrupt("bad magic"));
-        }
-        let stored_pages = u64::from_le_bytes(header[8..16].try_into().unwrap());
+        let (stored_pages, meta) = superblock::decode(MAGIC, &header)?;
         if stored_pages != p.n_pages {
             return Err(Corruption::new("page count mismatch")
                 .at_page(stored_pages)
                 .into());
         }
-        let meta_len = u32::from_le_bytes(header[16..20].try_into().unwrap()) as usize;
-        if meta_len > MAX_META {
-            return Err(StoreError::corrupt("oversized metadata"));
-        }
-        let meta = header[20..20 + meta_len].to_vec();
-        let stored_sum = u64::from_le_bytes(header[PAGE_SIZE - 8..].try_into().unwrap());
-        if stored_sum != crate::fnv1a(&header[..PAGE_SIZE - 8]) {
-            return Err(Corruption::new("header checksum mismatch")
-                .at_page(0)
-                .into());
-        }
         Ok((p, meta))
     }
 
-    /// Rewrites the header page (page count + metadata + checksum).
+    /// Rewrites the header page (page count + metadata + checksum)
+    /// through the shared [`superblock`] codec.
     pub fn write_header(&mut self, meta: &[u8]) -> Result<(), StoreError> {
-        assert!(meta.len() <= MAX_META, "metadata too large");
-        let mut page = vec![0u8; PAGE_SIZE];
-        page[..8].copy_from_slice(MAGIC);
-        page[8..16].copy_from_slice(&self.n_pages.to_le_bytes());
-        page[16..20].copy_from_slice(&(meta.len() as u32).to_le_bytes());
-        page[20..20 + meta.len()].copy_from_slice(meta);
-        let sum = crate::fnv1a(&page[..PAGE_SIZE - 8]);
-        page[PAGE_SIZE - 8..].copy_from_slice(&sum.to_le_bytes());
+        let page = superblock::encode(MAGIC, self.n_pages, meta);
         self.write_page(0, &page)
     }
 

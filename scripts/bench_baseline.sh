@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Perf-regression baseline: runs the fig7/fig8/fig9/fig_load bins
-# PH-only on the CUBE dataset at K in {3, 8, 20} and writes one flat
+# PH-only on the CUBE dataset at K in {3, 8, 20}, plus fig_pack once
+# (K=8 only — the packed-artifact reference point), and writes one flat
 # JSON of µs metrics ({"fig8_point_query_cube_k8": 1.23, ...}).
-# fig_load also hard-asserts its own acceptance floors (bulk ≥2× faster
-# than sequential at K=8, O(1) allocations per bulk-loaded entry).
+# fig_load and fig_pack also hard-assert their own acceptance floors
+# (bulk ≥2× faster than sequential at K=8, O(1) allocations per
+# bulk-loaded entry; packed open ≥10× faster than WAL replay, packed
+# bytes/entry ≤ live heap bytes/entry, zero allocs per packed read).
 #
 # Usage:  scripts/bench_baseline.sh [output.json]
 #   QUICK=false scripts/bench_baseline.sh      # full-size run (default true)
@@ -48,4 +51,8 @@ for K in 3 8 20; do
       --json "$OUT" "${EXTRA[@]+"${EXTRA[@]}"}"
   done
 done
+# fig_pack is K=8-only (the issue pins its acceptance claims there), so
+# it runs once outside the K sweep.
+"target/release/fig_pack" --quick "$QUICK" --seed "$SEED" \
+  --json "$OUT" "${EXTRA[@]+"${EXTRA[@]}"}"
 echo "baseline -> $OUT"
