@@ -111,6 +111,24 @@ impl Histogram {
         }
     }
 
+    /// Estimated quantile `q ∈ [0, 1]` of the samples recorded so far
+    /// — one bucket-count read plus [`HistSnapshot::quantile`]'s rank
+    /// walk, exact to within one power-of-two bucket. Returns 0 for a
+    /// disabled or empty histogram. This is the live-handle
+    /// convenience the slow-query threshold autotuner uses (trailing
+    /// p99 × 4); callers needing several quantiles from one consistent
+    /// count read should [`Histogram::load`] once instead.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.load().quantile(q)
+    }
+
+    /// Estimated quantiles for each `q` in `qs`, all computed from
+    /// **one** consistent bucket read (unlike repeated
+    /// [`Histogram::quantile`] calls, which each re-read the counts).
+    pub fn percentiles(&self, qs: &[f64]) -> Vec<u64> {
+        self.load().percentiles(qs)
+    }
+
     /// Reads the current bucket counts (relaxed; counts only grow).
     pub fn load(&self) -> HistSnapshot {
         let mut counts = [0u64; NUM_BUCKETS];
@@ -154,6 +172,22 @@ impl HistSnapshot {
             }
         }
         bucket_upper_bound(NUM_BUCKETS - 1)
+    }
+
+    /// Estimated quantiles for each `q` in `qs` against this one
+    /// consistent snapshot.
+    pub fn percentiles(&self, qs: &[f64]) -> Vec<u64> {
+        qs.iter().map(|&q| self.quantile(q)).collect()
+    }
+
+    /// Adds `other`'s bucket counts into `self` — merging histograms
+    /// of the same unit (e.g. per-op latency series into one
+    /// all-traffic distribution) is exact because the buckets are
+    /// fixed and aligned.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
     }
 
     /// Estimated median.
@@ -205,6 +239,83 @@ mod tests {
                 assert!(v > bucket_upper_bound(b - 1));
             }
         }
+    }
+
+    /// Pins the off-by-one at exact powers of two: `2^k` has bit
+    /// length `k+1`, so it lands in bucket `k+1` (whose range is
+    /// `[2^k, 2^(k+1))`), **not** in bucket `k` — bucket `k`'s
+    /// inclusive upper bound is `2^k - 1`. A naive `floor(log2(v))`
+    /// bucketer would put `2^k` one bucket lower and under-report
+    /// every quantile that falls on a power of two by up to 2×.
+    /// Above the clamp (`2^k` for `k ≥ NUM_BUCKETS - 2`) everything
+    /// collapses into the open top bucket.
+    #[test]
+    fn power_of_two_boundaries_are_exclusive_below() {
+        for k in 0..NUM_BUCKETS - 2 {
+            let v = 1u64 << k;
+            assert_eq!(bucket_index(v), k + 1, "2^{k} must open bucket {}", k + 1);
+            // The 1-off audit: 2^k is strictly above bucket k's bound…
+            assert!(v > bucket_upper_bound(k));
+            // …and exactly covered by bucket k+1's inclusive bound.
+            assert!(v <= bucket_upper_bound(k + 1));
+            // 2^k - 1 stays in bucket k (bit length k).
+            assert_eq!(bucket_index(v - 1), k);
+        }
+        // The clamp region: every power of two at or past the top
+        // bucket's lower bound lands in the open top bucket.
+        for k in NUM_BUCKETS - 2..64 {
+            assert_eq!(bucket_index(1u64 << k), NUM_BUCKETS - 1);
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        // A histogram holding exactly one power-of-two sample reports
+        // every quantile as that sample's bucket upper bound.
+        let h = Histogram {
+            cell: Some(std::sync::Arc::new(HistCells::new())),
+        };
+        h.record(1 << 20);
+        assert_eq!(h.quantile(0.5), (1u64 << 21) - 1);
+        assert_eq!(h.quantile(1.0), (1u64 << 21) - 1);
+    }
+
+    #[test]
+    fn live_handle_quantile_and_percentiles() {
+        let h = Histogram {
+            cell: Some(std::sync::Arc::new(HistCells::new())),
+        };
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(1_000_000);
+        let expect_low = bucket_upper_bound(bucket_index(100));
+        let expect_hi = bucket_upper_bound(bucket_index(1_000_000));
+        assert_eq!(h.quantile(0.50), expect_low);
+        assert_eq!(h.quantile(0.99), expect_low);
+        assert_eq!(
+            h.percentiles(&[0.5, 0.99, 1.0]),
+            vec![expect_low, expect_low, expect_hi]
+        );
+        // Disabled handles answer 0 without touching anything.
+        assert_eq!(Histogram::noop().quantile(0.99), 0);
+        assert_eq!(Histogram::noop().percentiles(&[0.5, 0.9]), vec![0, 0]);
+    }
+
+    #[test]
+    fn snapshot_merge_is_exact() {
+        let a = Histogram {
+            cell: Some(std::sync::Arc::new(HistCells::new())),
+        };
+        let b = Histogram {
+            cell: Some(std::sync::Arc::new(HistCells::new())),
+        };
+        for _ in 0..10 {
+            a.record(100);
+        }
+        b.record(1 << 30);
+        let mut m = a.load();
+        m.merge(&b.load());
+        assert_eq!(m.count(), 11);
+        assert_eq!(m.quantile(1.0), bucket_upper_bound(bucket_index(1 << 30)));
+        assert_eq!(m.p50(), bucket_upper_bound(bucket_index(100)));
     }
 
     #[test]

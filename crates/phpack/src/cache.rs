@@ -139,6 +139,7 @@ impl PageCache for SliceCache {
     fn extent(&self, first: u32, count: u32) -> Result<PageBytes<'_>, StoreError> {
         check_extent(self.data_pages, first, count)?;
         self.touches.fetch_add(count as u64, Relaxed);
+        phtrace::add_pages(count as u64);
         let start = (first as usize - 1) * PAGE_SIZE;
         let len = count as usize * PAGE_SIZE;
         Ok(PageBytes::Borrowed(&self.data[start..start + len]))
@@ -218,6 +219,7 @@ impl PageCache for LruCache {
     fn extent(&self, first: u32, count: u32) -> Result<PageBytes<'_>, StoreError> {
         check_extent(self.data_pages, first, count)?;
         self.touches.fetch_add(count as u64, Relaxed);
+        phtrace::add_pages(count as u64);
         let len = count as usize * PAGE_SIZE;
         let mut state = self.state.lock().expect("lru state poisoned");
         state.tick += 1;
@@ -234,8 +236,10 @@ impl PageCache for LruCache {
         // Miss (or a cached extent too short): read and verify. The
         // state lock is held across the read so concurrent readers do
         // not duplicate I/O for the same extent; the walkers are
-        // read-only so there is no lock-ordering hazard.
+        // read-only so there is no lock-ordering hazard. The fetch is
+        // the packed-page cost a slow-query breakdown attributes.
         self.misses.fetch_add(1, Relaxed);
+        let _p = phtrace::span(phtrace::Phase::Page);
         let mut buf = vec![0u8; len];
         {
             let mut file = self.file.lock().expect("lru file poisoned");

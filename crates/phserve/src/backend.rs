@@ -97,6 +97,16 @@ pub trait Backend<const K: usize>: Send + Sync + 'static {
     /// pipelined read batch observes a single write-history cut and
     /// pays the cut protocol once.
     fn read_view(&self) -> ReadView<K>;
+    /// Stable backend-kind label for the readiness endpoint
+    /// (`in-memory` / `durable` / `packed-readonly`).
+    fn kind(&self) -> &'static str {
+        "unknown"
+    }
+    /// Whether the backend accepts writes (readiness reports it so
+    /// operators can tell a packed replica from a serving primary).
+    fn writable(&self) -> bool {
+        true
+    }
 }
 
 impl<const K: usize> Backend<K> for ShardedTree<u64, K> {
@@ -132,6 +142,10 @@ impl<const K: usize> Backend<K> for ShardedTree<u64, K> {
     fn read_view(&self) -> ReadView<K> {
         ReadView::Live(ShardedTree::snapshot(self))
     }
+
+    fn kind(&self) -> &'static str {
+        "in-memory"
+    }
 }
 
 impl<const K: usize> Backend<K> for DurableSharded<u64, K> {
@@ -165,6 +179,10 @@ impl<const K: usize> Backend<K> for DurableSharded<u64, K> {
 
     fn read_view(&self) -> ReadView<K> {
         ReadView::Live(DurableSharded::snapshot(self))
+    }
+
+    fn kind(&self) -> &'static str {
+        "durable"
     }
 }
 
@@ -206,5 +224,13 @@ impl<const K: usize> Backend<K> for PackedBackend<K> {
 
     fn read_view(&self) -> ReadView<K> {
         ReadView::Packed(Arc::clone(&self.0))
+    }
+
+    fn kind(&self) -> &'static str {
+        "packed-readonly"
+    }
+
+    fn writable(&self) -> bool {
+        false
     }
 }

@@ -8,8 +8,10 @@
 //!   default-tuned server, then the overload mix against a deliberately
 //!   undersized one (tiny admission queue + artificial per-op delay),
 //!   verifies every connection's acked-op model against the server,
-//!   checks server `stats.entries` equals the sum of client models, and
-//!   writes `results/phserve.json` stamped with `host_cores`.
+//!   checks server `stats.entries` equals the sum of client models,
+//!   finishes with a back-to-back traced/untraced `point_heavy` A/B
+//!   (the `"trace"` key), and writes `results/phserve.json` stamped
+//!   with `host_cores`.
 //!
 //!   ```text
 //!   phload [--quick] [--durable] [--out results/phserve.json]
@@ -31,6 +33,16 @@
 //!   phload --prepare-packed DIR [--seed N]
 //!   ```
 //!
+//! * **Trace mode**: A/B overhead measurement for the flight recorder
+//!   (`point_heavy` untraced, then traced at 1-in-64 sampling) plus a
+//!   slow-query round trip through `/debug/slow`; the overhead lands
+//!   in the JSON report's `"trace"` key. Degrades gracefully in a
+//!   binary built without `--features trace`.
+//!
+//!   ```text
+//!   phload --trace [--quick] [--out results/phserve.json]
+//!   ```
+//!
 //! Spawn mode also runs `packed_read` end to end by itself: it packs
 //! the dataset, serves it read-only in process, checks a write answers
 //! the typed read-only error, and verifies every stored key.
@@ -42,8 +54,8 @@ use phmetrics::Registry;
 use phpack::CacheMode;
 use phserve::backend::PackedBackend;
 use phserve::load::{
-    host_cores, prepare_packed, render_table, run_scenario, to_json, LoadConfig, Scenario,
-    ScenarioReport, SERVE_DIMS,
+    host_cores, inject_trace_json, prepare_packed, render_table, run_scenario, to_json, LoadConfig,
+    Scenario, ScenarioReport, SERVE_DIMS,
 };
 use phserve::proto::{ErrorCode, Request, Response};
 use phserve::server::{spawn, ServerConfig, ServerHandle};
@@ -63,7 +75,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: phload [--quick] [--durable] [--out PATH]\n\
          \x20      phload --addr HOST:PORT --scenario NAME [--quick]\n\
-         \x20      phload --prepare-packed DIR [--seed N]"
+         \x20      phload --prepare-packed DIR [--seed N]\n\
+         \x20      phload --trace [--quick] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -319,15 +332,213 @@ fn spawn_mode(quick: bool, durable: bool, out: &str) {
     handle.stop();
     let _ = std::fs::remove_dir_all(&pdir);
 
+    // --- Tracing overhead (in-memory runs): rerun point_heavy with
+    // the flight recorder live at the production 1-in-64 sampling rate
+    // and record the A/B against the untraced standard-pass run, so
+    // the canonical results file carries the overhead number. In a
+    // binary built without the `trace` feature the rerun measures
+    // noise and the overhead is recorded as 0 with "enabled": false.
+    let mut trace_ab: Option<(bool, f64, f64)> = None;
+    if !durable {
+        const SAMPLE_EVERY: u32 = 64;
+        // Back-to-back A/B on an equally warm process — the standard
+        // pass above ran on a cold one, which would bias the baseline.
+        let (handle, reb, _) = launch(false, ServerConfig::default(), "trace-base");
+        let base = run_checked(handle.addr(), Scenario::PointHeavy, &cfg);
+        handle.stop();
+        reb.stop();
+        let base_ops = base.throughput_ops_s;
+        let live = phserve::trace::init(phserve::trace::TraceConfig {
+            sample_every: SAMPLE_EVERY,
+            slow_threshold: phserve::trace::SlowThreshold::FixedNs(10_000_000),
+            ..Default::default()
+        });
+        let (handle, reb, _) = launch(false, ServerConfig::default(), "trace-on");
+        let mut traced = run_checked(handle.addr(), Scenario::PointHeavy, &cfg);
+        traced.scenario = "point_heavy_traced".into();
+        handle.stop();
+        reb.stop();
+        if live && phtrace::stats().sampled_requests == 0 {
+            fail("tracing is live but no request was sampled");
+        }
+        let overhead_pct = if traced.throughput_ops_s > 0.0 {
+            (base_ops / traced.throughput_ops_s - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        eprintln!(
+            "phload: trace overhead (1-in-{SAMPLE_EVERY}): {:.0} -> {:.0} op/s ({overhead_pct:+.2}%)",
+            base_ops, traced.throughput_ops_s
+        );
+        trace_ab = Some((live, base_ops, traced.throughput_ops_s));
+        reports.push(traced);
+    }
+
     // --- Report. ---
     let backend_name = if durable { "durable" } else { "in-memory" };
-    let json = to_json(&reports, backend_name, host_cores());
+    let mut json = to_json(&reports, backend_name, host_cores());
+    if let Some((live, base_ops, traced_ops)) = trace_ab {
+        json = inject_trace_json(&json, live, 64, base_ops, traced_ops);
+    }
     if let Some(parent) = std::path::Path::new(out).parent() {
         let _ = std::fs::create_dir_all(parent);
     }
     std::fs::write(out, &json).unwrap_or_else(|e| fail(&format!("write {out}: {e}")));
     println!("{}", render_table(&reports));
     println!("phload: wrote {out} (host_cores={})", host_cores());
+}
+
+/// `phload --trace`: the flight recorder's A/B overhead measurement
+/// plus a slow-query round trip. Runs `point_heavy` against an
+/// untraced server, installs the recorder at the production 1-in-64
+/// sampling rate, reruns the same scenario traced, then drops the slow
+/// threshold to the floor and verifies a deliberately slow query shows
+/// up in `/debug/slow` with a per-phase breakdown that covers its wall
+/// time. The overhead record lands in the JSON report's `"trace"` key.
+///
+/// In a binary built without the `trace` feature every probe is a ZST
+/// no-op: the A/B still runs (it then measures noise) and the overhead
+/// is recorded as 0 with `"enabled": false` — the mode degrades to a
+/// plain double run instead of failing, so one CI recipe works on both
+/// builds.
+fn trace_mode(quick: bool, out: &str) {
+    const SAMPLE_EVERY: u32 = 64;
+    let cfg = if quick {
+        LoadConfig::quick()
+    } else {
+        LoadConfig::default()
+    };
+
+    // A: untraced baseline (the recorder is not installed yet, so even
+    // a trace-built binary runs every probe against a dead recorder).
+    let (handle, reb, _) = launch(false, ServerConfig::default(), "trace-base");
+    let base = run_checked(handle.addr(), Scenario::PointHeavy, &cfg);
+    handle.stop();
+    reb.stop();
+
+    // B: same scenario with the recorder live at the production rate.
+    // The threshold is *pinned* (not Auto): the server autotunes an
+    // Auto threshold from its own trailing p99 every 64 batches, which
+    // would override the floor-threshold trick the slow-query check
+    // below relies on. 10ms keeps the A/B run itself slow-free.
+    let live = phserve::trace::init(phserve::trace::TraceConfig {
+        sample_every: SAMPLE_EVERY,
+        slow_threshold: phserve::trace::SlowThreshold::FixedNs(10_000_000),
+        ..Default::default()
+    });
+    if !live {
+        eprintln!(
+            "phload: built without the `trace` feature; overhead recorded as 0 \
+             (rebuild with --features trace for a live measurement)"
+        );
+    }
+    let (handle, reb, _) = launch(false, ServerConfig::default(), "trace-on");
+    let mut traced = run_checked(handle.addr(), Scenario::PointHeavy, &cfg);
+    traced.scenario = "point_heavy_traced".into();
+    let overhead_pct = if traced.throughput_ops_s > 0.0 {
+        (base.throughput_ops_s / traced.throughput_ops_s - 1.0) * 100.0
+    } else {
+        0.0
+    };
+    eprintln!(
+        "phload: trace overhead (1-in-{SAMPLE_EVERY}): {:.0} -> {:.0} op/s ({overhead_pct:+.2}%)",
+        base.throughput_ops_s, traced.throughput_ops_s
+    );
+
+    if live {
+        let st = phtrace::stats();
+        if st.sampled_requests == 0 {
+            fail("tracing is live but no request was sampled");
+        }
+        eprintln!(
+            "phload: recorder sampled {} requests into {} ring(s) ({} records)",
+            st.sampled_requests, st.rings, st.records
+        );
+
+        // Deliberately slow query: with the threshold at the floor
+        // every sampled query is "slow"; 2×SAMPLE_EVERY attempts
+        // guarantee at least one sampled one.
+        phtrace::set_slow_threshold_ns(1_000);
+        let mut client: Client<K> =
+            Client::connect(handle.addr()).unwrap_or_else(|e| fail(&e.to_string()));
+        for i in 0..512u64 {
+            let key = [i.wrapping_mul(0x9e37_79b9); K];
+            match client.call(&Request::Insert { key, value: i }) {
+                Ok(Response::Ack) => {}
+                other => fail(&format!("seed insert answered {other:?}")),
+            }
+        }
+        for _ in 0..(2 * SAMPLE_EVERY) {
+            match client.call(&Request::Query {
+                min: [0; K],
+                max: [u64::MAX; K],
+            }) {
+                Ok(Response::Entries(_)) => {}
+                other => fail(&format!("slow query answered {other:?}")),
+            }
+        }
+        let slow = phtrace::recent_slow();
+        let q = slow
+            .iter()
+            .rev()
+            .find(|s| matches!(s.op, phtrace::TraceOp::Query))
+            .unwrap_or_else(|| fail("no sampled query reached the slow log"));
+        if q.spans < 3 || q.covered_ns == 0 {
+            fail(&format!(
+                "slow query breakdown too thin: {} spans, covered {}ns",
+                q.spans, q.covered_ns
+            ));
+        }
+        let wall = q.wall_ns as f64;
+        let covered = q.covered_ns as f64;
+        if covered < wall * 0.9 || covered > wall * 1.1 {
+            fail(&format!(
+                "slow query phases cover {covered:.0}ns of {wall:.0}ns wall (want within 10%)"
+            ));
+        }
+        eprintln!(
+            "phload: slow query req {} — wall {}us, queue {}us fanout {}us descent {}us \
+             reply {}us ({} spans, fanout {})",
+            q.req_id,
+            q.wall_ns / 1_000,
+            q.phase_ns[phtrace::Phase::Queue as usize] / 1_000,
+            q.phase_ns[phtrace::Phase::FanOut as usize] / 1_000,
+            q.phase_ns[phtrace::Phase::Descent as usize] / 1_000,
+            q.phase_ns[phtrace::Phase::Reply as usize] / 1_000,
+            q.spans,
+            q.counters.fanout,
+        );
+
+        // The same entry must come back over the sidecar.
+        let maddr = handle.metrics_addr().expect("sidecar running");
+        let body = scrape(maddr, "/debug/slow").unwrap_or_else(|e| fail(&format!("scrape: {e}")));
+        if !body.contains("\"req_id\"") || !body.contains("\"phases\"") {
+            fail(&format!("/debug/slow returned no slow queries: {body}"));
+        }
+        let mtext = scrape(maddr, "/metrics").unwrap_or_else(|e| fail(&format!("scrape: {e}")));
+        if metric_value(&mtext, "phserve_protocol_errors_total").unwrap_or(0.0) != 0.0 {
+            fail("protocol errors during the traced run");
+        }
+        eprintln!("phload: /debug/slow serves the breakdown; zero protocol errors");
+    }
+    handle.stop();
+    reb.stop();
+
+    let reports = [base, traced];
+    let json = to_json(&reports, "in-memory", host_cores());
+    let json = inject_trace_json(
+        &json,
+        live,
+        SAMPLE_EVERY,
+        reports[0].throughput_ops_s,
+        reports[1].throughput_ops_s,
+    );
+    if let Some(parent) = std::path::Path::new(out).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(out, &json).unwrap_or_else(|e| fail(&format!("write {out}: {e}")));
+    println!("{}", render_table(&reports));
+    println!("phload: wrote {out} (trace overhead {overhead_pct:+.2}%)");
 }
 
 fn external_mode(addr: &str, scenario: &str, quick: bool, out: Option<&str>, seed: u64) {
@@ -360,6 +571,7 @@ fn external_mode(addr: &str, scenario: &str, quick: bool, out: Option<&str>, see
 fn main() {
     let mut quick = false;
     let mut durable = false;
+    let mut trace = false;
     let mut out: Option<String> = None;
     let mut addr: Option<String> = None;
     let mut scenario: Option<String> = None;
@@ -370,6 +582,7 @@ fn main() {
         match flag.as_str() {
             "--quick" => quick = true,
             "--durable" => durable = true,
+            "--trace" => trace = true,
             "--out" => out = Some(it.next().unwrap_or_else(|| usage())),
             "--addr" => addr = Some(it.next().unwrap_or_else(|| usage())),
             "--scenario" => scenario = Some(it.next().unwrap_or_else(|| usage())),
@@ -396,6 +609,13 @@ fn main() {
             "phload: packed checkpoint written to {} ({shards} shards, {entries} entries, seed {seed})",
             dir.display()
         );
+        return;
+    }
+    if trace {
+        if addr.is_some() || scenario.is_some() {
+            usage();
+        }
+        trace_mode(quick, out.as_deref().unwrap_or("results/phserve.json"));
         return;
     }
     match (addr, scenario) {

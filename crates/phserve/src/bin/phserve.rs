@@ -5,7 +5,7 @@
 //!         [--durable DIR | --packed DIR] [--shards 8] [--threads N]
 //!         [--queue-cap 1024] [--batch-max 64] [--workers 1]
 //!         [--shed-wait-us 2000] [--op-delay-us 0] [--no-rebalance]
-//!         [--lru-pages N]
+//!         [--lru-pages N] [--trace] [--trace-sample 64] [--slow-us N]
 //! ```
 //!
 //! Serves the in-memory `ShardedTree` by default; `--durable DIR`
@@ -19,6 +19,13 @@
 //! port 0 for an ephemeral port — the actual addresses are printed as
 //! `phserve listening on ...` / `phserve metrics on ...` lines for
 //! scripts to parse.
+//!
+//! `--trace` turns the flight recorder on (requires building with
+//! `--features trace`; warns and serves untraced otherwise):
+//! `--trace-sample N` records one request in N (default 64), and
+//! `--slow-us N` pins the slow-query threshold instead of the default
+//! auto policy (trailing p99 × 4). Read results back from the metrics
+//! sidecar at `/debug/slow`, `/debug/trace?n=`, `/debug/dumps`.
 
 use phmetrics::Registry;
 use phpack::CacheMode;
@@ -44,13 +51,17 @@ struct Args {
     threads: usize,
     cfg: ServerConfig,
     rebalance: bool,
+    trace: bool,
+    trace_sample: u32,
+    slow_us: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: phserve [--addr A] [--metrics-addr A] [--durable DIR | --packed DIR] \
          [--lru-pages N] [--shards N] [--threads N] [--queue-cap N] [--batch-max N] \
-         [--workers N] [--shed-wait-us N] [--op-delay-us N] [--no-rebalance]"
+         [--workers N] [--shed-wait-us N] [--op-delay-us N] [--no-rebalance] \
+         [--trace] [--trace-sample N] [--slow-us N]"
     );
     std::process::exit(2);
 }
@@ -66,6 +77,9 @@ fn parse_args() -> Args {
         threads: 0,
         cfg: ServerConfig::default(),
         rebalance: true,
+        trace: false,
+        trace_sample: 64,
+        slow_us: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -101,6 +115,13 @@ fn parse_args() -> Args {
                 args.cfg.op_delay = (us > 0).then(|| Duration::from_micros(us));
             }
             "--no-rebalance" => args.rebalance = false,
+            "--trace" => args.trace = true,
+            "--trace-sample" => {
+                args.trace_sample = val("--trace-sample").parse().unwrap_or_else(|_| usage())
+            }
+            "--slow-us" => {
+                args.slow_us = Some(val("--slow-us").parse().unwrap_or_else(|_| usage()))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -113,6 +134,33 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+
+    if args.trace {
+        let cfg = phserve::trace::TraceConfig {
+            sample_every: args.trace_sample,
+            slow_threshold: match args.slow_us {
+                Some(us) => phserve::trace::SlowThreshold::FixedNs(us.saturating_mul(1000)),
+                None => phserve::trace::SlowThreshold::Auto,
+            },
+            ..phserve::trace::TraceConfig::default()
+        };
+        if phserve::trace::init(cfg) {
+            println!(
+                "phserve tracing on (sample 1-in-{}, slow threshold {})",
+                args.trace_sample.max(1),
+                match args.slow_us {
+                    Some(us) => format!("{us}us"),
+                    None => "auto (trailing p99 x 4)".into(),
+                },
+            );
+        } else {
+            eprintln!(
+                "phserve: --trace requested but this binary was built without the \
+                 `trace` feature; serving untraced (rebuild with --features trace)"
+            );
+        }
+    }
+
     let registry = Registry::new();
     let threads = if args.threads == 0 {
         std::thread::available_parallelism()

@@ -23,6 +23,11 @@
 //!   [`phshard::DurableSharded`] and the read-only
 //!   [`backend::PackedBackend`] (a `phpack` packed checkpoint),
 //!   flag-selected at startup.
+//! * [`trace`] — bootstrap for the `phtrace` flight recorder: with the
+//!   `trace` cargo feature every request carries a trace context from
+//!   the wire through admission, fan-out, descent, WAL and page cache;
+//!   the sidecar answers `GET /debug/slow`, `/debug/trace?n=` and
+//!   `/debug/dumps`, and `/healthz` splits into `/livez` + `/readyz`.
 //! * [`client`] — a blocking pipelining client.
 //! * [`load`] — the `phload` scenario engine: four standard mixes plus
 //!   an overload run, exact per-op percentiles, and an acked-ops model
@@ -38,6 +43,7 @@ pub mod load;
 mod metrics;
 pub mod proto;
 pub mod server;
+pub mod trace;
 
 pub use backend::{Backend, PackedBackend, ReadView};
 pub use client::Client;

@@ -828,6 +828,32 @@ pub fn to_json(reports: &[ScenarioReport], backend: &str, host_cores: usize) -> 
     out
 }
 
+/// Inserts a top-level `"trace"` object into a [`to_json`] report —
+/// the `phload --trace` overhead record (A/B throughput of the same
+/// scenario with the flight recorder off and on).
+pub fn inject_trace_json(
+    json: &str,
+    enabled: bool,
+    sample_every: u32,
+    baseline_ops_s: f64,
+    traced_ops_s: f64,
+) -> String {
+    let overhead_pct = if traced_ops_s > 0.0 && enabled {
+        (baseline_ops_s / traced_ops_s - 1.0) * 100.0
+    } else {
+        0.0
+    };
+    let block = format!(
+        "  \"trace\": {{\"enabled\": {enabled}, \"sample_every\": {sample_every}, \
+         \"baseline_ops_s\": {}, \"traced_ops_s\": {}, \"overhead_pct\": {}}},\n",
+        json_f(baseline_ops_s),
+        json_f(traced_ops_s),
+        json_f(overhead_pct),
+    );
+    // to_json always opens with "{\n" — splice right after it.
+    json.replacen("{\n", &format!("{{\n{block}"), 1)
+}
+
 /// Human-readable results table (also the source of the README table).
 pub fn render_table(reports: &[ScenarioReport]) -> String {
     let mut out = String::new();

@@ -91,6 +91,17 @@ impl ServeMetrics {
         }
     }
 
+    /// p99 of the merged per-op request-latency distribution, ns — the
+    /// input to the slow-query threshold autotune (trailing p99 × 4).
+    /// 0 until any request has completed or when metrics are disabled.
+    pub(crate) fn merged_latency_p99_ns(&self) -> u64 {
+        let mut merged = self.ops[0].latency_ns.load();
+        for op in &self.ops[1..] {
+            merged.merge(&op.latency_ns.load());
+        }
+        merged.p99()
+    }
+
     /// Instruments for the op labelled `label` (one of [`OP_LABELS`]).
     pub(crate) fn op(&self, label: &str) -> &OpInstruments {
         let i = OP_LABELS

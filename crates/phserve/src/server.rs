@@ -101,6 +101,14 @@ struct Job<const K: usize> {
     req: Request<K>,
     timer: OpTimer,
     reply: mpsc::Sender<Vec<u8>>,
+    /// Trace context created at the wire layer (ZST when the `trace`
+    /// feature is off).
+    ctx: phtrace::TraceCtx,
+    /// Admission timestamp on the trace clock (0 untraced) — the root
+    /// span's start, and the queue-wait span's start.
+    enq_ns: u64,
+    /// Queue depth observed at admission, recorded on the queue span.
+    depth: u32,
 }
 
 /// State shared by every server thread.
@@ -123,7 +131,7 @@ struct Shared<B: Backend<K>, const K: usize> {
 impl<B: Backend<K>, const K: usize> Shared<B, K> {
     /// Admits `job` or sheds it with a typed `Overloaded` reply after
     /// the bounded backpressure wait. Never blocks unboundedly.
-    fn admit(&self, job: Job<K>) {
+    fn admit(&self, mut job: Job<K>) {
         let mut q = self.queue.lock().unwrap();
         if q.len() >= self.cfg.queue_cap {
             let (guard, _) = self
@@ -137,6 +145,11 @@ impl<B: Backend<K>, const K: usize> Shared<B, K> {
                 drop(q);
                 self.metrics.shed.inc();
                 let cap = self.cfg.queue_cap;
+                phtrace::trigger_dump(&format!(
+                    "admission shed: op {} (req {}) with queue at high water ({cap})",
+                    job.req.label(),
+                    job.req_id,
+                ));
                 self.respond(
                     job,
                     &Response::Error {
@@ -147,6 +160,7 @@ impl<B: Backend<K>, const K: usize> Shared<B, K> {
                 return;
             }
         }
+        job.depth = q.len() as u32;
         q.push_back(job);
         self.metrics.queue_depth.set(q.len() as i64);
         drop(q);
@@ -156,14 +170,35 @@ impl<B: Backend<K>, const K: usize> Shared<B, K> {
     /// Encodes, frames and sends the reply, then closes out the op's
     /// latency/counter instruments. Send failures (peer gone) are
     /// ignored — the op already happened; the client just never hears.
+    ///
+    /// The reply encode/send rides a `Reply` trace span, and this is
+    /// where the request's root span closes: if admission→now crossed
+    /// the slow threshold, `finish_root` assembles the per-phase
+    /// breakdown into the slow-query log.
     fn respond(&self, job: Job<K>, resp: &Response<K>) {
-        let body = proto::encode_response(job.req_id, resp);
-        let framed = proto::frame(&body);
-        self.metrics.bytes_written.add(framed.len() as u64);
-        let _ = job.reply.send(framed);
+        {
+            let _t = job.ctx.attach();
+            let reply_span = phtrace::span(phtrace::Phase::Reply);
+            let body = proto::encode_response(job.req_id, resp);
+            let framed = proto::frame(&body);
+            self.metrics.bytes_written.add(framed.len() as u64);
+            let _ = job.reply.send(framed);
+            drop(reply_span);
+            phtrace::finish_root(job.ctx, job.enq_ns);
+        }
         let inst = self.metrics.op(job.req.label());
         inst.total.inc();
         inst.latency_ns.finish(job.timer);
+    }
+
+    /// Opens the executing side of a job's trace on the calling worker:
+    /// records the queue-wait span (admission → now — spanning
+    /// head-of-line wait, any configured op delay, and batch position)
+    /// and attaches the request context so spans opened below belong
+    /// to it. Keep the guard alive across the backend call.
+    fn begin_exec(job: &Job<K>) -> phtrace::CtxGuard {
+        phtrace::record_queue_wait(job.ctx, job.enq_ns, job.depth);
+        job.ctx.attach()
     }
 
     /// Maps a backend failure to its wire error, counting backend
@@ -199,6 +234,7 @@ impl<B: Backend<K>, const K: usize> Shared<B, K> {
         if let Some(d) = self.cfg.op_delay {
             std::thread::sleep(d);
         }
+        let _t = Self::begin_exec(&job);
         let resp = match &job.req {
             Request::Insert { key, value } => match self.backend.insert(*key, *value) {
                 Ok(()) => Response::Ack,
@@ -240,6 +276,7 @@ impl<B: Backend<K>, const K: usize> Shared<B, K> {
 
     /// Answers one read request from a pinned read view.
     fn handle_read(&self, job: Job<K>, view: &ReadView<K>) {
+        let _t = Self::begin_exec(&job);
         let resp = match &job.req {
             Request::Get { key } => match view.get(key) {
                 Ok(v) => Response::Value(v),
@@ -306,9 +343,24 @@ impl<B: Backend<K>, const K: usize> Shared<B, K> {
             if let Some(d) = self.cfg.op_delay {
                 std::thread::sleep(d);
             }
-            let resp = match self.backend.bulk_load(items) {
-                Ok(_) => Response::Ack,
-                Err(e) => self.err_response(&e),
+            // Every job in the run gets its queue-wait span; the
+            // coalesced bulk load executes once, so its fan-out and
+            // descent spans are attributed to the run's first sampled
+            // request (the rest still carry queue + reply phases).
+            for job in &run {
+                phtrace::record_queue_wait(job.ctx, job.enq_ns, job.depth);
+            }
+            let exec_ctx = run
+                .iter()
+                .map(|j| j.ctx)
+                .find(|c| c.sampled())
+                .unwrap_or_else(phtrace::TraceCtx::off);
+            let resp = {
+                let _t = exec_ctx.attach();
+                match self.backend.bulk_load(items) {
+                    Ok(_) => Response::Ack,
+                    Err(e) => self.err_response(&e),
+                }
             };
             for job in run {
                 self.respond(job, &resp);
@@ -317,6 +369,7 @@ impl<B: Backend<K>, const K: usize> Shared<B, K> {
     }
 
     fn worker_loop(&self) {
+        let mut batches_done: u64 = 0;
         loop {
             let batch: Vec<Job<K>> = {
                 let mut q = self.queue.lock().unwrap();
@@ -342,6 +395,16 @@ impl<B: Backend<K>, const K: usize> Shared<B, K> {
             self.metrics.batches.inc();
             self.metrics.batch_size.record(batch.len() as u64);
             self.process(batch);
+            batches_done += 1;
+            // Retune the Auto slow-query threshold from live traffic:
+            // trailing merged p99 × 4 (1ms floor so fast loopback
+            // latencies don't flag every request), every 64 batches.
+            if batches_done.is_multiple_of(64) && phtrace::slow_threshold_is_auto() {
+                let p99 = self.metrics.merged_latency_p99_ns();
+                if p99 > 0 {
+                    phtrace::set_slow_threshold_ns(p99.saturating_mul(4).max(1_000_000));
+                }
+            }
         }
     }
 
@@ -392,11 +455,18 @@ impl<B: Backend<K>, const K: usize> Shared<B, K> {
                     match proto::decode_request::<K>(&body) {
                         Ok((req_id, req)) => {
                             let timer = self.metrics.op(req.label()).latency_ns.start();
+                            let ctx = phtrace::start_request(
+                                req_id,
+                                phtrace::TraceOp::from_label(req.label()),
+                            );
                             self.admit(Job {
                                 req_id,
                                 req,
                                 timer,
                                 reply: tx.clone(),
+                                ctx,
+                                enq_ns: phtrace::now_ns(),
+                                depth: 0,
                             });
                         }
                         Err(e) => {
@@ -420,11 +490,50 @@ impl<B: Backend<K>, const K: usize> Shared<B, K> {
         self.metrics.connections.add(-1);
     }
 
+    /// The `/readyz` payload: what this process is actually serving —
+    /// backend kind and writability, the current shard topology, and
+    /// the rebalancer / in-flight-migration state read back from the
+    /// registry (those series exist only when the backend records
+    /// them, i.e. with `phshard/metrics`; absent series render `null`).
+    fn readiness_json(&self, registry: &Registry) -> String {
+        let stats = self.backend.stats();
+        let snap = registry.snapshot();
+        let opt = |v: Option<i64>| match v {
+            Some(v) => v.to_string(),
+            None => "null".to_string(),
+        };
+        let skew = stats.skew();
+        let skew = if skew.is_finite() { skew } else { 0.0 };
+        format!(
+            concat!(
+                "{{\"ready\":{},\"backend\":{{\"kind\":\"{}\",\"writable\":{}}},",
+                "\"shards\":{},\"entries\":{},\"epoch\":{},\"skew\":{:.4},",
+                "\"queue_depth\":{},",
+                "\"rebalancer\":{{\"routing_epoch\":{},\"splits_total\":{},",
+                "\"migration_inflight\":{}}}}}",
+            ),
+            !self.stop.load(Ordering::Relaxed),
+            self.backend.kind(),
+            self.backend.writable(),
+            stats.shards,
+            stats.entries,
+            stats.epoch,
+            skew,
+            self.queue.lock().unwrap().len(),
+            opt(snap.gauge("phshard_routing_epoch").map(|g| g.value)),
+            opt(snap
+                .counter("phshard_rebalance_splits_total")
+                .map(|c| c as i64)),
+            opt(snap.gauge("phshard_migration_inflight").map(|g| g.value)),
+        )
+    }
+
     /// Counts a malformed frame and best-effort sends a typed error
     /// reply (request id 0 — the frame's id is untrustworthy) before
     /// the caller closes the connection.
     fn protocol_error(&self, tx: &mpsc::Sender<Vec<u8>>, e: &ProtoError) {
         self.metrics.protocol_errors.inc();
+        phtrace::trigger_dump(&format!("protocol error: {e}"));
         let resp: Response<K> = Response::Error {
             code: ErrorCode::BadRequest,
             detail: e.to_string(),
@@ -488,8 +597,10 @@ impl Drop for ServerHandle {
 
 /// Binds `addr` (use port 0 for an ephemeral port), spawns the accept
 /// loop, `cfg.workers` queue workers and — when `metrics_addr` is
-/// given — a Prometheus text-exposition sidecar answering
-/// `GET /metrics` (and `/healthz`) with `registry`'s contents.
+/// given — an HTTP sidecar answering `GET /metrics` (Prometheus text
+/// exposition from `registry`), `/healthz` + `/livez` (liveness),
+/// `/readyz` (readiness JSON) and the `/debug/slow`, `/debug/trace`,
+/// `/debug/dumps` tracing endpoints (see [`serve_http_once`]).
 pub fn spawn<B: Backend<K>, const K: usize>(
     backend: Arc<B>,
     addr: &str,
@@ -577,7 +688,7 @@ pub fn spawn<B: Backend<K>, const K: usize>(
                                 break;
                             }
                             if let Ok(mut s) = stream {
-                                serve_http_once(&mut s, &reg);
+                                serve_http_once(&mut s, &reg, &sh);
                             }
                         }
                     })
@@ -613,10 +724,27 @@ pub fn spawn<B: Backend<K>, const K: usize>(
     })
 }
 
-/// Answers exactly one HTTP request on `s`: `GET /metrics` with the
-/// Prometheus text exposition, `GET /healthz` with `ok`, anything
-/// else with 404. Connection: close — scrapers reconnect per scrape.
-fn serve_http_once(s: &mut TcpStream, registry: &Registry) {
+/// Answers exactly one HTTP request on `s`. Routes:
+///
+/// * `GET /metrics` — Prometheus text exposition.
+/// * `GET /healthz`, `GET /livez` — liveness: `ok` whenever the
+///   process is up and the sidecar thread is serving (no dependency
+///   on the backend — a wedged backend must not make the orchestrator
+///   restart-loop the process).
+/// * `GET /readyz` — readiness as JSON: backend kind/writability,
+///   shard topology, rebalancer + in-flight migration state.
+/// * `GET /debug/slow` — the slow-query log (JSON; `[]` untraced).
+/// * `GET /debug/trace?n=N` — the N most recent flight-recorder
+///   records (default 256).
+/// * `GET /debug/dumps` — retained trigger-dump snapshots.
+///
+/// Anything else 404. Connection: close — scrapers reconnect per
+/// scrape.
+fn serve_http_once<B: Backend<K>, const K: usize>(
+    s: &mut TcpStream,
+    registry: &Registry,
+    shared: &Shared<B, K>,
+) {
     let _ = s.set_read_timeout(Some(Duration::from_millis(500)));
     let mut buf = [0u8; 4096];
     let mut filled = 0usize;
@@ -644,13 +772,25 @@ fn serve_http_once(s: &mut TcpStream, registry: &Registry) {
             }
         })
         .unwrap_or_default();
-    let (status, body) = match path.as_str() {
-        "/metrics" => ("200 OK", registry.render_prometheus()),
-        "/healthz" => ("200 OK", "ok\n".to_string()),
-        _ => ("404 Not Found", "not found\n".to_string()),
+    const TEXT: &str = "text/plain; version=0.0.4";
+    const JSON: &str = "application/json";
+    let (status, ctype, body) = match path.as_str() {
+        "/metrics" => ("200 OK", TEXT, registry.render_prometheus()),
+        "/healthz" | "/livez" => ("200 OK", TEXT, "ok\n".to_string()),
+        "/readyz" => ("200 OK", JSON, shared.readiness_json(registry)),
+        "/debug/slow" => ("200 OK", JSON, phtrace::slow_json()),
+        "/debug/dumps" => ("200 OK", JSON, phtrace::dumps_json()),
+        p if p.starts_with("/debug/trace") => {
+            let n = p
+                .split_once("?n=")
+                .and_then(|(_, v)| v.parse().ok())
+                .unwrap_or(256);
+            ("200 OK", JSON, phtrace::trace_json(n))
+        }
+        _ => ("404 Not Found", TEXT, "not found\n".to_string()),
     };
     let resp = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
     let _ = s.write_all(resp.as_bytes());

@@ -1,0 +1,42 @@
+//! Server-side tracing bootstrap: installs the `phtrace` recorder and
+//! (with the `trace` cargo feature) bridges `phtree`'s `TreeSink`
+//! probe seam into the active span, so descent spans carry
+//! `nodes_visited` without touching the tree's hot paths.
+//!
+//! The recorder is process-global (`phserve --trace` and the `phload
+//! --trace` harness both go through here); [`init`] is idempotent —
+//! the first configuration wins, matching `phtrace::install` and
+//! `phtree::telemetry::set_sink`.
+
+pub use phtrace::{SlowThreshold, TraceConfig};
+
+/// Installs the flight recorder (first call wins) and, when compiled
+/// with the `trace` feature, the `TreeSink` forwarding probe. Returns
+/// whether tracing is actually live: `false` means the binary was
+/// built without the `trace` feature (all probes are ZST no-ops) or a
+/// recorder was already installed.
+pub fn init(cfg: TraceConfig) -> bool {
+    let installed = phtrace::install(cfg);
+    #[cfg(feature = "trace")]
+    if installed {
+        // First-wins, like the recorder: a test or embedding app may
+        // already have claimed the sink — counts then flow there
+        // instead, which is fine (the seam is process-global by
+        // design, see phtree::telemetry).
+        let _ = phtree::telemetry::set_sink(&SpanSink);
+    }
+    installed && cfg!(feature = "trace")
+}
+
+/// Forwards per-op probe reports into the innermost open span of the
+/// reporting thread. An unsampled request has no open span, so the
+/// report is dropped at the cost of one thread-local branch.
+#[cfg(feature = "trace")]
+struct SpanSink;
+
+#[cfg(feature = "trace")]
+impl phtree::telemetry::TreeSink for SpanSink {
+    fn op(&self, _op: phtree::telemetry::TreeOp, nodes_visited: u32) {
+        phtrace::add_nodes(nodes_visited as u64);
+    }
+}

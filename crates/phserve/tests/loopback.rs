@@ -67,6 +67,71 @@ fn concurrent_mixed_ops_match_acked_model() {
     server.stop();
 }
 
+/// Plain HTTP GET against the sidecar; returns the raw response
+/// (status line + headers + body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::Read;
+    let mut s = TcpStream::connect(addr).expect("connect sidecar");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).unwrap();
+    buf
+}
+
+/// `/healthz` and `/livez` answer liveness with no backend dependency;
+/// `/readyz` reports backend kind, writability, shard topology and
+/// rebalancer state as JSON; the `/debug` endpoints answer `[]` when
+/// no flight recorder is installed.
+#[test]
+fn liveness_and_readiness_split() {
+    let registry = Registry::new();
+    let backend: Arc<ShardedTree<u64, K>> = Arc::new(ShardedTree::with_metrics(8, 2, &registry));
+    let server = spawn(
+        backend,
+        "127.0.0.1:0",
+        Some("127.0.0.1:0"),
+        registry,
+        ServerConfig::default(),
+    )
+    .expect("spawn server");
+    let maddr = server.metrics_addr().expect("sidecar running");
+
+    for live_path in ["/healthz", "/livez"] {
+        let resp = http_get(maddr, live_path);
+        assert!(resp.starts_with("HTTP/1.1 200"), "{live_path}: {resp}");
+        assert!(resp.ends_with("ok\n"), "{live_path}: {resp}");
+    }
+
+    let resp = http_get(maddr, "/readyz");
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+    assert!(resp.contains("Content-Type: application/json"), "{resp}");
+    let body = resp.split_once("\r\n\r\n").expect("headers end").1;
+    for needle in [
+        "\"ready\":true",
+        "\"kind\":\"in-memory\"",
+        "\"writable\":true",
+        "\"shards\":8",
+        "\"rebalancer\"",
+        "\"routing_epoch\":",
+        "\"migration_inflight\":",
+    ] {
+        assert!(body.contains(needle), "readyz missing {needle}: {body}");
+    }
+
+    for dbg in ["/debug/slow", "/debug/trace?n=8", "/debug/dumps"] {
+        let resp = http_get(maddr, dbg);
+        assert!(resp.starts_with("HTTP/1.1 200"), "{dbg}: {resp}");
+        let body = resp.split_once("\r\n\r\n").expect("headers end").1;
+        assert_eq!(body.trim(), "[]", "{dbg} should be empty, got {body}");
+    }
+    server.stop();
+}
+
 /// Abrupt disconnects — clients dropping mid-pipeline with replies
 /// unread, and one peer writing garbage — must not take the server
 /// down or poison other connections.

@@ -158,6 +158,14 @@ impl WorkerPool {
                         Some(l) => l[i].as_str(),
                         None => "unlabeled",
                     };
+                    // The label carries the op + shard slot (e.g.
+                    // "query:shard-3"): snapshot the flight recorder
+                    // *before* resurfacing, so a contained panic
+                    // leaves the spans that led up to it behind.
+                    phtrace::trigger_dump(&format!(
+                        "scatter task '{label}' (index {i}) panicked: {}",
+                        payload_msg(payload.as_ref())
+                    ));
                     panic!(
                         "scatter task '{label}' (index {i}) panicked: {}",
                         payload_msg(payload.as_ref())

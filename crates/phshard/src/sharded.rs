@@ -488,11 +488,19 @@ impl<V: Clone + Send + Sync + 'static, const K: usize> ShardedTree<V, K> {
         self.note_pruning(snap.shards(), matching.len());
         self.metrics.fanout.record(matching.len() as u64);
         let (min, max) = (*min, *max);
+        // The scatter/merge bracket is the request's fan-out phase;
+        // each worker re-attaches the ambient trace context so its
+        // per-shard descent span lands in the same trace.
+        let ctx = phtrace::current();
+        let fan = phtrace::span(phtrace::Phase::FanOut);
+        phtrace::add(phtrace::PayloadCounter::Fanout, matching.len() as u64);
         let tasks: Vec<(String, Task<Vec<Entry<V, K>>>)> = matching
             .into_iter()
             .map(|s| {
                 let root = Arc::clone(snap.root(s));
                 let task = Box::new(move || {
+                    let _g = ctx.attach();
+                    let _d = phtrace::span(phtrace::Phase::Descent).with_shard(s);
                     root.tree
                         .query(&min, &max)
                         .map(|(k, v)| (k, v.clone()))
@@ -505,6 +513,7 @@ impl<V: Clone + Send + Sync + 'static, const K: usize> ShardedTree<V, K> {
         for chunk in self.pool.scatter_labeled(tasks) {
             out.extend(chunk);
         }
+        drop(fan);
         self.metrics.query.finish(t);
         out
     }
@@ -523,13 +532,17 @@ impl<V: Clone + Send + Sync + 'static, const K: usize> ShardedTree<V, K> {
         let t = self.metrics.knn.start();
         let snap = self.snapshot();
         let center = *center;
-        let tasks: Vec<(String, Task<Vec<Scored<V, K>>>)> = snap
-            .router()
-            .live_slots()
+        let slots = snap.router().live_slots();
+        let ctx = phtrace::current();
+        let fan = phtrace::span(phtrace::Phase::FanOut);
+        phtrace::add(phtrace::PayloadCounter::Fanout, slots.len() as u64);
+        let tasks: Vec<(String, Task<Vec<Scored<V, K>>>)> = slots
             .into_iter()
             .map(|s| {
                 let root = Arc::clone(snap.root(s));
                 let task = Box::new(move || {
+                    let _g = ctx.attach();
+                    let _d = phtrace::span(phtrace::Phase::Descent).with_shard(s);
                     root.tree
                         .knn(&center, n)
                         .into_iter()
@@ -544,6 +557,7 @@ impl<V: Clone + Send + Sync + 'static, const K: usize> ShardedTree<V, K> {
             .merge_candidates
             .record(lists.iter().map(Vec::len).sum::<usize>() as u64);
         let out = merge_nearest(lists, n, |e| e.2);
+        drop(fan);
         self.metrics.knn.finish(t);
         out
     }
@@ -574,6 +588,8 @@ impl<V: Clone + Send + Sync + 'static, const K: usize> ShardedTree<V, K> {
                 parts[inner.map.route(&key)].push((key, value));
             }
             type LoadOut<V, const K: usize> = Result<usize, Vec<([u64; K], V)>>;
+            let ctx = phtrace::current();
+            let fan = phtrace::span(phtrace::Phase::FanOut);
             let tasks: Vec<(String, Task<LoadOut<V, K>>)> = parts
                 .into_iter()
                 .enumerate()
@@ -584,6 +600,8 @@ impl<V: Clone + Send + Sync + 'static, const K: usize> ShardedTree<V, K> {
                     let clock = Arc::clone(&self.clock);
                     let swap_metrics = self.swap_metrics.clone();
                     let task = Box::new(move || {
+                        let _g = ctx.attach();
+                        let _d = phtrace::span(phtrace::Phase::Descent).with_shard(s);
                         let mut guard = cell.writer.lock();
                         if cell.retired.load(Ordering::SeqCst) {
                             return Err(part); // re-route under the new epoch
@@ -612,12 +630,14 @@ impl<V: Clone + Send + Sync + 'static, const K: usize> ShardedTree<V, K> {
                     (format!("bulk_load:shard-{s}"), task)
                 })
                 .collect();
+            phtrace::add(phtrace::PayloadCounter::Fanout, tasks.len() as u64);
             for r in self.pool.scatter_labeled(tasks) {
                 match r {
                     Ok(n) => new_total += n,
                     Err(part) => pending.extend(part),
                 }
             }
+            drop(fan);
         }
         self.metrics.bulk_load.finish(t);
         new_total

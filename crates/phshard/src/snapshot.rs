@@ -185,7 +185,9 @@ impl<V, const K: usize> Snapshot<V, K> {
     /// Point lookup against the pinned version — returns a borrow into
     /// the snapshot (no clone, no lock).
     pub fn get(&self, key: &[u64; K]) -> Option<&V> {
-        self.root(self.map.route(key)).tree.get(key)
+        let slot = self.map.route(key);
+        let _d = phtrace::span(phtrace::Phase::Descent).with_shard(slot);
+        self.root(slot).tree.get(key)
     }
 
     /// Whether `key` was present at the snapshot instant.
@@ -231,8 +233,12 @@ impl<V: Clone, const K: usize> Snapshot<V, K> {
     /// [`crate::ShardedTree::query`] is the pooled variant (it scans a
     /// snapshot too — same consistency, fanned out).
     pub fn query(&self, min: &[u64; K], max: &[u64; K]) -> Vec<([u64; K], V)> {
+        let matching = self.map.matching_shards(min, max);
+        let fan = phtrace::span(phtrace::Phase::FanOut);
+        phtrace::add(phtrace::PayloadCounter::Fanout, matching.len() as u64);
         let mut out = Vec::new();
-        for s in self.map.matching_shards(min, max) {
+        for s in matching {
+            let _d = phtrace::span(phtrace::Phase::Descent).with_shard(s);
             out.extend(
                 self.root(s)
                     .tree
@@ -240,6 +246,7 @@ impl<V: Clone, const K: usize> Snapshot<V, K> {
                     .map(|(k, v)| (k, v.clone())),
             );
         }
+        drop(fan);
         out
     }
 
@@ -251,11 +258,13 @@ impl<V: Clone, const K: usize> Snapshot<V, K> {
         if n == 0 {
             return Vec::new();
         }
-        let lists: Vec<Vec<([u64; K], V, f64)>> = self
-            .map
-            .live_slots()
+        let slots = self.map.live_slots();
+        let fan = phtrace::span(phtrace::Phase::FanOut);
+        phtrace::add(phtrace::PayloadCounter::Fanout, slots.len() as u64);
+        let lists: Vec<Vec<([u64; K], V, f64)>> = slots
             .into_iter()
             .map(|s| {
+                let _d = phtrace::span(phtrace::Phase::Descent).with_shard(s);
                 self.root(s)
                     .tree
                     .knn(center, n)
@@ -264,7 +273,9 @@ impl<V: Clone, const K: usize> Snapshot<V, K> {
                     .collect()
             })
             .collect();
-        merge_nearest(lists, n, |e| e.2)
+        let out = merge_nearest(lists, n, |e| e.2);
+        drop(fan);
+        out
     }
 }
 

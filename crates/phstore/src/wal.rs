@@ -122,6 +122,10 @@ impl WalWriter {
     }
 
     fn append_frame(&mut self, payload: &[u8]) -> Result<(), StoreError> {
+        // The WAL phase of a traced request: frame write + (when
+        // `sync_writes`) the fsync — the durability cost a slow-query
+        // breakdown attributes.
+        let _w = phtrace::span(phtrace::Phase::Wal);
         let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crate::fnv1a(payload).to_le_bytes());
@@ -166,6 +170,7 @@ impl WalWriter {
     /// Forces buffered frames to stable storage (no-op when every
     /// append already syncs).
     pub fn sync(&mut self) -> Result<(), StoreError> {
+        let _w = phtrace::span(phtrace::Phase::Wal);
         let t = self.metrics.wal_fsync_ns.start();
         self.file.sync_all()?;
         self.metrics.wal_fsync_ns.finish(t);

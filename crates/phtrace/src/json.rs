@@ -1,0 +1,129 @@
+//! Hand-rolled JSON rendering for the `/debug` endpoints (the
+//! workspace builds offline — no serde). All numbers are u64, all
+//! strings come from fixed enum names except dump reasons, which are
+//! escaped.
+
+use crate::{DumpSnapshot, Phase, SlowQuery, SpanRec};
+use std::fmt::Write;
+
+/// Escapes a string for a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn span_obj(out: &mut String, s: &SpanRec) {
+    let _ = write!(
+        out,
+        "{{\"trace_id\":{},\"phase\":\"{}\",\"op\":\"{}\",",
+        s.trace_id,
+        s.phase.name(),
+        s.op.name()
+    );
+    if s.shard != u16::MAX {
+        let _ = write!(out, "\"shard\":{},", s.shard);
+    }
+    let _ = write!(
+        out,
+        "\"nested\":{},\"t_start_ns\":{},\"t_end_ns\":{},\"dur_ns\":{},\
+         \"nodes_visited\":{},\"pages_touched\":{},\"fanout\":{},\"queue_depth\":{}}}",
+        s.nested,
+        s.t_start_ns,
+        s.t_end_ns,
+        s.dur_ns(),
+        s.counters.nodes,
+        s.counters.pages,
+        s.counters.fanout,
+        s.counters.queue_depth
+    );
+}
+
+/// Renders flight-recorder records as a JSON array.
+pub fn spans(recs: &[SpanRec]) -> String {
+    let mut out = String::from("[");
+    for (i, s) in recs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        span_obj(&mut out, s);
+    }
+    out.push(']');
+    out
+}
+
+/// Renders slow-query entries as a JSON array (newest last).
+pub fn slow_queries(entries: &[SlowQuery]) -> String {
+    const BREAKDOWN: [Phase; crate::N_BREAKDOWN] = [
+        Phase::Queue,
+        Phase::FanOut,
+        Phase::Descent,
+        Phase::Page,
+        Phase::Wal,
+        Phase::Reply,
+    ];
+    let mut out = String::from("[");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"req_id\":{},\"trace_id\":{},\"op\":\"{}\",\"t_start_ns\":{},\
+             \"wall_ns\":{},\"covered_ns\":{},\"spans\":{},\"phases\":{{",
+            e.req_id,
+            e.trace_id,
+            e.op.name(),
+            e.t_start_ns,
+            e.wall_ns,
+            e.covered_ns,
+            e.spans
+        );
+        for (j, p) in BREAKDOWN.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", p.name(), e.phase_ns[*p as usize]);
+        }
+        let _ = write!(
+            out,
+            "}},\"counters\":{{\"nodes_visited\":{},\"pages_touched\":{},\
+             \"fanout\":{},\"queue_depth\":{}}}}}",
+            e.counters.nodes, e.counters.pages, e.counters.fanout, e.counters.queue_depth
+        );
+    }
+    out.push(']');
+    out
+}
+
+/// Renders trigger dumps as a JSON array (newest last).
+pub fn dumps(snaps: &[DumpSnapshot]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in snaps.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"reason\":\"{}\",\"at_ns\":{},\"records\":",
+            esc(&d.reason),
+            d.at_ns
+        );
+        out.push_str(&spans(&d.records));
+        out.push('}');
+    }
+    out.push(']');
+    out
+}

@@ -1,0 +1,579 @@
+//! The `trace`-feature implementation: global recorder, per-thread
+//! ring leases, ambient [`TraceCtx`], span guards, slow-query
+//! assembly and trigger dumps.
+
+use crate::json;
+use crate::ring::Ring;
+use crate::{
+    Counters, DumpSnapshot, PayloadCounter, Phase, SlowQuery, SlowThreshold, SpanRec, TraceConfig,
+    TraceOp, TraceStats, N_BREAKDOWN,
+};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Threshold the `Auto` policy starts at until the server's first
+/// retune (trailing p99 × 4).
+const AUTO_INITIAL_THRESHOLD_NS: u64 = 10_000_000;
+
+/// Shard value meaning "not shard-scoped".
+const NO_SHARD: u16 = u16::MAX;
+
+// ---------------------------------------------------------------- clock
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process trace epoch (the first call), on one
+/// monotonic clock — cross-thread comparable, never steps.
+#[inline]
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+// ------------------------------------------------------------- recorder
+
+struct Recorder {
+    cfg: TraceConfig,
+    /// Every ring ever allocated (leased or free) — dumps and slow
+    /// assembly scan them all; a dead thread's records stay visible.
+    rings: Mutex<Vec<Arc<Ring>>>,
+    /// Rings whose owning thread exited, ready for re-lease.
+    free: Mutex<Vec<Arc<Ring>>>,
+    next_trace_id: AtomicU64,
+    sample_tick: AtomicU64,
+    threshold_ns: AtomicU64,
+    auto_threshold: bool,
+    slow: Mutex<VecDeque<SlowQuery>>,
+    dumps: Mutex<VecDeque<DumpSnapshot>>,
+    last_dump_ns: AtomicU64,
+    sampled_total: AtomicU64,
+    slow_total: AtomicU64,
+    dumps_total: AtomicU64,
+}
+
+static RECORDER: OnceLock<Recorder> = OnceLock::new();
+
+#[inline]
+fn recorder() -> Option<&'static Recorder> {
+    RECORDER.get()
+}
+
+/// Installs the process-wide recorder. First call wins; returns
+/// whether this call installed it. Until installed, every sampling
+/// decision is "no" and the recorder costs a single atomic load per
+/// request.
+pub fn install(cfg: TraceConfig) -> bool {
+    let threshold = match cfg.slow_threshold {
+        SlowThreshold::Auto => AUTO_INITIAL_THRESHOLD_NS,
+        SlowThreshold::FixedNs(ns) => ns.max(1),
+    };
+    let auto = matches!(cfg.slow_threshold, SlowThreshold::Auto);
+    RECORDER
+        .set(Recorder {
+            cfg,
+            rings: Mutex::new(Vec::new()),
+            free: Mutex::new(Vec::new()),
+            next_trace_id: AtomicU64::new(1),
+            sample_tick: AtomicU64::new(0),
+            threshold_ns: AtomicU64::new(threshold),
+            auto_threshold: auto,
+            slow: Mutex::new(VecDeque::new()),
+            dumps: Mutex::new(VecDeque::new()),
+            last_dump_ns: AtomicU64::new(0),
+            sampled_total: AtomicU64::new(0),
+            slow_total: AtomicU64::new(0),
+            dumps_total: AtomicU64::new(0),
+        })
+        .is_ok()
+}
+
+/// Whether a recorder is installed.
+pub fn installed() -> bool {
+    recorder().is_some()
+}
+
+/// Current slow-query threshold, ns.
+pub fn slow_threshold_ns() -> u64 {
+    recorder().map_or(0, |r| r.threshold_ns.load(Ordering::Relaxed))
+}
+
+/// Whether the threshold is under `Auto` policy (the server retunes it
+/// from trailing p99 × 4).
+pub fn slow_threshold_is_auto() -> bool {
+    recorder().is_some_and(|r| r.auto_threshold)
+}
+
+/// Updates the slow-query threshold (the server's autotune hook).
+pub fn set_slow_threshold_ns(ns: u64) {
+    if let Some(r) = recorder() {
+        r.threshold_ns.store(ns.max(1), Ordering::Relaxed);
+    }
+}
+
+/// Recorder health counters.
+pub fn stats() -> TraceStats {
+    match recorder() {
+        None => TraceStats::default(),
+        Some(r) => {
+            let (records, rings) = {
+                let rings = r.rings.lock().unwrap();
+                (rings.iter().map(|ring| ring.written()).sum(), rings.len())
+            };
+            TraceStats {
+                installed: true,
+                sampled_requests: r.sampled_total.load(Ordering::Relaxed),
+                records,
+                slow_queries: r.slow_total.load(Ordering::Relaxed),
+                dumps: r.dumps_total.load(Ordering::Relaxed),
+                rings: rings as u64,
+                slow_threshold_ns: r.threshold_ns.load(Ordering::Relaxed),
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------ thread-local state
+
+/// An open (not yet recorded) span on this thread's stack.
+struct OpenSpan {
+    phase: Phase,
+    shard: u16,
+    t_start_ns: u64,
+    counters: Counters,
+}
+
+/// Returns the leased ring to the free list when the thread exits, so
+/// connection-per-thread servers reuse rings instead of growing the
+/// registry forever. The ring's records remain readable either way.
+struct RingLease(Arc<Ring>);
+
+impl Drop for RingLease {
+    fn drop(&mut self) {
+        if let Some(r) = recorder() {
+            r.free.lock().unwrap().push(Arc::clone(&self.0));
+        }
+    }
+}
+
+#[derive(Default)]
+struct Tls {
+    ctx: TraceCtx,
+    stack: Vec<OpenSpan>,
+    lease: Option<RingLease>,
+}
+
+thread_local! {
+    static TLS: RefCell<Tls> = RefCell::new(Tls::default());
+}
+
+fn lease_ring(r: &'static Recorder) -> RingLease {
+    if let Some(ring) = r.free.lock().unwrap().pop() {
+        return RingLease(ring);
+    }
+    let ring = Arc::new(Ring::new(r.cfg.ring_slots));
+    r.rings.lock().unwrap().push(Arc::clone(&ring));
+    RingLease(ring)
+}
+
+/// Writes one record on the calling thread's ring.
+fn push_record(tls: &mut Tls, rec: &SpanRec) {
+    let Some(r) = recorder() else { return };
+    if tls.lease.is_none() {
+        tls.lease = Some(lease_ring(r));
+    }
+    tls.lease.as_ref().unwrap().0.push(rec);
+}
+
+// ------------------------------------------------------------------ ctx
+
+/// The per-request trace context: the sampling decision plus the ids
+/// a record needs. `Copy`, 24 bytes — it travels by value through
+/// queues and closures. With the `trace` feature off this is a ZST.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TraceCtx {
+    trace_id: u64,
+    req_id: u64,
+    op: u8,
+    sampled: bool,
+}
+
+impl TraceCtx {
+    /// An unsampled context (records nothing).
+    #[inline]
+    pub fn off() -> TraceCtx {
+        TraceCtx::default()
+    }
+
+    /// Whether this request is being recorded.
+    #[inline]
+    pub fn sampled(&self) -> bool {
+        self.sampled
+    }
+
+    /// The wire request id this context was created with.
+    #[inline]
+    pub fn req_id(&self) -> u64 {
+        self.req_id
+    }
+
+    /// The operation this context was created with.
+    #[inline]
+    pub fn op(&self) -> TraceOp {
+        TraceOp::from_u8(self.op)
+    }
+
+    /// Makes `self` the calling thread's ambient context until the
+    /// guard drops (which restores the previous one). Spans opened via
+    /// [`span`] while attached belong to this request — attach before
+    /// opening spans and keep the guard alive past their close.
+    #[inline]
+    pub fn attach(self) -> CtxGuard {
+        let prev = TLS.with(|t| {
+            let mut t = t.borrow_mut();
+            std::mem::replace(&mut t.ctx, self)
+        });
+        CtxGuard { prev }
+    }
+}
+
+/// Restores the previously attached [`TraceCtx`] on drop.
+pub struct CtxGuard {
+    prev: TraceCtx,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        TLS.with(|t| t.borrow_mut().ctx = self.prev);
+    }
+}
+
+/// The calling thread's ambient context (attach-site for scatter
+/// closures: capture it by value, re-attach on the worker).
+#[inline]
+pub fn current() -> TraceCtx {
+    TLS.with(|t| t.borrow().ctx)
+}
+
+/// Makes the sampling decision for one request at the wire layer.
+/// Unsampled (and pre-install) requests get a dead context; sampled
+/// ones get a fresh process-unique trace id.
+#[inline]
+pub fn start_request(req_id: u64, op: TraceOp) -> TraceCtx {
+    let Some(r) = recorder() else {
+        return TraceCtx::off();
+    };
+    let every = r.cfg.sample_every.max(1) as u64;
+    let tick = r.sample_tick.fetch_add(1, Ordering::Relaxed);
+    if tick % every != 0 {
+        return TraceCtx::off();
+    }
+    r.sampled_total.fetch_add(1, Ordering::Relaxed);
+    TraceCtx {
+        trace_id: r.next_trace_id.fetch_add(1, Ordering::Relaxed),
+        req_id,
+        op: op as u8,
+        sampled: true,
+    }
+}
+
+// ---------------------------------------------------------------- spans
+
+/// Closes (records) its span on drop. Inert when the ambient context
+/// is unsampled — opening costs one TLS read and a branch.
+#[must_use = "a span measures until the guard drops"]
+pub struct SpanGuard {
+    active: bool,
+}
+
+impl SpanGuard {
+    /// Tags the open span with a shard slot.
+    pub fn with_shard(self, slot: usize) -> SpanGuard {
+        if self.active {
+            TLS.with(|t| {
+                if let Some(top) = t.borrow_mut().stack.last_mut() {
+                    top.shard = slot.min(u16::MAX as usize - 1) as u16;
+                }
+            });
+        }
+        self
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let t_end = now_ns();
+        TLS.with(|t| {
+            let mut t = t.borrow_mut();
+            let Some(open) = t.stack.pop() else { return };
+            let rec = SpanRec {
+                trace_id: t.ctx.trace_id,
+                phase: open.phase,
+                op: TraceOp::from_u8(t.ctx.op),
+                shard: open.shard,
+                nested: !t.stack.is_empty(),
+                t_start_ns: open.t_start_ns,
+                t_end_ns: t_end,
+                counters: open.counters,
+            };
+            push_record(&mut t, &rec);
+        });
+    }
+}
+
+/// Opens a span of `phase` against the ambient context, starting now.
+#[inline]
+pub fn span(phase: Phase) -> SpanGuard {
+    span_at(phase, u64::MAX)
+}
+
+/// Opens a span with an explicit start timestamp (`u64::MAX` = now) —
+/// the cross-thread case: e.g. a worker accounting queue wait that
+/// began on the reader thread.
+#[inline]
+pub fn span_at(phase: Phase, t_start_ns: u64) -> SpanGuard {
+    TLS.with(|t| {
+        let mut t = t.borrow_mut();
+        if !t.ctx.sampled {
+            return SpanGuard { active: false };
+        }
+        let t_start = if t_start_ns == u64::MAX {
+            now_ns()
+        } else {
+            t_start_ns
+        };
+        t.stack.push(OpenSpan {
+            phase,
+            shard: NO_SHARD,
+            t_start_ns: t_start,
+            counters: Counters::default(),
+        });
+        SpanGuard { active: true }
+    })
+}
+
+/// Adds `n` to counter `c` of the innermost open span on this thread
+/// (dropped when no span is open — e.g. an unsampled request).
+#[inline]
+pub fn add(c: PayloadCounter, n: u64) {
+    TLS.with(|t| {
+        let mut t = t.borrow_mut();
+        if let Some(top) = t.stack.last_mut() {
+            let n = n.min(u32::MAX as u64) as u32;
+            let slot = match c {
+                PayloadCounter::Nodes => &mut top.counters.nodes,
+                PayloadCounter::Pages => &mut top.counters.pages,
+                PayloadCounter::Fanout => &mut top.counters.fanout,
+                PayloadCounter::QueueDepth => &mut top.counters.queue_depth,
+            };
+            *slot = slot.saturating_add(n);
+        }
+    });
+}
+
+/// [`add`]`(PayloadCounter::Nodes, n)` — the `TreeSink` forwarding
+/// hook.
+#[inline]
+pub fn add_nodes(n: u64) {
+    add(PayloadCounter::Nodes, n);
+}
+
+/// [`add`]`(PayloadCounter::Pages, n)` — the page-cache hook.
+#[inline]
+pub fn add_pages(n: u64) {
+    add(PayloadCounter::Pages, n);
+}
+
+/// Records `ctx`'s queue-wait span (admission at `t_enq_ns` → now, on
+/// the popping worker's ring) without needing the context attached.
+#[inline]
+pub fn record_queue_wait(ctx: TraceCtx, t_enq_ns: u64, depth: u32) {
+    if !ctx.sampled {
+        return;
+    }
+    let rec = SpanRec {
+        trace_id: ctx.trace_id,
+        phase: Phase::Queue,
+        op: TraceOp::from_u8(ctx.op),
+        shard: NO_SHARD,
+        nested: false,
+        t_start_ns: t_enq_ns,
+        t_end_ns: now_ns(),
+        counters: Counters {
+            queue_depth: depth,
+            ..Counters::default()
+        },
+    };
+    TLS.with(|t| push_record(&mut t.borrow_mut(), &rec));
+}
+
+/// Closes `ctx`'s root span (admission at `t_start_ns` → now): writes
+/// the root record and, when the wall time crosses the slow
+/// threshold, assembles the request's spans from every ring into a
+/// [`SlowQuery`] breakdown.
+pub fn finish_root(ctx: TraceCtx, t_start_ns: u64) {
+    if !ctx.sampled {
+        return;
+    }
+    let Some(r) = recorder() else { return };
+    let t_end = now_ns();
+    let rec = SpanRec {
+        trace_id: ctx.trace_id,
+        phase: Phase::Root,
+        op: TraceOp::from_u8(ctx.op),
+        shard: NO_SHARD,
+        nested: false,
+        t_start_ns,
+        t_end_ns: t_end,
+        counters: Counters::default(),
+    };
+    TLS.with(|t| push_record(&mut t.borrow_mut(), &rec));
+    let wall = t_end.saturating_sub(t_start_ns);
+    if wall < r.threshold_ns.load(Ordering::Relaxed) {
+        return;
+    }
+    // Slow path only: scan every ring for this request's spans.
+    let mut all = Vec::new();
+    for ring in r.rings.lock().unwrap().iter() {
+        ring.collect_into(&mut all);
+    }
+    let mut phase_ns = [0u64; N_BREAKDOWN];
+    let mut counters = Counters::default();
+    let mut spans = 0u32;
+    let mut intervals: Vec<(u64, u64)> = Vec::new();
+    for s in all {
+        if s.trace_id != ctx.trace_id || matches!(s.phase, Phase::Root) {
+            continue;
+        }
+        spans += 1;
+        phase_ns[s.phase as usize] += s.dur_ns();
+        intervals.push((s.t_start_ns, s.t_end_ns));
+        counters.nodes = counters.nodes.saturating_add(s.counters.nodes);
+        counters.pages = counters.pages.saturating_add(s.counters.pages);
+        counters.fanout = counters.fanout.saturating_add(s.counters.fanout);
+        counters.queue_depth = counters.queue_depth.max(s.counters.queue_depth);
+    }
+    // Coverage = length of the interval union. The per-thread `nested`
+    // bit can't see cross-thread nesting (a scatter task's Descent
+    // under the caller's FanOut), so summing "non-nested" spans would
+    // double-count parallel fan-outs; merging intervals can't.
+    intervals.sort_unstable();
+    let mut covered = 0u64;
+    let mut cur: Option<(u64, u64)> = None;
+    for (a, b) in intervals {
+        match &mut cur {
+            Some((_, e)) if a <= *e => *e = (*e).max(b),
+            _ => {
+                if let Some((s0, e0)) = cur {
+                    covered += e0.saturating_sub(s0);
+                }
+                cur = Some((a, b));
+            }
+        }
+    }
+    if let Some((s0, e0)) = cur {
+        covered += e0.saturating_sub(s0);
+    }
+    let entry = SlowQuery {
+        req_id: ctx.req_id,
+        trace_id: ctx.trace_id,
+        op: TraceOp::from_u8(ctx.op),
+        t_start_ns,
+        wall_ns: wall,
+        phase_ns,
+        covered_ns: covered,
+        counters,
+        spans,
+    };
+    r.slow_total.fetch_add(1, Ordering::Relaxed);
+    let mut slow = r.slow.lock().unwrap();
+    if slow.len() >= r.cfg.slow_capacity.max(1) {
+        slow.pop_front();
+    }
+    slow.push_back(entry);
+}
+
+// ------------------------------------------------------- reading it back
+
+/// The `n` most recent records across all rings, newest first.
+pub fn recent(n: usize) -> Vec<SpanRec> {
+    let Some(r) = recorder() else {
+        return Vec::new();
+    };
+    let mut all = Vec::new();
+    for ring in r.rings.lock().unwrap().iter() {
+        ring.collect_into(&mut all);
+    }
+    all.sort_unstable_by_key(|r| std::cmp::Reverse(r.t_end_ns));
+    all.truncate(n);
+    all
+}
+
+/// The retained slow-query entries, newest last.
+pub fn recent_slow() -> Vec<SlowQuery> {
+    match recorder() {
+        None => Vec::new(),
+        Some(r) => r.slow.lock().unwrap().iter().cloned().collect(),
+    }
+}
+
+/// The retained trigger dumps, newest last.
+pub fn dumps() -> Vec<DumpSnapshot> {
+    match recorder() {
+        None => Vec::new(),
+        Some(r) => r.dumps.lock().unwrap().iter().cloned().collect(),
+    }
+}
+
+/// Snapshots the flight recorder because something went wrong (shed,
+/// protocol error, contained panic). Rate-limited: dumps inside
+/// [`TraceConfig::dump_min_interval_ns`] of the last collapse into
+/// it, so an error storm costs one snapshot per window.
+pub fn trigger_dump(reason: &str) {
+    let Some(r) = recorder() else { return };
+    let now = now_ns();
+    let last = r.last_dump_ns.load(Ordering::Relaxed);
+    // `last == 0` means "never dumped" (now_ns is ≥ 0 by definition,
+    // and the first dump must not be suppressed).
+    if last != 0 && now.saturating_sub(last) < r.cfg.dump_min_interval_ns {
+        return;
+    }
+    if r.last_dump_ns
+        .compare_exchange(last, now.max(1), Ordering::Relaxed, Ordering::Relaxed)
+        .is_err()
+    {
+        return; // another thread won this window's dump
+    }
+    let records = recent(r.cfg.dump_keep);
+    r.dumps_total.fetch_add(1, Ordering::Relaxed);
+    let mut dumps = r.dumps.lock().unwrap();
+    if dumps.len() >= r.cfg.dump_capacity.max(1) {
+        dumps.pop_front();
+    }
+    dumps.push_back(DumpSnapshot {
+        reason: reason.to_string(),
+        at_ns: now,
+        records,
+    });
+}
+
+// ------------------------------------------------------------------ JSON
+
+/// The slow-query log as a JSON array (newest last).
+pub fn slow_json() -> String {
+    json::slow_queries(&recent_slow())
+}
+
+/// The `n` most recent flight-recorder records as a JSON array.
+pub fn trace_json(n: usize) -> String {
+    json::spans(&recent(n))
+}
+
+/// The retained trigger dumps as a JSON array.
+pub fn dumps_json() -> String {
+    json::dumps(&dumps())
+}

@@ -1,0 +1,185 @@
+//! The `trace`-feature-**off** surface: every type is a ZST, every
+//! function an `#[inline(always)]` no-op, so instrumented call sites
+//! compile to nothing — the zero-cost contract the interleaved A/B
+//! perf gate in CI pins (fig7/fig8 within ±2% of the untraced
+//! baseline).
+
+use crate::{
+    DumpSnapshot, PayloadCounter, Phase, SlowQuery, SpanRec, TraceConfig, TraceOp, TraceStats,
+};
+
+/// ZST stand-in for the per-request context (see the `trace`-enabled
+/// docs). Always unsampled.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TraceCtx;
+
+impl TraceCtx {
+    /// An unsampled context.
+    #[inline(always)]
+    pub fn off() -> TraceCtx {
+        TraceCtx
+    }
+
+    /// Always false.
+    #[inline(always)]
+    pub fn sampled(&self) -> bool {
+        false
+    }
+
+    /// Always 0.
+    #[inline(always)]
+    pub fn req_id(&self) -> u64 {
+        0
+    }
+
+    /// Always [`TraceOp::Other`].
+    #[inline(always)]
+    pub fn op(&self) -> TraceOp {
+        TraceOp::Other
+    }
+
+    /// No-op guard.
+    #[inline(always)]
+    pub fn attach(self) -> CtxGuard {
+        CtxGuard
+    }
+}
+
+/// ZST no-op guard.
+pub struct CtxGuard;
+
+/// ZST no-op guard.
+#[must_use = "a span measures until the guard drops"]
+pub struct SpanGuard;
+
+impl SpanGuard {
+    /// No-op.
+    #[inline(always)]
+    pub fn with_shard(self, _slot: usize) -> SpanGuard {
+        self
+    }
+}
+
+/// Always 0 (no clock read with the feature off).
+#[inline(always)]
+pub fn now_ns() -> u64 {
+    0
+}
+
+/// Always false: nothing to install.
+#[inline(always)]
+pub fn install(_cfg: TraceConfig) -> bool {
+    false
+}
+
+/// Always false.
+#[inline(always)]
+pub fn installed() -> bool {
+    false
+}
+
+/// Always 0.
+#[inline(always)]
+pub fn slow_threshold_ns() -> u64 {
+    0
+}
+
+/// Always false.
+#[inline(always)]
+pub fn slow_threshold_is_auto() -> bool {
+    false
+}
+
+/// No-op.
+#[inline(always)]
+pub fn set_slow_threshold_ns(_ns: u64) {}
+
+/// All-zero stats, `installed: false`.
+#[inline(always)]
+pub fn stats() -> TraceStats {
+    TraceStats::default()
+}
+
+/// Always the unsampled ZST context.
+#[inline(always)]
+pub fn current() -> TraceCtx {
+    TraceCtx
+}
+
+/// Always the unsampled ZST context.
+#[inline(always)]
+pub fn start_request(_req_id: u64, _op: TraceOp) -> TraceCtx {
+    TraceCtx
+}
+
+/// No-op guard.
+#[inline(always)]
+pub fn span(_phase: Phase) -> SpanGuard {
+    SpanGuard
+}
+
+/// No-op guard.
+#[inline(always)]
+pub fn span_at(_phase: Phase, _t_start_ns: u64) -> SpanGuard {
+    SpanGuard
+}
+
+/// No-op.
+#[inline(always)]
+pub fn add(_c: PayloadCounter, _n: u64) {}
+
+/// No-op.
+#[inline(always)]
+pub fn add_nodes(_n: u64) {}
+
+/// No-op.
+#[inline(always)]
+pub fn add_pages(_n: u64) {}
+
+/// No-op.
+#[inline(always)]
+pub fn record_queue_wait(_ctx: TraceCtx, _t_enq_ns: u64, _depth: u32) {}
+
+/// No-op.
+#[inline(always)]
+pub fn finish_root(_ctx: TraceCtx, _t_start_ns: u64) {}
+
+/// No-op.
+#[inline(always)]
+pub fn trigger_dump(_reason: &str) {}
+
+/// Always empty.
+#[inline(always)]
+pub fn recent(_n: usize) -> Vec<SpanRec> {
+    Vec::new()
+}
+
+/// Always empty.
+#[inline(always)]
+pub fn recent_slow() -> Vec<SlowQuery> {
+    Vec::new()
+}
+
+/// Always empty.
+#[inline(always)]
+pub fn dumps() -> Vec<DumpSnapshot> {
+    Vec::new()
+}
+
+/// Always `[]`.
+#[inline(always)]
+pub fn slow_json() -> String {
+    "[]".to_string()
+}
+
+/// Always `[]`.
+#[inline(always)]
+pub fn trace_json(_n: usize) -> String {
+    "[]".to_string()
+}
+
+/// Always `[]`.
+#[inline(always)]
+pub fn dumps_json() -> String {
+    "[]".to_string()
+}

@@ -1,0 +1,45 @@
+//! The zero-cost contract with the `trace` feature **off**: every
+//! type is a ZST, every call a no-op, nothing installs — the
+//! compile-time half of the disabled-path overhead gate (the runtime
+//! half is the interleaved A/B fig7/fig8 run in CI).
+
+#![cfg(not(feature = "trace"))]
+
+use phtrace::{PayloadCounter, Phase, TraceConfig, TraceOp};
+
+#[test]
+fn everything_is_zero_sized_and_inert() {
+    assert_eq!(std::mem::size_of::<phtrace::TraceCtx>(), 0);
+    assert_eq!(std::mem::size_of::<phtrace::CtxGuard>(), 0);
+    assert_eq!(std::mem::size_of::<phtrace::SpanGuard>(), 0);
+
+    assert!(!phtrace::install(TraceConfig::default()));
+    assert!(!phtrace::installed());
+    assert_eq!(phtrace::now_ns(), 0);
+
+    let ctx = phtrace::start_request(42, TraceOp::Query);
+    assert!(!ctx.sampled());
+    assert_eq!(ctx.req_id(), 0);
+    {
+        let _g = ctx.attach();
+        let _sp = phtrace::span(Phase::FanOut).with_shard(3);
+        phtrace::add(PayloadCounter::Fanout, 4);
+        phtrace::add_nodes(10);
+        phtrace::add_pages(2);
+    }
+    phtrace::record_queue_wait(ctx, 0, 7);
+    phtrace::finish_root(ctx, 0);
+    phtrace::trigger_dump("nothing happens");
+
+    assert!(phtrace::recent(10).is_empty());
+    assert!(phtrace::recent_slow().is_empty());
+    assert!(phtrace::dumps().is_empty());
+    assert_eq!(phtrace::slow_json(), "[]");
+    assert_eq!(phtrace::trace_json(10), "[]");
+    assert_eq!(phtrace::dumps_json(), "[]");
+
+    let st = phtrace::stats();
+    assert!(!st.installed);
+    assert_eq!(st.sampled_requests, 0);
+    assert_eq!(st.records, 0);
+}

@@ -26,6 +26,12 @@
 //! Only the const-generic [`crate::PhTree`] is instrumented; the
 //! dynamic-dimension mirror (`PhTreeDyn`) and the full-scan iterator
 //! are not on any serving path and report nothing.
+//!
+//! This seam doubles as the request-tracing bridge: `phserve`'s
+//! `trace` feature installs a forwarding sink that adds each op's
+//! `nodes_visited` to the calling thread's open `phtrace` descent
+//! span, so slow-query breakdowns carry tree work without the tree
+//! knowing about tracing (DESIGN.md §18).
 
 /// Which tree operation a telemetry record describes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
